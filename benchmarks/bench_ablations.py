@@ -1,0 +1,93 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Loop unrolling (paper Section 4: 2.03 cycles/iteration at 32x),
+* DMA burst size (Section 3.2: bursts amortize the network setup),
+* streaming chunk size (double-buffer granularity),
+* union's Result-width bottleneck across selectivities.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.configs.catalog import build_processor
+from repro.core.kernels import run_set_operation
+from repro.core.streaming import run_streaming_set_operation
+from repro.cpu.interconnect import Interconnect
+from repro.workloads.sets import generate_set_pair
+
+
+@pytest.mark.parametrize("unroll", [1, 4, 16, 32, 64])
+def test_unroll_factor(benchmark, processors, paper_sets, unroll):
+    """The paper's unrolling argument: cycles/iteration -> 2 + 1/U."""
+    processor = processors[("DBA_2LSU_EIS", True)]
+    set_a, set_b = paper_sets
+    result, stats = run_once(benchmark, run_set_operation, processor,
+                             "intersection", set_a, set_b,
+                             unroll=unroll)
+    benchmark.extra_info["unroll"] = unroll
+    benchmark.extra_info["cycles"] = stats.cycles
+    assert result == sorted(set(set_a) & set(set_b))
+
+
+def test_unroll_scaling_matches_model(processors, paper_sets):
+    """cycles(U=1)/cycles(U=32) should approach 3/2.03 (the loop body
+    is two bundles plus one amortized jump)."""
+    processor = processors[("DBA_2LSU_EIS", True)]
+    set_a, set_b = paper_sets
+    cycles = {}
+    for unroll in (1, 32):
+        _r, stats = run_set_operation(processor, "intersection", set_a,
+                                      set_b, unroll=unroll)
+        cycles[unroll] = stats.cycles
+    ratio = cycles[1] / cycles[32]
+    assert ratio == pytest.approx(3.0 / 2.03, rel=0.05)
+
+
+@pytest.mark.parametrize("burst_bytes", [64, 256, 1024, 4096, 12288])
+def test_burst_size_bandwidth(benchmark, burst_bytes):
+    """Burst transfers amortize the interconnect setup latency."""
+    network = Interconnect(setup_latency=60, bytes_per_cycle=16)
+
+    def bandwidth():
+        return network.effective_bandwidth(burst_bytes)
+
+    result = run_once(benchmark, bandwidth)
+    benchmark.extra_info["bytes_per_cycle"] = round(result, 2)
+    benchmark.extra_info["burst_bytes"] = burst_bytes
+
+
+@pytest.mark.parametrize("chunk_elements", [512, 1024, 2048, 3072])
+def test_streaming_chunk_size(benchmark, chunk_elements):
+    """Larger double-buffer chunks amortize per-chunk setup overhead."""
+    processor = build_processor("DBA_2LSU_EIS", partial_load=True,
+                                prefetcher=True, sim_headroom_kb=512)
+    set_a, set_b = generate_set_pair(16_000, selectivity=0.5, seed=7)
+    result, stats = run_once(benchmark, run_streaming_set_operation,
+                             processor, "intersection", set_a, set_b,
+                             chunk_elements=chunk_elements)
+    benchmark.extra_info["chunk_elements"] = chunk_elements
+    benchmark.extra_info["cycles"] = stats.cycles
+    assert result == sorted(set(set_a) & set(set_b))
+
+
+@pytest.mark.parametrize("selectivity", [0.0, 0.5, 1.0])
+def test_union_result_width_bottleneck(benchmark, processors,
+                                       selectivity):
+    """Union emits at most four distinct values per operation (Result
+    states, Figure 9), so at low selectivity it trails intersection."""
+    processor = processors[("DBA_2LSU_EIS", True)]
+    set_a, set_b = generate_set_pair(5000, selectivity=selectivity,
+                                     seed=9)
+
+    def run_both():
+        _r, union_stats = run_set_operation(processor, "union", set_a,
+                                            set_b)
+        _r, int_stats = run_set_operation(processor, "intersection",
+                                          set_a, set_b)
+        return union_stats, int_stats
+
+    union_stats, int_stats = run_once(benchmark, run_both)
+    slowdown = union_stats.cycles / int_stats.cycles
+    benchmark.extra_info["union_vs_intersect_cycles"] = round(slowdown,
+                                                              2)
+    assert slowdown >= 0.99

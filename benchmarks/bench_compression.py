@@ -1,0 +1,51 @@
+"""Benchmark E10 — compressed RID streaming and the bandwidth
+crossover, plus the decode instruction itself."""
+
+import pytest
+
+from conftest import run_once
+from repro.configs.catalog import build_processor
+from repro.core.compression import run_decompress
+from repro.core.streaming import (run_compressed_streaming_set_operation,
+                                  run_streaming_set_operation)
+from repro.cpu import CoreConfig, Interconnect, Processor
+from repro.synth.synthesis import synthesize_config
+from repro.workloads.sets import generate_rid_list, generate_set_pair
+
+
+def test_decode_instruction_rate(benchmark):
+    from repro.core.compression import build_compression_extension
+    processor = Processor(CoreConfig("d8", dmem0_kb=64,
+                                     sim_headroom_kb=64),
+                          extensions=[build_compression_extension()])
+    rids = generate_rid_list(5000, table_rows=200_000, seed=3)
+    output, stats = run_once(benchmark, run_decompress, processor, rids)
+    assert output == rids
+    benchmark.extra_info["cycles_per_value"] = round(
+        stats.cycles / len(rids), 2)
+
+
+@pytest.mark.parametrize("bytes_per_cycle", [16, 4, 2, 1])
+def test_raw_vs_compressed_crossover(benchmark, bytes_per_cycle):
+    fmax = synthesize_config("DBA_2LSU_EIS").fmax_mhz
+    size = 16_000
+    set_a, set_b = generate_set_pair(size, selectivity=0.5, seed=42,
+                                     max_value=16 * size)
+    processor = build_processor(
+        "DBA_2LSU_EIS", prefetcher=True, compression=True,
+        sim_headroom_kb=1024,
+        interconnect=Interconnect(bytes_per_cycle=bytes_per_cycle))
+
+    def both():
+        _r, raw = run_streaming_set_operation(
+            processor, "intersection", set_a, set_b)
+        _r, compressed = run_compressed_streaming_set_operation(
+            processor, "intersection", set_a, set_b)
+        return raw, compressed
+
+    raw, compressed = run_once(benchmark, both)
+    benchmark.extra_info["raw_meps"] = round(
+        raw.throughput_meps(2 * size, fmax), 1)
+    benchmark.extra_info["compressed_meps"] = round(
+        compressed.throughput_meps(2 * size, fmax), 1)
+    benchmark.extra_info["noc_bytes_per_cycle"] = bytes_per_cycle

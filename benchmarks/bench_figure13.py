@@ -1,0 +1,52 @@
+"""Benchmark E2 — the paper's Figure 13 selectivity sweep.
+
+One benchmark per configuration; each sweeps intersection selectivity
+from 0 to 100 % at the paper's set size and reports the whole curve.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure13
+
+CONFIGS = [("108Mini", None), ("DBA_1LSU", None),
+           ("DBA_1LSU_EIS", False), ("DBA_2LSU_EIS", False),
+           ("DBA_1LSU_EIS", True), ("DBA_2LSU_EIS", True)]
+
+SELECTIVITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _row_id(row):
+    name, partial = row
+    if partial is None:
+        return name
+    return "%s-%s" % (name, "pl" if partial else "nopl")
+
+
+@pytest.mark.parametrize("row", CONFIGS, ids=_row_id)
+def test_selectivity_sweep(benchmark, row):
+    from repro.configs.catalog import row_label
+
+    result = run_once(benchmark, figure13.run, set_size=5000,
+                      selectivities=SELECTIVITIES, rows=[row])
+    curve = figure13.series(result, row_label(*row))
+    benchmark.extra_info["curve"] = {
+        "%d%%" % point: round(value, 1) for point, value in curve}
+    # Figure 13's shape: throughput rises with selectivity
+    assert curve[-1][1] > curve[0][1]
+
+
+def test_partial_loading_curves_meet_at_100(benchmark):
+    rows = [("DBA_2LSU_EIS", False), ("DBA_2LSU_EIS", True)]
+    result = run_once(benchmark, figure13.run, set_size=5000,
+                      selectivities=(0.5, 1.0), rows=rows)
+    with_pl = dict(figure13.series(result,
+                                   "DBA_2LSU_EIS w/ partial load"))
+    without = dict(figure13.series(result,
+                                   "DBA_2LSU_EIS w/o partial load"))
+    benchmark.extra_info["at_50"] = (round(with_pl[50], 1),
+                                     round(without[50], 1))
+    benchmark.extra_info["at_100"] = (round(with_pl[100], 1),
+                                      round(without[100], 1))
+    assert with_pl[50] > 1.15 * without[50]
+    assert with_pl[100] == pytest.approx(without[100], rel=0.02)

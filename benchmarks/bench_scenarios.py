@@ -1,0 +1,32 @@
+"""Scenario benches: realistic RID-algebra query plans (Section 2.3
+motivation) on EIS vs the scalar baseline."""
+
+import pytest
+
+from conftest import run_once
+from repro.core.kernels import run_set_operation
+from repro.core.scalar_kernels import run_scalar_set_operation
+from repro.workloads.scenarios import ALL_SCENARIOS
+
+
+@pytest.mark.parametrize("factory", ALL_SCENARIOS,
+                         ids=lambda f: f.__name__)
+@pytest.mark.parametrize("config", [("DBA_2LSU_EIS", True),
+                                    ("DBA_1LSU", None)],
+                         ids=["eis", "scalar"])
+def test_scenario(benchmark, processors, factory, config):
+    scenario = factory()
+    processor = processors[config]
+    if config[1] is None:
+        def runner(operation, left, right):
+            return run_scalar_set_operation(processor, operation, left,
+                                            right, validate_input=False)
+    else:
+        def runner(operation, left, right):
+            return run_set_operation(processor, operation, left, right,
+                                     validate_input=False)
+
+    result, cycles = run_once(benchmark, scenario.execute, runner)
+    benchmark.extra_info["accelerator_cycles"] = cycles
+    benchmark.extra_info["result_rows"] = len(result)
+    assert result == scenario.oracle()

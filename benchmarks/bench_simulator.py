@@ -1,0 +1,35 @@
+"""Meta-benchmarks: speed of the simulator substrate itself.
+
+Not a paper experiment — these track the reproduction's own usability
+(simulated instructions per host second, synthesis-model latency).
+"""
+
+from conftest import run_once
+from repro.core.scalar_kernels import run_scalar_merge_sort
+from repro.workloads.sorting import random_values
+
+
+def test_simulator_instruction_rate(benchmark, processors):
+    """Simulated instructions per host second on the scalar sort."""
+    processor = processors[("DBA_1LSU", None)]
+    values = random_values(2000, seed=1)
+
+    result, stats = run_once(benchmark, run_scalar_merge_sort,
+                             processor, values)
+    assert result == sorted(values)
+    seconds = benchmark.stats["mean"]
+    benchmark.extra_info["instructions"] = stats.instructions
+    benchmark.extra_info["sim_instructions_per_second"] = \
+        int(stats.instructions / seconds)
+
+
+def test_eis_simulation_rate(benchmark, processors, paper_sets):
+    """Bundles per host second on the EIS intersection kernel."""
+    from repro.core.kernels import run_set_operation
+    processor = processors[("DBA_2LSU_EIS", True)]
+    set_a, set_b = paper_sets
+    _result, stats = run_once(benchmark, run_set_operation, processor,
+                              "intersection", set_a, set_b)
+    seconds = benchmark.stats["mean"]
+    benchmark.extra_info["issues_per_second"] = \
+        int(stats.instructions / seconds)

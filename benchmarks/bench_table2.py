@@ -1,0 +1,64 @@
+"""Benchmark E1 — regenerates the paper's Table 2 row by row.
+
+Each benchmark runs one (configuration, algorithm) cell at the paper's
+workload size and reports the modeled throughput (million elements per
+second) in ``extra_info`` alongside the paper's value.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.kernels import run_merge_sort, run_set_operation
+from repro.core.scalar_kernels import (run_scalar_merge_sort,
+                                       run_scalar_set_operation)
+from repro.experiments.table2 import PAPER_TABLE2
+
+ROWS = list(PAPER_TABLE2)
+
+SET_OPS = ("intersection", "union", "difference")
+
+
+def _row_id(row):
+    name, partial = row
+    if partial is None:
+        return name
+    return "%s-%s" % (name, "pl" if partial else "nopl")
+
+
+@pytest.mark.parametrize("which", SET_OPS)
+@pytest.mark.parametrize("row", ROWS, ids=_row_id)
+def test_set_operation_cell(benchmark, processors, fmax, paper_sets,
+                            row, which):
+    name, partial = row
+    processor = processors[row]
+    set_a, set_b = paper_sets
+
+    if partial is None:
+        runner = run_scalar_set_operation
+    else:
+        runner = run_set_operation
+
+    result, stats = run_once(benchmark, runner, processor, which,
+                             set_a, set_b)
+    meps = stats.throughput_meps(len(set_a) + len(set_b), fmax[name])
+    benchmark.extra_info["throughput_meps"] = round(meps, 1)
+    benchmark.extra_info["paper_meps"] = PAPER_TABLE2[row][which]
+    benchmark.extra_info["cycles"] = stats.cycles
+    assert result  # all three ops produce output at 50% selectivity
+
+
+@pytest.mark.parametrize("row", ROWS, ids=_row_id)
+def test_merge_sort_cell(benchmark, processors, fmax,
+                         paper_sort_values, row):
+    name, partial = row
+    processor = processors[row]
+    if partial is None:
+        runner = run_scalar_merge_sort
+    else:
+        runner = run_merge_sort
+    result, stats = run_once(benchmark, runner, processor,
+                             paper_sort_values)
+    meps = stats.throughput_meps(len(paper_sort_values), fmax[name])
+    benchmark.extra_info["throughput_meps"] = round(meps, 1)
+    benchmark.extra_info["paper_meps"] = PAPER_TABLE2[row]["sort"]
+    assert result == sorted(paper_sort_values)

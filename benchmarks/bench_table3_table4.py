@@ -1,0 +1,54 @@
+"""Benchmarks E3/E4 — the synthesis flow (Tables 3 and 4).
+
+Measures the cost of the structural synthesis model itself and reports
+the regenerated area/frequency/power numbers next to the paper's.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.table3 import PAPER_TABLE3, ROWS_65NM
+from repro.experiments.table4 import PAPER_TABLE4
+from repro.synth.synthesis import synthesize_config
+from repro.synth.technology import GF_28NM_SLP
+
+
+@pytest.mark.parametrize("name", ROWS_65NM)
+def test_synthesize_65nm(benchmark, name):
+    report = run_once(benchmark, synthesize_config, name)
+    paper = PAPER_TABLE3[("65nm", name)]
+    benchmark.extra_info.update({
+        "logic_mm2": round(report.logic_mm2, 3),
+        "paper_logic_mm2": paper[0],
+        "memory_mm2": round(report.memory_mm2, 3),
+        "fmax_mhz": round(report.fmax_mhz),
+        "paper_fmax_mhz": paper[2],
+        "power_mw": round(report.power_mw, 1),
+        "paper_power_mw": paper[3],
+    })
+    assert report.logic_mm2 == pytest.approx(paper[0], rel=0.05)
+
+
+def test_synthesize_28nm_shrink(benchmark):
+    report = run_once(benchmark, synthesize_config, "DBA_2LSU_EIS",
+                      technology=GF_28NM_SLP)
+    paper = PAPER_TABLE3[("28nm", "DBA_2LSU_EIS")]
+    benchmark.extra_info.update({
+        "logic_mm2": round(report.logic_mm2, 3),
+        "paper_logic_mm2": paper[0],
+        "power_mw": round(report.power_mw, 1),
+        "paper_power_mw": paper[3],
+    })
+    assert report.fmax_mhz == 500.0
+
+
+def test_table4_breakdown(benchmark):
+    def breakdown():
+        return synthesize_config("DBA_2LSU_EIS").breakdown()
+
+    shares = run_once(benchmark, breakdown)
+    for group, paper_percent in PAPER_TABLE4.items():
+        measured = round(shares.get(group, 0.0) * 100, 1)
+        benchmark.extra_info[group] = "%.1f%% (paper %.1f%%)" % (
+            measured, paper_percent)
+        assert measured == pytest.approx(paper_percent, abs=1.0)

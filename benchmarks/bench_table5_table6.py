@@ -1,0 +1,51 @@
+"""Benchmarks E5/E6/E8 — the x86 comparisons (Tables 5, 6) and the
+energy headline."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import energy, table5, table6
+from repro.experiments.table5 import PAPER_TABLE5
+from repro.experiments.table6 import PAPER_TABLE6
+
+
+def test_table5_merge_sort_comparison(benchmark):
+    result = run_once(benchmark, table5.run)
+    hw = result.row_by("processor", "DBA_2LSU_EIS (hwsort)")
+    sw = result.row_by("processor", "Intel Q9550 (swsort)")
+    benchmark.extra_info.update({
+        "hwsort_meps": hw["throughput_meps"],
+        "paper_hwsort_meps":
+            PAPER_TABLE5["DBA_2LSU_EIS"]["throughput_meps"],
+        "swsort_meps": sw["throughput_meps"],
+        "paper_swsort_meps":
+            PAPER_TABLE5["Intel Q9550"]["throughput_meps"],
+    })
+    # the paper's shape: swsort roughly 2x faster in absolute terms
+    assert sw["throughput_meps"] > hw["throughput_meps"]
+    assert sw["throughput_meps"] < 4 * hw["throughput_meps"]
+
+
+def test_table6_intersection_comparison(benchmark):
+    result = run_once(benchmark, table6.run)
+    hw = result.row_by("processor", "DBA_2LSU_EIS (hwset)")
+    sw = result.row_by("processor", "Intel i7-920 (swset)")
+    benchmark.extra_info.update({
+        "hwset_meps": hw["throughput_meps"],
+        "paper_hwset_meps":
+            PAPER_TABLE6["DBA_2LSU_EIS"]["throughput_meps"],
+        "swset_meps": sw["throughput_meps"],
+        "paper_swset_meps":
+            PAPER_TABLE6["Intel i7-920"]["throughput_meps"],
+    })
+    # the paper's headline: comparable single-thread throughput
+    assert hw["throughput_meps"] \
+        == pytest.approx(sw["throughput_meps"], rel=0.25)
+
+
+def test_energy_headline(benchmark):
+    result = run_once(benchmark, energy.run)
+    ratio_note = result.notes[0]
+    benchmark.extra_info["power_ratio"] = ratio_note
+    ratio = float(ratio_note.split(":")[1].split("x")[0])
+    assert ratio > 900  # paper: >960x

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one bench module.  Benchmarks execute the
+full-size paper workloads once (``pedantic`` with a single round — the
+simulator is deterministic, so repetition only re-measures Python), and
+attach the *model-level* results (throughput, areas, powers) as
+``extra_info`` so `pytest benchmarks/ --benchmark-only` prints the
+regenerated numbers next to the wall-clock costs.
+"""
+
+import pytest
+
+from repro.configs.catalog import build_processor
+from repro.synth.synthesis import synthesize_config
+from repro.workloads.sets import generate_set_pair
+from repro.workloads.sorting import random_values
+
+
+@pytest.fixture(scope="session")
+def paper_sets():
+    """The paper's Table 2 set workload: 2x5000 at 50% selectivity."""
+    return generate_set_pair(5000, selectivity=0.5, seed=42)
+
+
+@pytest.fixture(scope="session")
+def paper_sort_values():
+    """The paper's sort workload: 6500 random 32-bit values."""
+    return random_values(6500, seed=42)
+
+
+@pytest.fixture(scope="session")
+def fmax():
+    """Synthesized core frequencies per configuration (MHz)."""
+    return {name: synthesize_config(name).fmax_mhz
+            for name in ("108Mini", "DBA_1LSU", "DBA_2LSU",
+                         "DBA_1LSU_EIS", "DBA_2LSU_EIS")}
+
+
+@pytest.fixture(scope="session")
+def processors():
+    """Session-shared processor instances for all Table 2 rows."""
+    return {
+        ("108Mini", None): build_processor("108Mini"),
+        ("DBA_1LSU", None): build_processor("DBA_1LSU"),
+        ("DBA_1LSU_EIS", False): build_processor("DBA_1LSU_EIS",
+                                                 partial_load=False),
+        ("DBA_2LSU_EIS", False): build_processor("DBA_2LSU_EIS",
+                                                 partial_load=False),
+        ("DBA_1LSU_EIS", True): build_processor("DBA_1LSU_EIS",
+                                                partial_load=True),
+        ("DBA_2LSU_EIS", True): build_processor("DBA_2LSU_EIS",
+                                                partial_load=True),
+    }
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic harness with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

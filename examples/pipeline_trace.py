@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Pipeline trace of the EIS core loop (the paper's Figures 10/11).
+
+Runs the sorted-set intersection kernel with the pipeline tracer
+attached and shows the steady-state interleaving of STORE_SOP and
+LD_LDP_SHUFFLE bundles, then checks the headline scheduling claim of
+Section 4: with the loop unrolled 32x, one iteration costs ~2.03
+cycles on two LSUs.
+"""
+
+from repro import build_processor
+from repro.core.kernels import run_set_operation
+from repro.cpu import PipelineTracer
+from repro.workloads import generate_set_pair
+
+
+def main():
+    processor = build_processor("DBA_2LSU_EIS", partial_load=True)
+    set_a, set_b = generate_set_pair(2000, selectivity=0.5, seed=3)
+
+    tracer = PipelineTracer(limit=4000)
+    # run_set_operation stages data and loads the kernel; re-run the
+    # same workload with the tracer attached
+    result, _stats = run_set_operation(processor, "intersection",
+                                       set_a, set_b)
+    from repro.core.kernels import set_operation_layout
+    base_a, base_b, base_c = set_operation_layout(processor, len(set_a),
+                                                  len(set_b))
+    stats = processor.run(entry="main", trace=tracer, regs={
+        "a2": base_a, "a3": base_a + len(set_a) * 4,
+        "a4": base_b, "a5": base_b + len(set_b) * 4, "a6": base_c})
+
+    print("steady-state pipeline snippet (cycle, pc, issue):")
+    print(tracer.render(start=40, count=12))
+    print()
+    per_iteration = tracer.loop_cycles_per_iteration(
+        "{store_sop_int;beqz}")
+    print("measured cycles per core-loop iteration: %.2f "
+          "(paper Section 4: 2.03 with 32x unrolling)" % per_iteration)
+    print("total: %d cycles for %d + %d input elements"
+          % (stats.cycles, len(set_a), len(set_b)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: intersect two RID sets on the database processor.
+
+Builds the paper's flagship configuration (DBA_2LSU_EIS with partial
+loading), runs a sorted-set intersection with the new instructions,
+and compares throughput and energy against the scalar baseline core —
+a miniature of the paper's Tables 2 and 3.
+"""
+
+from repro import build_processor, run_set_operation, synthesize_config
+from repro.core import run_scalar_set_operation
+from repro.workloads import generate_set_pair
+
+
+def main():
+    set_a, set_b = generate_set_pair(5000, selectivity=0.5, seed=2024)
+    expected = sorted(set(set_a) & set(set_b))
+
+    # --- the database processor with the instruction-set extension
+    eis = build_processor("DBA_2LSU_EIS", partial_load=True)
+    eis_synth = synthesize_config("DBA_2LSU_EIS")
+    result, stats = run_set_operation(eis, "intersection", set_a, set_b)
+    assert result == expected
+    eis_meps = stats.throughput_meps(len(set_a) + len(set_b),
+                                     eis_synth.fmax_mhz)
+
+    # --- the scalar baseline core (no extension)
+    base = build_processor("DBA_1LSU")
+    base_synth = synthesize_config("DBA_1LSU")
+    result_scalar, stats_scalar = run_scalar_set_operation(
+        base, "intersection", set_a, set_b)
+    assert result_scalar == expected
+    base_meps = stats_scalar.throughput_meps(len(set_a) + len(set_b),
+                                             base_synth.fmax_mhz)
+
+    print("sorted-set intersection, 2x5000 RIDs at 50% selectivity")
+    print("  result size: %d RIDs" % len(result))
+    print()
+    print("  %-22s %10s %12s %12s" % ("processor", "f [MHz]",
+                                      "Melem/s", "nJ/element"))
+    for name, synth, meps in (
+            ("DBA_1LSU (scalar)", base_synth, base_meps),
+            ("DBA_2LSU_EIS", eis_synth, eis_meps)):
+        energy = synth.power_mw / meps
+        print("  %-22s %10.0f %12.1f %12.3f"
+              % (name, synth.fmax_mhz, meps, energy))
+    print()
+    print("  EIS speedup: %.1fx at %.1fx lower energy per element"
+          % (eis_meps / base_meps,
+             (base_synth.power_mw / base_meps)
+             / (eis_synth.power_mw / eis_meps)))
+
+
+if __name__ == "__main__":
+    main()

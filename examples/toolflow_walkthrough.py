@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Walking the paper's tool flow (Figure 4) for the intersection kernel.
+
+1. Profile the scalar application on the base DBA core — the profiler
+   "unveils hotspots in the application's execution".
+2. Inspect the extension candidates the hotspot analysis proposes.
+3. Attach the database instruction-set extension, adapt the
+   application to the new instructions, and iterate.
+4. Verify each iteration against pre-specified results and synthesize
+   the final processor for area/power/timing sign-off.
+"""
+
+from repro import build_processor, synthesize_config
+from repro.core.kernels import run_set_operation
+from repro.core.scalar_kernels import (intersection_scalar_kernel,
+                                       run_scalar_set_operation,
+                                       scalar_set_layout)
+from repro.cpu import CycleProfiler
+from repro.toolflow import DevelopmentFlow, extension_candidates
+from repro.workloads import generate_set_pair
+
+
+def main():
+    set_a, set_b = generate_set_pair(2000, selectivity=0.5, seed=5)
+    expected = sorted(set(set_a) & set(set_b))
+
+    # ---- step 1: cycle-accurate profiling of the scalar application
+    base = build_processor("DBA_1LSU")
+    base_a, base_b, base_c = scalar_set_layout(len(set_a), len(set_b))
+    base.write_words(base_a, set_a)
+    base.write_words(base_b, set_b)
+    program = base.load_program(intersection_scalar_kernel())
+    profiler = CycleProfiler()
+    base.run_profiled(profiler, entry="main", regs={
+        "a2": base_a, "a3": base_a + len(set_a) * 4,
+        "a4": base_b, "a5": base_b + len(set_b) * 4, "a6": base_c})
+    print("== profiling the scalar intersection on DBA_1LSU ==")
+    print(profiler.report(program, top=5))
+    print()
+    print("extension candidates (hot regions by cycles/visit):")
+    for candidate in extension_candidates(profiler, program):
+        print("  %-10s %5.1f%% of cycles, %.1f cycles/visit"
+              % (candidate["region"], candidate["share"] * 100,
+                 candidate["cycles_per_visit"]))
+    print()
+
+    # ---- steps 2-4: iterate instruction-set development
+    def scalar_app(processor):
+        return run_scalar_set_operation(processor, "intersection",
+                                        set_a, set_b)
+
+    def eis_app(processor):
+        return run_set_operation(processor, "intersection", set_a,
+                                 set_b)
+
+    flow = DevelopmentFlow(scalar_app, expected)
+    flow.iterate("scalar baseline", build_processor("DBA_1LSU"))
+    flow.application = eis_app
+    flow.iterate("EIS, 1 LSU, no partial load",
+                 build_processor("DBA_1LSU_EIS", partial_load=False))
+    flow.iterate("EIS, 1 LSU, partial load",
+                 build_processor("DBA_1LSU_EIS", partial_load=True))
+    flow.iterate("EIS, 2 LSUs, partial load",
+                 build_processor("DBA_2LSU_EIS", partial_load=True))
+    print("== instruction-set development iterations ==")
+    print(flow.summary())
+    print("improvement exhausted: %s" % flow.improvement_exhausted())
+    print()
+
+    # ---- final sign-off: synthesis results of the chosen processor
+    report = synthesize_config("DBA_2LSU_EIS")
+    print("== synthesis sign-off (DBA_2LSU_EIS, 65nm) ==")
+    print("logic %.3f mm2 + memory %.3f mm2, fmax %.0f MHz, "
+          "%.1f mW" % (report.logic_mm2, report.memory_mm2,
+                       report.fmax_mhz, report.power_mw))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the PEP 660 editable-wheel
+path (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — reproduction of "An Application-Specific Instruction Set for
+Accelerating Set-Oriented Database Primitives" (SIGMOD 2014).
+
+Quickstart::
+
+    from repro import build_processor, run_set_operation
+    from repro.workloads import generate_set_pair
+
+    processor = build_processor("DBA_2LSU_EIS")
+    a, b = generate_set_pair(5000, selectivity=0.5, seed=1)
+    result, stats = run_set_operation(processor, "intersection", a, b)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .configs import CONFIG_NAMES, build_processor
+from .core import (run_merge_sort, run_scalar_merge_sort,
+                   run_scalar_set_operation, run_set_operation,
+                   run_streaming_set_operation)
+from .synth import synthesize_config
+
+__version__ = "1.0.0"
+
+__all__ = ["CONFIG_NAMES", "build_processor", "run_merge_sort",
+           "run_scalar_merge_sort", "run_scalar_set_operation",
+           "run_set_operation", "run_streaming_set_operation",
+           "synthesize_config", "__version__"]

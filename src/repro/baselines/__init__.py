@@ -1,0 +1,16 @@
+"""x86 SIMD baselines of the paper's Section 5.4 comparison."""
+
+from .sse import SimdMachine, bitonic_merge4, transpose4
+from .swset import swset_intersect
+from .swsort import swsort
+from .x86 import (I7_920, PUBLISHED_SWSET_MEPS, PUBLISHED_SWSORT_MEPS,
+                  Q9550, X86CostModel, X86Processor,
+                  extrapolate_sort_throughput, measure_swset,
+                  measure_swsort, swset_model, swsort_model)
+
+__all__ = ["SimdMachine", "bitonic_merge4", "transpose4",
+           "swset_intersect", "swsort",
+           "I7_920", "PUBLISHED_SWSET_MEPS", "PUBLISHED_SWSORT_MEPS",
+           "Q9550", "X86CostModel", "X86Processor",
+           "extrapolate_sort_throughput", "measure_swset",
+           "measure_swsort", "swset_model", "swsort_model"]

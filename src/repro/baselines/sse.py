@@ -1,0 +1,181 @@
+"""A simulated 128-bit SIMD (SSE-class) vector unit.
+
+The paper's Section 5.4 comparison points are software algorithms on
+x86 SIMD: the merge-sort of Chhugani et al. [6] and the sorted-set
+intersection of Schlegel et al. [33].  To make those baselines
+*executable* rather than just quoted numbers, this module provides a
+minimal 128-bit vector machine (4 x 32-bit lanes) with the instruction
+repertoire those algorithms need, and counts every operation by class
+so the x86 cost model (:mod:`repro.baselines.x86`) can convert runs
+into cycle estimates.
+"""
+
+M32 = 0xFFFFFFFF
+LANES = 4
+
+
+class SimdMachine:
+    """Executes 4x32-bit vector operations and counts them by class.
+
+    Vectors are plain tuples of four ints; the machine is purely an
+    accounting device plus semantics, mirroring how the algorithms
+    would use SSE intrinsics (``_mm_min_epu32``, ``_mm_shuffle_epi32``,
+    ``_mm_cmpeq_epi32``, ...).
+    """
+
+    #: Operation classes tracked for the cost model.
+    CLASSES = ("load", "store", "minmax", "shuffle", "compare", "mask",
+               "scalar")
+
+    def __init__(self):
+        self.counts = {name: 0 for name in self.CLASSES}
+
+    def _count(self, name, amount=1):
+        self.counts[name] += amount
+
+    def total_ops(self):
+        return sum(self.counts.values())
+
+    def reset(self):
+        for name in self.counts:
+            self.counts[name] = 0
+
+    # -- memory ---------------------------------------------------------------
+
+    def load(self, buffer, index):
+        """Aligned 128-bit load of buffer[index:index+4]."""
+        self._count("load")
+        return tuple(buffer[index:index + LANES])
+
+    def store(self, buffer, index, vector):
+        self._count("store")
+        buffer[index:index + LANES] = list(vector)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def min(self, a, b):
+        self._count("minmax")
+        return tuple(x if x < y else y for x, y in zip(a, b))
+
+    def max(self, a, b):
+        self._count("minmax")
+        return tuple(x if x > y else y for x, y in zip(a, b))
+
+    # -- data movement -----------------------------------------------------------
+
+    def shuffle(self, vector, order):
+        """``_mm_shuffle_epi32``-style lane permutation."""
+        self._count("shuffle")
+        return tuple(vector[i] for i in order)
+
+    def unpack_lo(self, a, b):
+        self._count("shuffle")
+        return (a[0], b[0], a[1], b[1])
+
+    def unpack_hi(self, a, b):
+        self._count("shuffle")
+        return (a[2], b[2], a[3], b[3])
+
+    def blend(self, a, b, mask):
+        self._count("shuffle")
+        return tuple(b[i] if mask[i] else a[i] for i in range(LANES))
+
+    def movelh(self, a, b):
+        """``movlhps``: low 64 bits of a, low 64 bits of b."""
+        self._count("shuffle")
+        return (a[0], a[1], b[0], b[1])
+
+    def movehl(self, a, b):
+        """``movhlps``: high 64 bits of a, high 64 bits of b."""
+        self._count("shuffle")
+        return (a[2], a[3], b[2], b[3])
+
+    def shuffle2(self, a, b, order):
+        """``shufps``: two lanes from a, two lanes from b."""
+        self._count("shuffle")
+        return (a[order[0]], a[order[1]], b[order[2]], b[order[3]])
+
+    def broadcast(self, value):
+        self._count("shuffle")
+        return (value & M32,) * LANES
+
+    # -- comparison --------------------------------------------------------------
+
+    def cmpeq(self, a, b):
+        self._count("compare")
+        return tuple(1 if x == y else 0 for x, y in zip(a, b))
+
+    def cmpgt(self, a, b):
+        self._count("compare")
+        return tuple(1 if x > y else 0 for x, y in zip(a, b))
+
+    def all_to_all_eq(self, a, b):
+        """STTNI-style full comparison (``_mm_cmpestrm`` analog).
+
+        Compares every lane of *a* against every lane of *b* and
+        returns the per-lane-of-a match mask — the instruction the
+        paper's Section 2.3 highlights as the key to SIMD sorted-set
+        intersection [33].  Counted as a single (expensive) compare op
+        plus a mask op, matching STTNI's 2-uop footprint.
+        """
+        self._count("compare")
+        self._count("mask")
+        in_b = set(b)
+        return tuple(1 if x in in_b else 0 for x in a)
+
+    def movemask(self, mask_vector):
+        self._count("mask")
+        bits = 0
+        for i, bit in enumerate(mask_vector):
+            if bit:
+                bits |= 1 << i
+        return bits
+
+    # -- scalar bookkeeping --------------------------------------------------------
+
+    def scalar(self, amount=1):
+        """Account scalar loop/pointer instructions around the SIMD."""
+        self._count("scalar", amount)
+
+
+def transpose4(machine, rows):
+    """4x4 transpose with unpack operations (8 shuffles)."""
+    r0, r1, r2, r3 = rows
+    t0 = machine.unpack_lo(r0, r1)
+    t1 = machine.unpack_hi(r0, r1)
+    t2 = machine.unpack_lo(r2, r3)
+    t3 = machine.unpack_hi(r2, r3)
+    c0 = (t0[0], t0[1], t2[0], t2[1])
+    c1 = (t0[2], t0[3], t2[2], t2[3])
+    c2 = (t1[0], t1[1], t3[0], t3[1])
+    c3 = (t1[2], t1[3], t3[2], t3[3])
+    machine.scalar(4)  # the final recombination shuffles
+    return c0, c1, c2, c3
+
+
+def bitonic_merge4(machine, a, b):
+    """Merge two sorted 4-vectors into sorted ``(low, high)`` vectors.
+
+    The classic 3-level SSE bitonic merge network of swsort's merge
+    kernel [6]: reversing one input makes the 8-sequence bitonic, then
+    three min/max levels with stride 4, 2 and 1 sort it.
+    """
+    y = machine.shuffle(b, (3, 2, 1, 0))
+    # stride-4 compare-exchange
+    lo = machine.min(a, y)
+    hi = machine.max(a, y)
+    # stride-2 within each half
+    v1 = machine.movelh(lo, hi)         # (lo0, lo1, hi0, hi1)
+    v2 = machine.movehl(lo, hi)         # (lo2, lo3, hi2, hi3)
+    m = machine.min(v1, v2)
+    big = machine.max(v1, v2)
+    lo2 = machine.movelh(m, big)        # (m0, m1, M0, M1)
+    hi2 = machine.movehl(m, big)        # (m2, m3, M2, M3)
+    # stride-1 within each half
+    w1 = machine.shuffle2(lo2, hi2, (0, 2, 0, 2))
+    w2 = machine.shuffle2(lo2, hi2, (1, 3, 1, 3))
+    n = machine.min(w1, w2)
+    big2 = machine.max(w1, w2)
+    low = machine.unpack_lo(n, big2)    # (n0, N0, n1, N1)
+    high = machine.unpack_hi(n, big2)   # (n2, N2, n3, N3)
+    return low, high

@@ -1,0 +1,145 @@
+"""x86 processor models for the Section 5.4 comparisons.
+
+The paper compares its processor against published single-thread
+numbers on two Intel machines (Tables 5 and 6).  This module carries
+those processors' specifications (as quoted by the paper) and a cost
+model that converts simulated-SSE operation counts into cycles.
+
+The cost model uses per-class reciprocal throughputs typical of the
+respective microarchitectures plus one calibration factor per
+published measurement, absorbing memory-system effects the operation
+counts cannot see.  With calibration, the models land on the published
+60 M elements/s (swsort on the Q9550) and 1100 M elements/s (swset on
+the i7-920); the *shape* across sizes then follows from the executable
+algorithms.
+"""
+
+from .swset import swset_intersect
+from .swsort import swsort
+
+
+class X86Processor:
+    """Specification sheet of one comparison processor (paper values)."""
+
+    def __init__(self, name, clock_mhz, tdp_w, cores, threads, feature_nm,
+                 die_mm2):
+        self.name = name
+        self.clock_mhz = clock_mhz
+        self.tdp_w = tdp_w
+        self.cores = cores
+        self.threads = threads
+        self.feature_nm = feature_nm
+        self.die_mm2 = die_mm2
+
+    def __repr__(self):
+        return "<X86Processor %s %.2fGHz %dW>" % (
+            self.name, self.clock_mhz / 1000.0, self.tdp_w)
+
+
+#: Intel Core 2 Quad Q9550 as quoted in the paper's Table 5.
+Q9550 = X86Processor("Intel Q9550", 3220.0, 95, 4, 4, 45, 214)
+
+#: Intel Core i7-920 as quoted in the paper's Table 6.
+I7_920 = X86Processor("Intel i7-920", 2670.0, 130, 4, 8, 45, 263)
+
+#: Published single-thread throughputs the paper compares against
+#: (million elements per second).
+PUBLISHED_SWSORT_MEPS = 60.0
+PUBLISHED_SWSET_MEPS = 1100.0
+
+#: Reciprocal throughput (cycles per operation) per SIMD op class on a
+#: Core-2/Nehalem-class out-of-order core.
+DEFAULT_CPI = {
+    "load": 1.0,
+    "store": 1.0,
+    "minmax": 0.8,
+    "shuffle": 0.8,
+    "compare": 0.9,
+    "mask": 1.2,
+    "scalar": 0.35,
+}
+
+
+class X86CostModel:
+    """Operation counts -> cycles -> throughput on one processor."""
+
+    def __init__(self, processor, cpi=None, calibration=1.0):
+        self.processor = processor
+        self.cpi = dict(cpi or DEFAULT_CPI)
+        #: Multiplier on raw cycles absorbing cache/memory effects.
+        self.calibration = calibration
+
+    def cycles(self, counts):
+        raw = sum(counts.get(name, 0) * per_op
+                  for name, per_op in self.cpi.items())
+        return raw * self.calibration
+
+    def throughput_meps(self, counts, elements):
+        cycles = self.cycles(counts)
+        if cycles <= 0:
+            return 0.0
+        return elements * self.processor.clock_mhz / cycles
+
+    def energy_per_element_nj(self, throughput_meps):
+        """TDP-based energy per element (the paper's comparison basis)."""
+        if throughput_meps <= 0:
+            return float("inf")
+        return self.processor.tdp_w * 1000.0 / throughput_meps
+
+
+# Calibration factors, fixed so the models reproduce the published
+# throughputs at the papers' reference sizes (see tests/baselines).
+# swsort < 1: the Q9550 issues up to three SIMD uops per cycle on this
+# shuffle/minmax-heavy kernel; swset > 1: STTNI and the compress-store
+# are slower in practice than the raw uop counts suggest.
+SWSORT_CALIBRATION = 0.860
+SWSET_CALIBRATION = 1.330
+
+
+def swsort_model():
+    return X86CostModel(Q9550, calibration=SWSORT_CALIBRATION)
+
+
+def swset_model():
+    return X86CostModel(I7_920, calibration=SWSET_CALIBRATION)
+
+
+def measure_swsort(values, model=None):
+    """Run swsort and return ``(sorted, throughput_meps, machine)``."""
+    model = model or swsort_model()
+    result, machine = swsort(values)
+    throughput = model.throughput_meps(machine.counts, len(values))
+    return result, throughput, machine
+
+
+def measure_swset(set_a, set_b, model=None):
+    """Run swset and return ``(result, throughput_meps, machine)``.
+
+    Throughput uses the paper's definition: ``(|A| + |B|) / time``.
+    """
+    model = model or swset_model()
+    result, machine = swset_intersect(set_a, set_b)
+    throughput = model.throughput_meps(machine.counts,
+                                       len(set_a) + len(set_b))
+    return result, throughput, machine
+
+
+def extrapolate_sort_throughput(sample_values, target_size, model=None):
+    """Predict swsort throughput at *target_size* from a sample run.
+
+    Merge-sort work per element grows with ``log2`` of the size; the
+    sample run yields operations per element-pass, which extrapolates
+    to the published measurement's 512K values without simulating all
+    of them.
+    """
+    import math
+    model = model or swsort_model()
+    sample_size = len(sample_values)
+    _result, machine = swsort(list(sample_values))
+    cycles_sample = model.cycles(machine.counts)
+    passes_sample = max(math.ceil(math.log2(max(sample_size, 2) / 4.0)), 1) \
+        + 1  # merge passes + the in-register presort pass
+    per_elem_pass = cycles_sample / (sample_size * passes_sample)
+    passes_target = max(math.ceil(math.log2(target_size / 4.0)), 1) + 1
+    cycles_target = per_elem_pass * target_size * passes_target
+    return target_size * model.processor.clock_mhz / cycles_target

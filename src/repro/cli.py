@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+::
+
+    repro run intersection --size 5000 --selectivity 0.5
+    repro run sort --size 6500 --config DBA_1LSU_EIS
+    repro synth --config DBA_2LSU_EIS --tech gf28slp
+    repro experiments table2 figure13
+    repro disasm intersection --config DBA_2LSU_EIS
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+import argparse
+import sys
+
+from .configs.catalog import CONFIG_NAMES, build_processor
+from .core.kernels import (merge_sort_kernel, run_merge_sort,
+                           run_set_operation, set_operation_kernel)
+from .core.scalar_kernels import (run_scalar_merge_sort,
+                                  run_scalar_set_operation)
+from .isa.disasm import disassemble_words
+from .synth.synthesis import synthesize_config
+from .synth.technology import TECHNOLOGIES
+from .workloads.sets import generate_set_pair
+from .workloads.sorting import random_values
+
+SET_OPS = ("intersection", "union", "difference")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Database-processor reproduction (SIGMOD 2014)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run a primitive on a "
+                                         "processor configuration")
+    run_cmd.add_argument("workload", choices=SET_OPS + ("sort",))
+    run_cmd.add_argument("--config", default="DBA_2LSU_EIS",
+                         choices=CONFIG_NAMES)
+    run_cmd.add_argument("--size", type=int, default=5000,
+                         help="elements per set / values to sort")
+    run_cmd.add_argument("--selectivity", type=float, default=0.5)
+    run_cmd.add_argument("--no-partial-load", action="store_true")
+    run_cmd.add_argument("--seed", type=int, default=42)
+
+    synth_cmd = sub.add_parser("synth", help="synthesize a "
+                                             "configuration")
+    synth_cmd.add_argument("--config", default="DBA_2LSU_EIS",
+                           choices=CONFIG_NAMES)
+    synth_cmd.add_argument("--tech", default="tsmc65lp",
+                           choices=sorted(TECHNOLOGIES))
+    synth_cmd.add_argument("--breakdown", action="store_true",
+                           help="print the Table 4 area breakdown")
+
+    exp_cmd = sub.add_parser("experiments",
+                             help="regenerate paper tables/figures")
+    exp_cmd.add_argument("names", nargs="*", help="experiment ids "
+                                                  "(default: all)")
+    exp_cmd.add_argument("--quick", action="store_true")
+
+    disasm_cmd = sub.add_parser("disasm",
+                                help="disassemble a kernel")
+    disasm_cmd.add_argument("kernel", choices=SET_OPS + ("sort",))
+    disasm_cmd.add_argument("--config", default="DBA_2LSU_EIS",
+                            choices=CONFIG_NAMES)
+    disasm_cmd.add_argument("--unroll", type=int, default=4)
+    return parser
+
+
+def cmd_run(args):
+    partial = not args.no_partial_load
+    processor = build_processor(args.config, partial_load=partial)
+    report = synthesize_config(args.config, partial_load=partial)
+    has_eis = args.config.endswith("_EIS")
+    if args.workload == "sort":
+        values = random_values(args.size, seed=args.seed)
+        runner = run_merge_sort if has_eis else run_scalar_merge_sort
+        output, stats = runner(processor, values)
+        assert output == sorted(values)
+        elements = args.size
+        summary = "sorted %d values" % args.size
+    else:
+        set_a, set_b = generate_set_pair(
+            args.size, selectivity=args.selectivity, seed=args.seed)
+        runner = run_set_operation if has_eis \
+            else run_scalar_set_operation
+        output, stats = runner(processor, args.workload, set_a, set_b)
+        elements = 2 * args.size
+        summary = "%s of 2x%d elements -> %d results" % (
+            args.workload, args.size, len(output))
+    meps = stats.throughput_meps(elements, report.fmax_mhz)
+    print("%s on %s (%.0f MHz)" % (summary, args.config,
+                                   report.fmax_mhz))
+    print("  %d cycles, %.1f Melem/s, %.3f nJ/element"
+          % (stats.cycles, meps, report.power_mw / meps))
+    return 0
+
+
+def cmd_synth(args):
+    report = synthesize_config(args.config,
+                               technology=TECHNOLOGIES[args.tech])
+    print("%s @ %s" % (args.config, args.tech))
+    print("  logic  %.3f mm2" % report.logic_mm2)
+    print("  memory %.3f mm2 (%d KB)" % (report.memory_mm2,
+                                         report.memory_kb))
+    print("  fmax   %.0f MHz" % report.fmax_mhz)
+    print("  power  %.1f mW at fmax" % report.power_mw)
+    if args.breakdown:
+        print("  area breakdown:")
+        for group, share in report.breakdown().items():
+            print("    %-18s %5.1f%%" % (group, share * 100))
+    return 0
+
+
+def cmd_experiments(args):
+    from .experiments.__main__ import main as experiments_main
+    argv = list(args.names)
+    if args.quick:
+        argv.append("--quick")
+    return experiments_main(argv)
+
+
+def cmd_disasm(args):
+    processor = build_processor(args.config)
+    if args.kernel == "sort":
+        source = merge_sort_kernel(presort_unroll=args.unroll,
+                                   merge_unroll=args.unroll)
+    else:
+        source = set_operation_kernel(
+            args.kernel, num_lsus=processor.config.num_lsus,
+            unroll=args.unroll)
+    program = processor.assembler.assemble(source)
+    for line in disassemble_words(processor.isa, program.encode(),
+                                  processor.flix_formats):
+        print(line)
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "synth": cmd_synth,
+        "experiments": cmd_experiments,
+        "disasm": cmd_disasm,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Processor configuration catalog (paper Section 5.1)."""
+
+from .catalog import (CONFIG_NAMES, TABLE2_ROWS, build_processor,
+                      core_config, has_eis, row_label)
+
+__all__ = ["CONFIG_NAMES", "TABLE2_ROWS", "build_processor",
+           "core_config", "has_eis", "row_label"]

@@ -1,0 +1,139 @@
+"""The processor configurations evaluated in the paper (Section 5.1).
+
+===============  =====================================================
+Name             Description
+===============  =====================================================
+108Mini          Tensilica Diamond 108Mini-class controller: 32-bit
+                 buses, no caches, no local store — data lives in
+                 system memory with wait states; hardware divider.
+DBA_1LSU         The DBA base: 64 KB local data store behind one LSU,
+                 64-bit instruction / 128-bit data buses, no divider.
+DBA_2LSU         DBA_1LSU plus a second LSU with its own 32 KB local
+                 memory (the compiler cannot exploit it without the
+                 EIS; synthesized for area/power only).
+DBA_1LSU_EIS     DBA_1LSU plus the database instruction-set extension.
+DBA_2LSU_EIS     DBA_2LSU plus the extension; each set streams through
+                 its own LSU.
+===============  =====================================================
+
+Partial loading is a property of the extension datapath, selected when
+building the processor (``build_processor(name, partial_load=...)``).
+"""
+
+from ..core.extension import build_db_extension
+from ..cpu.config import CoreConfig
+from ..cpu.prefetch import DataPrefetcher
+from ..cpu.pipeline import PipelineModel
+from ..cpu.processor import Processor
+
+#: Configuration order used by Table 2.
+TABLE2_ROWS = (
+    ("108Mini", None),
+    ("DBA_1LSU", None),
+    ("DBA_1LSU_EIS", False),
+    ("DBA_2LSU_EIS", False),
+    ("DBA_1LSU_EIS", True),
+    ("DBA_2LSU_EIS", True),
+)
+
+#: All configuration names.
+CONFIG_NAMES = ("108Mini", "DBA_1LSU", "DBA_2LSU", "DBA_1LSU_EIS",
+                "DBA_2LSU_EIS")
+
+
+def _mini_pipeline():
+    """The 108Mini fetches from system memory: redirects are costly."""
+    return PipelineModel(branch_taken_penalty=3, indirect_penalty=3,
+                         load_use_delay=1, ifetch_stall_per_redirect=2)
+
+
+def _dba_pipeline():
+    """DBA cores run from single-cycle local memories."""
+    return PipelineModel(branch_taken_penalty=3, indirect_penalty=2,
+                         load_use_delay=1)
+
+
+def core_config(name):
+    """A fresh :class:`CoreConfig` for a catalog name."""
+    if name == "108Mini":
+        return CoreConfig(
+            "108Mini",
+            pipeline=_mini_pipeline(),
+            num_lsus=1, lsu_port_bits=32,
+            imem_kb=0, dmem0_kb=0,
+            sysmem_kb=512, sysmem_wait_states=3,
+            has_mul=True, has_div=True,
+            description="Diamond 108Mini-class controller baseline")
+    if name == "DBA_1LSU":
+        return CoreConfig(
+            "DBA_1LSU",
+            pipeline=_dba_pipeline(),
+            num_lsus=1, lsu_port_bits=128,
+            imem_kb=32, dmem0_kb=64,
+            has_mul=True, has_div=False,
+            description="DBA base core with 64KB local store, one LSU")
+    if name == "DBA_2LSU":
+        return CoreConfig(
+            "DBA_2LSU",
+            pipeline=_dba_pipeline(),
+            num_lsus=2, lsu_port_bits=128,
+            imem_kb=32, dmem0_kb=32, dmem1_kb=32,
+            has_mul=True, has_div=False,
+            description="DBA base core with two LSUs, 32KB each")
+    if name == "DBA_1LSU_EIS":
+        config = core_config("DBA_1LSU")
+        config.name = "DBA_1LSU_EIS"
+        config.description = "DBA_1LSU plus the database ISA extension"
+        return config
+    if name == "DBA_2LSU_EIS":
+        config = core_config("DBA_2LSU")
+        config.name = "DBA_2LSU_EIS"
+        config.description = "DBA_2LSU plus the database ISA extension"
+        return config
+    raise KeyError("unknown configuration %r" % (name,))
+
+
+def has_eis(name):
+    return name.endswith("_EIS")
+
+
+def build_processor(name, partial_load=True, prefetcher=False,
+                    sim_headroom_kb=None, compression=False,
+                    interconnect=None):
+    """Instantiate a processor for a catalog configuration.
+
+    *partial_load* selects the LD_P refill policy of the extension
+    datapath and is ignored for configurations without the EIS.
+    *prefetcher* attaches the DMA data prefetcher (paper Figure 6),
+    needed for streaming workloads larger than the local store;
+    *interconnect* optionally supplies a custom NoC model for it.
+    *compression* additionally attaches the D8 RID-list decompression
+    extension (:mod:`repro.core.compression`).
+    *sim_headroom_kb* overrides the simulation-only local-memory
+    headroom (see :class:`repro.cpu.config.CoreConfig`) for streaming
+    experiments whose result stream exceeds the default.
+    """
+    config = core_config(name)
+    if sim_headroom_kb is not None:
+        config.sim_headroom_kb = sim_headroom_kb
+    extensions = []
+    if has_eis(name):
+        extensions.append(build_db_extension(
+            num_lsus=config.num_lsus, partial_load=partial_load))
+    if compression:
+        from ..core.compression import build_compression_extension
+        extensions.append(build_compression_extension())
+    engine = None
+    if prefetcher:
+        engine = DataPrefetcher(interconnect)
+        extensions.append(engine)
+    processor = Processor(config, extensions)
+    processor.prefetcher = engine
+    return processor
+
+
+def row_label(name, partial_load):
+    """Human-readable row label in the style of the paper's Table 2."""
+    if partial_load is None:
+        return name
+    return "%s %s partial load" % (name, "w/" if partial_load else "w/o")

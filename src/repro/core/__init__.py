@@ -1,0 +1,36 @@
+"""The paper's core contribution: the database instruction-set extension.
+
+Datapath states and semantics (Figures 8/9), the SOP comparison logic,
+hardware sorting networks, the TIE operation definitions, and the
+kernels that use them (Figures 11/12) — plus the scalar baselines and
+the prefetcher-streaming variants.
+"""
+
+from .common import LANES, SENTINEL, check_set_input, check_sort_input
+from .compression import (build_compression_extension, compress_d8,
+                          compression_ratio, decompress_d8,
+                          run_decompress)
+from .datapath import FIFO_CAPACITY, MergeDatapath, SetDatapath
+from .extension import DbExtension, build_db_extension
+from .kernels import (merge_sort_kernel, run_merge_sort,
+                      run_set_operation, set_operation_kernel)
+from .scalar_kernels import (run_scalar_merge_sort,
+                             run_scalar_set_operation)
+from .sop import (comparator_matrix, sop_difference, sop_intersect,
+                  sop_union, valid_count)
+from .sortnet import merge8, network_depth, sort4
+from .streaming import run_streaming_set_operation, split_at_thresholds
+
+__all__ = [
+    "LANES", "SENTINEL", "check_set_input", "check_sort_input",
+    "build_compression_extension", "compress_d8", "compression_ratio",
+    "decompress_d8", "run_decompress",
+    "FIFO_CAPACITY", "MergeDatapath", "SetDatapath",
+    "DbExtension", "build_db_extension",
+    "merge_sort_kernel", "run_merge_sort", "run_set_operation",
+    "set_operation_kernel",
+    "run_scalar_merge_sort", "run_scalar_set_operation",
+    "comparator_matrix", "sop_difference", "sop_intersect", "sop_union",
+    "valid_count", "merge8", "network_depth", "sort4",
+    "run_streaming_set_operation", "split_at_thresholds",
+]

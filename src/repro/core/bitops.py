@@ -1,0 +1,220 @@
+"""The instruction-merging examples of the paper's Section 2.2.
+
+"Calculating a CRC value, for example, requires shift, comparison, and
+XOR instructions, which can all be combined into a single instruction.
+... For example, reversing the order of the bits in a 32-bit word is
+cheap in hardware whereas it requires dozens of instructions in
+software."
+
+This module builds that demonstration extension with the TIE framework:
+
+* ``crc_word`` — one CRC-32 update step over a whole 32-bit word
+  (polynomial 0xEDB88320, the reflected IEEE polynomial), folding the
+  32-iteration shift/mask/xor software loop into one cycle,
+* ``bitrev`` — 32-bit bit reversal,
+* ``popcnt`` — population count.
+
+The software counterparts (:func:`crc32_software_kernel`,
+:func:`bitrev_software_kernel`) are the "dozens of instructions"
+realizations used by the comparison example and tests.
+"""
+
+from ..tie.flix import FlixFormat, Slot
+from ..tie.language import Operand, Operation, State, StateUse, \
+    TieExtension
+
+CRC32_POLY = 0xEDB88320
+M32 = 0xFFFFFFFF
+
+
+def crc32_reference(data_words, initial=0xFFFFFFFF):
+    """Bitwise-reference CRC-32 over 32-bit words (reflected form)."""
+    crc = initial
+    for word in data_words:
+        crc ^= word & M32
+        for _ in range(32):
+            crc = (crc >> 1) ^ (CRC32_POLY if crc & 1 else 0)
+    return crc ^ 0xFFFFFFFF
+
+
+def bitrev_reference(word):
+    result = 0
+    for _ in range(32):
+        result = (result << 1) | (word & 1)
+        word >>= 1
+    return result
+
+
+def build_bitops_extension():
+    """The Section 2.2 demo extension (fresh instance per processor)."""
+    crc_state = State("crc_state", width_bits=32, initial=0xFFFFFFFF)
+
+    def crc_semantics(ext, core, word):
+        state = ext.state("crc_state")
+        crc = state.value ^ (word & M32)
+        for _ in range(32):
+            crc = (crc >> 1) ^ (CRC32_POLY if crc & 1 else 0)
+        state.value = crc
+
+    crc_word = Operation(
+        "crc_word",
+        operands=[Operand("word", "in", "ar")],
+        states=[StateUse(crc_state, "inout")],
+        semantics=crc_semantics,
+        # 32 unrolled polynomial-division stages: each is one XOR level
+        # plus the fixed wiring of the shift (free in hardware).
+        circuit={"xor32": 32, "wire_32": 40},
+        path=("xor32",) * 4,  # stages pair up via 8-bit table lookup
+        group="crc",
+        description="One-cycle CRC-32 update over a 32-bit word")
+
+    bitrev = Operation(
+        "bitrev",
+        operands=[Operand("res", "out", "ar"),
+                  Operand("word", "in", "ar")],
+        semantics=lambda ext, core, word: bitrev_reference(word & M32),
+        circuit={"wire_32": 8},  # pure wiring: zero active logic
+        path=(),
+        group="bitops",
+        description="32-bit bit reversal (wiring only)")
+
+    popcnt = Operation(
+        "popcnt",
+        operands=[Operand("res", "out", "ar"),
+                  Operand("word", "in", "ar")],
+        semantics=lambda ext, core, word: bin(word & M32).count("1"),
+        circuit={"popcount8": 4, "adder32": 1},
+        path=("popcount8", "adder32"),
+        group="bitops",
+        description="32-bit population count")
+
+    flix = FlixFormat("bitops64", format_id=2, slots=[
+        Slot("op", ("compute", "load", "store")),
+        Slot("ctl", ("branch", "jump", "alu", "nop")),
+    ])
+    return TieExtension(
+        "bitops",
+        states=[crc_state],
+        operations=[crc_word, bitrev, popcnt],
+        flix_formats=[flix],
+        description="Section 2.2 instruction-merging demonstration")
+
+
+# ---------------------------------------------------------------------------
+# software (base-ISA) counterparts
+# ---------------------------------------------------------------------------
+
+def crc32_software_kernel():
+    """CRC-32 over a word buffer in plain XR32 assembly.
+
+    Register protocol: ``a2`` = buffer base, ``a3`` = word count.
+    Returns the CRC in ``a2``.  The inner bit loop is the 32-iteration
+    shift/mask/xor sequence the paper's Section 2.2 describes.
+    """
+    return """
+    main:
+      li a4, 0xFFFFFFFF      ; crc
+      li a5, 0xEDB88320      ; polynomial
+    word_loop:
+      beqz a3, done
+      l32i a6, a2, 0
+      xor a4, a4, a6
+      movi a7, 32            ; bit counter
+    bit_loop:
+      andi a8, a4, 1
+      srli a4, a4, 1
+      beqz a8, no_xor
+      xor a4, a4, a5
+    no_xor:
+      addi a7, a7, -1
+      bnez a7, bit_loop
+      addi a2, a2, 4
+      addi a3, a3, -1
+      j word_loop
+    done:
+      li a6, 0xFFFFFFFF
+      xor a2, a4, a6
+      halt
+    """
+
+
+def crc32_hardware_kernel(unroll=8):
+    """CRC-32 over a word buffer using the ``crc_word`` instruction."""
+    lines = [
+        "main:",
+        "  li a4, 0xFFFFFFFF",
+        "  wur a4, crc_state",
+        "loop:",
+    ]
+    for _ in range(unroll):
+        lines += [
+            "  beqz a3, done",
+            "  l32i a6, a2, 0",
+            "  { crc_word a6 ; addi a2, a2, 4 }",
+            "  addi a3, a3, -1",
+        ]
+    lines += [
+        "  j loop",
+        "done:",
+        "  rur a4, crc_state",
+        "  li a6, 0xFFFFFFFF",
+        "  xor a2, a4, a6",
+        "  halt",
+    ]
+    return "\n".join(lines)
+
+
+def bitrev_software_kernel():
+    """Bit reversal in software — the paper's 'dozens of instructions'.
+
+    Register protocol: ``a2`` = input word; result in ``a2``.
+    Classic 5-step swap network with masks (about 15 instructions plus
+    the mask materializations).
+    """
+    return """
+    main:
+      ; swap odd/even bits
+      li a4, 0x55555555
+      srli a3, a2, 1
+      and a3, a3, a4
+      and a5, a2, a4
+      slli a5, a5, 1
+      or a2, a3, a5
+      ; swap bit pairs
+      li a4, 0x33333333
+      srli a3, a2, 2
+      and a3, a3, a4
+      and a5, a2, a4
+      slli a5, a5, 2
+      or a2, a3, a5
+      ; swap nibbles
+      li a4, 0x0F0F0F0F
+      srli a3, a2, 4
+      and a3, a3, a4
+      and a5, a2, a4
+      slli a5, a5, 4
+      or a2, a3, a5
+      ; swap bytes
+      li a4, 0x00FF00FF
+      srli a3, a2, 8
+      and a3, a3, a4
+      and a5, a2, a4
+      slli a5, a5, 8
+      or a2, a3, a5
+      ; swap halfwords
+      srli a3, a2, 16
+      slli a5, a2, 16
+      or a2, a3, a5
+      halt
+    """
+
+
+def run_crc32(processor, words, hardware=True, base_addr=0x100):
+    """Run a CRC-32 kernel over *words*; returns ``(crc, RunResult)``."""
+    source = crc32_hardware_kernel() if hardware \
+        else crc32_software_kernel()
+    processor.write_words(base_addr, words)
+    processor.load_program(source)
+    result = processor.run(entry="main", regs={"a2": base_addr,
+                                               "a3": len(words)})
+    return result.reg("a2"), result

@@ -1,0 +1,43 @@
+"""Shared constants and helpers of the DB instruction-set extension."""
+
+#: Lane width of the EIS datapath: the SOP instruction compares 4
+#: elements of each set per operation (paper Section 4, Figure 8).
+LANES = 4
+
+#: Sentinel value used to pad exhausted streams and invalid lanes.
+#: It is the maximum 32-bit value, so sentinels sort behind every real
+#: element; application values must therefore be < 0xFFFFFFFF (the
+#: usual reserved-key trick for hardware merge networks).
+SENTINEL = 0xFFFFFFFF
+
+M32 = 0xFFFFFFFF
+
+
+def is_strictly_sorted(values):
+    """True when *values* is strictly increasing (a valid sorted set)."""
+    return all(a < b for a, b in zip(values, values[1:]))
+
+
+def check_set_input(name, values):
+    """Validate a sorted-set operand: strictly sorted 32-bit, no sentinel.
+
+    The paper's set operations work on duplicate-free sorted RID sets
+    obtained from secondary indexes (Section 2.3); this enforces that
+    contract at the library boundary.
+    """
+    for value in values:
+        if not 0 <= value < SENTINEL:
+            raise ValueError(
+                "%s: set elements must be 32-bit values below the "
+                "sentinel 0xFFFFFFFF, got %r" % (name, value))
+    if not is_strictly_sorted(values):
+        raise ValueError("%s: input set must be strictly sorted" % name)
+
+
+def check_sort_input(name, values):
+    """Validate merge-sort input: 32-bit values below the sentinel."""
+    for value in values:
+        if not 0 <= value < SENTINEL:
+            raise ValueError(
+                "%s: sortable values must be 32-bit below 0xFFFFFFFF, "
+                "got %r" % (name, value))

@@ -1,0 +1,365 @@
+"""The database instruction-set extension (EIS).
+
+This is the paper's core contribution (Section 4): the five-instruction
+family LD / LD_P / SOP / ST_S / ST for sorted-set intersection, union
+and difference, the merge/sort instructions for merge-sort, the fused
+operations used in the kernel core loops (``STORE_SOP`` and
+``LD_LDP_SHUFFLE``, Figure 11/12), and the FLIX bundle format that
+issues them together with loop-control instructions.
+
+:func:`build_db_extension` constructs a fresh extension instance for a
+given processor shape (number of LSUs, partial loading on/off).  The
+circuit declarations attached to each operation drive the synthesis
+area model; their calibration reproduces the paper's Table 4 area
+breakdown (union largest — it writes back up to eight results per
+operation; merge-sort smallest — no partial loading, single LSU).
+"""
+
+from ..tie.flix import FlixFormat, Slot
+from ..tie.language import Operand, Operation, StateUse, TieExtension
+from .datapath import MergeDatapath, SetDatapath
+
+#: Operations per set operation family, used by the area report.
+SET_OP_GROUPS = ("intersection", "union", "difference")
+
+#: Routing-track scale of the single-LSU extension variant.
+SINGLE_LSU_WIRE_SCALE = 0.63
+
+
+def _scale_wires(circuit, factor):
+    """Scale the routing-track count of a circuit in place."""
+    if "wire_32" in circuit and factor != 1.0:
+        circuit["wire_32"] = int(circuit["wire_32"] * factor)
+    return circuit
+
+
+class DbExtension(TieExtension):
+    """TIE extension plus its two datapath instances."""
+
+    def __init__(self, name, setdp, mergedp, **kwargs):
+        super().__init__(name, **kwargs)
+        self.setdp = setdp
+        self.mergedp = mergedp
+
+
+def build_db_extension(num_lsus=2, partial_load=True):
+    """Create the EIS for a processor with the given shape."""
+    setdp = SetDatapath(num_lsus=num_lsus, partial_load=partial_load)
+    mergedp = MergeDatapath()
+    operations = []
+    operations.extend(_set_operations(setdp, num_lsus))
+    operations.extend(_merge_operations(mergedp))
+    if num_lsus == 1:
+        # A single 128-bit memory port needs substantially less
+        # operand/result routing than the dual-port fabric (the paper's
+        # DBA_1LSU_EIS is 0.523 mm2 of logic vs 0.645 mm2 with two
+        # LSUs, Table 3).
+        for operation in operations:
+            _scale_wires(operation.circuit, SINGLE_LSU_WIRE_SCALE)
+    flix = FlixFormat("db64", format_id=1, slots=[
+        Slot("mem", ("mem", "compute")),
+        Slot("compute", ("compute",)),
+        Slot("ctl", ("branch", "jump", "alu", "nop")),
+    ])
+    extension = DbExtension(
+        "db_eis",
+        setdp=setdp,
+        mergedp=mergedp,
+        states=setdp.states() + mergedp.states(),
+        operations=operations,
+        flix_formats=[flix],
+        # The all-to-all comparator matrix (16 magnitude + 16 equality
+        # comparators), threshold min and consumption popcounts are
+        # shared by the three SOP result circuits — the paper's
+        # "Op: All" row in Table 4.
+        shared_circuits={
+            "all": _scale_wires(
+                {"cmp32": 17, "eq32": 16, "popcount4": 2,
+                 "mux2_32": 2, "wire_32": 1000},
+                1.0 if num_lsus == 2 else SINGLE_LSU_WIRE_SCALE),
+        },
+        shared_paths={
+            "sop_matrix": ("cmp32", "popcount4", "mux2_32"),
+        },
+        description="Set-oriented database primitives (paper Section 4)")
+    return extension
+
+
+def _flag_out():
+    return Operand("more", "out", "ar")
+
+
+def _set_operations(dp, num_lsus):
+    """The sorted-set instruction family."""
+    ptr_states = [StateUse(dp.ptr_a, "inout"), StateUse(dp.end_a, "in"),
+                  StateUse(dp.ptr_b, "inout"), StateUse(dp.end_b, "in"),
+                  StateUse(dp.ptr_c, "inout")]
+    window_states = [StateUse(dp.word_a, "inout"),
+                     StateUse(dp.word_b, "inout")]
+    load_states = [StateUse(dp.load_a, "inout"), StateUse(dp.load_b,
+                                                          "inout"),
+                   StateUse(dp.load_cnt_a, "inout"),
+                   StateUse(dp.load_cnt_b, "inout")]
+    result_states = [StateUse(dp.result, "out"),
+                     StateUse(dp.result_cnt, "inout")]
+    store_states = [StateUse(dp.fifo, "inout"), StateUse(dp.fifo_cnt,
+                                                         "inout"),
+                    StateUse(dp.store, "inout"),
+                    StateUse(dp.store_cnt, "inout"),
+                    StateUse(dp.count, "inout")]
+
+    ops = [
+        Operation(
+            "sop_init",
+            semantics=lambda ext, core: ext.setdp.op_init(core),
+            states=ptr_states + window_states + load_states
+            + result_states + store_states,
+            slot_class="compute", group="all",
+            circuit={"inc32": 1},
+            description="INIT_STATES: clear the set-operation datapath"),
+        Operation(
+            "ld_a",
+            semantics=lambda ext, core: ext.setdp.op_ld(core, "a"),
+            states=[StateUse(dp.ptr_a, "inout"), StateUse(dp.end_a, "in"),
+                    StateUse(dp.load_a, "out"),
+                    StateUse(dp.load_cnt_a, "inout")],
+            slot_class="mem", group="all",
+            circuit={"agu": 1, "cmp32": 4, "mux2_32": 4, "wire_32": 200},
+            path=("agu",),
+            description="LD via LSU0: 128-bit load into Load states (A)"),
+        Operation(
+            "ld_b",
+            semantics=lambda ext, core: ext.setdp.op_ld(core, "b"),
+            states=[StateUse(dp.ptr_b, "inout"), StateUse(dp.end_b, "in"),
+                    StateUse(dp.load_b, "out"),
+                    StateUse(dp.load_cnt_b, "inout")],
+            slot_class="mem", group="all",
+            circuit={"agu": 1, "cmp32": 4, "mux2_32": 4, "wire_32": 200},
+            path=("agu",),
+            description="LD via LSU%d: 128-bit load into Load states (B)"
+            % (1 if num_lsus == 2 else 0)),
+        Operation(
+            "ldp_a",
+            semantics=lambda ext, core: ext.setdp.op_ldp(core, "a"),
+            states=[StateUse(dp.word_a, "inout"),
+                    StateUse(dp.load_a, "inout"),
+                    StateUse(dp.load_cnt_a, "inout")],
+            slot_class="compute", group="all",
+            circuit={"crossbar4_32": 2, "popcount4": 1, "wire_32": 100},
+            path=("crossbar4_32",),
+            description="LD_P: partial reload of Word states (A)"),
+        Operation(
+            "ldp_b",
+            semantics=lambda ext, core: ext.setdp.op_ldp(core, "b"),
+            states=[StateUse(dp.word_b, "inout"),
+                    StateUse(dp.load_b, "inout"),
+                    StateUse(dp.load_cnt_b, "inout")],
+            slot_class="compute", group="all",
+            circuit={"crossbar4_32": 2, "popcount4": 1, "wire_32": 100},
+            path=("crossbar4_32",),
+            description="LD_P: partial reload of Word states (B)"),
+        Operation(
+            "st_s",
+            semantics=lambda ext, core: ext.setdp.op_st_s(core),
+            states=result_states + store_states,
+            slot_class="compute", group="all",
+            circuit={"crossbar4_32": 4, "fifo_ctl": 1, "popcount8": 1,
+                     "wire_32": 240},
+            path=("crossbar4_32", "fifo_ctl"),
+            description="ST_S: shuffle results through the TmpStore FIFO"),
+        Operation(
+            "st_res",
+            semantics=lambda ext, core: ext.setdp.op_st(core),
+            states=[StateUse(dp.ptr_c, "inout"),
+                    StateUse(dp.store, "in"),
+                    StateUse(dp.store_cnt, "inout"),
+                    StateUse(dp.count, "inout")],
+            slot_class="mem", group="all",
+            circuit={"agu": 1, "wire_32": 120},
+            description="ST: 128-bit result write (delayed below 4)"),
+        Operation(
+            "st_flush",
+            semantics=lambda ext, core: ext.setdp.op_st_flush(core),
+            states=store_states + [StateUse(dp.ptr_c, "inout")],
+            slot_class="mem", group="all", extra_cycles=4,
+            circuit={"agu": 1},
+            description="Epilogue drain of the <4-element result tail"),
+    ]
+
+    for which, group, circuit, path in (
+            ("intersection", "intersection",
+             {"prio4": 4, "mux4_32": 4, "popcount4": 1, "wire_32": 956},
+             ("cmp32", "prio4", "mux4_32")),
+            ("union", "union",
+             {"minmax32": 9, "eq32": 8, "mux8_32": 8, "popcount8": 1,
+              "wire_32": 2740},
+             ("cmp32", "minmax32", "mux8_32")),
+            ("difference", "difference",
+             {"prio4": 4, "mux4_32": 4, "popcount4": 1, "wire_32": 1336},
+             ("cmp32", "prio4", "mux4_32"))):
+        short = {"intersection": "int", "union": "uni",
+                 "difference": "dif"}[which]
+        ops.append(Operation(
+            "sop_%s" % short,
+            semantics=_make_sop_semantics(which),
+            states=window_states + result_states,
+            slot_class="compute", group=group,
+            circuit=circuit, path=path,
+            description="SOP: one %s step over the 4x4 matrix" % which))
+        fused_wires = {"intersection": 900, "union": 1738,
+                       "difference": 1132}[which]
+        ops.append(Operation(
+            "store_sop_%s" % short,
+            operands=[_flag_out()],
+            semantics=_make_store_sop_semantics(which),
+            states=window_states + result_states + store_states
+            + [StateUse(dp.ptr_c, "inout")],
+            slot_class="mem", group=group,
+            circuit={"wire_32": fused_wires},
+            description="Fused ST + SOP(%s) + continue flag (Figure 11)"
+                        % which))
+
+    if num_lsus == 2:
+        ops.append(Operation(
+            "ld_ldp_shuffle",
+            semantics=_ld_ldp_shuffle_2lsu,
+            states=load_states + window_states + result_states
+            + store_states + ptr_states,
+            slot_class="mem", group="all",
+            circuit={"wire_32": 185},
+            description="Fused ST_S + LD_P(both) + LD(both LSUs)"))
+    else:
+        ops.append(Operation(
+            "ld_shuffle_a",
+            semantics=_ld_shuffle_a_1lsu,
+            states=load_states + window_states + result_states
+            + store_states + [StateUse(dp.ptr_a, "inout"),
+                              StateUse(dp.end_a, "in")],
+            slot_class="mem", group="all",
+            circuit={"wire_32": 90},
+            description="Fused ST_S + LD_P(both) + LD(A) for one LSU"))
+    return ops
+
+
+def _make_sop_semantics(which):
+    def semantics(ext, core):
+        ext.setdp.op_sop(core, which)
+    return semantics
+
+
+def _make_store_sop_semantics(which):
+    def semantics(ext, core):
+        dp = ext.setdp
+        dp.op_st(core)
+        dp.op_sop(core, which)
+        return dp.more_work()
+    return semantics
+
+
+def _ld_ldp_shuffle_2lsu(ext, core):
+    dp = ext.setdp
+    dp.op_st_s(core)
+    dp.op_ldp(core, "a")
+    dp.op_ldp(core, "b")
+    dp.op_ld(core, "a")
+    dp.op_ld(core, "b")
+
+
+def _ld_shuffle_a_1lsu(ext, core):
+    dp = ext.setdp
+    dp.op_st_s(core)
+    dp.op_ldp(core, "a")
+    dp.op_ldp(core, "b")
+    dp.op_ld(core, "a")
+
+
+def _merge_operations(dp):
+    """The merge-sort instruction family (single LSU, Figure 12)."""
+    run_states = [StateUse(dp.ptr_a, "inout"), StateUse(dp.end_a, "in"),
+                  StateUse(dp.ptr_b, "inout"), StateUse(dp.end_b, "in"),
+                  StateUse(dp.ptr_c, "inout")]
+    pipe_states = [StateUse(dp.stage_a, "inout"),
+                   StateUse(dp.stage_b, "inout"),
+                   StateUse(dp.stage_a_full, "inout"),
+                   StateUse(dp.stage_b_full, "inout"),
+                   StateUse(dp.keep, "inout"), StateUse(dp.next, "inout"),
+                   StateUse(dp.keep_full, "inout"),
+                   StateUse(dp.next_full, "inout"),
+                   StateUse(dp.result, "inout"),
+                   StateUse(dp.result_full, "inout"),
+                   StateUse(dp.store, "inout"),
+                   StateUse(dp.store_full, "inout"),
+                   StateUse(dp.target, "in"), StateUse(dp.emitted, "inout")]
+
+    def semantics_minit(ext, core):
+        ext.mergedp.op_minit(core)
+
+    def semantics_mldsel(ext, core):
+        ext.mergedp.op_msel(core)
+        ext.mergedp.op_mld(core)
+
+    def semantics_mld(ext, core):
+        ext.mergedp.op_mld(core)
+
+    def semantics_merge_st(ext, core):
+        dp = ext.mergedp
+        dp.op_mst(core)
+        dp.op_mst_s(core)
+        dp.op_merge(core)
+        return dp.more_work()
+
+    def semantics_ldsort(ext, core):
+        ext.mergedp.op_ldsort(core)
+
+    def semantics_stsort(ext, core):
+        ext.mergedp.op_stsort(core)
+        return ext.mergedp.presort_more()
+
+    return [
+        Operation("minit", semantics=semantics_minit,
+                  states=run_states + pipe_states,
+                  slot_class="compute", group="merge_sort",
+                  circuit={"inc32": 1, "wire_32": 32},
+                  description="Latch run bounds, clear merge pipeline"),
+        Operation("mld", semantics=semantics_mld,
+                  states=pipe_states[:4] + run_states[:4],
+                  slot_class="mem", group="merge_sort",
+                  circuit={"agu": 1, "wire_32": 32},
+                  description="Stage one 128-bit run block (LSU0)"),
+        Operation("mldsel", semantics=semantics_mldsel,
+                  states=pipe_states + run_states[:4],
+                  slot_class="mem", group="merge_sort",
+                  circuit={"cmp32": 1, "mux2_32": 4, "agu": 1,
+                           "wire_32": 216},
+                  path=("cmp32", "mux2_32", "agu"),
+                  description="Select staged block with smaller head, "
+                              "refill its stage"),
+        Operation("merge_st", operands=[_flag_out()],
+                  semantics=semantics_merge_st,
+                  states=pipe_states + [StateUse(dp.ptr_c, "inout")],
+                  slot_class="mem", group="merge_sort",
+                  # The odd-even merge network precomputes all lane
+                  # comparisons in parallel; the select path is one
+                  # compare stage plus two mux stages.
+                  circuit={"minmax32": 9, "agu": 1, "wire_32": 648},
+                  path=("minmax32", "mux2_32", "mux2_32"),
+                  description="Fused ST + ST_S + 8-element merge network "
+                              "+ continue flag (Figure 12)"),
+        Operation("ldsort", semantics=semantics_ldsort,
+                  states=[StateUse(dp.ptr_a, "inout"),
+                          StateUse(dp.end_a, "in"),
+                          StateUse(dp.result, "out"),
+                          StateUse(dp.result_full, "inout")],
+                  slot_class="mem", group="merge_sort",
+                  circuit={"minmax32": 5, "agu": 1, "wire_32": 150},
+                  path=("minmax32", "mux2_32", "mux2_32"),
+                  description="Load 4 values through the sort4 network"),
+        Operation("stsort", operands=[_flag_out()],
+                  semantics=semantics_stsort,
+                  states=[StateUse(dp.ptr_c, "inout"),
+                          StateUse(dp.result, "in"),
+                          StateUse(dp.result_full, "inout")],
+                  slot_class="mem", group="merge_sort",
+                  circuit={"agu": 1, "wire_32": 32},
+                  description="Store a sorted 4-run + continue flag"),
+    ]

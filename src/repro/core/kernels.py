@@ -1,0 +1,241 @@
+"""EIS kernels: the assembly programs that use the new instructions.
+
+These are the reproduction of the paper's Figure 11 (sorted-set core
+loop) and Figure 12 (merge-sort core loop), including the loop
+unrolling discussed in Section 4 ("if 32 loops are unrolled the average
+number of cycles per loop is reduced to 2.03").
+
+Each generator emits assembly text for a given processor shape; the
+``run_*`` helpers stage the workload into the local data memories,
+execute the kernel and read back the result.
+"""
+
+from ..cpu.memory import DMEM1_BASE
+from .common import LANES, SENTINEL, check_set_input, check_sort_input
+
+#: Default unroll factor of the set-operation core loop (paper: 32).
+DEFAULT_UNROLL = 32
+
+_SET_OPS = {"intersection": "int", "union": "uni", "difference": "dif"}
+
+BLOCK_BYTES = 4 * LANES
+
+
+def _pad_words(values):
+    """Round a buffer up to a whole number of 128-bit blocks."""
+    pad = (-len(values)) % LANES
+    return list(values) + [SENTINEL] * pad
+
+
+# ---------------------------------------------------------------------------
+# kernel generators
+# ---------------------------------------------------------------------------
+
+def set_operation_kernel(which, num_lsus=2, unroll=DEFAULT_UNROLL):
+    """Assembly of the sorted-set kernel (Figure 11).
+
+    Register protocol: ``a2``/``a3`` = set A begin/end byte addresses,
+    ``a4``/``a5`` = set B begin/end, ``a6`` = result base.  On halt,
+    ``a2`` holds the number of result elements.
+    """
+    if which not in _SET_OPS:
+        raise ValueError("unknown set operation %r" % which)
+    short = _SET_OPS[which]
+    lines = [
+        "; %s kernel, %d LSU(s), unroll x%d" % (which, num_lsus, unroll),
+        "main:",
+        "  wur a2, sop_ptr_a",
+        "  wur a3, sop_end_a",
+        "  wur a4, sop_ptr_b",
+        "  wur a5, sop_end_b",
+        "  wur a6, sop_ptr_c",
+        "  sop_init",
+        "  ld_a",
+        "  ld_b",
+        "  ldp_a",
+        "  ldp_b",
+        "loop:",
+    ]
+    for _ in range(unroll):
+        lines.append("  { store_sop_%s a8 ; beqz a8, drain }" % short)
+        if num_lsus == 2:
+            lines.append("  { ld_ldp_shuffle }")
+        else:
+            lines.append("  { ld_shuffle_a }")
+            lines.append("  { ld_b }")
+    lines += [
+        "  j loop",
+        "drain:",
+        "  st_flush",
+        "  rur a2, sop_count",
+        "  halt",
+    ]
+    return "\n".join(lines)
+
+
+def merge_sort_kernel(presort_unroll=16, merge_unroll=16):
+    """Assembly of the full merge-sort (presort pass + merge passes).
+
+    Register protocol: ``a2`` = source buffer, ``a3`` = data bytes
+    (multiple of 16), ``a4`` = ping-pong buffer.  On halt ``a2`` holds
+    the buffer containing the sorted data.
+    """
+    lines = [
+        "; merge-sort kernel (Figure 12 core loop)",
+        "main:",
+        "  ; ---- presort: build sorted runs of four (LDSORT/STSORT)",
+        "  wur a2, mrg_ptr_a",
+        "  add a5, a2, a3",
+        "  wur a5, mrg_end_a",
+        "  wur a4, mrg_ptr_c",
+        "  movi a8, 0           ; run B is unused during the presort",
+        "  wur a8, mrg_ptr_b",
+        "  wur a8, mrg_end_b",
+        "  minit",
+        "presort:",
+    ]
+    for _ in range(presort_unroll):
+        lines.append("  { ldsort }")
+        lines.append("  { stsort a8 ; beqz a8, presorted }")
+    lines += [
+        "  j presort",
+        "presorted:",
+        "  ; ---- swap buffers; presorted data is now the source",
+        "  mv a12, a2",
+        "  mv a2, a4",
+        "  mv a4, a12",
+        "  movi a5, 16          ; run length in bytes (4 elements)",
+        "pass_loop:",
+        "  bgeu a5, a3, done    ; run covers the array -> sorted",
+        "  mv a6, a2            ; pair cursor in source",
+        "  mv a7, a4            ; output cursor",
+        "pair_loop:",
+        "  add a8, a6, a5       ; end of run A / start of run B",
+        "  add a9, a8, a5       ; nominal end of run B",
+        "  add a10, a2, a3      ; end of source data",
+        "  minu a8, a8, a10",
+        "  minu a9, a9, a10",
+        "  wur a6, mrg_ptr_a",
+        "  wur a8, mrg_end_a",
+        "  wur a8, mrg_ptr_b",
+        "  wur a9, mrg_end_b",
+        "  wur a7, mrg_ptr_c",
+        "  minit",
+        "  { mld }",
+        "  { mld }",
+        "  { mldsel }",
+        "  { mldsel }",
+        "merge_loop:",
+    ]
+    for _ in range(merge_unroll):
+        lines.append("  { merge_st a11 ; beqz a11, pair_done }")
+        lines.append("  { mldsel }")
+    lines += [
+        "  j merge_loop",
+        "pair_done:",
+        "  sub a12, a9, a6      ; bytes merged in this pair",
+        "  add a7, a7, a12",
+        "  mv a6, a9",
+        "  add a13, a2, a3",
+        "  bltu a6, a13, pair_loop",
+        "  ; ---- next pass: swap buffers, double the run length",
+        "  mv a12, a2",
+        "  mv a2, a4",
+        "  mv a4, a12",
+        "  slli a5, a5, 1",
+        "  j pass_loop",
+        "done:",
+        "  halt",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# buffer placement
+# ---------------------------------------------------------------------------
+
+def set_operation_layout(processor, len_a, len_b):
+    """Byte addresses for A, B and the result on this processor.
+
+    With two LSUs each set lives in its own local data memory (paper
+    Figure 8); the result stream shares LSU1's memory (Figure 9).
+    With one LSU everything lives in dmem0.
+    """
+    words_a = -(-len_a // LANES) * LANES
+    words_b = -(-len_b // LANES) * LANES
+    base_a = 0x0
+    if processor.config.num_lsus == 2:
+        base_b = DMEM1_BASE
+        base_c = DMEM1_BASE + words_b * 4 + BLOCK_BYTES
+    else:
+        base_b = words_a * 4 + BLOCK_BYTES
+        base_c = base_b + words_b * 4 + BLOCK_BYTES
+    return base_a, base_b, base_c
+
+
+def sort_layout(processor, n_padded):
+    """Source and ping-pong buffer addresses for merge-sort."""
+    base_src = 0x0
+    if processor.config.num_lsus == 2:
+        base_dst = DMEM1_BASE
+    else:
+        base_dst = n_padded * 4 + BLOCK_BYTES
+    return base_src, base_dst
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+
+def _load_cached_program(processor, key, source):
+    cache = getattr(processor, "_kernel_cache", None)
+    if cache is None:
+        cache = processor._kernel_cache = {}
+    program = cache.get(key)
+    if program is None:
+        program = processor.assembler.assemble(source, key)
+        cache[key] = program
+    processor.load_program(program)
+    return program
+
+
+def run_set_operation(processor, which, set_a, set_b,
+                      unroll=DEFAULT_UNROLL, validate_input=True):
+    """Run one EIS set operation; returns ``(result_list, RunResult)``."""
+    if validate_input:
+        check_set_input("set_a", set_a)
+        check_set_input("set_b", set_b)
+    num_lsus = processor.config.num_lsus
+    base_a, base_b, base_c = set_operation_layout(processor, len(set_a),
+                                                  len(set_b))
+    processor.write_words(base_a, _pad_words(set_a))
+    processor.write_words(base_b, _pad_words(set_b))
+    key = "eis-%s-%dlsu-u%d" % (which, num_lsus, unroll)
+    _load_cached_program(
+        processor, key,
+        set_operation_kernel(which, num_lsus=num_lsus, unroll=unroll))
+    result = processor.run(entry="main", regs={
+        "a2": base_a, "a3": base_a + len(set_a) * 4,
+        "a4": base_b, "a5": base_b + len(set_b) * 4,
+        "a6": base_c,
+    })
+    count = result.reg("a2")
+    values = processor.read_words(base_c, count) if count else []
+    return values, result
+
+
+def run_merge_sort(processor, values, validate_input=True):
+    """Run the EIS merge-sort; returns ``(sorted_list, RunResult)``."""
+    if validate_input:
+        check_sort_input("values", values)
+    padded = _pad_words(values)
+    base_src, base_dst = sort_layout(processor, len(padded))
+    processor.write_words(base_src, padded)
+    key = "eis-sort"
+    _load_cached_program(processor, key, merge_sort_kernel())
+    result = processor.run(entry="main", regs={
+        "a2": base_src, "a3": len(padded) * 4, "a4": base_dst,
+    })
+    out_base = result.reg("a2")
+    output = processor.read_words(out_base, len(values))
+    return output, result

@@ -1,0 +1,293 @@
+"""Scalar baseline kernels (standard instruction set only).
+
+These are the merge-based algorithms of the paper's Figures 2 and 3 in
+hand-optimized XR32 assembly.  They run on the baseline configurations
+(108Mini, DBA_1LSU) that lack the instruction-set extension, providing
+the scalar rows of Table 2.
+
+The kernels keep the current head of each input in a register and only
+reload the side that advanced — the usual optimization of merge-based
+set code — so the hard-to-predict comparison branch dominates, exactly
+the behavior the paper calls out in Section 2.3.
+"""
+
+from .common import check_set_input, check_sort_input
+
+# Register protocol (shared by the set kernels):
+#   a2/a3 = set A begin/end byte addresses
+#   a4/a5 = set B begin/end
+#   a6    = result cursor; a7 = result base (for the count)
+#   a8/a9 = current head of A / B
+# On halt, a2 = number of result elements.
+
+_SET_PROLOGUE = """
+main:
+  mv a7, a6
+  bgeu a2, a3, tail
+  bgeu a4, a5, tail
+  l32i a8, a2, 0
+  l32i a9, a4, 0
+"""
+
+_SET_EPILOGUE = """
+finish:
+  sub a2, a6, a7
+  srli a2, a2, 2
+  halt
+"""
+
+
+def intersection_scalar_kernel():
+    """Figure 3 of the paper: sorted-set intersection, scalar."""
+    return _SET_PROLOGUE + """
+loop:
+  beq a8, a9, both
+  bltu a8, a9, adva
+advb:
+  addi a4, a4, 4
+  bgeu a4, a5, finish
+  l32i a9, a4, 0
+  j loop
+adva:
+  addi a2, a2, 4
+  bgeu a2, a3, finish
+  l32i a8, a2, 0
+  j loop
+both:
+  s32i a8, a6, 0
+  addi a6, a6, 4
+  addi a2, a2, 4
+  addi a4, a4, 4
+  bgeu a2, a3, finish
+  bgeu a4, a5, finish
+  l32i a8, a2, 0
+  l32i a9, a4, 0
+  j loop
+tail:
+""" + _SET_EPILOGUE
+
+
+def union_scalar_kernel():
+    """Sorted-set union with duplicate elimination across the sets."""
+    return _SET_PROLOGUE + """
+loop:
+  beq a8, a9, both
+  bltu a8, a9, adva
+advb:
+  s32i a9, a6, 0
+  addi a6, a6, 4
+  addi a4, a4, 4
+  bgeu a4, a5, resta
+  l32i a9, a4, 0
+  j loop
+adva:
+  s32i a8, a6, 0
+  addi a6, a6, 4
+  addi a2, a2, 4
+  bgeu a2, a3, restb
+  l32i a8, a2, 0
+  j loop
+both:
+  s32i a8, a6, 0
+  addi a6, a6, 4
+  addi a2, a2, 4
+  addi a4, a4, 4
+  bgeu a2, a3, restb
+  bgeu a4, a5, resta
+  l32i a8, a2, 0
+  l32i a9, a4, 0
+  j loop
+tail:
+  ; at entry one of the sets may be empty: copy whichever remains
+resta:
+  bgeu a2, a3, restb
+  l32i a8, a2, 0
+  s32i a8, a6, 0
+  addi a6, a6, 4
+  addi a2, a2, 4
+  j resta
+restb:
+  bgeu a4, a5, finish
+  l32i a9, a4, 0
+  s32i a9, a6, 0
+  addi a6, a6, 4
+  addi a4, a4, 4
+  j restb
+""" + _SET_EPILOGUE
+
+
+def difference_scalar_kernel():
+    """Sorted-set difference A minus B."""
+    return _SET_PROLOGUE + """
+loop:
+  beq a8, a9, both
+  bltu a8, a9, adva
+advb:
+  addi a4, a4, 4
+  bgeu a4, a5, resta
+  l32i a9, a4, 0
+  j loop
+adva:
+  s32i a8, a6, 0
+  addi a6, a6, 4
+  addi a2, a2, 4
+  bgeu a2, a3, finish
+  l32i a8, a2, 0
+  j loop
+both:
+  addi a2, a2, 4
+  addi a4, a4, 4
+  bgeu a2, a3, finish
+  bgeu a4, a5, resta
+  l32i a8, a2, 0
+  l32i a9, a4, 0
+  j loop
+tail:
+resta:
+  bgeu a2, a3, finish
+  l32i a8, a2, 0
+  s32i a8, a6, 0
+  addi a6, a6, 4
+  addi a2, a2, 4
+  j resta
+""" + _SET_EPILOGUE
+
+
+def merge_sort_scalar_kernel():
+    """Bottom-up scalar merge-sort (the paper's Figure 2 merge loop).
+
+    Register protocol: ``a2`` = source buffer, ``a3`` = data bytes,
+    ``a4`` = ping-pong buffer.  On halt ``a2`` holds the buffer with
+    the sorted data.
+    """
+    return """
+main:
+  movi a5, 4             ; run length in bytes (1 element)
+pass_loop:
+  bgeu a5, a3, done
+  mv a6, a2              ; pair cursor (source)
+  mv a7, a4              ; output cursor
+pair_loop:
+  add a8, a6, a5         ; end A / start B
+  add a9, a8, a5         ; nominal end B
+  add a10, a2, a3        ; source end
+  minu a8, a8, a10
+  minu a9, a9, a10
+  mv a11, a6             ; cursor A
+  mv a12, a8             ; cursor B
+merge_loop:
+  bgeu a11, a8, drain_b
+  bgeu a12, a9, drain_a
+  l32i a13, a11, 0
+  l32i a14, a12, 0
+  bgtu a13, a14, take_b
+take_a:
+  s32i a13, a7, 0
+  addi a7, a7, 4
+  addi a11, a11, 4
+  j merge_loop
+take_b:
+  s32i a14, a7, 0
+  addi a7, a7, 4
+  addi a12, a12, 4
+  j merge_loop
+drain_a:
+  bgeu a11, a8, pair_next
+  l32i a13, a11, 0
+  s32i a13, a7, 0
+  addi a7, a7, 4
+  addi a11, a11, 4
+  j drain_a
+drain_b:
+  bgeu a12, a9, pair_next
+  l32i a14, a12, 0
+  s32i a14, a7, 0
+  addi a7, a7, 4
+  addi a12, a12, 4
+  j drain_b
+pair_next:
+  mv a6, a9
+  add a13, a2, a3
+  bltu a6, a13, pair_loop
+  mv a12, a2             ; swap buffers, double the run
+  mv a2, a4
+  mv a4, a12
+  slli a5, a5, 1
+  j pass_loop
+done:
+  halt
+"""
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+
+_SCALAR_KERNELS = {
+    "intersection": intersection_scalar_kernel,
+    "union": union_scalar_kernel,
+    "difference": difference_scalar_kernel,
+}
+
+
+def _cached(processor, key, source):
+    cache = getattr(processor, "_kernel_cache", None)
+    if cache is None:
+        cache = processor._kernel_cache = {}
+    program = cache.get(key)
+    if program is None:
+        program = processor.assembler.assemble(source, key)
+        cache[key] = program
+    processor.load_program(program)
+
+
+def scalar_set_layout(len_a, len_b):
+    base_a = 0x0
+    base_b = len_a * 4 + 16
+    base_c = base_b + len_b * 4 + 16
+    return base_a, base_b, base_c
+
+
+def run_scalar_set_operation(processor, which, set_a, set_b,
+                             validate_input=True):
+    """Run a scalar set operation; returns ``(result_list, RunResult)``."""
+    if validate_input:
+        check_set_input("set_a", set_a)
+        check_set_input("set_b", set_b)
+    base_a, base_b, base_c = scalar_set_layout(len(set_a), len(set_b))
+    if set_a:
+        processor.write_words(base_a, set_a)
+    if set_b:
+        processor.write_words(base_b, set_b)
+    _cached(processor, "scalar-%s" % which, _SCALAR_KERNELS[which]())
+    result = processor.run(entry="main", regs={
+        "a2": base_a, "a3": base_a + len(set_a) * 4,
+        "a4": base_b, "a5": base_b + len(set_b) * 4,
+        "a6": base_c,
+    })
+    count = result.reg("a2")
+    values = processor.read_words(base_c, count) if count else []
+    return values, result
+
+
+def run_scalar_merge_sort(processor, values, validate_input=True):
+    """Run the scalar merge-sort; returns ``(sorted_list, RunResult)``."""
+    if validate_input:
+        check_sort_input("values", values)
+    if not values:
+        return [], _empty_run(processor)
+    base_src = 0x0
+    base_dst = len(values) * 4 + 16
+    processor.write_words(base_src, values)
+    _cached(processor, "scalar-sort", merge_sort_scalar_kernel())
+    result = processor.run(entry="main", regs={
+        "a2": base_src, "a3": len(values) * 4, "a4": base_dst,
+    })
+    output = processor.read_words(result.reg("a2"), len(values))
+    return output, result
+
+
+def _empty_run(processor):
+    """RunResult for a degenerate empty-input call."""
+    from ..cpu.processor import RunResult
+    return RunResult(0, 0, processor.regs.snapshot(), {})

@@ -1,0 +1,464 @@
+"""Streaming set operations through the data prefetcher.
+
+The paper keeps its Table 2 workloads inside the local data memories
+but states that "system level simulation validates a constant
+throughput of the processor for larger data sets due to the
+concurrently performed data prefetch" (Section 5.2).  This module
+reproduces that system-level experiment:
+
+* the host splits both input sets at common *value thresholds* so each
+  chunk pair can be intersected independently (chunk ``i`` of A can
+  only match chunk ``i`` of B),
+* a descriptor table in local memory drives the kernel, which
+  double-buffers: while the SOP loop consumes the current chunk pair,
+  the DMA engine bursts the next pair from off-chip memory into the
+  other buffer halves (the ``overlap=True`` variant), or fetches
+  strictly on demand (``overlap=False``, for quantifying the benefit).
+"""
+
+from ..cpu.memory import DMEM1_BASE, MAIN_BASE
+from .common import LANES, SENTINEL, check_set_input
+
+BLOCK_BYTES = 4 * LANES
+
+#: Local buffer geometry (bytes per half-buffer).
+HALF_BUFFER_BYTES = 16 * 1024
+
+#: Local addresses of the double buffers and the descriptor table.
+BUF_A0 = 0x0000
+BUF_A1 = BUF_A0 + HALF_BUFFER_BYTES
+DESC_BASE = BUF_A1 + HALF_BUFFER_BYTES
+
+#: Off-chip staging addresses of the two sets.
+MAIN_A = MAIN_BASE
+MAIN_B = MAIN_BASE + 0x0040_0000
+
+
+def split_at_thresholds(set_a, set_b, chunk_elements):
+    """Split both sets at shared value thresholds.
+
+    Walks set A in strides of roughly *chunk_elements* and cuts both
+    sets just above the stride's last value, so every value lands in
+    the same chunk index in both sets.  Returns a list of
+    ``((a_lo, a_hi), (b_lo, b_hi))`` index ranges.
+    """
+    import bisect
+    chunks = []
+    pos_a = pos_b = 0
+    while pos_a < len(set_a) or pos_b < len(set_b):
+        next_a = min(pos_a + chunk_elements, len(set_a))
+        if next_a < len(set_a):
+            threshold = set_a[next_a - 1]
+            next_b = bisect.bisect_right(set_b, threshold, lo=pos_b)
+        else:
+            remaining_b = len(set_b) - pos_b
+            if remaining_b > 2 * chunk_elements:
+                next_b = pos_b + chunk_elements
+                threshold = set_b[next_b - 1]
+                next_a = bisect.bisect_right(set_a, threshold, lo=pos_a)
+            else:
+                next_b = len(set_b)
+        chunks.append(((pos_a, next_a), (pos_b, next_b)))
+        pos_a, pos_b = next_a, next_b
+    return chunks
+
+
+def streaming_kernel(which="intersection", num_lsus=2, overlap=True,
+                     unroll=8):
+    """Assembly of the double-buffered streaming set-operation kernel.
+
+    Register protocol: ``a2`` = descriptor table address, ``a3`` =
+    number of chunk pairs, ``a4`` = result base.  On halt ``a2`` holds
+    the result element count.  Descriptors are four words per chunk:
+    off-chip source of A, length of A in bytes, source of B, length.
+    """
+    short = {"intersection": "int", "union": "uni",
+             "difference": "dif"}[which]
+    buf_b0 = DMEM1_BASE if num_lsus == 2 else DESC_BASE + 0x1000
+    buf_b1 = buf_b0 + HALF_BUFFER_BYTES
+
+    def prefetch_block(tag):
+        """Issue the DMA pair for the next chunk (cursor a7/parity a15)."""
+        return [
+            "  beqz a9, pf_skip_%s" % tag,
+            "  beqz a15, pf_h0_%s" % tag,
+            "  li a10, %d" % BUF_A1,
+            "  li a11, %d" % buf_b1,
+            "  j pf_go_%s" % tag,
+            "pf_h0_%s:" % tag,
+            "  li a10, %d" % BUF_A0,
+            "  li a11, %d" % buf_b0,
+            "pf_go_%s:" % tag,
+            "  l32i a12, a7, 0",
+            "  wur a12, DMA_SRC",
+            "  wur a10, DMA_DST",
+            "  l32i a12, a7, 4",
+            "  wur a12, DMA_LEN",
+            "  movi a13, 1",
+            "  wur a13, DMA_CTRL",
+            "  l32i a12, a7, 8",
+            "  wur a12, DMA_SRC",
+            "  wur a11, DMA_DST",
+            "  l32i a12, a7, 12",
+            "  wur a12, DMA_LEN",
+            "  wur a13, DMA_CTRL",
+            "  addi a7, a7, 16",
+            "  xori a15, a15, 1",
+            "  addi a9, a9, -1",
+            "pf_skip_%s:" % tag,
+        ]
+
+    lines = [
+        "; streaming %s kernel (%s prefetch)" % (
+            which, "overlapped" if overlap else "blocking"),
+        "main:",
+        "  wur a4, sop_ptr_c",
+        "  sop_init",
+        "  mv a7, a2            ; prefetch descriptor cursor",
+        "  mv a9, a3            ; chunks left to prefetch",
+        "  movi a15, 0          ; prefetch buffer parity",
+        "  movi a6, 0           ; compute buffer parity",
+        "  movi a5, 0           ; DMA completions to wait for",
+    ]
+    if overlap:
+        lines += prefetch_block("init")
+    lines += ["chunk_loop:"]
+    lines += prefetch_block("look" if overlap else "demand")
+    lines += [
+        "  addi a5, a5, 2",
+        "wait_dma:",
+        "  rur a8, DMA_DONE",
+        "  blt a8, a5, wait_dma",
+        "  ; point the datapath at the fetched chunk pair",
+        "  beqz a6, c_h0",
+        "  li a10, %d" % BUF_A1,
+        "  li a11, %d" % buf_b1,
+        "  j c_go",
+        "c_h0:",
+        "  li a10, %d" % BUF_A0,
+        "  li a11, %d" % buf_b0,
+        "c_go:",
+        "  wur a10, sop_ptr_a",
+        "  l32i a12, a2, 4",
+        "  add a12, a10, a12",
+        "  wur a12, sop_end_a",
+        "  wur a11, sop_ptr_b",
+        "  l32i a12, a2, 12",
+        "  add a12, a11, a12",
+        "  wur a12, sop_end_b",
+        "  ld_a",
+        "  ld_b",
+        "  ldp_a",
+        "  ldp_b",
+        "sop_loop:",
+    ]
+    for _ in range(unroll):
+        lines.append("  { store_sop_%s a8 ; beqz a8, chunk_done }" % short)
+        if num_lsus == 2:
+            lines.append("  { ld_ldp_shuffle }")
+        else:
+            lines.append("  { ld_shuffle_a }")
+            lines.append("  { ld_b }")
+    lines += [
+        "  j sop_loop",
+        "chunk_done:",
+        "  addi a2, a2, 16",
+        "  xori a6, a6, 1",
+        "  addi a3, a3, -1",
+        "  bnez a3, chunk_loop",
+        "  st_flush",
+        "  rur a2, sop_count",
+        "  halt",
+    ]
+    return "\n".join(lines)
+
+
+def run_streaming_set_operation(processor, which, set_a, set_b,
+                                chunk_elements=3072, overlap=True,
+                                validate_input=True):
+    """Stream a set operation through the prefetcher.
+
+    Stages both sets in off-chip main memory, builds the descriptor
+    table, runs the double-buffered kernel, and returns
+    ``(result_list, RunResult)``.
+    """
+    if validate_input:
+        check_set_input("set_a", set_a)
+        check_set_input("set_b", set_b)
+    if processor.prefetcher is None:
+        raise ValueError("processor was built without a prefetcher")
+    processor.prefetcher.reset()
+    max_elements = HALF_BUFFER_BYTES // 4
+    if chunk_elements > max_elements:
+        raise ValueError("chunk does not fit the half buffer")
+
+    chunks = split_at_thresholds(set_a, set_b, chunk_elements)
+    for (a_lo, a_hi), (b_lo, b_hi) in chunks:
+        if (a_hi - a_lo) > max_elements or (b_hi - b_lo) > max_elements:
+            raise ValueError("a threshold chunk exceeds the half buffer; "
+                             "reduce chunk_elements")
+
+    def padded(values):
+        pad = (-len(values)) % LANES
+        return list(values) + [SENTINEL] * pad
+
+    processor.write_words(MAIN_A, padded(set_a))
+    processor.write_words(MAIN_B, padded(set_b))
+
+    descriptors = []
+    for (a_lo, a_hi), (b_lo, b_hi) in chunks:
+        descriptors += [MAIN_A + a_lo * 4, (a_hi - a_lo) * 4,
+                        MAIN_B + b_lo * 4, (b_hi - b_lo) * 4]
+    processor.write_words(DESC_BASE, descriptors)
+
+    buf_b0 = DMEM1_BASE if processor.config.num_lsus == 2 \
+        else DESC_BASE + 0x1000
+    result_base = (buf_b0 + 2 * HALF_BUFFER_BYTES + BLOCK_BYTES) \
+        if processor.config.num_lsus == 2 \
+        else buf_b0 + 2 * HALF_BUFFER_BYTES + BLOCK_BYTES
+
+    key = "stream-%s-%dlsu-%s" % (which, processor.config.num_lsus,
+                                  "ov" if overlap else "bl")
+    cache = getattr(processor, "_kernel_cache", None)
+    if cache is None:
+        cache = processor._kernel_cache = {}
+    program = cache.get(key)
+    if program is None:
+        program = processor.assembler.assemble(
+            streaming_kernel(which, processor.config.num_lsus, overlap),
+            key)
+        cache[key] = program
+    processor.load_program(program)
+
+    result = processor.run(entry="main", regs={
+        "a2": DESC_BASE, "a3": len(chunks), "a4": result_base,
+    })
+    count = result.reg("a2")
+    values = processor.read_words(result_base, count) if count else []
+    return values, result
+
+
+# ---------------------------------------------------------------------------
+# compressed streaming: decompress-then-intersect (Section 1's
+# compression candidate integrated with the set instructions)
+# ---------------------------------------------------------------------------
+
+#: Compressed-chunk double buffers (bytes per half).
+CHALF_BYTES = 8 * 1024
+CBUF_A0 = 0x0000
+CBUF_A1 = CBUF_A0 + CHALF_BYTES
+#: Raw (decompressed) chunk buffers.
+RAW_A = CBUF_A1 + CHALF_BYTES
+CDESC_BASE = RAW_A + HALF_BUFFER_BYTES
+
+
+def compressed_streaming_kernel(which="intersection", num_lsus=2,
+                                overlap=True, unroll=8,
+                                decode_unroll=8):
+    """Streaming set operation over *compressed* chunk pairs.
+
+    Per chunk: DMA the compressed streams in, decode both with
+    ``unpack_d8`` into raw buffers, then run the normal SOP loop.
+    Descriptors are six words per chunk: compressed source/bytes/value
+    count for A, then for B.  Register protocol as in
+    :func:`streaming_kernel`.
+    """
+    short = {"intersection": "int", "union": "uni",
+             "difference": "dif"}[which]
+    cbuf_b0 = DMEM1_BASE if num_lsus == 2 else CDESC_BASE + 0x1000
+    cbuf_b1 = cbuf_b0 + CHALF_BYTES
+    raw_b = cbuf_b1 + CHALF_BYTES
+
+    def prefetch_block(tag):
+        return [
+            "  beqz a9, pf_skip_%s" % tag,
+            "  beqz a15, pf_h0_%s" % tag,
+            "  li a10, %d" % CBUF_A1,
+            "  li a11, %d" % cbuf_b1,
+            "  j pf_go_%s" % tag,
+            "pf_h0_%s:" % tag,
+            "  li a10, %d" % CBUF_A0,
+            "  li a11, %d" % cbuf_b0,
+            "pf_go_%s:" % tag,
+            "  l32i a12, a7, 0",
+            "  wur a12, DMA_SRC",
+            "  wur a10, DMA_DST",
+            "  l32i a12, a7, 4",
+            "  wur a12, DMA_LEN",
+            "  movi a13, 1",
+            "  wur a13, DMA_CTRL",
+            "  l32i a12, a7, 12",
+            "  wur a12, DMA_SRC",
+            "  wur a11, DMA_DST",
+            "  l32i a12, a7, 16",
+            "  wur a12, DMA_LEN",
+            "  wur a13, DMA_CTRL",
+            "  addi a7, a7, 24",
+            "  xori a15, a15, 1",
+            "  addi a9, a9, -1",
+            "pf_skip_%s:" % tag,
+        ]
+
+    def decode_block(tag, dst, count_offset):
+        lines = [
+            "  wur a10, dcmp_src" if tag.endswith("a")
+            else "  wur a11, dcmp_src",
+            "  li a12, %d" % dst,
+            "  wur a12, dcmp_dst",
+            "  l32i a13, a2, %d" % count_offset,
+            "  wur a13, dcmp_left",
+            "  dcmp_init",
+            "dc_%s:" % tag,
+        ]
+        for _ in range(decode_unroll):
+            lines.append("  unpack_d8 a8")
+            lines.append("  beqz a8, dc_done_%s" % tag)
+        lines += ["  j dc_%s" % tag, "dc_done_%s:" % tag]
+        return lines
+
+    lines = [
+        "; compressed streaming %s kernel" % which,
+        "main:",
+        "  wur a4, sop_ptr_c",
+        "  sop_init",
+        "  mv a7, a2",
+        "  mv a9, a3",
+        "  movi a15, 0",
+        "  movi a6, 0",
+        "  movi a5, 0",
+    ]
+    if overlap:
+        lines += prefetch_block("init")
+    lines += ["chunk_loop:"]
+    lines += prefetch_block("look" if overlap else "demand")
+    lines += [
+        "  addi a5, a5, 2",
+        "wait_dma:",
+        "  rur a8, DMA_DONE",
+        "  blt a8, a5, wait_dma",
+        "  beqz a6, c_h0",
+        "  li a10, %d" % CBUF_A1,
+        "  li a11, %d" % cbuf_b1,
+        "  j c_go",
+        "c_h0:",
+        "  li a10, %d" % CBUF_A0,
+        "  li a11, %d" % cbuf_b0,
+        "c_go:",
+    ]
+    lines += decode_block("da", RAW_A, 8)
+    lines += decode_block("db", raw_b, 20)
+    lines += [
+        "  ; aim the set datapath at the decoded chunk pair",
+        "  li a10, %d" % RAW_A,
+        "  wur a10, sop_ptr_a",
+        "  l32i a12, a2, 8",
+        "  slli a12, a12, 2",
+        "  add a12, a10, a12",
+        "  wur a12, sop_end_a",
+        "  li a11, %d" % raw_b,
+        "  wur a11, sop_ptr_b",
+        "  l32i a12, a2, 20",
+        "  slli a12, a12, 2",
+        "  add a12, a11, a12",
+        "  wur a12, sop_end_b",
+        "  ld_a",
+        "  ld_b",
+        "  ldp_a",
+        "  ldp_b",
+        "sop_loop:",
+    ]
+    for _ in range(unroll):
+        lines.append("  { store_sop_%s a8 ; beqz a8, chunk_done }" % short)
+        if num_lsus == 2:
+            lines.append("  { ld_ldp_shuffle }")
+        else:
+            lines.append("  { ld_shuffle_a }")
+            lines.append("  { ld_b }")
+    lines += [
+        "  j sop_loop",
+        "chunk_done:",
+        "  addi a2, a2, 24",
+        "  xori a6, a6, 1",
+        "  addi a3, a3, -1",
+        "  bnez a3, chunk_loop",
+        "  st_flush",
+        "  rur a2, sop_count",
+        "  halt",
+    ]
+    return "\n".join(lines)
+
+
+def run_compressed_streaming_set_operation(processor, which, set_a,
+                                           set_b, chunk_elements=3072,
+                                           overlap=True,
+                                           validate_input=True):
+    """Stream *compressed* sets through the prefetcher and operate.
+
+    Requires a processor built with ``compression=True`` and
+    ``prefetcher=True``.  Returns ``(result_list, RunResult)``; the
+    run's DMA traffic (compressed bytes) is on
+    ``processor.prefetcher.interconnect``.
+    """
+    from .compression import compress_d8
+    if validate_input:
+        check_set_input("set_a", set_a)
+        check_set_input("set_b", set_b)
+    if processor.prefetcher is None:
+        raise ValueError("processor was built without a prefetcher")
+    if "d8_compression" not in processor.extension_states:
+        raise ValueError("processor was built without the compression "
+                         "extension")
+    processor.prefetcher.reset()
+    max_raw = HALF_BUFFER_BYTES // 4
+    chunks = split_at_thresholds(set_a, set_b, chunk_elements)
+
+    comp_a = []
+    comp_b = []
+    descriptors = []
+    for (a_lo, a_hi), (b_lo, b_hi) in chunks:
+        if (a_hi - a_lo) > max_raw or (b_hi - b_lo) > max_raw:
+            raise ValueError("threshold chunk exceeds the raw buffer; "
+                             "reduce chunk_elements")
+        words_a = compress_d8(set_a[a_lo:a_hi], validate_input=False)
+        words_b = compress_d8(set_b[b_lo:b_hi], validate_input=False)
+        if 4 * len(words_a) > CHALF_BYTES \
+                or 4 * len(words_b) > CHALF_BYTES:
+            raise ValueError("compressed chunk exceeds the compressed "
+                             "buffer (adversarial gap pattern); "
+                             "reduce chunk_elements")
+        descriptors += [MAIN_A + 4 * len(comp_a), 4 * len(words_a),
+                        a_hi - a_lo,
+                        MAIN_B + 4 * len(comp_b), 4 * len(words_b),
+                        b_hi - b_lo]
+        comp_a.extend(words_a)
+        comp_b.extend(words_b)
+
+    if comp_a:
+        processor.write_words(MAIN_A, comp_a)
+    if comp_b:
+        processor.write_words(MAIN_B, comp_b)
+    processor.write_words(CDESC_BASE, descriptors)
+
+    cbuf_b0 = DMEM1_BASE if processor.config.num_lsus == 2 \
+        else CDESC_BASE + 0x1000
+    raw_b = cbuf_b0 + 2 * CHALF_BYTES  # matches the kernel layout
+    result_base = raw_b + HALF_BUFFER_BYTES + BLOCK_BYTES
+
+    key = "cstream-%s-%dlsu-%s" % (which, processor.config.num_lsus,
+                                   "ov" if overlap else "bl")
+    cache = getattr(processor, "_kernel_cache", None)
+    if cache is None:
+        cache = processor._kernel_cache = {}
+    program = cache.get(key)
+    if program is None:
+        program = processor.assembler.assemble(
+            compressed_streaming_kernel(
+                which, processor.config.num_lsus, overlap), key)
+        cache[key] = program
+    processor.load_program(program)
+    result = processor.run(entry="main", regs={
+        "a2": CDESC_BASE, "a3": len(chunks), "a4": result_base,
+    })
+    count = result.reg("a2")
+    values = processor.read_words(result_base, count) if count else []
+    return values, result

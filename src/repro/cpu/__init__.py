@@ -1,0 +1,30 @@
+"""Cycle-level simulator of the customizable processor.
+
+The Python counterpart of the cycle-accurate instruction-set simulator
+that the Tensilica tool flow generates for each processor configuration
+(paper Figure 4): in-order pipeline timing, load-store units, local
+memories, caches, the DMA data prefetcher and the on-chip interconnect.
+"""
+
+from .cache import Cache, CacheConfig
+from .config import CoreConfig
+from .errors import (ConfigurationError, ExecutionLimitExceeded, MemoryFault,
+                     SimulationError)
+from .interconnect import Interconnect
+from .lsu import LoadStoreUnit
+from .memory import DMEM0_BASE, DMEM1_BASE, MAIN_BASE, Memory, MemoryMap
+from .pipeline import PipelineModel
+from .prefetch import DataPrefetcher
+from .processor import Processor, RunResult
+from .profiler import CycleProfiler, Hotspot
+from .trace import PipelineTracer
+
+__all__ = [
+    "Cache", "CacheConfig", "CoreConfig",
+    "ConfigurationError", "ExecutionLimitExceeded", "MemoryFault",
+    "SimulationError",
+    "Interconnect", "LoadStoreUnit",
+    "DMEM0_BASE", "DMEM1_BASE", "MAIN_BASE", "Memory", "MemoryMap",
+    "PipelineModel", "DataPrefetcher", "Processor", "RunResult",
+    "CycleProfiler", "Hotspot", "PipelineTracer",
+]

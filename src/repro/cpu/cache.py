@@ -1,0 +1,93 @@
+"""Set-associative cache timing model.
+
+Only the 108Mini baseline uses caches; the DBA processors replace them
+with software-managed local stores (Section 3.2: "In contrast to
+caches, no cache-misses occur and the cache logic can be omitted").
+
+The cache is a pure *timing* model: data always reads/writes through to
+the backing memory so functional state stays coherent, while the tag
+store decides how many stall cycles each access costs.  Write-back with
+write-allocate; evicting a dirty line pays the write-back penalty.
+"""
+
+from .errors import ConfigurationError
+
+
+class CacheConfig:
+    """Geometry and penalties of one cache."""
+
+    def __init__(self, name, size_bytes, ways, line_bytes, miss_penalty,
+                 writeback_penalty=None):
+        if size_bytes % (ways * line_bytes):
+            raise ConfigurationError(
+                "%s: size %d not divisible into %d ways of %dB lines"
+                % (name, size_bytes, ways, line_bytes))
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.miss_penalty = miss_penalty
+        self.writeback_penalty = (miss_penalty if writeback_penalty is None
+                                  else writeback_penalty)
+        self.sets = size_bytes // (ways * line_bytes)
+
+    def __repr__(self):
+        return "<CacheConfig %s %dB %d-way %dB lines>" % (
+            self.name, self.size_bytes, self.ways, self.line_bytes)
+
+
+class Cache:
+    """LRU set-associative cache with hit/miss statistics."""
+
+    def __init__(self, config):
+        self.config = config
+        # Per set: list of (tag, dirty) ordered most-recently-used first.
+        self._sets = [[] for _ in range(config.sets)]
+        self._offset_bits = (config.line_bytes - 1).bit_length()
+        self._set_mask = config.sets - 1
+        if config.sets & self._set_mask and config.sets != 1:
+            raise ConfigurationError("%s: set count must be a power of two"
+                                     % config.name)
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, addr, is_write):
+        """Record one access; return the stall cycles it costs."""
+        line = addr >> self._offset_bits
+        set_index = line & self._set_mask
+        tag = line >> (self._set_mask.bit_length())
+        ways = self._sets[set_index]
+        for position, (way_tag, dirty) in enumerate(ways):
+            if way_tag == tag:
+                self.hits += 1
+                if position:
+                    del ways[position]
+                    ways.insert(0, (tag, dirty or is_write))
+                elif is_write and not dirty:
+                    ways[0] = (tag, True)
+                return 0
+        self.misses += 1
+        penalty = self.config.miss_penalty
+        if len(ways) >= self.config.ways:
+            _evicted_tag, evicted_dirty = ways.pop()
+            if evicted_dirty:
+                self.writebacks += 1
+                penalty += self.config.writeback_penalty
+        ways.insert(0, (tag, is_write))
+        return penalty
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    def hit_rate(self):
+        total = self.accesses
+        return self.hits / total if total else 1.0
+
+    def reset(self):
+        for ways in self._sets:
+            ways.clear()
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0

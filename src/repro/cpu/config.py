@@ -1,0 +1,79 @@
+"""Structural configuration of a processor core.
+
+A :class:`CoreConfig` captures everything the paper varies between its
+processor configurations (Section 5.1): local memory sizes, bus widths,
+the number of load-store units, hardware multiply/divide support, and
+the pipeline timing parameters.  Instruction-set extensions are
+attached separately when the :class:`~repro.cpu.processor.Processor`
+is built, mirroring the customizable-processor tool flow (Figure 4).
+"""
+
+from .errors import ConfigurationError
+from .pipeline import PipelineModel
+
+
+class CoreConfig:
+    """Static description of a processor core configuration."""
+
+    def __init__(self, name,
+                 pipeline=None,
+                 num_lsus=1,
+                 lsu_port_bits=32,
+                 imem_kb=32,
+                 dmem0_kb=0,
+                 dmem1_kb=0,
+                 sysmem_kb=512,
+                 sysmem_wait_states=2,
+                 main_memory_kb=8192,
+                 icache=None,
+                 dcache=None,
+                 has_mul=True,
+                 has_div=True,
+                 sim_headroom_kb=64,
+                 description=""):
+        if num_lsus not in (1, 2):
+            raise ConfigurationError("num_lsus must be 1 or 2")
+        if num_lsus == 2 and dmem1_kb == 0:
+            raise ConfigurationError(
+                "a second LSU requires its own local data memory (dmem1)")
+        if lsu_port_bits not in (32, 64, 128):
+            raise ConfigurationError("lsu_port_bits must be 32, 64 or 128")
+        self.name = name
+        self.pipeline = pipeline or PipelineModel()
+        self.num_lsus = num_lsus
+        self.lsu_port_bits = lsu_port_bits
+        self.imem_kb = imem_kb
+        self.dmem0_kb = dmem0_kb
+        self.dmem1_kb = dmem1_kb
+        self.sysmem_kb = sysmem_kb
+        self.sysmem_wait_states = sysmem_wait_states
+        self.main_memory_kb = main_memory_kb
+        self.icache = icache
+        self.dcache = dcache
+        self.has_mul = has_mul
+        self.has_div = has_div
+        #: Extra simulated capacity per local data memory beyond the
+        #: architectural size.  Stands in for the data prefetcher's
+        #: concurrent result write-back (paper Section 3.2: "results
+        #: are written back while the next operator has already started
+        #: its execution"), so result streams larger than the remaining
+        #: local store do not fault.  Synthesis uses the architectural
+        #: sizes only.
+        self.sim_headroom_kb = sim_headroom_kb
+        self.description = description
+
+    @property
+    def has_local_store(self):
+        return self.dmem0_kb > 0
+
+    @property
+    def local_store_kb(self):
+        return self.dmem0_kb + self.dmem1_kb
+
+    def features(self):
+        return {"has_mul": self.has_mul, "has_div": self.has_div}
+
+    def __repr__(self):
+        return "<CoreConfig %s lsus=%d port=%db dmem=%d+%dKB>" % (
+            self.name, self.num_lsus, self.lsu_port_bits,
+            self.dmem0_kb, self.dmem1_kb)

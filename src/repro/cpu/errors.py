@@ -1,0 +1,17 @@
+"""Exceptions raised by the cycle-level processor simulator."""
+
+
+class SimulationError(Exception):
+    """Base class for simulator failures."""
+
+
+class MemoryFault(SimulationError):
+    """Access outside a mapped region, or a misaligned access."""
+
+
+class ExecutionLimitExceeded(SimulationError):
+    """The program did not halt within the allowed cycle budget."""
+
+
+class ConfigurationError(SimulationError):
+    """A processor configuration is internally inconsistent."""

@@ -1,0 +1,35 @@
+"""On-chip interconnection network model.
+
+The DBA processors have no direct path from the core to the network;
+all off-core traffic flows through the data prefetcher (paper Figure 6)
+using burst transfers "typically in the order of several KB" which
+improve the observed bandwidth.  The network is modeled with a fixed
+per-transfer setup latency plus a per-cycle payload bandwidth; bursts
+amortize the setup cost exactly as described in Section 3.2.
+"""
+
+
+class Interconnect:
+    """Latency/bandwidth model of the network-on-chip plus DRAM path."""
+
+    def __init__(self, setup_latency=60, bytes_per_cycle=16):
+        self.setup_latency = setup_latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.transfers = 0
+        self.bytes_moved = 0
+
+    def transfer_cycles(self, nbytes):
+        """Cycles one burst of *nbytes* occupies the network."""
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        payload = -(-nbytes // self.bytes_per_cycle)  # ceil division
+        return self.setup_latency + payload
+
+    def effective_bandwidth(self, nbytes):
+        """Bytes per cycle achieved by bursts of a given size."""
+        payload = -(-nbytes // self.bytes_per_cycle)
+        return nbytes / (self.setup_latency + payload)
+
+    def reset_stats(self):
+        self.transfers = 0
+        self.bytes_moved = 0

@@ -1,0 +1,84 @@
+"""Load-store units.
+
+Each LSU owns a port of a configurable width (32 bits on the 108Mini,
+128 bits on the DBA processors) into the data memory system.  The DBA
+processors attach one local data memory per LSU (Figure 6); the 108Mini
+reaches system memory directly and pays wait states on every access.
+
+The LSU is both the functional router (which region serves an address)
+and the timing authority (wait states, cache penalties, port-width
+serialization for accesses wider than the port).
+"""
+
+from .errors import MemoryFault
+
+
+class LoadStoreUnit:
+    """One load-store unit with its own port into the memory system."""
+
+    def __init__(self, index, port_bits, memory_map, dcache=None):
+        self.index = index
+        self.port_bits = port_bits
+        self.port_bytes = port_bits // 8
+        self.memory_map = memory_map
+        self.dcache = dcache
+        self.loads = 0
+        self.stores = 0
+        self.stall_cycles = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _access_cost(self, region, nbytes, is_write, addr):
+        cost = region.wait_states
+        if self.dcache is not None and getattr(region, "cacheable", False):
+            cost = self.dcache.access(addr, is_write)
+        if nbytes > self.port_bytes:
+            # Serialize a wide access over a narrow port.
+            beats = -(-nbytes // self.port_bytes)  # ceil division
+            cost += beats - 1
+        return cost
+
+    # -- scalar access -------------------------------------------------------
+
+    def load(self, addr, size, signed):
+        region = self.memory_map.region_for(addr)
+        self.loads += 1
+        cost = self._access_cost(region, size, False, addr)
+        self.stall_cycles += cost
+        return region.load(addr, size, signed), cost
+
+    def store(self, addr, value, size):
+        region = self.memory_map.region_for(addr)
+        self.stores += 1
+        cost = self._access_cost(region, size, True, addr)
+        self.stall_cycles += cost
+        region.store(addr, value, size)
+        return cost
+
+    # -- wide access (EIS 128-bit load/store path) ----------------------------
+
+    def load_block(self, addr, nwords):
+        region = self.memory_map.region_for(addr)
+        self.loads += 1
+        cost = self._access_cost(region, nwords * 4, False, addr)
+        self.stall_cycles += cost
+        return region.load_block(addr, nwords), cost
+
+    def store_block(self, addr, values):
+        region = self.memory_map.region_for(addr)
+        self.stores += 1
+        cost = self._access_cost(region, len(values) * 4, True, addr)
+        self.stall_cycles += cost
+        region.store_block(addr, values)
+        return cost
+
+    def require_wide_port(self, bits):
+        if self.port_bits < bits:
+            raise MemoryFault(
+                "LSU%d port is %d bits wide; %d-bit access not possible"
+                % (self.index, self.port_bits, bits))
+
+    def reset_stats(self):
+        self.loads = 0
+        self.stores = 0
+        self.stall_cycles = 0

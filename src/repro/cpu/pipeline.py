@@ -1,0 +1,107 @@
+"""In-order pipeline timing model.
+
+The simulator executes instructions functionally and charges cycles via
+this model (scoreboard style), which mirrors how the paper obtains its
+performance numbers from a cycle-accurate ISS:
+
+* one issue slot per cycle (an entire FLIX bundle is one issue),
+* register read-after-write interlocks (load-use and mul-use bubbles),
+* flush penalties for taken control transfers,
+* memory wait states and cache penalties supplied by the LSU,
+* multi-cycle divide.
+
+Unconditional direct jumps are resolved in the fetch stage (branch
+folding), so they cost their single issue cycle only.  That matches the
+paper's accounting in Section 4 where a 32x unrolled EIS loop costs
+2.03 cycles per iteration: 64 bundle issues plus a single one-cycle
+back jump.
+"""
+
+
+class PipelineModel:
+    """Timing parameters of one processor configuration."""
+
+    def __init__(self,
+                 stages=5,
+                 branch_taken_penalty=2,
+                 branch_nottaken_penalty=0,
+                 jump_penalty=0,
+                 call_penalty=0,
+                 indirect_penalty=2,
+                 load_use_delay=1,
+                 mul_use_delay=1,
+                 div_cycles=13,
+                 ifetch_stall_per_redirect=0):
+        self.stages = stages
+        self.branch_taken_penalty = branch_taken_penalty
+        self.branch_nottaken_penalty = branch_nottaken_penalty
+        self.jump_penalty = jump_penalty
+        self.call_penalty = call_penalty
+        self.indirect_penalty = indirect_penalty
+        self.load_use_delay = load_use_delay
+        self.mul_use_delay = mul_use_delay
+        self.div_cycles = div_cycles
+        #: Extra fetch cycles after any control-flow redirect when the
+        #: core fetches from slow system memory (108Mini without a local
+        #: instruction memory).
+        self.ifetch_stall_per_redirect = ifetch_stall_per_redirect
+
+    def redirect_penalty(self, kind):
+        """Flush cost of a *taken* control transfer of the given kind."""
+        if kind == "branch":
+            base = self.branch_taken_penalty
+        elif kind == "jump":
+            base = self.jump_penalty
+        elif kind == "call":
+            base = self.call_penalty
+        else:  # indirect (jalr / ret)
+            base = self.indirect_penalty
+        return base + self.ifetch_stall_per_redirect
+
+
+# Register read/write sets per base-ISA format.  TIE operations carry
+# explicit read/write position tuples on their spec instead.
+
+def register_uses(spec, operands):
+    """Return ``(reads, writes)`` register-index tuples for one item."""
+    reads = getattr(spec, "reads_positions", None)
+    if reads is not None:
+        writes = spec.writes_positions
+        return (tuple(operands[p] for p in reads),
+                tuple(operands[p] for p in writes))
+    fmt = spec.fmt
+    kind = spec.kind
+    if fmt == "R":
+        return (operands[1], operands[2]), (operands[0],)
+    if fmt in ("I", "IU"):
+        if kind == "store":
+            return (operands[0], operands[1]), ()
+        if spec.name in ("movi", "movhi"):
+            return (), (operands[0],)
+        if spec.name == "jalr":
+            return (operands[1],), (operands[0],)
+        return (operands[1],), (operands[0],)
+    if fmt == "B":
+        return (operands[0], operands[1]), ()
+    if fmt == "BZ":
+        return (operands[0],), ()
+    if fmt == "J":
+        return ((), (0,)) if kind == "call" else ((), ())
+    if fmt == "U":
+        if spec.name == "wur":
+            return (operands[0],), ()
+        return (), (operands[0],)
+    if fmt == "N":
+        if kind == "indirect":  # ret reads the link register
+            return (0,), ()
+        return (), ()
+    raise ValueError("unknown format %r" % fmt)
+
+
+def result_delay(model, kind):
+    """Extra cycles before a producing instruction's result is usable."""
+    if kind == "load":
+        return model.load_use_delay
+    if kind == "mul":
+        return model.mul_use_delay
+    return 0

@@ -1,0 +1,118 @@
+"""Data prefetcher: DMA controller plus programmable FSM.
+
+The paper's processor has no cache; instead a data prefetcher — a
+direct-memory-access controller steered by a programmable finite state
+machine — moves bursts between off-chip memory and the dual-port local
+data memories *concurrently* with execution (Section 3.2).  The local
+memories are dual-ported, so DMA traffic never stalls the core.
+
+The core programs the prefetcher through user registers::
+
+    wur a2, DMA_SRC     ; burst source byte address
+    wur a3, DMA_DST     ; burst destination byte address
+    wur a4, DMA_LEN     ; burst length in bytes
+    wur a5, DMA_CTRL    ; 1 = start descriptor
+    rur a6, DMA_STATUS  ; 1 while any descriptor is in flight
+
+Descriptors started while the engine is busy queue up in the FSM, which
+is how double buffering is written: start the next fill, process the
+current buffer, poll, swap.
+"""
+
+from .errors import MemoryFault
+from .interconnect import Interconnect
+
+
+class DataPrefetcher:
+    """DMA engine with descriptor FSM; attaches as a TIE-style unit."""
+
+    #: DMA_CTRL command bits.
+    CMD_START = 1
+
+    def __init__(self, interconnect=None):
+        self.interconnect = interconnect or Interconnect()
+        self.core = None
+        self._src = 0
+        self._dst = 0
+        self._len = 0
+        self._busy_until = 0
+        #: Completion cycle of every descriptor, in start order; the
+        #: DMA_DONE register reports how many have finished, which is
+        #: what double-buffering kernels poll on.
+        self._finish_cycles = []
+        self.descriptors_run = 0
+
+    # -- extension protocol (same shape as repro.tie extensions) ------------
+
+    def attach(self, core):
+        self.core = core
+        core.register_user_register("DMA_SRC", lambda: self._src,
+                                    self._set_src)
+        core.register_user_register("DMA_DST", lambda: self._dst,
+                                    self._set_dst)
+        core.register_user_register("DMA_LEN", lambda: self._len,
+                                    self._set_len)
+        core.register_user_register("DMA_CTRL", lambda: 0, self._control)
+        core.register_user_register("DMA_STATUS", self._status,
+                                    lambda value: None)
+        core.register_user_register("DMA_DONE", self._done_count,
+                                    lambda value: None)
+
+    def _set_src(self, value):
+        self._src = value
+
+    def _set_dst(self, value):
+        self._dst = value
+
+    def _set_len(self, value):
+        self._len = value
+
+    def _status(self):
+        return 1 if self.core.cycle < self._busy_until else 0
+
+    def _done_count(self):
+        """Number of descriptors whose transfer has completed."""
+        now = self.core.cycle
+        return sum(1 for finish in self._finish_cycles if finish <= now)
+
+    def _control(self, value):
+        if value & self.CMD_START:
+            self.start(self._src, self._dst, self._len)
+
+    # -- engine --------------------------------------------------------------
+
+    def start(self, src, dst, nbytes):
+        """Begin (or queue) one burst descriptor.
+
+        Zero-length descriptors complete immediately (they still count
+        towards DMA_DONE so descriptor-counting pollers stay simple).
+        """
+        if nbytes == 0:
+            self._finish_cycles.append(self.core.cycle)
+            self.descriptors_run += 1
+            return
+        if nbytes < 0:
+            raise MemoryFault("DMA burst length must be non-negative")
+        if nbytes % 4:
+            raise MemoryFault("DMA bursts must be whole words")
+        core = self.core
+        # Functional move happens eagerly; the core must not touch the
+        # destination until DMA_STATUS reports idle (as real software
+        # must not), so eager data movement is observationally
+        # equivalent for correct programs.
+        words = core.memory_map.region_for(src).read_words(src, nbytes // 4)
+        core.memory_map.region_for(dst).write_words(dst, words)
+        begin = max(core.cycle, self._busy_until)
+        self._busy_until = begin + self.interconnect.transfer_cycles(nbytes)
+        self._finish_cycles.append(self._busy_until)
+        self.descriptors_run += 1
+
+    @property
+    def busy_until(self):
+        return self._busy_until
+
+    def reset(self):
+        self._busy_until = 0
+        self._finish_cycles = []
+        self.descriptors_run = 0
+        self.interconnect.reset_stats()

@@ -1,0 +1,471 @@
+"""The cycle-level processor simulator.
+
+A :class:`Processor` is built from a :class:`~repro.cpu.config.CoreConfig`
+plus a list of TIE extensions (:mod:`repro.tie`).  It owns the
+instruction set, the assembler, the memory system and the load-store
+units, and executes assembled programs while charging cycles through
+the pipeline model — the Python equivalent of the cycle-accurate
+simulator the Tensilica tool flow generates (paper Figure 4).
+
+Execution protocol
+------------------
+Programs end with ``halt``.  Arguments are passed in address registers
+(set via ``run(regs={...})``) and data is staged into the local data
+memories with :meth:`Processor.write_words` before the run — the same
+role the data prefetcher plays in the full system.
+"""
+
+from ..isa.assembler import Assembler, Bundle, BundleTail
+from ..isa.instructions import build_base_isa
+from ..isa.registers import NUM_ADDRESS_REGISTERS, RegisterFile, \
+    parse_register
+from .cache import Cache
+from .errors import ConfigurationError, ExecutionLimitExceeded, MemoryFault
+from .lsu import LoadStoreUnit
+from .memory import DMEM0_BASE, DMEM1_BASE, MAIN_BASE, Memory, MemoryMap
+from .pipeline import register_uses, result_delay
+
+
+class RunResult:
+    """Outcome of one simulated program run."""
+
+    def __init__(self, cycles, instructions, regs, stats):
+        self.cycles = cycles
+        self.instructions = instructions
+        self.regs = regs
+        self.stats = stats
+
+    def reg(self, name):
+        return self.regs[parse_register(name)]
+
+    def throughput_meps(self, elements, clock_mhz):
+        """Throughput in million elements per second at *clock_mhz*.
+
+        Uses the paper's definition (Section 5.2): elements processed
+        divided by the time of the run.
+        """
+        if self.cycles == 0:
+            return 0.0
+        return elements * clock_mhz / self.cycles
+
+    def cpi(self):
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def __repr__(self):
+        return "<RunResult %d cycles, %d instructions>" % (
+            self.cycles, self.instructions)
+
+
+class Processor:
+    """A configured core instance with its memories and extensions."""
+
+    def __init__(self, config, extensions=()):
+        self.config = config
+        self.isa = build_base_isa(config.features())
+        self.regs = RegisterFile("ar", NUM_ADDRESS_REGISTERS)
+        self.pipeline = config.pipeline
+
+        self._build_memories(config)
+        self._build_lsus(config)
+
+        # User-register space (TIE states map in here).
+        self._ur_read = {}
+        self._ur_write = {}
+        self.symbols = {}
+        self.flix_formats = []
+        self.regfiles = {}
+        self.extensions = []
+        self.extension_states = {}
+        for extension in extensions:
+            extension.attach(self)
+            self.extensions.append(extension)
+
+        self.assembler = Assembler(self.isa, self.flix_formats, self.symbols,
+                                   self.regfiles)
+
+        # Execution state (reset per run).
+        self.pc = 0
+        self.npc = 0
+        self.cycle = 0
+        self.halted = False
+        self.branch_taken = False
+        self.mem_extra = 0
+        self._program = None
+        self._steps = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_memories(self, config):
+        regions = []
+        headroom = config.sim_headroom_kb
+        if config.dmem0_kb:
+            self.dmem0 = Memory("dmem0", DMEM0_BASE,
+                                (config.dmem0_kb + headroom) * 1024)
+            regions.append(self.dmem0)
+        else:
+            # 108Mini style: the low region is system memory with wait
+            # states (and optionally a cache in front of it).
+            self.dmem0 = Memory("sysmem", DMEM0_BASE,
+                                config.sysmem_kb * 1024,
+                                wait_states=config.sysmem_wait_states)
+            self.dmem0.cacheable = config.dcache is not None
+            regions.append(self.dmem0)
+        if config.dmem1_kb:
+            self.dmem1 = Memory("dmem1", DMEM1_BASE,
+                                (config.dmem1_kb + headroom) * 1024)
+            regions.append(self.dmem1)
+        else:
+            self.dmem1 = None
+        self.main_memory = Memory("main", MAIN_BASE,
+                                  config.main_memory_kb * 1024,
+                                  wait_states=8)
+        regions.append(self.main_memory)
+        self.memory_map = MemoryMap(regions)
+
+    def _build_lsus(self, config):
+        dcache = Cache(config.dcache) if config.dcache else None
+        self.dcache = dcache
+        self.icache = Cache(config.icache) if config.icache else None
+        self.lsus = [LoadStoreUnit(0, config.lsu_port_bits, self.memory_map,
+                                   dcache)]
+        if config.num_lsus == 2:
+            self.lsus.append(LoadStoreUnit(1, config.lsu_port_bits,
+                                           self.memory_map))
+        if self.dmem1 is not None:
+            self._dmem1_base = self.dmem1.base
+            self._dmem1_limit = self.dmem1.limit
+        else:
+            self._dmem1_base = self._dmem1_limit = None
+
+    # ------------------------------------------------------------------
+    # extension plumbing (called by repro.tie)
+    # ------------------------------------------------------------------
+
+    def register_user_register(self, name, reader, writer):
+        """Expose a TIE state via ``rur``/``wur`` and the assembler."""
+        if name in self.symbols:
+            raise ConfigurationError("user register %r already defined"
+                                     % name)
+        index = len(self._ur_read)
+        self._ur_read[index] = reader
+        self._ur_write[index] = writer
+        self.symbols[name] = index
+        return index
+
+    def read_user_register(self, index):
+        try:
+            return self._ur_read[index]()
+        except KeyError:
+            raise MemoryFault("unknown user register %d" % index) from None
+
+    def write_user_register(self, index, value):
+        try:
+            self._ur_write[index](value)
+        except KeyError:
+            raise MemoryFault("unknown user register %d" % index) from None
+
+    # ------------------------------------------------------------------
+    # memory interface used by instruction semantics
+    # ------------------------------------------------------------------
+
+    def lsu_for(self, addr):
+        if self._dmem1_base is not None \
+                and self._dmem1_base <= addr < self._dmem1_limit \
+                and len(self.lsus) > 1:
+            return self.lsus[1]
+        return self.lsus[0]
+
+    def load(self, addr, size=4, signed=False):
+        value, cost = self.lsu_for(addr).load(addr, size, signed)
+        self.mem_extra += cost
+        return value
+
+    def store(self, addr, value, size=4):
+        self.mem_extra += self.lsu_for(addr).store(addr, value, size)
+
+    def load_block(self, lsu_index, addr, nwords=4):
+        """128-bit wide load through a specific LSU (EIS LD path)."""
+        lsu = self.lsus[lsu_index]
+        lsu.require_wide_port(nwords * 32)
+        values, cost = lsu.load_block(addr, nwords)
+        self.mem_extra += cost
+        return values
+
+    def store_block(self, lsu_index, addr, values):
+        lsu = self.lsus[lsu_index]
+        lsu.require_wide_port(len(values) * 32)
+        self.mem_extra += lsu.store_block(addr, values)
+
+    # ------------------------------------------------------------------
+    # host-side data staging
+    # ------------------------------------------------------------------
+
+    def write_words(self, addr, values):
+        self.memory_map.region_for(addr).write_words(addr, values)
+
+    def read_words(self, addr, count):
+        return self.memory_map.region_for(addr).read_words(addr, count)
+
+    # ------------------------------------------------------------------
+    # program loading and precompilation
+    # ------------------------------------------------------------------
+
+    def load_program(self, source_or_program, source_name="<asm>"):
+        if isinstance(source_or_program, str):
+            program = self.assembler.assemble(source_or_program, source_name)
+        else:
+            program = source_or_program
+        self._program = program
+        self._steps = self._compile(program)
+        return program
+
+    @property
+    def program(self):
+        return self._program
+
+    def _compile(self, program):
+        model = self.pipeline
+        steps = [None] * len(program.items)
+        for index, item in enumerate(program.items):
+            if isinstance(item, BundleTail):
+                continue
+            if isinstance(item, Bundle):
+                steps[index] = self._compile_bundle(item, model)
+            else:
+                steps[index] = self._compile_item(item, model)
+        return steps
+
+    def _compile_item(self, item, model):
+        spec = item.spec
+        reads, writes = register_uses(spec, item.operands)
+        redirect = model.redirect_penalty(spec.kind) if spec.is_control \
+            else 0
+        extra = model.div_cycles - 1 if spec.kind == "div" \
+            else spec.extra_cycles
+        return _Step(spec.executor, item.operands, reads, writes,
+                     result_delay(model, spec.kind), redirect, extra,
+                     item.size, spec.kind == "halt", spec.name)
+
+    def _compile_bundle(self, bundle, model):
+        slots = []
+        reads = []
+        writes = []
+        rdelay = 0
+        redirect = 0
+        extra = 0
+        names = []
+        for slot in bundle.slots:
+            spec = slot.spec
+            slot_reads, slot_writes = register_uses(spec, slot.operands)
+            reads.extend(slot_reads)
+            writes.extend(slot_writes)
+            rdelay = max(rdelay, result_delay(model, spec.kind))
+            if spec.is_control:
+                redirect = model.redirect_penalty(spec.kind)
+            if spec.kind == "div":
+                extra += model.div_cycles - 1
+            else:
+                extra += spec.extra_cycles
+            slots.append((spec.executor, slot.operands))
+            names.append(spec.name)
+        executor = _make_bundle_executor(slots)
+        return _Step(executor, None, tuple(reads), tuple(writes), rdelay,
+                     redirect, extra, bundle.size, False,
+                     "{%s}" % ";".join(names))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, entry=0, regs=None, max_cycles=200_000_000,
+            trace=None, reset_stats=True):
+        """Execute the loaded program until ``halt``.
+
+        Parameters
+        ----------
+        entry: label name or word index to start at.
+        regs: mapping of register names/indices to initial values.
+        trace: optional :class:`repro.cpu.trace.PipelineTracer`.
+
+        Use :meth:`run_profiled` for per-pc cycle attribution.
+        """
+        if self._steps is None:
+            raise ConfigurationError("no program loaded")
+        if isinstance(entry, str):
+            entry = self._program.label(entry)
+        if reset_stats:
+            self.reset_stats()
+        if regs:
+            for name, value in regs.items():
+                index = parse_register(name) if isinstance(name, str) \
+                    else name
+                self.regs[index] = value
+
+        steps = self._steps
+        reg_ready = [0] * NUM_ADDRESS_REGISTERS
+        cycle = 0
+        issued = 0
+        taken = 0
+        interlock = 0
+        self.halted = False
+        pc = entry
+
+        while not self.halted:
+            step = steps[pc]
+            if step is None:
+                raise MemoryFault("execution fell into a bundle tail or "
+                                  "unmapped instruction at word %d" % pc)
+            issue = cycle
+            for reg in step.reads:
+                ready = reg_ready[reg]
+                if ready > issue:
+                    interlock += ready - issue
+                    issue = ready
+            self.pc = pc
+            self.npc = pc + step.size
+            self.cycle = issue
+            self.branch_taken = False
+            self.mem_extra = 0
+            step.execute(self, step.operands)
+            cycle = issue + 1 + self.mem_extra + step.extra_cycles
+            if self.branch_taken or (step.redirect and self.npc != pc
+                                     + step.size):
+                if step.redirect:
+                    cycle += step.redirect
+                taken += 1
+            if step.rdelay:
+                # result usable rdelay cycles after the issue completes
+                ready = cycle + step.rdelay
+                for reg in step.writes:
+                    reg_ready[reg] = ready
+            issued += 1
+            if trace is not None:
+                trace.record(issue, pc, step.name)
+            pc = self.npc
+            if cycle > max_cycles:
+                raise ExecutionLimitExceeded(
+                    "exceeded %d cycles at pc=%d" % (max_cycles, pc))
+
+        stats = self.collect_stats(taken, interlock)
+        return RunResult(cycle, issued, self.regs.snapshot(), stats)
+
+    def run_profiled(self, profiler, entry=0, regs=None,
+                     max_cycles=200_000_000):
+        """Like :meth:`run` but attributing cycles to each pc.
+
+        Kept as a separate loop so the hot path in :meth:`run` stays
+        lean; the profiler needs per-item cycle deltas.
+        """
+        if self._steps is None:
+            raise ConfigurationError("no program loaded")
+        if isinstance(entry, str):
+            entry = self._program.label(entry)
+        self.reset_stats()
+        if regs:
+            for name, value in regs.items():
+                index = parse_register(name) if isinstance(name, str) \
+                    else name
+                self.regs[index] = value
+        steps = self._steps
+        reg_ready = [0] * NUM_ADDRESS_REGISTERS
+        cycle = 0
+        issued = 0
+        taken = 0
+        interlock = 0
+        self.halted = False
+        pc = entry
+        while not self.halted:
+            step = steps[pc]
+            begin = cycle
+            issue = cycle
+            for reg in step.reads:
+                ready = reg_ready[reg]
+                if ready > issue:
+                    interlock += ready - issue
+                    issue = ready
+            self.pc = pc
+            self.npc = pc + step.size
+            self.cycle = issue
+            self.branch_taken = False
+            self.mem_extra = 0
+            step.execute(self, step.operands)
+            cycle = issue + 1 + self.mem_extra + step.extra_cycles
+            if self.branch_taken or (step.redirect and self.npc != pc
+                                     + step.size):
+                if step.redirect:
+                    cycle += step.redirect
+                taken += 1
+            if step.rdelay:
+                # result usable rdelay cycles after the issue completes
+                ready = cycle + step.rdelay
+                for reg in step.writes:
+                    reg_ready[reg] = ready
+            issued += 1
+            profiler.record(pc, cycle - begin, step)
+            pc = self.npc
+            if cycle > max_cycles:
+                raise ExecutionLimitExceeded(
+                    "exceeded %d cycles at pc=%d" % (max_cycles, pc))
+        stats = self.collect_stats(taken, interlock)
+        return RunResult(cycle, issued, self.regs.snapshot(), stats)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def reset_stats(self):
+        for lsu in self.lsus:
+            lsu.reset_stats()
+        for region in self.memory_map:
+            region.reset_stats()
+        if self.dcache:
+            self.dcache.reset()
+        if self.icache:
+            self.icache.reset()
+
+    def collect_stats(self, taken_branches, interlock_stalls):
+        stats = {
+            "taken_redirects": taken_branches,
+            "interlock_stalls": interlock_stalls,
+            "lsu_loads": [lsu.loads for lsu in self.lsus],
+            "lsu_stores": [lsu.stores for lsu in self.lsus],
+            "lsu_stall_cycles": [lsu.stall_cycles for lsu in self.lsus],
+        }
+        if self.dcache:
+            stats["dcache_hits"] = self.dcache.hits
+            stats["dcache_misses"] = self.dcache.misses
+        return stats
+
+
+class _Step:
+    """Precompiled execution step: semantics plus timing metadata."""
+
+    __slots__ = ("execute", "operands", "reads", "writes", "rdelay",
+                 "redirect", "extra_cycles", "size", "is_halt", "name")
+
+    def __init__(self, execute, operands, reads, writes, rdelay, redirect,
+                 extra_cycles, size, is_halt, name):
+        self.execute = execute
+        self.operands = operands
+        self.reads = reads
+        self.writes = writes
+        self.rdelay = rdelay
+        self.redirect = redirect
+        self.extra_cycles = extra_cycles
+        self.size = size
+        self.is_halt = is_halt
+        self.name = name
+
+
+def _make_bundle_executor(slots):
+    """Compile bundle slots into a single executor callable.
+
+    Slots execute in order within the issue cycle; the paper's fused
+    EIS operations chain their datapath stages the same way.
+    """
+    def execute(core, _operands):
+        for executor, operands in slots:
+            executor(core, operands)
+    return execute

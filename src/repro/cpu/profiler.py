@@ -1,0 +1,83 @@
+"""Cycle-accurate application profiling.
+
+The first step of the paper's tool flow (Figure 4) is "cycle-accurate
+profiling of an application to analyze its runtime behavior.  The
+profiler unveils hotspots in the application's execution."  This module
+is that profiler: it attributes every simulated cycle to the program
+counter that consumed it and aggregates by label-delimited region.
+"""
+
+
+class CycleProfiler:
+    """Accumulates per-pc cycles; used with ``Processor.run_profiled``."""
+
+    def __init__(self):
+        self.cycles_by_pc = {}
+        self.visits_by_pc = {}
+        self.names_by_pc = {}
+
+    def record(self, pc, cycles, step):
+        self.cycles_by_pc[pc] = self.cycles_by_pc.get(pc, 0) + cycles
+        self.visits_by_pc[pc] = self.visits_by_pc.get(pc, 0) + 1
+        if pc not in self.names_by_pc:
+            self.names_by_pc[pc] = step.name
+
+    @property
+    def total_cycles(self):
+        return sum(self.cycles_by_pc.values())
+
+    def hotspots(self, program, top=10):
+        """Aggregate cycles by source region (delimited by labels).
+
+        Returns a list of :class:`Hotspot` sorted by cycle share,
+        largest first.
+        """
+        boundaries = sorted((index, name)
+                            for name, index in program.labels.items())
+        regions = []
+        for position, (start, name) in enumerate(boundaries):
+            end = boundaries[position + 1][0] if position + 1 \
+                < len(boundaries) else len(program.items)
+            regions.append((start, end, name))
+        if not regions or regions[0][0] > 0:
+            regions.insert(0, (0, regions[0][0] if regions else
+                               len(program.items), "<entry>"))
+        total = self.total_cycles or 1
+        hotspots = []
+        for start, end, name in regions:
+            cycles = sum(self.cycles_by_pc.get(pc, 0)
+                         for pc in range(start, end))
+            visits = sum(self.visits_by_pc.get(pc, 0)
+                         for pc in range(start, end))
+            if cycles:
+                hotspots.append(Hotspot(name, start, end, cycles,
+                                        cycles / total, visits))
+        hotspots.sort(key=lambda h: h.cycles, reverse=True)
+        return hotspots[:top]
+
+    def report(self, program, top=10):
+        """Human-readable hotspot table."""
+        lines = ["%-24s %12s %8s %10s" % ("region", "cycles", "share",
+                                          "visits")]
+        for hotspot in self.hotspots(program, top):
+            lines.append("%-24s %12d %7.1f%% %10d" % (
+                hotspot.region, hotspot.cycles, hotspot.share * 100,
+                hotspot.visits))
+        return "\n".join(lines)
+
+
+class Hotspot:
+    """One label-delimited region and its share of total cycles."""
+
+    __slots__ = ("region", "start", "end", "cycles", "share", "visits")
+
+    def __init__(self, region, start, end, cycles, share, visits):
+        self.region = region
+        self.start = start
+        self.end = end
+        self.cycles = cycles
+        self.share = share
+        self.visits = visits
+
+    def __repr__(self):
+        return "<Hotspot %s %.1f%%>" % (self.region, self.share * 100)

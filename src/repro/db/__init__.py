@@ -1,0 +1,17 @@
+"""A miniature columnar engine over the database processor.
+
+The application layer of the paper's motivation (Section 2.3):
+secondary-index scans produce RID lists; WHERE-clause AND/OR/NOT maps
+onto the EIS intersection/union/difference instructions; ORDER BY runs
+on the merge-sort instructions via key/RID packing.
+"""
+
+from .executor import QueryExecutor, QueryStats, RID_BITS
+from .predicates import (And, AndNot, Eq, In, Leaf, Or, Predicate,
+                         Range, leaves, validate_indexes)
+from .table import SecondaryIndex, Table
+
+__all__ = ["QueryExecutor", "QueryStats", "RID_BITS",
+           "And", "AndNot", "Eq", "In", "Leaf", "Or", "Predicate",
+           "Range", "leaves", "validate_indexes",
+           "SecondaryIndex", "Table"]

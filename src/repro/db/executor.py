@@ -1,0 +1,157 @@
+"""Query execution on the database processor.
+
+Evaluates WHERE-clause predicate trees by running the RID-list set
+algebra on a processor built from :mod:`repro.configs` — with the EIS
+kernels when the processor has the extension, falling back to the
+scalar kernels otherwise — and ORDER BY via the merge-sort
+instructions using key/RID packing.
+
+The executor reports per-query cycle counts and (given a synthesis
+report) latency and energy, turning the paper's microbenchmarks into
+end-to-end query numbers (see ``examples/query_engine.py``).
+"""
+
+from ..core.kernels import run_merge_sort, run_set_operation
+from ..core.scalar_kernels import (run_scalar_merge_sort,
+                                   run_scalar_set_operation)
+from .predicates import Combinator, Leaf, validate_indexes
+
+#: Bit budget for ORDER BY key/RID packing: key << RID_BITS | rid.
+RID_BITS = 12
+
+
+class QueryStats:
+    """Accumulated accelerator usage of one query."""
+
+    def __init__(self):
+        self.set_operations = 0
+        self.sort_operations = 0
+        self.cycles = 0
+        self.index_scans = 0
+
+    def add_run(self, run_result):
+        self.cycles += run_result.cycles
+
+    def latency_us(self, clock_mhz):
+        return self.cycles / clock_mhz
+
+    def energy_uj(self, power_mw, clock_mhz):
+        return power_mw * self.latency_us(clock_mhz) / 1000.0
+
+    def __repr__(self):
+        return ("<QueryStats %d cycles, %d set ops, %d sorts, %d "
+                "scans>" % (self.cycles, self.set_operations,
+                            self.sort_operations, self.index_scans))
+
+
+class QueryExecutor:
+    """Runs predicate trees and ORDER BY on one processor instance."""
+
+    def __init__(self, processor):
+        self.processor = processor
+        self._has_eis = "db_eis" in processor.extension_states
+
+    # -- WHERE ---------------------------------------------------------------
+
+    def where(self, table, predicate):
+        """Evaluate a predicate tree; returns ``(rids, QueryStats)``."""
+        validate_indexes(predicate, table)
+        stats = QueryStats()
+        rids = self._evaluate(table, predicate, stats)
+        return rids, stats
+
+    def _evaluate(self, table, predicate, stats):
+        if isinstance(predicate, Leaf):
+            stats.index_scans += 1
+            return predicate.scan(table)
+        if not isinstance(predicate, Combinator):
+            raise TypeError("not a predicate: %r" % (predicate,))
+        left = self._evaluate(table, predicate.left, stats)
+        right = self._evaluate(table, predicate.right, stats)
+        if predicate.operation == "intersection" and len(right) < len(
+                left):
+            # index-ANDing order: smaller list first (Raman et al.)
+            left, right = right, left
+        stats.set_operations += 1
+        result, run_result = self._set_operation(predicate.operation,
+                                                 left, right)
+        stats.add_run(run_result)
+        return result
+
+    def _set_operation(self, which, left, right):
+        if self._has_eis:
+            return run_set_operation(self.processor, which, left,
+                                     right, validate_input=False)
+        return run_scalar_set_operation(self.processor, which, left,
+                                        right, validate_input=False)
+
+    # -- ORDER BY -------------------------------------------------------------
+
+    def order_by(self, table, rids, key_column, descending=False):
+        """Sort a RID list by a key column on the processor.
+
+        Keys and RIDs are packed into single 32-bit words
+        (``key << 12 | rid``) so the merge-sort instructions order
+        whole rows — the standard key/pointer packing used with
+        hardware sorters.  Requires ``row_count <= 4096`` and keys
+        below ``2**19`` (dictionary-encode larger domains first).
+        """
+        stats = QueryStats()
+        if not rids:
+            return [], stats
+        if table.row_count > (1 << RID_BITS):
+            raise ValueError(
+                "ORDER BY packing supports up to %d rows; shard or "
+                "widen RID_BITS" % (1 << RID_BITS))
+        key_bits = 32 - RID_BITS - 1  # keep below the sentinel
+        keys = table.column(key_column)
+        packed = []
+        for rid in rids:
+            key = keys[rid]
+            if key >= (1 << key_bits):
+                raise ValueError(
+                    "ORDER BY keys must be below 2**%d; dictionary-"
+                    "encode the column" % key_bits)
+            packed.append((key << RID_BITS) | rid)
+        stats.sort_operations += 1
+        sorted_packed, run_result = self._sort(packed)
+        stats.add_run(run_result)
+        ordered = [value & ((1 << RID_BITS) - 1)
+                   for value in sorted_packed]
+        if descending:
+            ordered.reverse()
+        return ordered, stats
+
+    def _sort(self, values):
+        if self._has_eis:
+            return run_merge_sort(self.processor, values,
+                                  validate_input=False)
+        return run_scalar_merge_sort(self.processor, values,
+                                     validate_input=False)
+
+    # -- full query -----------------------------------------------------------
+
+    def select(self, table, predicate=None, order_by=None,
+               descending=False, columns=None, limit=None):
+        """WHERE + ORDER BY + projection; returns ``(rows, stats)``."""
+        stats = QueryStats()
+        if predicate is not None:
+            rids, where_stats = self.where(table, predicate)
+            _merge_stats(stats, where_stats)
+        else:
+            rids = list(range(table.row_count))
+        if order_by is not None:
+            rids, sort_stats = self.order_by(table, rids, order_by,
+                                             descending)
+            _merge_stats(stats, sort_stats)
+        if limit is not None:
+            rids = rids[:limit]
+        return table.fetch(rids, columns), stats
+
+
+def _merge_stats(target, source):
+    target.set_operations += source.set_operations
+    target.sort_operations += source.sort_operations
+    target.cycles += source.cycles
+    target.index_scans += source.index_scans
+

@@ -1,0 +1,116 @@
+"""A minimal columnar table with secondary indexes.
+
+The paper motivates its instruction set with query processing over RID
+sets "obtained from secondary indices when complex selection predicates
+within the WHERE clause are specified" (Section 2.3).  This package is
+that surrounding database-engine layer: enough of a column store to
+pose WHERE/ORDER BY queries whose heavy lifting — RID-list set algebra
+and sorting — runs on the database processor.
+
+Values are 32-bit unsigned integers (the paper's element type); strings
+or other domains are assumed dictionary-encoded upstream.
+"""
+
+from ..core.common import SENTINEL
+
+
+class Table:
+    """A fixed set of integer columns of equal length."""
+
+    def __init__(self, name, columns):
+        self.name = name
+        self.columns = {}
+        length = None
+        for column_name, values in columns.items():
+            values = list(values)
+            for value in values:
+                if not 0 <= value < SENTINEL:
+                    raise ValueError(
+                        "%s.%s: values must be 32-bit below the "
+                        "sentinel" % (name, column_name))
+            if length is None:
+                length = len(values)
+            elif len(values) != length:
+                raise ValueError("column lengths differ in table %s"
+                                 % name)
+            self.columns[column_name] = values
+        self.row_count = length or 0
+        self._indexes = {}
+
+    def column(self, name):
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError("table %s has no column %r"
+                           % (self.name, name)) from None
+
+    def create_index(self, column_name):
+        """Build (or return) the secondary index on a column."""
+        if column_name not in self._indexes:
+            self._indexes[column_name] = SecondaryIndex(
+                column_name, self.column(column_name))
+        return self._indexes[column_name]
+
+    def index(self, column_name):
+        if column_name not in self._indexes:
+            raise KeyError("no index on %s.%s; call create_index"
+                           % (self.name, column_name))
+        return self._indexes[column_name]
+
+    def has_index(self, column_name):
+        return column_name in self._indexes
+
+    def fetch(self, rids, column_names=None):
+        """Materialize rows (as dicts) for a RID list."""
+        names = list(column_names or self.columns)
+        return [{name: self.columns[name][rid] for name in names}
+                for rid in rids]
+
+    def __repr__(self):
+        return "<Table %s %d rows x %d columns>" % (
+            self.name, self.row_count, len(self.columns))
+
+
+class SecondaryIndex:
+    """Value -> sorted RID list, supporting equality and range scans.
+
+    Scans return strictly-sorted RID lists, the operand format of the
+    EIS set instructions.
+    """
+
+    def __init__(self, column_name, values):
+        self.column_name = column_name
+        self._postings = {}
+        for rid, value in enumerate(values):
+            self._postings.setdefault(value, []).append(rid)
+        self._sorted_keys = sorted(self._postings)
+
+    def scan_eq(self, value):
+        """RIDs of rows where column == value."""
+        return list(self._postings.get(value, ()))
+
+    def scan_range(self, low=None, high=None):
+        """RIDs of rows where low <= column <= high (inclusive)."""
+        import bisect
+        keys = self._sorted_keys
+        start = 0 if low is None else bisect.bisect_left(keys, low)
+        end = len(keys) if high is None else bisect.bisect_right(keys,
+                                                                 high)
+        rids = []
+        for key in keys[start:end]:
+            rids.extend(self._postings[key])
+        return sorted(rids)
+
+    def scan_in(self, values):
+        """RIDs of rows where column is in *values*."""
+        rids = []
+        for value in values:
+            rids.extend(self._postings.get(value, ()))
+        return sorted(rids)
+
+    def distinct_values(self):
+        return list(self._sorted_keys)
+
+    def __repr__(self):
+        return "<SecondaryIndex %s: %d distinct values>" % (
+            self.column_name, len(self._sorted_keys))

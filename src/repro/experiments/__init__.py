@@ -1,0 +1,28 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+See DESIGN.md for the experiment index (E1..E8) and EXPERIMENTS.md for
+paper-vs-measured records.  ``python -m repro.experiments <id>`` runs
+one experiment and prints the regenerated table.
+"""
+
+from . import (compression_tradeoff, energy, figure13, iso_area,
+               prefetch_validation, table2, table3, table4, table5,
+               table6)
+from .base import ExperimentResult
+
+EXPERIMENTS = {
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "figure13": figure13.run,
+    "prefetch": prefetch_validation.run,
+    "energy": energy.run,
+    "iso_area": iso_area.run,
+    "compression": compression_tradeoff.run,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "compression_tradeoff",
+           "energy", "figure13", "iso_area", "prefetch_validation",
+           "table2", "table3", "table4", "table5", "table6"]

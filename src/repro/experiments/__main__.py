@@ -1,0 +1,41 @@
+"""Command-line entry point: ``python -m repro.experiments [ids...]``.
+
+Without arguments, every experiment runs in paper order.  ``--quick``
+shrinks workload sizes (same shapes, faster turnaround).
+"""
+
+import sys
+
+from . import EXPERIMENTS, figure13, table2
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in argv
+    if quick:
+        argv.remove("--quick")
+    names = argv or ["table2", "table3", "table4", "table5", "table6",
+                     "figure13", "prefetch", "energy", "iso_area",
+                     "compression"]
+    for name in names:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            print("unknown experiment %r; available: %s"
+                  % (name, ", ".join(sorted(EXPERIMENTS))))
+            return 2
+        if quick and name == "table2":
+            result = table2.run(set_size=1000, sort_size=1024)
+        elif quick and name == "figure13":
+            result = figure13.run(set_size=800)
+        elif quick and name == "prefetch":
+            from . import prefetch_validation
+            result = prefetch_validation.run(sizes=(8_000, 16_000))
+        else:
+            result = runner()
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Shared infrastructure of the experiment harnesses.
+
+Every experiment module exposes ``run(...)`` returning an
+:class:`ExperimentResult` whose rows mirror the corresponding paper
+table/figure, together with the paper's reference values so reports and
+tests can compare shape.
+"""
+
+
+class ExperimentResult:
+    """Rows of one regenerated table or figure."""
+
+    def __init__(self, experiment_id, title, headers, rows, notes=()):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.headers = list(headers)
+        self.rows = [list(row) for row in rows]
+        self.notes = list(notes)
+
+    def column(self, header):
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, header, value):
+        index = self.headers.index(header)
+        for row in self.rows:
+            if row[index] == value:
+                return dict(zip(self.headers, row))
+        raise KeyError("no row with %s == %r" % (header, value))
+
+    def format(self):
+        """Render as a fixed-width text table."""
+        def fmt(value):
+            if isinstance(value, float):
+                if value != 0 and abs(value) < 10:
+                    return "%.3f" % value
+                return "%.1f" % value
+            return str(value)
+
+        table = [self.headers] + [[fmt(v) for v in row]
+                                  for row in self.rows]
+        widths = [max(len(row[i]) for row in table)
+                  for i in range(len(self.headers))]
+        lines = ["%s — %s" % (self.experiment_id, self.title)]
+        lines.append("  ".join(h.ljust(w)
+                               for h, w in zip(table[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in table[1:]:
+            lines.append("  ".join(cell.rjust(w)
+                                   for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append("note: %s" % note)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<ExperimentResult %s: %d rows>" % (self.experiment_id,
+                                                   len(self.rows))
+
+
+def ratio(measured, reference):
+    """Measured/reference ratio, tolerant of zero references."""
+    if not reference:
+        return float("nan")
+    return measured / reference

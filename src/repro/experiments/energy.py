@@ -1,0 +1,67 @@
+"""Experiment E8 — the paper's headline energy claim.
+
+Abstract/Section 5.4: "Our processor requires in various configurations
+more than 960x less energy than a high-end x86 processor while
+providing the same performance."  The 960x comes from the TDP ratio of
+the i7-920 (130 W) against DBA_2LSU_EIS (0.135 W) at comparable
+intersection throughput; this experiment derives the ratios from the
+reproduced Tables 3, 5 and 6.
+"""
+
+from ..baselines.x86 import I7_920, Q9550
+from ..synth.power import energy_per_element_nj
+from ..synth.synthesis import synthesize_config
+from .base import ExperimentResult
+from .table5 import run as run_table5
+from .table6 import run as run_table6
+
+#: Ratio the paper's abstract quotes (130 W / 0.135 W).
+PAPER_POWER_RATIO = 960.0
+
+
+def run(seed=42):
+    """Energy-efficiency comparison derived from E3, E5 and E6."""
+    report = synthesize_config("DBA_2LSU_EIS")
+    dba_watts = report.power_mw / 1000.0
+
+    table6 = run_table6(seed=seed)
+    hw_set = table6.row_by("processor", "DBA_2LSU_EIS (hwset)")
+    sw_set = table6.row_by("processor", "Intel i7-920 (swset)")
+    table5 = run_table5(seed=seed)
+    hw_sort = table5.row_by("processor", "DBA_2LSU_EIS (hwsort)")
+    sw_sort = table5.row_by("processor", "Intel Q9550 (swsort)")
+
+    rows = [
+        ["intersection", "Intel i7-920", sw_set["throughput_meps"],
+         I7_920.tdp_w,
+         round(energy_per_element_nj(I7_920.tdp_w * 1000.0,
+                                     sw_set["throughput_meps"]), 2)],
+        ["intersection", "DBA_2LSU_EIS", hw_set["throughput_meps"],
+         dba_watts,
+         round(energy_per_element_nj(report.power_mw,
+                                     hw_set["throughput_meps"]), 4)],
+        ["merge-sort", "Intel Q9550", sw_sort["throughput_meps"],
+         Q9550.tdp_w,
+         round(energy_per_element_nj(Q9550.tdp_w * 1000.0,
+                                     sw_sort["throughput_meps"]), 2)],
+        ["merge-sort", "DBA_2LSU_EIS", hw_sort["throughput_meps"],
+         dba_watts,
+         round(energy_per_element_nj(report.power_mw,
+                                     hw_sort["throughput_meps"]), 4)],
+    ]
+    power_ratio = I7_920.tdp_w / dba_watts
+    energy_ratio_set = (
+        energy_per_element_nj(I7_920.tdp_w * 1000.0,
+                              sw_set["throughput_meps"])
+        / energy_per_element_nj(report.power_mw,
+                                hw_set["throughput_meps"]))
+    return ExperimentResult(
+        "Energy",
+        "Energy-efficiency comparison (paper headline: >960x)",
+        ["workload", "processor", "throughput_meps", "power_w",
+         "energy_nj_per_element"],
+        rows,
+        notes=["power ratio i7-920 / DBA_2LSU_EIS: %.0fx (paper: >%.0fx)"
+               % (power_ratio, PAPER_POWER_RATIO),
+               "energy-per-element ratio (intersection): %.0fx"
+               % energy_ratio_set])

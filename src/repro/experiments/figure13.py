@@ -1,0 +1,93 @@
+"""Experiment E2 — the paper's Figure 13.
+
+Intersection throughput as a function of selectivity (0..100 %) for the
+six processor configurations.  The paper's qualitative findings, all of
+which this experiment reproduces:
+
+* throughput increases with selectivity for every configuration,
+* the EIS configurations' curves rise faster than the scalar ones,
+* partial loading wins at every selectivity *except* 100 %, where both
+  refill policies advance by four elements per set and iteration and
+  the curves meet.
+"""
+
+from ..configs.catalog import TABLE2_ROWS, build_processor, row_label
+from ..core.kernels import run_set_operation
+from ..core.scalar_kernels import run_scalar_set_operation
+from ..synth.synthesis import synthesize_config
+from ..workloads.sets import generate_set_pair
+from .base import ExperimentResult
+
+DEFAULT_SELECTIVITIES = tuple(i / 10.0 for i in range(11))
+
+
+def run(set_size=5000, selectivities=DEFAULT_SELECTIVITIES, seed=42,
+        rows=TABLE2_ROWS, which="intersection", check_results=True):
+    """Sweep selectivity; one result row per (configuration, point)."""
+    result_rows = []
+    workloads = [
+        (selectivity,) + generate_set_pair(set_size,
+                                           selectivity=selectivity,
+                                           seed=seed)
+        for selectivity in selectivities
+    ]
+    for name, partial in rows:
+        processor = build_processor(name, partial_load=bool(partial))
+        fmax = synthesize_config(name, partial_load=bool(partial)).fmax_mhz
+        label = row_label(name, partial)
+        for selectivity, set_a, set_b in workloads:
+            if partial is None:
+                values, run_result = run_scalar_set_operation(
+                    processor, which, set_a, set_b)
+            else:
+                values, run_result = run_set_operation(
+                    processor, which, set_a, set_b)
+            if check_results:
+                expected = _expected(which, set_a, set_b)
+                if values != expected:
+                    raise AssertionError(
+                        "%s wrong at selectivity %.1f" % (label,
+                                                          selectivity))
+            result_rows.append([
+                label, round(selectivity * 100),
+                run_result.throughput_meps(len(set_a) + len(set_b),
+                                           fmax)])
+    return ExperimentResult(
+        "Figure 13",
+        "%s throughput vs selectivity" % which.capitalize(),
+        ["configuration", "selectivity_percent", "throughput_meps"],
+        result_rows,
+        notes=["sets: 2x%d elements" % set_size])
+
+
+def _expected(which, set_a, set_b):
+    if which == "intersection":
+        return sorted(set(set_a) & set(set_b))
+    if which == "union":
+        return sorted(set(set_a) | set(set_b))
+    return sorted(set(set_a) - set(set_b))
+
+
+def series(result, configuration):
+    """Extract one configuration's (selectivity, throughput) curve."""
+    points = []
+    for row in result.rows:
+        if row[0] == configuration:
+            points.append((row[1], row[2]))
+    return sorted(points)
+
+
+def render_ascii(result, width=60):
+    """A quick terminal plot of all curves (one row per point)."""
+    throughputs = result.column("throughput_meps")
+    peak = max(throughputs) or 1.0
+    lines = []
+    current = None
+    for label, selectivity, throughput in result.rows:
+        if label != current:
+            lines.append(label)
+            current = label
+        bar = "#" * max(1, int(width * throughput / peak))
+        lines.append("  %3d%% %-*s %8.1f" % (selectivity, width, bar,
+                                             throughput))
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Experiment E3 — the paper's Table 3 (synthesis results).
+
+Logic area, memory area, maximum frequency and power of the five
+configurations at 65 nm, plus DBA_2LSU_EIS at 28 nm.
+"""
+
+from ..synth.synthesis import synthesize_config
+from ..synth.technology import GF_28NM_SLP, TSMC_65NM_LP
+from .base import ExperimentResult
+
+#: The paper's Table 3: (logic mm², memory mm², fmax MHz, power mW).
+PAPER_TABLE3 = {
+    ("65nm", "108Mini"): (0.2201, 0.0, 442, 27.4),
+    ("65nm", "DBA_1LSU"): (0.177, 0.874, 435, 56.6),
+    ("65nm", "DBA_2LSU"): (0.177, 0.870, 429, 57.1),
+    ("65nm", "DBA_1LSU_EIS"): (0.523, 0.874, 424, 123.5),
+    ("65nm", "DBA_2LSU_EIS"): (0.645, 0.870, 410, 135.1),
+    ("28nm", "DBA_2LSU_EIS"): (0.169, 0.232, 500, 47.0),
+}
+
+ROWS_65NM = ("108Mini", "DBA_1LSU", "DBA_2LSU", "DBA_1LSU_EIS",
+             "DBA_2LSU_EIS")
+
+
+def run():
+    """Regenerate Table 3 from the structural synthesis model."""
+    rows = []
+    for name in ROWS_65NM:
+        report = synthesize_config(name, technology=TSMC_65NM_LP)
+        rows.append(["65nm", name, round(report.logic_mm2, 3),
+                     round(report.memory_mm2, 3),
+                     round(report.fmax_mhz),
+                     round(report.power_mw, 1)])
+    report28 = synthesize_config("DBA_2LSU_EIS", technology=GF_28NM_SLP)
+    rows.append(["28nm", "DBA_2LSU_EIS", round(report28.logic_mm2, 3),
+                 round(report28.memory_mm2, 3), round(report28.fmax_mhz),
+                 round(report28.power_mw, 1)])
+    return ExperimentResult(
+        "Table 3", "Synthesis results",
+        ["technology", "processor", "logic_mm2", "memory_mm2",
+         "fmax_mhz", "power_mw"],
+        rows,
+        notes=["power at fmax, typical case (65nm: 25C/1.25V; "
+               "28nm SLP/SLVT: 25C/0.8V)"])

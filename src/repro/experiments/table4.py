@@ -1,0 +1,56 @@
+"""Experiment E4 — the paper's Table 4.
+
+Relative logic-area share of each component of the DBA_2LSU_EIS
+processor: the basic core, the shared decoding/muxing fabric, the TIE
+states, the shared all-to-all comparison circuitry, and the per-
+operation result circuits.
+"""
+
+from ..synth.synthesis import synthesize_config
+from .base import ExperimentResult
+
+#: The paper's Table 4 (percent of total logic area).
+PAPER_TABLE4 = {
+    "basic_core": 20.5,
+    "decode": 14.4,
+    "states": 14.7,
+    "op:all": 11.3,
+    "op:intersection": 6.8,
+    "op:difference": 9.0,
+    "op:union": 17.6,
+    "op:merge_sort": 5.7,
+}
+
+#: Human-readable labels in the paper's wording.
+LABELS = {
+    "basic_core": "Basic Core",
+    "decode": "Decoding/Muxing",
+    "states": "States",
+    "op:all": "Op: All",
+    "op:intersection": "Op: Intersection",
+    "op:difference": "Op: Difference",
+    "op:union": "Op: Union",
+    "op:merge_sort": "Op: Merge-Sort",
+}
+
+ROW_ORDER = ("basic_core", "decode", "states", "op:all",
+             "op:intersection", "op:difference", "op:union",
+             "op:merge_sort")
+
+
+def run(name="DBA_2LSU_EIS"):
+    """Regenerate the component-area breakdown."""
+    report = synthesize_config(name)
+    breakdown = report.breakdown()
+    rows = []
+    for key in ROW_ORDER:
+        rows.append([LABELS[key], round(breakdown.get(key, 0.0) * 100, 1),
+                     round(report.netlist.groups.get(key, 0) / 1000.0, 1)])
+    rows.append(["SUM", round(sum(row[1] for row in rows), 1),
+                 round(report.netlist.total_ge() / 1000.0, 1)])
+    return ExperimentResult(
+        "Table 4",
+        "Relative area consumption per newly introduced instruction "
+        "(%s)" % name,
+        ["part", "area_percent", "kGE"],
+        rows)

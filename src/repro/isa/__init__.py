@@ -1,0 +1,32 @@
+"""XR32 base instruction-set architecture.
+
+This package is the reproduction's stand-in for the Tensilica LX4 base
+processor ISA: a small in-order RISC instruction set with a macro
+assembler, binary encodings, and a disassembler.  TIE extensions
+(:mod:`repro.tie`) register additional operations and FLIX bundle
+formats on top of it.
+"""
+
+from .assembler import AsmItem, Assembler, Bundle, BUNDLE_TAIL, Program
+from .disasm import disassemble_words
+from .encoding import (EXTENSION_OPCODE_BASE, FLIX_OPCODE, FORMATS, WORD_BITS,
+                       WORD_BYTES)
+from .errors import (AssemblerError, EncodingError, IsaError, RegisterError,
+                     UnknownInstructionError)
+from .instructions import (InstructionSet, InstructionSpec, build_base_isa,
+                           to_signed, to_unsigned)
+from .registers import (NUM_ADDRESS_REGISTERS, RegisterFile, is_register,
+                        parse_register, register_name)
+
+__all__ = [
+    "AsmItem", "Assembler", "Bundle", "BUNDLE_TAIL", "Program",
+    "disassemble_words",
+    "EXTENSION_OPCODE_BASE", "FLIX_OPCODE", "FORMATS", "WORD_BITS",
+    "WORD_BYTES",
+    "AssemblerError", "EncodingError", "IsaError", "RegisterError",
+    "UnknownInstructionError",
+    "InstructionSet", "InstructionSpec", "build_base_isa",
+    "to_signed", "to_unsigned",
+    "NUM_ADDRESS_REGISTERS", "RegisterFile", "is_register",
+    "parse_register", "register_name",
+]

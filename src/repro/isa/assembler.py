@@ -1,0 +1,447 @@
+"""Two-pass macro assembler for XR32 assembly sources.
+
+The assembler understands
+
+* one instruction per line, operands separated by commas,
+* labels (``name:``), ``;``/``#``/``//`` comments,
+* ``.equ NAME VALUE`` constant definitions,
+* pseudo-instructions (``li``, ``mv``, ``call``, ``b``, ``bgt``,
+  ``ble``, ``bgtu``, ``bleu``) that expand to base instructions,
+* FLIX bundles written ``{ op0 ; op1 ; op2 }`` on a single line, which
+  map to the 64-bit VLIW format of the paper's processor (Section 3.2).
+
+The output is a :class:`Program`: a word-indexed list of decoded items
+ready for cycle-level execution, which can also be encoded to binary
+words (and decoded back by :mod:`repro.isa.disasm`).
+"""
+
+import re
+
+from .encoding import pack_flix_header
+from .errors import AssemblerError, RegisterError, UnknownInstructionError
+from .instructions import InstructionSpec  # noqa: F401  (re-export for typing)
+from .registers import parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+class AsmItem:
+    """One decoded instruction placed in instruction memory."""
+
+    __slots__ = ("spec", "operands", "line_number", "size")
+
+    def __init__(self, spec, operands, line_number):
+        self.spec = spec
+        self.operands = operands
+        self.line_number = line_number
+        self.size = 1
+
+    def __repr__(self):
+        return "<%s %s>" % (self.spec.name,
+                            ",".join(str(o) for o in self.operands))
+
+
+class Bundle:
+    """A FLIX bundle: several operations issued in the same cycle."""
+
+    __slots__ = ("slots", "flix_format", "line_number", "size")
+
+    def __init__(self, slots, flix_format, line_number):
+        self.slots = slots
+        self.flix_format = flix_format
+        self.line_number = line_number
+        self.size = 2  # a 64-bit bundle occupies two 32-bit words
+
+    def __repr__(self):
+        return "<Bundle {%s}>" % "; ".join(
+            s.spec.name for s in self.slots)
+
+
+class BundleTail:
+    """Placeholder occupying the second word of a 64-bit bundle."""
+
+    __slots__ = ()
+    size = 1
+
+
+BUNDLE_TAIL = BundleTail()
+
+
+class Program:
+    """An assembled program.
+
+    ``items`` is indexed by instruction-memory *word index*; the second
+    word of each FLIX bundle holds :data:`BUNDLE_TAIL`.
+    """
+
+    def __init__(self, items, labels, source_name="<asm>"):
+        self.items = items
+        self.labels = labels
+        self.source_name = source_name
+
+    def __len__(self):
+        return len(self.items)
+
+    def label(self, name):
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise AssemblerError("unknown label: %r" % (name,)) from None
+
+    def encode(self):
+        """Encode the program to a list of 32-bit instruction words."""
+        words = []
+        for index, item in enumerate(self.items):
+            if isinstance(item, BundleTail):
+                continue
+            if isinstance(item, Bundle):
+                header, payload = item.flix_format.encode_bundle(item, index)
+                words.append(header)
+                words.append(payload)
+            else:
+                operands = _operands_for_encoding(item, index)
+                words.append(item.spec.format.pack(item.spec.opcode, operands))
+        return words
+
+    def instruction_count(self):
+        """Number of issue items (bundles count once)."""
+        return sum(1 for item in self.items
+                   if not isinstance(item, BundleTail))
+
+
+def _operands_for_encoding(item, index):
+    """Convert decode-time absolute branch targets back to offsets."""
+    spec = item.spec
+    if getattr(spec, "operand_kinds", None) is not None:
+        from .instructions import pad_tie_operands
+        return pad_tie_operands(spec, item.operands)
+    if spec.fmt in ("B", "BZ", "J"):
+        operands = list(item.operands)
+        operands[-1] = operands[-1] - (index + item.size)
+        return tuple(operands)
+    return item.operands
+
+
+class Assembler:
+    """Assembles XR32 source text against a given instruction set.
+
+    Parameters
+    ----------
+    isa:
+        The :class:`~repro.isa.instructions.InstructionSet` of the
+        target processor (base ISA plus any TIE extensions).
+    flix_formats:
+        Iterable of FLIX formats (``repro.tie``) the processor supports;
+        bundles are rejected when none are given.
+    symbols:
+        Extra pre-defined symbols, e.g. user-register names published by
+        TIE extensions (``{"state8": 3}``).
+    regfiles:
+        Mapping of TIE register-file name to
+        :class:`repro.tie.language.RegFile`, used to parse operands of
+        extension operations (``v3`` etc.).
+    """
+
+    def __init__(self, isa, flix_formats=(), symbols=None, regfiles=None):
+        self.isa = isa
+        self.flix_formats = tuple(flix_formats)
+        self.symbols = dict(symbols or {})
+        self.regfiles = dict(regfiles or {})
+
+    # -- public API --------------------------------------------------------
+
+    def assemble(self, source, source_name="<asm>"):
+        lines = source.splitlines()
+        items, labels, fixups = self._first_pass(lines)
+        self._second_pass(items, labels, fixups)
+        return Program(items, labels, source_name)
+
+    # -- pass 1: parse, expand pseudos, place labels ------------------------
+
+    def _first_pass(self, lines):
+        items = []
+        labels = {}
+        fixups = []  # (item, operand position, symbol, line number)
+        equates = dict(self.symbols)
+        for line_number, raw in enumerate(lines, start=1):
+            text = _strip_comment(raw).strip()
+            while text:
+                match = _LABEL_RE.match(text)
+                if not match:
+                    break
+                name = match.group(1)
+                if name in labels:
+                    raise AssemblerError("duplicate label %r" % name,
+                                         line_number, raw)
+                labels[name] = len(items)
+                text = text[match.end():].strip()
+            if not text:
+                continue
+            if text.startswith(".equ"):
+                self._handle_equ(text, equates, line_number, raw)
+                continue
+            if text.startswith("{"):
+                bundle = self._parse_bundle(text, equates, fixups,
+                                            line_number, raw)
+                items.append(bundle)
+                items.append(BUNDLE_TAIL)
+                continue
+            for item in self._parse_instruction(text, equates, fixups,
+                                                line_number, raw):
+                items.append(item)
+        return items, labels, fixups
+
+    def _handle_equ(self, text, equates, line_number, raw):
+        parts = text.split(None, 2)
+        if len(parts) != 3:
+            raise AssemblerError(".equ requires a name and a value",
+                                 line_number, raw)
+        _, name, value_text = parts
+        if not _SYMBOL_RE.match(name):
+            raise AssemblerError("invalid .equ name %r" % name,
+                                 line_number, raw)
+        equates[name] = self._parse_immediate(value_text.strip(), equates,
+                                              line_number, raw)
+        # value is recorded; nothing emitted
+
+    def _parse_bundle(self, text, equates, fixups, line_number, raw):
+        if not self.flix_formats:
+            raise AssemblerError(
+                "FLIX bundle used but the processor defines no FLIX formats",
+                line_number, raw)
+        if not text.endswith("}"):
+            raise AssemblerError("FLIX bundle must close on the same line",
+                                 line_number, raw)
+        body = text[1:-1].strip()
+        slot_texts = [part.strip() for part in body.split(";") if part.strip()]
+        if not slot_texts:
+            raise AssemblerError("empty FLIX bundle", line_number, raw)
+        slots = []
+        for slot_text in slot_texts:
+            expansion = self._parse_instruction(slot_text, equates, fixups,
+                                                line_number, raw)
+            if len(expansion) != 1:
+                raise AssemblerError(
+                    "pseudo-instructions that expand to multiple ops are "
+                    "not allowed inside a bundle: %r" % slot_text,
+                    line_number, raw)
+            slots.append(expansion[0])
+        flix_format = self._select_flix_format(slots, line_number, raw)
+        return Bundle(slots, flix_format, line_number)
+
+    def _select_flix_format(self, slots, line_number, raw):
+        for flix_format in self.flix_formats:
+            if flix_format.accepts(slots):
+                return flix_format
+        raise AssemblerError(
+            "no FLIX format accepts bundle {%s}"
+            % "; ".join(s.spec.name for s in slots),
+            line_number, raw)
+
+    def _parse_instruction(self, text, equates, fixups, line_number, raw):
+        mnemonic, _, rest = text.partition(" ")
+        mnemonic = mnemonic.strip().lower()
+        operand_texts = [t.strip() for t in rest.split(",")] if rest.strip() \
+            else []
+        expander = _PSEUDOS.get(mnemonic)
+        if expander is not None:
+            expanded = expander(self, operand_texts, equates,
+                                line_number, raw)
+            result = []
+            for exp_mnemonic, exp_operands in expanded:
+                result.extend(self._parse_instruction(
+                    "%s %s" % (exp_mnemonic, ", ".join(exp_operands)),
+                    equates, fixups, line_number, raw))
+            return result
+        if mnemonic not in self.isa:
+            raise UnknownInstructionError(
+                "unknown instruction %r" % mnemonic, line_number, raw)
+        spec = self.isa.lookup(mnemonic)
+        operands, pending = self._parse_operands(spec, operand_texts, equates,
+                                                 line_number, raw)
+        item = AsmItem(spec, operands, line_number)
+        for symbol, position in pending:
+            fixups.append((_Fixup(symbol, position, item), line_number, raw))
+        return [item]
+
+    def _parse_operands(self, spec, texts, equates, line_number, raw):
+        custom_kinds = getattr(spec, "operand_kinds", None)
+        if custom_kinds is not None:
+            kinds = list(custom_kinds)
+        else:
+            kinds = list(spec.format.operand_kinds)
+            # Convenience forms that omit implicit operands.
+            if spec.name in ("movi", "movhi") and len(texts) == 2:
+                texts = [texts[0], "a0", texts[1]]  # rs unused
+            if spec.name == "jalr" and len(texts) == 2:
+                texts = [texts[0], texts[1], "0"]
+            if spec.fmt == "I" and spec.kind in ("load", "store") \
+                    and len(texts) == 2:
+                texts = [texts[0], texts[1], "0"]
+        if len(texts) != len(kinds):
+            raise AssemblerError(
+                "%s takes %d operands, got %d"
+                % (spec.name, len(kinds), len(texts)), line_number, raw)
+        operands = []
+        pending = []
+        for kind, text in zip(kinds, texts):
+            if kind.startswith("rf:"):
+                regfile = self.regfiles.get(kind[3:])
+                if regfile is None:
+                    raise AssemblerError(
+                        "no register file %r on this processor"
+                        % kind[3:], line_number, raw)
+                try:
+                    operands.append(regfile.parse(text))
+                except Exception as exc:
+                    raise AssemblerError(str(exc), line_number, raw) from exc
+            elif kind in ("reg", "ar"):
+                try:
+                    operands.append(parse_register(text))
+                except RegisterError as exc:
+                    raise AssemblerError(str(exc), line_number, raw) from exc
+            elif kind == "imm":
+                operands.append(self._parse_immediate(text, equates,
+                                                      line_number, raw))
+            elif kind == "off":
+                if _looks_like_number(text):
+                    raise AssemblerError(
+                        "branch/jump targets must be labels: %r" % text,
+                        line_number, raw)
+                pending.append((text, len(operands)))
+                operands.append(0)
+            else:  # pragma: no cover - formats define only reg/imm/off
+                raise AssemblerError("unhandled operand kind %r" % kind,
+                                     line_number, raw)
+        return tuple(operands), pending
+
+    def _parse_immediate(self, text, equates, line_number, raw):
+        text = text.strip()
+        if _looks_like_number(text):
+            try:
+                return int(text, 0)
+            except ValueError:
+                raise AssemblerError("bad immediate %r" % text,
+                                     line_number, raw) from None
+        if text in equates:
+            return equates[text]
+        raise AssemblerError("undefined symbol %r" % text, line_number, raw)
+
+    # -- pass 2: resolve label references -----------------------------------
+
+    def _second_pass(self, items, labels, fixups):
+        for fixup, line_number, raw in fixups:
+            if fixup.item is None:  # pragma: no cover - defensive
+                raise AssemblerError("internal: dangling fixup",
+                                     line_number, raw)
+            if fixup.symbol not in labels:
+                raise AssemblerError("undefined label %r" % fixup.symbol,
+                                     line_number, raw)
+            target = labels[fixup.symbol]
+            operands = list(fixup.item.operands)
+            operands[fixup.position] = target
+            fixup.item.operands = tuple(operands)
+
+
+class _Fixup:
+    __slots__ = ("symbol", "position", "item")
+
+    def __init__(self, symbol, position, item):
+        self.symbol = symbol
+        self.position = position
+        self.item = item
+
+
+def _strip_comment(line):
+    """Remove comments; ``;`` separates slots inside FLIX braces."""
+    result = []
+    depth = 0
+    index = 0
+    length = len(line)
+    while index < length:
+        char = line[index]
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+        elif char == "#" or (char == ";" and depth == 0):
+            break
+        elif char == "/" and line.startswith("//", index):
+            break
+        result.append(char)
+        index += 1
+    return "".join(result)
+
+
+def _looks_like_number(text):
+    if not text:
+        return False
+    head = text[1:] if text[0] in "+-" else text
+    return head[:1].isdigit()
+
+
+# ---------------------------------------------------------------------------
+# Pseudo-instruction expanders.  Each returns a list of
+# (mnemonic, [operand texts]) pairs.
+# ---------------------------------------------------------------------------
+
+def _expand_li(assembler, operands, equates, line_number, raw):
+    if len(operands) != 2:
+        raise AssemblerError("li takes 2 operands", line_number, raw)
+    rd, value_text = operands
+    value = assembler._parse_immediate(value_text, equates, line_number, raw)
+    value &= 0xFFFFFFFF
+    signed = value - 0x100000000 if value & 0x80000000 else value
+    if -32768 <= signed < 32768:
+        return [("movi", [rd, str(signed)])]
+    high = (value >> 16) & 0xFFFF
+    low = value & 0xFFFF
+    expansion = [("movhi", [rd, str(high)])]
+    if low:
+        expansion.append(("ori", [rd, rd, str(low)]))
+    return expansion
+
+
+def _expand_mv(assembler, operands, equates, line_number, raw):
+    if len(operands) != 2:
+        raise AssemblerError("mv takes 2 operands", line_number, raw)
+    rd, rs = operands
+    return [("or", [rd, rs, rs])]
+
+
+def _expand_call(assembler, operands, equates, line_number, raw):
+    if len(operands) != 1:
+        raise AssemblerError("call takes 1 operand", line_number, raw)
+    return [("jal", operands)]
+
+
+def _expand_b(assembler, operands, equates, line_number, raw):
+    if len(operands) != 1:
+        raise AssemblerError("b takes 1 operand", line_number, raw)
+    return [("j", operands)]
+
+
+def _swap_compare(mnemonic):
+    def expand(assembler, operands, equates, line_number, raw):
+        if len(operands) != 3:
+            raise AssemblerError("branch takes 3 operands", line_number, raw)
+        rs, rt, label = operands
+        return [(mnemonic, [rt, rs, label])]
+    return expand
+
+
+_PSEUDOS = {
+    "li": _expand_li,
+    "mv": _expand_mv,
+    "call": _expand_call,
+    "b": _expand_b,
+    "bgt": _swap_compare("blt"),
+    "bgtu": _swap_compare("bltu"),
+    "ble": _swap_compare("bge"),
+    "bleu": _swap_compare("bgeu"),
+}
+
+
+__all__ = ["Assembler", "Program", "AsmItem", "Bundle", "BundleTail",
+           "BUNDLE_TAIL", "pack_flix_header"]

@@ -1,0 +1,81 @@
+"""Disassembler: decode 32-bit instruction words back to mnemonics.
+
+Used by the verification flow (HDL-style equivalence checks between the
+assembled program and its binary encoding) and by the pipeline tracer.
+"""
+
+from .encoding import FLIX_OPCODE, opcode_of, unpack_flix_header
+from .errors import EncodingError
+from .registers import register_name
+
+
+def decode_word(isa, word, index=0, flix_formats=()):
+    """Decode one instruction word to ``(spec_or_bundle, operands, size)``.
+
+    For FLIX headers the caller must supply *flix_formats* and the next
+    word via :func:`decode_bundle` instead; this function raises
+    :class:`EncodingError` when handed a bundle header so callers cannot
+    silently mis-decode.
+    """
+    opcode = opcode_of(word)
+    if opcode == FLIX_OPCODE:
+        raise EncodingError(
+            "word %d is a FLIX bundle header; use decode_bundle" % index)
+    spec = isa.lookup_opcode(opcode)
+    operands = spec.format.unpack(word)
+    if getattr(spec, "operand_kinds", None) is not None:
+        from .instructions import unpack_tie_operands
+        operands = unpack_tie_operands(spec, operands)
+    elif spec.fmt in ("B", "BZ", "J"):
+        operands = operands[:-1] + (operands[-1] + index + 1,)
+    return spec, operands, 1
+
+
+def decode_bundle(flix_formats, header_word, payload_word, index):
+    """Decode a 64-bit FLIX bundle into slot (spec, operands) pairs."""
+    format_id, slot_count = unpack_flix_header(header_word)
+    for flix_format in flix_formats:
+        if flix_format.format_id == format_id:
+            return flix_format.decode_bundle(header_word, payload_word,
+                                             slot_count, index)
+    raise EncodingError("unknown FLIX format id %d" % format_id)
+
+
+def format_operands(spec, operands):
+    """Render an operand tuple in assembly syntax."""
+    kinds = getattr(spec, "operand_kinds", None) \
+        or spec.format.operand_kinds
+    parts = []
+    for kind, value in zip(kinds, operands):
+        if kind in ("reg", "ar"):
+            parts.append(register_name(value))
+        elif kind == "off":
+            parts.append("@%d" % value)
+        elif kind.startswith("rf:"):
+            parts.append("%s[%d]" % (kind[3:], value))
+        else:
+            parts.append(str(value))
+    return ", ".join(parts)
+
+
+def disassemble_words(isa, words, flix_formats=()):
+    """Disassemble a word list to text lines (one per issue item)."""
+    lines = []
+    index = 0
+    while index < len(words):
+        word = words[index]
+        if opcode_of(word) == FLIX_OPCODE:
+            slots = decode_bundle(flix_formats, word, words[index + 1], index)
+            rendered = "; ".join(
+                "%s %s" % (spec.name, format_operands(spec, operands))
+                if operands else spec.name
+                for spec, operands in slots)
+            lines.append("%6d: { %s }" % (index, rendered))
+            index += 2
+            continue
+        spec, operands, size = decode_word(isa, word, index)
+        text = format_operands(spec, operands)
+        lines.append("%6d: %s%s" % (index, spec.name,
+                                    " " + text if text else ""))
+        index += size
+    return lines

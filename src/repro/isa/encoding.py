@@ -1,0 +1,245 @@
+"""Binary instruction formats of the XR32 architecture.
+
+The base ISA uses fixed 32-bit instruction words.  Extension (TIE)
+operations live in the opcode space ``0x80..0xEF`` and reuse the same
+formats; FLIX bundles (64-bit very long instruction words, see the
+paper's Section 3.2) are marked by the primary opcode ``0xFE`` and
+occupy two consecutive 32-bit words.
+
+Formats (field widths in bits, most significant first)::
+
+    R   op:8 rd:4 rs:4 rt:4 pad:12       three-register ALU
+    I   op:8 rd:4 rs:4 imm:16            register + 16-bit immediate
+    B   op:8 rs:4 rt:4 off:16            compare-and-branch
+    BZ  op:8 rs:4 pad:4 off:16           compare-with-zero branch
+    J   op:8 off:24                      pc-relative jump / call
+    U   op:8 rd:4 ur:12 pad:8            user-register (TIE state) access
+    N   op:8 pad:24                      no operands
+
+Branch/jump offsets are signed counts of 32-bit words relative to the
+*next* instruction word, which matches how the assembler resolves
+labels.
+"""
+
+from .errors import EncodingError
+
+WORD_BITS = 32
+WORD_BYTES = 4
+
+#: Primary opcode reserved for 64-bit FLIX bundles.
+FLIX_OPCODE = 0xFE
+
+#: First opcode available to TIE extension operations.
+EXTENSION_OPCODE_BASE = 0x80
+EXTENSION_OPCODE_LIMIT = 0xEF
+
+
+def _check_unsigned(value, bits, what):
+    if not 0 <= value < (1 << bits):
+        raise EncodingError(
+            "%s out of range for %d unsigned bits: %r" % (what, bits, value))
+    return value
+
+
+def _check_signed(value, bits, what):
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1))
+    if not lo <= value < hi:
+        raise EncodingError(
+            "%s out of range for %d signed bits: %r" % (what, bits, value))
+    return value & ((1 << bits) - 1)
+
+
+def _sign_extend(value, bits):
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+class Format:
+    """One binary instruction format: packs/unpacks operand tuples."""
+
+    def __init__(self, name, operand_kinds):
+        self.name = name
+        self.operand_kinds = tuple(operand_kinds)
+
+    def pack(self, opcode, operands):
+        raise NotImplementedError
+
+    def unpack(self, word):
+        raise NotImplementedError
+
+    def _require(self, operands, count):
+        if len(operands) != count:
+            raise EncodingError(
+                "format %s takes %d operands, got %r"
+                % (self.name, count, (operands,)))
+
+
+class FormatR(Format):
+    def __init__(self):
+        super().__init__("R", ("reg", "reg", "reg"))
+
+    def pack(self, opcode, operands):
+        self._require(operands, 3)
+        rd, rs, rt = operands
+        for v in (rd, rs, rt):
+            _check_unsigned(v, 4, "register")
+        return (opcode << 24) | (rd << 20) | (rs << 16) | (rt << 12)
+
+    def unpack(self, word):
+        return ((word >> 20) & 0xF, (word >> 16) & 0xF, (word >> 12) & 0xF)
+
+
+class FormatR4(Format):
+    """Four-register format for TIE operations (e.g. Figure 5's
+    ``add3_shift`` with one result and three register-file inputs)."""
+
+    def __init__(self):
+        super().__init__("R4", ("reg", "reg", "reg", "reg"))
+
+    def pack(self, opcode, operands):
+        self._require(operands, 4)
+        for v in operands:
+            _check_unsigned(v, 4, "register")
+        f0, f1, f2, f3 = operands
+        return (opcode << 24) | (f0 << 20) | (f1 << 16) | (f2 << 12) \
+            | (f3 << 8)
+
+    def unpack(self, word):
+        return ((word >> 20) & 0xF, (word >> 16) & 0xF,
+                (word >> 12) & 0xF, (word >> 8) & 0xF)
+
+
+class FormatI(Format):
+    """Register-immediate format; immediate is signed 16 bit."""
+
+    def __init__(self, signed=True):
+        super().__init__("I", ("reg", "reg", "imm"))
+        self.signed = signed
+
+    def pack(self, opcode, operands):
+        self._require(operands, 3)
+        rd, rs, imm = operands
+        _check_unsigned(rd, 4, "register")
+        _check_unsigned(rs, 4, "register")
+        if self.signed:
+            imm = _check_signed(imm, 16, "immediate")
+        else:
+            imm = _check_unsigned(imm, 16, "immediate")
+        return (opcode << 24) | (rd << 20) | (rs << 16) | imm
+
+    def unpack(self, word):
+        imm = word & 0xFFFF
+        if self.signed:
+            imm = _sign_extend(imm, 16)
+        return ((word >> 20) & 0xF, (word >> 16) & 0xF, imm)
+
+
+class FormatB(Format):
+    def __init__(self):
+        super().__init__("B", ("reg", "reg", "off"))
+
+    def pack(self, opcode, operands):
+        self._require(operands, 3)
+        rs, rt, off = operands
+        _check_unsigned(rs, 4, "register")
+        _check_unsigned(rt, 4, "register")
+        off = _check_signed(off, 16, "branch offset")
+        return (opcode << 24) | (rs << 20) | (rt << 16) | off
+
+    def unpack(self, word):
+        return ((word >> 20) & 0xF, (word >> 16) & 0xF,
+                _sign_extend(word & 0xFFFF, 16))
+
+
+class FormatBZ(Format):
+    def __init__(self):
+        super().__init__("BZ", ("reg", "off"))
+
+    def pack(self, opcode, operands):
+        self._require(operands, 2)
+        rs, off = operands
+        _check_unsigned(rs, 4, "register")
+        off = _check_signed(off, 16, "branch offset")
+        return (opcode << 24) | (rs << 20) | off
+
+    def unpack(self, word):
+        return ((word >> 20) & 0xF, _sign_extend(word & 0xFFFF, 16))
+
+
+class FormatJ(Format):
+    def __init__(self):
+        super().__init__("J", ("off",))
+
+    def pack(self, opcode, operands):
+        self._require(operands, 1)
+        off = _check_signed(operands[0], 24, "jump offset")
+        return (opcode << 24) | off
+
+    def unpack(self, word):
+        return (_sign_extend(word & 0xFFFFFF, 24),)
+
+
+class FormatU(Format):
+    """User-register access (``rur``/``wur``): one register, one index."""
+
+    def __init__(self):
+        super().__init__("U", ("reg", "imm"))
+
+    def pack(self, opcode, operands):
+        self._require(operands, 2)
+        rd, ur = operands
+        _check_unsigned(rd, 4, "register")
+        _check_unsigned(ur, 12, "user-register index")
+        return (opcode << 24) | (rd << 20) | (ur << 8)
+
+    def unpack(self, word):
+        return ((word >> 20) & 0xF, (word >> 8) & 0xFFF)
+
+
+class FormatN(Format):
+    def __init__(self):
+        super().__init__("N", ())
+
+    def pack(self, opcode, operands):
+        self._require(operands, 0)
+        return opcode << 24
+
+    def unpack(self, word):
+        return ()
+
+
+#: Shared singleton formats, keyed by short name.
+FORMATS = {
+    "R": FormatR(),
+    "R4": FormatR4(),
+    "I": FormatI(signed=True),
+    "IU": FormatI(signed=False),
+    "B": FormatB(),
+    "BZ": FormatBZ(),
+    "J": FormatJ(),
+    "U": FormatU(),
+    "N": FormatN(),
+}
+
+
+def opcode_of(word):
+    """Extract the primary opcode byte from an instruction word."""
+    return (word >> 24) & 0xFF
+
+
+def pack_flix_header(format_id, slot_count):
+    """First word of a 64-bit FLIX bundle.
+
+    Layout: ``0xFE`` marker, 4-bit format id, 4-bit slot count; the
+    remaining bits of the first word plus the whole second word carry
+    the slot payload (packed by :mod:`repro.tie.compiler`).
+    """
+    _check_unsigned(format_id, 4, "FLIX format id")
+    _check_unsigned(slot_count, 4, "FLIX slot count")
+    return (FLIX_OPCODE << 24) | (format_id << 20) | (slot_count << 16)
+
+
+def unpack_flix_header(word):
+    if opcode_of(word) != FLIX_OPCODE:
+        raise EncodingError("not a FLIX bundle header: 0x%08x" % word)
+    return (word >> 20) & 0xF, (word >> 16) & 0xF

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the XR32 instruction-set architecture.
+
+All ISA-level failures derive from :class:`IsaError` so callers can
+catch a single exception type at the package boundary.
+"""
+
+
+class IsaError(Exception):
+    """Base class for all ISA-related errors."""
+
+
+class EncodingError(IsaError):
+    """An instruction could not be encoded or decoded.
+
+    Raised for out-of-range immediates, unknown opcodes, or operand
+    lists that do not match the instruction format.
+    """
+
+
+class AssemblerError(IsaError):
+    """An assembly source could not be translated.
+
+    Carries an optional source location so tooling can point at the
+    offending line.
+    """
+
+    def __init__(self, message, line_number=None, line_text=None):
+        self.line_number = line_number
+        self.line_text = line_text
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        if line_text is not None:
+            message = "%s\n    %s" % (message, line_text.strip())
+        super().__init__(message)
+
+
+class UnknownInstructionError(AssemblerError):
+    """The mnemonic is not part of the target processor's ISA."""
+
+
+class RegisterError(IsaError):
+    """A register name or index is invalid."""

@@ -1,0 +1,591 @@
+"""The XR32 base instruction set: specifications and semantics.
+
+Each instruction is described by an :class:`InstructionSpec` bundling
+
+* the mnemonic and binary format (see :mod:`repro.isa.encoding`),
+* a *timing kind* used by the pipeline cost model
+  (``alu``/``mul``/``div``/``load``/``store``/``branch``/``jump``/...),
+* an executor function implementing the architectural semantics.
+
+Executor functions receive the executing core (duck-typed, see
+:class:`repro.cpu.processor.Core`) and the decoded operand tuple.  They
+mutate architectural state; control-transfer instructions additionally
+set ``core.npc`` to the target *word index*.
+
+The program counter is a word index into instruction memory (the
+processor is a Harvard machine with separate local instruction and data
+memories, exactly as in the paper's processor model, Figure 6).  Data
+addresses are byte addresses.
+"""
+
+from .encoding import FORMATS
+from .errors import EncodingError, IsaError
+
+M32 = 0xFFFFFFFF
+
+
+def to_signed(value):
+    """Interpret a 32-bit unsigned value as signed."""
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_unsigned(value):
+    """Mask a Python integer to its 32-bit unsigned representation."""
+    return value & M32
+
+
+class InstructionSpec:
+    """Static description of one instruction.
+
+    TIE extension operations reuse this class; they additionally set
+    ``reads_positions``/``writes_positions`` (operand positions that
+    name base address registers, for the pipeline scoreboard),
+    ``operand_kinds`` (compact operand kinds for FLIX slot encoding)
+    and ``extra_cycles`` (multi-cycle operations).
+    """
+
+    __slots__ = ("name", "opcode", "fmt", "kind", "executor", "extension",
+                 "requires", "extra_cycles", "reads_positions",
+                 "writes_positions", "operand_kinds", "slot_class")
+
+    def __init__(self, name, opcode, fmt, kind, executor, extension=None,
+                 requires=None, extra_cycles=0):
+        self.name = name
+        self.opcode = opcode
+        self.fmt = fmt
+        self.kind = kind
+        self.executor = executor
+        #: Name of the TIE extension providing this op (None for base ISA).
+        self.extension = extension
+        #: Optional processor-feature gate, e.g. ``"has_div"``.
+        self.requires = requires
+        #: Issue cycles beyond the first (multi-cycle operations).
+        self.extra_cycles = extra_cycles
+
+    @property
+    def format(self):
+        return FORMATS[self.fmt]
+
+    @property
+    def is_control(self):
+        return self.kind in ("branch", "jump", "call", "indirect")
+
+    def __repr__(self):
+        return "<InstructionSpec %s op=0x%02x %s>" % (
+            self.name, self.opcode, self.fmt)
+
+
+class InstructionSet:
+    """A registry of instruction specs, extensible by TIE extensions."""
+
+    def __init__(self, name="xr32"):
+        self.name = name
+        self._by_name = {}
+        self._by_opcode = {}
+        self._next_extension_opcode = 0x80
+
+    def __contains__(self, name):
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __len__(self):
+        return len(self._by_name)
+
+    def add(self, spec):
+        if spec.name in self._by_name:
+            raise IsaError("duplicate instruction name: %s" % spec.name)
+        if spec.opcode in self._by_opcode:
+            raise IsaError("duplicate opcode 0x%02x (%s vs %s)" % (
+                spec.opcode, spec.name, self._by_opcode[spec.opcode].name))
+        self._by_name[spec.name] = spec
+        self._by_opcode[spec.opcode] = spec
+        return spec
+
+    def allocate_extension_opcode(self):
+        """Hand out the next free opcode in the extension space."""
+        while self._next_extension_opcode in self._by_opcode:
+            self._next_extension_opcode += 1
+        opcode = self._next_extension_opcode
+        if opcode > 0xEF:
+            raise IsaError("extension opcode space exhausted")
+        self._next_extension_opcode += 1
+        return opcode
+
+    def lookup(self, name):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise IsaError("unknown instruction: %r" % (name,)) from None
+
+    def lookup_opcode(self, opcode):
+        try:
+            return self._by_opcode[opcode]
+        except KeyError:
+            raise EncodingError("unknown opcode: 0x%02x" % opcode) from None
+
+    def names(self):
+        return sorted(self._by_name)
+
+
+# ---------------------------------------------------------------------------
+# Semantics of the base ISA.
+# ---------------------------------------------------------------------------
+
+def _exec_add(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] + r[rt]
+
+
+def _exec_sub(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] - r[rt]
+
+
+def _exec_and(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] & r[rt]
+
+
+def _exec_or(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] | r[rt]
+
+
+def _exec_xor(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] ^ r[rt]
+
+
+def _exec_sll(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] << (r[rt] & 31)
+
+
+def _exec_srl(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] >> (r[rt] & 31)
+
+
+def _exec_sra(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = to_signed(r[rs]) >> (r[rt] & 31)
+
+
+def _exec_slt(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = 1 if to_signed(r[rs]) < to_signed(r[rt]) else 0
+
+
+def _exec_sltu(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = 1 if r[rs] < r[rt] else 0
+
+
+def _exec_min(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    a, b = to_signed(r[rs]), to_signed(r[rt])
+    r[rd] = a if a < b else b
+
+
+def _exec_max(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    a, b = to_signed(r[rs]), to_signed(r[rt])
+    r[rd] = a if a > b else b
+
+
+def _exec_minu(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] if r[rs] < r[rt] else r[rt]
+
+
+def _exec_maxu(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] if r[rs] > r[rt] else r[rt]
+
+
+def _exec_mul(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] * r[rt]
+
+
+def _exec_mulh(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = (to_signed(r[rs]) * to_signed(r[rt])) >> 32
+
+
+def _exec_quou(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] // r[rt] if r[rt] else M32
+
+
+def _exec_remu(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    r[rd] = r[rs] % r[rt] if r[rt] else r[rs]
+
+
+def _exec_quos(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    a, b = to_signed(r[rs]), to_signed(r[rt])
+    r[rd] = int(a / b) if b else M32
+
+
+def _exec_rems(core, ops):
+    rd, rs, rt = ops
+    r = core.regs
+    a, b = to_signed(r[rs]), to_signed(r[rt])
+    r[rd] = a - b * int(a / b) if b else a
+
+
+def _exec_addi(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = r[rs] + imm
+
+
+def _exec_andi(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = r[rs] & (imm & M32)
+
+
+def _exec_ori(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = r[rs] | (imm & 0xFFFF)
+
+
+def _exec_xori(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = r[rs] ^ (imm & 0xFFFF)
+
+
+def _exec_slli(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = r[rs] << (imm & 31)
+
+
+def _exec_srli(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = r[rs] >> (imm & 31)
+
+
+def _exec_srai(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = to_signed(r[rs]) >> (imm & 31)
+
+
+def _exec_slti(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = 1 if to_signed(r[rs]) < imm else 0
+
+
+def _exec_sltui(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = 1 if r[rs] < (imm & M32) else 0
+
+
+def _exec_movi(core, ops):
+    rd, _rs, imm = ops
+    core.regs[rd] = imm
+
+
+def _exec_movhi(core, ops):
+    rd, _rs, imm = ops
+    core.regs[rd] = (imm & 0xFFFF) << 16
+
+
+def _exec_l32i(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = core.load(r[rs] + imm, 4, False)
+
+
+def _exec_l16ui(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = core.load(r[rs] + imm, 2, False)
+
+
+def _exec_l16si(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = core.load(r[rs] + imm, 2, True)
+
+
+def _exec_l8ui(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    r[rd] = core.load(r[rs] + imm, 1, False)
+
+
+def _exec_s32i(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    core.store(r[rs] + imm, r[rd], 4)
+
+
+def _exec_s16i(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    core.store(r[rs] + imm, r[rd] & 0xFFFF, 2)
+
+
+def _exec_s8i(core, ops):
+    rd, rs, imm = ops
+    r = core.regs
+    core.store(r[rs] + imm, r[rd] & 0xFF, 1)
+
+
+# Branch targets are resolved to absolute word indexes at decode time,
+# so the executor only has to assign ``core.npc``.
+
+def _exec_beq(core, ops):
+    rs, rt, target = ops
+    r = core.regs
+    if r[rs] == r[rt]:
+        core.npc = target
+        core.branch_taken = True
+
+
+def _exec_bne(core, ops):
+    rs, rt, target = ops
+    r = core.regs
+    if r[rs] != r[rt]:
+        core.npc = target
+        core.branch_taken = True
+
+
+def _exec_blt(core, ops):
+    rs, rt, target = ops
+    r = core.regs
+    if to_signed(r[rs]) < to_signed(r[rt]):
+        core.npc = target
+        core.branch_taken = True
+
+
+def _exec_bltu(core, ops):
+    rs, rt, target = ops
+    r = core.regs
+    if r[rs] < r[rt]:
+        core.npc = target
+        core.branch_taken = True
+
+
+def _exec_bge(core, ops):
+    rs, rt, target = ops
+    r = core.regs
+    if to_signed(r[rs]) >= to_signed(r[rt]):
+        core.npc = target
+        core.branch_taken = True
+
+
+def _exec_bgeu(core, ops):
+    rs, rt, target = ops
+    r = core.regs
+    if r[rs] >= r[rt]:
+        core.npc = target
+        core.branch_taken = True
+
+
+def _exec_beqz(core, ops):
+    rs, target = ops
+    if core.regs[rs] == 0:
+        core.npc = target
+        core.branch_taken = True
+
+
+def _exec_bnez(core, ops):
+    rs, target = ops
+    if core.regs[rs] != 0:
+        core.npc = target
+        core.branch_taken = True
+
+
+def _exec_j(core, ops):
+    core.npc = ops[0]
+
+
+def _exec_jal(core, ops):
+    core.regs[0] = core.pc + 1
+    core.npc = ops[0]
+
+
+def _exec_jalr(core, ops):
+    rd, rs, _imm = ops
+    r = core.regs
+    target = r[rs]
+    r[rd] = core.pc + 1
+    core.npc = target
+
+
+def _exec_ret(core, ops):
+    core.npc = core.regs[0]
+
+
+def _exec_rur(core, ops):
+    rd, ur = ops
+    core.regs[rd] = core.read_user_register(ur)
+
+
+def _exec_wur(core, ops):
+    rd, ur = ops
+    core.write_user_register(ur, core.regs[rd])
+
+
+def _exec_nop(core, ops):
+    pass
+
+
+def _exec_halt(core, ops):
+    core.halted = True
+
+
+#: (name, format key, timing kind, executor, feature gate)
+_BASE_TABLE = (
+    ("add",   "R",  "alu",      _exec_add,   None),
+    ("sub",   "R",  "alu",      _exec_sub,   None),
+    ("and",   "R",  "alu",      _exec_and,   None),
+    ("or",    "R",  "alu",      _exec_or,    None),
+    ("xor",   "R",  "alu",      _exec_xor,   None),
+    ("sll",   "R",  "alu",      _exec_sll,   None),
+    ("srl",   "R",  "alu",      _exec_srl,   None),
+    ("sra",   "R",  "alu",      _exec_sra,   None),
+    ("slt",   "R",  "alu",      _exec_slt,   None),
+    ("sltu",  "R",  "alu",      _exec_sltu,  None),
+    ("min",   "R",  "alu",      _exec_min,   None),
+    ("max",   "R",  "alu",      _exec_max,   None),
+    ("minu",  "R",  "alu",      _exec_minu,  None),
+    ("maxu",  "R",  "alu",      _exec_maxu,  None),
+    ("mul",   "R",  "mul",      _exec_mul,   "has_mul"),
+    ("mulh",  "R",  "mul",      _exec_mulh,  "has_mul"),
+    ("quou",  "R",  "div",      _exec_quou,  "has_div"),
+    ("remu",  "R",  "div",      _exec_remu,  "has_div"),
+    ("quos",  "R",  "div",      _exec_quos,  "has_div"),
+    ("rems",  "R",  "div",      _exec_rems,  "has_div"),
+    ("addi",  "I",  "alu",      _exec_addi,  None),
+    ("andi",  "IU", "alu",      _exec_andi,  None),
+    ("ori",   "IU", "alu",      _exec_ori,   None),
+    ("xori",  "IU", "alu",      _exec_xori,  None),
+    ("slli",  "I",  "alu",      _exec_slli,  None),
+    ("srli",  "I",  "alu",      _exec_srli,  None),
+    ("srai",  "I",  "alu",      _exec_srai,  None),
+    ("slti",  "I",  "alu",      _exec_slti,  None),
+    ("sltui", "IU", "alu",      _exec_sltui, None),
+    ("movi",  "I",  "alu",      _exec_movi,  None),
+    ("movhi", "IU", "alu",      _exec_movhi, None),
+    ("l32i",  "I",  "load",     _exec_l32i,  None),
+    ("l16ui", "I",  "load",     _exec_l16ui, None),
+    ("l16si", "I",  "load",     _exec_l16si, None),
+    ("l8ui",  "I",  "load",     _exec_l8ui,  None),
+    ("s32i",  "I",  "store",    _exec_s32i,  None),
+    ("s16i",  "I",  "store",    _exec_s16i,  None),
+    ("s8i",   "I",  "store",    _exec_s8i,   None),
+    ("beq",   "B",  "branch",   _exec_beq,   None),
+    ("bne",   "B",  "branch",   _exec_bne,   None),
+    ("blt",   "B",  "branch",   _exec_blt,   None),
+    ("bltu",  "B",  "branch",   _exec_bltu,  None),
+    ("bge",   "B",  "branch",   _exec_bge,   None),
+    ("bgeu",  "B",  "branch",   _exec_bgeu,  None),
+    ("beqz",  "BZ", "branch",   _exec_beqz,  None),
+    ("bnez",  "BZ", "branch",   _exec_bnez,  None),
+    ("j",     "J",  "jump",     _exec_j,     None),
+    ("jal",   "J",  "call",     _exec_jal,   None),
+    ("jalr",  "I",  "indirect", _exec_jalr,  None),
+    ("ret",   "N",  "indirect", _exec_ret,   None),
+    ("rur",   "U",  "alu",      _exec_rur,   None),
+    ("wur",   "U",  "alu",      _exec_wur,   None),
+    ("nop",   "N",  "nop",      _exec_nop,   None),
+    ("halt",  "N",  "halt",     _exec_halt,  None),
+)
+
+
+def build_base_isa(features=None):
+    """Construct the base instruction set.
+
+    *features* is an optional mapping of feature flags
+    (``has_mul``/``has_div``); instructions gated on an absent or false
+    feature are excluded, mirroring how a customizable processor is
+    configured without, e.g., a hardware divider (the paper's DBA
+    processors lack integer division, Section 5.1).
+    """
+    features = features or {}
+    isa = InstructionSet()
+    opcode = 0x01
+    for name, fmt, kind, executor, gate in _BASE_TABLE:
+        if gate is not None and not features.get(gate, True):
+            opcode += 1  # keep the opcode map stable across configs
+            continue
+        isa.add(InstructionSpec(name, opcode, fmt, kind, executor))
+        opcode += 1
+    return isa
+
+
+def pad_tie_operands(spec, operands):
+    """Pad a TIE operand tuple to the arity of its binary format.
+
+    TIE operations reuse the base binary formats (R/I/N); unused fields
+    are packed as zero.  The immediate, when present, is always the
+    last declared operand and maps to the format's immediate field.
+    """
+    kinds = spec.operand_kinds
+    nibbles = [operands[i] for i, kind in enumerate(kinds) if kind != "imm"]
+    imms = [operands[i] for i, kind in enumerate(kinds) if kind == "imm"]
+    if spec.fmt == "N":
+        return ()
+    if spec.fmt in ("I", "IU"):
+        while len(nibbles) < 2:
+            nibbles.append(0)
+        return tuple(nibbles) + (imms[0] if imms else 0,)
+    arity = 4 if spec.fmt == "R4" else 3
+    while len(nibbles) < arity:
+        nibbles.append(0)
+    return tuple(nibbles)
+
+
+def unpack_tie_operands(spec, fields):
+    """Inverse of :func:`pad_tie_operands` (decode path)."""
+    kinds = spec.operand_kinds
+    fields = list(fields)
+    result = []
+    nib_index = 0
+    for kind in kinds:
+        if kind == "imm":
+            result.append(fields[-1])
+        else:
+            result.append(fields[nib_index])
+            nib_index += 1
+    return tuple(result)
+
+
+#: Mnemonics whose third operand is a branch label (for the assembler).
+BRANCH_MNEMONICS = frozenset(
+    name for name, fmt, _k, _e, _g in _BASE_TABLE if fmt in ("B", "BZ"))
+JUMP_MNEMONICS = frozenset(
+    name for name, fmt, _k, _e, _g in _BASE_TABLE if fmt == "J")

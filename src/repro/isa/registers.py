@@ -1,0 +1,99 @@
+"""Register model of the XR32 base architecture.
+
+The XR32 core (our stand-in for the Tensilica LX4 base processor)
+exposes sixteen 32-bit general-purpose *address registers* ``a0`` to
+``a15``.  By software convention ``a0`` holds the return address and
+``a1`` the stack pointer, mirroring the Xtensa calling convention the
+paper's tool chain uses.
+
+Extension (TIE) state is *not* part of this file: user-defined states
+and register files are created by :mod:`repro.tie` and live next to the
+base register file inside the processor core.
+"""
+
+from .errors import RegisterError
+
+#: Number of general-purpose address registers.
+NUM_ADDRESS_REGISTERS = 16
+
+#: Conventional role of selected registers (documentation + disassembly).
+REGISTER_ALIASES = {
+    "ra": 0,   # return address (a0)
+    "sp": 1,   # stack pointer  (a1)
+}
+
+_CANONICAL_NAMES = tuple("a%d" % i for i in range(NUM_ADDRESS_REGISTERS))
+
+
+def register_name(index):
+    """Return the canonical name (``a<n>``) for a register index."""
+    if not 0 <= index < NUM_ADDRESS_REGISTERS:
+        raise RegisterError("register index out of range: %r" % (index,))
+    return _CANONICAL_NAMES[index]
+
+
+def parse_register(token):
+    """Parse a register token (``a4``, ``sp``, ``ra``) to its index.
+
+    Raises :class:`RegisterError` for anything that is not a valid
+    register name.  Case is ignored.
+    """
+    if not isinstance(token, str):
+        raise RegisterError("register name must be a string: %r" % (token,))
+    name = token.strip().lower()
+    if name in REGISTER_ALIASES:
+        return REGISTER_ALIASES[name]
+    if name.startswith("a") and name[1:].isdigit():
+        index = int(name[1:])
+        if 0 <= index < NUM_ADDRESS_REGISTERS:
+            return index
+    raise RegisterError("not a register: %r" % (token,))
+
+
+def is_register(token):
+    """Return True if *token* names a base address register."""
+    try:
+        parse_register(token)
+    except RegisterError:
+        return False
+    return True
+
+
+class RegisterFile:
+    """A fixed-size file of 32-bit registers.
+
+    Values are stored as unsigned Python integers in ``[0, 2**32)``.
+    Writing masks to 32 bits so semantic code can stay free of explicit
+    wrapping.
+    """
+
+    __slots__ = ("name", "width_bits", "_mask", "_values")
+
+    def __init__(self, name, size=NUM_ADDRESS_REGISTERS, width_bits=32):
+        self.name = name
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self._values = [0] * size
+
+    def __len__(self):
+        return len(self._values)
+
+    def read(self, index):
+        return self._values[index]
+
+    def write(self, index, value):
+        self._values[index] = value & self._mask
+
+    def reset(self):
+        for i in range(len(self._values)):
+            self._values[i] = 0
+
+    def snapshot(self):
+        """Return a copy of the register contents (for tests/tracing)."""
+        return list(self._values)
+
+    # Allow semantic closures to use item syntax for speed/readability.
+    __getitem__ = read
+
+    def __setitem__(self, index, value):
+        self._values[index] = value & self._mask

@@ -1,0 +1,23 @@
+"""Synthesis flow: structural area, timing and power models.
+
+Stands in for the paper's Synopsys Design Compiler / PrimeTime flow on
+TSMC 65 nm LP and GF 28 nm SLP libraries (Section 5.1).
+"""
+
+from .area import (area_breakdown, base_core_netlist, full_netlist,
+                   logic_area_mm2, memory_area_mm2)
+from .power import EIS_ACTIVITY_FACTOR, energy_per_element_nj, power_mw
+from .scaling import ManyCoreModel
+from .synthesis import SynthesisReport, synthesize, synthesize_config
+from .technology import GF_28NM_SLP, TECHNOLOGIES, TSMC_65NM_LP, Technology
+from .timing import critical_path_fo4, max_frequency_mhz
+
+__all__ = [
+    "area_breakdown", "base_core_netlist", "full_netlist",
+    "logic_area_mm2", "memory_area_mm2",
+    "EIS_ACTIVITY_FACTOR", "energy_per_element_nj", "power_mw",
+    "ManyCoreModel",
+    "SynthesisReport", "synthesize", "synthesize_config",
+    "GF_28NM_SLP", "TECHNOLOGIES", "TSMC_65NM_LP", "Technology",
+    "critical_path_fo4", "max_frequency_mhz",
+]

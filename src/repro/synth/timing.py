@@ -1,0 +1,65 @@
+"""Timing model: critical paths and maximum core frequency.
+
+The core frequency is set by the longest combinational path of any
+pipeline stage (paper Section 2.2: "the critical path ... might be
+largely increased when many instructions are merged into a single
+one").  Stage paths are expressed in FO4 units and converted to MHz by
+the technology's FO4 delay:
+
+* the base core's worst stage (calibrated to the 108Mini's 442 MHz at
+  65 nm),
+* additions for the 128-bit bus muxing and the second LSU,
+* for EIS processors, the extension datapath stage: the longest
+  declared operation path plus the state setup/routing overhead.
+
+The resulting frequencies reproduce Table 2/3's ordering: 442 (Mini),
+435 (DBA_1LSU), 429 (DBA_2LSU), 424 (DBA_1LSU_EIS), 410
+(DBA_2LSU_EIS); at 28 nm the SLVT low-voltage libraries cap the clock
+at 500 MHz.
+"""
+
+#: Worst base-core stage in FO4 units (65 nm calibration: 442 MHz).
+BASE_STAGE_FO4 = 90.5
+#: Extra depth of the 128-bit data-bus mux/alignment network.
+WIDE_BUS_FO4 = 1.5
+#: Extra depth of arbitrating a second LSU into the memory stage.
+SECOND_LSU_FO4 = 1.3
+#: Flop setup + operand routing around the EIS datapath stage.
+EIS_STAGE_OVERHEAD_FO4 = 61.3
+#: Additional port muxing of the EIS load path with two LSUs.
+EIS_SECOND_LSU_FO4 = 3.3
+
+
+def base_stage_fo4(config):
+    path = BASE_STAGE_FO4
+    if config.lsu_port_bits >= 128:
+        path += WIDE_BUS_FO4
+    if config.num_lsus == 2:
+        path += SECOND_LSU_FO4
+    return path
+
+
+def extension_stage_fo4(config, extension_netlist):
+    """Path of the extension's datapath stage."""
+    path = extension_netlist.longest_path_fo4()
+    if path <= 0:
+        return 0.0
+    path += EIS_STAGE_OVERHEAD_FO4
+    if config.num_lsus == 2:
+        path += EIS_SECOND_LSU_FO4
+    return path
+
+
+def critical_path_fo4(config, extension_netlists=()):
+    """Longest stage path of the full processor."""
+    paths = [base_stage_fo4(config)]
+    for netlist in extension_netlists:
+        stage = extension_stage_fo4(config, netlist)
+        if stage:
+            paths.append(stage)
+    return max(paths)
+
+
+def max_frequency_mhz(config, technology, extension_netlists=()):
+    path = critical_path_fo4(config, extension_netlists)
+    return technology.path_to_mhz(path)

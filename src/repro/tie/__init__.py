@@ -1,0 +1,24 @@
+"""TIE-like instruction-extension framework.
+
+The reproduction of Tensilica's TIE tool chain (paper Sections 2.1 and
+3.1-3.2): declare states, register files and operations; attach them to
+a processor to get executable instructions, assembler support, FLIX
+bundle formats, compiler intrinsics and a synthesis netlist.
+"""
+
+from .compiler import attach_extension, compile_operation
+from .flix import FlixFormat, Slot
+from .intrinsics import Intrinsics
+from .language import (Operand, Operation, RegFile, State, StateUse,
+                       TieError, TieExtension, VectorState)
+from .netlist import (Netlist, PRIMITIVES, Primitive, circuit_cost,
+                      extension_netlist, path_delay, primitive)
+
+__all__ = [
+    "attach_extension", "compile_operation",
+    "FlixFormat", "Slot", "Intrinsics",
+    "Operand", "Operation", "RegFile", "State", "StateUse",
+    "TieError", "TieExtension", "VectorState",
+    "Netlist", "PRIMITIVES", "Primitive", "circuit_cost",
+    "extension_netlist", "path_delay", "primitive",
+]

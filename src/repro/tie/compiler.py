@@ -1,0 +1,176 @@
+"""TIE compiler: turns extension declarations into executable ISA.
+
+This is the reproduction's "processor generator" (paper Figure 4): it
+takes a :class:`~repro.tie.language.TieExtension` and registers, on a
+concrete processor instance,
+
+* ``rur``/``wur`` access for every ``add_read_write`` state,
+* the user register files (visible to the assembler),
+* one :class:`~repro.isa.instructions.InstructionSpec` per operation,
+  with an executor closure that moves operand values between the base
+  register file / user register files and the semantics function,
+* the FLIX bundle formats.
+"""
+
+from ..isa.instructions import InstructionSpec  # noqa: F401
+from .language import TieError
+
+#: Compact operand field widths inside FLIX slots (bits).
+AR_FIELD_BITS = 4
+RF_FIELD_BITS = 4
+IMM_FIELD_BITS = 10
+
+
+def attach_extension(extension, processor):
+    """Register *extension* with *processor* (both are mutated)."""
+    if not hasattr(processor, "regfiles"):
+        processor.regfiles = {}
+    for state in extension.states:
+        if state.read_write:
+            processor.register_user_register(
+                state.name,
+                _state_reader(state),
+                _state_writer(state))
+    for regfile in extension.regfiles:
+        if regfile.name in processor.regfiles:
+            raise TieError("regfile %r already registered" % regfile.name)
+        processor.regfiles[regfile.name] = regfile
+    for operation in extension.operations:
+        spec = compile_operation(operation, extension, processor.isa)
+        processor.isa.add(spec)
+    for flix_format in extension.flix_formats:
+        flix_format.bind(processor.isa)
+        processor.flix_formats.append(flix_format)
+    processor.extension_states[extension.name] = extension
+
+
+def _state_reader(state):
+    return lambda: state.value
+
+
+def _state_writer(state):
+    return state.write
+
+
+def compile_operation(operation, extension, isa):
+    """Build the :class:`InstructionSpec` for one TIE operation."""
+    kinds = tuple(op.compact_kind for op in operation.operands)
+    _validate_operands(operation, kinds)
+    fmt = _choose_format(operation.name, kinds)
+    executor = _make_executor(operation, extension)
+    spec = InstructionSpec(
+        name=operation.name,
+        opcode=isa.allocate_extension_opcode(),
+        fmt=fmt,
+        kind="tie",
+        executor=executor,
+        extension=extension.name,
+        extra_cycles=operation.extra_cycles)
+    spec.operand_kinds = kinds
+    spec.slot_class = operation.slot_class
+    spec.reads_positions = tuple(
+        index for index, op in enumerate(operation.operands)
+        if op.direction == "in" and op.kind == "ar")
+    spec.writes_positions = tuple(
+        index for index, op in enumerate(operation.operands)
+        if op.direction == "out" and op.kind == "ar")
+    return spec
+
+
+def _validate_operands(operation, kinds):
+    imm_positions = [i for i, kind in enumerate(kinds) if kind == "imm"]
+    if len(imm_positions) > 1:
+        raise TieError("%s: at most one immediate operand"
+                       % operation.name)
+    if imm_positions and imm_positions[0] != len(kinds) - 1:
+        raise TieError("%s: the immediate must be the last operand"
+                       % operation.name)
+    nibbles = sum(1 for kind in kinds if kind != "imm")
+    if nibbles > 4:
+        raise TieError("%s: at most four register operands"
+                       % operation.name)
+    for op in operation.operands:
+        if op.kind == "imm" and op.direction == "out":
+            raise TieError("%s: immediates cannot be outputs"
+                           % operation.name)
+
+
+def _choose_format(name, kinds):
+    has_imm = "imm" in kinds
+    nibbles = sum(1 for kind in kinds if kind != "imm")
+    if not kinds:
+        return "N"
+    if has_imm:
+        if nibbles > 2:
+            raise TieError("%s: immediate form allows at most two "
+                           "register operands" % name)
+        return "I"
+    if nibbles > 3:
+        return "R4"
+    return "R"
+
+
+def _make_executor(operation, extension):
+    """Compile the operand marshalling around the semantics function."""
+    in_moves = []
+    out_moves = []
+    for position, operand in enumerate(operation.operands):
+        if operand.direction == "in":
+            in_moves.append((position, operand.kind))
+        else:
+            out_moves.append((position, operand.kind))
+    semantics = operation.semantics
+    single_out = len(out_moves) == 1
+    name = operation.name
+
+    def executor(core, operands, _in=tuple(in_moves),
+                 _out=tuple(out_moves), _ext=extension):
+        args = []
+        regs = core.regs
+        for position, kind in _in:
+            value = operands[position]
+            if kind == "ar":
+                args.append(regs[value])
+            elif kind == "imm":
+                args.append(value)
+            else:
+                args.append(kind.values[value])
+        result = semantics(_ext, core, *args)
+        if not _out:
+            return
+        if single_out:
+            results = (result,)
+        else:
+            results = result
+            try:
+                count = len(results)
+            except TypeError:
+                count = -1
+            if count != len(_out):
+                raise TieError(
+                    "%s semantics returned %r for %d outputs"
+                    % (name, result, len(_out)))
+        for (position, kind), value in zip(_out, results):
+            target = operands[position]
+            if kind == "ar":
+                regs[target] = value
+            else:
+                kind.write(target, value)
+
+    return executor
+
+
+def compact_operand_kinds(spec):
+    """Compact kinds of any spec (TIE or base) for FLIX slot packing."""
+    kinds = getattr(spec, "operand_kinds", None)
+    if kinds is not None:
+        return kinds
+    return spec.format.operand_kinds
+
+
+def field_bits(kind):
+    if kind in ("ar", "reg") or kind.startswith("rf:"):
+        return AR_FIELD_BITS
+    if kind in ("imm", "off"):
+        return IMM_FIELD_BITS
+    raise TieError("unknown compact operand kind %r" % kind)

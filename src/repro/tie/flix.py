@@ -1,0 +1,180 @@
+"""FLIX: Flexible Length Instruction Xtension bundle formats.
+
+The paper sets the VLIW instruction width to 64 bits (Section 3.2).  A
+bundle occupies two 32-bit instruction-memory words: the header word
+carries the FLIX marker opcode, the format id and the slot count; the
+remaining 16 header bits plus the full second word form a 48-bit
+payload pool into which the slots are bit-packed.
+
+Each slot stores the 8-bit opcode of its operation followed by compact
+operand fields (4 bits per register, 10 bits per immediate or branch
+offset).  Branch offsets are re-encoded relative to the word after the
+bundle, giving a ±511-word range — ample for the unrolled kernel loops.
+"""
+
+from ..isa.encoding import pack_flix_header
+from ..isa.errors import EncodingError
+from .compiler import compact_operand_kinds, field_bits
+from .language import TieError
+
+PAYLOAD_BITS = 48
+OPCODE_BITS = 8
+
+
+class Slot:
+    """One issue slot of a FLIX format.
+
+    *classes* lists what the slot's hardware can execute: TIE slot
+    classes (``"mem"``, ``"compute"``) and/or base instruction kinds
+    (``"alu"``, ``"branch"``, ``"jump"``, ``"load"``, ``"store"``,
+    ``"nop"``).
+    """
+
+    def __init__(self, name, classes):
+        self.name = name
+        self.classes = frozenset(classes)
+
+    def accepts(self, spec):
+        if spec.kind == "tie":
+            slot_class = getattr(spec, "slot_class", None)
+            # slot_class is carried on the TIE operation; the spec kind
+            # collapses to "tie", so consult the per-op class recorded
+            # at bind time.
+            return slot_class in self.classes or "any" in self.classes
+        return spec.kind in self.classes or "any" in self.classes
+
+    def __repr__(self):
+        return "<Slot %s %s>" % (self.name, sorted(self.classes))
+
+
+class FlixFormat:
+    """A 64-bit bundle format with ordered slots."""
+
+    def __init__(self, name, format_id, slots):
+        if not 0 <= format_id < 16:
+            raise TieError("format id must fit in 4 bits")
+        self.name = name
+        self.format_id = format_id
+        self.slots = list(slots)
+        self._isa = None
+
+    def bind(self, isa):
+        """Associate with a processor's ISA (for opcode lookup)."""
+        self._isa = isa
+
+    # -- slot matching -------------------------------------------------------
+
+    def accepts(self, items):
+        """Greedy in-order assignment of bundle items to slots."""
+        if len(items) > len(self.slots):
+            return False
+        slot_index = 0
+        for item in items:
+            placed = False
+            while slot_index < len(self.slots):
+                if self.slots[slot_index].accepts(item.spec):
+                    placed = True
+                    slot_index += 1
+                    break
+                slot_index += 1
+            if not placed:
+                return False
+        return True
+
+    # -- binary encoding ------------------------------------------------------
+
+    def encode_bundle(self, bundle, index):
+        """Encode to ``(header_word, payload_word)``.
+
+        *index* is the bundle's word index (branch offsets are relative
+        to ``index + 2``).
+        """
+        bits = []
+        for slot_item in bundle.slots:
+            spec = slot_item.spec
+            bits.append((spec.opcode, OPCODE_BITS))
+            kinds = compact_operand_kinds(spec)
+            operands = _encoding_operands(spec, slot_item.operands, index)
+            for kind, value in zip(kinds, operands):
+                width = field_bits(kind)
+                if kind in ("imm", "off"):
+                    lo = -(1 << (width - 1))
+                    hi = 1 << (width - 1)
+                    if not lo <= value < hi:
+                        raise EncodingError(
+                            "%s: %s field %d out of range in bundle"
+                            % (spec.name, kind, value))
+                    value &= (1 << width) - 1
+                elif not 0 <= value < (1 << width):
+                    raise EncodingError(
+                        "%s: register field %d out of range"
+                        % (spec.name, value))
+                bits.append((value, width))
+        total = sum(width for _v, width in bits)
+        if total > PAYLOAD_BITS:
+            raise EncodingError(
+                "bundle payload needs %d bits, only %d available"
+                % (total, PAYLOAD_BITS))
+        payload = 0
+        used = 0
+        for value, width in bits:
+            payload = (payload << width) | value
+            used += width
+        payload <<= PAYLOAD_BITS - used
+        header = pack_flix_header(self.format_id, len(bundle.slots))
+        header |= (payload >> 32) & 0xFFFF
+        return header, payload & 0xFFFFFFFF
+
+    def decode_bundle(self, header_word, payload_word, slot_count, index):
+        """Decode back to a list of ``(spec, operands)`` pairs."""
+        if self._isa is None:
+            raise EncodingError("FLIX format %s is not bound to an ISA"
+                                % self.name)
+        pool = ((header_word & 0xFFFF) << 32) | payload_word
+        cursor = PAYLOAD_BITS
+        slots = []
+        for _ in range(slot_count):
+            cursor -= OPCODE_BITS
+            opcode = (pool >> cursor) & 0xFF
+            spec = self._isa.lookup_opcode(opcode)
+            kinds = compact_operand_kinds(spec)
+            fields = []
+            for kind in kinds:
+                width = field_bits(kind)
+                cursor -= width
+                value = (pool >> cursor) & ((1 << width) - 1)
+                if kind in ("imm", "off"):
+                    sign = 1 << (width - 1)
+                    value = (value & (sign - 1)) - (value & sign)
+                fields.append(value)
+            operands = _decoding_operands(spec, fields, index)
+            slots.append((spec, operands))
+        return slots
+
+    def __repr__(self):
+        return "<FlixFormat %s id=%d slots=%d>" % (
+            self.name, self.format_id, len(self.slots))
+
+
+def _encoding_operands(spec, operands, index):
+    """Map decode-time operands to encodable field values.
+
+    TIE operands are packed in declaration order (immediates are
+    validated to come last), so no padding or reordering is needed —
+    unlike the 32-bit scalar encodings which pad to format arity.
+    """
+    if getattr(spec, "operand_kinds", None) is not None:
+        return operands
+    values = list(operands)
+    if spec.fmt in ("B", "BZ", "J"):
+        values[-1] = values[-1] - (index + 2)
+    return values
+
+
+def _decoding_operands(spec, fields, index):
+    if getattr(spec, "operand_kinds", None) is not None:
+        return tuple(fields)
+    values = list(fields)
+    if spec.fmt in ("B", "BZ", "J"):
+        values[-1] = values[-1] + index + 2
+    return tuple(values)

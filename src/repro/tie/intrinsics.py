@@ -1,0 +1,92 @@
+"""Intrinsic-style direct invocation of TIE operations.
+
+The processor generator emits compiler intrinsics for each new
+instruction (paper Section 3.1: "The newly introduced instructions are
+made available by intrinsics").  This module provides the equivalent
+for host-side testing: call a single extension operation on a live
+processor without assembling a program.  The paper's verification
+methodology — "a dedicated unit test for each newly introduced
+instruction" — is implemented on top of this in ``tests/core``.
+"""
+
+from ..isa.errors import IsaError
+from .language import TieError
+
+
+class Intrinsics:
+    """Callable façade over a processor's TIE operations.
+
+    ``Intrinsics(proc).sop_intersect(...)`` executes the operation's
+    semantics on the live processor state.  Inputs are matched to the
+    operation's ``in`` operands in declaration order; outputs are
+    returned (a bare value for a single output, a tuple otherwise).
+    """
+
+    def __init__(self, processor):
+        self._processor = processor
+
+    def __getattr__(self, name):
+        processor = self.__dict__["_processor"]
+        try:
+            spec = processor.isa.lookup(name)
+        except IsaError:
+            raise AttributeError(name) from None
+        if spec.kind != "tie":
+            raise TieError("%s is not a TIE operation" % name)
+        extension = processor.extension_states[spec.extension]
+        operation = extension.operation(name)
+        return _IntrinsicCall(processor, spec, operation)
+
+
+class _IntrinsicCall:
+    """Executes one TIE op with Python-level operand values."""
+
+    def __init__(self, processor, spec, operation):
+        self.processor = processor
+        self.spec = spec
+        self.operation = operation
+
+    def __call__(self, *values):
+        processor = self.processor
+        operands = []
+        scratch_ar = 8  # a8..a15 stage intrinsic values
+        scratch_rf = {}
+        value_iter = iter(values)
+        in_count = sum(1 for op in self.operation.operands
+                       if op.direction == "in")
+        if len(values) != in_count:
+            raise TieError("%s takes %d inputs, got %d"
+                           % (self.spec.name, in_count, len(values)))
+        for operand in self.operation.operands:
+            if operand.kind == "imm":
+                operands.append(next(value_iter))
+                continue
+            if operand.kind == "ar":
+                if operand.direction == "in":
+                    if scratch_ar > 15:
+                        raise TieError("too many AR operands to stage")
+                    processor.regs[scratch_ar] = next(value_iter)
+                operands.append(scratch_ar)
+                scratch_ar += 1
+                continue
+            regfile = operand.kind
+            index = scratch_rf.get(regfile.name, 0)
+            if operand.direction == "in":
+                regfile.write(index, next(value_iter))
+            operands.append(index)
+            scratch_rf[regfile.name] = index + 1
+        processor.mem_extra = 0
+        self.spec.executor(processor, tuple(operands))
+        outputs = []
+        for operand, slot in zip(self.operation.operands, operands):
+            if operand.direction != "out":
+                continue
+            if operand.kind == "ar":
+                outputs.append(processor.regs[slot])
+            else:
+                outputs.append(operand.kind.read(slot))
+        if not outputs:
+            return None
+        if len(outputs) == 1:
+            return outputs[0]
+        return tuple(outputs)

@@ -1,0 +1,286 @@
+"""A TIE-like extension description language.
+
+The paper builds its instruction-set extension with Tensilica's TIE
+language (Section 3.2, Figure 5): designers declare *states*, *register
+files* and *operations*, and the processor generator produces a
+simulator, compiler intrinsics and synthesizable RTL.  This module is
+the declarative layer of our Python equivalent; the
+:mod:`repro.tie.compiler` turns these declarations into executable
+instructions, and :mod:`repro.tie.netlist` derives the hardware cost
+model used by :mod:`repro.synth`.
+
+Example (the paper's Figure 5, verbatim semantics)::
+
+    state8 = State("state8", width_bits=8)        # 8'h0, add_read_write
+    reg32 = RegFile("reg32", width_bits=32, size=8, prefix="v")
+    add3_shift = Operation(
+        "add3_shift",
+        operands=[Operand("res", "out", "ar"),
+                  Operand("in0", "in", reg32),
+                  Operand("in1", "in", reg32),
+                  Operand("in2", "in", reg32)],
+        states=[StateUse(state8, "in")],
+        semantics=lambda ext, core, in0, in1, in2:
+            ((in0 + in1 + in2) >> ext.state("state8").value) & 0xFFFFFFFF,
+    )
+"""
+
+from ..isa.errors import IsaError
+
+M32 = 0xFFFFFFFF
+
+
+class TieError(IsaError):
+    """Invalid TIE declaration or usage."""
+
+
+class State:
+    """A TIE state: private processor-internal storage.
+
+    States are read and written by operations *in the same cycle the
+    instruction executes*; in contrast to register-file entries, the
+    program (not the compiler) manages their contents.  States up to
+    32 bits wide are exposed to software through ``rur``/``wur``
+    (TIE's ``add_read_write``) under their own name.
+    """
+
+    def __init__(self, name, width_bits=32, initial=0, read_write=True):
+        if width_bits < 1:
+            raise TieError("state width must be positive")
+        self.name = name
+        self.width_bits = width_bits
+        self.mask = (1 << width_bits) - 1
+        self.initial = initial & self.mask
+        self.read_write = read_write and width_bits <= 32
+        self.value = self.initial
+
+    def reset(self):
+        self.value = self.initial
+
+    def write(self, value):
+        self.value = value & self.mask
+
+    def __repr__(self):
+        return "<State %s %db = 0x%x>" % (self.name, self.width_bits,
+                                          self.value)
+
+
+class VectorState(State):
+    """A state holding a short vector of 32-bit elements.
+
+    Models the paper's Load/Word/Result/Store states (Figure 8/9),
+    which each keep four 32-bit elements.  The vector is stored as a
+    Python list for direct datapath-style manipulation.
+    """
+
+    def __init__(self, name, lanes=4, initial=None):
+        super().__init__(name, width_bits=32 * lanes, read_write=False)
+        self.lanes = lanes
+        self.initial_vector = list(initial) if initial is not None \
+            else [0] * lanes
+        if len(self.initial_vector) != lanes:
+            raise TieError("initial vector length mismatch")
+        self.value = list(self.initial_vector)
+
+    def reset(self):
+        self.value = list(self.initial_vector)
+
+    def write(self, value):
+        if len(value) != self.lanes:
+            raise TieError("%s: expected %d lanes, got %d"
+                           % (self.name, self.lanes, len(value)))
+        self.value = [v & M32 for v in value]
+
+    def __repr__(self):
+        return "<VectorState %s %s>" % (self.name, self.value)
+
+
+class RegFile:
+    """A user-defined register file (TIE ``regfile``).
+
+    Entries are addressed in assembly as ``<prefix><index>``, e.g. the
+    Figure 5 file ``regfile reg32 32 8 reg`` with prefix ``v`` gives
+    ``v0`` .. ``v7``.
+    """
+
+    def __init__(self, name, width_bits=32, size=8, prefix=None):
+        if size < 1 or size > 16:
+            raise TieError("regfile size must be 1..16 (4-bit operand)")
+        self.name = name
+        self.width_bits = width_bits
+        self.mask = (1 << width_bits) - 1
+        self.size = size
+        self.prefix = prefix or name
+        self.values = [0] * size
+
+    def parse(self, token):
+        token = token.strip()
+        if token.startswith(self.prefix):
+            tail = token[len(self.prefix):]
+            if tail.isdigit():
+                index = int(tail)
+                if 0 <= index < self.size:
+                    return index
+        raise TieError("not a %s register: %r" % (self.name, token))
+
+    def read(self, index):
+        return self.values[index]
+
+    def write(self, index, value):
+        self.values[index] = value & self.mask
+
+    def reset(self):
+        self.values = [0] * self.size
+
+    def __repr__(self):
+        return "<RegFile %s %dx%db>" % (self.name, self.size,
+                                        self.width_bits)
+
+
+class Operand:
+    """One operand of a TIE operation."""
+
+    def __init__(self, name, direction, kind):
+        if direction not in ("in", "out"):
+            raise TieError("operand direction must be 'in' or 'out'")
+        if not (kind in ("ar", "imm") or isinstance(kind, RegFile)):
+            raise TieError("operand kind must be 'ar', 'imm' or a RegFile")
+        self.name = name
+        self.direction = direction
+        self.kind = kind
+
+    @property
+    def compact_kind(self):
+        if self.kind == "ar":
+            return "ar"
+        if self.kind == "imm":
+            return "imm"
+        return "rf:%s" % self.kind.name
+
+    def __repr__(self):
+        return "<Operand %s %s %s>" % (self.name, self.direction,
+                                       self.compact_kind)
+
+
+class StateUse:
+    """Declares that an operation reads and/or writes a state."""
+
+    def __init__(self, state, direction):
+        if direction not in ("in", "out", "inout"):
+            raise TieError("state direction must be in/out/inout")
+        self.state = state
+        self.direction = direction
+
+
+class Operation:
+    """A TIE operation: semantics plus hardware-cost description.
+
+    Parameters
+    ----------
+    semantics:
+        ``f(extension, core, *in_values) -> out value(s)``.  Receives
+        the values of the ``in`` operands in declaration order and must
+        return one value per ``out`` operand (a bare value when there
+        is exactly one).  State access goes through the extension.
+    slot_class:
+        FLIX scheduling class (``"mem"``, ``"compute"``, ``"any"``);
+        determines which bundle slots accept the operation.
+    circuit:
+        Mapping of primitive name to count, consumed by the synthesis
+        netlist (:mod:`repro.tie.netlist`).
+    """
+
+    def __init__(self, name, operands=(), states=(), semantics=None,
+                 slot_class="compute", extra_cycles=0, circuit=None,
+                 path=(), group=None, description=""):
+        self.name = name
+        self.operands = list(operands)
+        self.states = list(states)
+        if semantics is None:
+            raise TieError("operation %s needs semantics" % name)
+        self.semantics = semantics
+        self.slot_class = slot_class
+        self.extra_cycles = extra_cycles
+        self.circuit = dict(circuit or {})
+        #: Series chain of primitives forming the op's critical path.
+        self.path = tuple(path)
+        #: Area-report group (Table 4 style); defaults to the op name.
+        self.group = group or name
+        self.description = description
+        out_count = sum(1 for op in self.operands
+                        if op.direction == "out")
+        self._single_out = out_count == 1
+        self._out_count = out_count
+
+    def __repr__(self):
+        return "<Operation %s(%s)>" % (
+            self.name, ", ".join(o.name for o in self.operands))
+
+
+class TieExtension:
+    """A named bundle of states, register files, operations and formats.
+
+    One extension instance attaches to exactly one processor (states
+    are per-core hardware).  Configuration catalogs therefore construct
+    a fresh extension per processor.
+    """
+
+    def __init__(self, name, states=(), regfiles=(), operations=(),
+                 flix_formats=(), shared_circuits=None, shared_paths=None,
+                 description=""):
+        self.name = name
+        self.states = list(states)
+        self.regfiles = list(regfiles)
+        self.operations = list(operations)
+        self.flix_formats = list(flix_formats)
+        #: Circuits shared by several operations, keyed by area-report
+        #: group (e.g. the all-to-all comparator matrix shared by the
+        #: three SOP result circuits -> group "all").
+        self.shared_circuits = dict(shared_circuits or {})
+        #: Critical paths through shared circuitry: name -> primitive
+        #: chain.
+        self.shared_paths = dict(shared_paths or {})
+        self.description = description
+        self.core = None
+        self._attached = False
+
+    def state(self, name):
+        for state in self.states:
+            if state.name == name:
+                return state
+        raise TieError("no state named %r in extension %s"
+                       % (name, self.name))
+
+    def regfile(self, name):
+        for regfile in self.regfiles:
+            if regfile.name == name:
+                return regfile
+        raise TieError("no regfile named %r in extension %s"
+                       % (name, self.name))
+
+    def operation(self, name):
+        for operation in self.operations:
+            if operation.name == name:
+                return operation
+        raise TieError("no operation named %r in extension %s"
+                       % (name, self.name))
+
+    def reset(self):
+        for state in self.states:
+            state.reset()
+        for regfile in self.regfiles:
+            regfile.reset()
+
+    def attach(self, processor):
+        """Register this extension with a processor (TIE compile)."""
+        from .compiler import attach_extension
+        if self._attached:
+            raise TieError("extension %s is already attached" % self.name)
+        attach_extension(self, processor)
+        self._attached = True
+        self.core = processor
+
+    def netlist(self):
+        """Structural netlist of the extension for synthesis."""
+        from .netlist import extension_netlist
+        return extension_netlist(self)

@@ -1,0 +1,184 @@
+"""Structural hardware cost model for TIE extensions.
+
+The paper synthesizes every processor configuration with Synopsys
+Design Compiler to obtain area, maximum frequency and power (Section
+5.1/5.3).  We replace full logic synthesis with a structural model:
+every TIE operation declares the datapath primitives it instantiates
+(comparators, muxes, adders, ...), each primitive has a calibrated cost
+in NAND2 gate equivalents (GE) and a propagation delay in FO4 units,
+and the technology libraries in :mod:`repro.synth.technology` convert
+GE to mm² and FO4 to nanoseconds.
+
+This level of modeling reproduces the paper's synthesis observations:
+the union datapath is the largest op (extra result-write wiring), the
+merge-sort circuits are the smallest (no partial loading, one LSU), and
+merging many primitives into one instruction stretches the critical
+path and costs core frequency (Section 2.2).
+"""
+
+from .language import TieError
+
+
+class Primitive:
+    """One datapath building block with GE area and FO4 delay."""
+
+    __slots__ = ("name", "ge", "delay_fo4")
+
+    def __init__(self, name, ge, delay_fo4):
+        self.name = name
+        self.ge = ge
+        self.delay_fo4 = delay_fo4
+
+    def __repr__(self):
+        return "<Primitive %s %dGE %dFO4>" % (self.name, self.ge,
+                                              self.delay_fo4)
+
+
+def _p(name, ge, delay):
+    return name, Primitive(name, ge, delay)
+
+
+#: Calibrated primitive library (GE = NAND2 equivalents at standard
+#: drive; delays in FO4 inverter delays).  Values follow standard-cell
+#: estimates for static CMOS implementations.
+PRIMITIVES = dict((
+    _p("ff_bit", 6, 1),              # one flip-flop bit (setup+clk->q)
+    _p("lat_bit", 4, 1),
+    _p("and32", 32, 1),
+    _p("or32", 32, 1),
+    _p("xor32", 48, 2),
+    _p("mux2_32", 64, 2),            # 2:1 mux, 32 bit
+    _p("mux4_32", 170, 4),
+    _p("mux8_32", 380, 6),
+    _p("crossbar4_32", 760, 5),      # 4x4 32-bit shuffle crossbar
+    _p("eq32", 100, 7),              # 32-bit equality comparator
+    _p("cmp32", 230, 12),            # 32-bit magnitude comparator
+    _p("minmax32", 360, 15),         # compare + two muxes
+    _p("adder32", 350, 13),
+    _p("inc32", 120, 9),
+    _p("popcount4", 30, 5),
+    _p("popcount8", 75, 7),
+    _p("prio4", 25, 4),              # 4-way priority encoder
+    _p("prio8", 60, 6),
+    _p("shift_barrel32", 450, 12),
+    _p("fifo_ctl", 220, 6),          # small FIFO control logic
+    _p("agu", 420, 10),              # address generation (ptr+bounds)
+    _p("wire_32", 16, 1),            # 32-bit routing track buffer
+))
+
+
+def primitive(name):
+    try:
+        return PRIMITIVES[name]
+    except KeyError:
+        raise TieError("unknown primitive %r" % name) from None
+
+
+class Netlist:
+    """Aggregated GE area by report group plus critical-path registry."""
+
+    def __init__(self, name):
+        self.name = name
+        self.groups = {}
+        self.paths = {}
+
+    def add(self, group, ge):
+        self.groups[group] = self.groups.get(group, 0) + ge
+
+    def add_path(self, name, delay_fo4):
+        current = self.paths.get(name, 0)
+        if delay_fo4 > current:
+            self.paths[name] = delay_fo4
+
+    def total_ge(self):
+        return sum(self.groups.values())
+
+    def longest_path_fo4(self):
+        return max(self.paths.values()) if self.paths else 0
+
+    def merged_with(self, other):
+        merged = Netlist("%s+%s" % (self.name, other.name))
+        for source in (self, other):
+            for group, ge in source.groups.items():
+                merged.add(group, ge)
+            for name, delay in source.paths.items():
+                merged.add_path(name, delay)
+        return merged
+
+    def share(self, group):
+        total = self.total_ge()
+        return self.groups.get(group, 0) / total if total else 0.0
+
+    def __repr__(self):
+        return "<Netlist %s %d GE>" % (self.name, self.total_ge())
+
+
+def circuit_cost(circuit):
+    """Total GE of a primitive-count mapping."""
+    return sum(primitive(name).ge * count
+               for name, count in circuit.items())
+
+
+def path_delay(path):
+    """Series delay (FO4) of a chain of primitives."""
+    return sum(primitive(name).delay_fo4 for name in path)
+
+
+#: Per-bit cost of one state write port (input mux + enable fanout).
+STATE_WRITE_PORT_GE = 2.8
+#: Per-bit cost of one state read port (output buffering/fanout).
+STATE_READ_PORT_GE = 1.2
+#: Decode + control logic per operation.
+DECODE_PER_OP_GE = 400
+#: Operand routing per touched state bit (result/operand mux fabric).
+DECODE_PER_TOUCHED_BIT_GE = 1.1
+
+
+def extension_netlist(extension):
+    """Build the netlist of one TIE extension.
+
+    Groups:
+
+    * ``states`` — flip-flops of every state/regfile bit plus the
+      read/write port muxing each operation's access adds (this is what
+      makes the paper's "States" row 14.7 % of the processor, far more
+      than the raw flop count),
+    * ``decode`` — shared instruction decode and operand routing,
+    * one ``op:<group>`` entry per operation group, from the declared
+      circuits plus any extension-level shared circuits.
+    """
+    netlist = Netlist(extension.name)
+    ff = primitive("ff_bit").ge
+
+    state_bits = sum(state.width_bits for state in extension.states)
+    regfile_bits = sum(rf.width_bits * rf.size
+                       for rf in extension.regfiles)
+    states_ge = (state_bits + regfile_bits) * ff
+    # Port costs: each operation touching a state adds one port.
+    for operation in extension.operations:
+        for use in operation.states:
+            bits = use.state.width_bits
+            if use.direction in ("in", "inout"):
+                states_ge += bits * STATE_READ_PORT_GE
+            if use.direction in ("out", "inout"):
+                states_ge += bits * STATE_WRITE_PORT_GE
+    netlist.add("states", int(states_ge))
+
+    decode_ge = 0
+    for operation in extension.operations:
+        decode_ge += DECODE_PER_OP_GE
+        touched_bits = sum(use.state.width_bits for use in operation.states
+                           if use.direction in ("out", "inout"))
+        decode_ge += touched_bits * DECODE_PER_TOUCHED_BIT_GE
+    netlist.add("decode", int(decode_ge))
+
+    for operation in extension.operations:
+        netlist.add("op:%s" % operation.group,
+                    circuit_cost(operation.circuit))
+        if operation.path:
+            netlist.add_path(operation.name, path_delay(operation.path))
+    for group, circuit in extension.shared_circuits.items():
+        netlist.add("op:%s" % group, circuit_cost(circuit))
+    for name, path in extension.shared_paths.items():
+        netlist.add_path(name, path_delay(path))
+    return netlist

@@ -1,0 +1,10 @@
+"""The instruction-set development tool flow of the paper's Figure 4."""
+
+from .flow import DevelopmentFlow, IterationReport
+from .hotspots import classify_regions, extension_candidates
+from .verification import (VerificationFailure, check_instruction,
+                           equivalence_check)
+
+__all__ = ["DevelopmentFlow", "IterationReport", "classify_regions",
+           "extension_candidates", "VerificationFailure",
+           "check_instruction", "equivalence_check"]

@@ -1,0 +1,101 @@
+"""The instruction-set development tool flow (paper Figure 4).
+
+The paper's methodology iterates: profile the application on the
+current processor, find hotspots, extend the instruction set, generate
+a new processor + compiler, verify, repeat until the improvement is
+exhausted; then synthesize and check area/power/timing budgets.
+
+:class:`DevelopmentFlow` drives exactly that loop over our simulator
+and synthesis model, recording one :class:`IterationReport` per round.
+The walkthrough example (``examples/toolflow_walkthrough.py``) uses it
+to retrace the paper's path from the scalar baseline to the EIS.
+"""
+
+from ..cpu.profiler import CycleProfiler
+from ..synth.synthesis import synthesize
+from ..synth.technology import TSMC_65NM_LP
+
+
+class IterationReport:
+    """Outcome of one profile/extend/verify round."""
+
+    def __init__(self, label, cycles, hotspots, verified,
+                 synthesis=None):
+        self.label = label
+        self.cycles = cycles
+        self.hotspots = hotspots
+        self.verified = verified
+        self.synthesis = synthesis
+
+    def speedup_over(self, other):
+        if self.cycles == 0:
+            return float("inf")
+        return other.cycles / self.cycles
+
+    def __repr__(self):
+        return "<IterationReport %s: %d cycles, verified=%s>" % (
+            self.label, self.cycles, self.verified)
+
+
+class DevelopmentFlow:
+    """Drives the Figure 4 loop for one application.
+
+    Parameters
+    ----------
+    application:
+        Callable ``f(processor) -> (outputs, RunResult)`` staging and
+        running the workload (e.g. a kernel runner with bound inputs).
+    reference:
+        Expected outputs; each iteration's verification step compares
+        against it (the paper: "we use a dedicated unit test for each
+        newly introduced instruction ... comparing output results with
+        pre-specified values").
+    """
+
+    def __init__(self, application, reference):
+        self.application = application
+        self.reference = reference
+        self.iterations = []
+
+    def profile(self, processor, program_source, entry, regs):
+        """Cycle-accurate profiling step: run and attribute cycles."""
+        profiler = CycleProfiler()
+        processor.load_program(program_source)
+        processor.run_profiled(profiler, entry=entry, regs=regs)
+        return profiler
+
+    def iterate(self, label, processor, technology=TSMC_65NM_LP,
+                synthesize_now=False):
+        """One round: run the application, verify, optionally cost it."""
+        outputs, run_result = self.application(processor)
+        verified = outputs == self.reference
+        synthesis = None
+        if synthesize_now:
+            synthesis = synthesize(processor.config,
+                                   processor.extensions, technology)
+        report = IterationReport(label, run_result.cycles,
+                                 hotspots=None, verified=verified,
+                                 synthesis=synthesis)
+        self.iterations.append(report)
+        return report
+
+    def improvement_exhausted(self, threshold=1.05):
+        """True when the last round gained less than *threshold*x."""
+        if len(self.iterations) < 2:
+            return False
+        last, previous = self.iterations[-1], self.iterations[-2]
+        if last.cycles == 0:
+            return True
+        return previous.cycles / last.cycles < threshold
+
+    def summary(self):
+        lines = ["%-28s %14s %10s %9s" % ("iteration", "cycles",
+                                          "speedup", "verified")]
+        baseline = self.iterations[0] if self.iterations else None
+        for report in self.iterations:
+            speedup = baseline.cycles / report.cycles \
+                if baseline and report.cycles else 0.0
+            lines.append("%-28s %14d %9.1fx %9s" % (
+                report.label, report.cycles, speedup,
+                "yes" if report.verified else "NO"))
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Hotspot analysis helpers on top of the cycle profiler.
+
+The paper's tool flow starts with identifying "frequently executed and
+computationally intensive parts" (Section 3.1).  These helpers classify
+a profile into the categories a designer acts on: core loops worth an
+instruction-set extension versus cold setup code.
+"""
+
+
+def classify_regions(profiler, program, hot_share=0.10):
+    """Split label-delimited regions into hot and cold.
+
+    A region is *hot* when it consumes at least *hot_share* of the
+    run's cycles — those are the instruction-merging candidates.
+    """
+    hotspots = profiler.hotspots(program, top=len(program.labels) + 1)
+    hot = [h for h in hotspots if h.share >= hot_share]
+    cold = [h for h in hotspots if h.share < hot_share]
+    return hot, cold
+
+
+def extension_candidates(profiler, program, hot_share=0.10):
+    """Hot regions ranked by cycles-per-visit.
+
+    High cycles-per-visit inside a hot region indicates a repeated
+    instruction sequence worth merging into an application-specific
+    instruction (Section 2.2's instruction-merging criterion).
+    """
+    hot, _cold = classify_regions(profiler, program, hot_share)
+    ranked = sorted(hot, key=lambda h: (h.cycles / max(h.visits, 1)),
+                    reverse=True)
+    return [
+        {
+            "region": hotspot.region,
+            "share": hotspot.share,
+            "cycles_per_visit": hotspot.cycles / max(hotspot.visits, 1),
+        }
+        for hotspot in ranked
+    ]

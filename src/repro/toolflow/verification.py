@@ -1,0 +1,97 @@
+"""Verification flow: per-instruction unit tests and equivalence checks.
+
+Paper Section 3.1: "the verification is performed, e.g., by applying
+unit tests, regression tests or equivalence checks.  In our work, we
+use a dedicated unit test for each newly introduced instruction.  The
+unit tests compare output results with pre-specified values —
+especially considering corner cases."
+
+This module provides the harness those checks run on:
+
+* :func:`check_instruction` — drive one TIE operation through the
+  intrinsics layer against expected outputs,
+* :func:`equivalence_check` — the "HDL verification" stand-in: encode
+  the assembled program to binary, decode it back, and compare the
+  instruction stream (catching encoder/decoder mismatches the same way
+  RTL-vs-model equivalence checking would).
+"""
+
+from ..isa.assembler import Bundle, BundleTail
+from ..isa.disasm import decode_bundle, decode_word
+from ..isa.encoding import FLIX_OPCODE, opcode_of
+from ..tie.intrinsics import Intrinsics
+
+
+class VerificationFailure(AssertionError):
+    """An instruction or program failed verification."""
+
+
+def check_instruction(processor, name, cases):
+    """Run pre-specified input/output cases against one TIE operation.
+
+    *cases* is an iterable of ``(inputs, expected)`` pairs; inputs are
+    passed to the operation's intrinsic in operand order.
+    """
+    intrinsics = Intrinsics(processor)
+    call = getattr(intrinsics, name)
+    failures = []
+    for index, (inputs, expected) in enumerate(cases):
+        actual = call(*inputs)
+        if actual != expected:
+            failures.append("case %d: %r -> %r, expected %r"
+                            % (index, inputs, actual, expected))
+    if failures:
+        raise VerificationFailure(
+            "%s failed %d case(s):\n%s" % (name, len(failures),
+                                           "\n".join(failures)))
+    return len(list(cases))
+
+
+def equivalence_check(processor, program):
+    """Encode/decode round trip of a whole program.
+
+    Returns the number of checked issue items; raises
+    :class:`VerificationFailure` on the first mismatch.
+    """
+    words = program.encode()
+    checked = 0
+    index = 0
+    for item in program.items:
+        if isinstance(item, BundleTail):
+            continue
+        word = words_at(words, index)
+        if isinstance(item, Bundle):
+            if opcode_of(word) != FLIX_OPCODE:
+                raise VerificationFailure(
+                    "word %d: expected a FLIX header" % index)
+            slots = decode_bundle(processor.flix_formats, word,
+                                  words_at(words, index + 1), index)
+            expected = [(slot.spec.name, tuple(slot.operands))
+                        for slot in item.slots]
+            actual = [(spec.name, tuple(operands))
+                      for spec, operands in slots]
+            if expected != actual:
+                raise VerificationFailure(
+                    "bundle at word %d decodes to %r, expected %r"
+                    % (index, actual, expected))
+        else:
+            spec, operands, _size = decode_word(processor.isa, word,
+                                                index)
+            if spec.name != item.spec.name \
+                    or tuple(operands) != tuple(item.operands):
+                raise VerificationFailure(
+                    "word %d decodes to %s %r, expected %s %r"
+                    % (index, spec.name, operands, item.spec.name,
+                       item.operands))
+        checked += 1
+        index += item.size
+    return checked
+
+
+def words_at(words, index):
+    """Fetch an encoded word by *instruction-memory* index.
+
+    ``Program.encode`` emits one word per 32-bit slot, in order, so the
+    word list index equals the instruction-memory word index.
+    """
+    return words[index]

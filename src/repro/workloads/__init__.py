@@ -1,0 +1,19 @@
+"""Workload generators: sorted sets, RID lists, and sort inputs."""
+
+from .sets import (PAPER_SET_SIZE, expected_result_size,
+                   generate_predicate_rid_lists, generate_rid_list,
+                   generate_set_pair)
+from .scenarios import (ALL_SCENARIOS, SetAlgebraScenario,
+                        except_clause, index_anding, star_filter,
+                        union_clause)
+from .sorting import (ORDERINGS, PAPER_SORT_SIZE, few_distinct_values,
+                      nearly_sorted_values, presorted_values,
+                      random_values, reverse_sorted_values)
+
+__all__ = ["PAPER_SET_SIZE", "expected_result_size",
+           "generate_predicate_rid_lists", "generate_rid_list",
+           "generate_set_pair", "ORDERINGS", "PAPER_SORT_SIZE",
+           "few_distinct_values", "nearly_sorted_values",
+           "presorted_values", "random_values", "reverse_sorted_values",
+           "ALL_SCENARIOS", "SetAlgebraScenario", "except_clause",
+           "index_anding", "star_filter", "union_clause"]

@@ -1,0 +1,116 @@
+"""Canned end-to-end workload scenarios.
+
+Each scenario bundles data, an accelerated plan, and a Python oracle —
+the realistic query situations the paper's introduction motivates
+(index ANDing for complex WHERE clauses, UNION/DIFFERENCE clauses,
+sort-based operators), packaged for examples, tests and benchmarks.
+"""
+
+import random
+
+from .sets import generate_predicate_rid_lists
+
+
+class SetAlgebraScenario:
+    """A named RID-list computation with its expected result."""
+
+    def __init__(self, name, rid_lists, plan, description=""):
+        self.name = name
+        self.rid_lists = rid_lists
+        #: List of ``(operation, left_index, right_index)`` steps over
+        #: a growing value stack: inputs are addressed 0..n-1, each
+        #: step's result is appended.
+        self.plan = plan
+        self.description = description
+
+    def oracle(self):
+        """Evaluate the plan with Python set algebra."""
+        stack = [set(rids) for rids in self.rid_lists]
+        for operation, left, right in self.plan:
+            if operation == "intersection":
+                stack.append(stack[left] & stack[right])
+            elif operation == "union":
+                stack.append(stack[left] | stack[right])
+            elif operation == "difference":
+                stack.append(stack[left] - stack[right])
+            else:
+                raise ValueError("unknown operation %r" % operation)
+        return sorted(stack[-1])
+
+    def execute(self, runner):
+        """Evaluate with an accelerator runner
+        ``runner(operation, sorted_left, sorted_right) -> (result,
+        stats)``; returns ``(result, total_cycles)``."""
+        stack = [sorted(rids) for rids in self.rid_lists]
+        cycles = 0
+        for operation, left, right in self.plan:
+            result, stats = runner(operation, stack[left], stack[right])
+            stack.append(result)
+            cycles += stats.cycles
+        return stack[-1], cycles
+
+    def __repr__(self):
+        return "<SetAlgebraScenario %s: %d inputs, %d steps>" % (
+            self.name, len(self.rid_lists), len(self.plan))
+
+
+def index_anding(table_rows=20_000, selectivities=(0.2, 0.35, 0.1),
+                 seed=0):
+    """Conjunctive WHERE clause: AND of several index scans,
+    intersected smallest-first (Raman et al., the paper's [31])."""
+    rid_lists = generate_predicate_rid_lists(table_rows, selectivities,
+                                             seed=seed)
+    order = sorted(range(len(rid_lists)),
+                   key=lambda i: len(rid_lists[i]))
+    plan = []
+    current = order[0]
+    for nxt in order[1:]:
+        plan.append(("intersection", current, nxt))
+        current = len(rid_lists) + len(plan) - 1
+    return SetAlgebraScenario(
+        "index_anding", rid_lists, plan,
+        "conjunctive predicate via smallest-first RID intersection")
+
+
+def union_clause(table_rows=20_000, selectivities=(0.15, 0.12, 0.08),
+                 seed=1):
+    """A UNION query: results of independent selections combined."""
+    rid_lists = generate_predicate_rid_lists(table_rows, selectivities,
+                                             seed=seed)
+    plan = [("union", 0, 1),
+            ("union", len(rid_lists), 2)]
+    return SetAlgebraScenario(
+        "union_clause", rid_lists, plan,
+        "UNION of three selection results")
+
+
+def except_clause(table_rows=20_000, selectivities=(0.4, 0.15), seed=2):
+    """An EXCEPT/DIFFERENCE query: qualifying rows minus an exclusion
+    list."""
+    rid_lists = generate_predicate_rid_lists(table_rows, selectivities,
+                                             seed=seed)
+    plan = [("difference", 0, 1)]
+    return SetAlgebraScenario(
+        "except_clause", rid_lists, plan,
+        "selection minus an exclusion predicate")
+
+
+def star_filter(table_rows=16_000, seed=3):
+    """A wider plan mixing all three operations, as produced by a
+    WHERE clause with AND/OR/NOT structure."""
+    rng = random.Random(seed)
+    selectivities = [rng.uniform(0.05, 0.4) for _ in range(5)]
+    rid_lists = generate_predicate_rid_lists(table_rows, selectivities,
+                                             seed=seed)
+    plan = [
+        ("intersection", 0, 1),   # -> 5
+        ("union", 2, 3),          # -> 6
+        ("intersection", 5, 6),   # -> 7
+        ("difference", 7, 4),     # -> 8
+    ]
+    return SetAlgebraScenario(
+        "star_filter", rid_lists, plan,
+        "(p0 AND p1) AND (p2 OR p3) AND NOT p4")
+
+
+ALL_SCENARIOS = (index_anding, union_clause, except_clause, star_filter)

@@ -1,0 +1,93 @@
+"""Sorted-set workload generation with exact selectivity control.
+
+The paper defines selectivity as the fraction of results obtainable
+relative to the maximum (Section 5.2): 100 % means both input sets are
+identical, 0 % means they are disjoint.  Unless stated otherwise the
+paper runs at 50 % selectivity with 5000-element 32-bit sets.
+
+:func:`generate_set_pair` reproduces that methodology: a pool of
+distinct 32-bit values is split into a common part (both sets) and two
+private parts (one set each), so the intersection size is exactly
+``round(selectivity * n)``.
+"""
+
+import random
+
+from ..core.common import SENTINEL
+
+#: Set size used throughout the paper's Section 5.2.
+PAPER_SET_SIZE = 5000
+
+#: Largest value the generators draw (must stay below the sentinel).
+MAX_VALUE = SENTINEL - 1
+
+
+def generate_set_pair(size_a, size_b=None, selectivity=0.5, seed=None,
+                      max_value=MAX_VALUE):
+    """Two strictly-sorted sets with an exact intersection size.
+
+    Parameters
+    ----------
+    size_a, size_b:
+        Element counts (*size_b* defaults to *size_a*).
+    selectivity:
+        Fraction in ``[0, 1]``; the intersection holds
+        ``round(selectivity * min(size_a, size_b))`` elements.
+    seed:
+        Seed for reproducible generation.
+    """
+    if size_b is None:
+        size_b = size_a
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must be within [0, 1]")
+    rng = random.Random(seed)
+    common = round(selectivity * min(size_a, size_b))
+    distinct_needed = size_a + size_b - common
+    if distinct_needed > max_value:
+        raise ValueError("value space too small for the requested sizes")
+    pool = rng.sample(range(1, max_value + 1), distinct_needed)
+    shared = pool[:common]
+    only_a = pool[common:common + (size_a - common)]
+    only_b = pool[common + (size_a - common):]
+    set_a = sorted(shared + only_a)
+    set_b = sorted(shared + only_b)
+    return set_a, set_b
+
+
+def expected_result_size(which, size_a, size_b, selectivity):
+    """Exact result cardinality for sets from :func:`generate_set_pair`."""
+    common = round(selectivity * min(size_a, size_b))
+    if which == "intersection":
+        return common
+    if which == "union":
+        return size_a + size_b - common
+    if which == "difference":
+        return size_a - common
+    raise ValueError("unknown set operation %r" % (which,))
+
+
+def generate_rid_list(size, table_rows, seed=None):
+    """A RID list: sorted row identifiers of one index-scan result.
+
+    Models the inputs of lazy RID-list intersection for index ANDing
+    (Raman et al., cited as the paper's motivating use case [31]).
+    """
+    if size > table_rows:
+        raise ValueError("cannot select more RIDs than table rows")
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(table_rows), size))
+
+
+def generate_predicate_rid_lists(table_rows, selectivities, seed=None):
+    """One RID list per WHERE-clause predicate.
+
+    Each predicate selects ``selectivity * table_rows`` rows uniformly
+    at random (independent predicates), the standard model for
+    conjunctive selection via secondary indexes.
+    """
+    rng = random.Random(seed)
+    lists = []
+    for selectivity in selectivities:
+        size = round(selectivity * table_rows)
+        lists.append(sorted(rng.sample(range(table_rows), size)))
+    return lists

@@ -1,0 +1,60 @@
+"""Sort workload generation.
+
+The paper sorts 6500 32-bit values (the maximum that fits the local
+data memories with a ping-pong buffer) and notes that "the order of the
+values being sorted has no impact on the throughput of our chosen
+merge-sort implementation" (Section 5.2) — the generators here provide
+several orders so tests can verify exactly that invariance.
+"""
+
+import random
+
+from ..core.common import SENTINEL
+
+#: Sort size used in the paper's Table 2 / Table 5.
+PAPER_SORT_SIZE = 6500
+
+MAX_VALUE = SENTINEL - 1
+
+
+def random_values(size, seed=None, max_value=MAX_VALUE):
+    """Uniform random 32-bit values (duplicates allowed)."""
+    rng = random.Random(seed)
+    return [rng.randrange(0, max_value + 1) for _ in range(size)]
+
+
+def presorted_values(size, seed=None):
+    return sorted(random_values(size, seed))
+
+
+def reverse_sorted_values(size, seed=None):
+    return sorted(random_values(size, seed), reverse=True)
+
+
+def nearly_sorted_values(size, swaps=None, seed=None):
+    """Sorted data with a few random transpositions."""
+    rng = random.Random(seed)
+    values = sorted(random_values(size, seed))
+    if swaps is None:
+        swaps = max(1, size // 20)
+    for _ in range(swaps):
+        i = rng.randrange(size)
+        j = rng.randrange(size)
+        values[i], values[j] = values[j], values[i]
+    return values
+
+
+def few_distinct_values(size, distinct=16, seed=None):
+    """Heavy-duplicate data (e.g. a low-cardinality sort key)."""
+    rng = random.Random(seed)
+    keys = rng.sample(range(1, MAX_VALUE), distinct)
+    return [rng.choice(keys) for _ in range(size)]
+
+
+ORDERINGS = {
+    "random": random_values,
+    "sorted": presorted_values,
+    "reverse": reverse_sorted_values,
+    "nearly_sorted": nearly_sorted_values,
+    "few_distinct": few_distinct_values,
+}

@@ -1,0 +1,117 @@
+"""Correctness and calibration tests for swsort / swset."""
+
+import random
+
+import pytest
+
+from repro.baselines.swset import swset_intersect
+from repro.baselines.swsort import swsort
+from repro.baselines.x86 import (I7_920, PUBLISHED_SWSET_MEPS,
+                                 PUBLISHED_SWSORT_MEPS, Q9550,
+                                 X86CostModel,
+                                 extrapolate_sort_throughput,
+                                 measure_swset, swset_model,
+                                 swsort_model)
+from repro.workloads.sets import generate_set_pair
+
+
+class TestSwsortCorrectness:
+    @pytest.mark.parametrize("size", [0, 1, 3, 4, 15, 16, 17, 100, 500,
+                                      1024])
+    def test_sizes(self, size):
+        rng = random.Random(size)
+        values = [rng.randrange(1 << 31) for _ in range(size)]
+        result, _machine = swsort(values)
+        assert result == sorted(values)
+
+    def test_duplicates(self):
+        values = [7, 3, 7, 3, 1] * 30
+        result, _machine = swsort(values)
+        assert result == sorted(values)
+
+    def test_already_sorted(self):
+        values = list(range(256))
+        result, _machine = swsort(values)
+        assert result == values
+
+
+class TestSwsetCorrectness:
+    @pytest.mark.parametrize("selectivity", [0.0, 0.5, 1.0])
+    def test_selectivities(self, selectivity):
+        set_a, set_b = generate_set_pair(500, selectivity=selectivity,
+                                         seed=3)
+        result, _machine = swset_intersect(set_a, set_b)
+        assert result == sorted(set(set_a) & set(set_b))
+
+    def test_asymmetric_sizes(self):
+        set_a, set_b = generate_set_pair(301, 77, selectivity=0.6,
+                                         seed=4)
+        result, _machine = swset_intersect(set_a, set_b)
+        assert result == sorted(set(set_a) & set(set_b))
+
+    def test_scalar_tail_paths(self):
+        result, _machine = swset_intersect([1, 2, 3], [2, 3, 4])
+        assert result == [2, 3]
+
+    def test_empty(self):
+        assert swset_intersect([], [1, 2])[0] == []
+
+
+class TestCalibration:
+    def test_swsort_lands_on_published_throughput(self):
+        rng = random.Random(0)
+        sample = [rng.randrange(1 << 31) for _ in range(8192)]
+        throughput = extrapolate_sort_throughput(sample, 512_000)
+        assert throughput == pytest.approx(PUBLISHED_SWSORT_MEPS,
+                                           rel=0.05)
+
+    def test_swset_lands_on_published_throughput(self):
+        set_a, set_b = generate_set_pair(30_000, selectivity=0.5,
+                                         seed=7)
+        _result, throughput, _machine = measure_swset(set_a, set_b)
+        assert throughput == pytest.approx(PUBLISHED_SWSET_MEPS,
+                                           rel=0.05)
+
+    def test_swset_throughput_size_invariant(self):
+        """The linear algorithm's per-element cost must not drift with
+        size — that is what justifies sampling instead of simulating
+        2x10M elements."""
+        throughputs = []
+        for size in (5_000, 40_000):
+            set_a, set_b = generate_set_pair(size, selectivity=0.5,
+                                             seed=8)
+            _r, throughput, _m = measure_swset(set_a, set_b)
+            throughputs.append(throughput)
+        assert throughputs[0] == pytest.approx(throughputs[1], rel=0.05)
+
+    def test_sort_throughput_decreases_with_size(self):
+        rng = random.Random(1)
+        sample = [rng.randrange(1 << 31) for _ in range(4096)]
+        small = extrapolate_sort_throughput(sample, 10_000)
+        large = extrapolate_sort_throughput(sample, 1_000_000)
+        assert large < small  # log-factor growth in work
+
+
+class TestCostModel:
+    def test_cycles_weighted_by_class(self):
+        model = X86CostModel(Q9550, cpi={"load": 2.0, "scalar": 0.5},
+                             calibration=1.0)
+        assert model.cycles({"load": 10, "scalar": 4}) == 22.0
+
+    def test_calibration_scales(self):
+        model = X86CostModel(Q9550, cpi={"load": 1.0}, calibration=2.0)
+        assert model.cycles({"load": 5}) == 10.0
+
+    def test_throughput_and_energy(self):
+        model = swset_model()
+        counts = {"load": I7_920.clock_mhz}  # ~1M elements/second-ish
+        throughput = model.throughput_meps(counts, 1000)
+        assert throughput > 0
+        assert model.energy_per_element_nj(100.0) \
+            == pytest.approx(1300.0)
+
+    def test_processor_specs_match_paper(self):
+        assert Q9550.tdp_w == 95
+        assert I7_920.tdp_w == 130
+        assert Q9550.feature_nm == I7_920.feature_nm == 45
+        assert I7_920.threads == 8

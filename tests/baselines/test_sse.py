@@ -1,0 +1,82 @@
+"""Unit tests for the simulated SSE vector unit."""
+
+import random
+
+from repro.baselines.sse import SimdMachine, bitonic_merge4, transpose4
+
+
+class TestVectorOps:
+    def test_min_max(self):
+        machine = SimdMachine()
+        assert machine.min((1, 5, 3, 7), (2, 4, 6, 8)) == (1, 4, 3, 7)
+        assert machine.max((1, 5, 3, 7), (2, 4, 6, 8)) == (2, 5, 6, 8)
+
+    def test_shuffles(self):
+        machine = SimdMachine()
+        assert machine.shuffle((1, 2, 3, 4), (3, 2, 1, 0)) \
+            == (4, 3, 2, 1)
+        assert machine.unpack_lo((1, 2, 3, 4), (5, 6, 7, 8)) \
+            == (1, 5, 2, 6)
+        assert machine.unpack_hi((1, 2, 3, 4), (5, 6, 7, 8)) \
+            == (3, 7, 4, 8)
+        assert machine.movelh((1, 2, 3, 4), (5, 6, 7, 8)) \
+            == (1, 2, 5, 6)
+        assert machine.movehl((1, 2, 3, 4), (5, 6, 7, 8)) \
+            == (3, 4, 7, 8)
+        assert machine.shuffle2((1, 2, 3, 4), (5, 6, 7, 8),
+                                (0, 2, 1, 3)) == (1, 3, 6, 8)
+
+    def test_memory_ops(self):
+        machine = SimdMachine()
+        buffer = [0] * 8
+        machine.store(buffer, 2, (9, 8, 7, 6))
+        assert buffer[2:6] == [9, 8, 7, 6]
+        assert machine.load(buffer, 2) == (9, 8, 7, 6)
+
+    def test_all_to_all_eq(self):
+        machine = SimdMachine()
+        mask = machine.all_to_all_eq((1, 2, 3, 4), (4, 9, 2, 11))
+        assert mask == (0, 1, 0, 1)
+
+    def test_movemask(self):
+        machine = SimdMachine()
+        assert machine.movemask((1, 0, 1, 1)) == 0b1101
+
+    def test_operation_counting(self):
+        machine = SimdMachine()
+        machine.min((0,) * 4, (0,) * 4)
+        machine.shuffle((0,) * 4, (0, 1, 2, 3))
+        machine.scalar(5)
+        assert machine.counts["minmax"] == 1
+        assert machine.counts["shuffle"] == 1
+        assert machine.counts["scalar"] == 5
+        machine.reset()
+        assert machine.total_ops() == 0
+
+
+class TestNetworks:
+    def test_transpose(self):
+        machine = SimdMachine()
+        rows = ((1, 2, 3, 4), (5, 6, 7, 8), (9, 10, 11, 12),
+                (13, 14, 15, 16))
+        cols = transpose4(machine, list(rows))
+        assert cols[0] == (1, 5, 9, 13)
+        assert cols[3] == (4, 8, 12, 16)
+
+    def test_bitonic_merge_random(self):
+        machine = SimdMachine()
+        rng = random.Random(2)
+        for _ in range(300):
+            a = sorted(rng.randrange(256) for _ in range(4))
+            b = sorted(rng.randrange(256) for _ in range(4))
+            low, high = bitonic_merge4(machine, tuple(a), tuple(b))
+            assert list(low) + list(high) == sorted(a + b)
+
+    def test_bitonic_merge_zero_one_exhaustive(self):
+        machine = SimdMachine()
+        for zeros_a in range(5):
+            for zeros_b in range(5):
+                a = tuple([0] * zeros_a + [1] * (4 - zeros_a))
+                b = tuple([0] * zeros_b + [1] * (4 - zeros_b))
+                low, high = bitonic_merge4(machine, a, b)
+                assert list(low) + list(high) == sorted(a + b)

@@ -1,0 +1,87 @@
+"""Configuration catalog tests against the paper's Section 5.1 setup."""
+
+import pytest
+
+from repro.configs.catalog import (CONFIG_NAMES, TABLE2_ROWS,
+                                   build_processor, core_config,
+                                   has_eis, row_label)
+
+
+class TestCatalogShapes:
+    def test_all_names_buildable(self):
+        for name in CONFIG_NAMES:
+            config = core_config(name)
+            assert config.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            core_config("DBA_9LSU")
+
+    def test_108mini_matches_paper(self):
+        config = core_config("108Mini")
+        assert config.num_lsus == 1
+        assert config.lsu_port_bits == 32
+        assert not config.has_local_store  # no caches, no local store
+        assert config.has_div              # hardware division
+
+    def test_dba_1lsu_matches_paper(self):
+        config = core_config("DBA_1LSU")
+        assert config.dmem0_kb == 64       # 64KB local data store
+        assert config.imem_kb == 32        # 32KB instruction memory
+        assert config.lsu_port_bits == 128  # widened data bus
+        assert not config.has_div          # no hardware division
+
+    def test_dba_2lsu_splits_memory(self):
+        config = core_config("DBA_2LSU")
+        assert config.num_lsus == 2
+        assert config.dmem0_kb == config.dmem1_kb == 32
+        assert config.local_store_kb == 64
+
+    def test_eis_configs_share_base_shape(self):
+        base = core_config("DBA_2LSU")
+        eis = core_config("DBA_2LSU_EIS")
+        assert (base.num_lsus, base.dmem0_kb, base.dmem1_kb) \
+            == (eis.num_lsus, eis.dmem0_kb, eis.dmem1_kb)
+
+    def test_has_eis(self):
+        assert has_eis("DBA_2LSU_EIS")
+        assert not has_eis("DBA_2LSU")
+
+    def test_table2_rows_order(self):
+        assert TABLE2_ROWS[0] == ("108Mini", None)
+        assert TABLE2_ROWS[-1] == ("DBA_2LSU_EIS", True)
+        assert len(TABLE2_ROWS) == 6
+
+    def test_row_labels(self):
+        assert row_label("108Mini", None) == "108Mini"
+        assert "w/ partial" in row_label("DBA_1LSU_EIS", True)
+        assert "w/o partial" in row_label("DBA_1LSU_EIS", False)
+
+
+class TestBuildProcessor:
+    def test_eis_processor_has_extension(self):
+        processor = build_processor("DBA_2LSU_EIS")
+        assert "db_eis" in processor.extension_states
+        assert "store_sop_int" in processor.isa
+
+    def test_baseline_has_no_extension(self):
+        processor = build_processor("DBA_1LSU")
+        assert processor.extension_states == {}
+        assert "store_sop_int" not in processor.isa
+
+    def test_partial_load_flag_threads_through(self):
+        with_pl = build_processor("DBA_1LSU_EIS", partial_load=True)
+        without = build_processor("DBA_1LSU_EIS", partial_load=False)
+        assert with_pl.extension_states["db_eis"].setdp.partial_load
+        assert not without.extension_states["db_eis"].setdp.partial_load
+
+    def test_prefetcher_optional(self):
+        plain = build_processor("DBA_2LSU_EIS")
+        assert plain.prefetcher is None
+        streaming = build_processor("DBA_2LSU_EIS", prefetcher=True)
+        assert streaming.prefetcher is not None
+        assert "DMA_CTRL" in streaming.symbols
+
+    def test_headroom_override(self):
+        processor = build_processor("DBA_1LSU", sim_headroom_kb=0)
+        assert processor.dmem0.size_bytes == 64 * 1024

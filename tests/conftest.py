@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Heavy processor instances are session-scoped: kernels reinitialize all
+datapath state (INIT_STATES / register protocol), so reuse across tests
+is safe and cuts suite runtime substantially.
+"""
+
+import pytest
+
+from repro.configs.catalog import build_processor
+from repro.cpu import CoreConfig, Processor
+
+
+@pytest.fixture(scope="session")
+def eis_2lsu_partial():
+    return build_processor("DBA_2LSU_EIS", partial_load=True)
+
+
+@pytest.fixture(scope="session")
+def eis_2lsu_nopartial():
+    return build_processor("DBA_2LSU_EIS", partial_load=False)
+
+
+@pytest.fixture(scope="session")
+def eis_1lsu_partial():
+    return build_processor("DBA_1LSU_EIS", partial_load=True)
+
+
+@pytest.fixture(scope="session")
+def eis_1lsu_nopartial():
+    return build_processor("DBA_1LSU_EIS", partial_load=False)
+
+
+@pytest.fixture(scope="session")
+def mini_108():
+    return build_processor("108Mini")
+
+
+@pytest.fixture(scope="session")
+def dba_1lsu():
+    return build_processor("DBA_1LSU")
+
+
+@pytest.fixture(scope="session")
+def all_eis_processors(eis_2lsu_partial, eis_2lsu_nopartial,
+                       eis_1lsu_partial, eis_1lsu_nopartial):
+    return {
+        ("DBA_2LSU_EIS", True): eis_2lsu_partial,
+        ("DBA_2LSU_EIS", False): eis_2lsu_nopartial,
+        ("DBA_1LSU_EIS", True): eis_1lsu_partial,
+        ("DBA_1LSU_EIS", False): eis_1lsu_nopartial,
+    }
+
+
+@pytest.fixture()
+def plain_processor():
+    """A small fresh processor without extensions (fast to build)."""
+    return Processor(CoreConfig("test", dmem0_kb=16, sim_headroom_kb=0))

@@ -1,0 +1,224 @@
+"""Unit tests of the EIS datapath state machines, op by op."""
+
+import pytest
+
+from repro.core.common import SENTINEL
+from repro.core.datapath import MergeDatapath, SetDatapath
+from repro.cpu import CoreConfig, Processor
+
+S = SENTINEL
+
+
+@pytest.fixture()
+def core():
+    processor = Processor(CoreConfig("t", dmem0_kb=16, num_lsus=1,
+                                     lsu_port_bits=128,
+                                     sim_headroom_kb=0))
+    return processor
+
+
+def primed(core, values_a, values_b, partial=True):
+    """A SetDatapath with streams staged in memory and pointers set."""
+    dp = SetDatapath(num_lsus=1, partial_load=partial)
+    base_a, base_b = 0x0, 0x1000
+    if values_a:
+        core.write_words(base_a, values_a)
+    if values_b:
+        core.write_words(base_b, values_b)
+    dp.ptr_a.value = base_a
+    dp.end_a.value = base_a + 4 * len(values_a)
+    dp.ptr_b.value = base_b
+    dp.end_b.value = base_b + 4 * len(values_b)
+    dp.ptr_c.value = 0x2000
+    return dp
+
+
+class TestLd:
+    def test_full_block(self, core):
+        dp = primed(core, [1, 2, 3, 4, 5], [])
+        dp.op_ld(core, "a")
+        assert dp.load_a.value == [1, 2, 3, 4]
+        assert dp.load_cnt_a.value == 4
+        assert dp.ptr_a.value == 16
+
+    def test_tail_block_masked_with_sentinels(self, core):
+        dp = primed(core, [1, 2], [])
+        dp.op_ld(core, "a")
+        assert dp.load_a.value == [1, 2, S, S]
+        assert dp.load_cnt_a.value == 2
+
+    def test_noop_when_stage_occupied(self, core):
+        dp = primed(core, [1, 2, 3, 4, 5, 6, 7, 8], [])
+        dp.op_ld(core, "a")
+        dp.op_ld(core, "a")  # stage still holds 4: must not advance
+        assert dp.ptr_a.value == 16
+
+    def test_noop_when_exhausted(self, core):
+        dp = primed(core, [], [])
+        dp.op_ld(core, "a")
+        assert dp.load_cnt_a.value == 0
+
+
+class TestLdp:
+    def test_fills_empty_window(self, core):
+        dp = primed(core, [1, 2, 3, 4], [])
+        dp.op_ld(core, "a")
+        dp.op_ldp(core, "a")
+        assert dp.word_a.value == [1, 2, 3, 4]
+        assert dp.load_cnt_a.value == 0
+
+    def test_partial_refill_tops_up(self, core):
+        dp = primed(core, [1, 2, 3, 4, 5, 6], [], partial=True)
+        dp.op_ld(core, "a")
+        dp.op_ldp(core, "a")
+        dp.word_a.value = [3, 4, S, S]  # two lanes consumed
+        dp.op_ld(core, "a")
+        dp.op_ldp(core, "a")
+        assert dp.word_a.value == [3, 4, 5, 6]
+
+    def test_nonpartial_waits_for_full_drain(self, core):
+        dp = primed(core, [1, 2, 3, 4, 5, 6, 7, 8], [], partial=False)
+        dp.op_ld(core, "a")
+        dp.op_ldp(core, "a")
+        dp.word_a.value = [3, 4, S, S]
+        dp.op_ld(core, "a")
+        dp.op_ldp(core, "a")      # window not empty: must not refill
+        assert dp.word_a.value == [3, 4, S, S]
+        dp.word_a.value = [S, S, S, S]
+        dp.op_ldp(core, "a")      # drained: refills all four
+        assert dp.word_a.value == [5, 6, 7, 8]
+
+
+class TestStorePath:
+    def test_st_delayed_below_four_elements(self, core):
+        dp = primed(core, [], [])
+        dp.result.value = [7, 8, S, S]
+        dp.result_cnt.value = 2
+        dp.op_st_s(core)
+        dp.op_st(core)  # only 2 buffered: "store is delayed"
+        assert dp.count.value == 0
+        assert core.read_words(0x2000, 1) == [0]
+
+    def test_st_fires_at_four(self, core):
+        dp = primed(core, [], [])
+        for batch in ([1, 2, S, S], [3, 4, S, S]):
+            dp.result.value = list(batch)
+            dp.result_cnt.value = 2
+            dp.op_st_s(core)
+        dp.op_st(core)
+        assert core.read_words(0x2000, 4) == [1, 2, 3, 4]
+        assert dp.count.value == 4
+        assert dp.ptr_c.value == 0x2010
+
+    def test_flush_drains_tail(self, core):
+        dp = primed(core, [], [])
+        dp.result.value = [9, 10, 11, S]
+        dp.result_cnt.value = 3
+        dp.op_st_s(core)
+        dp.op_st_flush(core)
+        assert core.read_words(0x2000, 3) == [9, 10, 11]
+        assert dp.count.value == 3
+
+    def test_sop_backpressure_when_fifo_full(self, core):
+        dp = primed(core, [], [])
+        dp.word_a.value = [1, 2, 3, 4]
+        dp.word_b.value = [1, 2, 3, 4]
+        dp.fifo_cnt.value = 13  # fewer than 4 lanes free
+        dp.op_sop(core, "intersection")
+        assert dp.result_cnt.value == 0
+        assert dp.word_a.value == [1, 2, 3, 4]  # nothing consumed
+
+
+class TestSopStalls:
+    def test_stalls_when_window_empty_but_stream_pending(self, core):
+        dp = primed(core, [1, 2, 3, 4], [5, 6, 7, 8])
+        dp.word_b.value = [5, 6, 7, 8]
+        # word_a empty but ptr_a < end_a: SOP must wait for LD/LD_P
+        dp.op_sop(core, "intersection")
+        assert dp.word_b.value == [5, 6, 7, 8]
+
+    def test_proceeds_when_side_truly_exhausted(self, core):
+        dp = primed(core, [], [5, 6, 7, 8])
+        dp.word_b.value = [5, 6, 7, 8]
+        dp.op_sop(core, "union")
+        assert dp.result_cnt.value == 4
+
+    def test_more_work_flag(self, core):
+        dp = primed(core, [], [])
+        assert dp.more_work() == 0
+        dp.word_a.value = [1, S, S, S]
+        assert dp.more_work() == 1
+        dp.word_a.value = [S, S, S, S]
+        dp.fifo_cnt.value = 4
+        assert dp.more_work() == 1
+        dp.fifo_cnt.value = 3  # tail: handled by st_flush, loop exits
+        assert dp.more_work() == 0
+
+
+class TestMergeDatapath:
+    def prime_merge(self, core, run_a, run_b):
+        dp = MergeDatapath()
+        core.write_words(0x0, run_a)
+        core.write_words(0x1000, run_b)
+        dp.ptr_a.value = 0x0
+        dp.end_a.value = 4 * len(run_a)
+        dp.ptr_b.value = 0x1000
+        dp.end_b.value = 0x1000 + 4 * len(run_b)
+        dp.ptr_c.value = 0x2000
+        dp.op_minit(core)
+        return dp
+
+    def test_minit_latches_target_in_blocks(self, core):
+        dp = self.prime_merge(core, [1, 2, 3, 4], [5, 6, 7, 8])
+        assert dp.target.value == 2
+
+    def test_mld_skips_exhausted_stream(self, core):
+        dp = self.prime_merge(core, [], [1, 2, 3, 4])
+        dp.op_mld(core)
+        assert dp.stage_b_full.value == 1  # refilled B, not dead A
+
+    def test_msel_takes_smaller_head(self, core):
+        dp = self.prime_merge(core, [10, 11, 12, 13], [1, 2, 3, 4])
+        dp.op_mld(core)
+        dp.op_mld(core)
+        dp.op_msel(core)
+        assert dp.keep.value == [1, 2, 3, 4]
+
+    def test_msel_stalls_on_pending_empty_stage(self, core):
+        dp = self.prime_merge(core, [10, 11, 12, 13], [1, 2, 3, 4])
+        dp.op_mld(core)  # stage A only
+        dp.op_msel(core)  # B pending but not staged: must stall
+        assert dp.keep_full.value == 0
+
+    def test_full_pair_merge_via_ops(self, core):
+        dp = self.prime_merge(core, [1, 3, 5, 7], [2, 4, 6, 8])
+        dp.op_mld(core)
+        dp.op_mld(core)
+        dp.op_msel(core)
+        dp.op_mld(core)
+        dp.op_msel(core)
+        for _ in range(8):
+            dp.op_mst(core)
+            dp.op_mst_s(core)
+            dp.op_merge(core)
+            dp.op_msel(core)
+            dp.op_mld(core)
+        while dp.more_work():
+            dp.op_mst(core)
+            dp.op_mst_s(core)
+            dp.op_merge(core)
+            dp.op_msel(core)
+        assert core.read_words(0x2000, 8) == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_presort_ops(self, core):
+        dp = self.prime_merge(core, [4, 1, 3, 2], [])
+        dp.op_ldsort(core)
+        assert dp.result.value == [1, 2, 3, 4]
+        dp.op_stsort(core)
+        assert core.read_words(0x2000, 4) == [1, 2, 3, 4]
+        assert dp.presort_more() == 0
+
+    def test_presort_flag_while_data_remains(self, core):
+        dp = self.prime_merge(core, [4, 1, 3, 2, 8, 5, 7, 6], [])
+        dp.op_ldsort(core)
+        assert dp.presort_more() == 1

@@ -1,0 +1,193 @@
+"""Integration tests: EIS kernels against Python ground truth.
+
+Covers all four extension variants (1/2 LSUs x partial loading on/off)
+across edge-case set shapes — sizes around the 4-lane granularity,
+empty sets, disjoint and identical sets, and asymmetric lengths.
+"""
+
+import pytest
+
+from repro.core.kernels import run_merge_sort, run_set_operation
+from repro.workloads.sets import generate_set_pair
+from repro.workloads.sorting import random_values
+
+VARIANTS = [("DBA_2LSU_EIS", True), ("DBA_2LSU_EIS", False),
+            ("DBA_1LSU_EIS", True), ("DBA_1LSU_EIS", False)]
+
+OPS = ("intersection", "union", "difference")
+
+
+def truth(which, set_a, set_b):
+    if which == "intersection":
+        return sorted(set(set_a) & set(set_b))
+    if which == "union":
+        return sorted(set(set_a) | set(set_b))
+    return sorted(set(set_a) - set(set_b))
+
+
+@pytest.mark.parametrize("variant", VARIANTS,
+                         ids=["2lsu-pl", "2lsu-nopl", "1lsu-pl",
+                              "1lsu-nopl"])
+@pytest.mark.parametrize("which", OPS)
+class TestSetOperationsAllVariants:
+    def run(self, all_eis_processors, variant, which, set_a, set_b):
+        processor = all_eis_processors[variant]
+        result, _stats = run_set_operation(processor, which, set_a,
+                                           set_b)
+        assert result == truth(which, set_a, set_b)
+
+    def test_random_midsize(self, all_eis_processors, variant, which):
+        set_a, set_b = generate_set_pair(300, selectivity=0.5, seed=1)
+        self.run(all_eis_processors, variant, which, set_a, set_b)
+
+    def test_disjoint(self, all_eis_processors, variant, which):
+        set_a, set_b = generate_set_pair(100, selectivity=0.0, seed=2)
+        self.run(all_eis_processors, variant, which, set_a, set_b)
+
+    def test_identical(self, all_eis_processors, variant, which):
+        set_a, _ = generate_set_pair(100, selectivity=1.0, seed=3)
+        self.run(all_eis_processors, variant, which, set_a, list(set_a))
+
+    def test_non_multiple_of_four_lengths(self, all_eis_processors,
+                                          variant, which):
+        set_a, set_b = generate_set_pair(101, 99, selectivity=0.4,
+                                         seed=4)
+        self.run(all_eis_processors, variant, which, set_a, set_b)
+
+    def test_very_asymmetric(self, all_eis_processors, variant, which):
+        set_a, set_b = generate_set_pair(400, 7, selectivity=0.9, seed=5)
+        self.run(all_eis_processors, variant, which, set_a, set_b)
+
+    def test_tiny_sets(self, all_eis_processors, variant, which):
+        self.run(all_eis_processors, variant, which, [5], [5])
+        self.run(all_eis_processors, variant, which, [5], [6])
+        self.run(all_eis_processors, variant, which, [1, 2, 3],
+                 [2, 3, 4])
+
+    def test_empty_b(self, all_eis_processors, variant, which):
+        self.run(all_eis_processors, variant, which, [1, 2, 3, 4, 5],
+                 [])
+
+    def test_empty_a(self, all_eis_processors, variant, which):
+        self.run(all_eis_processors, variant, which, [],
+                 [1, 2, 3, 4, 5])
+
+    def test_both_empty(self, all_eis_processors, variant, which):
+        self.run(all_eis_processors, variant, which, [], [])
+
+    def test_value_ranges_disjoint(self, all_eis_processors, variant,
+                                   which):
+        self.run(all_eis_processors, variant, which,
+                 list(range(1, 50)), list(range(1000, 1050)))
+
+    def test_interleaved_runs(self, all_eis_processors, variant, which):
+        set_a = [i * 10 for i in range(1, 60)]
+        set_b = [i * 10 + 5 for i in range(1, 60)] + [300, 400]
+        self.run(all_eis_processors, variant, which, set_a,
+                 sorted(set(set_b)))
+
+
+class TestInputValidation:
+    def test_unsorted_input_rejected(self, eis_2lsu_partial):
+        with pytest.raises(ValueError, match="sorted"):
+            run_set_operation(eis_2lsu_partial, "intersection",
+                              [3, 1, 2], [1, 2, 3])
+
+    def test_duplicate_input_rejected(self, eis_2lsu_partial):
+        with pytest.raises(ValueError, match="sorted"):
+            run_set_operation(eis_2lsu_partial, "intersection",
+                              [1, 1, 2], [1, 2, 3])
+
+    def test_sentinel_value_rejected(self, eis_2lsu_partial):
+        with pytest.raises(ValueError, match="sentinel"):
+            run_set_operation(eis_2lsu_partial, "intersection",
+                              [1, 0xFFFFFFFF], [1])
+
+    def test_unknown_operation_rejected(self, eis_2lsu_partial):
+        with pytest.raises(ValueError, match="unknown"):
+            run_set_operation(eis_2lsu_partial, "symmetric_difference",
+                              [1], [1])
+
+
+@pytest.mark.parametrize("config", ["DBA_1LSU_EIS", "DBA_2LSU_EIS"])
+class TestMergeSort:
+    @pytest.mark.parametrize("size", [0, 1, 2, 4, 5, 8, 13, 64, 100,
+                                      257])
+    def test_sizes(self, all_eis_processors, config, size):
+        processor = all_eis_processors[(config, True)]
+        values = random_values(size, seed=size)
+        output, _stats = run_merge_sort(processor, values)
+        assert output == sorted(values)
+
+    def test_duplicates_preserved(self, all_eis_processors, config):
+        processor = all_eis_processors[(config, True)]
+        values = [5, 3, 5, 1, 3, 5, 1, 1, 2, 2] * 10
+        output, _stats = run_merge_sort(processor, values)
+        assert output == sorted(values)
+
+    def test_already_sorted(self, all_eis_processors, config):
+        processor = all_eis_processors[(config, True)]
+        values = list(range(100))
+        output, _stats = run_merge_sort(processor, values)
+        assert output == values
+
+    def test_reverse_sorted(self, all_eis_processors, config):
+        processor = all_eis_processors[(config, True)]
+        values = list(range(100, 0, -1))
+        output, _stats = run_merge_sort(processor, values)
+        assert output == sorted(values)
+
+    def test_sentinel_rejected(self, all_eis_processors, config):
+        processor = all_eis_processors[(config, True)]
+        with pytest.raises(ValueError, match="sentinel|0xFFFFFFFF"):
+            run_merge_sort(processor, [1, 0xFFFFFFFF])
+
+
+class TestThroughputShape:
+    """Relative-performance invariants from the paper's Table 2."""
+
+    def test_partial_loading_never_slower_at_midselectivity(
+            self, all_eis_processors):
+        set_a, set_b = generate_set_pair(1000, selectivity=0.5, seed=7)
+        _r, with_pl = run_set_operation(
+            all_eis_processors[("DBA_2LSU_EIS", True)], "intersection",
+            set_a, set_b)
+        _r, without_pl = run_set_operation(
+            all_eis_processors[("DBA_2LSU_EIS", False)], "intersection",
+            set_a, set_b)
+        assert with_pl.cycles < without_pl.cycles
+
+    def test_second_lsu_speeds_up_intersection(self,
+                                               all_eis_processors):
+        set_a, set_b = generate_set_pair(1000, selectivity=0.5, seed=8)
+        _r, two_lsu = run_set_operation(
+            all_eis_processors[("DBA_2LSU_EIS", True)], "intersection",
+            set_a, set_b)
+        _r, one_lsu = run_set_operation(
+            all_eis_processors[("DBA_1LSU_EIS", True)], "intersection",
+            set_a, set_b)
+        assert two_lsu.cycles < one_lsu.cycles
+
+    def test_union_is_the_slowest_eis_op(self, all_eis_processors):
+        processor = all_eis_processors[("DBA_2LSU_EIS", True)]
+        set_a, set_b = generate_set_pair(1000, selectivity=0.5, seed=9)
+        cycles = {}
+        for which in OPS:
+            _r, stats = run_set_operation(processor, which, set_a,
+                                          set_b)
+            cycles[which] = stats.cycles
+        assert cycles["union"] >= cycles["intersection"]
+        assert cycles["union"] >= cycles["difference"]
+
+    def test_sort_throughput_is_input_invariant(self,
+                                                all_eis_processors):
+        processor = all_eis_processors[("DBA_1LSU_EIS", True)]
+        cycles = set()
+        for seed in range(3):
+            values = random_values(512, seed=seed)
+            _out, stats = run_merge_sort(processor, values)
+            cycles.add(stats.cycles)
+        sorted_vals = sorted(random_values(512, seed=0))
+        _out, stats = run_merge_sort(processor, sorted_vals)
+        cycles.add(stats.cycles)
+        assert len(cycles) == 1  # no data-dependent shortcuts

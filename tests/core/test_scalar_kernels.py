@@ -1,0 +1,99 @@
+"""Integration tests for the scalar baseline kernels."""
+
+import pytest
+
+from repro.core.scalar_kernels import (run_scalar_merge_sort,
+                                       run_scalar_set_operation)
+from repro.workloads.sets import generate_set_pair
+from repro.workloads.sorting import random_values
+
+OPS = ("intersection", "union", "difference")
+
+
+def truth(which, set_a, set_b):
+    if which == "intersection":
+        return sorted(set(set_a) & set(set_b))
+    if which == "union":
+        return sorted(set(set_a) | set(set_b))
+    return sorted(set(set_a) - set(set_b))
+
+
+@pytest.mark.parametrize("which", OPS)
+class TestScalarSetOps:
+    def check(self, processor, which, set_a, set_b):
+        result, _stats = run_scalar_set_operation(processor, which,
+                                                  set_a, set_b)
+        assert result == truth(which, set_a, set_b)
+
+    def test_random(self, mini_108, which):
+        set_a, set_b = generate_set_pair(200, selectivity=0.5, seed=1)
+        self.check(mini_108, which, set_a, set_b)
+
+    def test_on_dba_core(self, dba_1lsu, which):
+        set_a, set_b = generate_set_pair(200, selectivity=0.3, seed=2)
+        self.check(dba_1lsu, which, set_a, set_b)
+
+    def test_identical(self, mini_108, which):
+        set_a, _ = generate_set_pair(64, selectivity=1.0, seed=3)
+        self.check(mini_108, which, set_a, list(set_a))
+
+    def test_disjoint(self, mini_108, which):
+        self.check(mini_108, which, list(range(0, 40, 2)),
+                   list(range(1, 41, 2)))
+
+    def test_a_exhausts_first(self, mini_108, which):
+        self.check(mini_108, which, [1, 2, 3], [2, 3, 50, 60, 70])
+
+    def test_b_exhausts_first(self, mini_108, which):
+        self.check(mini_108, which, [2, 3, 50, 60, 70], [1, 2, 3])
+
+    def test_empty_inputs(self, mini_108, which):
+        self.check(mini_108, which, [], [1, 2, 3])
+        self.check(mini_108, which, [1, 2, 3], [])
+        self.check(mini_108, which, [], [])
+
+    def test_single_elements(self, mini_108, which):
+        self.check(mini_108, which, [7], [7])
+        self.check(mini_108, which, [7], [8])
+
+
+class TestScalarSort:
+    @pytest.mark.parametrize("size", [0, 1, 2, 3, 5, 17, 100, 255])
+    def test_sizes(self, dba_1lsu, size):
+        values = random_values(size, seed=size)
+        output, _stats = run_scalar_merge_sort(dba_1lsu, values)
+        assert output == sorted(values)
+
+    def test_duplicates(self, dba_1lsu):
+        values = [3, 1, 3, 1, 2] * 20
+        output, _stats = run_scalar_merge_sort(dba_1lsu, values)
+        assert output == sorted(values)
+
+    def test_on_108mini(self, mini_108):
+        values = random_values(120, seed=9)
+        output, _stats = run_scalar_merge_sort(mini_108, values)
+        assert output == sorted(values)
+
+
+class TestScalarBaselineShape:
+    def test_local_store_beats_system_memory(self, mini_108, dba_1lsu):
+        """DBA_1LSU's local store roughly doubles scalar throughput
+        over the 108Mini (paper Section 5.2)."""
+        set_a, set_b = generate_set_pair(500, selectivity=0.5, seed=4)
+        _r, mini = run_scalar_set_operation(mini_108, "intersection",
+                                            set_a, set_b)
+        _r, dba = run_scalar_set_operation(dba_1lsu, "intersection",
+                                           set_a, set_b)
+        assert dba.cycles < mini.cycles
+        ratio = mini.cycles / dba.cycles
+        assert 1.3 < ratio < 3.0
+
+    def test_union_writes_more_than_intersection(self, dba_1lsu):
+        set_a, set_b = generate_set_pair(500, selectivity=0.5, seed=5)
+        _r, union = run_scalar_set_operation(dba_1lsu, "union", set_a,
+                                             set_b)
+        _r, intersect = run_scalar_set_operation(dba_1lsu,
+                                                 "intersection",
+                                                 set_a, set_b)
+        assert union.stats["lsu_stores"][0] \
+            > intersect.stats["lsu_stores"][0]

@@ -1,0 +1,144 @@
+"""Unit tests for the SOP all-to-all comparison semantics.
+
+These are the "dedicated unit tests with pre-specified values —
+especially considering corner cases" the paper's verification flow
+prescribes (Section 3.1), applied to the comparison logic.
+"""
+
+from repro.core.common import SENTINEL
+from repro.core.sop import (comparator_matrix, sop_difference,
+                            sop_intersect, sop_union, valid_count)
+
+S = SENTINEL
+
+
+class TestValidCount:
+    def test_full_window(self):
+        assert valid_count([1, 2, 3, 4]) == 4
+
+    def test_partial_window(self):
+        assert valid_count([1, 2, S, S]) == 2
+
+    def test_empty_window(self):
+        assert valid_count([S, S, S, S]) == 0
+
+
+class TestIntersect:
+    def test_disjoint_interleaved(self):
+        step = sop_intersect([1, 3, 5, 7], [2, 4, 6, 8])
+        assert step.output == []
+        # t = min(7, 8) = 7: consumes all of A, three of B
+        assert step.consumed_a == 4
+        assert step.consumed_b == 3
+
+    def test_identical_windows(self):
+        step = sop_intersect([1, 2, 3, 4], [1, 2, 3, 4])
+        assert step.output == [1, 2, 3, 4]
+        assert step.consumed == 8
+
+    def test_partial_overlap(self):
+        step = sop_intersect([1, 2, 3, 10], [2, 3, 11, 12])
+        # t = min(10, 12) = 10: A consumes 4, B consumes 2
+        assert step.output == [2, 3]
+        assert step.consumed_a == 4
+        assert step.consumed_b == 2
+
+    def test_one_side_strictly_smaller(self):
+        step = sop_intersect([1, 2, 3, 4], [10, 11, 12, 13])
+        assert step.output == []
+        assert step.consumed_a == 4
+        assert step.consumed_b == 0
+
+    def test_partially_valid_windows(self):
+        step = sop_intersect([5, 9, S, S], [5, 7, 9, S])
+        # valid: A=2, B=3; t = min(9, 9) = 9: both fully consumed
+        assert step.output == [5, 9]
+        assert step.consumed_a == 2
+        assert step.consumed_b == 3
+
+    def test_empty_against_data(self):
+        step = sop_intersect([S, S, S, S], [1, 2, 3, 4])
+        assert step.output == []
+        assert step.consumed_b == 4  # t is B's max: B drains
+
+    def test_match_at_threshold(self):
+        step = sop_intersect([7, 8, 9, 10], [10, 20, 30, 40])
+        assert step.output == [10]
+        assert step.consumed_a == 4
+        assert step.consumed_b == 1
+
+
+class TestUnion:
+    def test_disjoint_capped_at_result_width(self):
+        step = sop_union([1, 3, 5, 7], [2, 4, 6, 8])
+        # 7 candidates <= t=7, but the Result states hold only four
+        assert step.output == [1, 2, 3, 4]
+        assert step.consumed_a == 2
+        assert step.consumed_b == 2
+
+    def test_identical_no_cap_needed(self):
+        step = sop_union([1, 2, 3, 4], [1, 2, 3, 4])
+        assert step.output == [1, 2, 3, 4]
+        assert step.consumed == 8
+
+    def test_dedup_across_sides(self):
+        step = sop_union([1, 2, 9, 10], [2, 3, 9, 20])
+        # t = 10: candidates 1,2,3,9 (10 cut by the width cap)
+        assert step.output == [1, 2, 3, 9]
+        assert step.consumed_a == 3
+        assert step.consumed_b == 3
+
+    def test_cap_preserves_pair_consumption(self):
+        step = sop_union([1, 2, 3, 4], [4, 5, 6, 7])
+        # t = 4; candidates 1,2,3,4: exactly four distinct, and the
+        # value 4 is consumed on BOTH sides in the same step
+        assert step.output == [1, 2, 3, 4]
+        assert step.consumed_a == 4
+        assert step.consumed_b == 1
+
+    def test_one_side_empty(self):
+        step = sop_union([S, S, S, S], [5, 6, 7, 8])
+        assert step.output == [5, 6, 7, 8]
+        assert step.consumed_b == 4
+
+
+class TestDifference:
+    def test_removes_matches(self):
+        step = sop_difference([1, 2, 3, 10], [2, 3, 11, 12])
+        # 10 is provably absent from B: everything left in B is > 12
+        assert step.output == [1, 10]
+        assert step.consumed_a == 4
+        assert step.consumed_b == 2
+
+    def test_identical_yields_nothing(self):
+        step = sop_difference([1, 2, 3, 4], [1, 2, 3, 4])
+        assert step.output == []
+
+    def test_b_empty_passes_a_through(self):
+        step = sop_difference([1, 2, 3, 4], [S, S, S, S])
+        assert step.output == [1, 2, 3, 4]
+
+    def test_a_empty_yields_nothing(self):
+        step = sop_difference([S, S, S, S], [1, 2, 3, 4])
+        assert step.output == []
+        assert step.consumed_b == 4
+
+    def test_only_consumed_prefix_emitted(self):
+        step = sop_difference([1, 5, 20, 30], [6, 7, 8, 9])
+        # t = 9: A consumes 1, 5 only
+        assert step.output == [1, 5]
+        assert step.consumed_a == 2
+        assert step.consumed_b == 4
+
+
+class TestComparatorMatrix:
+    def test_matrix_signs(self):
+        matrix = comparator_matrix([1, 2, 3, 4], [2, 2, 2, 2])
+        assert matrix[0] == [-1, -1, -1, -1]
+        assert matrix[1] == [0, 0, 0, 0]
+        assert matrix[2] == [1, 1, 1, 1]
+
+    def test_matrix_shape(self):
+        matrix = comparator_matrix([1] * 4, [1] * 4)
+        assert len(matrix) == 4
+        assert all(len(row) == 4 for row in matrix)

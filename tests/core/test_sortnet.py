@@ -1,0 +1,76 @@
+"""Unit tests for the hardware sorting networks."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.sortnet import (MERGE8_SCHEDULE, SORT4_SCHEDULE,
+                                comparator_count_merge8,
+                                comparator_count_sort4, merge8,
+                                network_depth, sort4)
+
+
+class TestSort4:
+    def test_all_permutations(self):
+        # 4! = 24 inputs: the zero-one principle not even needed
+        for perm in itertools.permutations((1, 2, 3, 4)):
+            assert sort4(list(perm)) == [1, 2, 3, 4]
+
+    def test_duplicates(self):
+        assert sort4([2, 1, 2, 1]) == [1, 1, 2, 2]
+        assert sort4([5, 5, 5, 5]) == [5, 5, 5, 5]
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            sort4([1, 2, 3])
+
+    def test_is_batcher_network(self):
+        assert comparator_count_sort4() == 5
+        assert network_depth(SORT4_SCHEDULE, 4) == 3
+
+
+class TestMerge8:
+    def test_exhaustive_zero_one(self):
+        # Zero-one principle: a merge network is correct iff it merges
+        # all 0/1 sorted inputs correctly (2^4 x 2^4 combinations of
+        # sorted 0/1 vectors is small enough to enumerate by counts).
+        for zeros_a in range(5):
+            for zeros_b in range(5):
+                a = [0] * zeros_a + [1] * (4 - zeros_a)
+                b = [0] * zeros_b + [1] * (4 - zeros_b)
+                low, high = merge8(a, b)
+                assert list(low) + list(high) == sorted(a + b)
+
+    def test_random_values(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            a = sorted(rng.randrange(1000) for _ in range(4))
+            b = sorted(rng.randrange(1000) for _ in range(4))
+            low, high = merge8(a, b)
+            assert list(low) + list(high) == sorted(a + b)
+
+    def test_halves_are_sorted(self):
+        low, high = merge8([1, 5, 9, 13], [2, 6, 10, 14])
+        assert low == sorted(low)
+        assert high == sorted(high)
+        assert max(low) <= min(high)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            merge8([1, 2, 3], [1, 2, 3, 4])
+
+    def test_is_odd_even_merge(self):
+        assert comparator_count_merge8() == 9
+        assert network_depth(MERGE8_SCHEDULE, 8) == 3
+
+
+class TestNetworkDepth:
+    def test_empty_schedule(self):
+        assert network_depth((), 4) == 0
+
+    def test_serial_chain(self):
+        assert network_depth(((0, 1), (1, 2), (2, 3)), 4) == 3
+
+    def test_parallel_stage(self):
+        assert network_depth(((0, 1), (2, 3)), 4) == 1

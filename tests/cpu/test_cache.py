@@ -1,0 +1,85 @@
+"""Unit tests for the cache timing model."""
+
+import pytest
+
+from repro.cpu.cache import Cache, CacheConfig
+from repro.cpu.errors import ConfigurationError
+
+
+def make_cache(size=1024, ways=2, line=32, miss=10):
+    return Cache(CacheConfig("d", size, ways, line, miss))
+
+
+class TestBasicBehavior:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(0x100, False) == 10
+        assert cache.access(0x100, False) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_same_line_different_words_hit(self):
+        cache = make_cache()
+        cache.access(0x100, False)
+        assert cache.access(0x11C, False) == 0  # same 32B line
+
+    def test_different_lines_miss(self):
+        cache = make_cache()
+        cache.access(0x100, False)
+        assert cache.access(0x120, False) == 10
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.access(0x0, False)
+        cache.access(0x0, False)
+        cache.access(0x0, False)
+        assert cache.hit_rate() == pytest.approx(2 / 3)
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        # 2 ways, 16 sets: addresses mapping to the same set are
+        # line-size * set-count apart.
+        cache = make_cache(size=1024, ways=2, line=32)
+        stride = 32 * 16
+        cache.access(0 * stride, False)
+        cache.access(1 * stride, False)
+        cache.access(0 * stride, False)       # refresh LRU of way 0
+        cache.access(2 * stride, False)       # evicts address stride*1
+        assert cache.access(0 * stride, False) == 0
+        assert cache.access(1 * stride, False) == 10  # was evicted
+
+    def test_dirty_eviction_pays_writeback(self):
+        cache = make_cache(size=1024, ways=1, line=32, miss=10)
+        stride = 32 * 32
+        cache.access(0, True)                  # dirty line
+        cost = cache.access(stride, False)     # evicts dirty line
+        assert cost == 20                      # miss + writeback
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_is_cheap(self):
+        cache = make_cache(size=1024, ways=1, line=32, miss=10)
+        stride = 32 * 32
+        cache.access(0, False)
+        assert cache.access(stride, False) == 10
+        assert cache.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        cache = make_cache(size=1024, ways=1, line=32, miss=10)
+        stride = 32 * 32
+        cache.access(0, False)
+        cache.access(4, True)                  # write hit -> dirty
+        assert cache.access(stride, False) == 20
+
+
+class TestConfigValidation:
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", 1000, 3, 32, 10)
+
+    def test_reset(self):
+        cache = make_cache()
+        cache.access(0, True)
+        cache.reset()
+        assert cache.hits == cache.misses == 0
+        assert cache.access(0, False) == 10  # cold again

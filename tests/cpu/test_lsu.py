@@ -1,0 +1,71 @@
+"""Unit tests for the load-store units."""
+
+import pytest
+
+from repro.cpu.cache import Cache, CacheConfig
+from repro.cpu.errors import MemoryFault
+from repro.cpu.lsu import LoadStoreUnit
+from repro.cpu.memory import Memory, MemoryMap
+
+
+def make_lsu(port_bits=128, wait_states=0, cache=None, cacheable=False):
+    memory = Memory("m", 0x0, 1024, wait_states=wait_states)
+    memory.cacheable = cacheable
+    return LoadStoreUnit(0, port_bits, MemoryMap([memory]), cache), memory
+
+
+class TestScalarTiming:
+    def test_local_store_has_no_wait_states(self):
+        lsu, _memory = make_lsu()
+        _value, cost = lsu.load(0x10, 4, False)
+        assert cost == 0
+
+    def test_wait_states_passed_through(self):
+        lsu, _memory = make_lsu(wait_states=3)
+        _value, cost = lsu.load(0x10, 4, False)
+        assert cost == 3
+        assert lsu.store(0x10, 1, 4) == 3
+
+    def test_cache_overrides_wait_states(self):
+        cache = Cache(CacheConfig("d", 256, 1, 32, miss_penalty=8))
+        lsu, _memory = make_lsu(wait_states=3, cache=cache,
+                                cacheable=True)
+        _value, cost_miss = lsu.load(0x10, 4, False)
+        _value, cost_hit = lsu.load(0x14, 4, False)
+        assert cost_miss == 8
+        assert cost_hit == 0
+
+
+class TestWideAccess:
+    def test_wide_load_on_wide_port(self):
+        lsu, memory = make_lsu(port_bits=128)
+        memory.write_words(0x20, [1, 2, 3, 4])
+        values, cost = lsu.load_block(0x20, 4)
+        assert values == [1, 2, 3, 4]
+        assert cost == 0
+
+    def test_wide_access_serialized_on_narrow_port(self):
+        lsu, memory = make_lsu(port_bits=32)
+        memory.write_words(0x20, [1, 2, 3, 4])
+        _values, cost = lsu.load_block(0x20, 4)
+        assert cost == 3  # 4 beats over a 32-bit port
+
+    def test_require_wide_port(self):
+        lsu, _memory = make_lsu(port_bits=32)
+        with pytest.raises(MemoryFault, match="port"):
+            lsu.require_wide_port(128)
+        wide, _memory = make_lsu(port_bits=128)
+        wide.require_wide_port(128)  # no raise
+
+
+class TestStats:
+    def test_counters(self):
+        lsu, memory = make_lsu(wait_states=2)
+        memory.write_words(0, [0, 0])
+        lsu.load(0, 4, False)
+        lsu.store(4, 9, 4)
+        assert lsu.loads == 1
+        assert lsu.stores == 1
+        assert lsu.stall_cycles == 4
+        lsu.reset_stats()
+        assert lsu.stall_cycles == 0

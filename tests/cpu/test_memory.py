@@ -1,0 +1,124 @@
+"""Unit tests for the data memories and the memory map."""
+
+import pytest
+
+from repro.cpu.errors import MemoryFault
+from repro.cpu.memory import Memory, MemoryMap
+
+
+@pytest.fixture()
+def mem():
+    return Memory("dmem", 0x1000, 256)
+
+
+class TestScalarAccess:
+    def test_word_round_trip(self, mem):
+        mem.store(0x1000, 0xDEADBEEF)
+        assert mem.load(0x1000) == 0xDEADBEEF
+
+    def test_word_masks_high_bits(self, mem):
+        mem.store(0x1004, 0x1_0000_0002)
+        assert mem.load(0x1004) == 2
+
+    def test_halfword_lanes(self, mem):
+        mem.store(0x1000, 0x11223344)
+        assert mem.load(0x1000, 2) == 0x3344
+        assert mem.load(0x1002, 2) == 0x1122
+
+    def test_byte_lanes(self, mem):
+        mem.store(0x1000, 0x11223344)
+        assert [mem.load(0x1000 + i, 1) for i in range(4)] \
+            == [0x44, 0x33, 0x22, 0x11]
+
+    def test_signed_halfword(self, mem):
+        mem.store(0x1000, 0x0000FFFF)
+        assert mem.load(0x1000, 2, signed=True) == 0xFFFFFFFF
+
+    def test_subword_store_preserves_neighbours(self, mem):
+        mem.store(0x1000, 0x11223344)
+        mem.store(0x1001, 0xAB, 1)
+        assert mem.load(0x1000) == 0x1122AB44
+        mem.store(0x1002, 0xCDEF, 2)
+        assert mem.load(0x1000) == 0xCDEFAB44
+
+    @pytest.mark.parametrize("addr,size", [
+        (0x1001, 4), (0x1002, 4), (0x1001, 2),
+    ])
+    def test_misaligned_faults(self, mem, addr, size):
+        with pytest.raises(MemoryFault, match="misaligned"):
+            mem.load(addr, size)
+        with pytest.raises(MemoryFault, match="misaligned"):
+            mem.store(addr, 0, size)
+
+    def test_out_of_range_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.load(0x0FFC)
+        with pytest.raises(MemoryFault):
+            mem.load(0x1100)
+
+
+class TestWideAccess:
+    def test_block_round_trip(self, mem):
+        mem.store_block(0x1010, [1, 2, 3, 4])
+        assert mem.load_block(0x1010, 4) == [1, 2, 3, 4]
+
+    def test_block_masks_values(self, mem):
+        mem.store_block(0x1000, [1 << 35, 2, 3, 4])
+        assert mem.load_block(0x1000, 4)[0] == 0
+
+    def test_block_overrun_faults(self, mem):
+        with pytest.raises(MemoryFault, match="runs off"):
+            mem.load_block(0x10FC, 4)
+
+    def test_misaligned_block_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.load_block(0x1002, 4)
+
+
+class TestHostAccess:
+    def test_bulk_round_trip(self, mem):
+        mem.write_words(0x1000, list(range(10)))
+        assert mem.read_words(0x1000, 10) == list(range(10))
+
+    def test_bulk_does_not_count_as_simulated_access(self, mem):
+        mem.write_words(0x1000, [1])
+        mem.read_words(0x1000, 1)
+        assert mem.read_accesses == 0
+        assert mem.write_accesses == 0
+
+    def test_bulk_overrun_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.write_words(0x10F8, [1, 2, 3])
+
+
+class TestStats:
+    def test_access_counters(self, mem):
+        mem.store(0x1000, 1)
+        mem.load(0x1000)
+        mem.load_block(0x1000, 4)
+        assert mem.write_accesses == 1
+        assert mem.read_accesses == 2
+        mem.reset_stats()
+        assert mem.read_accesses == 0
+
+
+class TestMemoryMap:
+    def test_routing(self):
+        a = Memory("a", 0x0, 64)
+        b = Memory("b", 0x1000, 64)
+        memory_map = MemoryMap([b, a])
+        assert memory_map.region_for(0x10) is a
+        assert memory_map.region_for(0x1010) is b
+
+    def test_unmapped_faults(self):
+        memory_map = MemoryMap([Memory("a", 0x0, 64)])
+        with pytest.raises(MemoryFault, match="unmapped"):
+            memory_map.region_for(0x100)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(MemoryFault, match="overlap"):
+            MemoryMap([Memory("a", 0x0, 128), Memory("b", 0x40, 64)])
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(MemoryFault):
+            Memory("odd", 0, 13)

@@ -1,0 +1,161 @@
+"""Processor execution and timing-model tests."""
+
+import pytest
+
+from repro.cpu import CoreConfig, PipelineModel, Processor
+from repro.cpu.errors import (ConfigurationError, ExecutionLimitExceeded,
+                              MemoryFault)
+
+
+def make_processor(**kwargs):
+    kwargs.setdefault("dmem0_kb", 16)
+    kwargs.setdefault("sim_headroom_kb", 0)
+    return Processor(CoreConfig("t", **kwargs))
+
+
+def cycles_of(body, pipeline=None, regs=None):
+    processor = Processor(CoreConfig("t", dmem0_kb=16, sim_headroom_kb=0,
+                                     pipeline=pipeline))
+    processor.load_program("main:\n%s\n  halt\n" % body)
+    return processor.run(entry="main", regs=regs or {}).cycles
+
+
+class TestExecutionBasics:
+    def test_requires_loaded_program(self):
+        with pytest.raises(ConfigurationError, match="no program"):
+            make_processor().run()
+
+    def test_entry_by_label_and_index(self):
+        processor = make_processor()
+        processor.load_program(
+            "a:\n  movi a2, 1\n  halt\nb:\n  movi a2, 2\n  halt")
+        assert processor.run(entry="b").reg("a2") == 2
+        assert processor.run(entry=0).reg("a2") == 1
+
+    def test_register_arguments_by_name_and_index(self):
+        processor = make_processor()
+        processor.load_program("main:\n  add a4, a2, a3\n  halt")
+        result = processor.run(entry="main", regs={"a2": 2, 3: 40})
+        assert result.reg("a4") == 42
+
+    def test_max_cycles_guard(self):
+        processor = make_processor()
+        processor.load_program("spin:\n  j spin\n  halt")
+        with pytest.raises(ExecutionLimitExceeded):
+            processor.run(entry="spin", max_cycles=100)
+
+    def test_falling_into_bundle_tail_faults(self):
+        from repro.configs.catalog import build_processor
+        processor = build_processor("DBA_2LSU_EIS")
+        program = processor.assembler.assemble(
+            "main:\n  { ld_ldp_shuffle }\n  halt")
+        processor.load_program(program)
+        # jumping into the middle of the 64-bit bundle is a fetch error
+        with pytest.raises(MemoryFault, match="bundle tail"):
+            processor.run(entry=1)
+
+    def test_run_result_metadata(self):
+        processor = make_processor()
+        processor.load_program("main:\n  nop\n  nop\n  halt")
+        result = processor.run(entry="main")
+        assert result.instructions == 3
+        assert result.cpi() == pytest.approx(result.cycles / 3)
+        assert result.throughput_meps(300, 100) \
+            == pytest.approx(300 * 100 / result.cycles)
+
+
+class TestTimingModel:
+    def test_straightline_alu_is_one_cpi(self):
+        assert cycles_of("  nop\n  nop\n  nop") == 4
+
+    def test_taken_branch_pays_penalty(self):
+        pipeline = PipelineModel(branch_taken_penalty=3)
+        straight = cycles_of("  beq a2, a3, t\n  nop\nt:\n  nop",
+                             pipeline=pipeline,
+                             regs={"a2": 0, "a3": 1})  # not taken
+        taken = cycles_of("  beq a2, a3, t\n  nop\nt:\n  nop",
+                          pipeline=pipeline,
+                          regs={"a2": 1, "a3": 1})
+        # taken skips one instruction (-1) but pays 3 bubbles (+3)
+        assert taken == straight + 2
+
+    def test_direct_jump_costs_single_cycle(self):
+        # j is resolved in fetch: 1 issue, no bubbles
+        assert cycles_of("  j t\nt:\n  nop") == 3
+
+    def test_load_use_interlock(self):
+        processor = make_processor()
+        processor.write_words(0x100, [7])
+        no_use = ("  l32i a2, a4, 0\n  nop\n  add a3, a2, a2")
+        use = ("  l32i a2, a4, 0\n  add a3, a2, a2\n  nop")
+        processor.load_program("main:\n%s\n  halt" % no_use)
+        baseline = processor.run(entry="main", regs={"a4": 0x100}).cycles
+        processor.load_program("main:\n%s\n  halt" % use)
+        stalled = processor.run(entry="main", regs={"a4": 0x100}).cycles
+        assert stalled == baseline + 1
+
+    def test_memory_wait_states_charged(self):
+        fast = make_processor()  # local store: no wait states
+        fast.write_words(0x100, [1])
+        fast.load_program("main:\n  l32i a2, a3, 0\n  halt")
+        fast_cycles = fast.run(entry="main", regs={"a3": 0x100}).cycles
+        slow = Processor(CoreConfig("t", dmem0_kb=0, sysmem_kb=16,
+                                    sysmem_wait_states=5,
+                                    sim_headroom_kb=0))
+        slow.write_words(0x100, [1])
+        slow.load_program("main:\n  l32i a2, a3, 0\n  halt")
+        slow_cycles = slow.run(entry="main", regs={"a3": 0x100}).cycles
+        assert slow_cycles == fast_cycles + 5
+
+    def test_division_is_multicycle(self):
+        pipeline = PipelineModel(div_cycles=13)
+        div = cycles_of("  quou a2, a3, a4", pipeline=pipeline,
+                        regs={"a3": 100, "a4": 7})
+        add = cycles_of("  add a2, a3, a4", pipeline=pipeline)
+        assert div == add + 12
+
+    def test_ret_pays_indirect_penalty(self):
+        pipeline = PipelineModel(indirect_penalty=2, call_penalty=0)
+        cycles = cycles_of("  call s\n  j out\ns:\n  ret\nout:\n  nop",
+                           pipeline=pipeline)
+        # call(1) + ret(1+2) + j(1) + nop(1) + halt(1) = 7
+        assert cycles == 7
+
+    def test_stats_collected(self):
+        processor = make_processor()
+        processor.write_words(0x100, [1, 2])
+        processor.load_program(
+            "main:\n  l32i a2, a4, 0\n  l32i a3, a4, 4\n"
+            "  add a2, a2, a3\n  s32i a2, a4, 8\n  halt")
+        result = processor.run(entry="main", regs={"a4": 0x100})
+        assert result.stats["lsu_loads"] == [2]
+        assert result.stats["lsu_stores"] == [1]
+
+
+class TestUserRegisters:
+    def test_unknown_user_register_faults(self):
+        processor = make_processor()
+        processor.load_program("main:\n  rur a2, 99\n  halt")
+        with pytest.raises(MemoryFault, match="user register"):
+            processor.run(entry="main")
+
+    def test_duplicate_registration_rejected(self):
+        processor = make_processor()
+        processor.register_user_register("x", lambda: 0, lambda v: None)
+        with pytest.raises(ConfigurationError, match="already"):
+            processor.register_user_register("x", lambda: 0,
+                                             lambda v: None)
+
+
+class TestConfigValidation:
+    def test_two_lsus_require_dmem1(self):
+        with pytest.raises(ConfigurationError, match="dmem1"):
+            CoreConfig("bad", num_lsus=2)
+
+    def test_bad_port_width(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig("bad", lsu_port_bits=64 + 1)
+
+    def test_bad_lsu_count(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig("bad", num_lsus=3, dmem1_kb=16)

@@ -1,0 +1,93 @@
+"""Unit tests for the cycle profiler and pipeline tracer."""
+
+from repro.cpu import CoreConfig, CycleProfiler, PipelineTracer, Processor
+
+
+def make_processor():
+    return Processor(CoreConfig("t", dmem0_kb=16, sim_headroom_kb=0))
+
+
+SOURCE = """
+main:
+  movi a2, 5
+loop:
+  addi a2, a2, -1
+  bnez a2, loop
+tail:
+  nop
+  halt
+"""
+
+
+class TestProfiler:
+    def test_total_cycles_match_run(self):
+        processor = make_processor()
+        processor.load_program(SOURCE)
+        profiler = CycleProfiler()
+        result = processor.run_profiled(profiler, entry="main")
+        assert profiler.total_cycles == result.cycles
+
+    def test_hotspots_identify_the_loop(self):
+        processor = make_processor()
+        program = processor.load_program(SOURCE)
+        profiler = CycleProfiler()
+        processor.run_profiled(profiler, entry="main")
+        hotspots = profiler.hotspots(program)
+        assert hotspots[0].region == "loop"
+        assert hotspots[0].visits == 10  # 5 iterations x 2 instructions
+        assert hotspots[0].share > 0.5
+
+    def test_report_renders(self):
+        processor = make_processor()
+        program = processor.load_program(SOURCE)
+        profiler = CycleProfiler()
+        processor.run_profiled(profiler, entry="main")
+        text = profiler.report(program)
+        assert "loop" in text
+        assert "share" in text
+
+    def test_profiled_run_matches_plain_run_cycles(self):
+        plain = make_processor()
+        plain.load_program(SOURCE)
+        expected = plain.run(entry="main").cycles
+        profiled = make_processor()
+        profiled.load_program(SOURCE)
+        result = profiled.run_profiled(CycleProfiler(), entry="main")
+        assert result.cycles == expected
+
+
+class TestTracer:
+    def test_events_recorded_in_issue_order(self):
+        processor = make_processor()
+        processor.load_program(SOURCE)
+        tracer = PipelineTracer(limit=100)
+        processor.run(entry="main", trace=tracer)
+        cycles = [event[0] for event in tracer.events]
+        assert cycles == sorted(cycles)
+        names = [event[2] for event in tracer.events]
+        assert names[0] == "movi"
+
+    def test_limit_respected(self):
+        processor = make_processor()
+        processor.load_program(SOURCE)
+        tracer = PipelineTracer(limit=3)
+        processor.run(entry="main", trace=tracer)
+        assert len(tracer.events) == 3
+
+    def test_loop_cycles_per_iteration(self):
+        processor = make_processor()
+        processor.load_program(SOURCE)
+        tracer = PipelineTracer()
+        processor.run(entry="main", trace=tracer)
+        per_iteration = tracer.loop_cycles_per_iteration("addi")
+        assert per_iteration is not None
+        assert per_iteration > 0
+
+    def test_render(self):
+        processor = make_processor()
+        processor.load_program(SOURCE)
+        tracer = PipelineTracer()
+        processor.run(entry="main", trace=tracer)
+        text = tracer.render(count=5)
+        assert "cycle" in text
+        assert "movi" in text

@@ -1,0 +1,85 @@
+"""Finer-grained timing-model tests: mul delay, bundles, routing."""
+
+import pytest
+
+from repro.configs.catalog import build_processor
+from repro.cpu import CoreConfig, PipelineModel, Processor
+from repro.cpu.memory import DMEM1_BASE
+
+
+def run_cycles(processor, body, regs=None):
+    processor.load_program("main:\n%s\n  halt" % body)
+    return processor.run(entry="main", regs=regs or {}).cycles
+
+
+class TestMultiplierTiming:
+    def test_mul_use_bubble(self):
+        processor = Processor(CoreConfig(
+            "t", dmem0_kb=16, sim_headroom_kb=0,
+            pipeline=PipelineModel(mul_use_delay=2)))
+        dependent = run_cycles(processor,
+                               "  mul a2, a3, a4\n  add a5, a2, a2")
+        independent = run_cycles(processor,
+                                 "  mul a2, a3, a4\n  add a5, a6, a6")
+        assert dependent == independent + 2
+
+
+class TestBundleTiming:
+    @pytest.fixture()
+    def eis(self):
+        return build_processor("DBA_2LSU_EIS")
+
+    def test_bundle_is_one_issue(self, eis):
+        single = run_cycles(eis, "  sop_init")
+        bundled = run_cycles(eis, "  { sop_init ; movi a2, 1 }")
+        assert bundled == single  # two ops, one cycle
+
+    def test_bundle_branch_reads_same_cycle_flag(self, eis):
+        """The fused STORE_SOP writes the continue flag and the beqz in
+        the same bundle consumes it (datapath forwarding)."""
+        body = ("  sop_init\n"
+                "  { store_sop_int a8 ; beqz a8, out }\n"
+                "  movi a9, 111\n"
+                "out:\n  nop")
+        eis.load_program("main:\n%s\n  halt" % body)
+        result = eis.run(entry="main", regs={"a9": 0})
+        # empty datapath -> flag 0 -> branch taken -> a9 never written
+        assert result.reg("a9") == 0
+
+    def test_bundle_memory_cost_propagates(self, eis):
+        # an EIS load inside a bundle pays local-memory cost (0 waits)
+        eis.write_words(0x0, [1, 2, 3, 4])
+        ext = eis.extension_states["db_eis"]
+        ext.setdp.op_init(eis)
+        ext.setdp.ptr_a.value = 0
+        ext.setdp.end_a.value = 16
+        cycles = run_cycles(eis, "  { ld_a }")
+        assert cycles == 2  # bundle + halt
+
+
+class TestScalarRoutingToDmem1:
+    def test_scalar_access_routes_to_second_lsu(self):
+        processor = build_processor("DBA_2LSU_EIS")
+        processor.write_words(DMEM1_BASE, [77])
+        processor.load_program(
+            "main:\n  l32i a3, a2, 0\n  halt")
+        result = processor.run(entry="main", regs={"a2": DMEM1_BASE})
+        assert result.reg("a3") == 77
+        assert result.stats["lsu_loads"] == [0, 1]
+
+    def test_single_lsu_serves_everything(self):
+        processor = build_processor("DBA_1LSU_EIS")
+        processor.write_words(0x40, [5])
+        processor.load_program("main:\n  l32i a3, a2, 0\n  halt")
+        result = processor.run(entry="main", regs={"a2": 0x40})
+        assert result.stats["lsu_loads"] == [1]
+
+
+class TestStFlushTiming:
+    def test_flush_is_multicycle(self):
+        processor = build_processor("DBA_2LSU_EIS")
+        ext = processor.extension_states["db_eis"]
+        ext.setdp.op_init(processor)
+        nop_cycles = run_cycles(processor, "  nop")
+        flush_cycles = run_cycles(processor, "  st_flush")
+        assert flush_cycles == nop_cycles + 4  # extra_cycles=4

@@ -1,0 +1,166 @@
+"""Shape tests of the experiment harnesses (quick workload sizes).
+
+Each experiment must reproduce the paper's *qualitative* findings; the
+full-size quantitative record lives in EXPERIMENTS.md and the
+benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import (energy, figure13, prefetch_validation,
+                               table2, table3, table4, table5, table6)
+from repro.experiments.base import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_format_and_lookup(self):
+        result = ExperimentResult("T", "demo", ["name", "value"],
+                                  [["a", 1.5], ["b", 2]],
+                                  notes=["hello"])
+        text = result.format()
+        assert "demo" in text and "hello" in text
+        assert result.column("value") == [1.5, 2]
+        assert result.row_by("name", "b")["value"] == 2
+        with pytest.raises(KeyError):
+            result.row_by("name", "zzz")
+
+
+@pytest.fixture(scope="module")
+def quick_table2():
+    return table2.run(set_size=600, sort_size=512)
+
+
+class TestTable2Shape:
+    def test_all_rows_present(self, quick_table2):
+        assert len(quick_table2.rows) == 6
+
+    def test_eis_beats_scalar_by_an_order_of_magnitude(self,
+                                                       quick_table2):
+        scalar = quick_table2.row_by("configuration", "DBA_1LSU")
+        eis = quick_table2.row_by("configuration",
+                                  "DBA_2LSU_EIS w/ partial load")
+        assert eis["intersection"] > 10 * scalar["intersection"]
+        assert eis["merge_sort"] > 5 * scalar["merge_sort"]
+
+    def test_local_store_beats_108mini(self, quick_table2):
+        mini = quick_table2.row_by("configuration", "108Mini")
+        dba = quick_table2.row_by("configuration", "DBA_1LSU")
+        for column in ("intersection", "union", "difference",
+                       "merge_sort"):
+            assert dba[column] > mini[column]
+
+    def test_partial_loading_wins_intersection(self, quick_table2):
+        with_pl = quick_table2.row_by("configuration",
+                                      "DBA_2LSU_EIS w/ partial load")
+        without = quick_table2.row_by("configuration",
+                                      "DBA_2LSU_EIS w/o partial load")
+        assert with_pl["intersection"] > without["intersection"]
+
+    def test_second_lsu_wins_intersection(self, quick_table2):
+        one = quick_table2.row_by("configuration",
+                                  "DBA_1LSU_EIS w/ partial load")
+        two = quick_table2.row_by("configuration",
+                                  "DBA_2LSU_EIS w/ partial load")
+        assert two["intersection"] > one["intersection"]
+
+    def test_sort_unaffected_by_partial_loading(self, quick_table2):
+        with_pl = quick_table2.row_by("configuration",
+                                      "DBA_2LSU_EIS w/ partial load")
+        without = quick_table2.row_by("configuration",
+                                      "DBA_2LSU_EIS w/o partial load")
+        assert with_pl["merge_sort"] \
+            == pytest.approx(without["merge_sort"], rel=1e-6)
+
+    def test_frequencies_from_synthesis(self, quick_table2):
+        assert quick_table2.row_by("configuration", "108Mini")["f[MHz]"] \
+            == 442
+        assert quick_table2.row_by(
+            "configuration", "DBA_2LSU_EIS w/ partial load")["f[MHz]"] \
+            == 410
+
+
+class TestTable3And4:
+    def test_table3_rows(self):
+        result = table3.run()
+        assert len(result.rows) == 6
+        row28 = [r for r in result.rows if r[0] == "28nm"][0]
+        assert row28[4] == 500  # SLVT frequency cap
+
+    def test_table4_sums_to_hundred(self):
+        result = table4.run()
+        total = result.row_by("part", "SUM")
+        assert total["area_percent"] == pytest.approx(100.0, abs=0.3)
+
+    def test_table4_union_largest_op(self):
+        result = table4.run()
+        ops = {row[0]: row[1] for row in result.rows
+               if row[0].startswith("Op:")}
+        assert max(ops, key=ops.get) == "Op: Union"
+
+
+class TestTables5And6:
+    def test_table5_energy_story(self):
+        result = table5.run(sort_size=1024, swsort_sample=2048)
+        hw = result.row_by("processor", "DBA_2LSU_EIS (hwsort)")
+        sw = result.row_by("processor", "Intel Q9550 (swsort)")
+        # swsort is faster in absolute terms (paper: ~2x) ...
+        assert sw["throughput_meps"] > hw["throughput_meps"]
+        assert sw["throughput_meps"] < 5 * hw["throughput_meps"]
+        # ... but at hundreds of times the power
+        assert sw["max_tdp_w"] > 500 * hw["max_tdp_w"]
+
+    def test_table6_comparable_throughput(self):
+        result = table6.run(hw_set_size=1500, sw_sample_size=10_000)
+        hw = result.row_by("processor", "DBA_2LSU_EIS (hwset)")
+        sw = result.row_by("processor", "Intel i7-920 (swset)")
+        # the paper's headline: same performance class
+        assert hw["throughput_meps"] \
+            == pytest.approx(sw["throughput_meps"], rel=0.25)
+
+    def test_energy_experiment_hits_960x(self):
+        result = energy.run()
+        note = result.notes[0]
+        assert "power ratio" in note
+        ratio = float(note.split(":")[1].split("x")[0])
+        assert 900 < ratio < 1050
+
+
+class TestFigure13Shape:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return figure13.run(set_size=400,
+                            selectivities=(0.0, 0.5, 1.0))
+
+    def test_throughput_increases_with_selectivity(self, sweep):
+        for name in ("DBA_2LSU_EIS w/ partial load", "108Mini"):
+            curve = figure13.series(sweep, name)
+            assert curve[-1][1] > curve[0][1]
+
+    def test_partial_loading_no_advantage_at_full_selectivity(self,
+                                                              sweep):
+        with_pl = dict(figure13.series(
+            sweep, "DBA_2LSU_EIS w/ partial load"))
+        without = dict(figure13.series(
+            sweep, "DBA_2LSU_EIS w/o partial load"))
+        # clear advantage at 50%...
+        assert with_pl[50] > 1.15 * without[50]
+        # ...vanishing at 100% (both advance 4 elements per set & op)
+        assert with_pl[100] == pytest.approx(without[100], rel=0.02)
+
+    def test_render_ascii(self, sweep):
+        art = figure13.render_ascii(sweep)
+        assert "#" in art
+
+
+class TestPrefetchValidation:
+    def test_constant_throughput(self):
+        result = prefetch_validation.run(sizes=(8_000, 16_000))
+        streamed = [row for row in result.rows
+                    if row[0] == "streamed+overlap"]
+        assert len(streamed) == 2
+        small, large = streamed
+        # larger data may not be slower (constant-throughput claim)
+        assert large[2] >= small[2] * 0.95
+        # and overlap beats blocking
+        for row in streamed:
+            assert row[2] > row[3]

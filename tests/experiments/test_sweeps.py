@@ -1,0 +1,55 @@
+"""Selectivity sweeps for union and difference (Section 5.2: "We
+obtain similar results also for the other two set operation
+algorithms")."""
+
+import pytest
+
+from repro.experiments import figure13
+
+
+@pytest.fixture(scope="module", params=["union", "difference"])
+def sweep(request):
+    rows = [("DBA_2LSU_EIS", True), ("DBA_2LSU_EIS", False),
+            ("DBA_1LSU", None)]
+    return request.param, figure13.run(
+        set_size=400, selectivities=(0.0, 0.5, 1.0), rows=rows,
+        which=request.param)
+
+
+class TestOtherOperationsSweep:
+    def test_throughput_rises_with_selectivity(self, sweep):
+        which, result = sweep
+        curve = figure13.series(result,
+                                "DBA_2LSU_EIS w/ partial load")
+        assert curve[-1][1] > curve[0][1]
+
+    def test_eis_beats_scalar_at_every_point(self, sweep):
+        which, result = sweep
+        eis = dict(figure13.series(result,
+                                   "DBA_2LSU_EIS w/ partial load"))
+        scalar = dict(figure13.series(result, "DBA_1LSU"))
+        for point, value in eis.items():
+            assert value > 5 * scalar[point]
+
+    def test_partial_loading_no_advantage_at_100(self, sweep):
+        which, result = sweep
+        with_pl = dict(figure13.series(result,
+                                       "DBA_2LSU_EIS w/ partial load"))
+        without = dict(figure13.series(
+            result, "DBA_2LSU_EIS w/o partial load"))
+        assert with_pl[100] == pytest.approx(without[100], rel=0.05)
+
+
+class TestDifferenceMirrorsIntersection:
+    def test_difference_tracks_intersection_cycles(self,
+                                                   eis_2lsu_partial):
+        """Table 2: difference ~= intersection throughput (both write
+        at most one side's values)."""
+        from repro.core.kernels import run_set_operation
+        from repro.workloads.sets import generate_set_pair
+        set_a, set_b = generate_set_pair(1000, selectivity=0.5, seed=5)
+        _r, diff = run_set_operation(eis_2lsu_partial, "difference",
+                                     set_a, set_b)
+        _r, intersect = run_set_operation(eis_2lsu_partial,
+                                          "intersection", set_a, set_b)
+        assert diff.cycles == pytest.approx(intersect.cycles, rel=0.05)

@@ -1,0 +1,96 @@
+"""Last-mile coverage: profiled EIS runs, timing attribution, and
+cross-layer consistency checks."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import crc32_reference
+from repro.cpu import CycleProfiler
+from repro.workloads.sets import generate_set_pair
+
+
+class TestProfiledEisRun:
+    def test_profiler_attributes_eis_loop(self, eis_2lsu_partial):
+        from repro.core.kernels import (run_set_operation,
+                                        set_operation_layout)
+        set_a, set_b = generate_set_pair(800, selectivity=0.5, seed=1)
+        run_set_operation(eis_2lsu_partial, "intersection", set_a,
+                          set_b)
+        base_a, base_b, base_c = set_operation_layout(
+            eis_2lsu_partial, len(set_a), len(set_b))
+        profiler = CycleProfiler()
+        result = eis_2lsu_partial.run_profiled(
+            profiler, entry="main", regs={
+                "a2": base_a, "a3": base_a + len(set_a) * 4,
+                "a4": base_b, "a5": base_b + len(set_b) * 4,
+                "a6": base_c})
+        assert profiler.total_cycles == result.cycles
+        hotspots = profiler.hotspots(eis_2lsu_partial.program)
+        assert hotspots[0].region == "loop"
+        assert hotspots[0].share > 0.9  # the unrolled core loop is all
+
+
+class TestTimingAttribution:
+    def test_union_path_sets_the_eis_clock(self):
+        """The union result circuit is the deepest declared op path, so
+        it (plus the shared matrix) limits the EIS stage."""
+        from repro.core.extension import build_db_extension
+        from repro.tie.netlist import path_delay
+        extension = build_db_extension(num_lsus=2)
+        union_delay = path_delay(
+            extension.operation("sop_uni").path)
+        others = [path_delay(extension.operation(name).path)
+                  for name in ("sop_int", "sop_dif", "merge_st",
+                               "ldsort", "ld_a", "ldp_a", "st_s")]
+        assert union_delay >= max(others)
+        assert extension.netlist().longest_path_fo4() == union_delay
+
+    def test_frequency_order_is_a_consequence(self):
+        """fmax(108Mini) > fmax(DBA_1LSU) > fmax(DBA_1LSU_EIS) >
+        fmax(DBA_2LSU_EIS) falls out of the path model."""
+        from repro.synth import synthesize_config
+        fmax = [synthesize_config(name).fmax_mhz
+                for name in ("108Mini", "DBA_1LSU", "DBA_1LSU_EIS",
+                             "DBA_2LSU_EIS")]
+        assert fmax == sorted(fmax, reverse=True)
+
+
+class TestCrcAgainstZlib:
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                    max_size=40))
+    @settings(max_examples=100)
+    def test_reference_matches_zlib(self, words):
+        data = b"".join(word.to_bytes(4, "little") for word in words)
+        assert crc32_reference(words) == zlib.crc32(data)
+
+
+class TestResultStatsConsistency:
+    def test_lsu_traffic_accounts_for_all_data(self, eis_2lsu_partial):
+        """Every input block is loaded exactly once and every result
+        block stored exactly once (no hidden re-reads)."""
+        from repro.core.kernels import run_set_operation
+        set_a, set_b = generate_set_pair(2048, selectivity=0.5, seed=3)
+        result, stats = run_set_operation(eis_2lsu_partial,
+                                          "intersection", set_a, set_b)
+        blocks_a = len(set_a) // 4
+        blocks_b = len(set_b) // 4
+        assert stats.stats["lsu_loads"][0] == blocks_a
+        assert stats.stats["lsu_loads"][1] == blocks_b
+        full_result_blocks = len(result) // 4
+        # the epilogue flush writes the tail with word stores
+        assert stats.stats["lsu_stores"][1] >= full_result_blocks
+
+    def test_cycles_scale_linearly_with_input(self, eis_2lsu_partial):
+        from repro.core.kernels import run_set_operation
+        cycles = {}
+        for size in (1000, 4000):
+            set_a, set_b = generate_set_pair(size, selectivity=0.5,
+                                             seed=4)
+            _r, stats = run_set_operation(eis_2lsu_partial,
+                                          "intersection", set_a, set_b)
+            cycles[size] = stats.cycles
+        ratio = cycles[4000] / cycles[1000]
+        assert ratio == pytest.approx(4.0, rel=0.15)

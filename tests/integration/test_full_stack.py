@@ -1,0 +1,116 @@
+"""Full-stack integration tests: paper-scale workloads end to end."""
+
+import pytest
+
+from repro import (build_processor, run_merge_sort, run_set_operation,
+                   synthesize_config)
+from repro.core import run_scalar_set_operation
+from repro.toolflow import equivalence_check
+from repro.workloads import generate_set_pair, random_values
+
+
+class TestPaperScaleWorkloads:
+    """The exact workload sizes of the paper's Table 2."""
+
+    @pytest.fixture(scope="class")
+    def paper_sets(self):
+        return generate_set_pair(5000, selectivity=0.5, seed=42)
+
+    def test_intersection_at_5000(self, eis_2lsu_partial, paper_sets):
+        set_a, set_b = paper_sets
+        result, stats = run_set_operation(eis_2lsu_partial,
+                                          "intersection", set_a, set_b)
+        assert result == sorted(set(set_a) & set(set_b))
+        assert len(result) == 2500  # exact selectivity
+        # throughput at the synthesized frequency is within the band
+        fmax = synthesize_config("DBA_2LSU_EIS").fmax_mhz
+        meps = stats.throughput_meps(10_000, fmax)
+        assert 800 < meps < 1400  # paper: 1203
+
+    def test_sort_at_6500(self, eis_1lsu_partial):
+        values = random_values(6500, seed=42)
+        result, stats = run_merge_sort(eis_1lsu_partial, values)
+        assert result == sorted(values)
+        fmax = synthesize_config("DBA_1LSU_EIS").fmax_mhz
+        meps = stats.throughput_meps(6500, fmax)
+        assert 20 < meps < 45  # paper: 29.3
+
+    def test_speedup_band_vs_108mini(self, mini_108, eis_2lsu_partial,
+                                     paper_sets):
+        """The paper's headline speedup: up to 38.4x over the 108Mini
+        for intersection with all features enabled."""
+        set_a, set_b = paper_sets
+        _r, scalar = run_scalar_set_operation(mini_108, "intersection",
+                                              set_a, set_b)
+        _r, eis = run_set_operation(eis_2lsu_partial, "intersection",
+                                    set_a, set_b)
+        scalar_meps = scalar.throughput_meps(10_000, 442)
+        eis_meps = eis.throughput_meps(10_000, 410)
+        speedup = eis_meps / scalar_meps
+        assert 20 < speedup < 50  # paper: 38.4x
+
+
+class TestBinaryLevelIntegrity:
+    def test_all_kernels_pass_equivalence_check(self, eis_2lsu_partial,
+                                                eis_1lsu_partial):
+        from repro.core.kernels import (merge_sort_kernel,
+                                        set_operation_kernel)
+        for processor, lsus in ((eis_2lsu_partial, 2),
+                                (eis_1lsu_partial, 1)):
+            for which in ("intersection", "union", "difference"):
+                program = processor.assembler.assemble(
+                    set_operation_kernel(which, num_lsus=lsus))
+                assert equivalence_check(processor, program) > 0
+            program = processor.assembler.assemble(merge_sort_kernel())
+            assert equivalence_check(processor, program) > 0
+
+    def test_scalar_kernels_pass_equivalence_check(self, dba_1lsu):
+        from repro.core.scalar_kernels import (
+            difference_scalar_kernel, intersection_scalar_kernel,
+            merge_sort_scalar_kernel, union_scalar_kernel)
+        for source in (intersection_scalar_kernel(),
+                       union_scalar_kernel(),
+                       difference_scalar_kernel(),
+                       merge_sort_scalar_kernel()):
+            program = dba_1lsu.assembler.assemble(source)
+            assert equivalence_check(dba_1lsu, program) > 0
+
+
+class TestRepeatability:
+    def test_same_processor_instance_is_reusable(self,
+                                                 eis_2lsu_partial):
+        set_a, set_b = generate_set_pair(500, selectivity=0.5, seed=1)
+        first, stats1 = run_set_operation(eis_2lsu_partial,
+                                          "intersection", set_a, set_b)
+        second, stats2 = run_set_operation(eis_2lsu_partial,
+                                           "intersection", set_a,
+                                           set_b)
+        assert first == second
+        assert stats1.cycles == stats2.cycles  # deterministic
+
+    def test_interleaving_operations_does_not_corrupt_state(
+            self, eis_2lsu_partial):
+        set_a, set_b = generate_set_pair(300, selectivity=0.4, seed=2)
+        run_set_operation(eis_2lsu_partial, "union", set_a, set_b)
+        values = random_values(200, seed=3)
+        sorted_out, _ = run_merge_sort(eis_2lsu_partial, values)
+        assert sorted_out == sorted(values)
+        result, _ = run_set_operation(eis_2lsu_partial, "difference",
+                                      set_a, set_b)
+        assert result == sorted(set(set_a) - set(set_b))
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+        assert callable(repro.build_processor)
+        assert callable(repro.run_set_operation)
+        assert callable(repro.synthesize_config)
+        assert repro.__version__
+
+    def test_experiment_registry_complete(self):
+        from repro.experiments import EXPERIMENTS
+        assert set(EXPERIMENTS) == {"table2", "table3", "table4",
+                                    "table5", "table6", "figure13",
+                                    "prefetch", "energy", "iso_area",
+                                    "compression"}

@@ -1,0 +1,178 @@
+"""Unit tests for the two-pass macro assembler."""
+
+import pytest
+
+from repro.cpu import CoreConfig, Processor
+from repro.isa.assembler import Assembler, Bundle, BundleTail
+from repro.isa.errors import AssemblerError, UnknownInstructionError
+from repro.isa.instructions import build_base_isa
+
+
+@pytest.fixture()
+def asm():
+    return Assembler(build_base_isa())
+
+
+class TestBasics:
+    def test_simple_program(self, asm):
+        program = asm.assemble("main:\n  addi a2, a2, 1\n  halt\n")
+        assert len(program) == 2
+        assert program.label("main") == 0
+
+    def test_comments_stripped(self, asm):
+        program = asm.assemble(
+            "; full line\nmain: # trailing\n  nop // slashes\n  halt\n")
+        assert program.instruction_count() == 2
+
+    def test_label_on_same_line_as_instruction(self, asm):
+        program = asm.assemble("main: addi a2, a2, 1\n  halt")
+        assert program.label("main") == 0
+
+    def test_multiple_labels_same_address(self, asm):
+        program = asm.assemble("a: b:\n  nop\n  halt")
+        assert program.label("a") == program.label("b") == 0
+
+    def test_forward_and_backward_references(self, asm):
+        program = asm.assemble(
+            "start:\n  j fwd\nback:\n  halt\nfwd:\n  j back\n")
+        jump_fwd = program.items[0]
+        assert jump_fwd.operands == (program.label("fwd"),)
+        jump_back = program.items[2]
+        assert jump_back.operands == (program.label("back"),)
+
+    def test_equ_constants(self, asm):
+        program = asm.assemble(
+            ".equ SIZE 40\n.equ BASE 0x100\nmain:\n"
+            "  movi a2, SIZE\n  movi a3, BASE\n  halt")
+        assert program.items[0].operands[2] == 40
+        assert program.items[1].operands[2] == 0x100
+
+
+class TestPseudoInstructions:
+    def test_li_small_expands_to_movi(self, asm):
+        program = asm.assemble("  li a2, 100\n  halt")
+        assert program.items[0].spec.name == "movi"
+
+    def test_li_large_expands_to_movhi_ori(self, asm):
+        program = asm.assemble("  li a2, 0x12345678\n  halt")
+        names = [item.spec.name for item in program.items[:2]]
+        assert names == ["movhi", "ori"]
+
+    def test_li_aligned_high_skips_ori(self, asm):
+        program = asm.assemble("  li a2, 0x120000\n  halt")
+        assert program.items[0].spec.name == "movhi"
+        assert program.items[1].spec.name == "halt"
+
+    def test_li_negative(self, asm):
+        program = asm.assemble("  li a2, -5\n  halt")
+        assert program.items[0].spec.name == "movi"
+        assert program.items[0].operands[2] == -5
+
+    def test_mv(self, asm):
+        program = asm.assemble("  mv a2, a3\n  halt")
+        assert program.items[0].spec.name == "or"
+        assert program.items[0].operands == (2, 3, 3)
+
+    def test_swapped_compare_branches(self, asm):
+        program = asm.assemble("t:\n  bgt a2, a3, t\n  bleu a2, a3, t\n"
+                               "  halt")
+        assert program.items[0].spec.name == "blt"
+        assert program.items[0].operands[:2] == (3, 2)
+        assert program.items[1].spec.name == "bgeu"
+        assert program.items[1].operands[:2] == (3, 2)
+
+
+class TestLoadStoreSyntax:
+    def test_two_operand_form_defaults_offset(self, asm):
+        program = asm.assemble("  l32i a2, a3\n  halt")
+        assert program.items[0].operands == (2, 3, 0)
+
+    def test_three_operand_form(self, asm):
+        program = asm.assemble("  s32i a2, a3, 12\n  halt")
+        assert program.items[0].operands == (2, 3, 12)
+
+
+class TestErrors:
+    def test_unknown_instruction(self, asm):
+        with pytest.raises(UnknownInstructionError):
+            asm.assemble("  frobnicate a2\n")
+
+    def test_duplicate_label(self, asm):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            asm.assemble("x:\n  nop\nx:\n  halt")
+
+    def test_undefined_label(self, asm):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            asm.assemble("  j nowhere\n  halt")
+
+    def test_undefined_symbol(self, asm):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            asm.assemble("  movi a2, MISSING\n  halt")
+
+    def test_wrong_operand_count(self, asm):
+        with pytest.raises(AssemblerError, match="operands"):
+            asm.assemble("  add a2, a3\n")
+
+    def test_bad_register(self, asm):
+        with pytest.raises(AssemblerError):
+            asm.assemble("  add a2, a3, b9\n")
+
+    def test_numeric_branch_target_rejected(self, asm):
+        with pytest.raises(AssemblerError, match="labels"):
+            asm.assemble("  j 4\n")
+
+    def test_error_carries_line_number(self, asm):
+        with pytest.raises(AssemblerError, match="line 3"):
+            asm.assemble("main:\n  nop\n  bogus a1\n")
+
+    def test_bundle_without_flix_formats(self, asm):
+        with pytest.raises(AssemblerError, match="FLIX"):
+            asm.assemble("  { nop ; nop }\n")
+
+    def test_equ_requires_value(self, asm):
+        with pytest.raises(AssemblerError):
+            asm.assemble(".equ ONLYNAME\n")
+
+
+class TestEncoding:
+    def test_whole_program_encodes_to_words(self, asm):
+        program = asm.assemble(
+            "main:\n  movi a2, 5\nloop:\n  addi a2, a2, -1\n"
+            "  bnez a2, loop\n  halt")
+        words = program.encode()
+        assert len(words) == 4
+        assert all(0 <= word < (1 << 32) for word in words)
+
+    def test_branch_offset_encoding_is_relative(self, asm):
+        program = asm.assemble("loop:\n  nop\n  bnez a2, loop\n  halt")
+        words = program.encode()
+        # bnez at word 1 targets word 0: offset = 0 - (1+1) = -2
+        assert (words[1] & 0xFFFF) == (-2 & 0xFFFF)
+
+
+class TestBundlesOnEisProcessor:
+    def test_bundle_items_and_tail(self):
+        from repro.configs.catalog import build_processor
+        processor = build_processor("DBA_2LSU_EIS")
+        program = processor.assembler.assemble(
+            "loop:\n  { store_sop_int a8 ; beqz a8, out }\n"
+            "  { ld_ldp_shuffle }\n  j loop\nout:\n  halt")
+        assert isinstance(program.items[0], Bundle)
+        assert isinstance(program.items[1], BundleTail)
+        assert program.items[0].size == 2
+        # two 2-word bundles plus the 1-word jump
+        assert program.label("out") == 5
+
+    def test_semicolon_separates_slots_not_comments(self):
+        from repro.configs.catalog import build_processor
+        processor = build_processor("DBA_2LSU_EIS")
+        program = processor.assembler.assemble(
+            "x:\n  { store_sop_int a8 ; beqz a8, x } ; trailing comment\n"
+            "  halt")
+        assert len(program.items[0].slots) == 2
+
+    def test_multi_expansion_pseudo_rejected_in_bundle(self):
+        from repro.configs.catalog import build_processor
+        processor = build_processor("DBA_2LSU_EIS")
+        with pytest.raises(AssemblerError, match="pseudo"):
+            processor.assembler.assemble("  { li a2, 0x12345678 }\n")

@@ -1,0 +1,74 @@
+"""Disassembler round trips."""
+
+import pytest
+
+from repro.configs.catalog import build_processor
+from repro.isa.assembler import Assembler
+from repro.isa.disasm import decode_word, disassemble_words
+from repro.isa.errors import EncodingError
+from repro.isa.instructions import build_base_isa
+
+
+@pytest.fixture()
+def isa():
+    return build_base_isa()
+
+
+class TestDecodeWord:
+    def test_round_trip_all_base_instructions(self, isa):
+        asm = Assembler(isa)
+        source = "\n".join([
+            "x:",
+            "  add a1, a2, a3",
+            "  addi a4, a5, -12",
+            "  l32i a6, a7, 8",
+            "  s32i a6, a7, 12",
+            "  beq a1, a2, x",
+            "  beqz a3, x",
+            "  j x",
+            "  jal x",
+            "  rur a2, 7",
+            "  nop",
+            "  ret",
+            "  halt",
+        ])
+        program = asm.assemble(source)
+        words = program.encode()
+        for index, item in enumerate(program.items):
+            spec, operands, size = decode_word(isa, words[index], index)
+            assert spec.name == item.spec.name
+            assert tuple(operands) == tuple(item.operands)
+            assert size == 1
+
+    def test_unknown_opcode(self, isa):
+        with pytest.raises(EncodingError):
+            decode_word(isa, 0xF7000000, 0)
+
+    def test_flix_header_rejected(self, isa):
+        with pytest.raises(EncodingError, match="decode_bundle"):
+            decode_word(isa, 0xFE100000, 0)
+
+
+class TestDisassembleListing:
+    def test_scalar_listing(self, isa):
+        asm = Assembler(isa)
+        program = asm.assemble("main:\n  movi a2, 3\n  halt")
+        lines = disassemble_words(isa, program.encode())
+        assert "movi" in lines[0]
+        assert "halt" in lines[1]
+
+    def test_bundle_listing(self):
+        processor = build_processor("DBA_2LSU_EIS")
+        program = processor.assembler.assemble(
+            "x:\n  { store_sop_int a8 ; beqz a8, x }\n  halt")
+        lines = disassemble_words(processor.isa, program.encode(),
+                                  processor.flix_formats)
+        assert "store_sop_int" in lines[0]
+        assert "beqz" in lines[0]
+        assert lines[0].strip().startswith("0:")
+
+    def test_branch_targets_shown_absolute(self, isa):
+        asm = Assembler(isa)
+        program = asm.assemble("loop:\n  nop\n  bnez a2, loop\n  halt")
+        lines = disassemble_words(isa, program.encode())
+        assert "@0" in lines[1]

@@ -1,0 +1,95 @@
+"""Unit tests for the binary instruction formats."""
+
+import pytest
+
+from repro.isa.encoding import (FLIX_OPCODE, FORMATS, opcode_of,
+                                pack_flix_header, unpack_flix_header)
+from repro.isa.errors import EncodingError
+
+
+class TestFormatRoundTrips:
+    @pytest.mark.parametrize("fmt,operands", [
+        ("R", (1, 2, 3)),
+        ("R", (15, 15, 15)),
+        ("R", (0, 0, 0)),
+        ("R4", (1, 2, 3, 4)),
+        ("R4", (15, 0, 15, 0)),
+        ("I", (4, 5, 1000)),
+        ("I", (4, 5, -1000)),
+        ("I", (0, 0, -32768)),
+        ("I", (0, 0, 32767)),
+        ("IU", (4, 5, 0xFFFF)),
+        ("B", (2, 3, 100)),
+        ("B", (2, 3, -100)),
+        ("BZ", (7, -42)),
+        ("J", (0,)),
+        ("J", (-(1 << 23),)),
+        ("J", ((1 << 23) - 1,)),
+        ("U", (3, 0xABC)),
+        ("N", ()),
+    ])
+    def test_pack_unpack(self, fmt, operands):
+        word = FORMATS[fmt].pack(0x42, operands)
+        assert opcode_of(word) == 0x42
+        assert 0 <= word < (1 << 32)
+        assert FORMATS[fmt].unpack(word) == operands
+
+    @pytest.mark.parametrize("fmt,operands", [
+        ("R", (16, 0, 0)),
+        ("R", (0, -1, 0)),
+        ("I", (0, 0, 32768)),
+        ("I", (0, 0, -32769)),
+        ("IU", (0, 0, -1)),
+        ("IU", (0, 0, 0x10000)),
+        ("B", (0, 0, 1 << 15)),
+        ("J", (1 << 23,)),
+        ("U", (0, 1 << 12)),
+    ])
+    def test_out_of_range_rejected(self, fmt, operands):
+        with pytest.raises(EncodingError):
+            FORMATS[fmt].pack(0x42, operands)
+
+    @pytest.mark.parametrize("fmt,operands", [
+        ("R", (1, 2)),
+        ("I", (1, 2, 3, 4)),
+        ("N", (1,)),
+        ("J", ()),
+    ])
+    def test_wrong_arity_rejected(self, fmt, operands):
+        with pytest.raises(EncodingError):
+            FORMATS[fmt].pack(0x42, operands)
+
+
+class TestFlixHeader:
+    def test_round_trip(self):
+        word = pack_flix_header(5, 3)
+        assert opcode_of(word) == FLIX_OPCODE
+        assert unpack_flix_header(word) == (5, 3)
+
+    def test_low_bits_free_for_payload(self):
+        word = pack_flix_header(1, 2)
+        assert word & 0xFFFF == 0
+
+    def test_rejects_non_flix_word(self):
+        with pytest.raises(EncodingError):
+            unpack_flix_header(0x01000000)
+
+    def test_rejects_large_ids(self):
+        with pytest.raises(EncodingError):
+            pack_flix_header(16, 0)
+        with pytest.raises(EncodingError):
+            pack_flix_header(0, 16)
+
+
+class TestFormatMetadata:
+    def test_operand_kinds_exposed(self):
+        assert FORMATS["R"].operand_kinds == ("reg", "reg", "reg")
+        assert FORMATS["B"].operand_kinds == ("reg", "reg", "off")
+        assert FORMATS["N"].operand_kinds == ()
+
+    def test_all_formats_distinct_names(self):
+        names = [fmt.name for fmt in FORMATS.values()]
+        # I and IU share the encoding class but the registry keys are
+        # what the specs reference.
+        assert len(set(FORMATS)) == len(FORMATS)
+        assert "I" in names

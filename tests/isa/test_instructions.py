@@ -1,0 +1,183 @@
+"""Semantics tests for every base instruction.
+
+Each test assembles a tiny program, runs it on a fresh core and checks
+the architectural outcome — the base-ISA counterpart of the paper's
+per-instruction unit tests.
+"""
+
+import pytest
+
+from repro.cpu import CoreConfig, Processor
+from repro.isa.instructions import build_base_isa, to_signed, to_unsigned
+
+
+def run_snippet(body, regs=None, dmem=None):
+    processor = Processor(CoreConfig("t", dmem0_kb=16, sim_headroom_kb=0))
+    if dmem:
+        for addr, values in dmem.items():
+            processor.write_words(addr, values)
+    processor.load_program("main:\n%s\n  halt\n" % body)
+    return processor, processor.run(entry="main", regs=regs or {})
+
+
+class TestHelpers:
+    def test_to_signed(self):
+        assert to_signed(0) == 0
+        assert to_signed(0x7FFFFFFF) == 0x7FFFFFFF
+        assert to_signed(0x80000000) == -0x80000000
+        assert to_signed(0xFFFFFFFF) == -1
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+        assert to_unsigned(1 << 33) == 0
+
+
+class TestAluRegister:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 3, 4, 7),
+        ("add", 0xFFFFFFFF, 1, 0),              # wraparound
+        ("sub", 3, 4, 0xFFFFFFFF),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("sll", 1, 4, 16),
+        ("sll", 1, 33, 2),                       # shift amount mod 32
+        ("srl", 0x80000000, 31, 1),
+        ("sra", 0x80000000, 31, 0xFFFFFFFF),     # arithmetic shift
+        ("slt", 0xFFFFFFFF, 0, 1),               # -1 < 0 signed
+        ("sltu", 0xFFFFFFFF, 0, 0),              # max unsigned not < 0
+        ("min", 0xFFFFFFFF, 1, 0xFFFFFFFF),      # signed: -1 < 1
+        ("max", 0xFFFFFFFF, 1, 1),
+        ("minu", 0xFFFFFFFF, 1, 1),
+        ("maxu", 0xFFFFFFFF, 1, 0xFFFFFFFF),
+        ("mul", 7, 6, 42),
+        ("mul", 0x10000, 0x10000, 0),            # low 32 bits
+    ])
+    def test_semantics(self, op, a, b, expected):
+        _p, result = run_snippet("  %s a4, a2, a3" % op,
+                                 regs={"a2": a, "a3": b})
+        assert result.reg("a4") == expected
+
+    def test_mulh_signed_high_bits(self):
+        _p, result = run_snippet("  mulh a4, a2, a3",
+                                 regs={"a2": 0xFFFFFFFF, "a3": 2})
+        assert result.reg("a4") == 0xFFFFFFFF  # (-1 * 2) >> 32 == -1
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("quou", 43, 5, 8),
+        ("remu", 43, 5, 3),
+        ("quos", to_unsigned(-43), 5, to_unsigned(-8)),
+        ("rems", to_unsigned(-43), 5, to_unsigned(-3)),
+        ("quou", 1, 0, 0xFFFFFFFF),              # division by zero
+    ])
+    def test_division(self, op, a, b, expected):
+        _p, result = run_snippet("  %s a4, a2, a3" % op,
+                                 regs={"a2": a, "a3": b})
+        assert result.reg("a4") == expected
+
+
+class TestAluImmediate:
+    @pytest.mark.parametrize("body,regs,expected", [
+        ("  addi a4, a2, -3", {"a2": 10}, 7),
+        ("  andi a4, a2, 0xFF", {"a2": 0x1234}, 0x34),
+        ("  ori a4, a2, 0xF0", {"a2": 0x01}, 0xF1),
+        ("  xori a4, a2, 0xFF", {"a2": 0x0F}, 0xF0),
+        ("  slli a4, a2, 8", {"a2": 1}, 256),
+        ("  srli a4, a2, 8", {"a2": 0x80000000}, 0x00800000),
+        ("  srai a4, a2, 8", {"a2": 0x80000000}, 0xFF800000),
+        ("  slti a4, a2, 5", {"a2": 0xFFFFFFFF}, 1),
+        ("  sltui a4, a2, 5", {"a2": 0xFFFFFFFF}, 0),
+        ("  movi a4, -7", {}, to_unsigned(-7)),
+        ("  movhi a4, 0x1234", {}, 0x12340000),
+    ])
+    def test_semantics(self, body, regs, expected):
+        _p, result = run_snippet(body, regs=regs)
+        assert result.reg("a4") == expected
+
+
+class TestMemoryInstructions:
+    def test_l32i_s32i(self):
+        processor, result = run_snippet(
+            "  l32i a4, a2, 4\n  addi a4, a4, 1\n  s32i a4, a2, 8",
+            regs={"a2": 0x100}, dmem={0x100: [10, 20, 30]})
+        assert result.reg("a4") == 21
+        assert processor.read_words(0x108, 1) == [21]
+
+    def test_halfword_and_byte_loads(self):
+        _p, result = run_snippet(
+            "  l16ui a4, a2, 0\n  l16si a5, a2, 2\n  l8ui a6, a2, 1",
+            regs={"a2": 0x100}, dmem={0x100: [0xFFFF1234]})
+        assert result.reg("a4") == 0x1234
+        assert result.reg("a5") == 0xFFFFFFFF  # sign-extended 0xFFFF
+        assert result.reg("a6") == 0x12
+
+    def test_subword_stores(self):
+        processor, _r = run_snippet(
+            "  s16i a3, a2, 0\n  s8i a4, a2, 3",
+            regs={"a2": 0x100, "a3": 0xBEEF, "a4": 0x7A},
+            dmem={0x100: [0]})
+        assert processor.read_words(0x100, 1) == [0x7A00BEEF]
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize("op,a,b,taken", [
+        ("beq", 5, 5, True), ("beq", 5, 6, False),
+        ("bne", 5, 6, True), ("bne", 5, 5, False),
+        ("blt", to_unsigned(-1), 0, True), ("blt", 0, to_unsigned(-1),
+                                            False),
+        ("bltu", 0, to_unsigned(-1), True),
+        ("bge", 0, to_unsigned(-1), True),
+        ("bgeu", to_unsigned(-1), 0, True),
+    ])
+    def test_conditional_branches(self, op, a, b, taken):
+        body = ("  %s a2, a3, yes\n  movi a4, 0\n  j out\n"
+                "yes:\n  movi a4, 1\nout:" % op)
+        _p, result = run_snippet(body, regs={"a2": a, "a3": b})
+        assert result.reg("a4") == (1 if taken else 0)
+
+    @pytest.mark.parametrize("op,value,taken", [
+        ("beqz", 0, True), ("beqz", 7, False),
+        ("bnez", 7, True), ("bnez", 0, False),
+    ])
+    def test_zero_branches(self, op, value, taken):
+        body = ("  %s a2, yes\n  movi a4, 0\n  j out\n"
+                "yes:\n  movi a4, 1\nout:" % op)
+        _p, result = run_snippet(body, regs={"a2": value})
+        assert result.reg("a4") == (1 if taken else 0)
+
+    def test_call_and_ret(self):
+        body = ("  call sub\n  addi a4, a4, 100\n  j out\n"
+                "sub:\n  movi a4, 1\n  ret\nout:")
+        _p, result = run_snippet(body)
+        assert result.reg("a4") == 101
+
+    def test_jalr_indirect(self):
+        # a2 holds the word index of "target"
+        body = ("  jalr a5, a2\n  j out\n"
+                "target:\n  movi a4, 42\nout:")
+        processor = Processor(CoreConfig("t", dmem0_kb=16,
+                                         sim_headroom_kb=0))
+        program = processor.load_program("main:\n%s\n  halt\n" % body)
+        result = processor.run(entry="main",
+                               regs={"a2": program.label("target")})
+        assert result.reg("a4") == 42
+        assert result.reg("a5") == 1  # return word index after jalr
+
+
+class TestFeatureGating:
+    def test_dba_has_no_divider(self):
+        isa = build_base_isa({"has_mul": True, "has_div": False})
+        assert "quou" not in isa
+        assert "mul" in isa
+
+    def test_opcodes_stable_across_features(self):
+        full = build_base_isa({})
+        gated = build_base_isa({"has_div": False})
+        assert full.lookup("beq").opcode == gated.lookup("beq").opcode
+
+    def test_division_rejected_by_assembler_when_absent(self):
+        from repro.isa.errors import UnknownInstructionError
+        processor = Processor(CoreConfig("t", dmem0_kb=16, has_div=False,
+                                         sim_headroom_kb=0))
+        with pytest.raises(UnknownInstructionError):
+            processor.load_program("main:\n  quou a2, a3, a4\n  halt\n")

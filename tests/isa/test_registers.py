@@ -1,0 +1,81 @@
+"""Unit tests for the base register model."""
+
+import pytest
+
+from repro.isa.errors import RegisterError
+from repro.isa.registers import (NUM_ADDRESS_REGISTERS, RegisterFile,
+                                 is_register, parse_register,
+                                 register_name)
+
+
+class TestParseRegister:
+    @pytest.mark.parametrize("token,index", [
+        ("a0", 0), ("a1", 1), ("a15", 15), ("A7", 7), (" a3 ", 3),
+        ("sp", 1), ("ra", 0), ("SP", 1),
+    ])
+    def test_valid_tokens(self, token, index):
+        assert parse_register(token) == index
+
+    @pytest.mark.parametrize("token", [
+        "a16", "a-1", "b0", "", "a", "x5", "a1.5", "16",
+    ])
+    def test_invalid_tokens(self, token):
+        with pytest.raises(RegisterError):
+            parse_register(token)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(RegisterError):
+            parse_register(5)
+
+    def test_is_register_predicate(self):
+        assert is_register("a4")
+        assert is_register("sp")
+        assert not is_register("v0")
+        assert not is_register("loop")
+
+
+class TestRegisterName:
+    def test_round_trip(self):
+        for index in range(NUM_ADDRESS_REGISTERS):
+            assert parse_register(register_name(index)) == index
+
+    def test_out_of_range(self):
+        with pytest.raises(RegisterError):
+            register_name(16)
+        with pytest.raises(RegisterError):
+            register_name(-1)
+
+
+class TestRegisterFile:
+    def test_write_masks_to_width(self):
+        regs = RegisterFile("ar")
+        regs.write(3, 0x1_2345_6789)
+        assert regs.read(3) == 0x2345_6789
+
+    def test_item_syntax_masks_too(self):
+        regs = RegisterFile("ar")
+        regs[2] = -1
+        assert regs[2] == 0xFFFFFFFF
+
+    def test_negative_values_wrap(self):
+        regs = RegisterFile("ar")
+        regs[0] = -2
+        assert regs[0] == 0xFFFFFFFE
+
+    def test_reset_clears_all(self):
+        regs = RegisterFile("ar")
+        for i in range(len(regs)):
+            regs[i] = i + 1
+        regs.reset()
+        assert regs.snapshot() == [0] * NUM_ADDRESS_REGISTERS
+
+    def test_snapshot_is_a_copy(self):
+        regs = RegisterFile("ar")
+        snap = regs.snapshot()
+        snap[0] = 99
+        assert regs[0] == 0
+
+    def test_custom_width(self):
+        regs = RegisterFile("small", size=4, width_bits=8)
+        regs[0] = 0x1FF
+        assert regs[0] == 0xFF

@@ -1,0 +1,105 @@
+"""Property-based end-to-end tests: kernels vs Python ground truth.
+
+Small random sets drive the full stack (assembler, simulator, EIS
+datapath) against Python's set algebra on every extension variant.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import run_merge_sort, run_set_operation
+from repro.core.scalar_kernels import (run_scalar_merge_sort,
+                                       run_scalar_set_operation)
+
+sorted_set = st.lists(st.integers(min_value=0, max_value=500),
+                      unique=True, max_size=40).map(sorted)
+
+values_list = st.lists(st.integers(min_value=0, max_value=2**32 - 2),
+                       max_size=60)
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+@pytest.mark.parametrize("variant", [("DBA_2LSU_EIS", True),
+                                     ("DBA_2LSU_EIS", False),
+                                     ("DBA_1LSU_EIS", True),
+                                     ("DBA_1LSU_EIS", False)],
+                         ids=["2lsu-pl", "2lsu-nopl", "1lsu-pl",
+                              "1lsu-nopl"])
+class TestEisAgainstPythonSets:
+    @given(set_a=sorted_set, set_b=sorted_set)
+    @SLOW
+    def test_intersection(self, all_eis_processors, variant, set_a,
+                          set_b):
+        result, _ = run_set_operation(all_eis_processors[variant],
+                                      "intersection", set_a, set_b)
+        assert result == sorted(set(set_a) & set(set_b))
+
+    @given(set_a=sorted_set, set_b=sorted_set)
+    @SLOW
+    def test_union(self, all_eis_processors, variant, set_a, set_b):
+        result, _ = run_set_operation(all_eis_processors[variant],
+                                      "union", set_a, set_b)
+        assert result == sorted(set(set_a) | set(set_b))
+
+    @given(set_a=sorted_set, set_b=sorted_set)
+    @SLOW
+    def test_difference(self, all_eis_processors, variant, set_a,
+                        set_b):
+        result, _ = run_set_operation(all_eis_processors[variant],
+                                      "difference", set_a, set_b)
+        assert result == sorted(set(set_a) - set(set_b))
+
+
+class TestSortProperties:
+    @given(values=values_list)
+    @SLOW
+    def test_eis_sort_equals_sorted(self, eis_1lsu_partial, values):
+        result, _ = run_merge_sort(eis_1lsu_partial, values)
+        assert result == sorted(values)
+
+    @given(values=values_list)
+    @SLOW
+    def test_scalar_sort_equals_sorted(self, dba_1lsu, values):
+        result, _ = run_scalar_merge_sort(dba_1lsu, values)
+        assert result == sorted(values)
+
+
+class TestScalarAgainstPythonSets:
+    @given(set_a=sorted_set, set_b=sorted_set)
+    @SLOW
+    def test_all_three_ops(self, dba_1lsu, set_a, set_b):
+        for which, expected in (
+                ("intersection", sorted(set(set_a) & set(set_b))),
+                ("union", sorted(set(set_a) | set(set_b))),
+                ("difference", sorted(set(set_a) - set(set_b)))):
+            result, _ = run_scalar_set_operation(dba_1lsu, which,
+                                                 set_a, set_b)
+            assert result == expected
+
+
+class TestCrossImplementationAgreement:
+    @given(set_a=sorted_set, set_b=sorted_set)
+    @SLOW
+    def test_eis_and_scalar_agree(self, eis_2lsu_partial, dba_1lsu,
+                                  set_a, set_b):
+        for which in ("intersection", "union", "difference"):
+            eis_result, _ = run_set_operation(eis_2lsu_partial, which,
+                                              set_a, set_b)
+            scalar_result, _ = run_scalar_set_operation(dba_1lsu, which,
+                                                        set_a, set_b)
+            assert eis_result == scalar_result
+
+    @given(set_a=sorted_set, set_b=sorted_set)
+    @SLOW
+    def test_partial_and_nonpartial_agree(self, eis_2lsu_partial,
+                                          eis_2lsu_nopartial, set_a,
+                                          set_b):
+        for which in ("intersection", "union", "difference"):
+            with_pl, _ = run_set_operation(eis_2lsu_partial, which,
+                                           set_a, set_b)
+            without, _ = run_set_operation(eis_2lsu_nopartial, which,
+                                           set_a, set_b)
+            assert with_pl == without

@@ -1,0 +1,87 @@
+"""Property-based tests of the SOP comparison semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.common import LANES, SENTINEL
+from repro.core.sop import (SOP_FUNCTIONS, sop_difference, sop_intersect,
+                            sop_union, valid_count)
+
+
+def window_strategy():
+    """A valid window: sorted distinct values, sentinel-padded."""
+    return st.lists(st.integers(min_value=0, max_value=200),
+                    unique=True, min_size=0, max_size=LANES).map(
+        lambda values: sorted(values)
+        + [SENTINEL] * (LANES - len(values)))
+
+
+@given(window_strategy(), window_strategy())
+@settings(max_examples=300)
+def test_consumption_bounds(window_a, window_b):
+    for step_fn in SOP_FUNCTIONS.values():
+        step = step_fn(window_a, window_b)
+        assert 0 <= step.consumed_a <= valid_count(window_a)
+        assert 0 <= step.consumed_b <= valid_count(window_b)
+
+
+@given(window_strategy(), window_strategy())
+@settings(max_examples=300)
+def test_at_least_one_side_drains_when_both_have_data(window_a,
+                                                      window_b):
+    va, vb = valid_count(window_a), valid_count(window_b)
+    step = sop_intersect(window_a, window_b)
+    if va and vb:
+        assert step.consumed_a == va or step.consumed_b == vb
+
+
+@given(window_strategy(), window_strategy())
+@settings(max_examples=300)
+def test_outputs_sorted_and_sentinel_free(window_a, window_b):
+    for step_fn in SOP_FUNCTIONS.values():
+        output = step_fn(window_a, window_b).output
+        assert output == sorted(output)
+        assert SENTINEL not in output
+
+
+@given(window_strategy(), window_strategy())
+@settings(max_examples=300)
+def test_intersect_output_is_exact_on_consumed_prefixes(window_a,
+                                                        window_b):
+    step = sop_intersect(window_a, window_b)
+    consumed_a = set(window_a[:step.consumed_a])
+    consumed_b = set(window_b[:step.consumed_b])
+    assert set(step.output) == consumed_a & consumed_b
+
+
+@given(window_strategy(), window_strategy())
+@settings(max_examples=300)
+def test_union_never_exceeds_result_width(window_a, window_b):
+    step = sop_union(window_a, window_b)
+    assert len(step.output) <= LANES
+    consumed = set(window_a[:step.consumed_a]) \
+        | set(window_b[:step.consumed_b])
+    assert set(step.output) == consumed
+
+
+@given(window_strategy(), window_strategy())
+@settings(max_examples=300)
+def test_both_copies_consumed_together(window_a, window_b):
+    """The invariant that makes the operations exact: a value present
+    in both windows is either consumed on both sides or on neither."""
+    for step_fn in SOP_FUNCTIONS.values():
+        step = step_fn(window_a, window_b)
+        consumed_a = set(window_a[:step.consumed_a]) - {SENTINEL}
+        left_a = set(window_a[step.consumed_a:]) - {SENTINEL}
+        consumed_b = set(window_b[:step.consumed_b]) - {SENTINEL}
+        left_b = set(window_b[step.consumed_b:]) - {SENTINEL}
+        assert not (consumed_a & left_b)
+        assert not (consumed_b & left_a)
+
+
+@given(window_strategy(), window_strategy())
+@settings(max_examples=300)
+def test_difference_output_subset_of_a(window_a, window_b):
+    step = sop_difference(window_a, window_b)
+    assert set(step.output) <= set(window_a) - {SENTINEL}
+    assert not (set(step.output) & set(window_b))

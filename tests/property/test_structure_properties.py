@@ -1,0 +1,116 @@
+"""Property-based tests of the structural layers.
+
+Sorting networks, encodings, the baseline SIMD algorithms and the
+workload generators.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sse import SimdMachine, bitonic_merge4
+from repro.baselines.swset import swset_intersect
+from repro.baselines.swsort import swsort
+from repro.core.sortnet import merge8, sort4
+from repro.core.streaming import split_at_thresholds
+from repro.isa.encoding import FORMATS
+from repro.workloads.sets import generate_set_pair
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+lane4 = st.lists(u32, min_size=4, max_size=4)
+sorted4 = lane4.map(sorted)
+
+
+@given(lane4)
+@settings(max_examples=300)
+def test_sort4_equals_sorted(values):
+    assert sort4(values) == sorted(values)
+
+
+@given(sorted4, sorted4)
+@settings(max_examples=300)
+def test_merge8_equals_sorted(a, b):
+    low, high = merge8(a, b)
+    assert list(low) + list(high) == sorted(a + b)
+
+
+@given(sorted4, sorted4)
+@settings(max_examples=300)
+def test_sse_bitonic_merge_equals_sorted(a, b):
+    machine = SimdMachine()
+    low, high = bitonic_merge4(machine, tuple(a), tuple(b))
+    assert list(low) + list(high) == sorted(a + b)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 2),
+                max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_swsort_equals_sorted(values):
+    result, _machine = swsort(values)
+    assert result == sorted(values)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=300), unique=True,
+                max_size=50).map(sorted),
+       st.lists(st.integers(min_value=0, max_value=300), unique=True,
+                max_size=50).map(sorted))
+@settings(max_examples=100)
+def test_swset_equals_python_intersection(set_a, set_b):
+    result, _machine = swset_intersect(set_a, set_b)
+    assert result == sorted(set(set_a) & set(set_b))
+
+
+@given(st.sampled_from(["R", "R4", "I", "B", "BZ", "J", "U", "N"]),
+       st.data())
+@settings(max_examples=200)
+def test_encoding_round_trip(fmt_key, data):
+    fmt = FORMATS[fmt_key]
+    operands = []
+    for kind in fmt.operand_kinds:
+        if kind == "reg":
+            operands.append(data.draw(st.integers(0, 15)))
+        elif fmt_key == "U":
+            operands.append(data.draw(st.integers(0, (1 << 12) - 1)))
+        elif fmt_key == "IU":
+            operands.append(data.draw(st.integers(0, 0xFFFF)))
+        elif fmt_key == "J":
+            operands.append(data.draw(
+                st.integers(-(1 << 23), (1 << 23) - 1)))
+        else:
+            operands.append(data.draw(st.integers(-(1 << 15),
+                                                  (1 << 15) - 1)))
+    word = fmt.pack(0x5A, tuple(operands))
+    assert fmt.unpack(word) == tuple(operands)
+
+
+@given(st.integers(min_value=1, max_value=300),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=100)
+def test_generator_selectivity_exact(size, selectivity, seed):
+    set_a, set_b = generate_set_pair(size, selectivity=selectivity,
+                                     seed=seed)
+    assert len(set(set_a) & set(set_b)) == round(selectivity * size)
+    assert set_a == sorted(set(set_a))
+    assert set_b == sorted(set(set_b))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5000), unique=True,
+                max_size=200).map(sorted),
+       st.lists(st.integers(min_value=0, max_value=5000), unique=True,
+                max_size=200).map(sorted),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=100)
+def test_threshold_split_partitions_cleanly(set_a, set_b, chunk):
+    chunks = split_at_thresholds(set_a, set_b, chunk)
+    covered_a = [index for (a_lo, a_hi), _b in chunks
+                 for index in range(a_lo, a_hi)]
+    covered_b = [index for _a, (b_lo, b_hi) in chunks
+                 for index in range(b_lo, b_hi)]
+    assert covered_a == list(range(len(set_a)))
+    assert covered_b == list(range(len(set_b)))
+    # chunk-local intersections concatenate to the full intersection
+    pieces = []
+    for (a_lo, a_hi), (b_lo, b_hi) in chunks:
+        pieces.extend(sorted(set(set_a[a_lo:a_hi])
+                             & set(set_b[b_lo:b_hi])))
+    assert pieces == sorted(set(set_a) & set(set_b))

@@ -1,0 +1,71 @@
+"""Tests for the many-core iso-area scaling model (E9)."""
+
+import pytest
+
+from repro.baselines.x86 import Q9550
+from repro.synth import ManyCoreModel, synthesize_config
+
+
+@pytest.fixture(scope="module")
+def report():
+    return synthesize_config("DBA_2LSU_EIS")
+
+
+class TestManyCoreModel:
+    def test_core_count_scales_with_die(self, report):
+        model = ManyCoreModel(report)
+        small = model.cores_in_area(10.0)
+        large = model.cores_in_area(100.0)
+        assert large > small > 0
+
+    def test_uncore_share_reduces_cores(self, report):
+        optimistic = ManyCoreModel(report, uncore_share=0.1)
+        pessimistic = ManyCoreModel(report, uncore_share=0.5)
+        assert pessimistic.cores_in_area(200.0) \
+            < optimistic.cores_in_area(200.0)
+
+    def test_paper_order_of_magnitude_claim(self, report):
+        """Even pessimistically, >10x the Q9550's four cores fit."""
+        model = ManyCoreModel(report, uncore_share=0.5)
+        cores = model.cores_in_area(Q9550.die_mm2)
+        assert cores > 40  # paper: "an order of magnitude more cores"
+
+    def test_aggregate_quantities(self, report):
+        model = ManyCoreModel(report, uncore_share=0.25,
+                              parallel_efficiency=0.8)
+        assert model.aggregate_throughput_meps(10.0, 10) \
+            == pytest.approx(80.0)
+        assert model.aggregate_power_w(10) \
+            == pytest.approx(report.power_mw / 100.0)
+        energy = model.energy_per_element_nj(10.0, 10)
+        assert energy > 0
+        assert model.energy_per_element_nj(10.0, 0) == float("inf")
+
+    def test_power_stays_below_x86_tdp(self, report):
+        """The thermal headroom argument: a full die of database cores
+        still burns far less than the x86's TDP."""
+        model = ManyCoreModel(report, uncore_share=0.25)
+        cores = model.cores_in_area(Q9550.die_mm2)
+        assert model.aggregate_power_w(cores) < 0.25 * Q9550.tdp_w
+
+    def test_parameter_validation(self, report):
+        with pytest.raises(ValueError):
+            ManyCoreModel(report, uncore_share=1.0)
+        with pytest.raises(ValueError):
+            ManyCoreModel(report, parallel_efficiency=0.0)
+
+    def test_iso_area_summary_keys(self, report):
+        summary = ManyCoreModel(report).iso_area_summary(100.0, 50.0)
+        assert set(summary) == {"cores", "throughput_meps", "power_w",
+                                "energy_nj_per_element"}
+
+
+class TestExperimentE9:
+    def test_runs_and_beats_single_thread(self):
+        from repro.experiments import iso_area
+        result = iso_area.run(sort_size=512, set_size=500)
+        assert len(result.rows) == 4
+        for row in result.rows:
+            aggregate = row[3]
+            single_thread = row[4]
+            assert aggregate > single_thread  # many cores win

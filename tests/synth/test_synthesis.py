@@ -1,0 +1,130 @@
+"""Synthesis model tests against the paper's Tables 3 and 4."""
+
+import pytest
+
+from repro.experiments.table3 import PAPER_TABLE3
+from repro.experiments.table4 import PAPER_TABLE4
+from repro.synth import (GF_28NM_SLP, TSMC_65NM_LP, synthesize_config)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    names = ("108Mini", "DBA_1LSU", "DBA_2LSU", "DBA_1LSU_EIS",
+             "DBA_2LSU_EIS")
+    return {name: synthesize_config(name) for name in names}
+
+
+class TestTable3Calibration:
+    @pytest.mark.parametrize("name", ["108Mini", "DBA_1LSU", "DBA_2LSU",
+                                      "DBA_1LSU_EIS", "DBA_2LSU_EIS"])
+    def test_logic_area_within_five_percent(self, reports, name):
+        paper_logic = PAPER_TABLE3[("65nm", name)][0]
+        assert reports[name].logic_mm2 \
+            == pytest.approx(paper_logic, rel=0.05)
+
+    @pytest.mark.parametrize("name", ["DBA_1LSU", "DBA_2LSU",
+                                      "DBA_1LSU_EIS", "DBA_2LSU_EIS"])
+    def test_memory_area_within_two_percent(self, reports, name):
+        paper_memory = PAPER_TABLE3[("65nm", name)][1]
+        assert reports[name].memory_mm2 \
+            == pytest.approx(paper_memory, rel=0.02)
+
+    def test_108mini_has_no_local_memory(self, reports):
+        assert reports["108Mini"].memory_mm2 == 0.0
+
+    @pytest.mark.parametrize("name", ["108Mini", "DBA_1LSU", "DBA_2LSU",
+                                      "DBA_1LSU_EIS", "DBA_2LSU_EIS"])
+    def test_fmax_within_two_percent(self, reports, name):
+        paper_fmax = PAPER_TABLE3[("65nm", name)][2]
+        assert reports[name].fmax_mhz \
+            == pytest.approx(paper_fmax, rel=0.02)
+
+    @pytest.mark.parametrize("name", ["108Mini", "DBA_1LSU", "DBA_2LSU",
+                                      "DBA_1LSU_EIS", "DBA_2LSU_EIS"])
+    def test_power_within_ten_percent(self, reports, name):
+        paper_power = PAPER_TABLE3[("65nm", name)][3]
+        assert reports[name].power_mw \
+            == pytest.approx(paper_power, rel=0.10)
+
+    def test_frequency_ordering_matches_paper(self, reports):
+        ordered = ["108Mini", "DBA_1LSU", "DBA_2LSU", "DBA_1LSU_EIS",
+                   "DBA_2LSU_EIS"]
+        fmax = [reports[name].fmax_mhz for name in ordered]
+        assert fmax == sorted(fmax, reverse=True)
+
+
+class Test28nmShrink:
+    @pytest.fixture(scope="class")
+    def report28(self):
+        return synthesize_config("DBA_2LSU_EIS", technology=GF_28NM_SLP)
+
+    def test_area_shrink_factor(self, reports, report28):
+        shrink = reports["DBA_2LSU_EIS"].logic_mm2 / report28.logic_mm2
+        assert shrink == pytest.approx(3.8, rel=0.03)
+
+    def test_power_shrink_factor(self, reports, report28):
+        shrink = reports["DBA_2LSU_EIS"].power_mw / report28.power_mw
+        assert shrink == pytest.approx(2.9, rel=0.05)
+
+    def test_frequency_capped_by_low_voltage_library(self, report28):
+        assert report28.fmax_mhz == 500.0
+
+    def test_28nm_memory_area(self, report28):
+        paper_memory = PAPER_TABLE3[("28nm", "DBA_2LSU_EIS")][1]
+        assert report28.memory_mm2 \
+            == pytest.approx(paper_memory, rel=0.02)
+
+
+class TestTable4Breakdown:
+    def test_every_share_within_one_point(self, reports):
+        breakdown = reports["DBA_2LSU_EIS"].breakdown()
+        for group, paper_percent in PAPER_TABLE4.items():
+            measured = breakdown.get(group, 0.0) * 100
+            assert measured == pytest.approx(paper_percent, abs=1.0), \
+                group
+
+    def test_union_is_largest_op(self, reports):
+        breakdown = reports["DBA_2LSU_EIS"].breakdown()
+        ops = {g: s for g, s in breakdown.items()
+               if g.startswith("op:")}
+        assert max(ops, key=ops.get) == "op:union"
+
+    def test_merge_sort_is_smallest_op(self, reports):
+        breakdown = reports["DBA_2LSU_EIS"].breakdown()
+        ops = {g: s for g, s in breakdown.items()
+               if g.startswith("op:")}
+        assert min(ops, key=ops.get) == "op:merge_sort"
+
+    def test_shares_sum_to_one(self, reports):
+        breakdown = reports["DBA_2LSU_EIS"].breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+class TestRelativeClaims:
+    def test_eis_adds_only_logic_area(self, reports):
+        assert reports["DBA_2LSU_EIS"].memory_mm2 \
+            == pytest.approx(reports["DBA_2LSU"].memory_mm2)
+        assert reports["DBA_2LSU_EIS"].logic_mm2 \
+            > reports["DBA_2LSU"].logic_mm2
+
+    def test_second_lsu_adds_little_base_area(self, reports):
+        delta = reports["DBA_2LSU"].logic_mm2 \
+            - reports["DBA_1LSU"].logic_mm2
+        assert delta < 0.01
+
+    def test_dba_total_area_about_500x_below_xeon(self, reports):
+        # paper: the 108Mini is ~500x smaller than an Intel Xeon 3040
+        xeon_mm2 = 111.0
+        ratio = xeon_mm2 / reports["108Mini"].total_mm2
+        assert 450 < ratio < 550
+
+    def test_dba_2lsu_eis_73x_smaller_than_xeon(self, reports):
+        xeon_mm2 = 111.0
+        ratio = xeon_mm2 / reports["DBA_2LSU_EIS"].total_mm2
+        assert 65 < ratio < 80
+
+    def test_power_at_reduced_frequency_scales_down(self, reports):
+        report = reports["DBA_2LSU_EIS"]
+        half = report.power_at(report.fmax_mhz / 2)
+        assert half < report.power_mw
+        assert half > report.power_mw / 2  # leakage floor remains

@@ -1,0 +1,99 @@
+"""Unit tests for technology tables, timing and power models."""
+
+import pytest
+
+from repro.configs.catalog import core_config
+from repro.core.extension import build_db_extension
+from repro.synth.area import base_core_netlist, memory_area_mm2
+from repro.synth.power import energy_per_element_nj, power_mw
+from repro.synth.technology import GF_28NM_SLP, TECHNOLOGIES, TSMC_65NM_LP
+from repro.synth.timing import (base_stage_fo4, critical_path_fo4,
+                                extension_stage_fo4, max_frequency_mhz)
+
+
+class TestTechnology:
+    def test_registry(self):
+        assert TSMC_65NM_LP.name in TECHNOLOGIES
+        assert GF_28NM_SLP.name in TECHNOLOGIES
+
+    def test_ge_to_mm2(self):
+        assert TSMC_65NM_LP.ge_to_mm2(1_000_000) \
+            == pytest.approx(1.44, rel=1e-6)
+
+    def test_path_to_mhz(self):
+        # 100 FO4 x 25 ps = 2.5 ns -> 400 MHz
+        assert TSMC_65NM_LP.path_to_mhz(100) == pytest.approx(400.0)
+
+    def test_path_to_mhz_respects_library_cap(self):
+        assert GF_28NM_SLP.path_to_mhz(10) == GF_28NM_SLP.max_freq_mhz
+
+    def test_28nm_gates_denser(self):
+        assert GF_28NM_SLP.gate_area_um2 < TSMC_65NM_LP.gate_area_um2
+        assert GF_28NM_SLP.sram_mm2_per_kb < TSMC_65NM_LP.sram_mm2_per_kb
+
+
+class TestTiming:
+    def test_wide_bus_and_second_lsu_lengthen_base_stage(self):
+        mini = core_config("108Mini")
+        one = core_config("DBA_1LSU")
+        two = core_config("DBA_2LSU")
+        assert base_stage_fo4(mini) < base_stage_fo4(one) \
+            < base_stage_fo4(two)
+
+    def test_extension_stage_dominates_on_eis(self):
+        config = core_config("DBA_2LSU_EIS")
+        netlist = build_db_extension(num_lsus=2).netlist()
+        assert extension_stage_fo4(config, netlist) \
+            > base_stage_fo4(config)
+
+    def test_critical_path_without_extension_is_base(self):
+        config = core_config("DBA_1LSU")
+        assert critical_path_fo4(config) == base_stage_fo4(config)
+
+    def test_max_frequency_decreases_with_extension(self):
+        config = core_config("DBA_2LSU_EIS")
+        netlist = build_db_extension(num_lsus=2).netlist()
+        with_ext = max_frequency_mhz(config, TSMC_65NM_LP, [netlist])
+        without = max_frequency_mhz(core_config("DBA_2LSU"),
+                                    TSMC_65NM_LP)
+        assert with_ext < without
+
+
+class TestAreaHelpers:
+    def test_108mini_includes_divider_and_dsp(self):
+        mini = base_core_netlist(core_config("108Mini"))
+        dba = base_core_netlist(core_config("DBA_1LSU"))
+        assert mini.groups["basic_core"] > dba.groups["basic_core"]
+
+    def test_memory_area_uses_architectural_sizes(self):
+        config = core_config("DBA_1LSU")
+        area = memory_area_mm2(config, TSMC_65NM_LP)
+        assert area == pytest.approx(
+            (32 + 64) * TSMC_65NM_LP.sram_mm2_per_kb)
+
+    def test_sim_headroom_not_synthesized(self):
+        config = core_config("DBA_1LSU")
+        config.sim_headroom_kb = 10_000
+        assert memory_area_mm2(config, TSMC_65NM_LP) \
+            == pytest.approx((32 + 64) * TSMC_65NM_LP.sram_mm2_per_kb)
+
+
+class TestPower:
+    def test_extension_activity_weighting(self):
+        base_only = power_mw(TSMC_65NM_LP, 0.2, 0.0, 0, 400)
+        with_ext = power_mw(TSMC_65NM_LP, 0.0, 0.2, 0, 400)
+        assert with_ext > base_only  # same area, higher activity
+
+    def test_power_scales_with_frequency(self):
+        slow = power_mw(TSMC_65NM_LP, 0.2, 0.1, 96, 200)
+        fast = power_mw(TSMC_65NM_LP, 0.2, 0.1, 96, 400)
+        assert fast > slow
+
+    def test_memory_contributes(self):
+        without = power_mw(TSMC_65NM_LP, 0.2, 0.0, 0, 400)
+        with_mem = power_mw(TSMC_65NM_LP, 0.2, 0.0, 96, 400)
+        assert with_mem > without
+
+    def test_energy_per_element(self):
+        assert energy_per_element_nj(100.0, 50.0) == pytest.approx(2.0)
+        assert energy_per_element_nj(100.0, 0.0) == float("inf")

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "intersection"])
+        assert args.config == "DBA_2LSU_EIS"
+        assert args.size == 5000
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "sort", "--config",
+                                       "PENTIUM"])
+
+
+class TestCommands:
+    def test_run_set_operation(self, capsys):
+        assert main(["run", "intersection", "--size", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "Melem/s" in out
+        assert "DBA_2LSU_EIS" in out
+
+    def test_run_sort_scalar_config(self, capsys):
+        assert main(["run", "sort", "--size", "200", "--config",
+                     "DBA_1LSU"]) == 0
+        out = capsys.readouterr().out
+        assert "sorted 200 values" in out
+
+    def test_run_without_partial_load(self, capsys):
+        assert main(["run", "union", "--size", "300",
+                     "--no-partial-load"]) == 0
+        assert "union" in capsys.readouterr().out
+
+    def test_synth(self, capsys):
+        assert main(["synth", "--config", "108Mini"]) == 0
+        out = capsys.readouterr().out
+        assert "logic" in out and "fmax" in out
+
+    def test_synth_breakdown_28nm(self, capsys):
+        assert main(["synth", "--config", "DBA_2LSU_EIS", "--tech",
+                     "gf28slp", "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "op:union" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "difference", "--unroll", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "store_sop_dif" in out
+        assert "ld_ldp_shuffle" in out
+
+    def test_disasm_sort(self, capsys):
+        assert main(["disasm", "sort", "--unroll", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "merge_st" in out
+
+    def test_experiments_dispatch(self, capsys):
+        assert main(["experiments", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        assert main(["experiments", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out

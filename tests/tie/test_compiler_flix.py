@@ -1,0 +1,182 @@
+"""TIE compiler and FLIX bundle format tests."""
+
+import pytest
+
+from repro.cpu import CoreConfig, Processor
+from repro.isa.errors import EncodingError
+from repro.tie import (FlixFormat, Operand, Operation, RegFile, Slot,
+                       State, TieError, TieExtension)
+from repro.tie.compiler import compile_operation
+from repro.isa.instructions import InstructionSet
+
+
+def simple_op(name="op", operands=(), extra=None):
+    return Operation(name, operands=operands,
+                     semantics=lambda ext, core, *ins: extra)
+
+
+class TestOperationCompilation:
+    def test_format_selection(self):
+        isa = InstructionSet()
+        rf = RegFile("rf", size=4)
+        ext = TieExtension("x", operations=[])
+        cases = [
+            ([], "N"),
+            ([Operand("a", "out", "ar")], "R"),
+            ([Operand("a", "out", "ar"), Operand("b", "in", rf),
+              Operand("c", "in", rf)], "R"),
+            ([Operand("a", "out", "ar"), Operand("b", "in", rf),
+              Operand("c", "in", rf), Operand("d", "in", rf)], "R4"),
+            ([Operand("a", "out", "ar"), Operand("i", "in", "imm")], "I"),
+        ]
+        for operands, expected_fmt in cases:
+            spec = compile_operation(simple_op(operands=operands,
+                                               name="op%d" % len(operands)
+                                               + expected_fmt),
+                                     ext, isa)
+            assert spec.fmt == expected_fmt
+
+    def test_scoreboard_positions(self):
+        isa = InstructionSet()
+        ext = TieExtension("x", operations=[])
+        op = simple_op(operands=[Operand("flag", "out", "ar"),
+                                 Operand("src", "in", "ar")])
+        spec = compile_operation(op, ext, isa)
+        assert spec.reads_positions == (1,)
+        assert spec.writes_positions == (0,)
+
+    def test_too_many_register_operands(self):
+        isa = InstructionSet()
+        ext = TieExtension("x", operations=[])
+        operands = [Operand("o%d" % i, "in", "ar") for i in range(5)]
+        with pytest.raises(TieError, match="four"):
+            compile_operation(simple_op(operands=operands), ext, isa)
+
+    def test_immediate_must_be_last(self):
+        isa = InstructionSet()
+        ext = TieExtension("x", operations=[])
+        operands = [Operand("i", "in", "imm"), Operand("a", "in", "ar")]
+        with pytest.raises(TieError, match="last"):
+            compile_operation(simple_op(operands=operands), ext, isa)
+
+    def test_immediate_output_rejected(self):
+        isa = InstructionSet()
+        ext = TieExtension("x", operations=[])
+        with pytest.raises(TieError):
+            compile_operation(
+                simple_op(operands=[Operand("i", "out", "imm")]),
+                ext, isa)
+
+    def test_extension_opcodes_allocated_in_extension_space(self):
+        isa = InstructionSet()
+        ext = TieExtension("x", operations=[])
+        spec = compile_operation(simple_op(), ext, isa)
+        assert 0x80 <= spec.opcode <= 0xEF
+
+
+class TestExecutorMarshalling:
+    def test_ar_in_out_round_trip(self):
+        doubler = Operation(
+            "doubler",
+            operands=[Operand("res", "out", "ar"),
+                      Operand("val", "in", "ar")],
+            semantics=lambda ext, core, value: (value * 2) & 0xFFFFFFFF)
+        ext = TieExtension("d", operations=[doubler])
+        processor = Processor(CoreConfig("t", dmem0_kb=16,
+                                         sim_headroom_kb=0),
+                              extensions=[ext])
+        processor.load_program("main:\n  doubler a3, a2\n  halt")
+        assert processor.run(entry="main",
+                             regs={"a2": 21}).reg("a3") == 42
+
+    def test_immediate_operand(self):
+        addk = Operation(
+            "addk",
+            operands=[Operand("res", "out", "ar"),
+                      Operand("val", "in", "ar"),
+                      Operand("k", "in", "imm")],
+            semantics=lambda ext, core, value, k: (value + k)
+            & 0xFFFFFFFF)
+        ext = TieExtension("d", operations=[addk])
+        processor = Processor(CoreConfig("t", dmem0_kb=16,
+                                         sim_headroom_kb=0),
+                              extensions=[ext])
+        processor.load_program("main:\n  addk a3, a2, 17\n  halt")
+        assert processor.run(entry="main",
+                             regs={"a2": 25}).reg("a3") == 42
+
+    def test_multi_output(self):
+        divmod_op = Operation(
+            "divmod10",
+            operands=[Operand("q", "out", "ar"),
+                      Operand("r", "out", "ar"),
+                      Operand("val", "in", "ar")],
+            semantics=lambda ext, core, value: (value // 10, value % 10))
+        ext = TieExtension("d", operations=[divmod_op])
+        processor = Processor(CoreConfig("t", dmem0_kb=16,
+                                         sim_headroom_kb=0),
+                              extensions=[ext])
+        processor.load_program("main:\n  divmod10 a3, a4, a2\n  halt")
+        result = processor.run(entry="main", regs={"a2": 47})
+        assert result.reg("a3") == 4
+        assert result.reg("a4") == 7
+
+    def test_wrong_output_arity_detected(self):
+        bad = Operation(
+            "bad2",
+            operands=[Operand("q", "out", "ar"),
+                      Operand("r", "out", "ar")],
+            semantics=lambda ext, core: 1)  # should return a 2-tuple
+        ext = TieExtension("d", operations=[bad])
+        processor = Processor(CoreConfig("t", dmem0_kb=16,
+                                         sim_headroom_kb=0),
+                              extensions=[ext])
+        processor.load_program("main:\n  bad2 a3, a4\n  halt")
+        with pytest.raises(TieError, match="outputs"):
+            processor.run(entry="main")
+
+
+class TestFlixEncoding:
+    @pytest.fixture()
+    def eis(self):
+        from repro.configs.catalog import build_processor
+        return build_processor("DBA_2LSU_EIS")
+
+    def test_bundle_round_trip(self, eis):
+        program = eis.assembler.assemble(
+            "x:\n  { store_sop_int a8 ; beqz a8, x }\n"
+            "  { ld_ldp_shuffle }\n  halt")
+        words = program.encode()
+        flix_format = eis.flix_formats[0]
+        slots = flix_format.decode_bundle(words[0], words[1], 2, 0)
+        assert slots[0][0].name == "store_sop_int"
+        assert slots[0][1] == (8,)
+        assert slots[1][0].name == "beqz"
+        assert slots[1][1] == (8, 0)  # absolute target
+
+    def test_slot_classes_enforced(self, eis):
+        # two control ops cannot share a bundle: only one ctl slot
+        from repro.isa.errors import AssemblerError
+        with pytest.raises(AssemblerError, match="no FLIX format"):
+            eis.assembler.assemble("x:\n  { beqz a2, x ; beqz a3, x }\n")
+
+    def test_branch_range_limited_in_bundles(self, eis):
+        body = ["x:"]
+        body.append("  { store_sop_int a8 ; beqz a8, far }")
+        body.extend("  nop" for _ in range(600))
+        body.append("far:")
+        body.append("  halt")
+        program = eis.assembler.assemble("\n".join(body))
+        with pytest.raises(EncodingError, match="out of range"):
+            program.encode()
+
+    def test_slot_accepts(self):
+        slot = Slot("mem", ("mem", "compute"))
+        spec_like = type("S", (), {"kind": "tie", "slot_class": "mem"})()
+        assert slot.accepts(spec_like)
+        alu_like = type("S", (), {"kind": "alu"})()
+        assert not slot.accepts(alu_like)
+
+    def test_format_id_range(self):
+        with pytest.raises(TieError):
+            FlixFormat("x", 16, [])

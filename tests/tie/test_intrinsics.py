@@ -1,0 +1,83 @@
+"""Unit tests for the intrinsics layer."""
+
+import pytest
+
+from repro.cpu import CoreConfig, Processor
+from repro.tie import (Intrinsics, Operand, Operation, RegFile, State,
+                       StateUse, TieError, TieExtension)
+
+
+@pytest.fixture()
+def processor():
+    counter = State("counter", width_bits=16)
+    regfile = RegFile("vv", width_bits=32, size=4, prefix="w")
+
+    def bump(ext, core, amount):
+        state = ext.state("counter")
+        state.write(state.value + amount)
+        return state.value
+
+    bump_op = Operation(
+        "bump",
+        operands=[Operand("new", "out", "ar"),
+                  Operand("amount", "in", "ar")],
+        states=[StateUse(counter, "inout")],
+        semantics=bump)
+    scale_op = Operation(
+        "scale",
+        operands=[Operand("res", "out", regfile),
+                  Operand("val", "in", regfile),
+                  Operand("factor", "in", "imm")],
+        semantics=lambda ext, core, val, factor: (val * factor)
+        & 0xFFFFFFFF)
+    ext = TieExtension("demo", states=[counter], regfiles=[regfile],
+                       operations=[bump_op, scale_op])
+    return Processor(CoreConfig("t", dmem0_kb=16, sim_headroom_kb=0),
+                     extensions=[ext])
+
+
+class TestIntrinsics:
+    def test_state_mutation_visible_across_calls(self, processor):
+        intrinsics = Intrinsics(processor)
+        assert intrinsics.bump(5) == 5
+        assert intrinsics.bump(3) == 8
+
+    def test_regfile_and_immediate_operands(self, processor):
+        intrinsics = Intrinsics(processor)
+        assert intrinsics.scale(6, 7) == 42
+
+    def test_wrong_input_count(self, processor):
+        intrinsics = Intrinsics(processor)
+        with pytest.raises(TieError, match="takes 1 inputs"):
+            intrinsics.bump(1, 2)
+
+    def test_unknown_operation(self, processor):
+        intrinsics = Intrinsics(processor)
+        with pytest.raises(AttributeError):
+            intrinsics.not_an_op
+
+    def test_base_instruction_rejected(self, processor):
+        intrinsics = Intrinsics(processor)
+        with pytest.raises(TieError, match="not a TIE operation"):
+            intrinsics.add
+
+    def test_assembly_and_intrinsic_agree(self, processor):
+        intrinsics = Intrinsics(processor)
+        via_intrinsic = intrinsics.scale(9, 5)
+        regfile = processor.regfiles["vv"]
+        regfile.write(0, 9)
+        processor.load_program("main:\n  scale w1, w0, 5\n  halt")
+        processor.run(entry="main")
+        assert regfile.read(1) == via_intrinsic == 45
+
+
+class TestAssemblerRegfileErrors:
+    def test_unknown_regfile_token(self, processor):
+        from repro.isa.errors import AssemblerError
+        with pytest.raises(AssemblerError, match="not a vv register"):
+            processor.load_program("main:\n  scale w1, q0, 5\n  halt")
+
+    def test_out_of_range_regfile_index(self, processor):
+        from repro.isa.errors import AssemblerError
+        with pytest.raises(AssemblerError):
+            processor.load_program("main:\n  scale w1, w9, 5\n  halt")

@@ -1,0 +1,143 @@
+"""Unit tests for the TIE declaration layer."""
+
+import pytest
+
+from repro.tie import (Operand, Operation, RegFile, State, StateUse,
+                       TieError, TieExtension, VectorState)
+
+
+class TestState:
+    def test_initial_value_and_reset(self):
+        state = State("s", width_bits=8, initial=0x5A)
+        assert state.value == 0x5A
+        state.write(0xFF)
+        state.reset()
+        assert state.value == 0x5A
+
+    def test_write_masks_to_width(self):
+        state = State("s", width_bits=8)
+        state.write(0x1FF)
+        assert state.value == 0xFF
+
+    def test_wide_states_not_software_visible(self):
+        assert State("s", width_bits=32).read_write
+        assert not State("s", width_bits=64).read_write
+        assert not State("s", width_bits=16, read_write=False).read_write
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(TieError):
+            State("s", width_bits=0)
+
+
+class TestVectorState:
+    def test_lanes_and_reset(self):
+        vec = VectorState("v", 4, [1, 2, 3, 4])
+        vec.value = [9, 9, 9, 9]
+        vec.reset()
+        assert vec.value == [1, 2, 3, 4]
+
+    def test_write_validates_lane_count(self):
+        vec = VectorState("v", 4)
+        with pytest.raises(TieError):
+            vec.write([1, 2, 3])
+
+    def test_write_masks_lanes(self):
+        vec = VectorState("v", 2, [0, 0])
+        vec.write([1 << 33, 5])
+        assert vec.value == [0, 5]
+
+    def test_width_is_lanes_times_32(self):
+        assert VectorState("v", 4).width_bits == 128
+
+    def test_bad_initial_length(self):
+        with pytest.raises(TieError):
+            VectorState("v", 4, [1, 2])
+
+
+class TestRegFile:
+    def test_parse_prefixed_names(self):
+        regfile = RegFile("reg32", size=8, prefix="v")
+        assert regfile.parse("v0") == 0
+        assert regfile.parse("v7") == 7
+
+    def test_parse_rejects_foreign_tokens(self):
+        regfile = RegFile("reg32", size=8, prefix="v")
+        for token in ("v8", "a0", "v", "w1", "v1x"):
+            with pytest.raises(TieError):
+                regfile.parse(token)
+
+    def test_write_masks(self):
+        regfile = RegFile("r", width_bits=16, size=2)
+        regfile.write(0, 0x12345)
+        assert regfile.read(0) == 0x2345
+
+    def test_size_limited_to_operand_field(self):
+        with pytest.raises(TieError):
+            RegFile("big", size=17)
+
+
+class TestOperandAndOperation:
+    def test_operand_validation(self):
+        with pytest.raises(TieError):
+            Operand("x", "inout", "ar")
+        with pytest.raises(TieError):
+            Operand("x", "in", "weird")
+
+    def test_compact_kinds(self):
+        regfile = RegFile("rf", size=4)
+        assert Operand("a", "in", "ar").compact_kind == "ar"
+        assert Operand("b", "in", "imm").compact_kind == "imm"
+        assert Operand("c", "in", regfile).compact_kind == "rf:rf"
+
+    def test_operation_requires_semantics(self):
+        with pytest.raises(TieError):
+            Operation("nothing")
+
+    def test_state_use_direction(self):
+        state = State("s")
+        with pytest.raises(TieError):
+            StateUse(state, "sideways")
+
+    def test_group_defaults_to_name(self):
+        op = Operation("myop", semantics=lambda e, c: None)
+        assert op.group == "myop"
+
+
+class TestExtensionLookups:
+    def make(self):
+        state = State("s8", 8)
+        regfile = RegFile("rf", size=4)
+        op = Operation("op1", semantics=lambda e, c: None)
+        return TieExtension("x", states=[state], regfiles=[regfile],
+                            operations=[op])
+
+    def test_lookup_by_name(self):
+        ext = self.make()
+        assert ext.state("s8").name == "s8"
+        assert ext.regfile("rf").name == "rf"
+        assert ext.operation("op1").name == "op1"
+
+    def test_missing_lookups_raise(self):
+        ext = self.make()
+        with pytest.raises(TieError):
+            ext.state("nope")
+        with pytest.raises(TieError):
+            ext.regfile("nope")
+        with pytest.raises(TieError):
+            ext.operation("nope")
+
+    def test_reset_clears_states_and_regfiles(self):
+        ext = self.make()
+        ext.state("s8").write(7)
+        ext.regfile("rf").write(0, 3)
+        ext.reset()
+        assert ext.state("s8").value == 0
+        assert ext.regfile("rf").read(0) == 0
+
+    def test_double_attach_rejected(self):
+        from repro.cpu import CoreConfig, Processor
+        ext = self.make()
+        Processor(CoreConfig("t", dmem0_kb=16, sim_headroom_kb=0),
+                  extensions=[ext])
+        with pytest.raises(TieError, match="already attached"):
+            ext.attach(object())

@@ -1,0 +1,87 @@
+"""Unit tests for the netlist cost model."""
+
+import pytest
+
+from repro.tie import (Netlist, Operand, Operation, State, StateUse,
+                       TieError, TieExtension, circuit_cost,
+                       extension_netlist, path_delay, primitive)
+
+
+class TestPrimitives:
+    def test_known_primitive(self):
+        comparator = primitive("cmp32")
+        assert comparator.ge > 0
+        assert comparator.delay_fo4 > 0
+
+    def test_unknown_primitive(self):
+        with pytest.raises(TieError):
+            primitive("flux_capacitor")
+
+    def test_circuit_cost_sums(self):
+        cost = circuit_cost({"cmp32": 2, "ff_bit": 10})
+        assert cost == 2 * primitive("cmp32").ge \
+            + 10 * primitive("ff_bit").ge
+
+    def test_path_delay_series(self):
+        delay = path_delay(("cmp32", "mux2_32"))
+        assert delay == primitive("cmp32").delay_fo4 \
+            + primitive("mux2_32").delay_fo4
+
+
+class TestNetlist:
+    def test_groups_accumulate(self):
+        netlist = Netlist("n")
+        netlist.add("a", 100)
+        netlist.add("a", 50)
+        netlist.add("b", 25)
+        assert netlist.groups == {"a": 150, "b": 25}
+        assert netlist.total_ge() == 175
+        assert netlist.share("a") == pytest.approx(150 / 175)
+
+    def test_paths_keep_maximum(self):
+        netlist = Netlist("n")
+        netlist.add_path("x", 10)
+        netlist.add_path("x", 5)
+        netlist.add_path("y", 30)
+        assert netlist.paths["x"] == 10
+        assert netlist.longest_path_fo4() == 30
+
+    def test_merge(self):
+        left = Netlist("l")
+        left.add("a", 10)
+        left.add_path("p", 3)
+        right = Netlist("r")
+        right.add("a", 5)
+        right.add("b", 1)
+        right.add_path("p", 7)
+        merged = left.merged_with(right)
+        assert merged.groups == {"a": 15, "b": 1}
+        assert merged.paths["p"] == 7
+
+    def test_empty_netlist(self):
+        netlist = Netlist("empty")
+        assert netlist.total_ge() == 0
+        assert netlist.longest_path_fo4() == 0
+        assert netlist.share("nothing") == 0.0
+
+
+class TestExtensionNetlist:
+    def test_ports_make_states_cost_more_than_flops(self):
+        state = State("s", width_bits=32, read_write=False)
+        touch = Operation("touch", states=[StateUse(state, "inout")],
+                          semantics=lambda e, c: None)
+        with_port = TieExtension("x", states=[state], operations=[touch])
+        netlist = extension_netlist(with_port)
+        flops_only = 32 * primitive("ff_bit").ge
+        assert netlist.groups["states"] > flops_only
+
+    def test_shared_circuits_land_in_group(self):
+        ext = TieExtension(
+            "x",
+            operations=[Operation("o", semantics=lambda e, c: None,
+                                  group="all")],
+            shared_circuits={"all": {"cmp32": 4}},
+            shared_paths={"matrix": ("cmp32",)})
+        netlist = extension_netlist(ext)
+        assert netlist.groups["op:all"] >= 4 * primitive("cmp32").ge
+        assert netlist.paths["matrix"] == primitive("cmp32").delay_fo4

@@ -1,0 +1,131 @@
+"""Tests for the Figure 4 development flow helpers."""
+
+import pytest
+
+from repro.configs.catalog import build_processor
+from repro.core.kernels import run_set_operation, set_operation_kernel
+from repro.core.scalar_kernels import run_scalar_set_operation
+from repro.toolflow import (DevelopmentFlow, VerificationFailure,
+                            check_instruction, equivalence_check,
+                            extension_candidates)
+from repro.workloads.sets import generate_set_pair
+
+
+class TestCheckInstruction:
+    def test_passing_cases(self, eis_2lsu_partial):
+        ext = eis_2lsu_partial.extension_states["db_eis"]
+        ext.setdp.word_a.value = [1, 2, 3, 4]
+        ext.setdp.word_b.value = [1, 2, 3, 4]
+        ext.setdp.result_cnt.value = 0
+        ext.setdp.fifo_cnt.value = 0
+        ext.setdp.store_cnt.value = 0
+        # store_sop_int: both windows full and matching -> flag 1
+        count = check_instruction(eis_2lsu_partial, "store_sop_int",
+                                  [((), 1)])
+        assert count == 1
+
+    def test_failing_case_raises(self, eis_2lsu_partial):
+        ext = eis_2lsu_partial.extension_states["db_eis"]
+        ext.setdp.op_init(eis_2lsu_partial)
+        with pytest.raises(VerificationFailure, match="store_sop_int"):
+            check_instruction(eis_2lsu_partial, "store_sop_int",
+                              [((), 12345)])
+
+
+class TestEquivalenceCheck:
+    def test_clean_program_passes(self, eis_2lsu_partial):
+        program = eis_2lsu_partial.assembler.assemble(
+            set_operation_kernel("union", num_lsus=2, unroll=4))
+        checked = equivalence_check(eis_2lsu_partial, program)
+        assert checked == program.instruction_count()
+
+    def test_detects_corruption(self, eis_2lsu_partial):
+        program = eis_2lsu_partial.assembler.assemble(
+            "main:\n  movi a2, 5\n  addi a2, a2, 1\n  halt")
+        words = program.encode()
+
+        class Corrupted(type(program)):
+            def encode(self_inner):
+                bad = list(words)
+                bad[1] ^= 0x00100000  # flip a register field bit
+                return bad
+
+        program.__class__ = Corrupted
+        with pytest.raises(VerificationFailure):
+            equivalence_check(eis_2lsu_partial, program)
+
+
+class TestDevelopmentFlow:
+    def test_iterations_and_speedups(self):
+        set_a, set_b = generate_set_pair(300, selectivity=0.5, seed=6)
+        expected = sorted(set(set_a) & set(set_b))
+
+        def scalar_app(processor):
+            return run_scalar_set_operation(processor, "intersection",
+                                            set_a, set_b)
+
+        def eis_app(processor):
+            return run_set_operation(processor, "intersection", set_a,
+                                     set_b)
+
+        flow = DevelopmentFlow(scalar_app, expected)
+        first = flow.iterate("scalar", build_processor("DBA_1LSU"))
+        assert first.verified
+        flow.application = eis_app
+        second = flow.iterate("eis", build_processor("DBA_2LSU_EIS"))
+        assert second.verified
+        assert second.speedup_over(first) > 5
+        assert "scalar" in flow.summary()
+        assert not flow.improvement_exhausted()
+
+    def test_verification_catches_wrong_reference(self):
+        def app(processor):
+            return [1, 2, 3], None
+
+        class FakeResult:
+            cycles = 10
+
+        def fake_app(processor):
+            return [1, 2, 3], FakeResult()
+
+        flow = DevelopmentFlow(fake_app, reference=[9])
+        report = flow.iterate("bad", object())
+        assert not report.verified
+
+    def test_improvement_exhausted_when_gains_flatten(self):
+        class FakeResult:
+            def __init__(self, cycles):
+                self.cycles = cycles
+
+        cycles = iter([1000, 990])
+
+        def app(processor):
+            return [], FakeResult(next(cycles))
+
+        flow = DevelopmentFlow(app, reference=[])
+        flow.iterate("one", None)
+        flow.iterate("two", None)
+        assert flow.improvement_exhausted()
+
+
+class TestHotspots:
+    def test_candidates_ranked(self, dba_1lsu):
+        from repro.core.scalar_kernels import (
+            intersection_scalar_kernel, scalar_set_layout)
+        from repro.cpu import CycleProfiler
+        set_a, set_b = generate_set_pair(300, selectivity=0.5, seed=2)
+        base_a, base_b, base_c = scalar_set_layout(len(set_a),
+                                                   len(set_b))
+        dba_1lsu.write_words(base_a, set_a)
+        dba_1lsu.write_words(base_b, set_b)
+        program = dba_1lsu.load_program(intersection_scalar_kernel())
+        profiler = CycleProfiler()
+        dba_1lsu.run_profiled(profiler, entry="main", regs={
+            "a2": base_a, "a3": base_a + len(set_a) * 4,
+            "a4": base_b, "a5": base_b + len(set_b) * 4,
+            "a6": base_c})
+        candidates = extension_candidates(profiler, program)
+        assert candidates, "the core loop must surface as a hotspot"
+        assert candidates[0]["share"] > 0.1
+        regions = {c["region"] for c in candidates}
+        assert "loop" in regions

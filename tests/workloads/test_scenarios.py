@@ -1,0 +1,50 @@
+"""Tests for the canned workload scenarios."""
+
+import pytest
+
+from repro.core.kernels import run_set_operation
+from repro.workloads.scenarios import (ALL_SCENARIOS, except_clause,
+                                       index_anding, star_filter,
+                                       union_clause)
+
+
+class TestOracles:
+    def test_index_anding_is_conjunction(self):
+        scenario = index_anding(table_rows=2000, seed=4)
+        expected = set(scenario.rid_lists[0])
+        for rids in scenario.rid_lists[1:]:
+            expected &= set(rids)
+        assert scenario.oracle() == sorted(expected)
+
+    def test_union_clause(self):
+        scenario = union_clause(table_rows=2000, seed=5)
+        expected = set()
+        for rids in scenario.rid_lists:
+            expected |= set(rids)
+        assert scenario.oracle() == sorted(expected)
+
+    def test_except_clause(self):
+        scenario = except_clause(table_rows=2000, seed=6)
+        expected = set(scenario.rid_lists[0]) - set(scenario.rid_lists[1])
+        assert scenario.oracle() == sorted(expected)
+
+    def test_star_filter_structure(self):
+        scenario = star_filter(table_rows=3000, seed=7)
+        p = [set(r) for r in scenario.rid_lists]
+        expected = ((p[0] & p[1]) & (p[2] | p[3])) - p[4]
+        assert scenario.oracle() == sorted(expected)
+
+
+@pytest.mark.parametrize("factory", ALL_SCENARIOS,
+                         ids=lambda f: f.__name__)
+class TestAcceleratedExecution:
+    def test_matches_oracle_on_eis(self, eis_2lsu_partial, factory):
+        scenario = factory(table_rows=3000)
+
+        def runner(operation, left, right):
+            return run_set_operation(eis_2lsu_partial, operation, left,
+                                     right, validate_input=False)
+
+        result, cycles = scenario.execute(runner)
+        assert result == scenario.oracle()
+        assert cycles > 0

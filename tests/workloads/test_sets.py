@@ -1,0 +1,97 @@
+"""Unit tests for the sorted-set workload generators."""
+
+import pytest
+
+from repro.core.common import SENTINEL, is_strictly_sorted
+from repro.workloads.sets import (expected_result_size,
+                                  generate_predicate_rid_lists,
+                                  generate_rid_list, generate_set_pair)
+
+
+class TestGenerateSetPair:
+    def test_exact_selectivity(self):
+        for selectivity in (0.0, 0.25, 0.5, 0.75, 1.0):
+            set_a, set_b = generate_set_pair(400,
+                                             selectivity=selectivity,
+                                             seed=1)
+            common = len(set(set_a) & set(set_b))
+            assert common == round(selectivity * 400)
+
+    def test_sizes_respected(self):
+        set_a, set_b = generate_set_pair(100, 250, selectivity=0.4,
+                                         seed=2)
+        assert len(set_a) == 100
+        assert len(set_b) == 250
+
+    def test_strictly_sorted_and_below_sentinel(self):
+        set_a, set_b = generate_set_pair(500, selectivity=0.5, seed=3)
+        assert is_strictly_sorted(set_a)
+        assert is_strictly_sorted(set_b)
+        assert max(set_a + set_b) < SENTINEL
+
+    def test_reproducible_with_seed(self):
+        first = generate_set_pair(100, selectivity=0.5, seed=42)
+        second = generate_set_pair(100, selectivity=0.5, seed=42)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generate_set_pair(100, selectivity=0.5, seed=1)
+        second = generate_set_pair(100, selectivity=0.5, seed=2)
+        assert first != second
+
+    def test_selectivity_bounds_checked(self):
+        with pytest.raises(ValueError):
+            generate_set_pair(10, selectivity=1.5)
+        with pytest.raises(ValueError):
+            generate_set_pair(10, selectivity=-0.1)
+
+    def test_selectivity_uses_smaller_set(self):
+        set_a, set_b = generate_set_pair(100, 10, selectivity=1.0,
+                                         seed=4)
+        assert len(set(set_a) & set(set_b)) == 10
+
+    def test_value_space_exhaustion_detected(self):
+        with pytest.raises(ValueError, match="value space"):
+            generate_set_pair(10, selectivity=0.0, max_value=5)
+
+
+class TestExpectedResultSize:
+    @pytest.mark.parametrize("which,expected", [
+        ("intersection", 50), ("union", 150), ("difference", 50),
+    ])
+    def test_formulas(self, which, expected):
+        assert expected_result_size(which, 100, 100, 0.5) == expected
+
+    def test_matches_generator(self):
+        set_a, set_b = generate_set_pair(200, 120, selectivity=0.3,
+                                         seed=5)
+        assert expected_result_size("intersection", 200, 120, 0.3) \
+            == len(set(set_a) & set(set_b))
+        assert expected_result_size("union", 200, 120, 0.3) \
+            == len(set(set_a) | set(set_b))
+        assert expected_result_size("difference", 200, 120, 0.3) \
+            == len(set(set_a) - set(set_b))
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            expected_result_size("xor", 1, 1, 0.5)
+
+
+class TestRidLists:
+    def test_rid_list_shape(self):
+        rids = generate_rid_list(100, table_rows=1000, seed=1)
+        assert len(rids) == 100
+        assert is_strictly_sorted(rids)
+        assert all(0 <= rid < 1000 for rid in rids)
+
+    def test_rid_list_bounds(self):
+        with pytest.raises(ValueError):
+            generate_rid_list(11, table_rows=10)
+
+    def test_predicate_lists(self):
+        lists = generate_predicate_rid_lists(1000, [0.1, 0.5], seed=2)
+        assert len(lists) == 2
+        assert len(lists[0]) == 100
+        assert len(lists[1]) == 500
+        for rids in lists:
+            assert is_strictly_sorted(rids)

@@ -1,0 +1,39 @@
+"""Unit tests for the sort-input generators."""
+
+from repro.core.common import SENTINEL
+from repro.workloads.sorting import (few_distinct_values,
+                                     nearly_sorted_values,
+                                     presorted_values, random_values,
+                                     reverse_sorted_values)
+
+
+class TestGenerators:
+    def test_random_values_range(self):
+        values = random_values(500, seed=1)
+        assert len(values) == 500
+        assert all(0 <= value < SENTINEL for value in values)
+
+    def test_random_reproducible(self):
+        assert random_values(100, seed=7) == random_values(100, seed=7)
+
+    def test_presorted(self):
+        values = presorted_values(200, seed=2)
+        assert values == sorted(values)
+
+    def test_reverse_sorted(self):
+        values = reverse_sorted_values(200, seed=3)
+        assert values == sorted(values, reverse=True)
+
+    def test_nearly_sorted_is_mostly_ordered(self):
+        values = nearly_sorted_values(400, seed=4)
+        inversions = sum(1 for a, b in zip(values, values[1:]) if a > b)
+        assert 0 < inversions < 100
+
+    def test_few_distinct(self):
+        values = few_distinct_values(300, distinct=8, seed=5)
+        assert len(values) == 300
+        assert len(set(values)) <= 8
+
+    def test_empty_inputs(self):
+        assert random_values(0) == []
+        assert presorted_values(0) == []
