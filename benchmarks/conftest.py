@@ -6,11 +6,22 @@ simulator is deterministic, so repetition only re-measures Python), and
 attach the *model-level* results (throughput, areas, powers) as
 ``extra_info`` so `pytest benchmarks/ --benchmark-only` prints the
 regenerated numbers next to the wall-clock costs.
+
+When ``BENCH_REPORT_DIR`` is set, :func:`run_once` additionally writes
+one ``BENCH_<benchmark>.json`` run report per simulated run it can see
+in the benchmarked callable's return value — the machine-readable perf
+trajectory consumed by CI and cross-PR comparisons (schema:
+:mod:`repro.telemetry.report`).
 """
+
+import os
+import re
 
 import pytest
 
 from repro.configs.catalog import build_processor
+from repro.cpu.processor import RunResult
+from repro.telemetry.report import RunReport
 from repro.synth.synthesis import synthesize_config
 from repro.workloads.sets import generate_set_pair
 from repro.workloads.sorting import random_values
@@ -55,5 +66,30 @@ def processors():
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark a deterministic harness with a single measured round."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
-                              iterations=1, warmup_rounds=0)
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                iterations=1, warmup_rounds=0)
+    directory = os.environ.get("BENCH_REPORT_DIR")
+    if directory:
+        run = _find_run_result(result)
+        if run is not None:
+            _write_bench_report(directory, benchmark.name, run)
+    return result
+
+
+def _find_run_result(value):
+    """Dig the RunResult out of a benchmarked callable's return value."""
+    if isinstance(value, RunResult):
+        return value
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            if isinstance(item, RunResult):
+                return item
+    return None
+
+
+def _write_bench_report(directory, bench_name, run):
+    os.makedirs(directory, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", bench_name).strip("_")
+    path = os.path.join(directory, "BENCH_%s.json" % slug)
+    RunReport.from_run(run, workload=bench_name).save(path)
+    return path

@@ -19,10 +19,12 @@ from .core import (run_merge_sort, run_scalar_merge_sort,
                    run_scalar_set_operation, run_set_operation,
                    run_streaming_set_operation)
 from .synth import synthesize_config
+from .telemetry import MetricsRegistry, RunReport, RunStats
 
 __version__ = "1.0.0"
 
 __all__ = ["CONFIG_NAMES", "build_processor", "run_merge_sort",
            "run_scalar_merge_sort", "run_scalar_set_operation",
            "run_set_operation", "run_streaming_set_operation",
-           "synthesize_config", "__version__"]
+           "synthesize_config", "MetricsRegistry", "RunReport",
+           "RunStats", "__version__"]

@@ -4,9 +4,11 @@
 
     repro run intersection --size 5000 --selectivity 0.5
     repro run sort --size 6500 --config DBA_1LSU_EIS
+    repro run intersection --json --trace-out trace.json
     repro synth --config DBA_2LSU_EIS --tech gf28slp
-    repro experiments table2 figure13
+    repro experiments table2 figure13 --artifacts out/
     repro disasm intersection --config DBA_2LSU_EIS
+    repro report out/run.json
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -45,6 +47,18 @@ def build_parser():
     run_cmd.add_argument("--selectivity", type=float, default=0.5)
     run_cmd.add_argument("--no-partial-load", action="store_true")
     run_cmd.add_argument("--seed", type=int, default=42)
+    run_cmd.add_argument("--json", action="store_true",
+                         help="print a structured run report as JSON "
+                              "instead of the text summary")
+    run_cmd.add_argument("--report-out", metavar="FILE",
+                         help="also write the JSON run report to FILE")
+    run_cmd.add_argument("--trace-out", metavar="FILE",
+                         help="write a Chrome trace-event JSON file "
+                              "(chrome://tracing / Perfetto loadable)")
+    run_cmd.add_argument("--trace-limit", type=int, default=100_000,
+                         help="maximum trace events to record "
+                              "(default %(default)s; excess is counted "
+                              "as dropped)")
 
     synth_cmd = sub.add_parser("synth", help="synthesize a "
                                              "configuration")
@@ -60,6 +74,16 @@ def build_parser():
     exp_cmd.add_argument("names", nargs="*", help="experiment ids "
                                                   "(default: all)")
     exp_cmd.add_argument("--quick", action="store_true")
+    exp_cmd.add_argument("--artifacts", metavar="DIR",
+                         help="write one machine-readable JSON artifact "
+                              "per experiment into DIR")
+
+    report_cmd = sub.add_parser("report",
+                                help="summarize saved JSON run reports")
+    report_cmd.add_argument("files", nargs="+", metavar="FILE",
+                            help="run-report JSON files (from "
+                                 "'repro run --report-out' or the "
+                                 "benchmark harness)")
 
     disasm_cmd = sub.add_parser("disasm",
                                 help="disassemble a kernel")
@@ -73,12 +97,16 @@ def build_parser():
 def cmd_run(args):
     partial = not args.no_partial_load
     processor = build_processor(args.config, partial_load=partial)
-    report = synthesize_config(args.config, partial_load=partial)
+    synth = synthesize_config(args.config, partial_load=partial)
     has_eis = args.config.endswith("_EIS")
+    tracer = None
+    if args.trace_out:
+        from .cpu.trace import PipelineTracer
+        tracer = PipelineTracer(limit=args.trace_limit)
     if args.workload == "sort":
         values = random_values(args.size, seed=args.seed)
         runner = run_merge_sort if has_eis else run_scalar_merge_sort
-        output, stats = runner(processor, values)
+        output, stats = runner(processor, values, trace=tracer)
         assert output == sorted(values)
         elements = args.size
         summary = "sorted %d values" % args.size
@@ -87,15 +115,37 @@ def cmd_run(args):
             args.size, selectivity=args.selectivity, seed=args.seed)
         runner = run_set_operation if has_eis \
             else run_scalar_set_operation
-        output, stats = runner(processor, args.workload, set_a, set_b)
+        output, stats = runner(processor, args.workload, set_a, set_b,
+                               trace=tracer)
         elements = 2 * args.size
         summary = "%s of 2x%d elements -> %d results" % (
             args.workload, args.size, len(output))
-    meps = stats.throughput_meps(elements, report.fmax_mhz)
+    meps = stats.throughput_meps(elements, synth.fmax_mhz)
+    report = stats.report(
+        workload=args.workload, config=args.config, elements=elements,
+        clock_mhz=synth.fmax_mhz,
+        meta={"size": args.size, "seed": args.seed,
+              "partial_load": partial, "results": len(output),
+              "power_mw": synth.power_mw,
+              "energy_nj_per_element": synth.power_mw / meps
+              if meps else None})
+    if tracer is not None:
+        tracer.save_chrome_trace(args.trace_out)
+    if args.report_out:
+        report.save(args.report_out)
+    if args.json:
+        print(report.to_json())
+        return 0
     print("%s on %s (%.0f MHz)" % (summary, args.config,
-                                   report.fmax_mhz))
+                                   synth.fmax_mhz))
     print("  %d cycles, %.1f Melem/s, %.3f nJ/element"
-          % (stats.cycles, meps, report.power_mw / meps))
+          % (stats.cycles, meps, synth.power_mw / meps))
+    if tracer is not None:
+        print("  trace: %d events -> %s%s" % (
+            len(tracer.events), args.trace_out,
+            " (%d dropped)" % tracer.dropped if tracer.dropped else ""))
+    if args.report_out:
+        print("  report: %s" % args.report_out)
     return 0
 
 
@@ -120,7 +170,25 @@ def cmd_experiments(args):
     argv = list(args.names)
     if args.quick:
         argv.append("--quick")
+    if args.artifacts:
+        argv.extend(["--artifacts", args.artifacts])
     return experiments_main(argv)
+
+
+def cmd_report(args):
+    from .telemetry.report import RunReport
+    status = 0
+    for index, path in enumerate(args.files):
+        if index:
+            print()
+        try:
+            report = RunReport.load(path)
+        except (OSError, ValueError) as exc:
+            print("%s: %s" % (path, exc))
+            status = 1
+            continue
+        print(report.summary())
+    return status
 
 
 def cmd_disasm(args):
@@ -146,6 +214,7 @@ def main(argv=None):
         "synth": cmd_synth,
         "experiments": cmd_experiments,
         "disasm": cmd_disasm,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

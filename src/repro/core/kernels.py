@@ -200,7 +200,8 @@ def _load_cached_program(processor, key, source):
 
 
 def run_set_operation(processor, which, set_a, set_b,
-                      unroll=DEFAULT_UNROLL, validate_input=True):
+                      unroll=DEFAULT_UNROLL, validate_input=True,
+                      trace=None):
     """Run one EIS set operation; returns ``(result_list, RunResult)``."""
     if validate_input:
         check_set_input("set_a", set_a)
@@ -214,7 +215,7 @@ def run_set_operation(processor, which, set_a, set_b,
     _load_cached_program(
         processor, key,
         set_operation_kernel(which, num_lsus=num_lsus, unroll=unroll))
-    result = processor.run(entry="main", regs={
+    result = processor.run(entry="main", trace=trace, regs={
         "a2": base_a, "a3": base_a + len(set_a) * 4,
         "a4": base_b, "a5": base_b + len(set_b) * 4,
         "a6": base_c,
@@ -224,7 +225,7 @@ def run_set_operation(processor, which, set_a, set_b,
     return values, result
 
 
-def run_merge_sort(processor, values, validate_input=True):
+def run_merge_sort(processor, values, validate_input=True, trace=None):
     """Run the EIS merge-sort; returns ``(sorted_list, RunResult)``."""
     if validate_input:
         check_sort_input("values", values)
@@ -233,7 +234,7 @@ def run_merge_sort(processor, values, validate_input=True):
     processor.write_words(base_src, padded)
     key = "eis-sort"
     _load_cached_program(processor, key, merge_sort_kernel())
-    result = processor.run(entry="main", regs={
+    result = processor.run(entry="main", trace=trace, regs={
         "a2": base_src, "a3": len(padded) * 4, "a4": base_dst,
     })
     out_base = result.reg("a2")

@@ -249,7 +249,7 @@ def scalar_set_layout(len_a, len_b):
 
 
 def run_scalar_set_operation(processor, which, set_a, set_b,
-                             validate_input=True):
+                             validate_input=True, trace=None):
     """Run a scalar set operation; returns ``(result_list, RunResult)``."""
     if validate_input:
         check_set_input("set_a", set_a)
@@ -260,7 +260,7 @@ def run_scalar_set_operation(processor, which, set_a, set_b,
     if set_b:
         processor.write_words(base_b, set_b)
     _cached(processor, "scalar-%s" % which, _SCALAR_KERNELS[which]())
-    result = processor.run(entry="main", regs={
+    result = processor.run(entry="main", trace=trace, regs={
         "a2": base_a, "a3": base_a + len(set_a) * 4,
         "a4": base_b, "a5": base_b + len(set_b) * 4,
         "a6": base_c,
@@ -270,7 +270,8 @@ def run_scalar_set_operation(processor, which, set_a, set_b,
     return values, result
 
 
-def run_scalar_merge_sort(processor, values, validate_input=True):
+def run_scalar_merge_sort(processor, values, validate_input=True,
+                          trace=None):
     """Run the scalar merge-sort; returns ``(sorted_list, RunResult)``."""
     if validate_input:
         check_sort_input("values", values)
@@ -280,7 +281,7 @@ def run_scalar_merge_sort(processor, values, validate_input=True):
     base_dst = len(values) * 4 + 16
     processor.write_words(base_src, values)
     _cached(processor, "scalar-sort", merge_sort_scalar_kernel())
-    result = processor.run(entry="main", regs={
+    result = processor.run(entry="main", trace=trace, regs={
         "a2": base_src, "a3": len(values) * 4, "a4": base_dst,
     })
     output = processor.read_words(result.reg("a2"), len(values))
@@ -290,4 +291,5 @@ def run_scalar_merge_sort(processor, values, validate_input=True):
 def _empty_run(processor):
     """RunResult for a degenerate empty-input call."""
     from ..cpu.processor import RunResult
-    return RunResult(0, 0, processor.regs.snapshot(), {})
+    from ..telemetry.report import RunStats
+    return RunResult(0, 0, processor.regs.snapshot(), RunStats())

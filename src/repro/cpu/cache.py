@@ -10,6 +10,7 @@ store decides how many stall cycles each access costs.  Write-back with
 write-allocate; evicting a dirty line pays the write-back penalty.
 """
 
+from ..telemetry.registry import BoundCounter
 from .errors import ConfigurationError
 
 
@@ -52,6 +53,14 @@ class Cache:
         self.misses = 0
         self.writebacks = 0
 
+    # -- statistics ----------------------------------------------------------
+
+    def register_metrics(self, registry, prefix):
+        """Register counter views over this cache's tallies."""
+        for attr in ("hits", "misses", "writebacks"):
+            registry.register("%s.%s" % (prefix, attr),
+                              BoundCounter(self, attr))
+
     def access(self, addr, is_write):
         """Record one access; return the stall cycles it costs."""
         line = addr >> self._offset_bits
@@ -86,8 +95,12 @@ class Cache:
         return self.hits / total if total else 1.0
 
     def reset(self):
+        """Invalidate every line and zero the statistics."""
         for ways in self._sets:
             ways.clear()
+        self.reset_stats()
+
+    def reset_stats(self):
         self.hits = 0
         self.misses = 0
         self.writebacks = 0

@@ -6,7 +6,14 @@ using burst transfers "typically in the order of several KB" which
 improve the observed bandwidth.  The network is modeled with a fixed
 per-transfer setup latency plus a per-cycle payload bandwidth; bursts
 amortize the setup cost exactly as described in Section 3.2.
+
+Transfer tallies are telemetry instruments; when the prefetcher that
+owns this network attaches to a processor they are registered as
+``noc.*`` (including a burst-size histogram, since burst sizing is the
+whole point of the Section 3.2 bandwidth argument).
 """
+
+from ..telemetry.registry import Counter, Histogram
 
 
 class Interconnect:
@@ -15,13 +22,43 @@ class Interconnect:
     def __init__(self, setup_latency=60, bytes_per_cycle=16):
         self.setup_latency = setup_latency
         self.bytes_per_cycle = bytes_per_cycle
-        self.transfers = 0
-        self.bytes_moved = 0
+        self._transfers = Counter("transfers")
+        self._bytes_moved = Counter("bytes_moved")
+        self._burst_bytes = Histogram("burst_bytes")
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def transfers(self):
+        return self._transfers.value
+
+    @property
+    def bytes_moved(self):
+        return self._bytes_moved.value
+
+    @property
+    def burst_bytes(self):
+        """Summary dict of observed burst sizes (count/min/max/mean)."""
+        return self._burst_bytes.read()
+
+    def register_metrics(self, registry, prefix):
+        """Adopt this network's instruments under *prefix*."""
+        registry.register(prefix + ".transfers", self._transfers)
+        registry.register(prefix + ".bytes_moved", self._bytes_moved)
+        registry.register(prefix + ".burst_bytes", self._burst_bytes)
+
+    def reset_stats(self):
+        self._transfers.reset()
+        self._bytes_moved.reset()
+        self._burst_bytes.reset()
+
+    # -- timing model --------------------------------------------------------
 
     def transfer_cycles(self, nbytes):
         """Cycles one burst of *nbytes* occupies the network."""
-        self.transfers += 1
-        self.bytes_moved += nbytes
+        self._transfers.value += 1
+        self._bytes_moved.value += nbytes
+        self._burst_bytes.observe(nbytes)
         payload = -(-nbytes // self.bytes_per_cycle)  # ceil division
         return self.setup_latency + payload
 
@@ -29,7 +66,3 @@ class Interconnect:
         """Bytes per cycle achieved by bursts of a given size."""
         payload = -(-nbytes // self.bytes_per_cycle)
         return nbytes / (self.setup_latency + payload)
-
-    def reset_stats(self):
-        self.transfers = 0
-        self.bytes_moved = 0

@@ -8,8 +8,15 @@ reaches system memory directly and pays wait states on every access.
 The LSU is both the functional router (which region serves an address)
 and the timing authority (wait states, cache penalties, port-width
 serialization for accesses wider than the port).
+
+Access tallies live on every access, so they stay plain integer
+attributes; the hosting :class:`~repro.cpu.processor.Processor`
+registers :class:`~repro.telemetry.registry.BoundCounter` views over
+them as ``lsu.<index>.*`` so they appear in registry snapshots without
+slowing the hot path.
 """
 
+from ..telemetry.registry import BoundCounter
 from .errors import MemoryFault
 
 
@@ -22,6 +29,19 @@ class LoadStoreUnit:
         self.port_bytes = port_bits // 8
         self.memory_map = memory_map
         self.dcache = dcache
+        self.loads = 0
+        self.stores = 0
+        self.stall_cycles = 0
+
+    # -- statistics ----------------------------------------------------------
+
+    def register_metrics(self, registry, prefix):
+        """Register counter views over this unit's tallies."""
+        for attr in ("loads", "stores", "stall_cycles"):
+            registry.register("%s.%s" % (prefix, attr),
+                              BoundCounter(self, attr))
+
+    def reset_stats(self):
         self.loads = 0
         self.stores = 0
         self.stall_cycles = 0
@@ -77,8 +97,3 @@ class LoadStoreUnit:
             raise MemoryFault(
                 "LSU%d port is %d bits wide; %d-bit access not possible"
                 % (self.index, self.port_bits, bits))
-
-    def reset_stats(self):
-        self.loads = 0
-        self.stores = 0
-        self.stall_cycles = 0

@@ -12,6 +12,7 @@ misalignment raises :class:`MemoryFault`, which has caught real kernel
 bugs during development and is exactly what the RTL would do.
 """
 
+from ..telemetry.registry import BoundCounter
 from .errors import MemoryFault
 
 #: Standard address map shared by every processor configuration so the
@@ -40,6 +41,19 @@ class Memory:
         self.limit = base + size_bytes
         self.wait_states = wait_states
         self.words = [0] * (size_bytes // 4)
+        self.read_accesses = 0
+        self.write_accesses = 0
+
+    # -- statistics ----------------------------------------------------------
+
+    def register_metrics(self, registry, prefix):
+        """Register counter views over this region's access tallies."""
+        registry.register(prefix + ".reads",
+                          BoundCounter(self, "read_accesses"))
+        registry.register(prefix + ".writes",
+                          BoundCounter(self, "write_accesses"))
+
+    def reset_stats(self):
         self.read_accesses = 0
         self.write_accesses = 0
 
@@ -150,10 +164,6 @@ class Memory:
         if index + count > len(self.words):
             raise MemoryFault("bulk read overruns %s" % self.name)
         return list(self.words[index:index + count])
-
-    def reset_stats(self):
-        self.read_accesses = 0
-        self.write_accesses = 0
 
 
 class MemoryMap:

@@ -19,6 +19,7 @@ is how double buffering is written: start the next fill, process the
 current buffer, poll, swap.
 """
 
+from ..telemetry.registry import Counter
 from .errors import MemoryFault
 from .interconnect import Interconnect
 
@@ -40,12 +41,24 @@ class DataPrefetcher:
         #: DMA_DONE register reports how many have finished, which is
         #: what double-buffering kernels poll on.
         self._finish_cycles = []
-        self.descriptors_run = 0
+        self._descriptors = Counter("descriptors")
+
+    @property
+    def descriptors_run(self):
+        return self._descriptors.value
+
+    def register_metrics(self, registry, prefix):
+        """Adopt the DMA engine's counters under *prefix*."""
+        registry.register(prefix + ".descriptors", self._descriptors)
 
     # -- extension protocol (same shape as repro.tie extensions) ------------
 
     def attach(self, core):
         self.core = core
+        metrics = getattr(core, "metrics", None)
+        if metrics is not None and "dma.descriptors" not in metrics:
+            self.register_metrics(metrics, "dma")
+            self.interconnect.register_metrics(metrics, "noc")
         core.register_user_register("DMA_SRC", lambda: self._src,
                                     self._set_src)
         core.register_user_register("DMA_DST", lambda: self._dst,
@@ -89,7 +102,7 @@ class DataPrefetcher:
         """
         if nbytes == 0:
             self._finish_cycles.append(self.core.cycle)
-            self.descriptors_run += 1
+            self._descriptors.value += 1
             return
         if nbytes < 0:
             raise MemoryFault("DMA burst length must be non-negative")
@@ -105,7 +118,11 @@ class DataPrefetcher:
         begin = max(core.cycle, self._busy_until)
         self._busy_until = begin + self.interconnect.transfer_cycles(nbytes)
         self._finish_cycles.append(self._busy_until)
-        self.descriptors_run += 1
+        self._descriptors.value += 1
+        trace = getattr(core, "trace", None)
+        if trace is not None:
+            trace.dma(begin, "dma %dB 0x%08x->0x%08x" % (nbytes, src, dst),
+                      self._busy_until - begin)
 
     @property
     def busy_until(self):
@@ -114,5 +131,5 @@ class DataPrefetcher:
     def reset(self):
         self._busy_until = 0
         self._finish_cycles = []
-        self.descriptors_run = 0
+        self._descriptors.reset()
         self.interconnect.reset_stats()

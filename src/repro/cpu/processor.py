@@ -19,6 +19,8 @@ from ..isa.assembler import Assembler, Bundle, BundleTail
 from ..isa.instructions import build_base_isa
 from ..isa.registers import NUM_ADDRESS_REGISTERS, RegisterFile, \
     parse_register
+from ..telemetry.registry import MetricsRegistry
+from ..telemetry.report import RunStats
 from .cache import Cache
 from .errors import ConfigurationError, ExecutionLimitExceeded, MemoryFault
 from .lsu import LoadStoreUnit
@@ -51,6 +53,14 @@ class RunResult:
     def cpi(self):
         return self.cycles / self.instructions if self.instructions else 0.0
 
+    def report(self, workload="", config="", elements=None, clock_mhz=None,
+               meta=None):
+        """Structured :class:`repro.telemetry.report.RunReport`."""
+        from ..telemetry.report import RunReport
+        return RunReport.from_run(self, workload=workload, config=config,
+                                  elements=elements, clock_mhz=clock_mhz,
+                                  meta=meta)
+
     def __repr__(self):
         return "<RunResult %d cycles, %d instructions>" % (
             self.cycles, self.instructions)
@@ -65,8 +75,14 @@ class Processor:
         self.regs = RegisterFile("ar", NUM_ADDRESS_REGISTERS)
         self.pipeline = config.pipeline
 
+        #: Unified telemetry: every component of this core registers
+        #: its instruments here (see docs/OBSERVABILITY.md).  Created
+        #: before the extension loop so extensions can register too.
+        self.metrics = MetricsRegistry()
+
         self._build_memories(config)
         self._build_lsus(config)
+        self._register_metrics()
 
         # User-register space (TIE states map in here).
         self._ur_read = {}
@@ -92,6 +108,10 @@ class Processor:
         self.mem_extra = 0
         self._program = None
         self._steps = None
+        #: Active :class:`~repro.cpu.trace.PipelineTracer` of the
+        #: current run, visible to extensions (the DMA prefetcher emits
+        #: burst spans through it); ``None`` outside traced runs.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -138,6 +158,28 @@ class Processor:
             self._dmem1_limit = self.dmem1.limit
         else:
             self._dmem1_base = self._dmem1_limit = None
+
+    def _register_metrics(self):
+        """Index every component's instruments in :attr:`metrics`.
+
+        The namespace (``lsu.<i>.*``, ``cpu.dcache.*``, ``mem.<name>.*``,
+        ``cpu.run.*`` — plus ``dma.*``/``noc.*`` contributed by an
+        attached prefetcher) is documented in docs/OBSERVABILITY.md.
+        """
+        registry = self.metrics
+        for lsu in self.lsus:
+            lsu.register_metrics(registry, "lsu.%d" % lsu.index)
+        if self.dcache is not None:
+            self.dcache.register_metrics(registry, "cpu.dcache")
+        if self.icache is not None:
+            self.icache.register_metrics(registry, "cpu.icache")
+        for region in self.memory_map:
+            region.register_metrics(registry, "mem.%s" % region.name)
+        run = registry.scope("cpu.run")
+        self._g_cycles = run.gauge("cycles")
+        self._g_instructions = run.gauge("instructions")
+        self._g_taken = run.gauge("taken_redirects")
+        self._g_interlock = run.gauge("interlock_stalls")
 
     # ------------------------------------------------------------------
     # extension plumbing (called by repro.tie)
@@ -310,13 +352,16 @@ class Processor:
         taken = 0
         interlock = 0
         self.halted = False
+        self.trace = trace
         pc = entry
 
         while not self.halted:
             step = steps[pc]
             if step is None:
+                self.trace = None
                 raise MemoryFault("execution fell into a bundle tail or "
                                   "unmapped instruction at word %d" % pc)
+            begin = cycle
             issue = cycle
             for reg in step.reads:
                 ready = reg_ready[reg]
@@ -342,13 +387,19 @@ class Processor:
                     reg_ready[reg] = ready
             issued += 1
             if trace is not None:
-                trace.record(issue, pc, step.name)
+                if issue > begin:
+                    trace.stall(begin, pc, issue - begin)
+                trace.record(issue, pc, step.name, cycle - issue)
+                if self.mem_extra:
+                    trace.memory(issue, pc, step.name, self.mem_extra)
             pc = self.npc
             if cycle > max_cycles:
+                self.trace = None
                 raise ExecutionLimitExceeded(
                     "exceeded %d cycles at pc=%d" % (max_cycles, pc))
 
-        stats = self.collect_stats(taken, interlock)
+        self.trace = None
+        stats = self.collect_stats(taken, interlock, cycle, issued)
         return RunResult(cycle, issued, self.regs.snapshot(), stats)
 
     def run_profiled(self, profiler, entry=0, regs=None,
@@ -408,7 +459,7 @@ class Processor:
             if cycle > max_cycles:
                 raise ExecutionLimitExceeded(
                     "exceeded %d cycles at pc=%d" % (max_cycles, pc))
-        stats = self.collect_stats(taken, interlock)
+        stats = self.collect_stats(taken, interlock, cycle, issued)
         return RunResult(cycle, issued, self.regs.snapshot(), stats)
 
     # ------------------------------------------------------------------
@@ -416,6 +467,13 @@ class Processor:
     # ------------------------------------------------------------------
 
     def reset_stats(self):
+        """Zero the per-run statistics.
+
+        Scope matches the pre-registry behavior: LSUs, memory regions,
+        caches (tags included) and the run gauges.  DMA/NoC tallies
+        accumulate across runs — streaming harnesses reset them
+        explicitly via ``prefetcher.reset()``.
+        """
         for lsu in self.lsus:
             lsu.reset_stats()
         for region in self.memory_map:
@@ -424,9 +482,23 @@ class Processor:
             self.dcache.reset()
         if self.icache:
             self.icache.reset()
+        self.metrics.reset("cpu.run")
 
-    def collect_stats(self, taken_branches, interlock_stalls):
-        stats = {
+    def collect_stats(self, taken_branches, interlock_stalls,
+                      cycles=None, instructions=None):
+        """Snapshot the registry into a :class:`RunStats` view.
+
+        The flat legacy keys (``lsu_loads`` etc.) are preserved for
+        existing consumers; the full hierarchical snapshot rides along
+        as ``stats.snapshot``.
+        """
+        self._g_taken.set(taken_branches)
+        self._g_interlock.set(interlock_stalls)
+        if cycles is not None:
+            self._g_cycles.set(cycles)
+        if instructions is not None:
+            self._g_instructions.set(instructions)
+        legacy = {
             "taken_redirects": taken_branches,
             "interlock_stalls": interlock_stalls,
             "lsu_loads": [lsu.loads for lsu in self.lsus],
@@ -434,9 +506,9 @@ class Processor:
             "lsu_stall_cycles": [lsu.stall_cycles for lsu in self.lsus],
         }
         if self.dcache:
-            stats["dcache_hits"] = self.dcache.hits
-            stats["dcache_misses"] = self.dcache.misses
-        return stats
+            legacy["dcache_hits"] = self.dcache.hits
+            legacy["dcache_misses"] = self.dcache.misses
+        return RunStats(legacy, self.metrics.snapshot())
 
 
 class _Step:

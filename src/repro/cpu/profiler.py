@@ -30,18 +30,28 @@ class CycleProfiler:
         """Aggregate cycles by source region (delimited by labels).
 
         Returns a list of :class:`Hotspot` sorted by cycle share,
-        largest first.
+        largest first.  Labels aliased to the same index (``foo:``
+        directly followed by ``bar:``) are merged into one
+        ``foo/bar`` region instead of producing a zero-length region
+        that silently drops the first name; code before the first
+        label — or a program with no labels at all — is attributed to
+        a synthesized ``<entry>`` region.
         """
-        boundaries = sorted((index, name)
-                            for name, index in program.labels.items())
+        names_by_index = {}
+        for name, index in sorted(program.labels.items()):
+            names_by_index.setdefault(index, []).append(name)
+        boundaries = sorted(names_by_index)
         regions = []
-        for position, (start, name) in enumerate(boundaries):
-            end = boundaries[position + 1][0] if position + 1 \
+        if not boundaries or boundaries[0] > 0:
+            entry_end = boundaries[0] if boundaries \
+                else len(program.items)
+            if entry_end > 0:
+                regions.append((0, entry_end, "<entry>"))
+        for position, start in enumerate(boundaries):
+            end = boundaries[position + 1] if position + 1 \
                 < len(boundaries) else len(program.items)
-            regions.append((start, end, name))
-        if not regions or regions[0][0] > 0:
-            regions.insert(0, (0, regions[0][0] if regions else
-                               len(program.items), "<entry>"))
+            regions.append((start, end,
+                            "/".join(names_by_index[start])))
         total = self.total_cycles or 1
         hotspots = []
         for start, end, name in regions:

@@ -1,34 +1,95 @@
-"""Pipeline issue tracing.
+"""Pipeline event tracing.
 
-Records ``(issue_cycle, pc, name)`` per issued item so the interleaving
-of the EIS instructions can be inspected — the executable counterpart
-of the paper's Figure 10 pipeline snippet.
+Records typed span events per issued item so the interleaving of the
+EIS instructions can be inspected — the executable counterpart of the
+paper's Figure 10 pipeline snippet.  Each event is a tuple::
+
+    (cycle, pc, name, duration, kind)
+
+``kind`` is one of :data:`EVENT_KINDS`: ``issue`` (an instruction
+occupying the issue slot), ``stall`` (interlock wait before an issue),
+``mem`` (extra memory cycles charged to an access) and ``dma`` (a
+prefetcher burst in flight).  Beyond the fixed-width :meth:`render`
+listing, traces export as Chrome trace-event JSON
+(:meth:`to_chrome_trace` / :meth:`save_chrome_trace`) loadable in
+``chrome://tracing`` and Perfetto, with one swim lane per event kind.
 """
+
+from ..telemetry.tracer import ChromeTraceBuilder
+
+#: Event kinds in swim-lane display order.
+EVENT_KINDS = ("issue", "stall", "mem", "dma")
+
+_LANES = {kind: index for index, kind in enumerate(EVENT_KINDS)}
+_LANE_NAMES = {
+    "issue": "pipeline issue",
+    "stall": "interlock stalls",
+    "mem": "memory wait",
+    "dma": "dma bursts",
+}
 
 
 class PipelineTracer:
-    """Collects the first *limit* issue events of a run."""
+    """Collects the first *limit* events of a run.
+
+    Events past *limit* are counted in :attr:`dropped` rather than
+    silently vanishing; :meth:`render` and the Chrome export surface
+    the count so a truncated trace is never mistaken for a whole run.
+    """
 
     def __init__(self, limit=200):
         self.limit = limit
         self.events = []
+        self.dropped = 0
 
-    def record(self, cycle, pc, name):
+    # -- recording (called from the processor issue loop) --------------------
+
+    def _append(self, event):
         if len(self.events) < self.limit:
-            self.events.append((cycle, pc, name))
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    def record(self, cycle, pc, name, duration=1):
+        """One instruction occupying the issue slot at *cycle*."""
+        self._append((cycle, pc, name, duration, "issue"))
+
+    def stall(self, cycle, pc, duration):
+        """Interlock wait of *duration* cycles before the issue."""
+        self._append((cycle, pc, "interlock", duration, "stall"))
+
+    def memory(self, cycle, pc, name, duration):
+        """Extra memory cycles charged to the access at *pc*."""
+        self._append((cycle, pc, name, duration, "mem"))
+
+    def dma(self, cycle, name, duration):
+        """A prefetcher burst occupying the network."""
+        self._append((cycle, -1, name, duration, "dma"))
+
+    # -- analysis ------------------------------------------------------------
+
+    def issue_events(self):
+        return [event for event in self.events if event[4] == "issue"]
 
     def render(self, start=0, count=40):
         """Format events as a cycle-annotated listing."""
-        lines = ["%8s %6s  %s" % ("cycle", "pc", "instruction")]
-        for cycle, pc, name in self.events[start:start + count]:
-            lines.append("%8d %6d  %s" % (cycle, pc, name))
+        lines = ["%8s %6s %5s  %s" % ("cycle", "pc", "kind", "instruction")]
+        for cycle, pc, name, duration, kind in \
+                self.events[start:start + count]:
+            where = "%6d" % pc if pc >= 0 else "     -"
+            suffix = " (+%d)" % duration if duration > 1 else ""
+            lines.append("%8d %s %5s  %s%s" % (cycle, where, kind, name,
+                                               suffix))
+        if self.dropped:
+            lines.append("... %d events dropped past limit=%d"
+                         % (self.dropped, self.limit))
         return "\n".join(lines)
 
     def issue_gaps(self):
         """Cycle distance between consecutive issues (stall analysis)."""
+        issues = self.issue_events()
         gaps = []
-        for (c0, _p0, _n0), (c1, _p1, _n1) in zip(self.events,
-                                                  self.events[1:]):
+        for (c0, *_rest0), (c1, *_rest1) in zip(issues, issues[1:]):
             gaps.append(c1 - c0)
         return gaps
 
@@ -39,8 +100,33 @@ class PipelineTracer:
         intersection core loop reaches the paper's ~2 cycles per
         iteration once unrolled (Section 4).
         """
-        marks = [cycle for cycle, _pc, name in self.events
-                 if name == marker]
+        marks = [cycle for cycle, _pc, name, _dur, kind in self.events
+                 if kind == "issue" and name == marker]
         if len(marks) < 2:
             return None
         return (marks[-1] - marks[0]) / (len(marks) - 1)
+
+    # -- Chrome trace-event export -------------------------------------------
+
+    def to_chrome_trace(self):
+        """The run as a Chrome trace-event object (1 cycle = 1 us)."""
+        builder = ChromeTraceBuilder()
+        for kind in EVENT_KINDS:
+            builder.thread(_LANES[kind], _LANE_NAMES[kind],
+                           sort_index=_LANES[kind])
+        for cycle, pc, name, duration, kind in self.events:
+            args = {"pc": pc} if pc >= 0 else None
+            builder.complete(_LANES[kind], name, cycle, duration,
+                             category=kind, args=args)
+        if self.dropped:
+            builder.instant(_LANES["issue"],
+                            "%d events dropped" % self.dropped,
+                            self.events[-1][0] if self.events else 0)
+        return builder.to_dict()
+
+    def save_chrome_trace(self, path):
+        """Write the Chrome trace JSON for Perfetto / chrome://tracing."""
+        import json
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+        return path

@@ -2,6 +2,8 @@
 
 Without arguments, every experiment runs in paper order.  ``--quick``
 shrinks workload sizes (same shapes, faster turnaround).
+``--artifacts DIR`` additionally writes each result as a JSON artifact
+next to its printed text table (see :mod:`repro.experiments.base`).
 """
 
 import sys
@@ -14,6 +16,14 @@ def main(argv=None):
     quick = "--quick" in argv
     if quick:
         argv.remove("--quick")
+    artifacts = None
+    if "--artifacts" in argv:
+        position = argv.index("--artifacts")
+        if position + 1 >= len(argv):
+            print("--artifacts requires a directory argument")
+            return 2
+        artifacts = argv[position + 1]
+        del argv[position:position + 2]
     names = argv or ["table2", "table3", "table4", "table5", "table6",
                      "figure13", "prefetch", "energy", "iso_area",
                      "compression"]
@@ -33,6 +43,8 @@ def main(argv=None):
         else:
             result = runner()
         print(result.format())
+        if artifacts:
+            print("artifact: %s" % result.save(artifacts))
         print()
     return 0
 

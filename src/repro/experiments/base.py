@@ -3,8 +3,18 @@
 Every experiment module exposes ``run(...)`` returning an
 :class:`ExperimentResult` whose rows mirror the corresponding paper
 table/figure, together with the paper's reference values so reports and
-tests can compare shape.
+tests can compare shape.  Beyond the fixed-width text rendering,
+results serialize to JSON artifacts (``repro experiments --artifacts
+DIR``) so downstream tooling can diff regenerated numbers across PRs
+without scraping tables.
 """
+
+import json
+import os
+import re
+
+#: Schema tag embedded in serialized experiment artifacts.
+EXPERIMENT_SCHEMA = "repro.experiment/v1"
 
 
 class ExperimentResult:
@@ -51,6 +61,32 @@ class ExperimentResult:
         for note in self.notes:
             lines.append("note: %s" % note)
         return "\n".join(lines)
+
+    # -- machine-readable artifacts ------------------------------------------
+
+    def to_dict(self):
+        return {
+            "schema": EXPERIMENT_SCHEMA,
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, directory):
+        """Write ``<experiment_id>.json`` into *directory*; return path."""
+        os.makedirs(directory, exist_ok=True)
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_",
+                      self.experiment_id).strip("_").lower()
+        path = os.path.join(directory, "%s.json" % slug)
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
 
     def __repr__(self):
         return "<ExperimentResult %s: %d rows>" % (self.experiment_id,

@@ -1,0 +1,41 @@
+"""Unified observability layer for the simulator stack.
+
+The paper's methodology is built on observing the simulated core:
+cycle-accurate profiling is step 1 of the Figure 4 tool flow and every
+number in Section 5 is a counter read off the instruction-set
+simulator.  This package is the one place those observations live:
+
+:mod:`repro.telemetry.registry`
+    Named, hierarchically-scoped counters/gauges/histograms
+    (``cpu.dcache.hits``, ``lsu.0.stall_cycles``, ``dma.descriptors``)
+    with a single snapshot/reset/diff API.  Simulator components own
+    their instruments (plain attribute increments on the hot path) and
+    register them into the :class:`MetricsRegistry` of the processor
+    that hosts them.
+
+:mod:`repro.telemetry.tracer`
+    Chrome trace-event JSON construction (``chrome://tracing`` /
+    Perfetto loadable) used by :class:`repro.cpu.trace.PipelineTracer`
+    to make the Figure 10 pipeline interleaving visually inspectable.
+
+:mod:`repro.telemetry.report`
+    Structured run reports: :class:`RunStats` (the dict-compatible
+    view behind ``RunResult.stats``) and :class:`RunReport`, the JSON
+    artifact emitted by ``repro run --json`` and the experiment and
+    benchmark harnesses.
+
+This package is dependency-free (it never imports :mod:`repro.cpu`) so
+every simulator layer can use it without cycles.
+"""
+
+from .registry import (BoundCounter, Counter, Gauge, Histogram,
+                       MetricsRegistry, MetricsScope, MetricsSnapshot)
+from .report import RunReport, RunStats
+from .tracer import ChromeTraceBuilder, write_chrome_trace
+
+__all__ = [
+    "BoundCounter", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "MetricsScope", "MetricsSnapshot",
+    "RunReport", "RunStats",
+    "ChromeTraceBuilder", "write_chrome_trace",
+]

@@ -1,0 +1,332 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+Design constraints, in order:
+
+1. The simulator's hot loops bump counters on every instruction, so an
+   increment must stay a plain attribute write.  Hot components keep
+   plain integer attributes (``self.loads += 1``) and register
+   :class:`BoundCounter` views over them; colder components hold tiny
+   ``__slots__`` instruments directly.  Either way the registry only
+   indexes instruments, it never sits on the increment path.
+2. Components must work standalone (unit tests build a bare
+   :class:`~repro.cpu.lsu.LoadStoreUnit` or
+   :class:`~repro.cpu.cache.Cache` with no processor around them), so
+   instruments are created unattached and *registered* later under a
+   hierarchical dotted name (``lsu.0.stall_cycles``).
+3. One snapshot/reset/diff API replaces the per-component
+   ``reset_stats`` conventions and ad-hoc stats dicts.
+"""
+
+
+class Counter:
+    """Monotonic tally.  Hot paths increment ``.value`` directly."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name=""):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount=1):
+        self.value += amount
+
+    def read(self):
+        return self.value
+
+    def reset(self):
+        self.value = 0
+
+    def __repr__(self):
+        return "<Counter %s=%d>" % (self.name or "?", self.value)
+
+
+class BoundCounter:
+    """Counter view over a plain attribute a component owns.
+
+    The hottest simulator loops (LSU ports, memory regions, cache tag
+    lookups) bump their tallies millions of times per run; going
+    through an instrument object there costs a measurable extra
+    attribute hop.  A bound counter leaves the component's hot path as
+    ``self.loads += 1`` on a plain int and gives the registry a
+    read/reset view over it instead.
+    """
+
+    __slots__ = ("name", "owner", "attr")
+    kind = "counter"
+
+    def __init__(self, owner, attr, name=""):
+        self.name = name
+        self.owner = owner
+        self.attr = attr
+
+    @property
+    def value(self):
+        return getattr(self.owner, self.attr)
+
+    def read(self):
+        return getattr(self.owner, self.attr)
+
+    def reset(self):
+        setattr(self.owner, self.attr, 0)
+
+    def __repr__(self):
+        return "<BoundCounter %s=%r>" % (self.name or self.attr,
+                                         self.read())
+
+
+class Gauge:
+    """Point-in-time value (last run's cycles, queue depth, ...)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name=""):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def read(self):
+        return self.value
+
+    def reset(self):
+        self.value = 0
+
+    def __repr__(self):
+        return "<Gauge %s=%r>" % (self.name or "?", self.value)
+
+
+class Histogram:
+    """Streaming summary (count/total/min/max) of observed samples.
+
+    Kept to O(1) state — the simulator observes millions of samples, so
+    storing them is off the table.  ``read()`` returns a summary dict,
+    which is how histogram values appear in snapshots and reports.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name=""):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def read(self):
+        mean = self.total / self.count if self.count else 0.0
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max, "mean": mean}
+
+    def reset(self):
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def __repr__(self):
+        return "<Histogram %s n=%d>" % (self.name or "?", self.count)
+
+
+class MetricsSnapshot:
+    """Immutable name→value mapping taken from a registry.
+
+    Histogram instruments appear as their summary dict; counters and
+    gauges as plain numbers.  Snapshots support ``diff`` against an
+    older snapshot, prefix filtering, and nesting into a tree for
+    JSON reports.
+    """
+
+    def __init__(self, values):
+        self._values = dict(values)
+
+    def __getitem__(self, name):
+        return self._values[name]
+
+    def __contains__(self, name):
+        return name in self._values
+
+    def __iter__(self):
+        return iter(sorted(self._values))
+
+    def __len__(self):
+        return len(self._values)
+
+    def get(self, name, default=None):
+        return self._values.get(name, default)
+
+    def keys(self):
+        return sorted(self._values)
+
+    def items(self):
+        return [(name, self._values[name]) for name in sorted(self._values)]
+
+    def as_dict(self):
+        return dict(self._values)
+
+    def filter(self, prefix):
+        """Snapshot restricted to names under *prefix* (dot-scoped)."""
+        dotted = prefix + "."
+        return MetricsSnapshot({
+            name: value for name, value in self._values.items()
+            if name == prefix or name.startswith(dotted)})
+
+    def diff(self, older):
+        """Numeric deltas ``self - older`` as a new snapshot.
+
+        Names missing from *older* count from zero; non-numeric values
+        (histogram summaries) diff their numeric fields.
+        """
+        deltas = {}
+        for name, value in self._values.items():
+            before = older.get(name, 0) if older is not None else 0
+            if isinstance(value, dict):
+                base = before if isinstance(before, dict) else {}
+                deltas[name] = {
+                    key: (value[key] or 0) - (base.get(key) or 0)
+                    for key in ("count", "total")}
+            else:
+                deltas[name] = value - (before or 0)
+        return MetricsSnapshot(deltas)
+
+    def as_tree(self):
+        """Nest dotted names into a dict-of-dicts (for JSON reports)."""
+        tree = {}
+        for name in sorted(self._values):
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                child = node.setdefault(part, {})
+                if not isinstance(child, dict):
+                    # a leaf and a scope share a name; keep the leaf
+                    # under an empty-string key inside the scope
+                    child = node[part] = {"": child}
+                node = child
+            node[parts[-1]] = self._values[name]
+        return tree
+
+    def format(self, nonzero_only=False):
+        """Fixed-width text listing, one metric per line."""
+        lines = []
+        for name, value in self.items():
+            if nonzero_only and not value:
+                continue
+            if isinstance(value, dict):
+                value = "n=%d total=%s" % (value.get("count", 0),
+                                           value.get("total", 0))
+            lines.append("%-36s %s" % (name, value))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<MetricsSnapshot %d metrics>" % len(self._values)
+
+
+class MetricsRegistry:
+    """Index of instruments under hierarchical dotted names."""
+
+    def __init__(self):
+        self._instruments = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, name, instrument):
+        """Adopt an existing instrument under *name* (unique)."""
+        if name in self._instruments:
+            raise ValueError("metric %r already registered" % name)
+        instrument.name = name
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name):
+        return self.register(name, Counter())
+
+    def gauge(self, name):
+        return self.register(name, Gauge())
+
+    def histogram(self, name):
+        return self.register(name, Histogram())
+
+    def scope(self, prefix):
+        """A view that prepends ``prefix.`` to every name."""
+        return MetricsScope(self, prefix)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name):
+        return self._instruments[name]
+
+    def __contains__(self, name):
+        return name in self._instruments
+
+    def __iter__(self):
+        return iter(sorted(self._instruments))
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def names(self, prefix=None):
+        if prefix is None:
+            return sorted(self._instruments)
+        dotted = prefix + "."
+        return sorted(name for name in self._instruments
+                      if name == prefix or name.startswith(dotted))
+
+    # -- snapshot / reset ----------------------------------------------------
+
+    def snapshot(self, prefix=None):
+        names = self.names(prefix)
+        return MetricsSnapshot({name: self._instruments[name].read()
+                                for name in names})
+
+    def reset(self, prefix=None):
+        for name in self.names(prefix):
+            self._instruments[name].reset()
+
+    def __repr__(self):
+        return "<MetricsRegistry %d instruments>" % len(self._instruments)
+
+
+class MetricsScope:
+    """Prefix-scoped facade over a registry (nestable)."""
+
+    def __init__(self, registry, prefix):
+        self.registry = registry
+        self.prefix = prefix
+
+    def _name(self, name):
+        return "%s.%s" % (self.prefix, name)
+
+    def register(self, name, instrument):
+        return self.registry.register(self._name(name), instrument)
+
+    def counter(self, name):
+        return self.registry.counter(self._name(name))
+
+    def gauge(self, name):
+        return self.registry.gauge(self._name(name))
+
+    def histogram(self, name):
+        return self.registry.histogram(self._name(name))
+
+    def scope(self, prefix):
+        return MetricsScope(self.registry, self._name(prefix))
+
+    def snapshot(self):
+        return self.registry.snapshot(self.prefix)
+
+    def reset(self):
+        self.registry.reset(self.prefix)
+
+    def __repr__(self):
+        return "<MetricsScope %s>" % self.prefix

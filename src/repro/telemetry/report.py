@@ -1,0 +1,194 @@
+"""Structured run statistics and machine-readable run reports.
+
+:class:`RunStats` is what ``RunResult.stats`` now returns: a real dict
+carrying the legacy flat keys every existing consumer indexes
+(``stats["lsu_loads"]``, ``stats["dcache_hits"]``), plus the full
+hierarchical registry snapshot behind a ``.snapshot`` attribute and a
+``metric()`` accessor for namespaced reads.
+
+:class:`RunReport` is the serialized artifact: workload + config
+identity, raw counters, and the derived metrics the paper reports
+(CPI, Melem/s, stall breakdown, cache hit rates), written as JSON by
+``repro run --json``, ``repro experiments --artifacts`` and the
+benchmark harness.
+"""
+
+import json
+
+#: Schema tag embedded in every serialized report so downstream tooling
+#: can reject artifacts from incompatible versions.
+RUN_REPORT_SCHEMA = "repro.run-report/v1"
+
+
+class RunStats(dict):
+    """Legacy-keyed stats dict backed by a registry snapshot."""
+
+    def __init__(self, legacy=None, snapshot=None):
+        super().__init__(legacy or {})
+        self.snapshot = snapshot
+
+    def metric(self, name, default=0):
+        """Read a namespaced metric (``lsu.0.stall_cycles``)."""
+        if self.snapshot is None:
+            return default
+        return self.snapshot.get(name, default)
+
+    def namespaced(self):
+        """The full hierarchical snapshot as a flat dict."""
+        return self.snapshot.as_dict() if self.snapshot is not None else {}
+
+
+def _stall_breakdown(cycles, stats):
+    """Where the cycles went, in the paper's Section 5 vocabulary."""
+    lsu_stalls = list(stats.get("lsu_stall_cycles", ()))
+    interlock = stats.get("interlock_stalls", 0)
+    total_lsu = sum(lsu_stalls)
+    breakdown = {
+        "interlock_stalls": interlock,
+        "lsu_stall_cycles": lsu_stalls,
+        "lsu_stall_total": total_lsu,
+        "taken_redirects": stats.get("taken_redirects", 0),
+    }
+    if cycles:
+        breakdown["stall_fraction"] = min(
+            1.0, (interlock + total_lsu) / cycles)
+    return breakdown
+
+
+def _cache_rates(stats):
+    """Hit rates per cache; empty dict when the config has none."""
+    caches = {}
+    snapshot = getattr(stats, "snapshot", None)
+    prefixes = ()
+    if snapshot is not None:
+        prefixes = sorted({name.rsplit(".", 1)[0] for name in snapshot
+                           if name.endswith(".hits")})
+    for prefix in prefixes:
+        hits = snapshot.get(prefix + ".hits", 0)
+        misses = snapshot.get(prefix + ".misses", 0)
+        total = hits + misses
+        caches[prefix.split(".")[-1]] = {
+            "hits": hits, "misses": misses,
+            "hit_rate": hits / total if total else 1.0,
+        }
+    if not caches and "dcache_hits" in stats:
+        hits = stats["dcache_hits"]
+        misses = stats["dcache_misses"]
+        total = hits + misses
+        caches["dcache"] = {
+            "hits": hits, "misses": misses,
+            "hit_rate": hits / total if total else 1.0,
+        }
+    return caches
+
+
+class RunReport:
+    """One simulated run, serializable to/from JSON."""
+
+    def __init__(self, workload, config, cycles, instructions,
+                 derived=None, metrics=None, meta=None):
+        self.workload = workload
+        self.config = config
+        self.cycles = cycles
+        self.instructions = instructions
+        self.derived = dict(derived or {})
+        self.metrics = dict(metrics or {})
+        self.meta = dict(meta or {})
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_run(cls, result, workload="", config="", elements=None,
+                 clock_mhz=None, meta=None):
+        """Build a report from a :class:`repro.cpu.RunResult`.
+
+        *elements* and *clock_mhz* enable the paper's throughput metric
+        (Melem/s, Section 5.2); both must be given together.
+        """
+        stats = result.stats if isinstance(result.stats, dict) else {}
+        cycles = result.cycles
+        derived = {
+            "cpi": result.cycles / result.instructions
+            if result.instructions else 0.0,
+            "stalls": _stall_breakdown(cycles, stats),
+            "caches": _cache_rates(stats),
+        }
+        if elements is not None:
+            derived["elements"] = elements
+            if cycles and clock_mhz:
+                derived["throughput_meps"] = \
+                    elements * clock_mhz / cycles
+        if clock_mhz:
+            derived["clock_mhz"] = clock_mhz
+        metrics = stats.namespaced() if isinstance(stats, RunStats) \
+            else dict(stats)
+        return cls(workload, config, result.cycles, result.instructions,
+                   derived, metrics, meta)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "schema": RUN_REPORT_SCHEMA,
+            "workload": self.workload,
+            "config": self.config,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "derived": self.derived,
+            "metrics": self.metrics,
+            "meta": self.meta,
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, payload):
+        schema = payload.get("schema")
+        if schema != RUN_REPORT_SCHEMA:
+            raise ValueError("unsupported report schema %r" % (schema,))
+        return cls(payload.get("workload", ""), payload.get("config", ""),
+                   payload.get("cycles", 0), payload.get("instructions", 0),
+                   payload.get("derived"), payload.get("metrics"),
+                   payload.get("meta"))
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- presentation --------------------------------------------------------
+
+    def summary(self):
+        """Human-readable digest (the ``repro report`` rendering)."""
+        lines = ["%s on %s" % (self.workload or "<run>",
+                               self.config or "<config>")]
+        lines.append("  cycles        %d" % self.cycles)
+        lines.append("  instructions  %d" % self.instructions)
+        lines.append("  CPI           %.3f" % self.derived.get("cpi", 0.0))
+        meps = self.derived.get("throughput_meps")
+        if meps is not None:
+            lines.append("  throughput    %.1f Melem/s" % meps)
+        stalls = self.derived.get("stalls", {})
+        if stalls:
+            lines.append("  interlock     %d stall cycles"
+                         % stalls.get("interlock_stalls", 0))
+            per_lsu = stalls.get("lsu_stall_cycles", [])
+            for index, value in enumerate(per_lsu):
+                lines.append("  lsu.%d         %d stall cycles"
+                             % (index, value))
+        for name, cache in sorted(self.derived.get("caches", {}).items()):
+            lines.append("  %-13s %.1f%% hit rate (%d/%d)" % (
+                name, cache["hit_rate"] * 100, cache["hits"],
+                cache["hits"] + cache["misses"]))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<RunReport %s/%s %d cycles>" % (
+            self.workload, self.config, self.cycles)

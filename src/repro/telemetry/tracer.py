@@ -1,0 +1,125 @@
+"""Chrome trace-event JSON construction.
+
+The trace-event format is the JSON schema understood by
+``chrome://tracing`` and https://ui.perfetto.dev: a ``traceEvents``
+list whose entries carry a phase (``ph``), a timestamp in microseconds
+(``ts``), and process/thread ids that become swim lanes in the viewer.
+The simulator maps **one core cycle to one microsecond**, so the
+viewer's time ruler reads directly in cycles.
+
+Only the tiny subset the simulator needs is implemented:
+
+``X``  complete events (a span with ``ts`` + ``dur``)
+``i``  instant events (a zero-width marker)
+``C``  counter events (stacked-area counter tracks)
+``M``  metadata events (process/thread names, sort order)
+
+See docs/OBSERVABILITY.md for the export workflow.
+"""
+
+import json
+
+
+class ChromeTraceBuilder:
+    """Accumulates trace events and serializes the JSON object form."""
+
+    def __init__(self, process_name="repro simulator", pid=1):
+        self.pid = pid
+        self.events = []
+        self._named_threads = set()
+        self.events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": process_name}})
+
+    def thread(self, tid, name, sort_index=None):
+        """Name a swim lane; idempotent per tid."""
+        if tid in self._named_threads:
+            return
+        self._named_threads.add(tid)
+        self.events.append({
+            "ph": "M", "name": "thread_name", "pid": self.pid, "tid": tid,
+            "args": {"name": name}})
+        if sort_index is not None:
+            self.events.append({
+                "ph": "M", "name": "thread_sort_index", "pid": self.pid,
+                "tid": tid, "args": {"sort_index": sort_index}})
+
+    def complete(self, tid, name, start, duration, category="sim",
+                 args=None):
+        """A span [start, start+duration) in cycles on lane *tid*."""
+        event = {"ph": "X", "name": name, "cat": category,
+                 "ts": start, "dur": max(duration, 1),
+                 "pid": self.pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, tid, name, timestamp, category="sim", args=None):
+        event = {"ph": "i", "name": name, "cat": category,
+                 "ts": timestamp, "s": "t",
+                 "pid": self.pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, name, timestamp, values):
+        """Sample a counter track; *values* maps series name → number."""
+        self.events.append({"ph": "C", "name": name, "ts": timestamp,
+                            "pid": self.pid, "tid": 0,
+                            "args": dict(values)})
+
+    def to_dict(self):
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {"timeUnit": "1 cycle = 1 us"},
+        }
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path, indent=None):
+        with open(path, "w") as handle:
+            handle.write(self.to_json(indent=indent))
+        return path
+
+    def __len__(self):
+        return len(self.events)
+
+    def __repr__(self):
+        return "<ChromeTraceBuilder %d events>" % len(self.events)
+
+
+def write_chrome_trace(path, builder_or_dict, indent=None):
+    """Write a builder (or an already-shaped dict) as a trace file."""
+    if isinstance(builder_or_dict, ChromeTraceBuilder):
+        payload = builder_or_dict.to_dict()
+    else:
+        payload = builder_or_dict
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=indent)
+    return path
+
+
+def validate_chrome_trace(payload):
+    """Sanity-check the trace-event object form; raises ValueError.
+
+    Used by tests and by ``repro report`` when pointed at a trace file:
+    catches schema drift before a user round-trips through Perfetto.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace must be a JSON object with traceEvents")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("X", "i", "C", "M"):
+            raise ValueError("unsupported phase %r" % (phase,))
+        if "name" not in event or "pid" not in event:
+            raise ValueError("event missing name/pid: %r" % (event,))
+        if phase in ("X", "i", "C") and "ts" not in event:
+            raise ValueError("timed event missing ts: %r" % (event,))
+        if phase == "X" and "dur" not in event:
+            raise ValueError("complete event missing dur: %r" % (event,))
+    return payload

@@ -41,7 +41,7 @@ class TestFigure11Schedule:
 
     def test_bundles_alternate(self, traced_run):
         _processor, tracer, _stats = traced_run
-        names = [name for _c, _pc, name in tracer.events[30:90]]
+        names = [event[2] for event in tracer.issue_events()[30:90]]
         sop_positions = [i for i, name in enumerate(names)
                          if name == "{store_sop_int;beqz}"]
         for position in sop_positions[:-1]:

@@ -56,6 +56,62 @@ class TestProfiler:
         assert result.cycles == expected
 
 
+ENTRYLESS_SOURCE = """
+  movi a2, 3
+loop:
+  addi a2, a2, -1
+  bnez a2, loop
+  halt
+"""
+
+ALIASED_SOURCE = """
+main:
+start:
+  movi a2, 2
+loop:
+  addi a2, a2, -1
+  bnez a2, loop
+  halt
+"""
+
+
+class TestHotspotRegions:
+    def test_entry_region_when_first_label_past_zero(self):
+        processor = make_processor()
+        program = processor.load_program(ENTRYLESS_SOURCE)
+        profiler = CycleProfiler()
+        processor.run_profiled(profiler, entry=0)
+        hotspots = profiler.hotspots(program)
+        regions = {hotspot.region: hotspot for hotspot in hotspots}
+        assert "<entry>" in regions
+        assert regions["<entry>"].start == 0
+        assert regions["<entry>"].visits == 1  # the movi before 'loop'
+        assert "loop" in regions
+        assert sum(h.cycles for h in hotspots) == profiler.total_cycles
+
+    def test_no_labels_at_all(self):
+        processor = make_processor()
+        program = processor.load_program("  movi a2, 1\n  halt\n")
+        profiler = CycleProfiler()
+        processor.run_profiled(profiler, entry=0)
+        hotspots = profiler.hotspots(program)
+        assert len(hotspots) == 1
+        assert hotspots[0].region == "<entry>"
+        assert hotspots[0].end == len(program.items)
+
+    def test_aliased_labels_merged(self):
+        processor = make_processor()
+        program = processor.load_program(ALIASED_SOURCE)
+        profiler = CycleProfiler()
+        processor.run_profiled(profiler, entry="main")
+        hotspots = profiler.hotspots(program)
+        regions = [hotspot.region for hotspot in hotspots]
+        assert "main/start" in regions
+        # no zero-length ghost region for the dropped alias
+        assert "main" not in regions and "start" not in regions
+        assert sum(h.cycles for h in hotspots) == profiler.total_cycles
+
+
 class TestTracer:
     def test_events_recorded_in_issue_order(self):
         processor = make_processor()

@@ -1,0 +1,154 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.telemetry.registry import (BoundCounter, Counter, Gauge,
+                                      Histogram, MetricsRegistry)
+
+
+class TestInstruments:
+    def test_bound_counter_views_owner_attribute(self):
+        class Component:
+            def __init__(self):
+                self.loads = 0
+
+        component = Component()
+        bound = BoundCounter(component, "loads")
+        component.loads += 5
+        assert bound.read() == 5
+        assert bound.value == 5
+        bound.reset()
+        assert component.loads == 0
+
+    def test_bound_counter_in_registry(self):
+        class Component:
+            def __init__(self):
+                self.hits = 0
+
+        component = Component()
+        registry = MetricsRegistry()
+        registry.register("cache.hits", BoundCounter(component, "hits"))
+        component.hits += 2
+        assert registry.snapshot()["cache.hits"] == 2
+        registry.reset()
+        assert component.hits == 0
+
+    def test_counter(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(4)
+        counter.value += 2
+        assert counter.read() == 7
+        counter.reset()
+        assert counter.read() == 0
+
+    def test_gauge(self):
+        gauge = Gauge("g")
+        gauge.set(42)
+        assert gauge.read() == 42
+        gauge.reset()
+        assert gauge.read() == 0
+
+    def test_histogram_summary(self):
+        histogram = Histogram("h")
+        for value in (4, 16, 10):
+            histogram.observe(value)
+        summary = histogram.read()
+        assert summary["count"] == 3
+        assert summary["total"] == 30
+        assert summary["min"] == 4
+        assert summary["max"] == 16
+        assert summary["mean"] == pytest.approx(10.0)
+        histogram.reset()
+        assert histogram.read()["count"] == 0
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cpu.dcache.hits")
+        assert registry.get("cpu.dcache.hits") is counter
+        assert "cpu.dcache.hits" in registry
+        assert counter.name == "cpu.dcache.hits"
+
+    def test_duplicate_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("lsu.0.loads")
+        with pytest.raises(ValueError):
+            registry.counter("lsu.0.loads")
+
+    def test_adopt_existing_instrument(self):
+        registry = MetricsRegistry()
+        counter = Counter()
+        registry.register("dma.descriptors", counter)
+        counter.value += 3
+        assert registry.snapshot()["dma.descriptors"] == 3
+
+    def test_names_prefix_scoping(self):
+        registry = MetricsRegistry()
+        for name in ("lsu.0.loads", "lsu.0.stores", "lsu.1.loads",
+                     "cpu.run.cycles"):
+            registry.counter(name)
+        assert registry.names("lsu.0") == ["lsu.0.loads", "lsu.0.stores"]
+        # prefix matching is dot-scoped, not substring
+        assert registry.names("lsu") == ["lsu.0.loads", "lsu.0.stores",
+                                         "lsu.1.loads"]
+
+    def test_scope_facade(self):
+        registry = MetricsRegistry()
+        scope = registry.scope("cpu").scope("dcache")
+        hits = scope.counter("hits")
+        hits.add(5)
+        assert registry.snapshot()["cpu.dcache.hits"] == 5
+        scope.reset()
+        assert registry.snapshot()["cpu.dcache.hits"] == 0
+
+
+class TestSnapshot:
+    def build(self):
+        registry = MetricsRegistry()
+        loads = registry.counter("lsu.0.loads")
+        cycles = registry.gauge("cpu.run.cycles")
+        burst = registry.histogram("noc.burst_bytes")
+        loads.add(10)
+        cycles.set(100)
+        burst.observe(64)
+        return registry
+
+    def test_snapshot_reset_roundtrip(self):
+        registry = self.build()
+        snap = registry.snapshot()
+        assert snap["lsu.0.loads"] == 10
+        assert snap["cpu.run.cycles"] == 100
+        assert snap["noc.burst_bytes"]["count"] == 1
+        registry.reset()
+        fresh = registry.snapshot()
+        assert fresh["lsu.0.loads"] == 0
+        assert fresh["cpu.run.cycles"] == 0
+        assert fresh["noc.burst_bytes"]["count"] == 0
+        # snapshots are detached from later mutation
+        assert snap["lsu.0.loads"] == 10
+
+    def test_diff(self):
+        registry = self.build()
+        before = registry.snapshot()
+        registry.get("lsu.0.loads").add(5)
+        registry.get("noc.burst_bytes").observe(128)
+        delta = registry.snapshot().diff(before)
+        assert delta["lsu.0.loads"] == 5
+        assert delta["cpu.run.cycles"] == 0
+        assert delta["noc.burst_bytes"]["count"] == 1
+        assert delta["noc.burst_bytes"]["total"] == 128
+
+    def test_filter_and_tree(self):
+        snap = self.build().snapshot()
+        lsu_only = snap.filter("lsu.0")
+        assert list(lsu_only) == ["lsu.0.loads"]
+        tree = snap.as_tree()
+        assert tree["lsu"]["0"]["loads"] == 10
+        assert tree["cpu"]["run"]["cycles"] == 100
+
+    def test_format(self):
+        text = self.build().snapshot().format()
+        assert "lsu.0.loads" in text
+        assert "noc.burst_bytes" in text

@@ -1,0 +1,150 @@
+"""Run reports, RunStats compatibility, and the processor registry."""
+
+import json
+
+import pytest
+
+from repro.configs.catalog import build_processor
+from repro.core.kernels import run_set_operation
+from repro.cpu import CacheConfig, CoreConfig, Processor
+from repro.telemetry.report import RunReport, RunStats
+from repro.workloads.sets import generate_set_pair
+
+
+@pytest.fixture(scope="module")
+def intersection_run():
+    processor = build_processor("DBA_2LSU_EIS")
+    set_a, set_b = generate_set_pair(400, selectivity=0.5, seed=7)
+    values, result = run_set_operation(processor, "intersection",
+                                       set_a, set_b)
+    return processor, values, result
+
+
+class TestProcessorRegistry:
+    def test_namespaced_counters_present(self, intersection_run):
+        processor, _values, result = intersection_run
+        snap = result.stats.snapshot
+        assert snap["lsu.0.loads"] == result.stats["lsu_loads"][0]
+        assert snap["lsu.1.loads"] == result.stats["lsu_loads"][1]
+        assert snap["cpu.run.cycles"] == result.cycles
+        assert snap["cpu.run.instructions"] == result.instructions
+        assert "mem.dmem0.reads" in snap
+        assert "mem.main.reads" in snap
+
+    def test_legacy_dict_access_unchanged(self, intersection_run):
+        _processor, _values, result = intersection_run
+        stats = result.stats
+        assert isinstance(stats, dict)
+        assert isinstance(stats["lsu_loads"], list)
+        assert stats["lsu_loads"][0] > 0
+        assert "interlock_stalls" in stats
+        assert stats.metric("lsu.0.loads") == stats["lsu_loads"][0]
+
+    def test_dcache_metrics_registered(self):
+        processor = build_processor("108Mini")
+        assert processor.dcache is None or \
+            "cpu.dcache.hits" in processor.metrics
+        cached = Processor(CoreConfig(
+            "t", dmem0_kb=0, sysmem_kb=64, sysmem_wait_states=3,
+            dcache=CacheConfig("dcache", 1024, 2, 16, miss_penalty=6)))
+        assert "cpu.dcache.hits" in cached.metrics
+        cached.load_program("""
+        main:
+          movi a2, 0
+          l32i a3, a2, 0
+          l32i a4, a2, 0
+          halt
+        """)
+        result = cached.run(entry="main")
+        assert result.stats["dcache_hits"] == 1
+        assert result.stats.snapshot["cpu.dcache.hits"] == 1
+        report = result.report(workload="probe", config="t")
+        assert report.derived["caches"]["dcache"]["hits"] == 1
+        assert 0 < report.derived["caches"]["dcache"]["hit_rate"] < 1
+
+    def test_dma_and_noc_registered_on_attach(self):
+        processor = build_processor("DBA_1LSU_EIS", prefetcher=True)
+        assert "dma.descriptors" in processor.metrics
+        assert "noc.bytes_moved" in processor.metrics
+        assert "noc.burst_bytes" in processor.metrics
+
+    def test_snapshot_diff_across_runs(self, intersection_run):
+        processor = build_processor("DBA_1LSU_EIS")
+        set_a, set_b = generate_set_pair(100, selectivity=0.5, seed=1)
+        run_set_operation(processor, "union", set_a, set_b)
+        before = processor.metrics.snapshot()
+        _values, result = run_set_operation(processor, "union",
+                                            set_a, set_b)
+        delta = processor.metrics.snapshot().diff(before)
+        # run() resets stats, so the delta of a repeated run is zero
+        assert delta["lsu.0.loads"] == 0
+        assert result.stats.snapshot["lsu.0.loads"] > 0
+
+    def test_reset_stats_zeroes_registry_view(self):
+        processor = build_processor("DBA_1LSU_EIS")
+        set_a, set_b = generate_set_pair(50, selectivity=0.5, seed=2)
+        run_set_operation(processor, "difference", set_a, set_b)
+        processor.reset_stats()
+        snap = processor.metrics.snapshot()
+        assert snap["lsu.0.loads"] == 0
+        assert snap["cpu.run.cycles"] == 0
+        assert snap["mem.dmem0.reads"] == 0
+
+
+class TestRunReport:
+    def test_from_run_derived_metrics(self, intersection_run):
+        _processor, values, result = intersection_run
+        report = RunReport.from_run(result, workload="intersection",
+                                    config="DBA_2LSU_EIS", elements=800,
+                                    clock_mhz=400.0)
+        assert report.cycles == result.cycles
+        assert report.derived["cpi"] == pytest.approx(result.cpi())
+        assert report.derived["throughput_meps"] == pytest.approx(
+            result.throughput_meps(800, 400.0))
+        stalls = report.derived["stalls"]
+        assert len(stalls["lsu_stall_cycles"]) == 2
+        assert "caches" in report.derived
+
+    def test_json_roundtrip(self, intersection_run, tmp_path):
+        _processor, _values, result = intersection_run
+        report = RunReport.from_run(result, workload="intersection",
+                                    config="DBA_2LSU_EIS")
+        path = tmp_path / "run.json"
+        report.save(str(path))
+        loaded = RunReport.load(str(path))
+        assert loaded.cycles == report.cycles
+        assert loaded.derived == report.derived
+        assert loaded.metrics == report.metrics
+        assert loaded.workload == "intersection"
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope/v9"}))
+        with pytest.raises(ValueError):
+            RunReport.load(str(path))
+
+    def test_summary_renders(self, intersection_run):
+        _processor, _values, result = intersection_run
+        report = RunReport.from_run(result, workload="intersection",
+                                    config="DBA_2LSU_EIS", elements=800,
+                                    clock_mhz=400.0)
+        text = report.summary()
+        assert "intersection" in text
+        assert "CPI" in text
+        assert "lsu.0" in text
+
+    def test_plain_dict_stats_tolerated(self):
+        from repro.cpu.processor import RunResult
+        result = RunResult(10, 5, [0] * 16, {"interlock_stalls": 2})
+        report = RunReport.from_run(result)
+        assert report.derived["cpi"] == 2.0
+        assert report.derived["stalls"]["interlock_stalls"] == 2
+        assert report.derived["caches"] == {}
+
+
+class TestRunStats:
+    def test_empty_runstats(self):
+        stats = RunStats()
+        assert stats == {}
+        assert stats.metric("lsu.0.loads", default=7) == 7
+        assert stats.namespaced() == {}

@@ -1,0 +1,141 @@
+"""Chrome trace-event export: builder schema and PipelineTracer wiring."""
+
+import json
+
+import pytest
+
+from repro.cpu import CoreConfig, PipelineTracer, Processor
+from repro.telemetry.tracer import (ChromeTraceBuilder,
+                                    validate_chrome_trace,
+                                    write_chrome_trace)
+
+
+class TestChromeTraceBuilder:
+    def test_shape(self):
+        builder = ChromeTraceBuilder()
+        builder.thread(0, "pipeline issue", sort_index=0)
+        builder.complete(0, "addi", 10, 2, category="issue",
+                         args={"pc": 3})
+        builder.instant(0, "marker", 12)
+        builder.counter("occupancy", 10, {"busy": 1})
+        payload = builder.to_dict()
+        assert isinstance(payload["traceEvents"], list)
+        validate_chrome_trace(payload)
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert complete[0]["ts"] == 10
+        assert complete[0]["dur"] == 2
+        assert complete[0]["args"] == {"pc": 3}
+
+    def test_zero_duration_clamped(self):
+        builder = ChromeTraceBuilder()
+        builder.complete(0, "nop", 5, 0)
+        event = [e for e in builder.events if e["ph"] == "X"][0]
+        assert event["dur"] == 1
+
+    def test_thread_metadata_idempotent(self):
+        builder = ChromeTraceBuilder()
+        builder.thread(1, "dma")
+        builder.thread(1, "dma")
+        names = [e for e in builder.events if e["name"] == "thread_name"]
+        assert len(names) == 1
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "Z"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "a", "pid": 1,
+                                  "ts": 0}]})  # missing dur
+
+    def test_write_roundtrip(self, tmp_path):
+        builder = ChromeTraceBuilder()
+        builder.complete(0, "op", 0, 1)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), builder)
+        validate_chrome_trace(json.loads(path.read_text()))
+
+
+SOURCE = """
+main:
+  movi a2, 5
+loop:
+  addi a2, a2, -1
+  bnez a2, loop
+  halt
+"""
+
+
+def traced_processor(limit=200):
+    processor = Processor(CoreConfig("t", dmem0_kb=16, sim_headroom_kb=0))
+    processor.load_program(SOURCE)
+    tracer = PipelineTracer(limit=limit)
+    processor.run(entry="main", trace=tracer)
+    return processor, tracer
+
+
+class TestPipelineTracerExport:
+    def test_dropped_events_counted_and_rendered(self):
+        _processor, tracer = traced_processor(limit=3)
+        assert len(tracer.events) == 3
+        assert tracer.dropped > 0
+        text = tracer.render()
+        assert "dropped" in text
+        assert str(tracer.dropped) in text
+
+    def test_no_drop_no_banner(self):
+        _processor, tracer = traced_processor()
+        assert tracer.dropped == 0
+        assert "dropped" not in tracer.render()
+
+    def test_chrome_trace_valid_and_complete(self):
+        _processor, tracer = traced_processor()
+        payload = tracer.to_chrome_trace()
+        validate_chrome_trace(payload)
+        issues = [e for e in payload["traceEvents"]
+                  if e["ph"] == "X" and e["cat"] == "issue"]
+        assert len(issues) == len(tracer.issue_events())
+        assert issues[0]["name"] == "movi"
+        assert issues[0]["args"]["pc"] == 0
+        lanes = [e["args"]["name"] for e in payload["traceEvents"]
+                 if e.get("name") == "thread_name"]
+        assert "pipeline issue" in lanes
+        assert "dma bursts" in lanes
+
+    def test_save_chrome_trace(self, tmp_path):
+        _processor, tracer = traced_processor()
+        path = tmp_path / "t.json"
+        tracer.save_chrome_trace(str(path))
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_trace_handle_cleared_after_run(self):
+        processor, _tracer = traced_processor()
+        assert processor.trace is None
+
+    def test_dma_spans_recorded(self):
+        from repro.configs.catalog import build_processor
+        from repro.cpu.memory import MAIN_BASE
+        processor = build_processor("DBA_1LSU_EIS", prefetcher=True)
+        processor.write_words(MAIN_BASE, [1, 2, 3, 4])
+        source = """
+        main:
+          li a2, 0x80000000
+          wur a2, DMA_SRC
+          movi a3, 0x400
+          wur a3, DMA_DST
+          movi a4, 16
+          wur a4, DMA_LEN
+          movi a5, 1
+          wur a5, DMA_CTRL
+          halt
+        """
+        processor.load_program(source)
+        tracer = PipelineTracer()
+        processor.run(entry="main", trace=tracer)
+        dma_events = [e for e in tracer.events if e[4] == "dma"]
+        assert len(dma_events) == 1
+        assert dma_events[0][3] > 0  # burst occupies the network
+        payload = tracer.to_chrome_trace()
+        validate_chrome_trace(payload)
+        assert any(e.get("cat") == "dma" for e in payload["traceEvents"])

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -60,6 +62,53 @@ class TestCommands:
         assert main(["disasm", "sort", "--unroll", "1"]) == 0
         out = capsys.readouterr().out
         assert "merge_st" in out
+
+    def test_run_json_report(self, capsys):
+        assert main(["run", "intersection", "--size", "500",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.run-report/v1"
+        assert report["cycles"] > 0
+        assert report["derived"]["cpi"] > 0
+        assert len(report["derived"]["stalls"]["lsu_stall_cycles"]) == 2
+        assert "caches" in report["derived"]
+        assert report["metrics"]["lsu.0.loads"] > 0
+
+    def test_run_trace_out(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert main(["run", "intersection", "--size", "200",
+                     "--trace-out", str(trace_path)]) == 0
+        assert "trace:" in capsys.readouterr().out
+        from repro.telemetry.tracer import validate_chrome_trace
+        payload = json.loads(trace_path.read_text())
+        validate_chrome_trace(payload)
+        assert any(event.get("ph") == "X"
+                   for event in payload["traceEvents"])
+
+    def test_run_report_out_then_report(self, capsys, tmp_path):
+        report_path = tmp_path / "r.json"
+        assert main(["run", "sort", "--size", "200",
+                     "--report-out", str(report_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "CPI" in out
+        assert "sort" in out
+
+    def test_report_rejects_bad_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"schema\": \"other/v1\"}")
+        assert main(["report", str(bad)]) == 1
+
+    def test_experiments_artifacts(self, capsys, tmp_path):
+        assert main(["experiments", "table4", "--artifacts",
+                     str(tmp_path)]) == 0
+        assert "artifact:" in capsys.readouterr().out
+        artifact = tmp_path / "table_4.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro.experiment/v1"
+        assert payload["rows"]
 
     def test_experiments_dispatch(self, capsys):
         assert main(["experiments", "table4"]) == 0
