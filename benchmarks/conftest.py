@@ -50,7 +50,7 @@ def fmax():
 @pytest.fixture(scope="session")
 def processors():
     """Session-shared processor instances for all Table 2 rows."""
-    return {
+    built = {
         ("108Mini", None): build_processor("108Mini"),
         ("DBA_1LSU", None): build_processor("DBA_1LSU"),
         ("DBA_1LSU_EIS", False): build_processor("DBA_1LSU_EIS",
@@ -62,6 +62,27 @@ def processors():
         ("DBA_2LSU_EIS", True): build_processor("DBA_2LSU_EIS",
                                                 partial_load=True),
     }
+    yield built
+    _lint_executed_kernels(built.values())
+
+
+def _lint_executed_kernels(procs):
+    """Warn-only static verification of every kernel the session ran.
+
+    Re-lints the programs accumulated in each processor's kernel cache
+    at teardown so any warning-severity findings surface in the pytest
+    warnings summary without failing the benchmarks.
+    """
+    import warnings
+
+    from repro.analysis import LintWarning, lint_program
+
+    for proc in procs:
+        for key, program in getattr(proc, "_kernel_cache", {}).items():
+            report = lint_program(program, proc)
+            for diagnostic in report.at_least("warning"):
+                warnings.warn("%s: %s" % (key, diagnostic.format()),
+                              LintWarning)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,33 @@
+; intersect.s -- minimal EIS sorted-set intersection (unroll x2).
+;
+; A cut-down version of the Figure 11 kernel emitted by
+; repro.core.kernels.set_operation_kernel, kept small enough to read
+; in one sitting.  Register protocol: a2/a3 = set A begin/end byte
+; addresses, a4/a5 = set B begin/end, a6 = result base.  On halt a2
+; holds the number of result elements.
+;
+; Requires an EIS configuration (the default for file-mode lint):
+;
+;     python -m repro.cli lint examples/asm/intersect.s
+
+main:
+  wur a2, sop_ptr_a
+  wur a3, sop_end_a
+  wur a4, sop_ptr_b
+  wur a5, sop_end_b
+  wur a6, sop_ptr_c
+  sop_init
+  ld_a
+  ld_b
+  ldp_a
+  ldp_b
+loop:
+  { store_sop_int a8 ; beqz a8, drain }
+  { ld_ldp_shuffle }
+  { store_sop_int a8 ; beqz a8, drain }
+  { ld_ldp_shuffle }
+  j loop
+drain:
+  st_flush
+  rur a2, sop_count
+  halt

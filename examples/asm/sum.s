@@ -1,0 +1,20 @@
+; sum.s -- sum a3 32-bit words starting at byte address a2.
+;
+; Register protocol follows the builtin kernels: a2..a7 carry
+; arguments, a8+ are scratch, and the result is returned in a2.
+; Lint-clean by construction:
+;
+;     python -m repro.cli lint examples/asm/sum.s
+
+main:
+  movi a4, 0            ; running total
+loop:
+  beqz a3, done
+  l32i a5, a2, 0
+  add a4, a4, a5
+  addi a2, a2, 4
+  addi a3, a3, -1
+  j loop
+done:
+  mv a2, a4
+  halt

@@ -1,0 +1,44 @@
+"""Static verification and lint for XR32/TIE kernel programs.
+
+The package analyzes *assembled* programs (after label fixup, before or
+after encoding) and TIE extension definitions, reporting typed
+:class:`~repro.analysis.diagnostics.Diagnostic` records instead of
+failing deep inside the encoder or mis-simulating.  See
+``docs/ANALYSIS.md`` for the full diagnostic catalog.
+
+Typical use::
+
+    from repro.analysis import lint_program
+
+    report = lint_program(program, processor)
+    if report.has_errors:
+        raise RuntimeError(report.format())
+"""
+
+from .cfg import ControlFlowGraph, build_cfg, check_structure
+from .dataflow import check_dataflow
+from .diagnostics import SEVERITIES, Diagnostic, DiagnosticReport
+from .hazards import check_hazards
+from .linter import (LintError, LintWarning, lint_extension,
+                     lint_or_raise, lint_processor, lint_program)
+from .memchecks import check_memory
+from .tielint import check_extension
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ControlFlowGraph",
+    "build_cfg",
+    "check_structure",
+    "check_dataflow",
+    "check_hazards",
+    "check_memory",
+    "check_extension",
+    "LintError",
+    "LintWarning",
+    "lint_extension",
+    "lint_or_raise",
+    "lint_processor",
+    "lint_program",
+]

@@ -1,0 +1,205 @@
+"""Control-flow graph over assembled :class:`~repro.isa.assembler.Program`s.
+
+Nodes are instruction-memory word indexes of *issue items*: one node
+per scalar instruction and one node per FLIX bundle (the bundle's tail
+word belongs to its node).  Edges follow the decode-time semantics of
+the simulator: branch targets are absolute word indexes after label
+fixup, unconditional jumps have a single successor, ``jal`` is assumed
+to return (target plus fallthrough), and ``halt``/``ret`` terminate.
+
+The structural checks built on the graph:
+
+* ``CFG001`` — unreachable code (never executed from the entry),
+* ``CFG002`` — execution can fall off the end of the program,
+* ``CFG003`` — a control transfer targets a word that is not the start
+  of an issue item (a bundle tail or out of range).
+"""
+
+from ..isa.assembler import Bundle, BundleTail
+
+#: Timing kinds that transfer control.
+CONTROL_KINDS = ("branch", "jump", "call", "indirect")
+
+
+class Transfer:
+    """One control transfer carried by a node."""
+
+    __slots__ = ("kind", "name", "target", "conditional")
+
+    def __init__(self, kind, name, target, conditional):
+        self.kind = kind
+        self.name = name
+        self.target = target          # absolute word index, None if unknown
+        self.conditional = conditional
+
+    def __repr__(self):
+        return "<Transfer %s -> %r>" % (self.name, self.target)
+
+
+def item_transfers(item):
+    """The control transfers of one program item (0 or more for bundles)."""
+    slots = item.slots if isinstance(item, Bundle) else (item,)
+    transfers = []
+    for slot in slots:
+        spec = slot.spec
+        if spec.kind not in CONTROL_KINDS and spec.kind != "halt":
+            continue
+        if spec.kind == "halt":
+            transfers.append(Transfer("halt", spec.name, None, False))
+        elif spec.kind == "branch":
+            transfers.append(Transfer("branch", spec.name,
+                                      slot.operands[-1], True))
+        elif spec.kind in ("jump", "call"):
+            transfers.append(Transfer(spec.kind, spec.name,
+                                      slot.operands[0], False))
+        else:  # indirect: jalr/ret — target unknown at assembly time
+            transfers.append(Transfer("indirect", spec.name, None, False))
+    return transfers
+
+
+class ControlFlowGraph:
+    """Item-level CFG of one assembled program."""
+
+    def __init__(self, program, entry=0):
+        self.program = program
+        self.entry = entry
+        #: Sorted word indexes of issue items (bundle tails excluded).
+        self.nodes = []
+        #: node -> list of successor nodes.
+        self.succ = {}
+        #: node -> list of predecessor nodes.
+        self.pred = {}
+        #: node -> list of :class:`Transfer`.
+        self.transfers = {}
+        #: Nodes whose fallthrough runs past the last item.
+        self.falls_off = []
+        #: (node, target) pairs whose target is not an item start.
+        self.bad_targets = []
+        #: True when the program contains a register-indirect jump
+        #: (``jalr``) — static reachability is then an underestimate.
+        self.has_indirect_jumps = False
+        self._build()
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self):
+        items = self.program.items
+        size = len(items)
+        starts = set()
+        for index, item in enumerate(items):
+            if not isinstance(item, BundleTail):
+                starts.add(index)
+        self.nodes = sorted(starts)
+        for index in self.nodes:
+            item = items[index]
+            transfers = item_transfers(item)
+            self.transfers[index] = transfers
+            successors = []
+            fallthrough = True
+            for transfer in transfers:
+                if transfer.kind == "halt":
+                    fallthrough = False
+                elif transfer.kind == "indirect":
+                    fallthrough = False
+                    if transfer.name == "jalr":
+                        self.has_indirect_jumps = True
+                elif transfer.kind == "jump" and not transfer.conditional:
+                    fallthrough = False
+                    successors.append(transfer.target)
+                else:  # conditional branch, or call (assumed to return)
+                    successors.append(transfer.target)
+            if fallthrough:
+                nxt = index + item.size
+                if nxt >= size:
+                    self.falls_off.append(index)
+                else:
+                    successors.append(nxt)
+            valid = []
+            for target in successors:
+                if target in starts:
+                    valid.append(target)
+                else:
+                    self.bad_targets.append((index, target))
+            self.succ[index] = valid
+        for index in self.nodes:
+            self.pred.setdefault(index, [])
+        for index, successors in self.succ.items():
+            for target in successors:
+                self.pred[target].append(index)
+
+    # -- queries -------------------------------------------------------------
+
+    def reachable(self):
+        """Set of nodes reachable from the entry."""
+        if self.entry not in self.succ:
+            return set()
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            for target in self.succ[node]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    def item(self, node):
+        return self.program.items[node]
+
+    def __repr__(self):
+        return "<ControlFlowGraph %d node(s), entry=%d>" % (
+            len(self.nodes), self.entry)
+
+
+def build_cfg(program, entry=0):
+    """Build the CFG; *entry* is a word index or a label name."""
+    if isinstance(entry, str):
+        entry = program.label(entry)
+    return ControlFlowGraph(program, entry)
+
+
+def check_structure(cfg, report):
+    """Run the structural checks (CFG001..CFG003) into *report*."""
+    program = cfg.program
+    source = program.source_name
+
+    for node, target in cfg.bad_targets:
+        item = cfg.item(node)
+        report.add("CFG003", "error",
+                   "control transfer at word %d targets word %r, which "
+                   "is not the start of an instruction" % (node, target),
+                   source, getattr(item, "line_number", None), node)
+
+    for node in cfg.falls_off:
+        item = cfg.item(node)
+        report.add("CFG002", "error",
+                   "execution can fall off the end of the program after "
+                   "word %d (missing halt or jump)" % node,
+                   source, getattr(item, "line_number", None), node)
+
+    if not cfg.has_indirect_jumps:
+        reachable = cfg.reachable()
+        dead_runs = _group_runs([n for n in cfg.nodes
+                                 if n not in reachable])
+        label_at = {index: name for name, index in program.labels.items()}
+        for first, last, count in dead_runs:
+            where = label_at.get(first)
+            suffix = " (label %r)" % where if where else ""
+            item = cfg.item(first)
+            report.add("CFG001", "warning",
+                       "unreachable code: %d item(s) starting at word %d%s"
+                       % (count, first, suffix),
+                       source, getattr(item, "line_number", None), first)
+    return report
+
+
+def _group_runs(nodes):
+    """Group sorted word indexes into (first, last, count) runs."""
+    runs = []
+    for node in nodes:
+        if runs and node <= runs[-1][1] + 2:
+            first, _last, count = runs[-1]
+            runs[-1] = (first, node, count + 1)
+        else:
+            runs.append((node, node, 1))
+    return runs

@@ -1,0 +1,217 @@
+"""Dataflow passes over the program CFG: liveness and definedness.
+
+Register semantics follow the simulator: slots of a FLIX bundle execute
+in issue order within the node, so a later slot reads the values an
+earlier slot produced (the fused-datapath convention of the paper's EIS
+bundles).
+
+Checks:
+
+* ``DF001`` — a general-purpose register may be read before any write
+  reaches it.  Registers ``a0``..``a7`` are assumed live-in at the
+  entry (return address, stack pointer and the ``a2``..``a7`` argument
+  registers of the kernel calling convention); the set is overridable
+  via ``entry_live``.
+* ``DF002`` — dead store: a register write that no path ever reads
+  before the value is overwritten.  All registers count as live at
+  program exits (the host reads results out of the register file), so
+  result-protocol writes are never flagged.
+* ``DF003`` — a TIE state is read by the program but no reachable
+  instruction (``wur`` or an operation writing it) ever writes it.
+"""
+
+from ..cpu.pipeline import register_uses
+from ..isa.assembler import Bundle
+from ..isa.registers import NUM_ADDRESS_REGISTERS, register_name
+
+#: Registers assumed initialized at the entry point by default: the
+#: link register / stack pointer plus the a2..a7 argument registers.
+DEFAULT_ENTRY_LIVE = frozenset(range(8))
+
+#: Timing kinds whose register result being unused is a real dead store
+#: (pure value producers without architectural side effects).
+_PURE_KINDS = ("alu", "load", "mul", "div")
+
+
+def node_slots(item):
+    """The issue slots of a node, in execution order."""
+    return item.slots if isinstance(item, Bundle) else (item,)
+
+
+def slot_register_uses(item):
+    """Per-slot ``(spec, reads, writes)`` tuples for one node."""
+    uses = []
+    for slot in node_slots(item):
+        reads, writes = register_uses(slot.spec, slot.operands)
+        uses.append((slot.spec, tuple(reads), tuple(writes)))
+    return uses
+
+
+def check_dataflow(cfg, report, entry_live=None, processor=None):
+    """Run DF001/DF002/DF003 into *report*."""
+    entry_live = frozenset(DEFAULT_ENTRY_LIVE if entry_live is None
+                           else entry_live)
+    uses = {node: slot_register_uses(cfg.item(node)) for node in cfg.nodes}
+    reachable = cfg.reachable()
+    _check_use_before_def(cfg, report, uses, entry_live, reachable)
+    _check_dead_stores(cfg, report, uses)
+    if processor is not None:
+        _check_state_uses(cfg, report, processor, reachable)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# DF001: maybe-read-before-write (forward, meet = intersection)
+# ---------------------------------------------------------------------------
+
+def _check_use_before_def(cfg, report, uses, entry_live, reachable):
+    defined_in = {}
+    worklist = [cfg.entry]
+    defined_in[cfg.entry] = frozenset(entry_live)
+    order = {node: i for i, node in enumerate(cfg.nodes)}
+    while worklist:
+        node = worklist.pop(0)
+        defined = set(defined_in[node])
+        for _spec, reads, writes in uses[node]:
+            defined.update(writes)
+        out = frozenset(defined)
+        for succ in cfg.succ[node]:
+            current = defined_in.get(succ)
+            if current is None:
+                defined_in[succ] = out
+                worklist.append(succ)
+            else:
+                merged = current & out
+                if merged != current:
+                    defined_in[succ] = merged
+                    worklist.append(succ)
+    seen = set()
+    for node in sorted(reachable, key=lambda n: order[n]):
+        defined = set(defined_in.get(node, frozenset()))
+        for spec, reads, writes in uses[node]:
+            for reg in reads:
+                if reg not in defined and (node, reg) not in seen:
+                    seen.add((node, reg))
+                    item = cfg.item(node)
+                    report.add(
+                        "DF001", "warning",
+                        "%s reads %s, which may be uninitialized here"
+                        % (spec.name, register_name(reg)),
+                        cfg.program.source_name,
+                        getattr(item, "line_number", None), node)
+            defined.update(writes)
+
+
+# ---------------------------------------------------------------------------
+# DF002: dead stores (backward liveness)
+# ---------------------------------------------------------------------------
+
+def _gen_kill(slot_uses):
+    gen = set()
+    kill = set()
+    for _spec, reads, writes in slot_uses:
+        gen.update(r for r in reads if r not in kill)
+        kill.update(writes)
+    return gen, kill
+
+def _check_dead_stores(cfg, report, uses):
+    all_regs = frozenset(range(NUM_ADDRESS_REGISTERS))
+    gen_kill = {node: _gen_kill(uses[node]) for node in cfg.nodes}
+    live_in = {node: frozenset() for node in cfg.nodes}
+    worklist = list(cfg.nodes)
+    while worklist:
+        node = worklist.pop()
+        live_out = set()
+        successors = cfg.succ[node]
+        if successors:
+            for succ in successors:
+                live_out |= live_in[succ]
+        else:
+            live_out = set(all_regs)
+        gen, kill = gen_kill[node]
+        new_in = frozenset(gen | (live_out - kill))
+        if new_in != live_in[node]:
+            live_in[node] = new_in
+            worklist.extend(cfg.pred[node])
+    for node in cfg.nodes:
+        successors = cfg.succ[node]
+        live = set()
+        if successors:
+            for succ in successors:
+                live |= live_in[succ]
+        else:
+            live = set(all_regs)
+        for spec, reads, writes in reversed(uses[node]):
+            if spec.kind in _PURE_KINDS:
+                for reg in writes:
+                    if reg not in live:
+                        item = cfg.item(node)
+                        report.add(
+                            "DF002", "warning",
+                            "dead store: %s writes %s but the value is "
+                            "never read" % (spec.name, register_name(reg)),
+                            cfg.program.source_name,
+                            getattr(item, "line_number", None), node)
+            live.difference_update(writes)
+            live.update(reads)
+
+
+# ---------------------------------------------------------------------------
+# DF003: TIE states read but never written
+# ---------------------------------------------------------------------------
+
+def _operation_map(processor):
+    """Map TIE op name -> (read state names, written state names)."""
+    mapping = {}
+    for extension in getattr(processor, "extensions", ()):
+        for operation in getattr(extension, "operations", ()):
+            reads = set()
+            writes = set()
+            for use in operation.states:
+                if use.direction in ("in", "inout"):
+                    reads.add(use.state.name)
+                if use.direction in ("out", "inout"):
+                    writes.add(use.state.name)
+            mapping[operation.name] = (reads, writes)
+    return mapping
+
+
+def _ur_state_names(processor):
+    """Map user-register index -> state name (rur/wur operand)."""
+    return {index: name
+            for name, index in getattr(processor, "symbols", {}).items()}
+
+
+def _check_state_uses(cfg, report, processor, reachable):
+    op_map = _operation_map(processor)
+    ur_names = _ur_state_names(processor)
+    written = set()
+    reads = []  # (state name, op name, node) in program order
+    for node in sorted(reachable):
+        for slot in node_slots(cfg.item(node)):
+            spec = slot.spec
+            if spec.name == "wur":
+                name = ur_names.get(slot.operands[1])
+                if name is not None:
+                    written.add(name)
+            elif spec.name == "rur":
+                name = ur_names.get(slot.operands[1])
+                if name is not None:
+                    reads.append((name, spec.name, node))
+            elif spec.kind == "tie" and spec.name in op_map:
+                op_reads, op_writes = op_map[spec.name]
+                written.update(op_writes)
+                for name in op_reads:
+                    reads.append((name, spec.name, node))
+    reported = set()
+    for name, op_name, node in reads:
+        if name in written or name in reported:
+            continue
+        reported.add(name)
+        item = cfg.item(node)
+        report.add(
+            "DF003", "warning",
+            "TIE state %r is read (first by %s) but the program never "
+            "writes it" % (name, op_name),
+            cfg.program.source_name,
+            getattr(item, "line_number", None), node)

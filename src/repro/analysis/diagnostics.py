@@ -1,0 +1,139 @@
+"""Typed diagnostics produced by the static program/TIE verifier.
+
+Every checker in :mod:`repro.analysis` reports findings as
+:class:`Diagnostic` objects carrying a stable code (``CFG002``,
+``MEM001``, ...), a severity, a human-readable message and a source
+location (``source_name:line``).  A :class:`DiagnosticReport` collects
+them, orders them by program position and renders them in the familiar
+``file:line: severity: CODE message`` compiler style.
+
+The full catalog of codes lives in ``docs/ANALYSIS.md``.
+"""
+
+#: Severity levels, ordered from least to most severe.
+SEVERITIES = ("info", "warning", "error")
+
+_RANK = {name: index for index, name in enumerate(SEVERITIES)}
+
+
+class Diagnostic:
+    """One finding of the static verifier."""
+
+    __slots__ = ("code", "severity", "message", "source_name", "line",
+                 "word_index")
+
+    def __init__(self, code, severity, message, source_name="<asm>",
+                 line=None, word_index=None):
+        if severity not in _RANK:
+            raise ValueError("unknown severity %r" % (severity,))
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.source_name = source_name
+        self.line = line
+        self.word_index = word_index
+
+    @property
+    def location(self):
+        if self.line is None:
+            return self.source_name
+        return "%s:%d" % (self.source_name, self.line)
+
+    def format(self):
+        return "%s: %s: %s %s" % (self.location, self.severity,
+                                  self.code, self.message)
+
+    def to_dict(self):
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "source": self.source_name,
+            "line": self.line,
+            "word_index": self.word_index,
+        }
+
+    def __repr__(self):
+        return "<Diagnostic %s %s %s>" % (self.code, self.severity,
+                                          self.location)
+
+
+class DiagnosticReport:
+    """An ordered collection of diagnostics for one lint target."""
+
+    def __init__(self, target=""):
+        self.target = target
+        self.diagnostics = []
+
+    def add(self, code, severity, message, source_name="<asm>", line=None,
+            word_index=None):
+        diagnostic = Diagnostic(code, severity, message, source_name,
+                                line, word_index)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other):
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self):
+        return len(self.diagnostics)
+
+    # -- selection -----------------------------------------------------------
+
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def by_code(self, code):
+        return [d for d in self.diagnostics if d.code == code]
+
+    def at_least(self, severity):
+        rank = _RANK[severity]
+        return [d for d in self.diagnostics if _RANK[d.severity] >= rank]
+
+    @property
+    def has_errors(self):
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def counts(self):
+        tally = {name: 0 for name in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            tally[diagnostic.severity] += 1
+        return tally
+
+    # -- rendering -----------------------------------------------------------
+
+    def sorted(self):
+        def key(d):
+            return (d.source_name, d.line if d.line is not None else -1,
+                    -_RANK[d.severity], d.code)
+        return sorted(self.diagnostics, key=key)
+
+    def format(self, min_severity="info"):
+        rank = _RANK[min_severity]
+        lines = [d.format() for d in self.sorted()
+                 if _RANK[d.severity] >= rank]
+        return "\n".join(lines)
+
+    def summary(self):
+        tally = self.counts()
+        return "%s: %d error(s), %d warning(s), %d info" % (
+            self.target or "<lint>", tally["error"], tally["warning"],
+            tally["info"])
+
+    def to_dict(self):
+        return {
+            "target": self.target,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+    def __repr__(self):
+        return "<DiagnosticReport %s: %d finding(s)>" % (
+            self.target or "<lint>", len(self.diagnostics))

@@ -1,0 +1,192 @@
+"""Structural hazard and encodability checks.
+
+These mirror the rules TIE/XCC enforce when scheduling FLIX bundles and
+the constraints of the binary formats, but run statically over the
+assembled program so a mis-scheduled bundle is reported with a source
+location instead of failing deep inside ``Program.encode`` (or being
+silently mis-simulated).
+
+Checks:
+
+* ``HZ001`` — WAW hazard: two slots of one bundle write the same
+  register (the later slot silently wins).
+* ``HZ002`` — intra-bundle RAW: a later slot reads a register an
+  earlier slot writes.  Defined behavior in this model (slots chain
+  like the paper's fused EIS datapaths), reported as info.
+* ``HZ003`` — the bundle's slots do not fit the FLIX format (slot
+  class violation), or the format is unknown to the processor.
+* ``HZ004`` — a branch/jump/immediate field of a bundle slot exceeds
+  the compact 10-bit encoding (±511-word branch range).
+* ``HZ005`` — more than one multi-cycle (``extra_cycles > 0``)
+  operation issued in the same bundle.
+* ``HZ006`` — more than one control-transfer operation in one bundle.
+* ``HZ007`` — the bundle payload exceeds the 48 available bits.
+* ``HZ008`` — a scalar instruction's branch/jump offset or immediate
+  exceeds its 32-bit format field.
+"""
+
+from ..cpu.pipeline import register_uses
+from ..isa.assembler import Bundle, BundleTail
+from ..isa.registers import register_name
+from ..tie.compiler import compact_operand_kinds, field_bits
+from ..tie.flix import OPCODE_BITS, PAYLOAD_BITS
+
+#: Signed field widths of the scalar formats (bits).
+_SCALAR_OFF_BITS = {"B": 16, "BZ": 16, "J": 24}
+
+
+def _fits_signed(value, bits):
+    return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+
+def _fits_unsigned(value, bits):
+    return 0 <= value < (1 << bits)
+
+
+def check_hazards(program, report, flix_formats=()):
+    """Run HZ001..HZ008 over every item of *program*."""
+    known_formats = set(id(f) for f in flix_formats)
+    for index, item in enumerate(program.items):
+        if isinstance(item, BundleTail):
+            continue
+        if isinstance(item, Bundle):
+            _check_bundle(program, report, index, item, known_formats,
+                          bool(flix_formats))
+        else:
+            _check_scalar(program, report, index, item)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# bundle checks
+# ---------------------------------------------------------------------------
+
+def _check_bundle(program, report, index, bundle, known_formats,
+                  have_formats):
+    source = program.source_name
+    line = bundle.line_number
+
+    # HZ003: format membership and slot-class fit.
+    if have_formats and id(bundle.flix_format) not in known_formats:
+        report.add("HZ003", "error",
+                   "bundle uses FLIX format %r, which the processor "
+                   "does not define" % bundle.flix_format.name,
+                   source, line, index)
+    if not bundle.flix_format.accepts(bundle.slots):
+        report.add("HZ003", "error",
+                   "bundle {%s} violates the slot classes of format %r"
+                   % ("; ".join(s.spec.name for s in bundle.slots),
+                      bundle.flix_format.name),
+                   source, line, index)
+
+    # HZ001/HZ002: intra-bundle register hazards.
+    written = {}
+    for slot in bundle.slots:
+        spec = slot.spec
+        reads, writes = register_uses(spec, slot.operands)
+        for reg in reads:
+            if reg in written:
+                report.add(
+                    "HZ002", "info",
+                    "intra-bundle RAW: %s reads %s written by %s in the "
+                    "same bundle (slots chain in issue order)"
+                    % (spec.name, register_name(reg), written[reg]),
+                    source, line, index)
+        for reg in writes:
+            if reg in written:
+                report.add(
+                    "HZ001", "error",
+                    "intra-bundle WAW: %s and %s both write %s"
+                    % (written[reg], spec.name, register_name(reg)),
+                    source, line, index)
+            written[reg] = spec.name
+
+    # HZ005: multi-issue of multi-cycle operations.
+    multi = [s.spec.name for s in bundle.slots if s.spec.extra_cycles > 0]
+    if len(multi) > 1:
+        report.add("HZ005", "warning",
+                   "bundle issues %d multi-cycle operations (%s); the "
+                   "iteration logic is shared"
+                   % (len(multi), ", ".join(multi)),
+                   source, line, index)
+
+    # HZ006: at most one control transfer per bundle.
+    control = [s.spec.name for s in bundle.slots if s.spec.is_control]
+    if len(control) > 1:
+        report.add("HZ006", "error",
+                   "bundle contains %d control transfers (%s)"
+                   % (len(control), ", ".join(control)),
+                   source, line, index)
+
+    # HZ004/HZ007: compact field ranges and payload budget.
+    total_bits = 0
+    for slot in bundle.slots:
+        spec = slot.spec
+        kinds = compact_operand_kinds(spec)
+        total_bits += OPCODE_BITS
+        for kind, value in zip(kinds, slot.operands):
+            width = field_bits(kind)
+            total_bits += width
+            if kind == "off":
+                relative = value - (index + bundle.size)
+                if not _fits_signed(relative, width):
+                    report.add(
+                        "HZ004", "error",
+                        "%s: branch offset %+d words exceeds the "
+                        "+/-%d-word bundle range"
+                        % (spec.name, relative, (1 << (width - 1)) - 1),
+                        source, line, index)
+            elif kind == "imm":
+                if not _fits_signed(value, width):
+                    report.add(
+                        "HZ004", "error",
+                        "%s: immediate %d does not fit the %d-bit "
+                        "bundle field" % (spec.name, value, width),
+                        source, line, index)
+    if total_bits > PAYLOAD_BITS:
+        report.add("HZ007", "error",
+                   "bundle payload needs %d bits, only %d available"
+                   % (total_bits, PAYLOAD_BITS),
+                   source, line, index)
+
+
+# ---------------------------------------------------------------------------
+# scalar checks
+# ---------------------------------------------------------------------------
+
+def _check_scalar(program, report, index, item):
+    spec = item.spec
+    source = program.source_name
+    line = item.line_number
+    if getattr(spec, "operand_kinds", None) is not None:
+        kinds = spec.operand_kinds
+        if "imm" in kinds and spec.fmt in ("I", "IU"):
+            value = item.operands[kinds.index("imm")]
+            if not _fits_signed(value, 16):
+                report.add("HZ008", "error",
+                           "%s: immediate %d does not fit the 16-bit "
+                           "field" % (spec.name, value),
+                           source, line, index)
+        return
+    if spec.fmt in _SCALAR_OFF_BITS:
+        bits = _SCALAR_OFF_BITS[spec.fmt]
+        relative = item.operands[-1] - (index + item.size)
+        if not _fits_signed(relative, bits):
+            report.add("HZ008", "error",
+                       "%s: branch/jump offset %+d words exceeds the "
+                       "%d-bit field" % (spec.name, relative, bits),
+                       source, line, index)
+    elif spec.fmt == "I":
+        value = item.operands[-1]
+        if not _fits_signed(value, 16):
+            report.add("HZ008", "error",
+                       "%s: immediate %d does not fit a signed 16-bit "
+                       "field" % (spec.name, value),
+                       source, line, index)
+    elif spec.fmt == "IU":
+        value = item.operands[-1]
+        if not _fits_unsigned(value, 16):
+            report.add("HZ008", "error",
+                       "%s: immediate %d does not fit an unsigned "
+                       "16-bit field" % (spec.name, value),
+                       source, line, index)

@@ -1,0 +1,95 @@
+"""Entry points tying the individual analysis passes together.
+
+:func:`lint_program` is what kernel builders, tests and the ``repro
+lint`` CLI subcommand call: it builds the CFG once and runs the
+structural, dataflow, hazard and memory checks into a single
+:class:`~repro.analysis.diagnostics.DiagnosticReport`.
+:func:`lint_extension` and :func:`lint_processor` cover the TIE
+definition side.
+"""
+
+import warnings
+
+from .cfg import build_cfg, check_structure
+from .dataflow import check_dataflow
+from .diagnostics import DiagnosticReport
+from .hazards import check_hazards
+from .memchecks import check_memory
+from .tielint import check_extension
+
+
+class LintError(Exception):
+    """A program failed static verification with error diagnostics."""
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(report.format(min_severity="error"))
+
+
+class LintWarning(UserWarning):
+    """Warning category for non-fatal lint findings."""
+
+
+def lint_program(program, processor=None, entry=None, entry_live=None):
+    """Statically analyze one assembled program.
+
+    Parameters
+    ----------
+    program:
+        The :class:`~repro.isa.assembler.Program` to analyze.
+    processor:
+        Optional :class:`~repro.cpu.processor.Processor`.  When given,
+        the FLIX formats, TIE state declarations and the architectural
+        memory map are checked too.
+    entry:
+        Entry point as a word index or label name.  Defaults to the
+        ``main`` label when the program defines one, else word 0.
+    entry_live:
+        Iterable of register indexes assumed initialized at entry
+        (default ``a0``..``a7``).
+    """
+    report = DiagnosticReport()
+    if entry is None:
+        entry = "main" if "main" in program.labels else 0
+    cfg = build_cfg(program, entry)
+    check_structure(cfg, report)
+    check_dataflow(cfg, report, entry_live=entry_live,
+                   processor=processor)
+    flix_formats = getattr(processor, "flix_formats", ())
+    check_hazards(program, report, flix_formats=flix_formats)
+    if processor is not None:
+        check_memory(cfg, report, processor)
+    return report
+
+
+def lint_or_raise(program, processor=None, entry=None, entry_live=None,
+                  warn=True):
+    """Lint and enforce: errors raise :class:`LintError`.
+
+    Warning-severity findings are surfaced through the :mod:`warnings`
+    machinery (category :class:`LintWarning`) so they show up in test
+    runs without failing them.  Returns the report.
+    """
+    report = lint_program(program, processor, entry=entry,
+                          entry_live=entry_live)
+    if report.has_errors:
+        raise LintError(report)
+    if warn:
+        for diagnostic in report.warnings():
+            warnings.warn(diagnostic.format(), LintWarning, stacklevel=2)
+    return report
+
+
+def lint_extension(extension):
+    """Lint one TIE extension definition."""
+    return check_extension(extension)
+
+
+def lint_processor(processor):
+    """Lint every TIE extension attached to *processor*."""
+    report = DiagnosticReport()
+    for extension in getattr(processor, "extensions", ()):
+        # Skip non-TIE attachments (e.g. the DMA prefetcher engine).
+        if hasattr(extension, "operations"):
+            check_extension(extension, report)
+    return report

@@ -1,0 +1,176 @@
+"""Static memory checks: bounds and alignment of resolvable accesses.
+
+A light constant-propagation pass walks the CFG forward, tracking the
+registers whose 32-bit value is statically known (built by ``li`` /
+``movi`` / ``movhi`` and simple arithmetic over known values).  Every
+scalar load/store whose base register is known is then checked against
+the processor's *architectural* memory map
+(:meth:`repro.cpu.config.CoreConfig.architectural_regions`):
+
+* ``MEM001`` — the address maps to no memory region (guaranteed
+  :class:`~repro.cpu.errors.MemoryFault` at run time),
+* ``MEM002`` — the access is misaligned for its size (idem),
+* ``MEM003`` — the address is only covered by the simulator's local
+  store headroom (``sim_headroom_kb``), i.e. it would fault on the real
+  hardware although the simulation accepts it.
+
+Addresses that depend on run-time register arguments stay unknown and
+are skipped — the checker never produces false positives for the
+argument-relative addressing the kernels use.
+"""
+
+from ..cpu.pipeline import register_uses
+from ..isa.assembler import Bundle
+
+M32 = 0xFFFFFFFF
+
+#: Access size in bytes per scalar load/store mnemonic.
+ACCESS_SIZES = {
+    "l32i": 4, "s32i": 4,
+    "l16ui": 2, "l16si": 2, "s16i": 2,
+    "l8ui": 1, "s8i": 1,
+}
+
+
+def _evaluate(spec, operands, values):
+    """Value written by an ALU op when computable, else ``None``.
+
+    Returns ``(reg, value_or_None)`` for value-producing ops, or
+    ``None`` when the op writes no trackable register.
+    """
+    name = spec.name
+    if name == "movi":
+        return operands[0], operands[2] & M32
+    if name == "movhi":
+        return operands[0], (operands[2] & 0xFFFF) << 16
+    if spec.fmt in ("I", "IU") and name in (
+            "addi", "ori", "andi", "xori", "slli", "srli"):
+        rd, rs, imm = operands
+        base = values.get(rs)
+        if base is None:
+            return rd, None
+        if name == "addi":
+            return rd, (base + imm) & M32
+        if name == "ori":
+            return rd, base | (imm & 0xFFFF)
+        if name == "andi":
+            return rd, base & (imm & M32)
+        if name == "xori":
+            return rd, base ^ (imm & 0xFFFF)
+        if name == "slli":
+            return rd, (base << (imm & 31)) & M32
+        return rd, base >> (imm & 31)
+    if spec.fmt == "R" and name in ("add", "sub", "or", "and", "xor"):
+        rd, rs, rt = operands
+        a, b = values.get(rs), values.get(rt)
+        if a is None or b is None:
+            return rd, None
+        if name == "add":
+            return rd, (a + b) & M32
+        if name == "sub":
+            return rd, (a - b) & M32
+        if name == "or":
+            return rd, a | b
+        if name == "and":
+            return rd, a & b
+        return rd, a ^ b
+    return None
+
+
+def check_memory(cfg, report, processor):
+    """Run MEM001..MEM003 over all reachable resolvable accesses."""
+    config = getattr(processor, "config", None)
+    if config is None:
+        return report
+    arch = config.architectural_regions()
+    simulated = [(region.name, region.base, region.size_bytes)
+                 for region in getattr(processor, "memory_map", ())]
+    values_in = {cfg.entry: {}}
+    worklist = [cfg.entry]
+    reported = set()
+    while worklist:
+        node = worklist.pop(0)
+        values = dict(values_in[node])
+        for slot in _slots(cfg.item(node)):
+            _check_access(cfg, report, node, slot, values, arch,
+                          simulated, reported)
+            _transfer(slot, values)
+        for succ in cfg.succ[node]:
+            current = values_in.get(succ)
+            if current is None:
+                values_in[succ] = dict(values)
+                worklist.append(succ)
+            else:
+                merged = {reg: val for reg, val in current.items()
+                          if values.get(reg) == val}
+                if merged != current:
+                    values_in[succ] = merged
+                    worklist.append(succ)
+    return report
+
+
+def _slots(item):
+    return item.slots if isinstance(item, Bundle) else (item,)
+
+
+def _transfer(slot, values):
+    spec = slot.spec
+    result = _evaluate(spec, slot.operands, values)
+    if result is not None:
+        reg, value = result
+        if value is None:
+            values.pop(reg, None)
+        else:
+            values[reg] = value
+        return
+    # Any other register write invalidates what we knew about it.
+    _reads, writes = register_uses(spec, slot.operands)
+    for reg in writes:
+        values.pop(reg, None)
+
+
+def _check_access(cfg, report, node, slot, values, arch, simulated,
+                  reported):
+    spec = slot.spec
+    size = ACCESS_SIZES.get(spec.name)
+    if size is None or spec.kind not in ("load", "store"):
+        return
+    _rd, rs, imm = slot.operands
+    base = values.get(rs)
+    if base is None:
+        return
+    addr = (base + imm) & M32
+    key = (node, spec.name, addr)
+    if key in reported:
+        return
+    reported.add(key)
+    item = cfg.item(node)
+    line = getattr(item, "line_number", None)
+    source = cfg.program.source_name
+    if size > 1 and addr & (size - 1):
+        report.add("MEM002", "error",
+                   "%s at 0x%08x is misaligned for a %d-byte access"
+                   % (spec.name, addr, size),
+                   source, line, node)
+    region = _region_for(arch, addr, size)
+    if region is not None:
+        return
+    sim_region = _region_for(simulated, addr, size)
+    if sim_region is not None:
+        report.add("MEM003", "warning",
+                   "%s at 0x%08x lands in simulation headroom beyond "
+                   "the architectural size of %r"
+                   % (spec.name, addr, sim_region),
+                   source, line, node)
+    else:
+        report.add("MEM001", "error",
+                   "%s at 0x%08x maps to no memory region"
+                   % (spec.name, addr),
+                   source, line, node)
+
+
+def _region_for(regions, addr, size):
+    for name, base, size_bytes in regions:
+        if base <= addr and addr + size <= base + size_bytes:
+            return name
+    return None

@@ -1,0 +1,218 @@
+"""Lint for TIE extension definitions.
+
+The TIE compiler (:mod:`repro.tie.compiler`) raises hard errors for
+declarations it cannot compile, but it accepts many descriptions that
+are structurally suspicious: states no operation ever writes, circuits
+naming primitives the cost library does not know (their area silently
+becomes an attach-time failure much later), or an operation declaring
+the same state as two separate ``in`` and ``out`` uses — which in the
+generated netlist is a combinational cycle through the state's
+read/write ports (TIE requires ``inout`` for same-cycle update).
+
+Codes:
+
+* ``TIE001`` (error) — operand rules violated: more than one
+  immediate, immediate not last or used as an output, more than four
+  register operands, or an immediate form with more than two register
+  operands.  Mirrors the compiler's checks as diagnostics.
+* ``TIE002`` (error) — a circuit or critical path names a primitive
+  that is not in the calibrated library.
+* ``TIE003`` (warning) — a state is read by operations but written by
+  none and is not software-writable via ``wur``.
+* ``TIE004`` (info) — a state is referenced by no operation at all.
+* ``TIE005`` (error) — one operation declares the same state as
+  separate ``in`` and ``out`` uses (combinational cycle in the
+  generated netlist; declare ``inout`` instead).
+* ``TIE006`` (error) — unknown slot class on an operation.
+* ``TIE007`` (error) — negative ``extra_cycles``.
+* ``TIE008`` (error) — an operation references a state or register
+  file the extension does not declare.
+* ``TIE009`` (warning) — an operation's compact encoding exceeds the
+  48-bit FLIX payload, so it can never be issued from a bundle.
+* ``TIE010`` — duplicate FLIX ``format_id`` within the extension
+  (error), or a bundle slot class that is neither a TIE slot class nor
+  a base instruction kind (warning).
+"""
+
+from ..tie.language import RegFile
+from ..tie.netlist import PRIMITIVES
+from ..tie.flix import OPCODE_BITS, PAYLOAD_BITS
+from ..tie.compiler import field_bits
+from .diagnostics import DiagnosticReport
+
+#: Slot classes the TIE compiler understands on operations.
+VALID_SLOT_CLASSES = ("mem", "compute", "any")
+
+#: Everything a FLIX slot may legitimately list: TIE slot classes plus
+#: the base-instruction timing kinds.
+KNOWN_SLOT_KINDS = frozenset(VALID_SLOT_CLASSES) | frozenset(
+    ("alu", "mul", "div", "load", "store", "branch", "jump", "call",
+     "indirect", "nop", "halt"))
+
+
+def check_extension(extension, report=None):
+    """Run all TIE lint checks over one extension."""
+    if report is None:
+        report = DiagnosticReport()
+    source = "tie:%s" % extension.name
+    declared_states = set(id(s) for s in extension.states)
+    declared_regfiles = set(id(rf) for rf in extension.regfiles)
+    read_states = set()
+    written_states = set()
+    referenced = set()
+
+    for operation in extension.operations:
+        _check_operands(operation, report, source)
+        _check_circuit(operation.name, operation.circuit, operation.path,
+                       report, source)
+        _check_slot_class(operation, report, source)
+        _check_states(operation, declared_states, report, source)
+        _check_payload(operation, report, source)
+        for operand in operation.operands:
+            if isinstance(operand.kind, RegFile) and \
+                    id(operand.kind) not in declared_regfiles:
+                report.add("TIE008", "error",
+                           "%s: operand %r uses regfile %r, which the "
+                           "extension does not declare"
+                           % (operation.name, operand.name,
+                              operand.kind.name),
+                           source, None, None)
+        for use in operation.states:
+            referenced.add(use.state.name)
+            if use.direction in ("in", "inout"):
+                read_states.add(use.state.name)
+            if use.direction in ("out", "inout"):
+                written_states.add(use.state.name)
+
+    for group, circuit in extension.shared_circuits.items():
+        _check_circuit("shared circuit %r" % group, circuit, (),
+                       report, source)
+    for name, path in extension.shared_paths.items():
+        _check_circuit("shared path %r" % name, {}, path, report, source)
+
+    for state in extension.states:
+        name = state.name
+        if name not in referenced:
+            report.add("TIE004", "info",
+                       "state %r is referenced by no operation" % name,
+                       source, None, None)
+        elif name in read_states and name not in written_states \
+                and not state.read_write:
+            report.add("TIE003", "warning",
+                       "state %r is read by operations but written by "
+                       "none (and has no wur access)" % name,
+                       source, None, None)
+
+    _check_formats(extension, report, source)
+    return report
+
+
+def _check_operands(operation, report, source):
+    kinds = [op.compact_kind for op in operation.operands]
+    imm_positions = [i for i, kind in enumerate(kinds) if kind == "imm"]
+    nibbles = sum(1 for kind in kinds if kind != "imm")
+    if len(imm_positions) > 1:
+        report.add("TIE001", "error",
+                   "%s: at most one immediate operand allowed"
+                   % operation.name, source, None, None)
+    elif imm_positions and imm_positions[0] != len(kinds) - 1:
+        report.add("TIE001", "error",
+                   "%s: the immediate must be the last operand"
+                   % operation.name, source, None, None)
+    if nibbles > 4:
+        report.add("TIE001", "error",
+                   "%s: at most four register operands allowed (got %d)"
+                   % (operation.name, nibbles), source, None, None)
+    if imm_positions and nibbles > 2:
+        report.add("TIE001", "error",
+                   "%s: the immediate form allows at most two register "
+                   "operands" % operation.name, source, None, None)
+    for operand in operation.operands:
+        if operand.kind == "imm" and operand.direction == "out":
+            report.add("TIE001", "error",
+                       "%s: immediate operand %r cannot be an output"
+                       % (operation.name, operand.name),
+                       source, None, None)
+
+
+def _check_circuit(owner, circuit, path, report, source):
+    for name in circuit:
+        if name not in PRIMITIVES:
+            report.add("TIE002", "error",
+                       "%s: circuit uses unknown primitive %r"
+                       % (owner, name), source, None, None)
+    for name in path:
+        if name not in PRIMITIVES:
+            report.add("TIE002", "error",
+                       "%s: critical path uses unknown primitive %r"
+                       % (owner, name), source, None, None)
+
+
+def _check_slot_class(operation, report, source):
+    if operation.slot_class not in VALID_SLOT_CLASSES:
+        report.add("TIE006", "error",
+                   "%s: unknown slot class %r (expected one of %s)"
+                   % (operation.name, operation.slot_class,
+                      ", ".join(VALID_SLOT_CLASSES)),
+                   source, None, None)
+    if operation.extra_cycles < 0:
+        report.add("TIE007", "error",
+                   "%s: extra_cycles must be >= 0, got %d"
+                   % (operation.name, operation.extra_cycles),
+                   source, None, None)
+
+
+def _check_states(operation, declared_states, report, source):
+    seen = {}
+    for use in operation.states:
+        if id(use.state) not in declared_states:
+            report.add("TIE008", "error",
+                       "%s: uses state %r, which the extension does "
+                       "not declare" % (operation.name, use.state.name),
+                       source, None, None)
+        directions = seen.setdefault(use.state.name, set())
+        directions.add(use.direction)
+    for name, directions in seen.items():
+        if "in" in directions and "out" in directions:
+            report.add("TIE005", "error",
+                       "%s: state %r is declared both 'in' and 'out' "
+                       "separately — a combinational cycle through the "
+                       "state ports; declare it 'inout'"
+                       % (operation.name, name),
+                       source, None, None)
+
+
+def _check_payload(operation, report, source):
+    bits = OPCODE_BITS
+    for operand in operation.operands:
+        bits += field_bits(operand.compact_kind)
+    if bits > PAYLOAD_BITS:
+        report.add("TIE009", "warning",
+                   "%s: compact encoding needs %d bits, more than the "
+                   "%d-bit FLIX payload — the operation can never be "
+                   "bundled" % (operation.name, bits, PAYLOAD_BITS),
+                   source, None, None)
+
+
+def _check_formats(extension, report, source):
+    seen_ids = {}
+    for flix_format in extension.flix_formats:
+        previous = seen_ids.get(flix_format.format_id)
+        if previous is not None:
+            report.add("TIE010", "error",
+                       "FLIX formats %r and %r share format id %d"
+                       % (previous, flix_format.name,
+                          flix_format.format_id),
+                       source, None, None)
+        else:
+            seen_ids[flix_format.format_id] = flix_format.name
+        for slot in flix_format.slots:
+            unknown = sorted(slot.classes - KNOWN_SLOT_KINDS)
+            if unknown:
+                report.add("TIE010", "warning",
+                           "format %r slot %r lists unknown slot "
+                           "class(es): %s"
+                           % (flix_format.name, slot.name,
+                              ", ".join(unknown)),
+                           source, None, None)
+    return report

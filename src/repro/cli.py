@@ -9,6 +9,8 @@
     repro experiments table2 figure13 --artifacts out/
     repro disasm intersection --config DBA_2LSU_EIS
     repro report out/run.json
+    repro lint
+    repro lint examples/asm/*.s --config DBA_2LSU_EIS
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -91,6 +93,24 @@ def build_parser():
     disasm_cmd.add_argument("--config", default="DBA_2LSU_EIS",
                             choices=CONFIG_NAMES)
     disasm_cmd.add_argument("--unroll", type=int, default=4)
+
+    lint_cmd = sub.add_parser(
+        "lint", help="statically verify kernel programs and TIE "
+                     "definitions")
+    lint_cmd.add_argument("files", nargs="*", metavar="FILE",
+                          help="assembly sources to lint; without "
+                               "arguments every builtin kernel of every "
+                               "configuration is checked")
+    lint_cmd.add_argument("--config", default=None, choices=CONFIG_NAMES,
+                          help="configuration to assemble/lint against "
+                               "(default: DBA_2LSU_EIS for files, all "
+                               "configurations for the builtin sweep)")
+    lint_cmd.add_argument("--min-severity", default="warning",
+                          choices=("info", "warning", "error"),
+                          help="lowest severity to print "
+                               "(default %(default)s)")
+    lint_cmd.add_argument("--json", action="store_true",
+                          help="emit the full diagnostic list as JSON")
     return parser
 
 
@@ -207,6 +227,59 @@ def cmd_disasm(args):
     return 0
 
 
+def cmd_lint(args):
+    import json as json_module
+
+    from .analysis import DiagnosticReport, lint_processor, lint_program
+    from .configs.catalog import has_eis
+    from .core.kernels import builtin_kernel_sources
+    from .isa.errors import IsaError
+
+    combined = DiagnosticReport("repro lint")
+    status = 0
+    if args.files:
+        config = args.config or "DBA_2LSU_EIS"
+        processor = build_processor(config,
+                                    compression=has_eis(config))
+        for path in args.files:
+            try:
+                with open(path) as handle:
+                    source = handle.read()
+            except OSError as exc:
+                print("%s: %s" % (path, exc), file=sys.stderr)
+                status = 1
+                continue
+            try:
+                program = processor.assembler.assemble(source, path)
+            except IsaError as exc:
+                combined.add("ASM001", "error", str(exc), path)
+                continue
+            combined.extend(lint_program(program, processor))
+    else:
+        names = (args.config,) if args.config else CONFIG_NAMES
+        for name in names:
+            processor = build_processor(name, compression=has_eis(name))
+            tie_report = lint_processor(processor)
+            for diagnostic in tie_report:
+                diagnostic.source_name = "%s/%s" % (name,
+                                                    diagnostic.source_name)
+            combined.extend(tie_report)
+            for kernel_name, source in builtin_kernel_sources(processor):
+                program = processor.assembler.assemble(
+                    source, "%s/%s" % (name, kernel_name))
+                combined.extend(lint_program(program, processor))
+    if combined.has_errors:
+        status = 1
+    if args.json:
+        print(json_module.dumps(combined.to_dict(), indent=2))
+        return status
+    output = combined.format(min_severity=args.min_severity)
+    if output:
+        print(output)
+    print(combined.summary())
+    return status
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     handlers = {
@@ -215,6 +288,7 @@ def main(argv=None):
         "experiments": cmd_experiments,
         "disasm": cmd_disasm,
         "report": cmd_report,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

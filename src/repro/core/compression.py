@@ -225,8 +225,10 @@ def run_decompress(processor, values, compressed_base=0x0,
         cache = processor._kernel_cache = {}
     program = cache.get("d8-decompress")
     if program is None:
+        from ..analysis import lint_or_raise
         program = processor.assembler.assemble(decompress_kernel(),
                                                "d8-decompress")
+        lint_or_raise(program, processor)
         cache["d8-decompress"] = program
     processor.load_program(program)
     result = processor.run(entry="main", regs={

@@ -290,6 +290,11 @@ def _merge_operations(dp):
                    StateUse(dp.store, "inout"),
                    StateUse(dp.store_full, "inout"),
                    StateUse(dp.target, "in"), StateUse(dp.emitted, "inout")]
+    # MINIT derives the target block count from the run bounds and
+    # writes it; the other merge ops only read it.
+    minit_states = [StateUse(use.state, "inout")
+                    if use.state is dp.target else use
+                    for use in pipe_states]
 
     def semantics_minit(ext, core):
         ext.mergedp.op_minit(core)
@@ -317,7 +322,7 @@ def _merge_operations(dp):
 
     return [
         Operation("minit", semantics=semantics_minit,
-                  states=run_states + pipe_states,
+                  states=run_states + minit_states,
                   slot_class="compute", group="merge_sort",
                   circuit={"inc32": 1, "wire_32": 32},
                   description="Latch run bounds, clear merge pipeline"),

@@ -183,6 +183,35 @@ def sort_layout(processor, n_padded):
     return base_src, base_dst
 
 
+def builtin_kernel_sources(processor):
+    """``(name, source)`` of every builtin kernel *processor* can run.
+
+    Used by ``repro lint`` and the CI smoke check to verify that all
+    shipped kernels are free of static-analysis errors on every
+    configuration.
+    """
+    from .scalar_kernels import (difference_scalar_kernel,
+                                 intersection_scalar_kernel,
+                                 merge_sort_scalar_kernel,
+                                 union_scalar_kernel)
+    sources = [
+        ("intersection.scalar", intersection_scalar_kernel()),
+        ("union.scalar", union_scalar_kernel()),
+        ("difference.scalar", difference_scalar_kernel()),
+        ("sort.scalar", merge_sort_scalar_kernel()),
+    ]
+    if processor.flix_formats:
+        num_lsus = processor.config.num_lsus
+        for which in _SET_OPS:
+            sources.append(("%s.eis" % which,
+                            set_operation_kernel(which, num_lsus=num_lsus)))
+        sources.append(("sort.eis", merge_sort_kernel()))
+    if "dcmp_src" in processor.symbols:
+        from .compression import decompress_kernel
+        sources.append(("decompress.d8", decompress_kernel()))
+    return sources
+
+
 # ---------------------------------------------------------------------------
 # runners
 # ---------------------------------------------------------------------------
@@ -193,7 +222,9 @@ def _load_cached_program(processor, key, source):
         cache = processor._kernel_cache = {}
     program = cache.get(key)
     if program is None:
+        from ..analysis import lint_or_raise
         program = processor.assembler.assemble(source, key)
+        lint_or_raise(program, processor)
         cache[key] = program
     processor.load_program(program)
     return program

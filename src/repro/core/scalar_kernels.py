@@ -236,7 +236,9 @@ def _cached(processor, key, source):
         cache = processor._kernel_cache = {}
     program = cache.get(key)
     if program is None:
+        from ..analysis import lint_or_raise
         program = processor.assembler.assemble(source, key)
+        lint_or_raise(program, processor)
         cache[key] = program
     processor.load_program(program)
 

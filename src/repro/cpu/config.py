@@ -73,6 +73,25 @@ class CoreConfig:
     def features(self):
         return {"has_mul": self.has_mul, "has_div": self.has_div}
 
+    def architectural_regions(self):
+        """``(name, base, size_bytes)`` of every *architectural* region.
+
+        Unlike the simulated memories (which add ``sim_headroom_kb`` to
+        each local store), these are the sizes the hardware would have;
+        the static memory checker (:mod:`repro.analysis`) validates
+        resolvable addresses against them.
+        """
+        from .memory import DMEM0_BASE, DMEM1_BASE, MAIN_BASE
+        regions = []
+        if self.dmem0_kb:
+            regions.append(("dmem0", DMEM0_BASE, self.dmem0_kb * 1024))
+        else:
+            regions.append(("sysmem", DMEM0_BASE, self.sysmem_kb * 1024))
+        if self.dmem1_kb:
+            regions.append(("dmem1", DMEM1_BASE, self.dmem1_kb * 1024))
+        regions.append(("main", MAIN_BASE, self.main_memory_kb * 1024))
+        return regions
+
     def __repr__(self):
         return "<CoreConfig %s lsus=%d port=%db dmem=%d+%dKB>" % (
             self.name, self.num_lsus, self.lsu_port_bits,

@@ -98,3 +98,23 @@ def ratio(measured, reference):
     if not reference:
         return float("nan")
     return measured / reference
+
+
+def lint_notes(processor, label=""):
+    """Warn-only static verification of a processor's builtin kernels.
+
+    Returns human-readable note strings (one per warning-or-worse
+    diagnostic, empty when clean) for ``ExperimentResult.notes``, so a
+    regenerated table records any static-analysis findings of the
+    kernels it ran without failing the experiment.
+    """
+    from ..analysis import lint_processor, lint_program
+    from ..core.kernels import builtin_kernel_sources
+
+    report = lint_processor(processor)
+    for kernel_name, source in builtin_kernel_sources(processor):
+        program = processor.assembler.assemble(source, kernel_name)
+        report.extend(lint_program(program, processor))
+    prefix = "%s: " % label if label else ""
+    return ["%slint: %s" % (prefix, diagnostic.format())
+            for diagnostic in report.at_least("warning")]

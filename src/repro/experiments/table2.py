@@ -17,7 +17,7 @@ from ..core.scalar_kernels import (run_scalar_merge_sort,
 from ..synth.synthesis import synthesize_config
 from ..workloads.sets import generate_set_pair
 from ..workloads.sorting import random_values
-from .base import ExperimentResult
+from .base import ExperimentResult, lint_notes
 
 #: The paper's Table 2 (million elements per second).
 PAPER_TABLE2 = {
@@ -55,8 +55,14 @@ def run(set_size=5000, sort_size=6500, selectivity=0.5, seed=42,
         "sort": sorted(sort_values),
     }
     result_rows = []
+    notes = ["sets: 2x%d elements at %.0f%% selectivity; sort: %d "
+             "values" % (set_size, selectivity * 100, sort_size)]
+    linted = set()
     for name, partial in rows:
         processor = build_processor(name, partial_load=bool(partial))
+        if name not in linted:
+            linted.add(name)
+            notes.extend(lint_notes(processor, label=name))
         fmax = synthesize_config(name, partial_load=bool(partial)).fmax_mhz
         row = [row_label(name, partial), round(fmax)]
         for which in SET_OPS:
@@ -86,5 +92,4 @@ def run(set_size=5000, sort_size=6500, selectivity=0.5, seed=42,
         ["configuration", "f[MHz]", "intersection", "union",
          "difference", "merge_sort"],
         result_rows,
-        notes=["sets: 2x%d elements at %.0f%% selectivity; sort: %d "
-               "values" % (set_size, selectivity * 100, sort_size)])
+        notes=notes)

@@ -18,7 +18,8 @@ words (and decoded back by :mod:`repro.isa.disasm`).
 import re
 
 from .encoding import pack_flix_header
-from .errors import AssemblerError, RegisterError, UnknownInstructionError
+from .errors import (AssemblerError, IsaError, RegisterError,
+                     UnknownInstructionError)
 from .instructions import InstructionSpec  # noqa: F401  (re-export for typing)
 from .registers import parse_register
 
@@ -87,27 +88,55 @@ class Program:
         try:
             return self.labels[name]
         except KeyError:
-            raise AssemblerError("unknown label: %r" % (name,)) from None
+            raise AssemblerError("unknown label: %r" % (name,),
+                                 source_name=self.source_name) from None
 
     def encode(self):
-        """Encode the program to a list of 32-bit instruction words."""
+        """Encode the program to a list of 32-bit instruction words.
+
+        Encoding errors are re-raised with the program's source name
+        and the offending item's line number prefixed, so a bundle that
+        fails to pack points back at the assembly line that produced
+        it.
+        """
         words = []
         for index, item in enumerate(self.items):
             if isinstance(item, BundleTail):
                 continue
-            if isinstance(item, Bundle):
-                header, payload = item.flix_format.encode_bundle(item, index)
-                words.append(header)
-                words.append(payload)
-            else:
-                operands = _operands_for_encoding(item, index)
-                words.append(item.spec.format.pack(item.spec.opcode, operands))
+            try:
+                if isinstance(item, Bundle):
+                    header, payload = item.flix_format.encode_bundle(
+                        item, index)
+                    words.append(header)
+                    words.append(payload)
+                else:
+                    operands = _operands_for_encoding(item, index)
+                    words.append(item.spec.format.pack(item.spec.opcode,
+                                                       operands))
+            except AssemblerError:
+                raise
+            except IsaError as exc:
+                raise _locate_error(exc, self.source_name,
+                                    item.line_number) from exc
         return words
 
     def instruction_count(self):
         """Number of issue items (bundles count once)."""
         return sum(1 for item in self.items
                    if not isinstance(item, BundleTail))
+
+
+def _locate_error(exc, source_name, line_number):
+    """Same exception type with ``source:line`` context prefixed."""
+    message = str(exc)
+    if line_number is not None:
+        message = "line %d: %s" % (line_number, message)
+    if source_name is not None:
+        message = "%s: %s" % (source_name, message)
+    located = type(exc)(message)
+    located.source_name = source_name
+    located.line_number = line_number
+    return located
 
 
 def _operands_for_encoding(item, index):
@@ -153,8 +182,13 @@ class Assembler:
 
     def assemble(self, source, source_name="<asm>"):
         lines = source.splitlines()
-        items, labels, fixups = self._first_pass(lines)
-        self._second_pass(items, labels, fixups)
+        try:
+            items, labels, fixups = self._first_pass(lines)
+            self._second_pass(items, labels, fixups)
+        except AssemblerError as exc:
+            # Every parse/fixup error leaves here carrying the source
+            # name on top of the line number it was raised with.
+            raise exc.with_source(source_name) from None
         return Program(items, labels, source_name)
 
     # -- pass 1: parse, expand pseudos, place labels ------------------------

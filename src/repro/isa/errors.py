@@ -24,14 +24,27 @@ class AssemblerError(IsaError):
     offending line.
     """
 
-    def __init__(self, message, line_number=None, line_text=None):
+    def __init__(self, message, line_number=None, line_text=None,
+                 source_name=None):
+        #: The bare message before any location prefix was attached.
+        self.raw_message = message
         self.line_number = line_number
         self.line_text = line_text
+        self.source_name = source_name
         if line_number is not None:
             message = "line %d: %s" % (line_number, message)
+        if source_name is not None:
+            message = "%s: %s" % (source_name, message)
         if line_text is not None:
             message = "%s\n    %s" % (message, line_text.strip())
         super().__init__(message)
+
+    def with_source(self, source_name):
+        """The same error with *source_name* attached (idempotent)."""
+        if source_name is None or self.source_name is not None:
+            return self
+        return type(self)(self.raw_message, self.line_number,
+                          self.line_text, source_name)
 
 
 class UnknownInstructionError(AssemblerError):

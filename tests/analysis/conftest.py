@@ -1,0 +1,16 @@
+"""Fixtures for the static-analysis tests."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.isa.instructions import build_base_isa
+
+
+@pytest.fixture()
+def asm():
+    return Assembler(build_base_isa())
+
+
+def codes(report):
+    """Set of diagnostic codes present in a report."""
+    return {diagnostic.code for diagnostic in report}

@@ -1,0 +1,86 @@
+"""CFG construction and structural checks (CFG001..CFG003)."""
+
+from repro.analysis import DiagnosticReport, build_cfg, check_structure
+
+from .conftest import codes
+
+
+def lint_structure(program, entry=0):
+    report = DiagnosticReport()
+    check_structure(build_cfg(program, entry), report)
+    return report
+
+
+class TestGraph:
+    def test_straight_line(self, asm):
+        program = asm.assemble("main:\n  nop\n  nop\n  halt\n")
+        cfg = build_cfg(program, "main")
+        assert cfg.nodes == [0, 1, 2]
+        assert cfg.succ[0] == [1]
+        assert cfg.succ[2] == []
+        assert cfg.reachable() == {0, 1, 2}
+
+    def test_branch_has_two_successors(self, asm):
+        program = asm.assemble(
+            "main:\n  beqz a2, out\n  nop\nout:\n  halt\n")
+        cfg = build_cfg(program, 0)
+        assert sorted(cfg.succ[0]) == [1, 2]
+        assert cfg.pred[2] == [0, 1]
+
+    def test_loop_back_edge(self, asm):
+        program = asm.assemble(
+            "main:\nloop:\n  addi a2, a2, -1\n  bnez a2, loop\n  halt\n")
+        cfg = build_cfg(program, 0)
+        assert 0 in cfg.succ[1]
+
+    def test_call_assumed_to_return(self, asm):
+        program = asm.assemble(
+            "main:\n  jal fn\n  halt\nfn:\n  ret\n")
+        cfg = build_cfg(program, 0)
+        assert sorted(cfg.succ[0]) == [1, 2]
+        # ret is register-indirect: no static successors.
+        assert cfg.succ[2] == []
+
+    def test_entry_by_label(self, asm):
+        program = asm.assemble("pre:\n  halt\nmain:\n  halt\n")
+        assert build_cfg(program, "main").entry == 1
+
+
+class TestChecks:
+    def test_clean_program(self, asm):
+        program = asm.assemble(
+            "main:\n  beqz a2, out\n  addi a2, a2, 1\nout:\n  halt\n")
+        assert len(lint_structure(program)) == 0
+
+    def test_unreachable_code(self, asm):
+        program = asm.assemble(
+            "main:\n  halt\ndead:\n  addi a2, a2, 1\n  halt\n")
+        report = lint_structure(program)
+        assert codes(report) == {"CFG001"}
+        diagnostic = report.by_code("CFG001")[0]
+        assert diagnostic.severity == "warning"
+        assert "dead" in diagnostic.message
+        assert diagnostic.line == 4
+
+    def test_fall_off_end(self, asm):
+        program = asm.assemble("main:\n  addi a2, a2, 1\n")
+        report = lint_structure(program)
+        assert codes(report) == {"CFG002"}
+        assert report.has_errors
+
+    def test_bad_branch_target_into_bundle_tail(self, asm):
+        # The assembler cannot produce this; corrupt the target by hand
+        # to model a mis-relocated program.
+        program = asm.assemble(
+            "main:\n  beqz a2, out\n  nop\nout:\n  halt\n")
+        item = program.items[0]
+        item.operands = (item.operands[0], len(program.items) + 5)
+        report = lint_structure(program)
+        assert "CFG003" in codes(report)
+        assert report.has_errors
+
+    def test_unreachable_suppressed_with_indirect_jumps(self, asm):
+        program = asm.assemble(
+            "main:\n  jalr a0, a2, 0\nisland:\n  halt\n")
+        report = lint_structure(program)
+        assert "CFG001" not in codes(report)

@@ -1,0 +1,115 @@
+"""Dataflow checks: use-before-def, dead stores, state uses."""
+
+from repro.analysis import DiagnosticReport, build_cfg, check_dataflow
+
+from .conftest import codes
+
+
+def lint_dataflow(program, entry=0, entry_live=None, processor=None):
+    report = DiagnosticReport()
+    check_dataflow(build_cfg(program, entry), report,
+                   entry_live=entry_live, processor=processor)
+    return report
+
+
+class TestUseBeforeDef:
+    def test_clean_program(self, asm):
+        program = asm.assemble(
+            "main:\n  movi a8, 7\n  addi a8, a8, 1\n  halt\n")
+        assert "DF001" not in codes(lint_dataflow(program))
+
+    def test_read_of_uninitialized_register(self, asm):
+        program = asm.assemble("main:\n  addi a9, a8, 1\n  halt\n")
+        report = lint_dataflow(program)
+        found = report.by_code("DF001")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+        assert "a8" in found[0].message
+        assert found[0].line == 2
+
+    def test_argument_registers_assumed_live(self, asm):
+        # a2..a7 carry kernel arguments; reading them is fine.
+        program = asm.assemble("main:\n  addi a3, a2, 4\n  halt\n")
+        assert "DF001" not in codes(lint_dataflow(program))
+
+    def test_entry_live_override(self, asm):
+        program = asm.assemble("main:\n  addi a3, a2, 4\n  halt\n")
+        report = lint_dataflow(program, entry_live=())
+        assert "DF001" in codes(report)
+
+    def test_maybe_uninitialized_on_one_path(self, asm):
+        program = asm.assemble(
+            "main:\n"
+            "  beqz a2, skip\n"
+            "  movi a8, 1\n"
+            "skip:\n"
+            "  addi a9, a8, 1\n"
+            "  halt\n")
+        assert "DF001" in codes(lint_dataflow(program))
+
+    def test_defined_on_all_paths(self, asm):
+        program = asm.assemble(
+            "main:\n"
+            "  beqz a2, other\n"
+            "  movi a8, 1\n"
+            "  j join\n"
+            "other:\n"
+            "  movi a8, 2\n"
+            "join:\n"
+            "  addi a9, a8, 1\n"
+            "  halt\n")
+        assert "DF001" not in codes(lint_dataflow(program))
+
+
+class TestDeadStores:
+    def test_overwritten_value_is_dead(self, asm):
+        program = asm.assemble(
+            "main:\n  movi a8, 1\n  movi a8, 2\n  halt\n")
+        report = lint_dataflow(program)
+        found = report.by_code("DF002")
+        assert len(found) == 1
+        assert found[0].line == 2
+
+    def test_exit_values_count_as_live(self, asm):
+        # The host reads results out of the register file after halt,
+        # so a final write is not a dead store.
+        program = asm.assemble("main:\n  movi a2, 42\n  halt\n")
+        assert "DF002" not in codes(lint_dataflow(program))
+
+    def test_store_is_not_a_dead_store(self, asm):
+        # s32i writes memory, not a register; never flagged.
+        program = asm.assemble(
+            "main:\n  movi a8, 0\n  s32i a2, a8, 0\n  halt\n")
+        assert "DF002" not in codes(lint_dataflow(program))
+
+
+class TestStateUses:
+    def test_state_read_but_never_written(self, eis_2lsu_partial):
+        program = eis_2lsu_partial.assembler.assemble(
+            "main:\n  rur a2, sop_ptr_a\n  halt\n")
+        report = lint_dataflow(program, processor=eis_2lsu_partial)
+        found = report.by_code("DF003")
+        assert len(found) == 1
+        assert "sop_ptr_a" in found[0].message
+
+    def test_wur_satisfies_state_read(self, eis_2lsu_partial):
+        program = eis_2lsu_partial.assembler.assemble(
+            "main:\n  wur a2, sop_ptr_a\n  rur a3, sop_ptr_a\n  halt\n")
+        report = lint_dataflow(program, processor=eis_2lsu_partial)
+        assert "DF003" not in codes(report)
+
+    def test_operation_write_satisfies_state_read(self, eis_2lsu_partial):
+        # minit writes the merge pipeline states that merge_st reads.
+        source = (
+            "main:\n"
+            "  wur a2, mrg_ptr_a\n"
+            "  wur a3, mrg_end_a\n"
+            "  wur a4, mrg_ptr_b\n"
+            "  wur a5, mrg_end_b\n"
+            "  wur a6, mrg_ptr_c\n"
+            "  minit\n"
+            "  merge_st a8\n"
+            "  halt\n")
+        program = eis_2lsu_partial.assembler.assemble(source)
+        report = lint_dataflow(program, processor=eis_2lsu_partial)
+        assert "DF003" not in codes(report)

@@ -1,0 +1,70 @@
+"""End-to-end lint: builtin kernels are clean; enforcement works."""
+
+import pytest
+
+from repro.analysis import (LintError, LintWarning, lint_or_raise,
+                            lint_processor, lint_program)
+from repro.configs.catalog import CONFIG_NAMES, build_processor, has_eis
+from repro.core.kernels import builtin_kernel_sources
+
+
+@pytest.mark.parametrize("name", CONFIG_NAMES)
+def test_builtin_kernels_have_no_errors(name):
+    processor = build_processor(name, compression=has_eis(name))
+    for kernel_name, source in builtin_kernel_sources(processor):
+        program = processor.assembler.assemble(source, kernel_name)
+        report = lint_program(program, processor)
+        noisy = report.at_least("warning")
+        assert noisy == [], "\n".join(d.format() for d in noisy)
+
+
+@pytest.mark.parametrize("name", CONFIG_NAMES)
+def test_builtin_extensions_have_no_errors(name):
+    processor = build_processor(name, compression=has_eis(name))
+    report = lint_processor(processor)
+    noisy = report.at_least("warning")
+    assert noisy == [], "\n".join(d.format() for d in noisy)
+
+
+def test_entry_defaults_to_main_label(eis_2lsu_partial):
+    # Code placed before `main` is dead relative to the conventional
+    # entry point and must be reported as unreachable.
+    program = eis_2lsu_partial.assembler.assemble(
+        "prelude:\n  nop\nmain:\n  halt\n")
+    report = lint_program(program, eis_2lsu_partial)
+    assert report.by_code("CFG001")
+
+
+def test_lint_or_raise_on_error(eis_2lsu_partial):
+    program = eis_2lsu_partial.assembler.assemble(
+        "main:\n  addi a2, a2, 1\n")  # falls off the end
+    with pytest.raises(LintError, match="CFG002"):
+        lint_or_raise(program, eis_2lsu_partial)
+
+
+def test_lint_or_raise_warns(eis_2lsu_partial):
+    program = eis_2lsu_partial.assembler.assemble(
+        "main:\n  movi a8, 1\n  movi a8, 2\n  halt\n")
+    with pytest.warns(LintWarning, match="DF002"):
+        lint_or_raise(program, eis_2lsu_partial)
+
+
+def test_kernel_runner_lints_on_first_load():
+    # run_set_operation assembles through _load_cached_program, which
+    # enforces the verifier; a clean run proves the integration.
+    from repro.core.kernels import run_set_operation
+    processor = build_processor("DBA_2LSU_EIS")
+    values, _result = run_set_operation(processor, "intersection",
+                                        [1, 2, 3], [2, 3, 4])
+    assert values == [2, 3]
+
+
+def test_lint_without_processor(eis_2lsu_partial):
+    # Program-only lint runs the CFG/dataflow/hazard passes and skips
+    # memory and TIE checks.
+    program = eis_2lsu_partial.assembler.assemble(
+        "main:\n  movhi a8, 0x4000\n  l32i a9, a8, 0\n  halt\n")
+    report = lint_program(program)
+    assert not report.by_code("MEM001")
+    report = lint_program(program, eis_2lsu_partial)
+    assert report.by_code("MEM001")

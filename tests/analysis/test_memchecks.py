@@ -1,0 +1,95 @@
+"""Static memory checks (MEM001..MEM003)."""
+
+from repro.analysis import DiagnosticReport, build_cfg, check_memory
+
+from .conftest import codes
+
+
+def lint_memory(processor, source):
+    program = processor.assembler.assemble(source, "mem.s")
+    report = DiagnosticReport()
+    check_memory(build_cfg(program, 0), report, processor)
+    return report
+
+
+class TestResolvableAccesses:
+    def test_clean_aligned_access(self, eis_2lsu_partial):
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  movi a8, 0x100\n"
+                             "  l32i a9, a8, 4\n  halt\n")
+        assert len(report) == 0
+
+    def test_misaligned_store(self, eis_2lsu_partial):
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  movi a8, 0x102\n"
+                             "  s32i a2, a8, 0\n  halt\n")
+        found = report.by_code("MEM002")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+        assert found[0].line == 3
+
+    def test_halfword_alignment(self, eis_2lsu_partial):
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  movi a8, 0x101\n"
+                             "  l16ui a9, a8, 0\n  halt\n")
+        assert "MEM002" in codes(report)
+
+    def test_byte_access_never_misaligned(self, eis_2lsu_partial):
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  movi a8, 0x103\n"
+                             "  l8ui a9, a8, 0\n  halt\n")
+        assert len(report) == 0
+
+    def test_unmapped_address(self, eis_2lsu_partial):
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  movhi a8, 0x4000\n"
+                             "  l32i a9, a8, 0\n  halt\n")
+        found = report.by_code("MEM001")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+    def test_simulation_headroom_is_a_warning(self, eis_2lsu_partial):
+        # DBA_2LSU dmem0 is architecturally 32 KB; the simulator adds
+        # 64 KB of headroom, so 0xC000 simulates fine but would fault
+        # on the real hardware.
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  movhi a8, 0\n"
+                             "  ori a8, a8, 0xC000\n"
+                             "  l32i a9, a8, 0\n  halt\n")
+        found = report.by_code("MEM003")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_runtime_addresses_are_skipped(self, eis_2lsu_partial):
+        # a2 is a run-time argument: no static value, no diagnostics.
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  l32i a9, a2, 0\n  halt\n")
+        assert len(report) == 0
+
+    def test_value_invalidated_at_join(self, eis_2lsu_partial):
+        # a8 differs between the two paths, so the access after the
+        # join must not be checked against either constant.
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n"
+                             "  movi a8, 0x100\n"
+                             "  beqz a2, go\n"
+                             "  movi a8, 0x102\n"
+                             "go:\n"
+                             "  l32i a9, a8, 0\n"
+                             "  halt\n")
+        assert len(report) == 0
+
+    def test_li_expansion_tracks_full_32_bits(self, eis_2lsu_partial):
+        # li expands to movhi+ori; the checker follows both halves.
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  li a8, 0x80000004\n"
+                             "  l32i a9, a8, 0\n  halt\n")
+        assert len(report) == 0
+
+    def test_main_memory_bounds(self, eis_2lsu_partial):
+        size = eis_2lsu_partial.config.main_memory_kb * 1024
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  li a8, 0x%x\n"
+                             "  l32i a9, a8, 0\n  halt\n"
+                             % (0x80000000 + size))
+        assert "MEM001" in codes(report)

@@ -1,0 +1,156 @@
+"""TIE definition lint (TIE001..TIE010)."""
+
+from repro.analysis import check_extension, lint_processor
+from repro.tie.flix import FlixFormat, Slot
+from repro.tie.language import (Operand, Operation, RegFile, State,
+                                StateUse, TieExtension)
+
+from .conftest import codes
+
+
+def _noop(ext, core):
+    return None
+
+
+def make_extension(**kwargs):
+    defaults = dict(states=(), regfiles=(), operations=(),
+                    flix_formats=())
+    defaults.update(kwargs)
+    return TieExtension("seeded", **defaults)
+
+
+class TestOperandRules:
+    def test_two_immediates(self):
+        op = Operation("bad", operands=[Operand("i0", "in", "imm"),
+                                        Operand("i1", "in", "imm")],
+                       semantics=_noop)
+        report = check_extension(make_extension(operations=[op]))
+        assert "TIE001" in codes(report)
+
+    def test_immediate_not_last(self):
+        op = Operation("bad", operands=[Operand("i", "in", "imm"),
+                                        Operand("r", "in", "ar")],
+                       semantics=_noop)
+        report = check_extension(make_extension(operations=[op]))
+        assert "TIE001" in codes(report)
+
+    def test_too_many_registers(self):
+        ops = [Operand("r%d" % i, "in", "ar") for i in range(5)]
+        op = Operation("bad", operands=ops, semantics=_noop)
+        report = check_extension(make_extension(operations=[op]))
+        assert "TIE001" in codes(report)
+
+
+class TestCircuits:
+    def test_unknown_primitive_in_circuit(self):
+        op = Operation("bad", semantics=_noop,
+                       circuit={"warp_core": 1})
+        report = check_extension(make_extension(operations=[op]))
+        found = report.by_code("TIE002")
+        assert len(found) == 1
+        assert "warp_core" in found[0].message
+
+    def test_unknown_primitive_in_shared_path(self):
+        report = check_extension(make_extension(
+            shared_paths={"p": ("flux_capacitor",)}))
+        assert "TIE002" in codes(report)
+
+    def test_known_primitives_pass(self):
+        op = Operation("good", semantics=_noop,
+                       circuit={"adder32": 2}, path=("adder32",))
+        report = check_extension(make_extension(operations=[op]))
+        assert "TIE002" not in codes(report)
+
+
+class TestStates:
+    def test_state_read_but_never_written(self):
+        hidden = State("hidden", read_write=False)
+        op = Operation("reader", semantics=_noop,
+                       states=[StateUse(hidden, "in")])
+        report = check_extension(make_extension(states=[hidden],
+                                                operations=[op]))
+        found = report.by_code("TIE003")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_wur_access_counts_as_write(self):
+        visible = State("visible")  # read_write -> wur reachable
+        op = Operation("reader", semantics=_noop,
+                       states=[StateUse(visible, "in")])
+        report = check_extension(make_extension(states=[visible],
+                                                operations=[op]))
+        assert "TIE003" not in codes(report)
+
+    def test_unreferenced_state(self):
+        orphan = State("orphan")
+        report = check_extension(make_extension(states=[orphan]))
+        found = report.by_code("TIE004")
+        assert len(found) == 1
+        assert found[0].severity == "info"
+
+    def test_combinational_cycle(self):
+        state = State("s")
+        op = Operation("bad", semantics=_noop,
+                       states=[StateUse(state, "in"),
+                               StateUse(state, "out")])
+        report = check_extension(make_extension(states=[state],
+                                                operations=[op]))
+        found = report.by_code("TIE005")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+    def test_inout_is_not_a_cycle(self):
+        state = State("s")
+        op = Operation("good", semantics=_noop,
+                       states=[StateUse(state, "inout")])
+        report = check_extension(make_extension(states=[state],
+                                                operations=[op]))
+        assert "TIE005" not in codes(report)
+
+    def test_undeclared_state(self):
+        stray = State("stray")
+        op = Operation("bad", semantics=_noop,
+                       states=[StateUse(stray, "inout")])
+        report = check_extension(make_extension(operations=[op]))
+        assert "TIE008" in codes(report)
+
+
+class TestStructure:
+    def test_bad_slot_class(self):
+        op = Operation("bad", semantics=_noop, slot_class="warp")
+        report = check_extension(make_extension(operations=[op]))
+        assert "TIE006" in codes(report)
+
+    def test_negative_extra_cycles(self):
+        op = Operation("bad", semantics=_noop, extra_cycles=-1)
+        report = check_extension(make_extension(operations=[op]))
+        assert "TIE007" in codes(report)
+
+    def test_undeclared_regfile(self):
+        rf = RegFile("vec", width_bits=32, size=8, prefix="v")
+        op = Operation("bad",
+                       operands=[Operand("r", "in", rf)],
+                       semantics=_noop)
+        report = check_extension(make_extension(operations=[op]))
+        assert "TIE008" in codes(report)
+
+    def test_duplicate_format_id(self):
+        formats = [FlixFormat("a", 1, [Slot("s", ("any",))]),
+                   FlixFormat("b", 1, [Slot("s", ("any",))])]
+        report = check_extension(make_extension(flix_formats=formats))
+        found = report.by_code("TIE010")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+    def test_unknown_slot_kind(self):
+        formats = [FlixFormat("a", 1, [Slot("s", ("quantum",))])]
+        report = check_extension(make_extension(flix_formats=formats))
+        found = report.by_code("TIE010")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+
+class TestBuiltinExtensions:
+    def test_builtin_extensions_are_clean(self, eis_2lsu_partial):
+        report = lint_processor(eis_2lsu_partial)
+        assert report.at_least("warning") == []

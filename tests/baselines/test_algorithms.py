@@ -10,8 +10,7 @@ from repro.baselines.x86 import (I7_920, PUBLISHED_SWSET_MEPS,
                                  PUBLISHED_SWSORT_MEPS, Q9550,
                                  X86CostModel,
                                  extrapolate_sort_throughput,
-                                 measure_swset, swset_model,
-                                 swsort_model)
+                                 measure_swset, swset_model)
 from repro.workloads.sets import generate_set_pair
 
 

@@ -61,7 +61,6 @@ class TestMergePass:
     def test_uneven_b_tail_interleaves_correctly(self):
         """Regression: the SIMD loop must stop when the smaller-head
         run has fewer than four elements left (found by hypothesis)."""
-        a_run = [0, 0, 1, 1, 1, 1, 1, 0]  # not the actual runs...
         source = sorted([0, 0, 0, 1, 1, 1, 1, 1]) + sorted([0, 0, 0,
                                                             0, 0])
         result = self.merged(source, 8)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import (build_processor, run_merge_sort, run_set_operation,
+from repro import (run_merge_sort, run_set_operation,
                    synthesize_config)
 from repro.core import run_scalar_set_operation
 from repro.toolflow import equivalence_check

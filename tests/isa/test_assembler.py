@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.cpu import CoreConfig, Processor
-from repro.isa.assembler import Assembler, Bundle, BundleTail
-from repro.isa.errors import AssemblerError, UnknownInstructionError
+from repro.isa.assembler import Assembler, Bundle, BundleTail, Program
+from repro.isa.errors import (AssemblerError, EncodingError,
+                              UnknownInstructionError)
 from repro.isa.instructions import build_base_isa
 
 
@@ -132,6 +132,30 @@ class TestErrors:
     def test_equ_requires_value(self, asm):
         with pytest.raises(AssemblerError):
             asm.assemble(".equ ONLYNAME\n")
+
+    def test_error_carries_source_name(self, asm):
+        with pytest.raises(AssemblerError, match=r"probe\.s: line 2"):
+            asm.assemble("main:\n  bogus a1\n", "probe.s")
+
+    def test_error_exposes_location_attributes(self, asm):
+        with pytest.raises(AssemblerError) as excinfo:
+            asm.assemble("main:\n  nop\n  frobnicate a2\n", "probe.s")
+        error = excinfo.value
+        assert error.source_name == "probe.s"
+        assert error.line_number == 3
+        assert "frobnicate" in error.line_text
+
+    def test_encode_error_carries_source_name(self, asm):
+        program = asm.assemble("main:\n  nop\nfar:\n  halt\n", "probe.s")
+        # Corrupt the branch distance past the signed 16-bit range to
+        # force a late EncodingError out of Program.encode.
+        from repro.isa.assembler import AsmItem
+        beqz = asm.isa.lookup("beqz")
+        items = list(program.items)
+        items.insert(1, AsmItem(beqz, (2, 0x2_0000), 2))
+        broken = Program(items, dict(program.labels), "probe.s")
+        with pytest.raises(EncodingError, match=r"probe\.s: line 2"):
+            broken.encode()
 
 
 class TestEncoding:

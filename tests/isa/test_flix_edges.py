@@ -1,0 +1,103 @@
+"""FLIX encode/decode at the edges of the compact bundle fields.
+
+The 10-bit branch-offset field gives bundles a ±511-word range relative
+to the word after the bundle (``index + 2``).  These tests pin the
+exact edges: ±511 must survive an encode/decode roundtrip, ±512 must
+fail to encode, and a fully populated bundle must roundtrip through
+``Program.encode`` / ``decode_bundle``.
+"""
+
+import pytest
+
+from repro.isa.assembler import Bundle, BUNDLE_TAIL
+from repro.isa.disasm import decode_bundle
+from repro.isa.errors import EncodingError
+
+
+def assemble(processor, source):
+    return processor.assembler.assemble(source, "edges.s")
+
+
+def decode_at(processor, words, index):
+    """Decode the bundle starting at word *index*."""
+    return decode_bundle(processor.flix_formats, words[index],
+                         words[index + 1], index)
+
+
+def bundle_with_branch_to(processor, target_word):
+    """A program whose word-0 bundle branches to *target_word*."""
+    pad = max(target_word - 2, 0)
+    source = "\n".join(
+        ["main:", "  { store_sop_int a8 ; beqz a8, far }"]
+        + ["  nop"] * pad
+        + ["far:", "  halt"])
+    program = assemble(processor, source)
+    assert program.label("far") == 2 + pad
+    return program
+
+
+class TestBranchOffsetEdges:
+    def test_plus_511_roundtrips(self, eis_2lsu_partial):
+        program = bundle_with_branch_to(eis_2lsu_partial, 513)
+        slots = decode_at(eis_2lsu_partial, program.encode(), 0)
+        spec, operands = slots[1]
+        assert spec.name == "beqz"
+        assert operands[-1] == 513
+
+    def test_plus_512_fails_to_encode(self, eis_2lsu_partial):
+        program = bundle_with_branch_to(eis_2lsu_partial, 514)
+        with pytest.raises(EncodingError, match="out of range"):
+            program.encode()
+
+    def test_minus_512_roundtrips(self, eis_2lsu_partial):
+        # Bundle at word 512 branching back to word 2:
+        # offset = 2 - (512 + 2) = -512, the most negative encodable.
+        source = "\n".join(
+            ["main:", "  nop", "  nop", "back:"]
+            + ["  nop"] * 510
+            + ["  { store_sop_int a8 ; beqz a8, back }", "  halt"])
+        program = assemble(eis_2lsu_partial, source)
+        bundle_index = 512
+        assert isinstance(program.items[bundle_index], Bundle)
+        assert program.label("back") == 2
+        words = program.encode()
+        slots = decode_at(eis_2lsu_partial, words, bundle_index)
+        _spec, operands = slots[1]
+        assert operands[-1] == 2
+
+    def test_minus_513_fails_to_encode(self, eis_2lsu_partial):
+        source = "\n".join(
+            ["main:", "  nop", "  nop", "back:"]
+            + ["  nop"] * 511
+            + ["  { store_sop_int a8 ; beqz a8, back }", "  halt"])
+        program = assemble(eis_2lsu_partial, source)
+        with pytest.raises(EncodingError, match="out of range"):
+            program.encode()
+
+    def test_encode_error_carries_source_location(self, eis_2lsu_partial):
+        program = bundle_with_branch_to(eis_2lsu_partial, 514)
+        with pytest.raises(EncodingError, match=r"edges\.s: line 2"):
+            program.encode()
+
+
+class TestMaxSlotBundles:
+    def test_three_slot_bundle_roundtrips(self, eis_2lsu_partial):
+        # One op per db64 slot: mem, compute, ctl.
+        program = assemble(eis_2lsu_partial,
+                           "main:\n  { ld_a ; ldp_b ; nop }\n  halt\n")
+        bundle = program.items[0]
+        assert isinstance(bundle, Bundle)
+        assert len(bundle.slots) == 3
+        assert program.items[1] is BUNDLE_TAIL
+        slots = decode_at(eis_2lsu_partial, program.encode(), 0)
+        assert [spec.name for spec, _ops in slots] \
+            == ["ld_a", "ldp_b", "nop"]
+
+    def test_operands_survive_roundtrip(self, eis_2lsu_partial):
+        program = assemble(
+            eis_2lsu_partial,
+            "main:\n  { store_sop_uni a9 ; beqz a9, out }\nout:\n"
+            "  halt\n")
+        slots = decode_at(eis_2lsu_partial, program.encode(), 0)
+        assert slots[0][1] == (9,)
+        assert slots[1][1] == (9, 2)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments.table3 import PAPER_TABLE3
 from repro.experiments.table4 import PAPER_TABLE4
-from repro.synth import (GF_28NM_SLP, TSMC_65NM_LP, synthesize_config)
+from repro.synth import GF_28NM_SLP, synthesize_config
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,7 @@ import pytest
 from repro.cpu import CoreConfig, Processor
 from repro.isa.errors import EncodingError
 from repro.tie import (FlixFormat, Operand, Operation, RegFile, Slot,
-                       State, TieError, TieExtension)
+                       TieError, TieExtension)
 from repro.tie.compiler import compile_operation
 from repro.isa.instructions import InstructionSet
 

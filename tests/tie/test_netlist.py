@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.tie import (Netlist, Operand, Operation, State, StateUse,
+from repro.tie import (Netlist, Operation, State, StateUse,
                        TieError, TieExtension, circuit_cost,
                        extension_netlist, path_delay, primitive)
 
