@@ -79,6 +79,9 @@ def build_parser():
     exp_cmd.add_argument("--artifacts", metavar="DIR",
                          help="write one machine-readable JSON artifact "
                               "per experiment into DIR")
+    exp_cmd.add_argument("--parallel", type=int, default=1, metavar="N",
+                         help="fan independent experiments over N worker "
+                              "processes")
 
     report_cmd = sub.add_parser("report",
                                 help="summarize saved JSON run reports")
@@ -192,6 +195,8 @@ def cmd_experiments(args):
         argv.append("--quick")
     if args.artifacts:
         argv.extend(["--artifacts", args.artifacts])
+    if args.parallel and args.parallel != 1:
+        argv.extend(["--parallel", str(args.parallel)])
     return experiments_main(argv)
 
 

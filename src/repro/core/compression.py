@@ -220,17 +220,8 @@ def run_decompress(processor, values, compressed_base=0x0,
         output_base = compressed_base + 4 * len(words) + 16
     if words:
         processor.write_words(compressed_base, words)
-    cache = getattr(processor, "_kernel_cache", None)
-    if cache is None:
-        cache = processor._kernel_cache = {}
-    program = cache.get("d8-decompress")
-    if program is None:
-        from ..analysis import lint_or_raise
-        program = processor.assembler.assemble(decompress_kernel(),
-                                               "d8-decompress")
-        lint_or_raise(program, processor)
-        cache["d8-decompress"] = program
-    processor.load_program(program)
+    from .kernels import load_cached_kernel
+    load_cached_kernel(processor, "d8-decompress", decompress_kernel)
     result = processor.run(entry="main", regs={
         "a2": compressed_base, "a3": len(values), "a4": output_base})
     output = processor.read_words(output_base, len(values)) \

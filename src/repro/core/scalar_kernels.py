@@ -231,16 +231,8 @@ _SCALAR_KERNELS = {
 
 
 def _cached(processor, key, source):
-    cache = getattr(processor, "_kernel_cache", None)
-    if cache is None:
-        cache = processor._kernel_cache = {}
-    program = cache.get(key)
-    if program is None:
-        from ..analysis import lint_or_raise
-        program = processor.assembler.assemble(source, key)
-        lint_or_raise(program, processor)
-        cache[key] = program
-    processor.load_program(program)
+    from .kernels import load_cached_kernel
+    load_cached_kernel(processor, key, source)
 
 
 def scalar_set_layout(len_a, len_b):

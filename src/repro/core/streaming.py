@@ -219,16 +219,11 @@ def run_streaming_set_operation(processor, which, set_a, set_b,
 
     key = "stream-%s-%dlsu-%s" % (which, processor.config.num_lsus,
                                   "ov" if overlap else "bl")
-    cache = getattr(processor, "_kernel_cache", None)
-    if cache is None:
-        cache = processor._kernel_cache = {}
-    program = cache.get(key)
-    if program is None:
-        program = processor.assembler.assemble(
-            streaming_kernel(which, processor.config.num_lsus, overlap),
-            key)
-        cache[key] = program
-    processor.load_program(program)
+    from .kernels import load_cached_kernel
+    load_cached_kernel(
+        processor, key,
+        lambda: streaming_kernel(which, processor.config.num_lsus, overlap),
+        lint=False)
 
     result = processor.run(entry="main", regs={
         "a2": DESC_BASE, "a3": len(chunks), "a4": result_base,
@@ -446,16 +441,12 @@ def run_compressed_streaming_set_operation(processor, which, set_a,
 
     key = "cstream-%s-%dlsu-%s" % (which, processor.config.num_lsus,
                                    "ov" if overlap else "bl")
-    cache = getattr(processor, "_kernel_cache", None)
-    if cache is None:
-        cache = processor._kernel_cache = {}
-    program = cache.get(key)
-    if program is None:
-        program = processor.assembler.assemble(
-            compressed_streaming_kernel(
-                which, processor.config.num_lsus, overlap), key)
-        cache[key] = program
-    processor.load_program(program)
+    from .kernels import load_cached_kernel
+    load_cached_kernel(
+        processor, key,
+        lambda: compressed_streaming_kernel(
+            which, processor.config.num_lsus, overlap),
+        lint=False)
     result = processor.run(entry="main", regs={
         "a2": CDESC_BASE, "a3": len(chunks), "a4": result_base,
     })

@@ -10,6 +10,7 @@ from .cache import Cache, CacheConfig
 from .config import CoreConfig
 from .errors import (ConfigurationError, ExecutionLimitExceeded, MemoryFault,
                      SimulationError)
+from .fastpath import FastProgram, compile_fastpath, fastpath_disabled
 from .interconnect import Interconnect
 from .lsu import LoadStoreUnit
 from .memory import DMEM0_BASE, DMEM1_BASE, MAIN_BASE, Memory, MemoryMap
@@ -23,6 +24,7 @@ __all__ = [
     "Cache", "CacheConfig", "CoreConfig",
     "ConfigurationError", "ExecutionLimitExceeded", "MemoryFault",
     "SimulationError",
+    "FastProgram", "compile_fastpath", "fastpath_disabled",
     "Interconnect", "LoadStoreUnit",
     "DMEM0_BASE", "DMEM1_BASE", "MAIN_BASE", "Memory", "MemoryMap",
     "PipelineModel", "DataPrefetcher", "Processor", "RunResult",

@@ -23,6 +23,7 @@ from ..telemetry.registry import MetricsRegistry
 from ..telemetry.report import RunStats
 from .cache import Cache
 from .errors import ConfigurationError, ExecutionLimitExceeded, MemoryFault
+from .fastpath import compile_fastpath, fastpath_disabled
 from .lsu import LoadStoreUnit
 from .memory import DMEM0_BASE, DMEM1_BASE, MAIN_BASE, Memory, MemoryMap
 from .pipeline import register_uses, result_delay
@@ -108,6 +109,11 @@ class Processor:
         self.mem_extra = 0
         self._program = None
         self._steps = None
+        self._fast = None
+        #: Per-processor compilation memo: id(program) -> (program,
+        #: steps, fast).  The strong program reference keeps the id
+        #: stable for the lifetime of the entry.
+        self._compiled_cache = {}
         #: Active :class:`~repro.cpu.trace.PipelineTracer` of the
         #: current run, visible to extensions (the DMA prefetcher emits
         #: burst spans through it); ``None`` outside traced runs.
@@ -153,11 +159,13 @@ class Processor:
         if config.num_lsus == 2:
             self.lsus.append(LoadStoreUnit(1, config.lsu_port_bits,
                                            self.memory_map))
-        if self.dmem1 is not None:
+        if self.dmem1 is not None and len(self.lsus) > 1:
             self._dmem1_base = self.dmem1.base
             self._dmem1_limit = self.dmem1.limit
         else:
-            self._dmem1_base = self._dmem1_limit = None
+            # Empty range: the single comparison chain in lsu_for then
+            # rejects every address without extra checks.
+            self._dmem1_base, self._dmem1_limit = 1, 0
 
     def _register_metrics(self):
         """Index every component's instruments in :attr:`metrics`.
@@ -180,6 +188,8 @@ class Processor:
         self._g_instructions = run.gauge("instructions")
         self._g_taken = run.gauge("taken_redirects")
         self._g_interlock = run.gauge("interlock_stalls")
+        #: 1 when the last run used the compiled fast path, else 0.
+        self._g_fastpath = run.gauge("fastpath")
 
     # ------------------------------------------------------------------
     # extension plumbing (called by repro.tie)
@@ -213,9 +223,7 @@ class Processor:
     # ------------------------------------------------------------------
 
     def lsu_for(self, addr):
-        if self._dmem1_base is not None \
-                and self._dmem1_base <= addr < self._dmem1_limit \
-                and len(self.lsus) > 1:
+        if self._dmem1_base <= addr < self._dmem1_limit:
             return self.lsus[1]
         return self.lsus[0]
 
@@ -260,7 +268,16 @@ class Processor:
         else:
             program = source_or_program
         self._program = program
+        cached = self._compiled_cache.get(id(program))
+        if cached is not None and cached[0] is program:
+            _, self._steps, self._fast = cached
+            return program
         self._steps = self._compile(program)
+        self._fast = None if fastpath_disabled() \
+            else compile_fastpath(self, program, self._steps)
+        if len(self._compiled_cache) >= 64:
+            self._compiled_cache.clear()
+        self._compiled_cache[id(program)] = (program, self._steps, self._fast)
         return program
 
     @property
@@ -331,8 +348,28 @@ class Processor:
         regs: mapping of register names/indices to initial values.
         trace: optional :class:`repro.cpu.trace.PipelineTracer`.
 
+        Plain runs (no trace) execute through the superblock-compiled
+        fast path of :mod:`repro.cpu.fastpath` when available; set
+        ``REPRO_NO_FASTPATH=1`` (or pass a trace, or call
+        :meth:`run_interpreted`) to force the reference interpreter.
+        Both paths produce identical results — see docs/PERFORMANCE.md.
+
         Use :meth:`run_profiled` for per-pc cycle attribution.
         """
+        entry = self._prepare_run(entry, regs, reset_stats)
+        fast = self._fast
+        if trace is None and fast is not None and not fastpath_disabled() \
+                and fast.accepts(entry):
+            return self._run_fast(fast, entry, max_cycles)
+        return self._run_interpreted(entry, max_cycles, trace)
+
+    def run_interpreted(self, entry=0, regs=None, max_cycles=200_000_000,
+                        trace=None, reset_stats=True):
+        """Like :meth:`run` but always using the reference interpreter."""
+        entry = self._prepare_run(entry, regs, reset_stats)
+        return self._run_interpreted(entry, max_cycles, trace)
+
+    def _prepare_run(self, entry, regs, reset_stats):
         if self._steps is None:
             raise ConfigurationError("no program loaded")
         if isinstance(entry, str):
@@ -344,7 +381,34 @@ class Processor:
                 index = parse_register(name) if isinstance(name, str) \
                     else name
                 self.regs[index] = value
+        return entry
 
+    def _run_fast(self, fast, entry, max_cycles):
+        """Trampoline over the compiled superblocks of the loaded program."""
+        self._g_fastpath.set(1)
+        self.halted = False
+        self.trace = None
+        rv = self.regs._values
+        reg_ready = [0] * NUM_ADDRESS_REGISTERS
+        blocks = fast.blocks
+        cycle = 0
+        issued = 0
+        taken = 0
+        interlock = 0
+        pc = entry
+        while not self.halted:
+            block = blocks[pc]
+            if block is None:
+                raise MemoryFault("execution fell into a bundle tail or "
+                                  "unmapped instruction at word %d" % pc)
+            pc, cycle, issued, taken, interlock = block(
+                self, rv, reg_ready, cycle, issued, taken, interlock,
+                max_cycles)
+        stats = self.collect_stats(taken, interlock, cycle, issued)
+        return RunResult(cycle, issued, self.regs.snapshot(), stats)
+
+    def _run_interpreted(self, entry, max_cycles, trace):
+        self._g_fastpath.set(0)
         steps = self._steps
         reg_ready = [0] * NUM_ADDRESS_REGISTERS
         cycle = 0
@@ -429,6 +493,9 @@ class Processor:
         pc = entry
         while not self.halted:
             step = steps[pc]
+            if step is None:
+                raise MemoryFault("execution fell into a bundle tail or "
+                                  "unmapped instruction at word %d" % pc)
             begin = cycle
             issue = cycle
             for reg in step.reads:

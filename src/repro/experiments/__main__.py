@@ -4,11 +4,17 @@ Without arguments, every experiment runs in paper order.  ``--quick``
 shrinks workload sizes (same shapes, faster turnaround).
 ``--artifacts DIR`` additionally writes each result as a JSON artifact
 next to its printed text table (see :mod:`repro.experiments.base`).
+``--parallel N`` fans independent experiment ids over N worker
+processes and merges their artifacts in the requested order.
 """
 
 import sys
 
-from . import EXPERIMENTS, figure13, table2
+from . import EXPERIMENTS
+
+DEFAULT_ORDER = ["table2", "table3", "table4", "table5", "table6",
+                 "figure13", "prefetch", "energy", "iso_area",
+                 "compression"]
 
 
 def main(argv=None):
@@ -24,29 +30,45 @@ def main(argv=None):
             return 2
         artifacts = argv[position + 1]
         del argv[position:position + 2]
-    names = argv or ["table2", "table3", "table4", "table5", "table6",
-                     "figure13", "prefetch", "energy", "iso_area",
-                     "compression"]
+    parallel = 1
+    if "--parallel" in argv:
+        position = argv.index("--parallel")
+        if position + 1 >= len(argv):
+            print("--parallel requires a worker count argument")
+            return 2
+        try:
+            parallel = int(argv[position + 1])
+        except ValueError:
+            print("--parallel requires an integer, got %r"
+                  % argv[position + 1])
+            return 2
+        if parallel < 1:
+            print("--parallel requires a positive worker count")
+            return 2
+        del argv[position:position + 2]
+    names = argv or list(DEFAULT_ORDER)
     for name in names:
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
+        if name not in EXPERIMENTS:
             print("unknown experiment %r; available: %s"
                   % (name, ", ".join(sorted(EXPERIMENTS))))
             return 2
-        if quick and name == "table2":
-            result = table2.run(set_size=1000, sort_size=1024)
-        elif quick and name == "figure13":
-            result = figure13.run(set_size=800)
-        elif quick and name == "prefetch":
-            from . import prefetch_validation
-            result = prefetch_validation.run(sizes=(8_000, 16_000))
-        else:
-            result = runner()
-        print(result.format())
-        if artifacts:
-            print("artifact: %s" % result.save(artifacts))
-        print()
+
+    from .parallel import run_experiment, run_parallel
+    if parallel > 1 and len(names) > 1:
+        results = run_parallel(names, quick=quick, jobs=parallel)
+        for result in results:
+            _emit(result, artifacts)
+    else:
+        for name in names:
+            _emit(run_experiment(name, quick=quick), artifacts)
     return 0
+
+
+def _emit(result, artifacts):
+    print(result.format())
+    if artifacts:
+        print("artifact: %s" % result.save(artifacts))
+    print()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,60 @@
+"""Multiprocess fan-out of independent experiment ids.
+
+Each experiment regenerates one paper table/figure from its own
+processor instances, so experiments are independent of each other and
+parallelize trivially across worker processes.  The worker entry point
+lives in this real module (not ``__main__``) so it stays picklable
+under every multiprocessing start method; results cross the process
+boundary as the same JSON-ready dicts the artifact files use and are
+rebuilt into :class:`~repro.experiments.base.ExperimentResult` in the
+parent, which then prints and saves them in the requested order.
+"""
+
+import concurrent.futures
+
+from .base import ExperimentResult
+
+#: Workload-size overrides applied by ``--quick`` (same shapes, faster).
+QUICK_OVERRIDES = {
+    "table2": {"set_size": 1000, "sort_size": 1024},
+    "figure13": {"set_size": 800},
+    "prefetch": {"sizes": (8_000, 16_000)},
+}
+
+
+def run_experiment(name, quick=False):
+    """Run one experiment by id, honoring the ``--quick`` overrides."""
+    from . import EXPERIMENTS
+    runner = EXPERIMENTS[name]
+    if quick and name in QUICK_OVERRIDES:
+        return runner(**QUICK_OVERRIDES[name])
+    return runner()
+
+
+def _run_worker(name, quick):
+    """Process-pool entry point: run and return a picklable dict."""
+    return run_experiment(name, quick).to_dict()
+
+
+def result_from_dict(payload):
+    """Rebuild an :class:`ExperimentResult` from its ``to_dict`` form."""
+    return ExperimentResult(payload["experiment"], payload["title"],
+                            payload["headers"], payload["rows"],
+                            payload.get("notes", ()))
+
+
+def run_parallel(names, quick=False, jobs=2):
+    """Run *names* across *jobs* worker processes.
+
+    Returns the :class:`ExperimentResult` list in input order (the
+    scheduling order is whatever finishes first).  Exceptions raised by
+    a worker propagate to the caller.
+    """
+    jobs = max(1, min(jobs, len(names)))
+    results = [None] * len(names)
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {pool.submit(_run_worker, name, quick): position
+                   for position, name in enumerate(names)}
+        for future in concurrent.futures.as_completed(futures):
+            results[futures[future]] = result_from_dict(future.result())
+    return results
