@@ -78,7 +78,8 @@ def _lint_executed_kernels(procs):
     from repro.analysis import LintWarning, lint_program
 
     for proc in procs:
-        for key, program in getattr(proc, "_kernel_cache", {}).items():
+        for key, (program, _config, _exts) in getattr(
+                proc, "_kernel_cache", {}).items():
             report = lint_program(program, proc)
             for diagnostic in report.at_least("warning"):
                 warnings.warn("%s: %s" % (key, diagnostic.format()),

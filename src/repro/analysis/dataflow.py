@@ -18,6 +18,8 @@ Checks:
   result-protocol writes are never flagged.
 * ``DF003`` — a TIE state is read by the program but no reachable
   instruction (``wur`` or an operation writing it) ever writes it.
+  States registered as ``hardware_written`` (engine-maintained, like
+  the prefetcher's ``DMA_DONE``) are exempt.
 """
 
 from ..cpu.pipeline import register_uses
@@ -185,7 +187,9 @@ def _ur_state_names(processor):
 def _check_state_uses(cfg, report, processor, reachable):
     op_map = _operation_map(processor)
     ur_names = _ur_state_names(processor)
-    written = set()
+    # Engine-maintained states (e.g. the prefetcher's DMA_DONE) count
+    # as always-written: polling them is their intended use.
+    written = set(getattr(processor, "ur_hardware_written", ()))
     reads = []  # (state name, op name, node) in program order
     for node in sorted(reachable):
         for slot in node_slots(cfg.item(node)):

@@ -7,10 +7,12 @@
     repro run intersection --json --trace-out trace.json
     repro synth --config DBA_2LSU_EIS --tech gf28slp
     repro experiments table2 figure13 --artifacts out/
+    repro experiments --parallel 4 --timeout 600 --retries 1
     repro disasm intersection --config DBA_2LSU_EIS
     repro report out/run.json
     repro lint
     repro lint examples/asm/*.s --config DBA_2LSU_EIS
+    repro faults campaign --kernel intersection --trials 50
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -82,6 +84,13 @@ def build_parser():
     exp_cmd.add_argument("--parallel", type=int, default=1, metavar="N",
                          help="fan independent experiments over N worker "
                               "processes")
+    exp_cmd.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-experiment supervisor budget "
+                              "(parallel mode)")
+    exp_cmd.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="supervisor retry budget per experiment "
+                              "(default %(default)s)")
 
     report_cmd = sub.add_parser("report",
                                 help="summarize saved JSON run reports")
@@ -114,6 +123,47 @@ def build_parser():
                                "(default %(default)s)")
     lint_cmd.add_argument("--json", action="store_true",
                           help="emit the full diagnostic list as JSON")
+
+    faults_cmd = sub.add_parser(
+        "faults", help="seeded fault-injection campaigns")
+    faults_sub = faults_cmd.add_subparsers(dest="faults_command",
+                                           required=True)
+    campaign_cmd = faults_sub.add_parser(
+        "campaign",
+        help="run one kernel N times under sampled faults and "
+             "classify the outcomes")
+    campaign_cmd.add_argument("--kernel", default="intersection",
+                              choices=("dma_poll", "intersection",
+                                       "scalar"))
+    campaign_cmd.add_argument("--config", default=None,
+                              choices=CONFIG_NAMES,
+                              help="processor configuration (default: "
+                                   "the kernel's natural one)")
+    campaign_cmd.add_argument("--size", type=int, default=400,
+                              help="workload elements "
+                                   "(default %(default)s)")
+    campaign_cmd.add_argument("--trials", type=int, default=20,
+                              help="fault trials to run "
+                                   "(default %(default)s)")
+    campaign_cmd.add_argument("--seed", type=int, default=42)
+    campaign_cmd.add_argument("--parallel", type=int, default=1,
+                              metavar="N",
+                              help="fan trial chunks over N supervised "
+                                   "worker processes")
+    campaign_cmd.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-chunk supervisor budget "
+                                   "(parallel mode)")
+    campaign_cmd.add_argument("--retries", type=int, default=1,
+                              metavar="N",
+                              help="supervisor retry budget per chunk "
+                                   "(default %(default)s)")
+    campaign_cmd.add_argument("--json", action="store_true",
+                              help="print the full campaign report as "
+                                   "JSON")
+    campaign_cmd.add_argument("--out", metavar="FILE",
+                              help="write the JSON campaign report to "
+                                   "FILE")
     return parser
 
 
@@ -197,6 +247,10 @@ def cmd_experiments(args):
         argv.extend(["--artifacts", args.artifacts])
     if args.parallel and args.parallel != 1:
         argv.extend(["--parallel", str(args.parallel)])
+    if args.timeout is not None:
+        argv.extend(["--timeout", str(args.timeout)])
+    if args.retries != 1:
+        argv.extend(["--retries", str(args.retries)])
     return experiments_main(argv)
 
 
@@ -238,6 +292,7 @@ def cmd_lint(args):
     from .analysis import DiagnosticReport, lint_processor, lint_program
     from .configs.catalog import has_eis
     from .core.kernels import builtin_kernel_sources
+    from .faults.campaign import campaign_kernel_sources
     from .isa.errors import IsaError
 
     combined = DiagnosticReport("repro lint")
@@ -273,6 +328,14 @@ def cmd_lint(args):
                 program = processor.assembler.assemble(
                     source, "%s/%s" % (name, kernel_name))
                 combined.extend(lint_program(program, processor))
+            # Campaign-only kernels use the DMA user registers, which
+            # exist only on prefetcher-equipped cores.
+            fault_processor = build_processor(name, prefetcher=True,
+                                              compression=has_eis(name))
+            for kernel_name, source in campaign_kernel_sources():
+                program = fault_processor.assembler.assemble(
+                    source, "%s/%s" % (name, kernel_name))
+                combined.extend(lint_program(program, fault_processor))
     if combined.has_errors:
         status = 1
     if args.json:
@@ -285,6 +348,39 @@ def cmd_lint(args):
     return status
 
 
+def cmd_faults(args):
+    import json as json_module
+
+    from .faults.campaign import OUTCOMES, run_campaign
+
+    log = None if args.json else print
+    report = run_campaign(
+        args.kernel, config=args.config, size=args.size,
+        trials=args.trials, seed=args.seed, jobs=args.parallel,
+        timeout=args.timeout, retries=args.retries, log=log)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_module.dump(report, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json_module.dumps(report, indent=2))
+        return 1 if report["summary"]["crash"] else 0
+    campaign = report["campaign"]
+    summary = report["summary"]
+    print("fault campaign: %s on %s (%d trials, size %d, seed %s)"
+          % (campaign["kernel"], campaign["config"], campaign["trials"],
+             campaign["size"], campaign["seed"]))
+    for name in OUTCOMES:
+        print("  %-12s %d" % (name, summary[name]))
+    for trial in report["trials"]:
+        if trial["outcome"] == "crash":
+            print("  crash in trial %d: %s"
+                  % (trial["trial"], trial.get("detail", "?")))
+    if args.out:
+        print("  report: %s" % args.out)
+    return 1 if summary["crash"] else 0
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     handlers = {
@@ -294,6 +390,7 @@ def main(argv=None):
         "disasm": cmd_disasm,
         "report": cmd_report,
         "lint": cmd_lint,
+        "faults": cmd_faults,
     }
     return handlers[args.command](args)
 

@@ -229,7 +229,7 @@ class PortableProgram:
     target processor's own ISA and FLIX formats, skipping the parse.
     """
 
-    __slots__ = ("entries", "labels", "source_name")
+    __slots__ = ("entries", "labels", "source_name", "fingerprint")
 
     def __init__(self, program):
         from ..isa.assembler import Bundle, BundleTail
@@ -248,6 +248,52 @@ class PortableProgram:
         self.entries = tuple(entries)
         self.labels = dict(program.labels)
         self.source_name = program.source_name
+        #: Self-integrity digest; re-checked on every cache hit so a
+        #: corrupted or mutated cache entry is rebuilt, never executed.
+        self.fingerprint = self.compute_fingerprint()
+
+    def compute_fingerprint(self):
+        digest = hashlib.sha256()
+        digest.update(repr(self.entries).encode("utf-8"))
+        digest.update(repr(sorted(self.labels.items())).encode("utf-8"))
+        return digest.hexdigest()
+
+    def validate(self):
+        """Structural sanity; returns False instead of raising.
+
+        Checked on every cache hit (see :func:`load_cached_kernel`):
+        entry shapes, and label targets within the program's word range
+        (each bundle entry occupies one extra tail word on bind).
+        """
+        try:
+            if self.fingerprint != self.compute_fingerprint():
+                return False
+            words = 0
+            for entry in self.entries:
+                if entry[0] == "i":
+                    _tag, name, operands, _line = entry
+                    if not isinstance(name, str) \
+                            or not isinstance(operands, tuple):
+                        return False
+                    words += 1
+                elif entry[0] == "b":
+                    _tag, slots, format_name, _line = entry
+                    if not isinstance(format_name, str):
+                        return False
+                    for slot in slots:
+                        slot_name, slot_operands = slot
+                        if not isinstance(slot_name, str) \
+                                or not isinstance(slot_operands, tuple):
+                            return False
+                    words += 2  # bundle + tail
+                else:
+                    return False
+            for target in self.labels.values():
+                if not 0 <= target <= words:
+                    return False
+        except Exception:
+            return False
+        return True
 
     def bind(self, processor):
         """Rebuild the program against *processor*'s ISA instances."""
@@ -271,11 +317,14 @@ class PortableProgram:
 
 #: (config name, extension names, source sha256) -> PortableProgram.
 _PORTABLE_CACHE = {}
-_PORTABLE_STATS = {"hits": 0, "misses": 0}
+#: ``invalid`` counts cache entries that failed validation on lookup
+#: and were rebuilt (reported as ``kernels.cache.invalid``, see
+#: docs/OBSERVABILITY.md).
+_PORTABLE_STATS = {"hits": 0, "misses": 0, "invalid": 0}
 
 
 def portable_cache_stats():
-    """Hit/miss counters of the cross-processor kernel cache."""
+    """Hit/miss/invalid counters of the cross-processor kernel cache."""
     return dict(_PORTABLE_STATS)
 
 
@@ -283,6 +332,7 @@ def clear_portable_cache():
     _PORTABLE_CACHE.clear()
     _PORTABLE_STATS["hits"] = 0
     _PORTABLE_STATS["misses"] = 0
+    _PORTABLE_STATS["invalid"] = 0
 
 
 def _portable_key(processor, source):
@@ -305,30 +355,91 @@ def load_cached_kernel(processor, key, source, lint=True):
 
     *source* may be the assembly text or a zero-argument callable
     producing it; the callable is only invoked on a per-processor miss.
+
+    Both cache levels validate on lookup instead of trusting their
+    entries (docs/ROBUSTNESS.md): a portable entry must pass its
+    self-integrity fingerprint and structural checks, and a
+    per-processor entry must still match the processor's configuration,
+    extension set and ISA instances.  A failed check rebuilds the
+    program from source and bumps the ``invalid`` counter — a corrupted
+    cache costs a recompile, never a crash (and never silently runs
+    the wrong kernel).
     """
     cache = getattr(processor, "_kernel_cache", None)
     if cache is None:
         cache = processor._kernel_cache = {}
-    program = cache.get(key)
-    if program is None:
-        if callable(source):
-            source = source()
-        portable_key = _portable_key(processor, source)
-        portable = _PORTABLE_CACHE.get(portable_key)
-        if portable is None:
-            _PORTABLE_STATS["misses"] += 1
+    entry = cache.get(key)
+    if entry is not None:
+        program, config_name, extension_names = entry
+        if config_name == processor.config.name \
+                and extension_names == _extension_names(processor) \
+                and _program_matches_isa(program, processor):
+            processor.load_program(program)
+            return program
+        _PORTABLE_STATS["invalid"] += 1
+        del cache[key]
+    if callable(source):
+        source = source()
+    portable_key = _portable_key(processor, source)
+    portable = _PORTABLE_CACHE.get(portable_key)
+    if portable is not None and not portable.validate():
+        _PORTABLE_STATS["invalid"] += 1
+        del _PORTABLE_CACHE[portable_key]
+        portable = None
+    if portable is None:
+        _PORTABLE_STATS["misses"] += 1
+        program = processor.assembler.assemble(source, key)
+        if lint:
+            from ..analysis import lint_or_raise
+            lint_or_raise(program, processor)
+        _PORTABLE_CACHE[portable_key] = PortableProgram(program)
+    else:
+        # already parsed (and linted) on an identical configuration
+        _PORTABLE_STATS["hits"] += 1
+        try:
+            program = portable.bind(processor)
+        except Exception:
+            # e.g. an ISA mismatch the key failed to capture; rebuild.
+            _PORTABLE_STATS["invalid"] += 1
+            del _PORTABLE_CACHE[portable_key]
             program = processor.assembler.assemble(source, key)
             if lint:
                 from ..analysis import lint_or_raise
                 lint_or_raise(program, processor)
             _PORTABLE_CACHE[portable_key] = PortableProgram(program)
-        else:
-            # already parsed (and linted) on an identical configuration
-            _PORTABLE_STATS["hits"] += 1
-            program = portable.bind(processor)
-        cache[key] = program
+    cache[key] = (program, processor.config.name,
+                  _extension_names(processor))
     processor.load_program(program)
     return program
+
+
+def _extension_names(processor):
+    return tuple(sorted(getattr(ext, "name", type(ext).__name__)
+                        for ext in processor.extensions))
+
+
+def _program_matches_isa(program, processor):
+    """Whether every item of *program* is bound to *processor*'s ISA.
+
+    Guards the per-processor cache against entries that were bound
+    against another core (TIE executors close over per-core state, so
+    running them here would corrupt both machines).
+    """
+    from ..isa.assembler import Bundle, BundleTail
+    isa = processor.isa
+    try:
+        for item in program.items:
+            if isinstance(item, BundleTail):
+                continue
+            if isinstance(item, Bundle):
+                for slot in item.slots:
+                    if isa.lookup(slot.spec.name) is not slot.spec:
+                        return False
+            elif isa.lookup(item.spec.name) is not item.spec:
+                return False
+    except Exception:
+        return False
+    return True
 
 
 # ---------------------------------------------------------------------------

@@ -10,7 +10,31 @@ class MemoryFault(SimulationError):
 
 
 class ExecutionLimitExceeded(SimulationError):
-    """The program did not halt within the allowed cycle budget."""
+    """The program did not halt within the watchdog's budget.
+
+    Raised by the :class:`~repro.cpu.watchdog.Watchdog` for both
+    flavors of runaway run: cycle fuel exhausted, and the no-progress
+    backstop (instructions issuing without the cycle count keeping up,
+    which only happens when timing accounting is corrupted).  Carries
+    ``pc``, ``cycle`` and ``max_cycles`` attributes when raised by the
+    watchdog (``None`` when unpickled across a process boundary).
+    """
+
+    def __init__(self, message, pc=None, cycle=None, max_cycles=None):
+        super().__init__(message)
+        self.pc = pc
+        self.cycle = cycle
+        self.max_cycles = max_cycles
+
+
+class DivergenceError(SimulationError):
+    """Paranoid mode found the fast path and interpreter disagreeing.
+
+    ``REPRO_PARANOID=1`` shadow-runs every compiled fast-path run
+    against the reference interpreter; the first (pc, cycle, registers)
+    superblock-boundary triple that differs raises this error (see
+    docs/ROBUSTNESS.md for the exact contract).
+    """
 
 
 class ConfigurationError(SimulationError):

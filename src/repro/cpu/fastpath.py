@@ -36,7 +36,7 @@ run started with ``REPRO_NO_FASTPATH=1`` in the environment.
 import os
 
 from ..isa.assembler import Bundle, BundleTail
-from .errors import ExecutionLimitExceeded
+from .watchdog import trip as _watchdog_trip
 
 M32 = 0xFFFFFFFF
 
@@ -157,7 +157,7 @@ def compile_fastpath(processor, program, steps):
         "OPS": [s.operands if s is not None else None for s in steps],
         "LSU0": processor.lsus[0],
         "LSU1": processor.lsus[1] if len(processor.lsus) > 1 else None,
-        "ELE": ExecutionLimitExceeded,
+        "WD": _watchdog_trip,
     }
     code = compile(source, "<fastpath:%s>" % program.source_name, "exec")
     exec(code, namespace)
@@ -210,7 +210,7 @@ def _gen_block(indexes, items, steps, transfers_at, enders, dual, d1base,
             uses_mem = True
 
     params = ["core", "rv", "reg_ready", "cycle", "issued", "taken",
-              "interlock", "max_cycles", "ELE=ELE"]
+              "interlock", "max_cycles", "WD=WD"]
     if uses_mem:
         params.append("lsu0=LSU0")
         if dual:
@@ -226,9 +226,10 @@ def _gen_block(indexes, items, steps, transfers_at, enders, dual, d1base,
 
     def block_exit(indent, pc_expr, count):
         w("issued += %d" % count, indent)
-        w("if cycle > max_cycles:", indent)
-        w('    raise ELE("exceeded %%d cycles at pc=%%d"' % (), indent)
-        w("              %% (max_cycles, %s))" % pc_expr, indent)
+        # unified watchdog: cycle fuel + no-progress backstop, checked
+        # at superblock granularity (docs/ROBUSTNESS.md)
+        w("if cycle > max_cycles or issued > max_cycles:", indent)
+        w("    WD(max_cycles, %s, cycle, issued)" % pc_expr, indent)
         w("return %s, cycle, issued, taken, interlock" % pc_expr, indent)
 
     def issue_seq(step, indent):

@@ -52,6 +52,19 @@ class Interconnect:
         self._bytes_moved.reset()
         self._burst_bytes.reset()
 
+    def snapshot_state(self):
+        """Copy of the transfer tallies, for run rollback."""
+        h = self._burst_bytes
+        return (self._transfers.value, self._bytes_moved.value,
+                (h.count, h.total, h.min, h.max))
+
+    def restore_state(self, snap):
+        transfers, bytes_moved, hist = snap
+        self._transfers.value = transfers
+        self._bytes_moved.value = bytes_moved
+        h = self._burst_bytes
+        h.count, h.total, h.min, h.max = hist
+
     # -- timing model --------------------------------------------------------
 
     def transfer_cycles(self, nbytes):

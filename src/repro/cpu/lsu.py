@@ -32,6 +32,12 @@ class LoadStoreUnit:
         self.loads = 0
         self.stores = 0
         self.stall_cycles = 0
+        #: Fault-injection hook (:mod:`repro.faults`): when armed,
+        #: called as ``hook(lsu, addr, is_write)`` per access and
+        #: returns extra stall cycles (the paper's wait-state path is
+        #: where a flaky memory controller would bite).  ``None`` (the
+        #: default) costs one comparison per access.
+        self.fault_hook = None
 
     # -- statistics ----------------------------------------------------------
 
@@ -56,6 +62,8 @@ class LoadStoreUnit:
             # Serialize a wide access over a narrow port.
             beats = -(-nbytes // self.port_bytes)  # ceil division
             cost += beats - 1
+        if self.fault_hook is not None:
+            cost += self.fault_hook(self, addr, is_write)
         return cost
 
     # -- scalar access -------------------------------------------------------

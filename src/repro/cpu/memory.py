@@ -32,6 +32,10 @@ class Memory:
     uncached system memory).
     """
 
+    #: Undo-journal entries after which rollback support is abandoned
+    #: for the current run (the journal would rival the memory itself).
+    UNDO_LIMIT = 1 << 22
+
     def __init__(self, name, base, size_bytes, wait_states=0):
         if size_bytes % 4:
             raise MemoryFault("memory size must be a multiple of 4 bytes")
@@ -43,6 +47,15 @@ class Memory:
         self.words = [0] * (size_bytes // 4)
         self.read_accesses = 0
         self.write_accesses = 0
+        #: Fault-injection hook (:mod:`repro.faults`): when armed,
+        #: called as ``hook(region, addr, kind)`` before every
+        #: simulated access.  ``None`` (the default) costs one
+        #: comparison per access.
+        self.fault_hook = None
+        #: Write-undo journal for fast-path fallback / paranoid replay;
+        #: ``None`` (the default) costs one comparison per store.
+        self._undo = None
+        self._undo_overflow = False
 
     # -- statistics ----------------------------------------------------------
 
@@ -60,6 +73,39 @@ class Memory:
     def contains(self, addr):
         return self.base <= addr < self.limit
 
+    # -- write-undo journal (fast-path fallback, paranoid replay) ------------
+
+    def begin_undo(self):
+        """Start journaling stores so the run can be rolled back."""
+        self._undo = []
+        self._undo_overflow = False
+
+    def undo_ok(self):
+        """Whether a rollback would restore the pre-run contents."""
+        return self._undo is not None and not self._undo_overflow
+
+    def rollback_undo(self):
+        """Undo every journaled store (newest first) and disarm."""
+        undo = self._undo
+        if undo is None:
+            return
+        for index, old in reversed(undo):
+            if isinstance(old, list):
+                self.words[index:index + len(old)] = old
+            else:
+                self.words[index] = old
+        self._undo = None
+
+    def discard_undo(self):
+        self._undo = None
+
+    def _journal(self, index, old):
+        undo = self._undo
+        undo.append((index, old))
+        if len(undo) > self.UNDO_LIMIT:
+            self._undo = None
+            self._undo_overflow = True
+
     def _word_index(self, addr):
         if not self.base <= addr < self.limit:
             raise MemoryFault(
@@ -72,6 +118,8 @@ class Memory:
     def load(self, addr, size=4, signed=False):
         """Load 1, 2 or 4 bytes (little-endian within the word)."""
         self.read_accesses += 1
+        if self.fault_hook is not None:
+            self.fault_hook(self, addr, "read")
         if size == 4:
             if addr & 3:
                 raise MemoryFault("%s: misaligned 32-bit load at 0x%08x"
@@ -97,14 +145,21 @@ class Memory:
 
     def store(self, addr, value, size=4):
         self.write_accesses += 1
+        if self.fault_hook is not None:
+            self.fault_hook(self, addr, "write")
         if size == 4:
             if addr & 3:
                 raise MemoryFault("%s: misaligned 32-bit store at 0x%08x"
                                   % (self.name, addr))
-            self.words[self._word_index(addr)] = value & M32
+            index = self._word_index(addr)
+            if self._undo is not None:
+                self._journal(index, self.words[index])
+            self.words[index] = value & M32
             return
         index = self._word_index(addr & ~3)
         word = self.words[index]
+        if self._undo is not None:
+            self._journal(index, word)
         if size == 2:
             if addr & 1:
                 raise MemoryFault("%s: misaligned 16-bit store at 0x%08x"
@@ -123,6 +178,8 @@ class Memory:
     def load_block(self, addr, nwords):
         """Load *nwords* consecutive 32-bit words (EIS 128-bit loads)."""
         self.read_accesses += 1
+        if self.fault_hook is not None:
+            self.fault_hook(self, addr, "read")
         if addr & 3:
             raise MemoryFault("%s: misaligned wide load at 0x%08x"
                               % (self.name, addr))
@@ -135,6 +192,8 @@ class Memory:
 
     def store_block(self, addr, values):
         self.write_accesses += 1
+        if self.fault_hook is not None:
+            self.fault_hook(self, addr, "write")
         if addr & 3:
             raise MemoryFault("%s: misaligned wide store at 0x%08x"
                               % (self.name, addr))
@@ -143,6 +202,8 @@ class Memory:
         if end > len(self.words):
             raise MemoryFault("%s: wide store at 0x%08x runs off the end"
                               % (self.name, addr))
+        if self._undo is not None:
+            self._journal(index, self.words[index:end])
         self.words[index:end] = [v & M32 for v in values]
 
     # -- bulk host access (test benches, workload setup) ---------------------
@@ -154,6 +215,9 @@ class Memory:
         index = self._word_index(addr)
         if index + len(values) > len(self.words):
             raise MemoryFault("bulk write overruns %s" % self.name)
+        if self._undo is not None:
+            # the DMA prefetcher moves data through this path mid-run
+            self._journal(index, self.words[index:index + len(values)])
         self.words[index:index + len(values)] = [v & M32 for v in values]
 
     def read_words(self, addr, count):

@@ -42,6 +42,12 @@ class DataPrefetcher:
         #: what double-buffering kernels poll on.
         self._finish_cycles = []
         self._descriptors = Counter("descriptors")
+        #: Fault-injection hook (:mod:`repro.faults`): when armed,
+        #: called as ``hook(engine, src, dst, nbytes)`` per descriptor;
+        #: returns ``None`` (run normally), ``("drop",)`` (descriptor
+        #: lost: no data moves, no completion is recorded) or
+        #: ``("delay", cycles)`` (transfer takes extra cycles).
+        self.fault_hook = None
 
     @property
     def descriptors_run(self):
@@ -67,9 +73,11 @@ class DataPrefetcher:
                                     self._set_len)
         core.register_user_register("DMA_CTRL", lambda: 0, self._control)
         core.register_user_register("DMA_STATUS", self._status,
-                                    lambda value: None)
+                                    lambda value: None,
+                                    hardware_written=True)
         core.register_user_register("DMA_DONE", self._done_count,
-                                    lambda value: None)
+                                    lambda value: None,
+                                    hardware_written=True)
 
     def _set_src(self, value):
         self._src = value
@@ -100,6 +108,16 @@ class DataPrefetcher:
         Zero-length descriptors complete immediately (they still count
         towards DMA_DONE so descriptor-counting pollers stay simple).
         """
+        delay = 0
+        if self.fault_hook is not None:
+            action = self.fault_hook(self, src, dst, nbytes)
+            if action is not None:
+                if action[0] == "drop":
+                    # Descriptor lost in the NoC: no data movement, no
+                    # completion.  DMA_DONE pollers hang (caught by the
+                    # watchdog); DMA_STATUS pollers read stale data.
+                    return
+                delay = action[1]
         if nbytes == 0:
             self._finish_cycles.append(self.core.cycle)
             self._descriptors.value += 1
@@ -116,7 +134,8 @@ class DataPrefetcher:
         words = core.memory_map.region_for(src).read_words(src, nbytes // 4)
         core.memory_map.region_for(dst).write_words(dst, words)
         begin = max(core.cycle, self._busy_until)
-        self._busy_until = begin + self.interconnect.transfer_cycles(nbytes)
+        self._busy_until = begin + delay \
+            + self.interconnect.transfer_cycles(nbytes)
         self._finish_cycles.append(self._busy_until)
         self._descriptors.value += 1
         trace = getattr(core, "trace", None)
@@ -127,6 +146,21 @@ class DataPrefetcher:
     @property
     def busy_until(self):
         return self._busy_until
+
+    # -- state snapshot (fast-path fallback / paranoid replay) ---------------
+
+    def snapshot_state(self):
+        """Copy of the engine state, for run rollback."""
+        return (self._src, self._dst, self._len, self._busy_until,
+                list(self._finish_cycles), self._descriptors.value,
+                self.interconnect.snapshot_state())
+
+    def restore_state(self, snap):
+        (self._src, self._dst, self._len, self._busy_until,
+         finish, descriptors, noc) = snap
+        self._finish_cycles = list(finish)
+        self._descriptors.value = descriptors
+        self.interconnect.restore_state(noc)
 
     def reset(self):
         self._busy_until = 0

@@ -15,6 +15,8 @@ memories with :meth:`Processor.write_words` before the run — the same
 role the data prefetcher plays in the full system.
 """
 
+import os
+
 from ..isa.assembler import Assembler, Bundle, BundleTail
 from ..isa.instructions import build_base_isa
 from ..isa.registers import NUM_ADDRESS_REGISTERS, RegisterFile, \
@@ -22,11 +24,24 @@ from ..isa.registers import NUM_ADDRESS_REGISTERS, RegisterFile, \
 from ..telemetry.registry import MetricsRegistry
 from ..telemetry.report import RunStats
 from .cache import Cache
-from .errors import ConfigurationError, ExecutionLimitExceeded, MemoryFault
+from .errors import ConfigurationError, DivergenceError, MemoryFault, \
+    SimulationError
 from .fastpath import compile_fastpath, fastpath_disabled
 from .lsu import LoadStoreUnit
 from .memory import DMEM0_BASE, DMEM1_BASE, MAIN_BASE, Memory, MemoryMap
 from .pipeline import register_uses, result_delay
+from .watchdog import DEFAULT_MAX_CYCLES, trip as _watchdog_trip
+
+
+def paranoid_enabled():
+    """Whether ``REPRO_PARANOID=1`` lockstep checking is requested.
+
+    In paranoid mode every run that would use the compiled fast path is
+    additionally replayed on the reference interpreter and compared at
+    superblock boundaries (docs/ROBUSTNESS.md); a mismatch raises
+    :class:`~repro.cpu.errors.DivergenceError`.
+    """
+    return os.environ.get("REPRO_PARANOID", "") not in ("", "0")
 
 
 class RunResult:
@@ -88,6 +103,8 @@ class Processor:
         # User-register space (TIE states map in here).
         self._ur_read = {}
         self._ur_write = {}
+        #: Names of user registers an engine maintains (lint-exempt).
+        self.ur_hardware_written = set()
         self.symbols = {}
         self.flix_formats = []
         self.regfiles = {}
@@ -110,6 +127,7 @@ class Processor:
         self._program = None
         self._steps = None
         self._fast = None
+        self._fast_failed = False
         #: Per-processor compilation memo: id(program) -> (program,
         #: steps, fast).  The strong program reference keeps the id
         #: stable for the lifetime of the entry.
@@ -118,6 +136,15 @@ class Processor:
         #: current run, visible to extensions (the DMA prefetcher emits
         #: burst spans through it); ``None`` outside traced runs.
         self.trace = None
+        #: Fault-injection hook (:mod:`repro.faults`): when armed,
+        #: called as ``hook(core, pc, cycle)`` before every issued
+        #: instruction, and :meth:`run` routes through the reference
+        #: interpreter (the fast path compiles faults away).
+        self._fault_hook = None
+        #: Outcome of the last paranoid-mode replay, or ``None``; a
+        #: plain attribute (not a metric) so registry snapshots stay
+        #: identical between checked and unchecked runs.
+        self.last_paranoid = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -190,13 +217,23 @@ class Processor:
         self._g_interlock = run.gauge("interlock_stalls")
         #: 1 when the last run used the compiled fast path, else 0.
         self._g_fastpath = run.gauge("fastpath")
+        #: 1 when the last run degraded from the fast path to the
+        #: interpreter after an internal fast-path error, else 0.
+        self._g_fallback = run.gauge("fallback")
 
     # ------------------------------------------------------------------
     # extension plumbing (called by repro.tie)
     # ------------------------------------------------------------------
 
-    def register_user_register(self, name, reader, writer):
-        """Expose a TIE state via ``rur``/``wur`` and the assembler."""
+    def register_user_register(self, name, reader, writer,
+                               hardware_written=False):
+        """Expose a TIE state via ``rur``/``wur`` and the assembler.
+
+        ``hardware_written`` marks states maintained by an engine
+        rather than the program (e.g. the prefetcher's ``DMA_DONE``
+        completion count) so dataflow lint does not flag reads of them
+        as use-before-write.
+        """
         if name in self.symbols:
             raise ConfigurationError("user register %r already defined"
                                      % name)
@@ -204,6 +241,8 @@ class Processor:
         self._ur_read[index] = reader
         self._ur_write[index] = writer
         self.symbols[name] = index
+        if hardware_written:
+            self.ur_hardware_written.add(name)
         return index
 
     def read_user_register(self, index):
@@ -270,14 +309,26 @@ class Processor:
         self._program = program
         cached = self._compiled_cache.get(id(program))
         if cached is not None and cached[0] is program:
-            _, self._steps, self._fast = cached
+            _, self._steps, self._fast, self._fast_failed = cached
             return program
         self._steps = self._compile(program)
-        self._fast = None if fastpath_disabled() \
-            else compile_fastpath(self, program, self._steps)
+        self._fast_failed = False
+        if fastpath_disabled():
+            self._fast = None
+        else:
+            try:
+                self._fast = compile_fastpath(self, program, self._steps)
+            except Exception:
+                # Graceful degradation: a fast-path compiler bug must
+                # not take the program down — the reference interpreter
+                # is always available.  Runs of this program report
+                # cpu.run.fallback = 1.
+                self._fast = None
+                self._fast_failed = True
         if len(self._compiled_cache) >= 64:
             self._compiled_cache.clear()
-        self._compiled_cache[id(program)] = (program, self._steps, self._fast)
+        self._compiled_cache[id(program)] = (program, self._steps, self._fast,
+                                             self._fast_failed)
         return program
 
     @property
@@ -338,7 +389,7 @@ class Processor:
     # execution
     # ------------------------------------------------------------------
 
-    def run(self, entry=0, regs=None, max_cycles=200_000_000,
+    def run(self, entry=0, regs=None, max_cycles=DEFAULT_MAX_CYCLES,
             trace=None, reset_stats=True):
         """Execute the loaded program until ``halt``.
 
@@ -353,17 +404,24 @@ class Processor:
         ``REPRO_NO_FASTPATH=1`` (or pass a trace, or call
         :meth:`run_interpreted`) to force the reference interpreter.
         Both paths produce identical results — see docs/PERFORMANCE.md.
+        With ``REPRO_PARANOID=1`` the equivalence is enforced per run by
+        a lockstep interpreter replay (docs/ROBUSTNESS.md); an armed
+        fault injector likewise routes through the interpreter.
 
         Use :meth:`run_profiled` for per-pc cycle attribution.
         """
         entry = self._prepare_run(entry, regs, reset_stats)
         fast = self._fast
+        if fast is None and self._fast_failed:
+            self._g_fallback.set(1)
         if trace is None and fast is not None and not fastpath_disabled() \
-                and fast.accepts(entry):
+                and self._fault_hook is None and fast.accepts(entry):
+            if paranoid_enabled():
+                return self._run_paranoid(fast, entry, max_cycles)
             return self._run_fast(fast, entry, max_cycles)
         return self._run_interpreted(entry, max_cycles, trace)
 
-    def run_interpreted(self, entry=0, regs=None, max_cycles=200_000_000,
+    def run_interpreted(self, entry=0, regs=None, max_cycles=DEFAULT_MAX_CYCLES,
                         trace=None, reset_stats=True):
         """Like :meth:`run` but always using the reference interpreter."""
         entry = self._prepare_run(entry, regs, reset_stats)
@@ -384,7 +442,36 @@ class Processor:
         return entry
 
     def _run_fast(self, fast, entry, max_cycles):
-        """Trampoline over the compiled superblocks of the loaded program."""
+        """Run the fast path, degrading to the interpreter on internal error.
+
+        A :class:`_RunGuard` journals the run so that an *internal*
+        fast-path failure (anything that is not a simulated-machine
+        :class:`~repro.cpu.errors.SimulationError`) can roll the
+        machine back to the pre-run state and replay on the reference
+        interpreter; such runs report ``cpu.run.fallback`` = 1.
+        """
+        guard = _RunGuard(self)
+        try:
+            result = self._trampoline(fast, entry, max_cycles)
+        except SimulationError:
+            # A fault of the simulated machine: both paths raise it
+            # identically, nothing to degrade to.
+            guard.discard()
+            raise
+        except Exception:
+            if not guard.restore():
+                raise
+            self._g_fallback.set(1)
+            return self._run_interpreted(entry, max_cycles, None)
+        guard.discard()
+        return result
+
+    def _trampoline(self, fast, entry, max_cycles, record=None):
+        """Trampoline over the compiled superblocks of the loaded program.
+
+        *record*, when given, collects (pc, cycle, issued, regs) at
+        every superblock boundary for paranoid-mode comparison.
+        """
         self._g_fastpath.set(1)
         self.halted = False
         self.trace = None
@@ -401,13 +488,62 @@ class Processor:
             if block is None:
                 raise MemoryFault("execution fell into a bundle tail or "
                                   "unmapped instruction at word %d" % pc)
+            if record is not None and len(record) < PARANOID_RECORD_LIMIT:
+                record.append((pc, cycle, issued, tuple(rv)))
             pc, cycle, issued, taken, interlock = block(
                 self, rv, reg_ready, cycle, issued, taken, interlock,
                 max_cycles)
         stats = self.collect_stats(taken, interlock, cycle, issued)
         return RunResult(cycle, issued, self.regs.snapshot(), stats)
 
-    def _run_interpreted(self, entry, max_cycles, trace):
+    def _run_paranoid(self, fast, entry, max_cycles):
+        """Fast-path run followed by a lockstep interpreter replay.
+
+        The replay must observe the exact pre-run machine state, so the
+        same :class:`_RunGuard` rollback that powers fallback rewinds
+        the run before the interpreter repeats it.  Divergence at any
+        superblock boundary — or in the final architectural state —
+        raises :class:`~repro.cpu.errors.DivergenceError`.  The replay
+        (reference) result is returned, with the stats rebuilt to
+        report the run as a fast-path run, which it was.
+        """
+        guard = _RunGuard(self)
+        record = []
+        try:
+            fast_result = self._trampoline(fast, entry, max_cycles, record)
+        except SimulationError:
+            guard.discard()
+            raise
+        except Exception:
+            if not guard.restore():
+                raise
+            self._g_fallback.set(1)
+            return self._run_interpreted(entry, max_cycles, None)
+        if not guard.restore():
+            # Undo journal overflowed: the run cannot be replayed.
+            self.last_paranoid = {"ok": None, "checked": 0,
+                                  "replayed": False}
+            return fast_result
+        checker = _LockstepChecker(record)
+        try:
+            ref_result = self._run_interpreted(entry, max_cycles, None,
+                                               probe=checker.probe)
+            checker.finish(self, fast_result, ref_result)
+        except DivergenceError:
+            self.last_paranoid = {"ok": False, "checked": checker.checked,
+                                  "replayed": True}
+            raise
+        self.last_paranoid = {"ok": True, "checked": checker.checked,
+                              "replayed": True}
+        self._g_fastpath.set(1)
+        stats = self.collect_stats(ref_result.stats["taken_redirects"],
+                                   ref_result.stats["interlock_stalls"],
+                                   ref_result.cycles,
+                                   ref_result.instructions)
+        return RunResult(ref_result.cycles, ref_result.instructions,
+                         ref_result.regs, stats)
+
+    def _run_interpreted(self, entry, max_cycles, trace, probe=None):
         self._g_fastpath.set(0)
         steps = self._steps
         reg_ready = [0] * NUM_ADDRESS_REGISTERS
@@ -417,9 +553,14 @@ class Processor:
         interlock = 0
         self.halted = False
         self.trace = trace
+        fault = self._fault_hook
         pc = entry
 
         while not self.halted:
+            if fault is not None:
+                fault(self, pc, cycle)
+            if probe is not None:
+                probe(self, pc, cycle, issued)
             step = steps[pc]
             if step is None:
                 self.trace = None
@@ -457,17 +598,16 @@ class Processor:
                 if self.mem_extra:
                     trace.memory(issue, pc, step.name, self.mem_extra)
             pc = self.npc
-            if cycle > max_cycles:
+            if cycle > max_cycles or issued > max_cycles:
                 self.trace = None
-                raise ExecutionLimitExceeded(
-                    "exceeded %d cycles at pc=%d" % (max_cycles, pc))
+                _watchdog_trip(max_cycles, pc, cycle, issued)
 
         self.trace = None
         stats = self.collect_stats(taken, interlock, cycle, issued)
         return RunResult(cycle, issued, self.regs.snapshot(), stats)
 
     def run_profiled(self, profiler, entry=0, regs=None,
-                     max_cycles=200_000_000):
+                     max_cycles=DEFAULT_MAX_CYCLES):
         """Like :meth:`run` but attributing cycles to each pc.
 
         Kept as a separate loop so the hot path in :meth:`run` stays
@@ -523,9 +663,8 @@ class Processor:
             issued += 1
             profiler.record(pc, cycle - begin, step)
             pc = self.npc
-            if cycle > max_cycles:
-                raise ExecutionLimitExceeded(
-                    "exceeded %d cycles at pc=%d" % (max_cycles, pc))
+            if cycle > max_cycles or issued > max_cycles:
+                _watchdog_trip(max_cycles, pc, cycle, issued)
         stats = self.collect_stats(taken, interlock, cycle, issued)
         return RunResult(cycle, issued, self.regs.snapshot(), stats)
 
@@ -576,6 +715,101 @@ class Processor:
             legacy["dcache_hits"] = self.dcache.hits
             legacy["dcache_misses"] = self.dcache.misses
         return RunStats(legacy, self.metrics.snapshot())
+
+
+#: Superblock boundaries recorded per paranoid run before recording
+#: stops (the final-state comparison still covers the rest).
+PARANOID_RECORD_LIMIT = 1 << 20
+
+
+class _RunGuard:
+    """Pre-run snapshot enabling rollback of one simulated run.
+
+    Register files and extension/prefetcher state are tiny and copied
+    outright; data memories (megabytes) are covered by a write-undo
+    journal instead (:meth:`repro.cpu.memory.Memory.begin_undo`), so an
+    untouched region costs nothing to guard.  ``restore()`` also calls
+    ``reset_stats`` — the rolled-back run never happened, statistically
+    speaking — and returns False when a journal overflowed, in which
+    case the machine state is left as the failed run produced it.
+    """
+
+    __slots__ = ("core", "regs", "ext")
+
+    def __init__(self, core):
+        self.core = core
+        self.regs = list(core.regs._values)
+        self.ext = [(ext, ext.snapshot_state()) for ext in core.extensions]
+        for region in core.memory_map:
+            region.begin_undo()
+
+    def restore(self):
+        core = self.core
+        if not all(region.undo_ok() for region in core.memory_map):
+            self.discard()
+            return False
+        for region in core.memory_map:
+            region.rollback_undo()
+        core.regs._values[:] = self.regs
+        for ext, snap in self.ext:
+            ext.restore_state(snap)
+        core.reset_stats()
+        return True
+
+    def discard(self):
+        for region in self.core.memory_map:
+            region.discard_undo()
+
+
+class _LockstepChecker:
+    """Compares an interpreter replay against recorded fast-path state.
+
+    The trampoline records (pc, cycle, issued, regs) at every
+    superblock boundary; the replay's instruction counter is strictly
+    increasing and must agree at those boundaries, so matching on
+    ``issued`` pins each record to exactly one interpreter step.
+    """
+
+    __slots__ = ("record", "index", "checked")
+
+    def __init__(self, record):
+        self.record = record
+        self.index = 0
+        self.checked = 0
+
+    def probe(self, core, pc, cycle, issued):
+        record = self.record
+        index = self.index
+        if index >= len(record) or issued != record[index][2]:
+            return
+        epc, ecycle, _eissued, eregs = record[index]
+        if pc != epc or cycle != ecycle \
+                or tuple(core.regs._values) != eregs:
+            raise DivergenceError(
+                "paranoid: fast path and interpreter diverge at boundary "
+                "%d: fast (pc=%d, cycle=%d) vs interpreted (pc=%d, "
+                "cycle=%d)" % (index, epc, ecycle, pc, cycle))
+        self.index += 1
+        self.checked += 1
+
+    def finish(self, core, fast_result, ref_result):
+        if self.index != len(self.record):
+            raise DivergenceError(
+                "paranoid: interpreter replay visited %d of %d recorded "
+                "superblock boundaries" % (self.index, len(self.record)))
+        if (fast_result.cycles != ref_result.cycles
+                or fast_result.instructions != ref_result.instructions
+                or fast_result.regs != ref_result.regs):
+            raise DivergenceError(
+                "paranoid: final state diverges: fast (cycles=%d, "
+                "instructions=%d) vs interpreted (cycles=%d, "
+                "instructions=%d)"
+                % (fast_result.cycles, fast_result.instructions,
+                   ref_result.cycles, ref_result.instructions))
+        if dict(fast_result.stats) != dict(ref_result.stats):
+            raise DivergenceError(
+                "paranoid: run statistics diverge between the fast path "
+                "and the interpreter replay")
 
 
 class _Step:

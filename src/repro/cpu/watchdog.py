@@ -1,0 +1,93 @@
+"""Watchdog: unified runaway-run guardrails for the simulator.
+
+The reproduction's numbers come from long cycle-accurate simulations,
+so a kernel that never halts must fail *loudly and identically* on
+every execution path instead of wedging the harness.  Before this
+module, the cycle-budget check lived as three separately-worded ad-hoc
+``max_cycles`` comparisons (the reference interpreter, the profiler
+loop and the generated fast-path blocks); the watchdog centralizes the
+policy and the message so campaign tooling can classify hangs by
+exception type alone.
+
+Two guardrails:
+
+``cycle fuel``
+    The classic ``max_cycles`` budget: the simulated cycle counter may
+    not exceed the fuel.  The reference interpreter and profiler check
+    after every instruction; the compiled fast path checks at
+    superblock boundaries (so it can overshoot by at most one block —
+    see docs/PERFORMANCE.md's equivalence contract).
+
+``no-progress``
+    A correctly-accounted run always satisfies ``instructions <=
+    cycles`` (every issue costs at least one cycle), so the instruction
+    count is bounded by the same fuel.  If timing state is corrupted —
+    a fault-injection campaign spiking ``mem_extra`` negative, a buggy
+    extension rewriting ``core.cycle`` — the cycle counter can stall
+    while instructions keep issuing, and cycle fuel alone would never
+    trip.  The watchdog therefore also trips when the *instruction*
+    count exceeds the fuel.
+
+Both flavors raise :class:`~repro.cpu.errors.ExecutionLimitExceeded`
+with the same message format from every loop, carrying ``pc``,
+``cycle`` and ``max_cycles`` attributes for the fault-campaign outcome
+classifier.
+"""
+
+from .errors import ExecutionLimitExceeded
+
+#: Default cycle fuel of :meth:`repro.cpu.processor.Processor.run`.
+DEFAULT_MAX_CYCLES = 200_000_000
+
+
+def trip(max_cycles, pc, cycle, issued):
+    """Raise the unified watchdog error for an exhausted budget.
+
+    Called from the hot loops (and the generated fast-path code) only
+    after the inline ``cycle > max_cycles or issued > max_cycles``
+    comparison fired, so the cost in the non-tripping case is one
+    comparison.
+    """
+    if cycle > max_cycles:
+        raise ExecutionLimitExceeded(
+            "watchdog: exceeded %d cycles at pc=%d" % (max_cycles, pc),
+            pc=pc, cycle=cycle, max_cycles=max_cycles)
+    raise ExecutionLimitExceeded(
+        "watchdog: no progress — %d instructions issued within %d "
+        "cycles at pc=%d (timing accounting corrupted?)"
+        % (issued, cycle, pc),
+        pc=pc, cycle=cycle, max_cycles=max_cycles)
+
+
+class Watchdog:
+    """Cycle fuel plus no-progress detection as a reusable policy.
+
+    The processor's run loops inline the comparison against
+    :attr:`max_cycles` for speed and call :func:`trip` on failure;
+    campaign/supervisor code uses the object form (:meth:`check`, or
+    :meth:`fuel_for` to derive fuel from a reference run).
+    """
+
+    __slots__ = ("max_cycles",)
+
+    #: Fuel granted per reference cycle by :meth:`fuel_for`.
+    HANG_MARGIN = 8
+    #: Fuel floor of :meth:`fuel_for`, so tiny reference runs still
+    #: leave room for fault-lengthened control flow.
+    MIN_FUEL = 50_000
+
+    def __init__(self, max_cycles=DEFAULT_MAX_CYCLES):
+        self.max_cycles = max_cycles
+
+    @classmethod
+    def fuel_for(cls, reference_cycles):
+        """Cycle fuel for a run expected to take *reference_cycles*."""
+        return max(cls.MIN_FUEL, cls.HANG_MARGIN * reference_cycles)
+
+    def check(self, pc, cycle, issued):
+        """Raise :class:`ExecutionLimitExceeded` if a budget is blown."""
+        if cycle > self.max_cycles or issued > self.max_cycles:
+            trip(self.max_cycles, pc, cycle, issued)
+
+    def __repr__(self):
+        return "<Watchdog fuel=%d>" % self.max_cycles

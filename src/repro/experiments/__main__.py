@@ -4,8 +4,12 @@ Without arguments, every experiment runs in paper order.  ``--quick``
 shrinks workload sizes (same shapes, faster turnaround).
 ``--artifacts DIR`` additionally writes each result as a JSON artifact
 next to its printed text table (see :mod:`repro.experiments.base`).
-``--parallel N`` fans independent experiment ids over N worker
-processes and merges their artifacts in the requested order.
+``--parallel N`` fans independent experiment ids over N crash-isolated
+worker processes (see :mod:`repro.supervisor`) and merges their
+artifacts in the requested order; ``--timeout``/``--retries`` tune the
+supervisor's per-experiment budget.  A failing experiment never costs
+its siblings' results: the sweep finishes, prints a per-experiment
+status table and exits nonzero.
 """
 
 import sys
@@ -17,35 +21,49 @@ DEFAULT_ORDER = ["table2", "table3", "table4", "table5", "table6",
                  "compression"]
 
 
+def _take_option(argv, flag, cast, check, default):
+    """Pop ``flag VALUE`` from *argv*; returns the parsed value."""
+    if flag not in argv:
+        return default, None
+    position = argv.index(flag)
+    if position + 1 >= len(argv):
+        return None, "%s requires an argument" % flag
+    raw = argv[position + 1]
+    try:
+        value = cast(raw)
+    except ValueError:
+        return None, "%s: invalid value %r" % (flag, raw)
+    if not check(value):
+        return None, "%s: invalid value %r" % (flag, raw)
+    del argv[position:position + 2]
+    return value, None
+
+
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     quick = "--quick" in argv
     if quick:
         argv.remove("--quick")
-    artifacts = None
-    if "--artifacts" in argv:
-        position = argv.index("--artifacts")
-        if position + 1 >= len(argv):
-            print("--artifacts requires a directory argument")
-            return 2
-        artifacts = argv[position + 1]
-        del argv[position:position + 2]
-    parallel = 1
-    if "--parallel" in argv:
-        position = argv.index("--parallel")
-        if position + 1 >= len(argv):
-            print("--parallel requires a worker count argument")
-            return 2
-        try:
-            parallel = int(argv[position + 1])
-        except ValueError:
-            print("--parallel requires an integer, got %r"
-                  % argv[position + 1])
-            return 2
-        if parallel < 1:
-            print("--parallel requires a positive worker count")
-            return 2
-        del argv[position:position + 2]
+    artifacts, error = _take_option(argv, "--artifacts", str,
+                                    lambda v: True, None)
+    if error:
+        print(error)
+        return 2
+    parallel, error = _take_option(argv, "--parallel", int,
+                                   lambda v: v >= 1, 1)
+    if error:
+        print(error)
+        return 2
+    timeout, error = _take_option(argv, "--timeout", float,
+                                  lambda v: v > 0, None)
+    if error:
+        print(error)
+        return 2
+    retries, error = _take_option(argv, "--retries", int,
+                                  lambda v: v >= 0, 1)
+    if error:
+        print(error)
+        return 2
     names = argv or list(DEFAULT_ORDER)
     for name in names:
         if name not in EXPERIMENTS:
@@ -55,12 +73,33 @@ def main(argv=None):
 
     from .parallel import run_experiment, run_parallel
     if parallel > 1 and len(names) > 1:
-        results = run_parallel(names, quick=quick, jobs=parallel)
-        for result in results:
-            _emit(result, artifacts)
-    else:
-        for name in names:
-            _emit(run_experiment(name, quick=quick), artifacts)
+        outcome = run_parallel(names, quick=quick, jobs=parallel,
+                               timeout=timeout, retries=retries)
+        for result in outcome.results:
+            if result is not None:
+                _emit(result, artifacts)
+        if not outcome.ok:
+            print("experiment status:")
+            for line in outcome.status_table():
+                print("  " + line)
+            return 1
+        return 0
+
+    # Serial path: same isolation contract, in-process — a failing
+    # experiment is reported but does not abort its siblings.
+    failures = []
+    for name in names:
+        try:
+            result = run_experiment(name, quick=quick)
+        except Exception as exc:
+            failures.append((name, "%s: %s" % (type(exc).__name__, exc)))
+            continue
+        _emit(result, artifacts)
+    if failures:
+        print("experiment status:")
+        for name, detail in failures:
+            print("  %-24s %-8s — %s" % (name, "failed", detail))
+        return 1
     return 0
 
 

@@ -8,10 +8,16 @@ under every multiprocessing start method; results cross the process
 boundary as the same JSON-ready dicts the artifact files use and are
 rebuilt into :class:`~repro.experiments.base.ExperimentResult` in the
 parent, which then prints and saves them in the requested order.
+
+Scheduling goes through :mod:`repro.supervisor`: one crashing,
+hanging or killed experiment no longer takes the sweep's other
+results with it — its siblings complete, the failure is reported per
+experiment, and transient failures are retried.
 """
 
-import concurrent.futures
+import os
 
+from ..supervisor import Task, supervise
 from .base import ExperimentResult
 
 #: Workload-size overrides applied by ``--quick`` (same shapes, faster).
@@ -33,6 +39,15 @@ def run_experiment(name, quick=False):
 
 def _run_worker(name, quick):
     """Process-pool entry point: run and return a picklable dict."""
+    # Test-only fault injection: environment variables cross the
+    # process boundary under every multiprocessing start method, which
+    # is exactly what the supervisor tests need to crash or wedge one
+    # specific worker.
+    if os.environ.get("REPRO_FAIL_EXPERIMENT") == name:
+        raise RuntimeError("injected failure in experiment %r" % name)
+    if os.environ.get("REPRO_HANG_EXPERIMENT") == name:
+        import time
+        time.sleep(3600)
     return run_experiment(name, quick).to_dict()
 
 
@@ -43,18 +58,38 @@ def result_from_dict(payload):
                             payload.get("notes", ()))
 
 
-def run_parallel(names, quick=False, jobs=2):
-    """Run *names* across *jobs* worker processes.
+class SweepOutcome:
+    """Results plus per-experiment statuses of one parallel sweep."""
 
-    Returns the :class:`ExperimentResult` list in input order (the
-    scheduling order is whatever finishes first).  Exceptions raised by
-    a worker propagate to the caller.
+    def __init__(self, results, report):
+        #: :class:`ExperimentResult` list in input order; ``None`` for
+        #: experiments that failed or timed out.
+        self.results = results
+        #: The underlying :class:`repro.supervisor.SuperviseReport`.
+        self.report = report
+
+    @property
+    def ok(self):
+        return self.report.ok
+
+    def status_table(self):
+        return self.report.status_table()
+
+
+def run_parallel(names, quick=False, jobs=2, timeout=None, retries=1,
+                 backoff=0.5, log=None):
+    """Run *names* across *jobs* crash-isolated worker processes.
+
+    Returns a :class:`SweepOutcome` whose ``results`` list is in input
+    order.  A failing experiment costs only its own slot: sibling
+    results are always preserved, and per-experiment statuses
+    (``ok`` / ``retried`` / ``failed`` / ``timeout``) ride along on
+    ``outcome.report``.
     """
     jobs = max(1, min(jobs, len(names)))
-    results = [None] * len(names)
-    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {pool.submit(_run_worker, name, quick): position
-                   for position, name in enumerate(names)}
-        for future in concurrent.futures.as_completed(futures):
-            results[futures[future]] = result_from_dict(future.result())
-    return results
+    tasks = [Task(name, _run_worker, (name, quick)) for name in names]
+    report = supervise(tasks, jobs=jobs, timeout=timeout, retries=retries,
+                       backoff=backoff, log=log)
+    results = [result_from_dict(outcome.value) if outcome.ok else None
+               for outcome in report.outcomes]
+    return SweepOutcome(results, report)

@@ -1,0 +1,23 @@
+"""Seeded fault injection for the processor simulator.
+
+The paper's numbers rest on long cycle-accurate simulations; this
+package answers the robustness question those runs raise — *what does
+the machine (and the harness) do when something breaks mid-run?* — by
+injecting deterministic, seeded faults into the simulated hardware and
+classifying the outcome of each run (docs/ROBUSTNESS.md):
+
+- :mod:`repro.faults.plan` declares the fault model: data-memory and
+  instruction-word bit flips, core/EIS register-state corruption,
+  dropped or delayed DMA descriptors, and LSU latency spikes.
+- :mod:`repro.faults.injector` arms a plan on a live processor via
+  the zero-cost-when-unarmed hooks of the cpu layer.
+- :mod:`repro.faults.campaign` runs seeded campaigns (``repro faults
+  campaign``) and classifies every trial as masked / wrong-result /
+  detected / hang / crash.
+"""
+
+from .campaign import run_campaign
+from .injector import FaultInjector
+from .plan import FaultPlan, sample_plan
+
+__all__ = ["FaultInjector", "FaultPlan", "run_campaign", "sample_plan"]

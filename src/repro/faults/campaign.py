@@ -1,0 +1,366 @@
+"""Seeded fault-injection campaigns (``repro faults campaign``).
+
+A campaign runs one kernel N times, each trial under a fresh fault
+plan sampled from the trial's own seeded RNG, and classifies each
+outcome (docs/ROBUSTNESS.md):
+
+``masked``
+    The run completed with the reference result — the fault landed in
+    dead data, timing-only state, or was otherwise absorbed.
+``wrong_result``
+    The run completed but produced a different result: silent data
+    corruption, the worst case.
+``detected``
+    The simulated machine caught the fault itself (``MemoryFault`` or
+    another :class:`~repro.cpu.errors.SimulationError`) — the RTL-like
+    checks did their job.
+``hang``
+    The watchdog tripped (:class:`ExecutionLimitExceeded`): the fault
+    broke forward progress, e.g. a dropped DMA descriptor under a
+    ``DMA_DONE`` polling loop.
+``crash``
+    The *simulator* (not the simulated machine) fell over — harness
+    territory, surfaced separately so tooling bugs never masquerade as
+    hardware detections.
+
+Determinism contract: the same (kernel, config, size, seed, trials)
+produces byte-identical campaign reports, in-process or across any
+``--parallel`` worker count — trial RNGs are seeded per trial index
+and wall-clock time is kept out of the report.
+"""
+
+import random
+
+from ..configs.catalog import CONFIG_NAMES, build_processor, has_eis
+from ..cpu.errors import ExecutionLimitExceeded, SimulationError
+from ..cpu.memory import MAIN_BASE
+from ..cpu.watchdog import Watchdog
+from ..isa.errors import IsaError
+from ..telemetry.registry import MetricsRegistry
+from ..workloads.sets import generate_set_pair
+from .injector import FaultInjector
+from .plan import OpcodeCorrupt, TrialProfile, sample_plan
+
+#: Outcome classes, in report order.
+OUTCOMES = ("masked", "wrong_result", "detected", "hang", "crash")
+
+
+# ---------------------------------------------------------------------------
+# campaign kernels
+# ---------------------------------------------------------------------------
+
+def dma_poll_kernel():
+    """Double-buffer-style DMA kernel: fill, poll ``DMA_DONE``, reduce.
+
+    Register protocol: ``a2`` = burst source byte address, ``a3`` =
+    destination byte address, ``a4`` = burst bytes.  On halt ``a2``
+    holds the word-sum of the transferred buffer.  A dropped descriptor
+    leaves ``DMA_DONE`` at zero forever, which is exactly the hang the
+    watchdog exists for.
+    """
+    return "\n".join([
+        "; DMA fill + poll + reduce (fault-campaign kernel)",
+        "main:",
+        "  wur a2, DMA_SRC",
+        "  wur a3, DMA_DST",
+        "  wur a4, DMA_LEN",
+        "  movi a8, 1",
+        "  wur a8, DMA_CTRL",
+        "wait:",
+        "  rur a9, DMA_DONE",
+        "  beqz a9, wait",
+        "  mv a5, a3",
+        "  add a6, a3, a4",
+        "  movi a7, 0",
+        "sum:",
+        "  l32i a9, a5, 0",
+        "  add a7, a7, a9",
+        "  addi a5, a5, 4",
+        "  bltu a5, a6, sum",
+        "  mv a2, a7",
+        "  halt",
+    ])
+
+
+class _KernelHarness:
+    """One campaign kernel: how to build, stage, run and read it."""
+
+    def __init__(self, name, default_config, registers, needs_eis=False,
+                 needs_prefetcher=False, dma_descriptors=0):
+        self.name = name
+        self.default_config = default_config
+        self.registers = registers
+        self.needs_eis = needs_eis
+        self.needs_prefetcher = needs_prefetcher
+        self.dma_descriptors = dma_descriptors
+
+    def build(self, config):
+        return build_processor(config, prefetcher=self.needs_prefetcher)
+
+    def check_config(self, config):
+        if config not in CONFIG_NAMES:
+            raise ValueError("unknown config %r" % config)
+        if self.needs_eis and not has_eis(config):
+            raise ValueError("kernel %r needs an EIS configuration, "
+                             "got %r" % (self.name, config))
+
+    # stage() loads the (possibly IMEM-corrupted) program, writes the
+    # workload into memory, and returns (regs, ranges, reader).
+
+
+def _word_range(processor, base_addr, n_words):
+    region = processor.memory_map.region_for(base_addr)
+    return (region.name, (base_addr - region.base) // 4, n_words)
+
+
+def _load(processor, key, source, injector):
+    """Load *source*, applying the plan's IMEM faults to a copy."""
+    from ..core.kernels import PortableProgram, load_cached_kernel
+    corrupting = injector is not None and any(
+        isinstance(fault, OpcodeCorrupt) for fault in injector.plan)
+    if not corrupting:
+        load_cached_kernel(processor, key, source)
+        return
+    program = processor.assembler.assemble(source, key)
+    portable = injector.corrupt_program(PortableProgram(program))
+    processor.load_program(portable.bind(processor))
+
+
+class _SetIntersection(_KernelHarness):
+    """EIS or scalar sorted-set intersection."""
+
+    def __init__(self, name, default_config, scalar):
+        super().__init__(name, default_config,
+                         registers=list(range(2, 10)),
+                         needs_eis=not scalar)
+        self.scalar = scalar
+
+    def stage(self, processor, size, seed, injector):
+        set_a, set_b = generate_set_pair(size, selectivity=0.5, seed=seed)
+        if self.scalar:
+            from ..core.scalar_kernels import (intersection_scalar_kernel,
+                                               scalar_set_layout)
+            base_a, base_b, base_c = scalar_set_layout(len(set_a),
+                                                       len(set_b))
+            words_a, words_b = list(set_a), list(set_b)
+            _load(processor, "faults-scalar-int",
+                  intersection_scalar_kernel(), injector)
+        else:
+            from ..core.kernels import (_pad_words, set_operation_kernel,
+                                        set_operation_layout)
+            base_a, base_b, base_c = set_operation_layout(
+                processor, len(set_a), len(set_b))
+            words_a, words_b = _pad_words(set_a), _pad_words(set_b)
+            _load(processor, "faults-eis-int",
+                  set_operation_kernel(
+                      "intersection",
+                      num_lsus=processor.config.num_lsus), injector)
+        processor.write_words(base_a, words_a)
+        processor.write_words(base_b, words_b)
+        regs = {"a2": base_a, "a3": base_a + len(set_a) * 4,
+                "a4": base_b, "a5": base_b + len(set_b) * 4,
+                "a6": base_c}
+        ranges = [_word_range(processor, base_a, len(words_a)),
+                  _word_range(processor, base_b, len(words_b))]
+
+        def reader(result):
+            count = result.reg("a2")
+            return processor.read_words(base_c, count) if count else []
+        return regs, ranges, reader
+
+
+class _DmaPoll(_KernelHarness):
+    """DMA fill + poll + reduce on a prefetcher-equipped core."""
+
+    def __init__(self, name, default_config):
+        super().__init__(name, default_config,
+                         registers=list(range(2, 10)),
+                         needs_prefetcher=True, dma_descriptors=1)
+
+    def stage(self, processor, size, seed, injector):
+        rng = random.Random("dma-data:%d:%s" % (size, seed))
+        words = [rng.getrandbits(32) for _ in range(size)]
+        src, dst = MAIN_BASE, 0x0
+        processor.write_words(src, words)
+        _load(processor, "faults-dma-poll", dma_poll_kernel(), injector)
+        regs = {"a2": src, "a3": dst, "a4": size * 4}
+        ranges = [_word_range(processor, src, size),
+                  _word_range(processor, dst, size)]
+
+        def reader(result):
+            return [result.reg("a2")]
+        return regs, ranges, reader
+
+
+KERNELS = {
+    "intersection": _SetIntersection("intersection", "DBA_2LSU_EIS",
+                                     scalar=False),
+    "scalar": _SetIntersection("scalar", "DBA_1LSU", scalar=True),
+    "dma_poll": _DmaPoll("dma_poll", "DBA_1LSU"),
+}
+
+
+def campaign_kernel_sources():
+    """``(name, source)`` of campaign-only kernels, for ``repro lint``.
+
+    The set kernels are already linted through the builtin sweep; only
+    the DMA polling kernel is campaign-specific.
+    """
+    return [("dma_poll.faults", dma_poll_kernel())]
+
+
+# ---------------------------------------------------------------------------
+# reference runs (memoized per process)
+# ---------------------------------------------------------------------------
+
+_REFERENCE_CACHE = {}
+
+
+def _reference(kernel, config, size, seed):
+    """Fault-free reference: expected result plus the trial profile."""
+    key = (kernel, config, size, seed)
+    cached = _REFERENCE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    harness = KERNELS[kernel]
+    processor = harness.build(config)
+    regs, ranges, reader = harness.stage(processor, size, seed, None)
+    result = processor.run(entry="main", regs=regs)
+    from ..core.kernels import PortableProgram
+    entries = len(PortableProgram(processor.program).entries)
+    states = []
+    for extension in processor.extensions:
+        for state in getattr(extension, "states", ()):
+            lanes = len(state.value) if isinstance(state.value, list) else 1
+            states.append((extension.name, state.name, lanes))
+    profile = TrialProfile(
+        memory_ranges=ranges, registers=harness.registers,
+        steps=result.instructions, entries=entries, states=states,
+        num_lsus=len(processor.lsus),
+        dma_descriptors=harness.dma_descriptors)
+    reference = {"result": reader(result), "cycles": result.cycles,
+                 "profile": profile}
+    _REFERENCE_CACHE[key] = reference
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# trials
+# ---------------------------------------------------------------------------
+
+def run_trial(kernel, config, size, seed, trial):
+    """One seeded trial; returns its JSON-ready outcome dict."""
+    reference = _reference(kernel, config, size, seed)
+    rng = random.Random("campaign:%s:%s:%d:%s:%d"
+                        % (kernel, config, size, seed, trial))
+    plan = sample_plan(rng, reference["profile"])
+    harness = KERNELS[kernel]
+    fuel = Watchdog.fuel_for(reference["cycles"])
+    processor = harness.build(config)
+    injector = FaultInjector(processor, plan)
+    outcome, detail = None, None
+    try:
+        regs, _ranges, reader = harness.stage(processor, size, seed,
+                                              injector)
+        injector.arm()
+        try:
+            # Always the reference interpreter: fault triggers (and the
+            # watchdog trip point on a hang) are defined against its
+            # per-instruction semantics, while the fast path checks at
+            # superblock granularity — running trials there would make
+            # hang details depend on REPRO_NO_FASTPATH.
+            result = processor.run_interpreted(entry="main", regs=regs,
+                                               max_cycles=fuel)
+            values = reader(result)
+        finally:
+            injector.disarm()
+        outcome = "masked" if values == reference["result"] \
+            else "wrong_result"
+    except ExecutionLimitExceeded as exc:
+        outcome, detail = "hang", str(exc)
+    except (SimulationError, IsaError, LookupError) as exc:
+        # LookupError covers illegal encodings from IMEM corruption
+        # (e.g. a flipped register-index bit selecting a nonexistent
+        # register) — the machine rejecting garbage, not a harness bug.
+        outcome, detail = "detected", "%s: %s" % (type(exc).__name__, exc)
+    except Exception as exc:
+        outcome, detail = "crash", "%s: %s" % (type(exc).__name__, exc)
+    report = {"trial": trial,
+              "faults": plan.to_dict()["faults"],
+              "fired": len(injector.fired),
+              "outcome": outcome}
+    if detail is not None:
+        report["detail"] = detail
+    return report
+
+
+def _campaign_worker(kernel, config, size, seed, lo, hi):
+    """Supervisor worker: trials ``lo .. hi-1`` of one campaign."""
+    return [run_trial(kernel, config, size, seed, trial)
+            for trial in range(lo, hi)]
+
+
+# ---------------------------------------------------------------------------
+# campaign driver
+# ---------------------------------------------------------------------------
+
+def run_campaign(kernel, config=None, size=400, trials=20, seed=42,
+                 jobs=1, timeout=None, retries=1, log=None):
+    """Run a fault campaign; returns the JSON-ready report dict.
+
+    With ``jobs > 1`` the trial range is fanned over the crash-isolated
+    :mod:`repro.supervisor`; the report is identical for every job
+    count (trial seeding does not depend on the chunking).
+    """
+    if kernel not in KERNELS:
+        raise ValueError("unknown campaign kernel %r; available: %s"
+                         % (kernel, ", ".join(sorted(KERNELS))))
+    harness = KERNELS[kernel]
+    config = config or harness.default_config
+    harness.check_config(config)
+
+    trial_reports = [None] * trials
+    if jobs <= 1 or trials <= 1:
+        for trial in range(trials):
+            trial_reports[trial] = run_trial(kernel, config, size, seed,
+                                             trial)
+    else:
+        from ..supervisor import Task, supervise
+        jobs = min(jobs, trials)
+        bounds = [trials * i // jobs for i in range(jobs + 1)]
+        tasks = [Task("trials[%d:%d]" % (lo, hi), _campaign_worker,
+                      (kernel, config, size, seed, lo, hi))
+                 for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+        report = supervise(tasks, jobs=jobs, timeout=timeout,
+                           retries=retries, log=log)
+        for task, outcome in zip(tasks, report.outcomes):
+            lo, hi = task.args[4], task.args[5]
+            if outcome.ok:
+                trial_reports[lo:hi] = outcome.value
+            else:
+                for trial in range(lo, hi):
+                    trial_reports[trial] = {
+                        "trial": trial, "faults": [], "fired": 0,
+                        "outcome": "crash",
+                        "detail": "supervisor: %s" % outcome.status}
+
+    summary = {name: 0 for name in OUTCOMES}
+    fired = 0
+    for trial_report in trial_reports:
+        summary[trial_report["outcome"]] += 1
+        fired += trial_report["fired"]
+
+    registry = MetricsRegistry()
+    scope = registry.scope("faults")
+    scope.counter("trials").value = trials
+    scope.counter("fired").value = fired
+    for name in OUTCOMES:
+        scope.counter(name).value = summary[name]
+
+    return {
+        "campaign": {"kernel": kernel, "config": config, "size": size,
+                     "seed": seed, "trials": trials},
+        "trials": trial_reports,
+        "summary": summary,
+        "metrics": registry.snapshot().as_dict(),
+    }

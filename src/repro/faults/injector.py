@@ -1,0 +1,256 @@
+"""Arms a :class:`~repro.faults.plan.FaultPlan` on a live processor.
+
+The cpu layer exposes dormant hook points (``Memory.fault_hook``,
+``LoadStoreUnit.fault_hook``, ``DataPrefetcher.fault_hook`` and the
+processor's per-instruction hook) that cost one ``is not None``
+comparison when unarmed.  The injector installs closures on exactly
+the hooks its plan needs, applies arm-time faults immediately, and
+keeps a ``fired`` log of every fault that actually triggered.
+
+Arming the processor hook also forces :meth:`Processor.run` onto the
+reference interpreter — the compiled fast path has no per-instruction
+hook by design (docs/PERFORMANCE.md keeps it lean), and fault
+campaigns want the reference semantics anyway.
+"""
+
+from ..cpu.errors import ConfigurationError
+from .plan import (DmaDelay, DmaDrop, LsuDelay, MemoryBitFlip, OpcodeCorrupt,
+                   RegisterCorrupt, StateCorrupt)
+
+M32 = 0xFFFFFFFF
+
+
+class FaultInjector:
+    """Installs one plan's faults on one processor."""
+
+    def __init__(self, processor, plan):
+        self.processor = processor
+        self.plan = plan
+        #: Log of faults that actually triggered: ``(kind, when)``.
+        self.fired = []
+        self._armed = False
+        self._hooked_regions = []
+        self._hooked_lsus = []
+        self._hooked_prefetcher = None
+
+    # -- context-manager sugar ----------------------------------------------
+
+    def __enter__(self):
+        self.arm()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.disarm()
+        return False
+
+    # -- arming --------------------------------------------------------------
+
+    def arm(self):
+        """Apply arm-time faults and install hooks for the rest."""
+        if self._armed:
+            raise ConfigurationError("fault injector is already armed")
+        self._armed = True
+        processor = self.processor
+        regions = {region.name: region for region in processor.memory_map}
+
+        mem_pending = {}
+        step_faults = []
+        lsu_faults = {}
+        dma_faults = []
+        for fault in self.plan:
+            if isinstance(fault, MemoryBitFlip):
+                region = regions.get(fault.region)
+                if region is None:
+                    continue
+                if fault.after_accesses == 0:
+                    self._flip(region, fault)
+                else:
+                    mem_pending.setdefault(fault.region, []).append(fault)
+            elif isinstance(fault, (RegisterCorrupt, StateCorrupt)):
+                step_faults.append(fault)
+            elif isinstance(fault, LsuDelay):
+                lsu_faults.setdefault(fault.lsu, []).append(fault)
+            elif isinstance(fault, (DmaDrop, DmaDelay)):
+                dma_faults.append(fault)
+            # OpcodeCorrupt is applied by corrupt_program(), not a hook.
+
+        for name, pending in mem_pending.items():
+            region = regions[name]
+            region.fault_hook = self._memory_hook(pending)
+            self._hooked_regions.append(region)
+        if step_faults or mem_pending:
+            # mem_pending alone also arms the processor hook: it forces
+            # the interpreter, whose access pattern the trigger counts
+            # are defined against.
+            processor._fault_hook = self._step_hook(step_faults)
+        for index, faults in lsu_faults.items():
+            if index >= len(processor.lsus):
+                continue
+            lsu = processor.lsus[index]
+            lsu.fault_hook = self._lsu_hook(faults)
+            self._hooked_lsus.append(lsu)
+        if dma_faults:
+            engine = getattr(processor, "prefetcher", None)
+            if engine is not None:
+                engine.fault_hook = self._dma_hook(dma_faults)
+                self._hooked_prefetcher = engine
+        return self
+
+    def disarm(self):
+        """Remove every installed hook (applied flips stay applied)."""
+        for region in self._hooked_regions:
+            region.fault_hook = None
+        for lsu in self._hooked_lsus:
+            lsu.fault_hook = None
+        if self._hooked_prefetcher is not None:
+            self._hooked_prefetcher.fault_hook = None
+        self.processor._fault_hook = None
+        self._hooked_regions = []
+        self._hooked_lsus = []
+        self._hooked_prefetcher = None
+        self._armed = False
+
+    # -- program (IMEM) corruption -------------------------------------------
+
+    def corrupt_program(self, portable):
+        """A corrupted copy of *portable* per the plan's IMEM faults.
+
+        The input is never mutated — portable programs are shared
+        through the kernel cache.  Returns the input unchanged when the
+        plan has no applicable :class:`OpcodeCorrupt` fault.
+        """
+        from ..core.kernels import PortableProgram
+        entries = list(portable.entries)
+        changed = False
+        for fault in self.plan:
+            if not isinstance(fault, OpcodeCorrupt):
+                continue
+            index = fault.entry_index % len(entries)
+            entry = self._corrupt_entry(entries[index], fault)
+            if entry is not None:
+                entries[index] = entry
+                changed = True
+                self.fired.append((fault.kind, "arm"))
+        if not changed:
+            return portable
+        clone = PortableProgram.__new__(PortableProgram)
+        clone.entries = tuple(entries)
+        clone.labels = dict(portable.labels)
+        clone.source_name = portable.source_name + "+fault"
+        clone.fingerprint = clone.compute_fingerprint()
+        return clone
+
+    @staticmethod
+    def _corrupt_entry(entry, fault):
+        if entry[0] == "i":
+            tag, name, operands, line = entry
+            targets = [i for i, op in enumerate(operands)
+                       if isinstance(op, int)]
+            if not targets:
+                return None
+            index = targets[fault.operand_index % len(targets)]
+            operands = tuple(
+                (op ^ fault.mask) if i == index else op
+                for i, op in enumerate(operands))
+            return (tag, name, operands, line)
+        tag, slots, format_name, line = entry
+        targets = [(si, oi) for si, (_name, ops) in enumerate(slots)
+                   for oi, op in enumerate(ops) if isinstance(op, int)]
+        if not targets:
+            return None
+        slot_index, op_index = targets[fault.operand_index % len(targets)]
+        new_slots = []
+        for si, (name, ops) in enumerate(slots):
+            if si == slot_index:
+                ops = tuple((op ^ fault.mask) if oi == op_index else op
+                            for oi, op in enumerate(ops))
+            new_slots.append((name, ops))
+        return (tag, tuple(new_slots), format_name, line)
+
+    # -- fault application ----------------------------------------------------
+
+    def _flip(self, region, fault, when="arm"):
+        if not 0 <= fault.word_index < len(region.words):
+            return
+        region.words[fault.word_index] ^= (1 << fault.bit)
+        self.fired.append((fault.kind, when))
+
+    def _memory_hook(self, pending):
+        counter = [0]
+        faults = sorted(pending, key=lambda f: f.after_accesses)
+
+        def hook(region, addr, kind):
+            counter[0] += 1
+            while faults and faults[0].after_accesses <= counter[0]:
+                self._flip(region, faults.pop(0),
+                           "access %d" % counter[0])
+        return hook
+
+    def _step_hook(self, step_faults):
+        counter = [0]
+        faults = sorted(step_faults, key=lambda f: f.at_step)
+
+        def hook(core, pc, cycle):
+            step = counter[0]
+            counter[0] += 1
+            while faults and faults[0].at_step <= step:
+                self._apply_step_fault(core, faults.pop(0), step)
+        return hook
+
+    def _apply_step_fault(self, core, fault, step):
+        if isinstance(fault, RegisterCorrupt):
+            values = core.regs._values
+            if 0 <= fault.reg < len(values):
+                values[fault.reg] = (values[fault.reg] ^ fault.mask) & M32
+                self.fired.append((fault.kind, "step %d" % step))
+            return
+        for extension in core.extensions:
+            if getattr(extension, "name", None) != fault.extension:
+                continue
+            state = None
+            for candidate in getattr(extension, "states", ()):
+                if candidate.name == fault.state:
+                    state = candidate
+                    break
+            if state is None:
+                return
+            if isinstance(state.value, list):
+                lane = fault.lane % len(state.value)
+                state.value[lane] = (state.value[lane] ^ fault.mask) & M32
+            else:
+                state.value = (state.value ^ fault.mask) & state.mask
+            self.fired.append((fault.kind, "step %d" % step))
+            return
+
+    def _lsu_hook(self, faults):
+        counter = [0]
+
+        def hook(lsu, addr, is_write):
+            counter[0] += 1
+            extra = 0
+            for fault in faults:
+                begin = fault.after_accesses
+                if begin <= counter[0] < begin + fault.length:
+                    extra += fault.extra_cycles
+                    if counter[0] == begin:
+                        self.fired.append((fault.kind,
+                                           "access %d" % counter[0]))
+            return extra
+        return hook
+
+    def _dma_hook(self, faults):
+        counter = [0]
+
+        def hook(engine, src, dst, nbytes):
+            descriptor = counter[0]
+            counter[0] += 1
+            for fault in faults:
+                if fault.descriptor != descriptor:
+                    continue
+                self.fired.append((fault.kind,
+                                   "descriptor %d" % descriptor))
+                if isinstance(fault, DmaDrop):
+                    return ("drop",)
+                return ("delay", fault.extra_cycles)
+            return None
+        return hook

@@ -1,0 +1,257 @@
+"""Fault model: what can break, and deterministic sampling thereof.
+
+Every fault class is a small value object describing one hardware
+mishap.  A :class:`FaultPlan` bundles the faults of one trial;
+:func:`sample_plan` draws a plan from a seeded ``random.Random`` and a
+:class:`TrialProfile` describing the machine/workload under test, so
+the same seed always yields the same plan — across processes and
+across ``--parallel`` worker counts (docs/ROBUSTNESS.md).
+"""
+
+M32 = 0xFFFFFFFF
+
+
+class Fault:
+    """Base class: one injectable hardware mishap."""
+
+    kind = "fault"
+
+    def to_dict(self):
+        payload = {"kind": self.kind}
+        for slot in self.__slots__:
+            payload[slot] = getattr(self, slot)
+        return payload
+
+    def describe(self):
+        return " ".join("%s=%r" % (k, v) for k, v in
+                        sorted(self.to_dict().items()))
+
+    def __repr__(self):
+        return "<%s %s>" % (type(self).__name__, self.describe())
+
+
+class MemoryBitFlip(Fault):
+    """Flip one bit of one data-memory word.
+
+    ``after_accesses`` = 0 flips at arm time (a latent corruption the
+    run starts with); otherwise the flip triggers when the region has
+    served that many accesses (a mid-run upset).
+    """
+
+    kind = "mem_flip"
+    __slots__ = ("region", "word_index", "bit", "after_accesses")
+
+    def __init__(self, region, word_index, bit, after_accesses=0):
+        self.region = region
+        self.word_index = word_index
+        self.bit = bit
+        self.after_accesses = after_accesses
+
+
+class RegisterCorrupt(Fault):
+    """XOR a core address register with a mask at instruction *at_step*."""
+
+    kind = "reg_corrupt"
+    __slots__ = ("reg", "mask", "at_step")
+
+    def __init__(self, reg, mask, at_step):
+        self.reg = reg
+        self.mask = mask & M32
+        self.at_step = at_step
+
+
+class StateCorrupt(Fault):
+    """XOR one lane of a TIE (EIS) state at instruction *at_step*.
+
+    ``lane`` indexes into vector states; scalar states ignore it.
+    """
+
+    kind = "state_corrupt"
+    __slots__ = ("extension", "state", "lane", "mask", "at_step")
+
+    def __init__(self, extension, state, lane, mask, at_step):
+        self.extension = extension
+        self.state = state
+        self.lane = lane
+        self.mask = mask & M32
+        self.at_step = at_step
+
+
+class OpcodeCorrupt(Fault):
+    """XOR an integer operand of one program entry (IMEM bit flip).
+
+    Applied to a :class:`~repro.core.kernels.PortableProgram` *copy*
+    before binding — the equivalent of a flipped instruction-memory
+    word surviving into decode.  Non-integer operands (labels already
+    resolve to ints; register operands are ints too) make the fault a
+    no-op.
+    """
+
+    kind = "opcode_corrupt"
+    __slots__ = ("entry_index", "operand_index", "mask")
+
+    def __init__(self, entry_index, operand_index, mask):
+        self.entry_index = entry_index
+        self.operand_index = operand_index
+        self.mask = mask & M32
+
+
+class DmaDrop(Fault):
+    """Lose DMA descriptor number *descriptor* in the interconnect."""
+
+    kind = "dma_drop"
+    __slots__ = ("descriptor",)
+
+    def __init__(self, descriptor):
+        self.descriptor = descriptor
+
+
+class DmaDelay(Fault):
+    """Delay DMA descriptor number *descriptor* by *extra_cycles*."""
+
+    kind = "dma_delay"
+    __slots__ = ("descriptor", "extra_cycles")
+
+    def __init__(self, descriptor, extra_cycles):
+        self.descriptor = descriptor
+        self.extra_cycles = extra_cycles
+
+
+class LsuDelay(Fault):
+    """Spike LSU access latency for a window of accesses.
+
+    Accesses number ``after_accesses .. after_accesses + length - 1``
+    (counted per LSU across loads and stores) each cost
+    ``extra_cycles`` extra — a flaky memory controller, in the paper's
+    terms a burst of unexpected wait states.
+    """
+
+    kind = "lsu_delay"
+    __slots__ = ("lsu", "after_accesses", "extra_cycles", "length")
+
+    def __init__(self, lsu, after_accesses, extra_cycles, length=8):
+        self.lsu = lsu
+        self.after_accesses = after_accesses
+        self.extra_cycles = extra_cycles
+        self.length = length
+
+
+class FaultPlan:
+    """The faults of one trial, in injection order."""
+
+    __slots__ = ("faults",)
+
+    def __init__(self, faults=()):
+        self.faults = list(faults)
+
+    def to_dict(self):
+        return {"faults": [fault.to_dict() for fault in self.faults]}
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self):
+        return len(self.faults)
+
+    def __repr__(self):
+        return "<FaultPlan %d fault(s)>" % len(self.faults)
+
+
+class TrialProfile:
+    """What the sampler may target for one kernel/config/workload.
+
+    - ``memory_ranges``: list of ``(region_name, first_word, n_words)``
+      covering the staged workload buffers.
+    - ``registers``: core register indices the kernel actually uses.
+    - ``steps``: instruction count of the fault-free reference run.
+    - ``entries``: program entry count (for IMEM corruption).
+    - ``states``: list of ``(extension_name, state_name, lanes)``.
+    - ``num_lsus`` / ``dma_descriptors``: hardware-shape facts.
+    """
+
+    __slots__ = ("memory_ranges", "registers", "steps", "entries",
+                 "states", "num_lsus", "dma_descriptors")
+
+    def __init__(self, memory_ranges, registers, steps, entries,
+                 states=(), num_lsus=1, dma_descriptors=0):
+        self.memory_ranges = list(memory_ranges)
+        self.registers = list(registers)
+        self.steps = max(1, steps)
+        self.entries = max(1, entries)
+        self.states = list(states)
+        self.num_lsus = num_lsus
+        self.dma_descriptors = dma_descriptors
+
+
+def _sample_mem_flip(rng, profile):
+    region, first, count = rng.choice(profile.memory_ranges)
+    # Half the flips are latent (pre-run), half mid-run.
+    after = 0 if rng.random() < 0.5 \
+        else rng.randrange(1, 2 * profile.steps)
+    return MemoryBitFlip(region, first + rng.randrange(count),
+                         rng.randrange(32), after)
+
+
+def _sample_reg_corrupt(rng, profile):
+    return RegisterCorrupt(rng.choice(profile.registers),
+                           1 << rng.randrange(32),
+                           rng.randrange(profile.steps))
+
+
+def _sample_state_corrupt(rng, profile):
+    extension, state, lanes = rng.choice(profile.states)
+    return StateCorrupt(extension, state, rng.randrange(max(1, lanes)),
+                        1 << rng.randrange(32),
+                        rng.randrange(profile.steps))
+
+
+def _sample_opcode_corrupt(rng, profile):
+    return OpcodeCorrupt(rng.randrange(profile.entries),
+                         rng.randrange(4), 1 << rng.randrange(5))
+
+
+def _sample_dma_drop(rng, profile):
+    return DmaDrop(rng.randrange(profile.dma_descriptors))
+
+
+def _sample_dma_delay(rng, profile):
+    return DmaDelay(rng.randrange(profile.dma_descriptors),
+                    rng.randrange(100, 10_000))
+
+
+def _sample_lsu_delay(rng, profile):
+    return LsuDelay(rng.randrange(profile.num_lsus),
+                    rng.randrange(1, 2 * profile.steps),
+                    rng.randrange(1, 64),
+                    length=rng.randrange(1, 32))
+
+
+#: (sampler, weight, availability predicate).  Timing-only faults
+#: (LSU/DMA delays) are deliberately in the mix: they must be *masked*
+#: by a correct machine, which is the campaign's negative control.
+_SAMPLERS = (
+    (_sample_mem_flip, 4, lambda p: bool(p.memory_ranges)),
+    (_sample_reg_corrupt, 3, lambda p: bool(p.registers)),
+    (_sample_state_corrupt, 2, lambda p: bool(p.states)),
+    (_sample_opcode_corrupt, 2, lambda p: True),
+    (_sample_lsu_delay, 3, lambda p: True),
+    (_sample_dma_drop, 2, lambda p: p.dma_descriptors > 0),
+    (_sample_dma_delay, 2, lambda p: p.dma_descriptors > 0),
+)
+
+
+def sample_plan(rng, profile):
+    """Draw one :class:`FaultPlan` (currently: exactly one fault).
+
+    One fault per trial keeps the outcome classification attributable;
+    campaigns get coverage from trial count, not per-trial fault count.
+    """
+    available = [(sampler, weight) for sampler, weight, usable
+                 in _SAMPLERS if usable(profile)]
+    total = sum(weight for _, weight in available)
+    pick = rng.randrange(total)
+    for sampler, weight in available:
+        pick -= weight
+        if pick < 0:
+            return FaultPlan([sampler(rng, profile)])
+    raise AssertionError("unreachable")

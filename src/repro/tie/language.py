@@ -271,6 +271,24 @@ class TieExtension:
         for regfile in self.regfiles:
             regfile.reset()
 
+    def snapshot_state(self):
+        """Copy of every state/regfile value, for run rollback.
+
+        Used by the processor's fast-path fallback and paranoid-mode
+        replay (docs/ROBUSTNESS.md): values are copied, never aliased,
+        so a later run cannot mutate the snapshot.
+        """
+        return ([list(s.value) if isinstance(s.value, list) else s.value
+                 for s in self.states],
+                [list(rf.values) for rf in self.regfiles])
+
+    def restore_state(self, snap):
+        state_values, regfile_values = snap
+        for state, value in zip(self.states, state_values):
+            state.value = list(value) if isinstance(value, list) else value
+        for regfile, values in zip(self.regfiles, regfile_values):
+            regfile.values = list(values)
+
     def attach(self, processor):
         """Register this extension with a processor (TIE compile)."""
         from .compiler import attach_extension

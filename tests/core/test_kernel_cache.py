@@ -1,0 +1,125 @@
+"""Kernel-cache hardening: validate on lookup, rebuild on corruption.
+
+Satellite contract (docs/ROBUSTNESS.md): a corrupted or stale cache
+entry costs a recompile and bumps the ``invalid`` counter — it never
+crashes a run, and never silently executes the wrong kernel.
+"""
+
+import pytest
+
+from repro.configs.catalog import build_processor
+from repro.core.kernels import (PortableProgram, _PORTABLE_CACHE,
+                                clear_portable_cache, load_cached_kernel,
+                                portable_cache_stats)
+
+SOURCE = """
+main:
+  movi a2, 0
+  movi a3, 25
+loop:
+  addi a2, a2, 1
+  bltu a2, a3, loop
+  halt
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_portable_cache()
+    yield
+    clear_portable_cache()
+
+
+def _run(processor):
+    program = load_cached_kernel(processor, "cache-test", SOURCE)
+    result = processor.run(entry="main")
+    assert result.reg("a2") == 25
+    return program
+
+
+class TestHappyPath:
+    def test_hit_and_miss_accounting(self):
+        first = build_processor("DBA_1LSU")
+        second = build_processor("DBA_1LSU")
+        _run(first)
+        _run(second)
+        stats = portable_cache_stats()
+        assert stats == {"hits": 1, "misses": 1, "invalid": 0}
+
+    def test_per_processor_rerun_revalidates_for_free(self):
+        processor = build_processor("DBA_1LSU")
+        program = _run(processor)
+        assert _run(processor) is program
+        assert portable_cache_stats()["invalid"] == 0
+
+
+class TestPortableValidation:
+    def test_fingerprint_mismatch_rebuilds(self):
+        processor = build_processor("DBA_1LSU")
+        _run(processor)
+        (portable,) = _PORTABLE_CACHE.values()
+        portable.fingerprint = "0" * 64  # bitrot in the digest
+        fresh = build_processor("DBA_1LSU")
+        _run(fresh)
+        stats = portable_cache_stats()
+        assert stats["invalid"] == 1
+        assert stats["misses"] == 2  # rebuilt from source
+
+    def test_corrupted_entries_rebuild(self):
+        processor = build_processor("DBA_1LSU")
+        _run(processor)
+        (portable,) = _PORTABLE_CACHE.values()
+        portable.entries = portable.entries + (("garbage",),)
+        fresh = build_processor("DBA_1LSU")
+        _run(fresh)
+        assert portable_cache_stats()["invalid"] == 1
+
+    def test_out_of_range_label_rebuilds(self):
+        processor = build_processor("DBA_1LSU")
+        _run(processor)
+        (portable,) = _PORTABLE_CACHE.values()
+        portable.labels["main"] = 10_000
+        portable.fingerprint = portable.compute_fingerprint()
+        fresh = build_processor("DBA_1LSU")
+        _run(fresh)
+        assert portable_cache_stats()["invalid"] == 1
+
+    def test_validate_never_raises(self):
+        processor = build_processor("DBA_1LSU")
+        program = processor.assembler.assemble(SOURCE, "v")
+        portable = PortableProgram(program)
+        assert portable.validate()
+        portable.entries = None  # worst-case structural damage
+        assert portable.validate() is False
+
+
+class TestPerProcessorValidation:
+    def test_foreign_program_is_rejected_and_rebuilt(self):
+        """A cache entry bound to another core must not be reused —
+        TIE executors close over per-core state."""
+        donor = build_processor("DBA_1LSU")
+        donor_program = _run(donor)
+        victim = build_processor("DBA_1LSU")
+        # seed the victim's cache with the donor's bound program
+        victim._kernel_cache = {
+            "cache-test": (donor_program, victim.config.name,
+                           donor._kernel_cache["cache-test"][2])}
+        program = _run(victim)
+        assert program is not donor_program
+        assert portable_cache_stats()["invalid"] >= 1
+
+    def test_config_mismatch_is_rejected(self):
+        processor = build_processor("DBA_1LSU")
+        program = _run(processor)
+        processor._kernel_cache["cache-test"] = (
+            program, "108Mini", processor._kernel_cache["cache-test"][2])
+        _run(processor)
+        assert portable_cache_stats()["invalid"] >= 1
+
+    def test_cache_entry_shape(self):
+        processor = build_processor("DBA_1LSU")
+        program = _run(processor)
+        entry = processor._kernel_cache["cache-test"]
+        assert entry[0] is program
+        assert entry[1] == "DBA_1LSU"
+        assert isinstance(entry[2], tuple)

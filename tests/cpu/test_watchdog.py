@@ -1,0 +1,82 @@
+"""Unified watchdog: identical behavior on every execution path.
+
+The guardrail contract (docs/ROBUSTNESS.md): a runaway run raises
+:class:`ExecutionLimitExceeded` with the same message format whether it
+was caught by the reference interpreter, the profiler loop, or a
+compiled superblock — campaign tooling classifies hangs by exception
+type and the attached ``pc``/``cycle``/``max_cycles`` attributes.
+"""
+
+import pytest
+
+from repro.cpu.errors import ExecutionLimitExceeded
+from repro.cpu.watchdog import DEFAULT_MAX_CYCLES, Watchdog, trip
+
+SPIN = "main:\n  j main"
+
+
+class TestTrip:
+    def test_cycle_flavor_message_and_attributes(self):
+        with pytest.raises(ExecutionLimitExceeded) as info:
+            trip(1000, 7, 1001, 500)
+        assert str(info.value) == "watchdog: exceeded 1000 cycles at pc=7"
+        assert info.value.pc == 7
+        assert info.value.cycle == 1001
+        assert info.value.max_cycles == 1000
+
+    def test_no_progress_flavor(self):
+        with pytest.raises(ExecutionLimitExceeded, match="no progress"):
+            trip(1000, 3, 40, 1001)
+
+
+class TestWatchdogPolicy:
+    def test_check_passes_within_budget(self):
+        Watchdog(100).check(pc=0, cycle=100, issued=100)
+
+    def test_check_trips_on_cycles(self):
+        with pytest.raises(ExecutionLimitExceeded, match="exceeded"):
+            Watchdog(100).check(pc=0, cycle=101, issued=50)
+
+    def test_check_trips_on_instructions(self):
+        with pytest.raises(ExecutionLimitExceeded, match="no progress"):
+            Watchdog(100).check(pc=0, cycle=50, issued=101)
+
+    def test_fuel_for_scales_with_margin(self):
+        assert Watchdog.fuel_for(1_000_000) \
+            == Watchdog.HANG_MARGIN * 1_000_000
+
+    def test_fuel_for_has_floor(self):
+        assert Watchdog.fuel_for(10) == Watchdog.MIN_FUEL
+
+    def test_default_budget(self):
+        assert Watchdog().max_cycles == DEFAULT_MAX_CYCLES
+
+
+class TestAllPathsAgree:
+    """Satellite: fast path and interpreter trip identically."""
+
+    def test_fast_and_interpreted_messages_match(self, dba_1lsu):
+        dba_1lsu.load_program(SPIN)
+        with pytest.raises(ExecutionLimitExceeded) as fast:
+            dba_1lsu.run(entry="main", max_cycles=1000)
+        with pytest.raises(ExecutionLimitExceeded) as interp:
+            dba_1lsu.run_interpreted(entry="main", max_cycles=1000)
+        assert str(fast.value) == str(interp.value)
+        assert fast.value.cycle == interp.value.cycle
+        assert fast.value.pc == interp.value.pc
+        assert fast.value.max_cycles == interp.value.max_cycles == 1000
+
+    def test_profiled_run_matches_too(self, dba_1lsu):
+        from repro.cpu.profiler import CycleProfiler
+        dba_1lsu.load_program(SPIN)
+        with pytest.raises(ExecutionLimitExceeded) as interp:
+            dba_1lsu.run_interpreted(entry="main", max_cycles=500)
+        with pytest.raises(ExecutionLimitExceeded) as profiled:
+            dba_1lsu.run_profiled(CycleProfiler(), entry="main",
+                                  max_cycles=500)
+        assert str(profiled.value) == str(interp.value)
+
+    def test_watchdog_leaves_successful_runs_alone(self, dba_1lsu):
+        dba_1lsu.load_program("main:\n  movi a2, 5\n  halt")
+        result = dba_1lsu.run(entry="main", max_cycles=1000)
+        assert result.reg("a2") == 5

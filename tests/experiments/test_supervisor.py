@@ -1,0 +1,158 @@
+"""Crash-isolated supervisor and the parallel experiment sweep.
+
+Satellite regression: one failing experiment must not cost the
+completed results of its siblings (the old ``run_parallel`` lost every
+result when any future raised).
+"""
+
+import os
+import time
+
+from repro.supervisor import STATUSES, Task, supervise
+
+
+# -- picklable worker functions (process-pool requirement) -------------------
+
+def _double(x):
+    return x * 2
+
+
+def _boom():
+    raise RuntimeError("kaboom")
+
+
+def _sleep_forever():
+    time.sleep(600)
+
+
+def _die_hard():
+    os._exit(17)
+
+
+def _flaky(path):
+    """Fails on the first attempt, succeeds afterwards."""
+    if not os.path.exists(path):
+        with open(path, "w") as handle:
+            handle.write("attempted")
+        raise RuntimeError("transient")
+    return "recovered"
+
+
+class TestSupervise:
+    def test_all_ok(self):
+        report = supervise([Task("a", _double, (2,)),
+                            Task("b", _double, (3,))], jobs=2)
+        assert report.ok
+        assert [o.value for o in report.outcomes] == [4, 6]
+        assert [o.status for o in report.outcomes] == ["ok", "ok"]
+        assert report.snapshot.as_dict()["supervisor.ok"] == 2
+
+    def test_sibling_results_survive_a_failure(self):
+        report = supervise(
+            [Task("good", _double, (5,)), Task("bad", _boom),
+             Task("also-good", _double, (6,))],
+            jobs=2, retries=0)
+        assert not report.ok
+        by_key = {o.key: o for o in report.outcomes}
+        assert by_key["good"].value == 10
+        assert by_key["also-good"].value == 12
+        assert by_key["bad"].status == "failed"
+        assert "kaboom" in by_key["bad"].error
+
+    def test_outcomes_keep_input_order(self):
+        tasks = [Task(str(i), _double, (i,)) for i in range(7)]
+        report = supervise(tasks, jobs=3)
+        assert [o.key for o in report.outcomes] \
+            == [str(i) for i in range(7)]
+
+    def test_timeout_status(self):
+        report = supervise([Task("hang", _sleep_forever),
+                            Task("fine", _double, (1,))],
+                           jobs=2, timeout=0.5, retries=0)
+        by_key = {o.key: o for o in report.outcomes}
+        assert by_key["hang"].status == "timeout"
+        assert "timed out" in by_key["hang"].error
+        assert by_key["fine"].status == "ok"
+
+    def test_retry_recovers_flaky_task(self, tmp_path):
+        marker = str(tmp_path / "attempted")
+        report = supervise([Task("flaky", _flaky, (marker,))],
+                           jobs=1, retries=1, backoff=0.05)
+        outcome = report.outcomes[0]
+        assert outcome.status == "retried"
+        assert outcome.ok
+        assert outcome.value == "recovered"
+        assert outcome.attempts == 2
+        assert report.snapshot.as_dict()["supervisor.requeued"] == 1
+
+    def test_retries_exhaust_to_failed(self):
+        report = supervise([Task("bad", _boom)], jobs=1, retries=2,
+                           backoff=0.01)
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 3
+
+    def test_broken_pool_is_respawned(self):
+        """A hard worker death neither wedges nor poisons siblings."""
+        report = supervise([Task("die", _die_hard),
+                            Task("live", _double, (7,))],
+                           jobs=2, retries=1, backoff=0.05)
+        by_key = {o.key: o for o in report.outcomes}
+        assert by_key["live"].status in ("ok", "retried")
+        assert by_key["live"].value == 14
+        assert by_key["die"].status == "failed"
+        assert report.snapshot.as_dict()["supervisor.pool_breaks"] >= 1
+
+    def test_status_table_and_counts(self):
+        report = supervise([Task("good", _double, (1,)),
+                            Task("bad", _boom)], jobs=2, retries=0)
+        counts = report.counts()
+        assert counts["ok"] == 1 and counts["failed"] == 1
+        assert set(counts) == set(STATUSES)
+        table = "\n".join(report.status_table())
+        assert "good" in table and "ok" in table
+        assert "bad" in table and "failed" in table
+
+
+class TestRunParallel:
+    def test_quick_sweep_returns_results(self):
+        from repro.experiments.parallel import run_parallel
+        outcome = run_parallel(["table4", "table2"], quick=True, jobs=2)
+        assert outcome.ok
+        assert len(outcome.results) == 2
+        assert all(result is not None for result in outcome.results)
+
+    def test_injected_failure_keeps_sibling_results(self, monkeypatch):
+        """The acceptance scenario: --parallel 2 with one raising
+        experiment leaves the others' results intact."""
+        from repro.experiments.parallel import run_parallel
+        monkeypatch.setenv("REPRO_FAIL_EXPERIMENT", "table4")
+        outcome = run_parallel(["table2", "table4"], quick=True, jobs=2,
+                               retries=0)
+        assert not outcome.ok
+        assert outcome.results[0] is not None  # table2 survived
+        assert outcome.results[1] is None
+        by_key = {o.key: o for o in outcome.report.outcomes}
+        assert by_key["table4"].status == "failed"
+        assert "injected failure" in by_key["table4"].error
+
+    def test_cli_exits_nonzero_with_status_table(self, monkeypatch,
+                                                 capsys):
+        from repro.experiments.__main__ import main
+        monkeypatch.setenv("REPRO_FAIL_EXPERIMENT", "table4")
+        status = main(["table2", "table4", "--quick", "--parallel", "2",
+                       "--retries", "0"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "experiment status:" in out
+        assert "table4" in out and "failed" in out
+        assert "Table 2" in out  # the surviving sibling still printed
+
+    def test_timeout_option_flows_through(self, monkeypatch, capsys):
+        from repro.experiments.__main__ import main
+        monkeypatch.setenv("REPRO_HANG_EXPERIMENT", "table4")
+        status = main(["table2", "table4", "--quick", "--parallel", "2",
+                       "--timeout", "5", "--retries", "0"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "timeout" in out

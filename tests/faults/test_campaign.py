@@ -1,0 +1,104 @@
+"""Campaign runner: determinism, outcome taxonomy, crash isolation.
+
+The smoke parameters (dma_poll, 16 trials, size 100, seed 42) are the
+same ones CI pins: they produce at least one masked and one detected
+outcome plus watchdog hangs, with zero harness crashes.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.faults import run_campaign
+from repro.faults.campaign import OUTCOMES
+
+SMOKE = dict(kernel="dma_poll", trials=16, size=100, seed=42)
+
+
+def _campaign(**overrides):
+    kwargs = dict(SMOKE)
+    kwargs.update(overrides)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return run_campaign(kwargs.pop("kernel"), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return _campaign()
+
+
+class TestReportShape:
+    def test_header_and_trial_list(self, smoke_report):
+        assert smoke_report["campaign"] == {
+            "kernel": "dma_poll", "config": "DBA_1LSU", "size": 100,
+            "seed": 42, "trials": 16}
+        assert len(smoke_report["trials"]) == 16
+        for trial in smoke_report["trials"]:
+            assert trial["outcome"] in OUTCOMES
+            assert trial["faults"], "every trial injects one fault"
+
+    def test_summary_accounts_for_every_trial(self, smoke_report):
+        assert sum(smoke_report["summary"].values()) == 16
+
+    def test_metrics_snapshot(self, smoke_report):
+        metrics = smoke_report["metrics"]
+        assert metrics["faults.trials"] == 16
+        assert metrics["faults.fired"] > 0
+        for name in OUTCOMES:
+            assert metrics["faults.%s" % name] \
+                == smoke_report["summary"][name]
+
+    def test_report_is_json_serializable(self, smoke_report):
+        assert json.loads(json.dumps(smoke_report)) == smoke_report
+
+
+class TestOutcomeMix:
+    def test_smoke_mix_has_masked_and_detected(self, smoke_report):
+        summary = smoke_report["summary"]
+        assert summary["masked"] >= 1
+        assert summary["detected"] >= 1
+        assert summary["hang"] >= 1, \
+            "a dropped DMA descriptor must trip the watchdog"
+        assert summary["crash"] == 0, \
+            "harness crashes: %r" % [t for t in smoke_report["trials"]
+                                     if t["outcome"] == "crash"]
+
+
+class TestDeterminism:
+    def test_repeat_is_byte_identical(self, smoke_report):
+        assert json.dumps(_campaign()) == json.dumps(smoke_report)
+
+    def test_parallel_matches_serial(self, smoke_report):
+        assert json.dumps(_campaign(jobs=2)) == json.dumps(smoke_report)
+
+    def test_no_fastpath_matches(self, smoke_report, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+        assert json.dumps(_campaign()) == json.dumps(smoke_report)
+
+
+class TestValidation:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign kernel"):
+            run_campaign("no_such_kernel")
+
+    def test_eis_kernel_needs_eis_config(self):
+        with pytest.raises(ValueError, match="EIS"):
+            run_campaign("intersection", config="DBA_1LSU", trials=1)
+
+
+def _exploding_worker(kernel, config, size, seed, lo, hi):
+    raise RuntimeError("synthetic chunk failure")
+
+
+class TestCrashIsolation:
+    def test_failed_chunk_reports_crash_trials(self, monkeypatch):
+        from repro.faults import campaign
+        monkeypatch.setattr(campaign, "_campaign_worker",
+                            _exploding_worker)
+        report = _campaign(jobs=2, retries=0)
+        assert all(trial["outcome"] == "crash"
+                   for trial in report["trials"])
+        assert all(trial["detail"].startswith("supervisor:")
+                   for trial in report["trials"])

@@ -1,0 +1,131 @@
+"""FaultInjector: arming, firing, and program corruption."""
+
+import pytest
+
+from repro.configs.catalog import build_processor
+from repro.core.kernels import PortableProgram
+from repro.cpu.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (FaultPlan, LsuDelay, MemoryBitFlip,
+                               OpcodeCorrupt, RegisterCorrupt)
+
+SUM_LOOP = """
+main:
+  movi a2, 0
+  movi a3, 0
+  movi a4, 64
+loop:
+  l32i a5, a2, 0
+  add a3, a3, a5
+  addi a2, a2, 4
+  bltu a2, a4, loop
+  mv a2, a3
+  halt
+"""
+
+
+@pytest.fixture()
+def processor():
+    return build_processor("DBA_1LSU")
+
+
+def _run_sum(processor, injector=None):
+    processor.load_program(SUM_LOOP)
+    processor.write_words(0, list(range(1, 17)))
+    if injector is None:
+        return processor.run(entry="main")
+    with injector:
+        return processor.run(entry="main")
+
+
+class TestArming:
+    def test_latent_flip_applies_at_arm_time(self, processor):
+        processor.write_words(0, [0])
+        plan = FaultPlan([MemoryBitFlip("dmem0", 0, 5)])
+        injector = FaultInjector(processor, plan)
+        injector.arm()
+        assert processor.read_words(0, 1) == [1 << 5]
+        assert injector.fired == [("mem_flip", "arm")]
+        injector.disarm()
+
+    def test_double_arm_rejected(self, processor):
+        injector = FaultInjector(processor, FaultPlan())
+        injector.arm()
+        with pytest.raises(ConfigurationError):
+            injector.arm()
+
+    def test_disarm_removes_all_hooks(self, processor):
+        plan = FaultPlan([MemoryBitFlip("dmem0", 0, 1, after_accesses=5),
+                          LsuDelay(0, 1, 9),
+                          RegisterCorrupt(5, 1, at_step=3)])
+        with FaultInjector(processor, plan):
+            assert processor._fault_hook is not None
+            assert processor.lsus[0].fault_hook is not None
+        assert processor._fault_hook is None
+        assert processor.lsus[0].fault_hook is None
+        for region in processor.memory_map:
+            assert region.fault_hook is None
+
+    def test_armed_run_forces_interpreter(self, processor):
+        plan = FaultPlan([RegisterCorrupt(9, 1, at_step=10_000_000)])
+        result = _run_sum(processor, FaultInjector(processor, plan))
+        assert result.stats.metric("cpu.run.fastpath") == 0
+        # the fault targets a step past the end: harmless
+        assert result.reg("a2") == sum(range(1, 17))
+
+
+class TestFiring:
+    def test_register_corrupt_changes_the_result(self, processor):
+        clean = _run_sum(processor)
+        plan = FaultPlan([RegisterCorrupt(3, 1 << 20, at_step=8)])
+        injector = FaultInjector(processor, plan)
+        faulty = _run_sum(processor, injector)
+        assert injector.fired == [("reg_corrupt", "step 8")]
+        assert faulty.reg("a2") != clean.reg("a2")
+
+    def test_lsu_delay_is_timing_only(self, processor):
+        clean = _run_sum(processor)
+        plan = FaultPlan([LsuDelay(0, after_accesses=2, extra_cycles=7,
+                                   length=4)])
+        injector = FaultInjector(processor, plan)
+        delayed = _run_sum(processor, injector)
+        assert injector.fired and injector.fired[0][0] == "lsu_delay"
+        assert delayed.reg("a2") == clean.reg("a2")
+        assert delayed.cycles > clean.cycles
+
+    def test_mid_run_flip_fires_on_access_count(self, processor):
+        plan = FaultPlan([MemoryBitFlip("dmem0", 0, 0,
+                                        after_accesses=3)])
+        injector = FaultInjector(processor, plan)
+        _run_sum(processor, injector)
+        assert injector.fired == [("mem_flip", "access 3")]
+
+    def test_unknown_region_is_skipped(self, processor):
+        plan = FaultPlan([MemoryBitFlip("no_such_mem", 0, 0)])
+        injector = FaultInjector(processor, plan)
+        result = _run_sum(processor, injector)
+        assert injector.fired == []
+        assert result.reg("a2") == sum(range(1, 17))
+
+
+class TestProgramCorruption:
+    def test_corrupt_program_clones_and_refingerprints(self, processor):
+        program = processor.assembler.assemble(SUM_LOOP, "sum")
+        portable = PortableProgram(program)
+        injector = FaultInjector(
+            processor, FaultPlan([OpcodeCorrupt(1, 0, 0x4)]))
+        clone = injector.corrupt_program(portable)
+        assert clone is not portable
+        assert clone.entries != portable.entries
+        assert clone.source_name == "sum+fault"
+        assert clone.fingerprint != portable.fingerprint
+        assert clone.validate()
+        assert portable.validate()  # original untouched
+        assert injector.fired == [("opcode_corrupt", "arm")]
+
+    def test_no_opcode_faults_returns_input(self, processor):
+        program = processor.assembler.assemble(SUM_LOOP, "sum")
+        portable = PortableProgram(program)
+        injector = FaultInjector(
+            processor, FaultPlan([RegisterCorrupt(2, 1, 0)]))
+        assert injector.corrupt_program(portable) is portable

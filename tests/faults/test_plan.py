@@ -1,0 +1,72 @@
+"""Fault model and deterministic plan sampling."""
+
+import random
+
+from repro.faults.plan import (DmaDrop, FaultPlan, LsuDelay, MemoryBitFlip,
+                               OpcodeCorrupt, RegisterCorrupt, TrialProfile,
+                               sample_plan)
+
+
+def _profile(dma=0):
+    return TrialProfile(memory_ranges=[("dmem0", 0, 64)],
+                        registers=[2, 3, 4], steps=500, entries=20,
+                        states=[("eis", "SET_A", 8)], num_lsus=2,
+                        dma_descriptors=dma)
+
+
+class TestFaultObjects:
+    def test_to_dict_round_trips_slots(self):
+        fault = MemoryBitFlip("dmem0", 12, 31, after_accesses=99)
+        assert fault.to_dict() == {"kind": "mem_flip", "region": "dmem0",
+                                   "word_index": 12, "bit": 31,
+                                   "after_accesses": 99}
+
+    def test_masks_are_32_bit(self):
+        assert RegisterCorrupt(2, 1 << 40, 0).mask == 0
+        assert OpcodeCorrupt(0, 0, -1).mask == 0xFFFFFFFF
+
+    def test_plan_is_iterable_and_sized(self):
+        plan = FaultPlan([DmaDrop(0), LsuDelay(0, 1, 2)])
+        assert len(plan) == 2
+        assert [fault.kind for fault in plan] == ["dma_drop", "lsu_delay"]
+        assert len(plan.to_dict()["faults"]) == 2
+
+
+class TestSampling:
+    def test_same_seed_same_plan(self):
+        plans = [sample_plan(random.Random("trial:7"), _profile())
+                 for _ in range(2)]
+        assert plans[0].to_dict() == plans[1].to_dict()
+
+    def test_different_seeds_cover_multiple_kinds(self):
+        kinds = {sample_plan(random.Random("t:%d" % i),
+                             _profile(dma=2)).faults[0].kind
+                 for i in range(200)}
+        assert {"mem_flip", "reg_corrupt", "state_corrupt",
+                "opcode_corrupt", "lsu_delay", "dma_drop",
+                "dma_delay"} <= kinds
+
+    def test_dma_faults_only_with_descriptors(self):
+        kinds = {sample_plan(random.Random("t:%d" % i),
+                             _profile(dma=0)).faults[0].kind
+                 for i in range(200)}
+        assert "dma_drop" not in kinds
+        assert "dma_delay" not in kinds
+
+    def test_sampled_faults_respect_the_profile(self):
+        profile = _profile(dma=3)
+        for i in range(100):
+            fault = sample_plan(random.Random("r:%d" % i),
+                                profile).faults[0]
+            if isinstance(fault, MemoryBitFlip):
+                assert fault.region == "dmem0"
+                assert 0 <= fault.word_index < 64
+            elif isinstance(fault, RegisterCorrupt):
+                assert fault.reg in (2, 3, 4)
+                assert 0 <= fault.at_step < 500
+            elif isinstance(fault, DmaDrop):
+                assert 0 <= fault.descriptor < 3
+
+    def test_exactly_one_fault_per_plan(self):
+        for i in range(50):
+            assert len(sample_plan(random.Random(i), _profile())) == 1

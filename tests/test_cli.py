@@ -118,3 +118,24 @@ class TestCommands:
     def test_experiments_unknown_name(self, capsys):
         assert main(["experiments", "table99"]) == 2
         assert "unknown experiment" in capsys.readouterr().out
+
+    def test_faults_campaign_text_summary(self, capsys):
+        assert main(["faults", "campaign", "--kernel", "scalar",
+                     "--trials", "4", "--size", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign: scalar on DBA_1LSU" in out
+        assert "masked" in out and "detected" in out
+
+    def test_faults_campaign_json_report(self, capsys, tmp_path):
+        path = tmp_path / "campaign.json"
+        assert main(["faults", "campaign", "--kernel", "scalar",
+                     "--trials", "3", "--size", "100", "--json",
+                     "--out", str(path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["campaign"]["trials"] == 3
+        assert sum(report["summary"].values()) == 3
+        assert json.loads(path.read_text()) == report
+
+    def test_faults_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
