@@ -8,6 +8,7 @@
     repro synth --config DBA_2LSU_EIS --tech gf28slp
     repro experiments table2 figure13 --artifacts out/
     repro experiments --parallel 4 --timeout 600 --retries 1
+    repro db bench --rows 800 --queries 64 --json
     repro disasm intersection --config DBA_2LSU_EIS
     repro report out/run.json
     repro lint
@@ -43,7 +44,8 @@ def build_parser():
 
     run_cmd = sub.add_parser("run", help="run a primitive on a "
                                          "processor configuration")
-    run_cmd.add_argument("workload", choices=SET_OPS + ("sort",))
+    run_cmd.add_argument("workload",
+                         choices=SET_OPS + ("sort", "query"))
     run_cmd.add_argument("--config", default="DBA_2LSU_EIS",
                          choices=CONFIG_NAMES)
     run_cmd.add_argument("--size", type=int, default=5000,
@@ -51,6 +53,10 @@ def build_parser():
     run_cmd.add_argument("--selectivity", type=float, default=0.5)
     run_cmd.add_argument("--no-partial-load", action="store_true")
     run_cmd.add_argument("--seed", type=int, default=42)
+    run_cmd.add_argument("--cost-model", action="store_true",
+                         help="serve the 'query' workload through the "
+                              "calibrated cost model instead of the ISS "
+                              "(cycle counts are identical)")
     run_cmd.add_argument("--json", action="store_true",
                          help="print a structured run report as JSON "
                               "instead of the text summary")
@@ -78,6 +84,10 @@ def build_parser():
     exp_cmd.add_argument("names", nargs="*", help="experiment ids "
                                                   "(default: all)")
     exp_cmd.add_argument("--quick", action="store_true")
+    exp_cmd.add_argument("--cost-model", action="store_true",
+                         help="use the calibrated cost model for kernel "
+                              "cycle counts where supported (table2, "
+                              "table5); bit-exact vs the ISS")
     exp_cmd.add_argument("--artifacts", metavar="DIR",
                          help="write one machine-readable JSON artifact "
                               "per experiment into DIR")
@@ -91,6 +101,30 @@ def build_parser():
     exp_cmd.add_argument("--retries", type=int, default=1, metavar="N",
                          help="supervisor retry budget per experiment "
                               "(default %(default)s)")
+
+    db_cmd = sub.add_parser("db", help="query-engine utilities")
+    db_sub = db_cmd.add_subparsers(dest="db_command", required=True)
+    db_bench_cmd = db_sub.add_parser(
+        "bench",
+        help="benchmark batched query serving: calibrated cost-model "
+             "fast path vs the ISS")
+    db_bench_cmd.add_argument("--config", default="DBA_2LSU_EIS",
+                              choices=CONFIG_NAMES)
+    db_bench_cmd.add_argument("--rows", type=int, default=800,
+                              help="table rows (default %(default)s)")
+    db_bench_cmd.add_argument("--queries", type=int, default=64,
+                              help="queries per batch "
+                                   "(default %(default)s)")
+    db_bench_cmd.add_argument("--repeat", type=int, default=3,
+                              help="timed rounds per path; best is "
+                                   "reported (default %(default)s)")
+    db_bench_cmd.add_argument("--seed", type=int, default=42)
+    db_bench_cmd.add_argument("--json", action="store_true",
+                              help="print the full benchmark report as "
+                                   "JSON")
+    db_bench_cmd.add_argument("--out", metavar="FILE",
+                              help="write the JSON benchmark report to "
+                                   "FILE")
 
     report_cmd = sub.add_parser("report",
                                 help="summarize saved JSON run reports")
@@ -168,6 +202,8 @@ def build_parser():
 
 
 def cmd_run(args):
+    if args.workload == "query":
+        return _run_query_workload(args)
     partial = not args.no_partial_load
     processor = build_processor(args.config, partial_load=partial)
     synth = synthesize_config(args.config, partial_load=partial)
@@ -222,6 +258,61 @@ def cmd_run(args):
     return 0
 
 
+def _run_query_workload(args):
+    """Serve a canned query batch; the report carries QueryStats."""
+    from .db import RID_BITS, QueryStats
+    from .db.bench import build_demo_table, demo_queries
+    from .db.engine import QueryEngine
+    from .db.executor import _merge_stats
+    from .telemetry.report import RunReport
+
+    partial = not args.no_partial_load
+    rows = min(args.size, 1 << RID_BITS)  # ORDER BY packing bound
+    table = build_demo_table(rows=rows, seed=args.seed)
+    batch = demo_queries(table, count=32, seed=args.seed + 1)
+    engine = QueryEngine(config=args.config, partial_load=partial,
+                         cost_model=args.cost_model)
+    results = engine.execute_batch(batch)
+    totals = QueryStats()
+    for result in results:
+        _merge_stats(totals, result.stats)
+    synth = synthesize_config(args.config, partial_load=partial)
+    report = RunReport(
+        workload="query", config=args.config, cycles=totals.cycles,
+        instructions=0,
+        derived={
+            "queries": len(batch),
+            "rows_returned": sum(len(result.rows)
+                                 for result in results),
+            "latency_us": totals.latency_us(synth.fmax_mhz),
+        },
+        meta={"size": rows, "seed": args.seed, "partial_load": partial,
+              "cost_model": bool(args.cost_model),
+              "query_stats": totals.to_dict(),
+              "engine_metrics": {
+                  name: value for name, value
+                  in engine.metrics_snapshot().items()
+                  if isinstance(value, (int, float))}})
+    if args.report_out:
+        report.save(args.report_out)
+    if args.json:
+        print(report.to_json())
+        return 0
+    print("%d queries over %d rows on %s (%.0f MHz, %s path)"
+          % (len(batch), rows, args.config, synth.fmax_mhz,
+             "cost-model" if args.cost_model else "iss"))
+    print("  %d cycles (%s), %d set ops, %d sorts, %d scans, "
+          "%d short-circuits"
+          % (totals.cycles,
+             ", ".join("%s %d" % (source, cycles) for source, cycles
+                       in sorted(totals.cycles_by_source.items())),
+             totals.set_operations, totals.sort_operations,
+             totals.index_scans, totals.short_circuits))
+    if args.report_out:
+        print("  report: %s" % args.report_out)
+    return 0
+
+
 def cmd_synth(args):
     report = synthesize_config(args.config,
                                technology=TECHNOLOGIES[args.tech])
@@ -243,6 +334,8 @@ def cmd_experiments(args):
     argv = list(args.names)
     if args.quick:
         argv.append("--quick")
+    if args.cost_model:
+        argv.append("--cost-model")
     if args.artifacts:
         argv.extend(["--artifacts", args.artifacts])
     if args.parallel and args.parallel != 1:
@@ -348,6 +441,28 @@ def cmd_lint(args):
     return status
 
 
+def cmd_db(args):
+    import json as json_module
+
+    from .db.bench import run_bench
+
+    log = None if args.json else print
+    report = run_bench(config=args.config, rows=args.rows,
+                       queries=args.queries, repeat=args.repeat,
+                       seed=args.seed, log=log)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_module.dump(report, handle, indent=2)
+            handle.write("\n")
+        if not args.json:
+            print("  report: %s" % args.out)
+    if args.json:
+        print(json_module.dumps(report, indent=2))
+    ok = (report["rid_parity"] and report["cycle_parity"]
+          and report["row_parity"])
+    return 0 if ok else 1
+
+
 def cmd_faults(args):
     import json as json_module
 
@@ -390,6 +505,7 @@ def main(argv=None):
         "disasm": cmd_disasm,
         "report": cmd_report,
         "lint": cmd_lint,
+        "db": cmd_db,
         "faults": cmd_faults,
     }
     return handlers[args.command](args)

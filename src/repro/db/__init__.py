@@ -3,15 +3,20 @@
 The application layer of the paper's motivation (Section 2.3):
 secondary-index scans produce RID lists; WHERE-clause AND/OR/NOT maps
 onto the EIS intersection/union/difference instructions; ORDER BY runs
-on the merge-sort instructions via key/RID packing.
+on the merge-sort instructions via key/RID packing.  On top of the
+single-query :class:`QueryExecutor`, :class:`QueryEngine` serves query
+batches with the calibrated cost-model fast path, scan caching and
+common-subexpression reuse.
 """
 
+from .engine import Query, QueryEngine, QueryResult
 from .executor import QueryExecutor, QueryStats, RID_BITS
 from .predicates import (And, AndNot, Eq, In, Leaf, Or, Predicate,
-                         Range, leaves, validate_indexes)
+                         Range, leaves, signature, validate_indexes)
 from .table import SecondaryIndex, Table
 
-__all__ = ["QueryExecutor", "QueryStats", "RID_BITS",
+__all__ = ["Query", "QueryEngine", "QueryResult",
+           "QueryExecutor", "QueryStats", "RID_BITS",
            "And", "AndNot", "Eq", "In", "Leaf", "Or", "Predicate",
-           "Range", "leaves", "validate_indexes",
+           "Range", "leaves", "signature", "validate_indexes",
            "SecondaryIndex", "Table"]

@@ -1,0 +1,307 @@
+"""Batched query serving on the database processor.
+
+:class:`QueryEngine` is the serving layer above
+:class:`~repro.db.executor.QueryExecutor`, built for query *traffic*
+rather than single microbenchmarks:
+
+* **cost-model fast path** — kernels run through the calibrated
+  :class:`~repro.core.costmodel.CostModel` by default, so a query
+  costs vectorized set algebra instead of per-instruction simulation
+  while reporting the identical cycle counts;
+* **scan cache** — secondary-index scans are memoized per (table,
+  leaf-predicate signature) across the engine's lifetime;
+* **common-subexpression reuse** — identical predicate subtrees
+  within one batch are evaluated once, and the cycles the reuse
+  avoided are tracked as ``db.engine.cycles_saved``;
+* **executor pool** — batches can fan out across worker processes via
+  :mod:`repro.supervisor` (each worker builds its own processor and
+  executor, the same crash-isolation infrastructure the experiment
+  sweeps use);
+* **telemetry** — ``db.engine.*`` counters (queries, cache hits,
+  cycles by source, cycles saved) plus the cost model's
+  ``costmodel.*`` counters in one registry snapshot.
+
+The ISS remains the default everywhere else; pass
+``cost_model=False`` to serve through the simulator (the benchmark
+baseline, and the differential suite's reference).
+"""
+
+from ..configs.catalog import build_processor
+from ..core.costmodel import CostModel, default_cost_model
+from ..supervisor import Task, supervise
+from ..telemetry.registry import MetricsRegistry
+from .executor import QueryExecutor, QueryStats, _merge_stats
+from .predicates import Combinator, Leaf, signature, validate_indexes
+
+
+class Query:
+    """One SELECT: WHERE tree + ORDER BY + projection + limit."""
+
+    __slots__ = ("table", "predicate", "order_by", "descending",
+                 "columns", "limit")
+
+    def __init__(self, table, predicate=None, order_by=None,
+                 descending=False, columns=None, limit=None):
+        self.table = table
+        self.predicate = predicate
+        self.order_by = order_by
+        self.descending = descending
+        self.columns = columns
+        self.limit = limit
+
+    def __repr__(self):
+        return "<Query %s where=%r order_by=%r limit=%r>" % (
+            self.table.name, self.predicate, self.order_by, self.limit)
+
+
+class QueryResult:
+    """Rows + RIDs + per-query :class:`QueryStats`."""
+
+    __slots__ = ("rows", "rids", "stats")
+
+    def __init__(self, rows, rids, stats):
+        self.rows = rows
+        self.rids = rids
+        self.stats = stats
+
+    def __repr__(self):
+        return "<QueryResult %d rows, %d cycles>" % (
+            len(self.rows), self.stats.cycles)
+
+
+class QueryEngine:
+    """Serves query batches on one processor configuration.
+
+    *cost_model* may be ``True`` (the process-wide shared
+    :func:`~repro.core.costmodel.default_cost_model`), ``False`` /
+    ``None`` (pure ISS), or a :class:`CostModel` instance.
+    """
+
+    def __init__(self, config="DBA_2LSU_EIS", processor=None,
+                 partial_load=True, cost_model=True, registry=None):
+        if processor is None:
+            processor = build_processor(config,
+                                        partial_load=partial_load)
+        self.processor = processor
+        self.config_name = processor.config.name
+        self.partial_load = partial_load
+        if cost_model is True:
+            cost_model = default_cost_model()
+        elif cost_model is False:
+            cost_model = None
+        self.cost_model = cost_model
+        self.executor = QueryExecutor(processor, cost_model=cost_model)
+        self.registry = registry or MetricsRegistry()
+        scope = self.registry.scope("db.engine")
+        self._queries = scope.counter("queries")
+        self._batches = scope.counter("batches")
+        self._rows = scope.counter("rows")
+        self._cycles_iss = scope.counter("cycles_iss")
+        self._cycles_costmodel = scope.counter("cycles_costmodel")
+        self._cycles_saved = scope.counter("cycles_saved")
+        self._scan_hits = scope.counter("scan_cache.hits")
+        self._scan_misses = scope.counter("scan_cache.misses")
+        self._cse_hits = scope.counter("cse.hits")
+        self._short_circuits = scope.counter("short_circuits")
+        self._last_qps = scope.gauge("last_batch_qps")
+        self._query_cycles = scope.histogram("query_cycles")
+        #: (id(table), signature) -> RID list; tables are pinned so
+        #: the id() keys stay unique for the engine's lifetime.
+        self._scan_cache = {}
+        self._pinned_tables = {}
+
+    # -- single query ---------------------------------------------------------
+
+    def execute(self, query):
+        """Serve one :class:`Query`; returns a :class:`QueryResult`."""
+        return self._execute_one(query, cse=None)
+
+    # -- batches --------------------------------------------------------------
+
+    def execute_batch(self, queries, workers=1, timeout=None):
+        """Serve a batch; returns :class:`QueryResult` per query.
+
+        With ``workers > 1`` the batch fans out over a supervised
+        process pool (one executor per worker); caches then live per
+        worker chunk, so reuse-heavy traffic profits most from the
+        in-process path.
+        """
+        import time
+        queries = list(queries)
+        started = time.perf_counter()
+        if workers > 1 and len(queries) > 1:
+            results = self._execute_parallel(queries, workers, timeout)
+        else:
+            cse = {}
+            results = [self._execute_one(query, cse)
+                       for query in queries]
+        elapsed = time.perf_counter() - started
+        self._batches.add(1)
+        if elapsed > 0:
+            self._last_qps.set(len(queries) / elapsed)
+        return results
+
+    # -- internals ------------------------------------------------------------
+
+    def _execute_one(self, query, cse):
+        table = query.table
+        stats = QueryStats()
+        if query.predicate is not None:
+            validate_indexes(query.predicate, table)
+            rids = self._evaluate(table, query.predicate, stats, cse)
+        else:
+            rids = list(range(table.row_count))
+        if query.order_by is not None:
+            rids, sort_stats = self.executor.order_by(
+                table, rids, query.order_by, query.descending)
+            _merge_stats(stats, sort_stats)
+        if query.limit is not None:
+            rids = rids[:query.limit]
+        rows = table.fetch(rids, query.columns)
+        self._account(stats, len(rows))
+        return QueryResult(rows, rids, stats)
+
+    def _evaluate(self, table, predicate, stats, cse):
+        if isinstance(predicate, Leaf):
+            stats.index_scans += 1
+            key = (id(table), signature(predicate))
+            cached = self._scan_cache.get(key)
+            if cached is not None:
+                self._scan_hits.add(1)
+                return list(cached)
+            rids = predicate.scan(table)
+            self._pinned_tables[id(table)] = table
+            self._scan_cache[key] = rids
+            self._scan_misses.add(1)
+            return list(rids)
+        if not isinstance(predicate, Combinator):
+            raise TypeError("not a predicate: %r" % (predicate,))
+        key = (id(table), signature(predicate))
+        if cse is not None:
+            hit = cse.get(key)
+            if hit is not None:
+                rids, avoided = hit
+                self._cse_hits.add(1)
+                self._cycles_saved.add(avoided)
+                return list(rids)
+        before = stats.cycles
+        left = self._evaluate(table, predicate.left, stats, cse)
+        right = self._evaluate(table, predicate.right, stats, cse)
+        rids = self.executor.set_operation(predicate.operation, left,
+                                           right, stats)
+        if cse is not None:
+            cse[key] = (list(rids), stats.cycles - before)
+        return rids
+
+    def _account(self, stats, row_count):
+        self._queries.add(1)
+        self._rows.add(row_count)
+        self._cycles_iss.add(stats.cycles_by_source.get("iss", 0))
+        self._cycles_costmodel.add(
+            stats.cycles_by_source.get("costmodel", 0))
+        self._short_circuits.add(stats.short_circuits)
+        self._query_cycles.observe(stats.cycles)
+
+    # -- parallel workers -----------------------------------------------------
+
+    def _execute_parallel(self, queries, workers, timeout):
+        chunks = [[] for _ in range(workers)]
+        for index, query in enumerate(queries):
+            chunks[index % workers].append((index, query))
+        chunks = [chunk for chunk in chunks if chunk]
+        tasks = []
+        for chunk_index, chunk in enumerate(chunks):
+            spec = self._worker_spec(chunk)
+            tasks.append(Task("chunk-%d" % chunk_index,
+                              _serve_worker_chunk, (spec,)))
+        report = supervise(tasks, jobs=len(tasks), timeout=timeout,
+                           retries=1)
+        results = [None] * len(queries)
+        for chunk, outcome in zip(chunks, report.outcomes):
+            if not outcome.ok:
+                raise RuntimeError("query worker %s failed: %s"
+                                   % (outcome.key, outcome.error))
+            for (index, _query), payload in zip(chunk, outcome.value):
+                rows, rids, stats = payload
+                self._account(stats, len(rows))
+                results[index] = QueryResult(rows, rids, stats)
+        return results
+
+    def _worker_spec(self, chunk):
+        tables = {}
+        query_specs = []
+        for _index, query in chunk:
+            table = query.table
+            if id(table) not in tables:
+                tables[id(table)] = {
+                    "name": table.name,
+                    "columns": {name: list(values) for name, values
+                                in table.columns.items()},
+                    "indexes": [column for column in table.columns
+                                if table.has_index(column)],
+                }
+            query_specs.append({
+                "table": id(table),
+                "predicate": query.predicate,
+                "order_by": query.order_by,
+                "descending": query.descending,
+                "columns": query.columns,
+                "limit": query.limit,
+            })
+        return {
+            "config": self.config_name,
+            "partial_load": self.partial_load,
+            "cost_model": self.cost_model is not None,
+            "tables": tables,
+            "queries": query_specs,
+        }
+
+    # -- introspection --------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """``db.engine.*`` + ``costmodel.*`` values as a flat dict."""
+        values = self.registry.snapshot().as_dict()
+        if self.cost_model is not None:
+            for name, value in self.cost_model.stats().items():
+                values["costmodel.%s" % name] = value
+        return values
+
+    def clear_caches(self):
+        self._scan_cache.clear()
+        self._pinned_tables.clear()
+
+    def __repr__(self):
+        return "<QueryEngine %s cost_model=%s>" % (
+            self.config_name, self.cost_model is not None)
+
+
+def _serve_worker_chunk(spec):
+    """Worker-process entry: rebuild engine state, serve the chunk.
+
+    Module-level (picklable) by supervisor contract.  Each worker gets
+    its own processor, executor and caches; CSE still applies within
+    the chunk.
+    """
+    from .table import Table
+    engine = QueryEngine(config=spec["config"],
+                         partial_load=spec["partial_load"],
+                         cost_model=CostModel()
+                         if spec["cost_model"] else False)
+    tables = {}
+    for table_id, payload in spec["tables"].items():
+        table = Table(payload["name"], payload["columns"])
+        for column in payload["indexes"]:
+            table.create_index(column)
+        tables[table_id] = table
+    cse = {}
+    payloads = []
+    for query_spec in spec["queries"]:
+        query = Query(tables[query_spec["table"]],
+                      predicate=query_spec["predicate"],
+                      order_by=query_spec["order_by"],
+                      descending=query_spec["descending"],
+                      columns=query_spec["columns"],
+                      limit=query_spec["limit"])
+        result = engine._execute_one(query, cse)
+        payloads.append((result.rows, result.rids, result.stats))
+    return payloads

@@ -9,6 +9,17 @@ instructions using key/RID packing.
 The executor reports per-query cycle counts and (given a synthesis
 report) latency and energy, turning the paper's microbenchmarks into
 end-to-end query numbers (see ``examples/query_engine.py``).
+
+Two execution paths produce those cycle counts:
+
+* the default ISS path simulates every kernel instruction, and
+* an opt-in :class:`~repro.core.costmodel.CostModel` computes results
+  with plain set algebra and predicts the identical cycle count from
+  a calibrated event-count model (``repro.db.engine`` enables it for
+  batch serving; paper experiments keep the ISS default).
+
+:class:`QueryStats` attributes cycles to their source (``iss`` vs
+``costmodel``) so mixed-path runs stay auditable.
 """
 
 from ..core.kernels import run_merge_sort, run_set_operation
@@ -28,15 +39,33 @@ class QueryStats:
         self.sort_operations = 0
         self.cycles = 0
         self.index_scans = 0
+        self.short_circuits = 0
+        self.cycles_by_source = {"iss": 0, "costmodel": 0}
 
-    def add_run(self, run_result):
-        self.cycles += run_result.cycles
+    def add_cycles(self, cycles, source="iss"):
+        self.cycles += cycles
+        self.cycles_by_source[source] = \
+            self.cycles_by_source.get(source, 0) + cycles
+
+    def add_run(self, run_result, source="iss"):
+        self.add_cycles(run_result.cycles, source)
 
     def latency_us(self, clock_mhz):
         return self.cycles / clock_mhz
 
     def energy_uj(self, power_mw, clock_mhz):
         return power_mw * self.latency_us(clock_mhz) / 1000.0
+
+    def to_dict(self):
+        """JSON form (embedded in run reports and bench artifacts)."""
+        return {
+            "set_operations": self.set_operations,
+            "sort_operations": self.sort_operations,
+            "index_scans": self.index_scans,
+            "short_circuits": self.short_circuits,
+            "cycles": self.cycles,
+            "cycles_by_source": dict(self.cycles_by_source),
+        }
 
     def __repr__(self):
         return ("<QueryStats %d cycles, %d set ops, %d sorts, %d "
@@ -45,11 +74,19 @@ class QueryStats:
 
 
 class QueryExecutor:
-    """Runs predicate trees and ORDER BY on one processor instance."""
+    """Runs predicate trees and ORDER BY on one processor instance.
 
-    def __init__(self, processor):
+    *cost_model* (a :class:`repro.core.costmodel.CostModel` or None)
+    selects the execution path for kernels; None means pure ISS.
+    """
+
+    def __init__(self, processor, cost_model=None):
         self.processor = processor
+        self.cost_model = cost_model
         self._has_eis = "db_eis" in processor.extension_states
+        #: (id(table), column) -> (column list, pre-shifted keys);
+        #: the identity of the column list guards against id() reuse.
+        self._packed_key_cache = {}
 
     # -- WHERE ---------------------------------------------------------------
 
@@ -68,14 +105,34 @@ class QueryExecutor:
             raise TypeError("not a predicate: %r" % (predicate,))
         left = self._evaluate(table, predicate.left, stats)
         right = self._evaluate(table, predicate.right, stats)
-        if predicate.operation == "intersection" and len(right) < len(
-                left):
+        return self.set_operation(predicate.operation, left, right,
+                                  stats)
+
+    def set_operation(self, which, left, right, stats):
+        """One cycle-accounted RID-list set operation.
+
+        Empty operands short-circuit without launching a kernel (and
+        without charging cycles — identically on the ISS and the
+        cost-model paths, so the two stay differentially comparable).
+        """
+        if not left or not right:
+            stats.short_circuits += 1
+            if which == "intersection":
+                return []
+            if which == "union":
+                return list(left) if left else list(right)
+            return list(left)  # difference: A - empty = A, empty - B = []
+        if which == "intersection" and len(right) < len(left):
             # index-ANDing order: smaller list first (Raman et al.)
             left, right = right, left
         stats.set_operations += 1
-        result, run_result = self._set_operation(predicate.operation,
-                                                 left, right)
-        stats.add_run(run_result)
+        if self.cost_model is not None:
+            values, cycles, source = self.cost_model.set_operation(
+                self.processor, which, left, right)
+            stats.add_cycles(cycles, source)
+            return values
+        result, run_result = self._set_operation(which, left, right)
+        stats.add_run(run_result, "iss")
         return result
 
     def _set_operation(self, which, left, right):
@@ -103,24 +160,43 @@ class QueryExecutor:
             raise ValueError(
                 "ORDER BY packing supports up to %d rows; shard or "
                 "widen RID_BITS" % (1 << RID_BITS))
-        key_bits = 32 - RID_BITS - 1  # keep below the sentinel
-        keys = table.column(key_column)
-        packed = []
-        for rid in rids:
-            key = keys[rid]
-            if key >= (1 << key_bits):
-                raise ValueError(
-                    "ORDER BY keys must be below 2**%d; dictionary-"
-                    "encode the column" % key_bits)
-            packed.append((key << RID_BITS) | rid)
+        shifted = self._shifted_keys(table, key_column)
+        packed = [shifted[rid] | rid for rid in rids]
         stats.sort_operations += 1
-        sorted_packed, run_result = self._sort(packed)
-        stats.add_run(run_result)
+        if self.cost_model is not None:
+            sorted_packed, cycles, source = self.cost_model.merge_sort(
+                self.processor, packed)
+            stats.add_cycles(cycles, source)
+        else:
+            sorted_packed, run_result = self._sort(packed)
+            stats.add_run(run_result, "iss")
         ordered = [value & ((1 << RID_BITS) - 1)
                    for value in sorted_packed]
         if descending:
             ordered.reverse()
         return ordered, stats
+
+    def _shifted_keys(self, table, key_column):
+        """Memoized ``key << RID_BITS`` per (table, column).
+
+        Validates the key domain once per column instead of per row;
+        repeated ORDER BYs (the common batch-serving case) skip both
+        the column lookup and the per-row shifting.
+        """
+        cache_key = (id(table), key_column)
+        cached = self._packed_key_cache.get(cache_key)
+        keys = table.column(key_column)
+        if cached is not None and cached[0] is keys:
+            return cached[1]
+        key_bits = 32 - RID_BITS - 1  # keep below the sentinel
+        limit = 1 << key_bits
+        if keys and max(keys) >= limit:
+            raise ValueError(
+                "ORDER BY keys must be below 2**%d; dictionary-"
+                "encode the column" % key_bits)
+        shifted = [key << RID_BITS for key in keys]
+        self._packed_key_cache[cache_key] = (keys, shifted)
+        return shifted
 
     def _sort(self, values):
         if self._has_eis:
@@ -152,6 +228,7 @@ class QueryExecutor:
 def _merge_stats(target, source):
     target.set_operations += source.set_operations
     target.sort_operations += source.sort_operations
-    target.cycles += source.cycles
     target.index_scans += source.index_scans
-
+    target.short_circuits += source.short_circuits
+    for key, value in source.cycles_by_source.items():
+        target.add_cycles(value, key)

@@ -102,6 +102,26 @@ class AndNot(Combinator):
     operation = "difference"
 
 
+def signature(predicate):
+    """Hashable structural identity of a predicate (sub)tree.
+
+    Two predicates with equal signatures scan/compute identical RID
+    lists on the same table — the cache key of the query engine's
+    scan cache and common-subexpression reuse.
+    """
+    if isinstance(predicate, Eq):
+        return ("eq", predicate.column, predicate.value)
+    if isinstance(predicate, Range):
+        return ("range", predicate.column, predicate.low,
+                predicate.high)
+    if isinstance(predicate, In):
+        return ("in", predicate.column, predicate.values)
+    if isinstance(predicate, Combinator):
+        return (predicate.operation, signature(predicate.left),
+                signature(predicate.right))
+    raise TypeError("unsignable predicate: %r" % (predicate,))
+
+
 def leaves(predicate):
     """All leaf predicates of a tree, left to right."""
     if isinstance(predicate, Leaf):

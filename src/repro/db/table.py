@@ -11,6 +11,8 @@ Values are 32-bit unsigned integers (the paper's element type); strings
 or other domains are assumed dictionary-encoded upstream.
 """
 
+import bisect
+
 from ..core.common import SENTINEL
 
 
@@ -62,8 +64,9 @@ class Table:
 
     def fetch(self, rids, column_names=None):
         """Materialize rows (as dicts) for a RID list."""
-        names = list(column_names or self.columns)
-        return [{name: self.columns[name][rid] for name in names}
+        pairs = [(name, self.columns[name])
+                 for name in (column_names or self.columns)]
+        return [{name: values[rid] for name, values in pairs}
                 for rid in rids]
 
     def __repr__(self):
@@ -76,36 +79,61 @@ class SecondaryIndex:
 
     Scans return strictly-sorted RID lists, the operand format of the
     EIS set instructions.
+
+    The index is a clustered postings layout: one array of (value, rid)
+    pairs sorted by value (RIDs within one value stay ascending because
+    the sort is stable over the enumeration order), plus the sorted
+    distinct keys and per-key offsets into the RID array.  Every scan
+    is a bisect over the key array followed by a slice — no linear walk
+    over the full posting dictionary.
     """
 
     def __init__(self, column_name, values):
         self.column_name = column_name
-        self._postings = {}
-        for rid, value in enumerate(values):
-            self._postings.setdefault(value, []).append(rid)
-        self._sorted_keys = sorted(self._postings)
+        pairs = sorted((value, rid) for rid, value in enumerate(values))
+        self._rids = [rid for _value, rid in pairs]
+        keys = []
+        offsets = []
+        previous = None
+        for position, (value, _rid) in enumerate(pairs):
+            if value != previous:
+                keys.append(value)
+                offsets.append(position)
+                previous = value
+        offsets.append(len(pairs))
+        self._sorted_keys = keys
+        self._offsets = offsets
+
+    def _key_span(self, value):
+        """``(start, end)`` slice of ``_rids`` for one key via bisect."""
+        position = bisect.bisect_left(self._sorted_keys, value)
+        if position == len(self._sorted_keys) \
+                or self._sorted_keys[position] != value:
+            return 0, 0
+        return self._offsets[position], self._offsets[position + 1]
 
     def scan_eq(self, value):
         """RIDs of rows where column == value."""
-        return list(self._postings.get(value, ()))
+        start, end = self._key_span(value)
+        return self._rids[start:end]
 
     def scan_range(self, low=None, high=None):
         """RIDs of rows where low <= column <= high (inclusive)."""
-        import bisect
         keys = self._sorted_keys
-        start = 0 if low is None else bisect.bisect_left(keys, low)
-        end = len(keys) if high is None else bisect.bisect_right(keys,
-                                                                 high)
-        rids = []
-        for key in keys[start:end]:
-            rids.extend(self._postings[key])
+        first = 0 if low is None else bisect.bisect_left(keys, low)
+        last = len(keys) if high is None else bisect.bisect_right(keys,
+                                                                  high)
+        if first >= last:
+            return []
+        rids = self._rids[self._offsets[first]:self._offsets[last]]
         return sorted(rids)
 
     def scan_in(self, values):
         """RIDs of rows where column is in *values*."""
         rids = []
         for value in values:
-            rids.extend(self._postings.get(value, ()))
+            start, end = self._key_span(value)
+            rids.extend(self._rids[start:end])
         return sorted(rids)
 
     def distinct_values(self):

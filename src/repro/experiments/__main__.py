@@ -2,6 +2,9 @@
 
 Without arguments, every experiment runs in paper order.  ``--quick``
 shrinks workload sizes (same shapes, faster turnaround).
+``--cost-model`` opts the experiments that support it (table2, table5)
+into the calibrated cost-model fast path for kernel cycle counts —
+bit-exact against the ISS, so the tables are unchanged, just faster.
 ``--artifacts DIR`` additionally writes each result as a JSON artifact
 next to its printed text table (see :mod:`repro.experiments.base`).
 ``--parallel N`` fans independent experiment ids over N crash-isolated
@@ -44,6 +47,9 @@ def main(argv=None):
     quick = "--quick" in argv
     if quick:
         argv.remove("--quick")
+    cost_model = "--cost-model" in argv
+    if cost_model:
+        argv.remove("--cost-model")
     artifacts, error = _take_option(argv, "--artifacts", str,
                                     lambda v: True, None)
     if error:
@@ -74,7 +80,8 @@ def main(argv=None):
     from .parallel import run_experiment, run_parallel
     if parallel > 1 and len(names) > 1:
         outcome = run_parallel(names, quick=quick, jobs=parallel,
-                               timeout=timeout, retries=retries)
+                               timeout=timeout, retries=retries,
+                               cost_model=cost_model)
         for result in outcome.results:
             if result is not None:
                 _emit(result, artifacts)
@@ -90,7 +97,8 @@ def main(argv=None):
     failures = []
     for name in names:
         try:
-            result = run_experiment(name, quick=quick)
+            result = run_experiment(name, quick=quick,
+                                    cost_model=cost_model)
         except Exception as exc:
             failures.append((name, "%s: %s" % (type(exc).__name__, exc)))
             continue

@@ -27,17 +27,24 @@ QUICK_OVERRIDES = {
     "prefetch": {"sizes": (8_000, 16_000)},
 }
 
+#: Experiments that accept the ``--cost-model`` opt-in (cycle counts
+#: from the calibrated cost model instead of the ISS; bit-exact).
+COST_MODEL_EXPERIMENTS = frozenset({"table2", "table5"})
 
-def run_experiment(name, quick=False):
+
+def run_experiment(name, quick=False, cost_model=False):
     """Run one experiment by id, honoring the ``--quick`` overrides."""
     from . import EXPERIMENTS
     runner = EXPERIMENTS[name]
+    kwargs = {}
     if quick and name in QUICK_OVERRIDES:
-        return runner(**QUICK_OVERRIDES[name])
-    return runner()
+        kwargs.update(QUICK_OVERRIDES[name])
+    if cost_model and name in COST_MODEL_EXPERIMENTS:
+        kwargs["cost_model"] = True
+    return runner(**kwargs)
 
 
-def _run_worker(name, quick):
+def _run_worker(name, quick, cost_model=False):
     """Process-pool entry point: run and return a picklable dict."""
     # Test-only fault injection: environment variables cross the
     # process boundary under every multiprocessing start method, which
@@ -48,7 +55,7 @@ def _run_worker(name, quick):
     if os.environ.get("REPRO_HANG_EXPERIMENT") == name:
         import time
         time.sleep(3600)
-    return run_experiment(name, quick).to_dict()
+    return run_experiment(name, quick, cost_model).to_dict()
 
 
 def result_from_dict(payload):
@@ -77,7 +84,7 @@ class SweepOutcome:
 
 
 def run_parallel(names, quick=False, jobs=2, timeout=None, retries=1,
-                 backoff=0.5, log=None):
+                 backoff=0.5, log=None, cost_model=False):
     """Run *names* across *jobs* crash-isolated worker processes.
 
     Returns a :class:`SweepOutcome` whose ``results`` list is in input
@@ -87,7 +94,8 @@ def run_parallel(names, quick=False, jobs=2, timeout=None, retries=1,
     ``outcome.report``.
     """
     jobs = max(1, min(jobs, len(names)))
-    tasks = [Task(name, _run_worker, (name, quick)) for name in names]
+    tasks = [Task(name, _run_worker, (name, quick, cost_model))
+             for name in names]
     report = supervise(tasks, jobs=jobs, timeout=timeout, retries=retries,
                        backoff=backoff, log=log)
     results = [result_from_dict(outcome.value) if outcome.ok else None
