@@ -57,6 +57,11 @@ def build_parser():
                          help="serve the 'query' workload through the "
                               "calibrated cost model instead of the ISS "
                               "(cycle counts are identical)")
+    run_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes for the 'query' "
+                              "workload batch (default %(default)s); "
+                              "with --trace-out the merged trace shows "
+                              "one Perfetto process per worker")
     run_cmd.add_argument("--json", action="store_true",
                          help="print a structured run report as JSON "
                               "instead of the text summary")
@@ -125,6 +130,96 @@ def build_parser():
     db_bench_cmd.add_argument("--out", metavar="FILE",
                               help="write the JSON benchmark report to "
                                    "FILE")
+    db_bench_cmd.add_argument("--workers", type=int, default=1,
+                              metavar="N",
+                              help="worker processes for the traced "
+                                   "serving pass (default %(default)s)")
+    db_bench_cmd.add_argument("--trace-out", metavar="FILE",
+                              help="write a merged Perfetto query "
+                                   "trace of one serving pass")
+
+    db_top_cmd = db_sub.add_parser(
+        "top",
+        help="live terminal view of a serving engine (throughput, "
+             "queue depth, worker utilization, cache hit rates, "
+             "p50/p95/p99 query cycles)")
+    db_top_cmd.add_argument("--config", default="DBA_2LSU_EIS",
+                            choices=CONFIG_NAMES)
+    db_top_cmd.add_argument("--rows", type=int, default=400,
+                            help="table rows (default %(default)s)")
+    db_top_cmd.add_argument("--queries", type=int, default=32,
+                            help="queries per batch "
+                                 "(default %(default)s)")
+    db_top_cmd.add_argument("--workers", type=int, default=1,
+                            metavar="N",
+                            help="worker processes per batch "
+                                 "(default %(default)s)")
+    db_top_cmd.add_argument("--frames", type=int, default=0,
+                            metavar="N",
+                            help="frames to render before exiting "
+                                 "(default: run until interrupted)")
+    db_top_cmd.add_argument("--interval", type=float, default=1.0,
+                            metavar="SECONDS",
+                            help="delay between frames "
+                                 "(default %(default)s)")
+    db_top_cmd.add_argument("--seed", type=int, default=42)
+    db_top_cmd.add_argument("--no-clear", action="store_true",
+                            help="append frames instead of redrawing "
+                                 "(for logs and tests)")
+    db_top_cmd.add_argument("--metrics-out", metavar="FILE",
+                            help="flush one JSONL metrics snapshot "
+                                 "per frame to FILE")
+
+    bench_cmd = sub.add_parser(
+        "bench", help="perf-trajectory utilities over BENCH_*.json "
+                      "artifacts")
+    bench_sub = bench_cmd.add_subparsers(dest="bench_command",
+                                         required=True)
+    bench_record_cmd = bench_sub.add_parser(
+        "record",
+        help="distill a BENCH_REPORT_DIR into one BENCH_history.json "
+             "entry (the per-PR trajectory point)")
+    bench_record_cmd.add_argument("--reports", default="bench-reports",
+                                  metavar="DIR",
+                                  help="directory of BENCH_*.json "
+                                       "artifacts "
+                                       "(default %(default)s)")
+    bench_record_cmd.add_argument("--history",
+                                  default="BENCH_history.json",
+                                  metavar="FILE",
+                                  help="history file to append to "
+                                       "(default %(default)s)")
+    bench_record_cmd.add_argument("--label", default=None,
+                                  help="entry label (default: "
+                                       "$GITHUB_SHA or 'local')")
+    bench_compare_cmd = bench_sub.add_parser(
+        "compare",
+        help="diff a fresh BENCH_REPORT_DIR against the last history "
+             "entry; exits nonzero on regressions beyond the "
+             "threshold (the CI gate)")
+    bench_compare_cmd.add_argument("--reports",
+                                   default="bench-reports",
+                                   metavar="DIR",
+                                   help="directory of BENCH_*.json "
+                                        "artifacts "
+                                        "(default %(default)s)")
+    bench_compare_cmd.add_argument("--history",
+                                   default="BENCH_history.json",
+                                   metavar="FILE",
+                                   help="baseline history file "
+                                        "(default %(default)s)")
+    bench_compare_cmd.add_argument("--threshold", type=float,
+                                   default=0.2,
+                                   help="regression threshold as a "
+                                        "fraction "
+                                        "(default %(default)s = 20%%)")
+    bench_compare_cmd.add_argument("--include-noisy",
+                                   action="store_true",
+                                   help="gate on wall-clock metrics "
+                                        "too (default: deterministic "
+                                        "cycle/model metrics only)")
+    bench_compare_cmd.add_argument("--json", action="store_true",
+                                   help="emit the comparison as JSON")
 
     report_cmd = sub.add_parser("report",
                                 help="summarize saved JSON run reports")
@@ -264,6 +359,7 @@ def _run_query_workload(args):
     from .db.bench import build_demo_table, demo_queries
     from .db.engine import QueryEngine
     from .db.executor import _merge_stats
+    from .telemetry.querytrace import QueryTracer, write_query_trace
     from .telemetry.report import RunReport
 
     partial = not args.no_partial_load
@@ -272,11 +368,31 @@ def _run_query_workload(args):
     batch = demo_queries(table, count=32, seed=args.seed + 1)
     engine = QueryEngine(config=args.config, partial_load=partial,
                          cost_model=args.cost_model)
-    results = engine.execute_batch(batch)
+    tracer = None
+    if args.trace_out:
+        tracer = QueryTracer(label="query engine",
+                             limit=args.trace_limit)
+    results = engine.execute_batch(batch, workers=args.workers,
+                                   tracer=tracer)
     totals = QueryStats()
     for result in results:
         _merge_stats(totals, result.stats)
     synth = synthesize_config(args.config, partial_load=partial)
+    meta = {"size": rows, "seed": args.seed, "partial_load": partial,
+            "cost_model": bool(args.cost_model),
+            "workers": args.workers,
+            "query_stats": totals.to_dict(),
+            "engine_metrics": {
+                name: value for name, value
+                in engine.metrics_snapshot().items()
+                if isinstance(value, (int, float))}}
+    if tracer is not None:
+        write_query_trace(args.trace_out, tracer)
+        meta["trace"] = {
+            "path": args.trace_out,
+            "processes": 1 + len(tracer.children),
+            "dropped": tracer.total_dropped,
+        }
     report = RunReport(
         workload="query", config=args.config, cycles=totals.cycles,
         instructions=0,
@@ -286,21 +402,17 @@ def _run_query_workload(args):
                                  for result in results),
             "latency_us": totals.latency_us(synth.fmax_mhz),
         },
-        meta={"size": rows, "seed": args.seed, "partial_load": partial,
-              "cost_model": bool(args.cost_model),
-              "query_stats": totals.to_dict(),
-              "engine_metrics": {
-                  name: value for name, value
-                  in engine.metrics_snapshot().items()
-                  if isinstance(value, (int, float))}})
+        meta=meta)
     if args.report_out:
         report.save(args.report_out)
     if args.json:
         print(report.to_json())
         return 0
-    print("%d queries over %d rows on %s (%.0f MHz, %s path)"
+    print("%d queries over %d rows on %s (%.0f MHz, %s path, "
+          "%d worker%s)"
           % (len(batch), rows, args.config, synth.fmax_mhz,
-             "cost-model" if args.cost_model else "iss"))
+             "cost-model" if args.cost_model else "iss",
+             args.workers, "" if args.workers == 1 else "s"))
     print("  %d cycles (%s), %d set ops, %d sorts, %d scans, "
           "%d short-circuits"
           % (totals.cycles,
@@ -308,6 +420,11 @@ def _run_query_workload(args):
                        in sorted(totals.cycles_by_source.items())),
              totals.set_operations, totals.sort_operations,
              totals.index_scans, totals.short_circuits))
+    if tracer is not None:
+        print("  trace: %d processes -> %s%s" % (
+            1 + len(tracer.children), args.trace_out,
+            " (%d dropped)" % tracer.total_dropped
+            if tracer.total_dropped else ""))
     if args.report_out:
         print("  report: %s" % args.report_out)
     return 0
@@ -442,6 +559,16 @@ def cmd_lint(args):
 
 
 def cmd_db(args):
+    if args.db_command == "top":
+        from .db.top import run_top
+
+        run_top(config=args.config, rows=args.rows,
+                queries=args.queries, workers=args.workers,
+                frames=args.frames, interval=args.interval,
+                seed=args.seed, clear=not args.no_clear,
+                metrics_out=args.metrics_out)
+        return 0
+
     import json as json_module
 
     from .db.bench import run_bench
@@ -449,7 +576,8 @@ def cmd_db(args):
     log = None if args.json else print
     report = run_bench(config=args.config, rows=args.rows,
                        queries=args.queries, repeat=args.repeat,
-                       seed=args.seed, log=log)
+                       seed=args.seed, log=log, workers=args.workers,
+                       trace_out=args.trace_out)
     if args.out:
         with open(args.out, "w") as handle:
             json_module.dump(report, handle, indent=2)
@@ -461,6 +589,44 @@ def cmd_db(args):
     ok = (report["rid_parity"] and report["cycle_parity"]
           and report["row_parity"])
     return 0 if ok else 1
+
+
+def cmd_bench(args):
+    import json as json_module
+    import os
+
+    from .telemetry.history import (append_entry, collect_reports,
+                                    compare_reports_dir,
+                                    entry_from_reports)
+
+    if args.bench_command == "record":
+        label = args.label
+        if label is None:
+            label = os.environ.get("GITHUB_SHA", "local")[:12] or "local"
+        reports = collect_reports(args.reports)
+        if not reports:
+            print("no BENCH_*.json artifacts in %s" % args.reports)
+            return 1
+        entry = entry_from_reports(reports, label=label)
+        history = append_entry(args.history, entry)
+        print("recorded %d benchmarks as %r (%d entries in %s)"
+              % (len(entry["benchmarks"]), label,
+                 len(history["entries"]), args.history))
+        return 0
+
+    try:
+        comparison = compare_reports_dir(
+            args.reports, args.history, threshold=args.threshold,
+            include_noisy=args.include_noisy)
+    except FileNotFoundError as error:
+        print("bench compare: %s" % error)
+        return 1
+    if args.json:
+        print(json_module.dumps(comparison.to_dict(), indent=2,
+                                sort_keys=True))
+    else:
+        print(comparison.format())
+    return 0 if comparison.ok else 1
 
 
 def cmd_faults(args):
@@ -506,6 +672,7 @@ def main(argv=None):
         "report": cmd_report,
         "lint": cmd_lint,
         "db": cmd_db,
+        "bench": cmd_bench,
         "faults": cmd_faults,
     }
     return handlers[args.command](args)

@@ -110,8 +110,14 @@ def _serve_baseline(table, queries, repeat, config):
 
 
 def run_bench(config="DBA_2LSU_EIS", rows=1600, queries=64, repeat=3,
-              seed=42, log=None):
+              seed=42, log=None, workers=1, trace_out=None):
     """Benchmark engine-vs-ISS batch serving; returns a JSON-able dict.
+
+    With *trace_out*, one extra (untimed) serving pass runs after the
+    timed rounds with a :class:`~repro.telemetry.querytrace.
+    QueryTracer` attached and *workers* processes, and the merged
+    Perfetto trace is written there — the timed rounds stay unperturbed
+    by tracing overhead.
 
     Calibration happens on a warmup batch so the timed rounds measure
     steady-state serving, matching how a long-lived engine behaves.
@@ -172,6 +178,24 @@ def run_bench(config="DBA_2LSU_EIS", rows=1600, queries=64, repeat=3,
         "speedup": fast_qps / iss_qps if iss_qps else 0.0,
         "engine_metrics": engine.metrics_snapshot(),
     }
+    if trace_out:
+        from ..telemetry.querytrace import (QueryTracer,
+                                            write_query_trace)
+
+        tracer = QueryTracer(label="db bench")
+        trace_engine = QueryEngine(config=config, cost_model=True)
+        trace_engine.execute_batch(batch, workers=workers,
+                                   tracer=tracer)
+        write_query_trace(trace_out, tracer)
+        report["trace"] = {
+            "path": trace_out,
+            "workers": workers,
+            "processes": 1 + len(tracer.children),
+            "dropped": tracer.total_dropped,
+        }
+        if log:
+            log("  trace: %d processes -> %s"
+                % (report["trace"]["processes"], trace_out))
     if log:
         log("  cost-model engine: %8.1f queries/s (%.4f s)"
             % (fast_qps, fast_time))

@@ -26,9 +26,13 @@ The ISS remains the default everywhere else; pass
 baseline, and the differential suite's reference).
 """
 
+import time
+from contextlib import nullcontext
+
 from ..configs.catalog import build_processor
 from ..core.costmodel import CostModel, default_cost_model
 from ..supervisor import Task, supervise
+from ..telemetry.querytrace import QueryTracer
 from ..telemetry.registry import MetricsRegistry
 from .executor import QueryExecutor, QueryStats, _merge_stats
 from .predicates import Combinator, Leaf, signature, validate_indexes
@@ -105,6 +109,9 @@ class QueryEngine:
         self._short_circuits = scope.counter("short_circuits")
         self._last_qps = scope.gauge("last_batch_qps")
         self._query_cycles = scope.histogram("query_cycles")
+        self._queue_depth = scope.gauge("queue_depth")
+        self._workers = scope.gauge("workers")
+        self._active_workers = scope.gauge("active_workers")
         #: (id(table), signature) -> RID list; tables are pinned so
         #: the id() keys stay unique for the engine's lifetime.
         self._scan_cache = {}
@@ -112,29 +119,47 @@ class QueryEngine:
 
     # -- single query ---------------------------------------------------------
 
-    def execute(self, query):
+    def execute(self, query, tracer=None):
         """Serve one :class:`Query`; returns a :class:`QueryResult`."""
-        return self._execute_one(query, cse=None)
+        return self._execute_one(query, cse=None, tracer=tracer)
 
     # -- batches --------------------------------------------------------------
 
-    def execute_batch(self, queries, workers=1, timeout=None):
+    def execute_batch(self, queries, workers=1, timeout=None,
+                      tracer=None):
         """Serve a batch; returns :class:`QueryResult` per query.
 
         With ``workers > 1`` the batch fans out over a supervised
         process pool (one executor per worker); caches then live per
         worker chunk, so reuse-heavy traffic profits most from the
-        in-process path.
+        in-process path.  Worker counters come back namespaced as
+        ``db.engine.worker.<i>.*`` plus aggregated totals, so pooled
+        serving no longer loses child-process telemetry.
+
+        *tracer* (a :class:`~repro.telemetry.querytrace.QueryTracer`)
+        records wall-clock and modeled-cycle spans for the batch; in
+        pooled mode each worker's trace is reattached as a child
+        payload for the merged Perfetto export.
         """
-        import time
         queries = list(queries)
         started = time.perf_counter()
-        if workers > 1 and len(queries) > 1:
-            results = self._execute_parallel(queries, workers, timeout)
-        else:
-            cse = {}
-            results = [self._execute_one(query, cse)
-                       for query in queries]
+        self._queue_depth.set(len(queries))
+        batch = tracer.span("batch", queries=len(queries)) \
+            if tracer is not None else nullcontext()
+        try:
+            with batch:
+                if workers > 1 and len(queries) > 1:
+                    results = self._execute_parallel(
+                        queries, workers, timeout, tracer)
+                else:
+                    self._workers.set(1)
+                    self._active_workers.set(1)
+                    cse = {}
+                    results = [self._execute_one(query, cse, tracer,
+                                                 index)
+                               for index, query in enumerate(queries)]
+        finally:
+            self._queue_depth.set(0)
         elapsed = time.perf_counter() - started
         self._batches.add(1)
         if elapsed > 0:
@@ -143,33 +168,54 @@ class QueryEngine:
 
     # -- internals ------------------------------------------------------------
 
-    def _execute_one(self, query, cse):
+    def _execute_one(self, query, cse, tracer=None, index=0):
         table = query.table
         stats = QueryStats()
-        if query.predicate is not None:
-            validate_indexes(query.predicate, table)
-            rids = self._evaluate(table, query.predicate, stats, cse)
-        else:
-            rids = list(range(table.row_count))
-        if query.order_by is not None:
-            rids, sort_stats = self.executor.order_by(
-                table, rids, query.order_by, query.descending)
-            _merge_stats(stats, sort_stats)
-        if query.limit is not None:
-            rids = rids[:query.limit]
-        rows = table.fetch(rids, query.columns)
+        span = tracer.span("query", query=index, table=table.name) \
+            if tracer is not None else nullcontext()
+        with span:
+            if query.predicate is not None:
+                with (tracer.span("plan", query=index)
+                      if tracer is not None else nullcontext()):
+                    validate_indexes(query.predicate, table)
+                rids = self._evaluate(table, query.predicate, stats,
+                                      cse, tracer, index)
+            else:
+                rids = list(range(table.row_count))
+            if query.order_by is not None:
+                sort = tracer.span("sort", query=index,
+                                   column=query.order_by) \
+                    if tracer is not None else nullcontext()
+                with sort:
+                    rids, sort_stats = self.executor.order_by(
+                        table, rids, query.order_by, query.descending)
+                _merge_stats(stats, sort_stats)
+                self._record_cycles(tracer, "sort.%s" % query.order_by,
+                                    sort_stats.cycles_by_source, index)
+            if query.limit is not None:
+                rids = rids[:query.limit]
+            with (tracer.span("fetch", query=index)
+                  if tracer is not None else nullcontext()):
+                rows = table.fetch(rids, query.columns)
         self._account(stats, len(rows))
         return QueryResult(rows, rids, stats)
 
-    def _evaluate(self, table, predicate, stats, cse):
+    def _evaluate(self, table, predicate, stats, cse, tracer=None,
+                  index=0):
         if isinstance(predicate, Leaf):
             stats.index_scans += 1
             key = (id(table), signature(predicate))
             cached = self._scan_cache.get(key)
             if cached is not None:
                 self._scan_hits.add(1)
+                if tracer is not None:
+                    with tracer.span("scan.cached", query=index):
+                        return list(cached)
                 return list(cached)
-            rids = predicate.scan(table)
+            scan = tracer.span("scan", query=index) \
+                if tracer is not None else nullcontext()
+            with scan:
+                rids = predicate.scan(table)
             self._pinned_tables[id(table)] = table
             self._scan_cache[key] = rids
             self._scan_misses.add(1)
@@ -183,15 +229,39 @@ class QueryEngine:
                 rids, avoided = hit
                 self._cse_hits.add(1)
                 self._cycles_saved.add(avoided)
+                if tracer is not None:
+                    with tracer.span("cse", query=index,
+                                     cycles_avoided=avoided):
+                        return list(rids)
                 return list(rids)
         before = stats.cycles
-        left = self._evaluate(table, predicate.left, stats, cse)
-        right = self._evaluate(table, predicate.right, stats, cse)
-        rids = self.executor.set_operation(predicate.operation, left,
-                                           right, stats)
+        left = self._evaluate(table, predicate.left, stats, cse,
+                              tracer, index)
+        right = self._evaluate(table, predicate.right, stats, cse,
+                               tracer, index)
+        name = "set.%s" % predicate.operation
+        by_source_before = dict(stats.cycles_by_source)
+        with (tracer.span(name, query=index)
+              if tracer is not None else nullcontext()):
+            rids = self.executor.set_operation(predicate.operation,
+                                               left, right, stats)
+        if tracer is not None:
+            delta = {source: cycles - by_source_before.get(source, 0)
+                     for source, cycles
+                     in stats.cycles_by_source.items()}
+            self._record_cycles(tracer, name, delta, index)
         if cse is not None:
             cse[key] = (list(rids), stats.cycles - before)
         return rids
+
+    def _record_cycles(self, tracer, name, by_source, index):
+        """Modeled-cycle spans, one per nonzero attribution source."""
+        if tracer is None:
+            return
+        for source in sorted(by_source):
+            cycles = by_source[source]
+            if cycles:
+                tracer.cycles(name, cycles, source, {"query": index})
 
     def _account(self, stats, row_count):
         self._queries.add(1)
@@ -204,33 +274,75 @@ class QueryEngine:
 
     # -- parallel workers -----------------------------------------------------
 
-    def _execute_parallel(self, queries, workers, timeout):
+    def _execute_parallel(self, queries, workers, timeout, tracer=None):
         chunks = [[] for _ in range(workers)]
         for index, query in enumerate(queries):
             chunks[index % workers].append((index, query))
         chunks = [chunk for chunk in chunks if chunk]
-        tasks = []
-        for chunk_index, chunk in enumerate(chunks):
-            spec = self._worker_spec(chunk)
-            tasks.append(Task("chunk-%d" % chunk_index,
-                              _serve_worker_chunk, (spec,)))
-        report = supervise(tasks, jobs=len(tasks), timeout=timeout,
-                           retries=1)
-        results = [None] * len(queries)
-        for chunk, outcome in zip(chunks, report.outcomes):
-            if not outcome.ok:
-                raise RuntimeError("query worker %s failed: %s"
-                                   % (outcome.key, outcome.error))
-            for (index, _query), payload in zip(chunk, outcome.value):
-                rows, rids, stats = payload
-                self._account(stats, len(rows))
-                results[index] = QueryResult(rows, rids, stats)
+        self._workers.set(workers)
+        self._active_workers.set(len(chunks))
+        dispatch = tracer.span("dispatch", chunks=len(chunks)) \
+            if tracer is not None else nullcontext()
+        with dispatch:
+            tasks = []
+            for chunk_index, chunk in enumerate(chunks):
+                spec = self._worker_spec(chunk, chunk_index, tracer)
+                tasks.append(Task("chunk-%d" % chunk_index,
+                                  _serve_worker_chunk, (spec,)))
+            report = supervise(tasks, jobs=len(tasks), timeout=timeout,
+                               retries=1)
+        gather = tracer.span("gather") \
+            if tracer is not None else nullcontext()
+        with gather:
+            results = [None] * len(queries)
+            for chunk_index, (chunk, outcome) in enumerate(
+                    zip(chunks, report.outcomes)):
+                if not outcome.ok:
+                    raise RuntimeError("query worker %s failed: %s"
+                                       % (outcome.key, outcome.error))
+                payload = outcome.value
+                for (index, _query), served in zip(chunk,
+                                                   payload["results"]):
+                    rows, rids, stats = served
+                    self._account(stats, len(rows))
+                    results[index] = QueryResult(rows, rids, stats)
+                self._merge_worker_metrics(chunk_index,
+                                           payload["metrics"])
+                if tracer is not None and payload.get("trace"):
+                    tracer.add_child(payload["trace"])
+            self.registry.merge_values(report.snapshot.as_dict(),
+                                       prefix="db.engine")
         return results
 
-    def _worker_spec(self, chunk):
+    def _merge_worker_metrics(self, worker_index, values):
+        """Fold a worker engine's snapshot into this registry.
+
+        Child counters used to die with the subprocess; they now come
+        back namespaced (``db.engine.worker.<i>.*``, including the
+        worker's ``costmodel.*`` stats) and the cache-economics
+        counters that :meth:`_account` does not already aggregate
+        (scan cache, CSE, cycles saved) are added to the engine
+        totals.  Query/row/cycle totals are *not* re-added — the
+        parent accounts those per result.
+        """
+        trimmed = {}
+        for name, value in values.items():
+            if name.startswith("db.engine."):
+                trimmed[name[len("db.engine."):]] = value
+            else:
+                trimmed[name] = value
+        self.registry.merge_values(
+            trimmed, prefix="db.engine.worker.%d" % worker_index)
+        self._scan_hits.add(values.get("db.engine.scan_cache.hits", 0))
+        self._scan_misses.add(
+            values.get("db.engine.scan_cache.misses", 0))
+        self._cse_hits.add(values.get("db.engine.cse.hits", 0))
+        self._cycles_saved.add(values.get("db.engine.cycles_saved", 0))
+
+    def _worker_spec(self, chunk, chunk_index=0, tracer=None):
         tables = {}
         query_specs = []
-        for _index, query in chunk:
+        for index, query in chunk:
             table = query.table
             if id(table) not in tables:
                 tables[id(table)] = {
@@ -247,6 +359,7 @@ class QueryEngine:
                 "descending": query.descending,
                 "columns": query.columns,
                 "limit": query.limit,
+                "index": index,
             })
         return {
             "config": self.config_name,
@@ -254,6 +367,9 @@ class QueryEngine:
             "cost_model": self.cost_model is not None,
             "tables": tables,
             "queries": query_specs,
+            "worker": chunk_index,
+            "trace": tracer is not None,
+            "trace_limit": tracer.limit if tracer is not None else 0,
         }
 
     # -- introspection --------------------------------------------------------
@@ -280,13 +396,21 @@ def _serve_worker_chunk(spec):
 
     Module-level (picklable) by supervisor contract.  Each worker gets
     its own processor, executor and caches; CSE still applies within
-    the chunk.
+    the chunk.  The return payload carries the served rows *and* the
+    worker's observability state — its engine metrics snapshot and
+    (when the parent traces) its :class:`QueryTracer` payload — so
+    spans and counters no longer die inside the subprocess.
     """
     from .table import Table
     engine = QueryEngine(config=spec["config"],
                          partial_load=spec["partial_load"],
                          cost_model=CostModel()
                          if spec["cost_model"] else False)
+    tracer = None
+    if spec.get("trace"):
+        tracer = QueryTracer(
+            label="worker %d" % spec.get("worker", 0),
+            limit=spec.get("trace_limit") or 100_000)
     tables = {}
     for table_id, payload in spec["tables"].items():
         table = Table(payload["name"], payload["columns"])
@@ -302,6 +426,11 @@ def _serve_worker_chunk(spec):
                       descending=query_spec["descending"],
                       columns=query_spec["columns"],
                       limit=query_spec["limit"])
-        result = engine._execute_one(query, cse)
+        result = engine._execute_one(query, cse, tracer,
+                                     query_spec.get("index", 0))
         payloads.append((result.rows, result.rids, result.stats))
-    return payloads
+    return {
+        "results": payloads,
+        "metrics": engine.metrics_snapshot(),
+        "trace": tracer.to_payload() if tracer is not None else None,
+    }

@@ -85,6 +85,7 @@ def main(argv=None):
         for result in outcome.results:
             if result is not None:
                 _emit(result, artifacts)
+        _emit_sweep_metrics(outcome.metrics, artifacts)
         if not outcome.ok:
             print("experiment status:")
             for line in outcome.status_table():
@@ -115,6 +116,29 @@ def _emit(result, artifacts):
     print(result.format())
     if artifacts:
         print("artifact: %s" % result.save(artifacts))
+    print()
+
+
+def _emit_sweep_metrics(metrics, artifacts):
+    """One summary line (and optional JSON artifact) per sweep."""
+    if not metrics:
+        return
+    get = metrics.get
+    print("sweep metrics: %d submitted (%d ok, %d retried), kernel "
+          "cache %d hits / %d misses across workers"
+          % (get("supervisor.submitted", 0), get("supervisor.ok", 0),
+             get("supervisor.retried", 0),
+             get("kernels.cache.hits", 0),
+             get("kernels.cache.misses", 0)))
+    if artifacts:
+        import json
+        import os
+        os.makedirs(artifacts, exist_ok=True)
+        path = os.path.join(artifacts, "sweep_metrics.json")
+        with open(path, "w") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("artifact: %s" % path)
     print()
 
 

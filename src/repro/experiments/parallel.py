@@ -45,7 +45,13 @@ def run_experiment(name, quick=False, cost_model=False):
 
 
 def _run_worker(name, quick, cost_model=False):
-    """Process-pool entry point: run and return a picklable dict."""
+    """Process-pool entry point: run and return a picklable dict.
+
+    The payload carries the experiment result *and* the worker's own
+    telemetry (the module-level kernel-cache counters) so per-process
+    metrics stop vanishing with the worker — the parent merges them
+    into :attr:`SweepOutcome.metrics`.
+    """
     # Test-only fault injection: environment variables cross the
     # process boundary under every multiprocessing start method, which
     # is exactly what the supervisor tests need to crash or wedge one
@@ -55,7 +61,14 @@ def _run_worker(name, quick, cost_model=False):
     if os.environ.get("REPRO_HANG_EXPERIMENT") == name:
         import time
         time.sleep(3600)
-    return run_experiment(name, quick, cost_model).to_dict()
+    result = run_experiment(name, quick, cost_model).to_dict()
+    from ..core.kernels import portable_cache_stats
+    stats = portable_cache_stats()
+    return {
+        "result": result,
+        "metrics": {"kernels.cache.%s" % key: value
+                    for key, value in sorted(stats.items())},
+    }
 
 
 def result_from_dict(payload):
@@ -68,12 +81,16 @@ def result_from_dict(payload):
 class SweepOutcome:
     """Results plus per-experiment statuses of one parallel sweep."""
 
-    def __init__(self, results, report):
+    def __init__(self, results, report, metrics=None):
         #: :class:`ExperimentResult` list in input order; ``None`` for
         #: experiments that failed or timed out.
         self.results = results
         #: The underlying :class:`repro.supervisor.SuperviseReport`.
         self.report = report
+        #: Merged sweep telemetry: ``supervisor.*`` counters plus each
+        #: worker's metrics under ``worker.<experiment>.*`` and the
+        #: aggregated ``kernels.cache.*`` totals.
+        self.metrics = {} if metrics is None else metrics
 
     @property
     def ok(self):
@@ -81,6 +98,31 @@ class SweepOutcome:
 
     def status_table(self):
         return self.report.status_table()
+
+
+def _unwrap(value):
+    """``(result_dict, metrics_dict)`` from a worker payload.
+
+    Accepts the bare ``ExperimentResult.to_dict()`` shape too, so
+    hand-built payloads (and older pickles) keep working.
+    """
+    if isinstance(value, dict) and "result" in value:
+        return value["result"], value.get("metrics") or {}
+    return value, {}
+
+
+def _merge_sweep_metrics(report, worker_metrics):
+    """One flat metrics dict for the whole sweep."""
+    from ..telemetry.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.merge_values(report.snapshot.as_dict())
+    for name, values in worker_metrics:
+        registry.merge_values(values, prefix="worker.%s" % name)
+        # aggregate totals across workers (cache economics of the
+        # sweep as a whole)
+        registry.merge_values(values)
+    return registry.snapshot().as_dict()
 
 
 def run_parallel(names, quick=False, jobs=2, timeout=None, retries=1,
@@ -91,13 +133,24 @@ def run_parallel(names, quick=False, jobs=2, timeout=None, retries=1,
     order.  A failing experiment costs only its own slot: sibling
     results are always preserved, and per-experiment statuses
     (``ok`` / ``retried`` / ``failed`` / ``timeout``) ride along on
-    ``outcome.report``.
+    ``outcome.report``.  Worker telemetry (kernel-cache counters that
+    previously died with each process) is merged into
+    ``outcome.metrics`` alongside the supervisor's own counters.
     """
     jobs = max(1, min(jobs, len(names)))
     tasks = [Task(name, _run_worker, (name, quick, cost_model))
              for name in names]
     report = supervise(tasks, jobs=jobs, timeout=timeout, retries=retries,
                        backoff=backoff, log=log)
-    results = [result_from_dict(outcome.value) if outcome.ok else None
-               for outcome in report.outcomes]
-    return SweepOutcome(results, report)
+    results = []
+    worker_metrics = []
+    for name, outcome in zip(names, report.outcomes):
+        if not outcome.ok:
+            results.append(None)
+            continue
+        payload, metrics = _unwrap(outcome.value)
+        results.append(result_from_dict(payload))
+        if metrics:
+            worker_metrics.append((name, metrics))
+    metrics = _merge_sweep_metrics(report, worker_metrics)
+    return SweepOutcome(results, report, metrics)

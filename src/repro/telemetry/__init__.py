@@ -24,10 +24,27 @@ simulator.  This package is the one place those observations live:
     artifact emitted by ``repro run --json`` and the experiment and
     benchmark harnesses.
 
+:mod:`repro.telemetry.querytrace`
+    Query/batch-scoped trace contexts for the serving stack:
+    dual wall-clock + modeled-cycle timelines that cross the worker
+    process boundary and merge into one Perfetto trace.
+
+:mod:`repro.telemetry.export`
+    Metrics export: Prometheus text exposition and periodic JSONL
+    flushing of any registry.
+
+:mod:`repro.telemetry.history`
+    The in-repo perf trajectory: ``BENCH_history.json`` entries
+    distilled from ``BENCH_*.json`` artifacts and the
+    ``repro bench compare`` regression gate.
+
 This package is dependency-free (it never imports :mod:`repro.cpu`) so
 every simulator layer can use it without cycles.
 """
 
+from .export import JsonlExporter, render_prometheus, write_prometheus
+from .querytrace import (QueryTracer, build_chrome_trace, trace_report,
+                         write_query_trace)
 from .registry import (BoundCounter, Counter, Gauge, Histogram,
                        MetricsRegistry, MetricsScope, MetricsSnapshot)
 from .report import RunReport, RunStats
@@ -38,4 +55,7 @@ __all__ = [
     "MetricsRegistry", "MetricsScope", "MetricsSnapshot",
     "RunReport", "RunStats",
     "ChromeTraceBuilder", "write_chrome_trace",
+    "QueryTracer", "build_chrome_trace", "trace_report",
+    "write_query_trace",
+    "JsonlExporter", "render_prometheus", "write_prometheus",
 ]

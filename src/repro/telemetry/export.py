@@ -1,0 +1,170 @@
+"""Metrics export: Prometheus text exposition and JSONL flushing.
+
+Two export surfaces for any :class:`~repro.telemetry.registry.
+MetricsRegistry` (or a plain snapshot shipped across a process
+boundary):
+
+:func:`render_prometheus`
+    The Prometheus text exposition format (version 0.0.4) — what a
+    ``/metrics`` endpoint of the future network server returns, and
+    what the CI exporter smoke test parses.  Counters and gauges
+    become single samples; histograms become a ``summary`` family
+    (``_count`` / ``_sum`` plus ``{quantile="..."}`` samples from the
+    reservoir estimates).
+
+:class:`JsonlExporter`
+    Periodic JSONL flushing: one JSON object per line, each a
+    timestamped snapshot — the append-only metrics trail long serving
+    runs (``repro db top``, soak tests) leave behind.  Flushing is
+    cooperative (:meth:`~JsonlExporter.maybe_flush` from the serving
+    loop) rather than a background thread, so exports never race the
+    registry and tests can inject a fake clock.
+
+Both exporters are read-only over the registry and dependency-free,
+like the rest of :mod:`repro.telemetry`.
+"""
+
+import json
+import re
+import time
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantile labels a histogram summary publishes, mapped from the
+#: summary-dict keys produced by ``Histogram.read()``.
+_QUANTILE_KEYS = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+
+def prometheus_name(name, namespace="repro"):
+    """A dotted metric name as a legal Prometheus metric name."""
+    flat = _NAME_RE.sub("_", name.replace(".", "_"))
+    if namespace:
+        flat = "%s_%s" % (namespace, flat)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _instrument_kinds(registry_or_snapshot):
+    """(name, kind, value) triples from a registry or snapshot.
+
+    A registry knows its instrument kinds; from a bare snapshot the
+    kind is inferred — dict values are histogram summaries, numbers
+    are exported as gauges (the conservative choice: a gauge carries
+    no monotonicity promise).
+    """
+    triples = []
+    if hasattr(registry_or_snapshot, "get") \
+            and hasattr(registry_or_snapshot, "names"):
+        registry = registry_or_snapshot
+        for name in registry.names():
+            instrument = registry.get(name)
+            triples.append((name, instrument.kind, instrument.read()))
+        return triples
+    snapshot = registry_or_snapshot
+    values = snapshot.as_dict() if hasattr(snapshot, "as_dict") \
+        else dict(snapshot)
+    for name in sorted(values):
+        value = values[name]
+        kind = "histogram" if isinstance(value, dict) else "gauge"
+        triples.append((name, kind, value))
+    return triples
+
+
+def render_prometheus(registry_or_snapshot, namespace="repro"):
+    """The Prometheus text exposition of a registry or snapshot."""
+    lines = []
+    for name, kind, value in _instrument_kinds(registry_or_snapshot):
+        flat = prometheus_name(name, namespace)
+        if kind == "histogram":
+            summary = value if isinstance(value, dict) else {}
+            lines.append("# TYPE %s summary" % flat)
+            for key, quantile in _QUANTILE_KEYS:
+                sample = summary.get(key)
+                if sample is not None:
+                    lines.append('%s{quantile="%s"} %s'
+                                 % (flat, quantile, _format(sample)))
+            lines.append("%s_sum %s"
+                         % (flat, _format(summary.get("total", 0))))
+            lines.append("%s_count %s"
+                         % (flat, _format(summary.get("count", 0))))
+        else:
+            prom_kind = "counter" if kind == "counter" else "gauge"
+            lines.append("# TYPE %s %s" % (flat, prom_kind))
+            lines.append("%s %s" % (flat, _format(value)))
+    return "\n".join(lines) + "\n"
+
+
+def _format(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    return "0"
+
+
+def write_prometheus(path, registry_or_snapshot, namespace="repro"):
+    """Write the text exposition to *path* (node-exporter style)."""
+    with open(path, "w") as handle:
+        handle.write(render_prometheus(registry_or_snapshot, namespace))
+    return path
+
+
+class JsonlExporter:
+    """Appends timestamped registry snapshots to a JSONL file.
+
+    *interval* gates :meth:`maybe_flush` (seconds between flushes;
+    ``None`` flushes every call).  *clock* and *wall* are injectable
+    for deterministic tests; they default to :func:`time.monotonic`
+    and :func:`time.time`.
+    """
+
+    def __init__(self, path, interval=None, clock=None, wall=None):
+        self.path = path
+        self.interval = interval
+        self.flushes = 0
+        self._clock = clock or time.monotonic
+        self._wall = wall or time.time
+        self._last_flush = None
+
+    def flush(self, registry_or_snapshot, label=None):
+        """Append one snapshot line unconditionally."""
+        values = registry_or_snapshot.snapshot().as_dict() \
+            if hasattr(registry_or_snapshot, "snapshot") \
+            else (registry_or_snapshot.as_dict()
+                  if hasattr(registry_or_snapshot, "as_dict")
+                  else dict(registry_or_snapshot))
+        record = {"ts": self._wall(), "metrics": values}
+        if label is not None:
+            record["label"] = label
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+        self._last_flush = self._clock()
+        self.flushes += 1
+        return record
+
+    def maybe_flush(self, registry_or_snapshot, label=None):
+        """Flush if *interval* has elapsed since the last flush."""
+        now = self._clock()
+        if self._last_flush is not None and self.interval is not None \
+                and now - self._last_flush < self.interval:
+            return None
+        return self.flush(registry_or_snapshot, label=label)
+
+    def __repr__(self):
+        return "<JsonlExporter %s flushes=%d>" % (self.path,
+                                                  self.flushes)
+
+
+def read_jsonl(path):
+    """Load every snapshot record from a JSONL metrics file."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,235 @@
+"""Query-level trace contexts for the serving stack.
+
+The simulator-side :class:`~repro.cpu.trace.PipelineTracer` stops at
+one processor's issue loop; serving a query batch crosses layers (plan,
+index scans, cached reuse, kernel launches, row fetch) and — with
+worker pools — process boundaries.  A :class:`QueryTracer` is the
+batch-scoped context that survives both:
+
+* **Dual timelines.**  Wall-clock spans (microseconds from the
+  tracer's origin, ``time.perf_counter``) show where serving *time*
+  goes; modeled-cycle spans place every cycle-charged kernel launch on
+  a second timeline measured in *modeled cycles*, attributed to its
+  source (``costmodel`` vs ``iss``) from the query's
+  ``cycles_by_source`` accounting.  In Perfetto the two appear as
+  sibling tracks per process.
+
+* **Cross-process propagation.**  The engine creates one tracer per
+  batch; each worker subprocess creates its own
+  (``_serve_worker_chunk``), serializes it with :meth:`to_payload`,
+  and the parent reattaches it via :meth:`add_child`.  The merged
+  export (:func:`build_chrome_trace` / :func:`write_query_trace`)
+  renders one Perfetto trace with one process group per worker.
+
+* **Bounded recording.**  Events past ``limit`` are counted in
+  :attr:`dropped` — mirrored into the export — never silently lost;
+  the modeled-cycle cursor still advances so totals stay truthful.
+
+:func:`trace_report` digests the modeled-cycle timelines into a
+deterministic JSON document (wall-clock excluded, spans grouped by
+query index and re-based) that is byte-identical however the batch was
+chunked across workers — the anchor for the cross-process merge tests.
+"""
+
+import time
+
+from .tracer import ChromeTraceBuilder
+
+QUERY_TRACE_SCHEMA = "repro.query-trace/v1"
+QUERY_TRACE_REPORT_SCHEMA = "repro.query-trace-report/v1"
+
+#: Lane ids inside one process group of the merged export.
+WALL_LANE = 0
+CYCLE_LANE = 1
+
+
+class _WallSpan:
+    """Context manager recording one wall-clock span on exit."""
+
+    __slots__ = ("tracer", "name", "args", "start")
+
+    def __init__(self, tracer, name, args):
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self):
+        self.start = self.tracer._now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.tracer.wall(self.name, self.start,
+                         self.tracer._now_us() - self.start, self.args)
+        return False
+
+
+class QueryTracer:
+    """Per-batch trace context: wall-clock + modeled-cycle timelines."""
+
+    def __init__(self, label="engine", limit=100_000):
+        self.label = label
+        self.limit = limit
+        #: Wall-clock spans: ``(start_us, duration_us, name, args)``.
+        self.wall_events = []
+        #: Modeled-cycle spans:
+        #: ``(start_cycle, cycles, name, source, args)``.
+        self.cycle_events = []
+        self.dropped = 0
+        #: Next free position on the modeled-cycle timeline.
+        self.cycle_cursor = 0
+        #: Payload dicts reattached from worker subprocesses.
+        self.children = []
+        self._origin = time.perf_counter()
+
+    # -- recording -----------------------------------------------------------
+
+    def _now_us(self):
+        return (time.perf_counter() - self._origin) * 1e6
+
+    def _room(self):
+        if len(self.wall_events) + len(self.cycle_events) < self.limit:
+            return True
+        self.dropped += 1
+        return False
+
+    def span(self, name, **args):
+        """``with tracer.span("fetch", query=3): ...`` wall span."""
+        return _WallSpan(self, name, args or None)
+
+    def wall(self, name, start_us, duration_us, args=None):
+        """Record one wall-clock span directly."""
+        if self._room():
+            self.wall_events.append((start_us, duration_us, name, args))
+
+    def cycles(self, name, cycles, source, args=None):
+        """Record *cycles* modeled cycles attributed to *source*.
+
+        The span lands at the current cycle cursor, which advances even
+        when the event itself is dropped past ``limit`` so the
+        timeline's total length stays truthful.
+        """
+        start = self.cycle_cursor
+        self.cycle_cursor += cycles
+        if self._room():
+            self.cycle_events.append((start, cycles, name, source, args))
+
+    # -- cross-process -------------------------------------------------------
+
+    def to_payload(self):
+        """Picklable/JSON-able snapshot (children not included)."""
+        return {
+            "schema": QUERY_TRACE_SCHEMA,
+            "label": self.label,
+            "limit": self.limit,
+            "dropped": self.dropped,
+            "cycle_total": self.cycle_cursor,
+            "wall": [list(event) for event in self.wall_events],
+            "cycles": [list(event) for event in self.cycle_events],
+        }
+
+    def add_child(self, payload):
+        """Reattach a worker subprocess's :meth:`to_payload` dict."""
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != QUERY_TRACE_SCHEMA:
+            raise ValueError("not a query-trace payload: %r"
+                             % (payload,))
+        self.children.append(payload)
+
+    @property
+    def total_dropped(self):
+        """Dropped events across this tracer and attached children."""
+        return self.dropped + sum(child.get("dropped", 0)
+                                  for child in self.children)
+
+    def payloads(self):
+        """This tracer's payload followed by its children's."""
+        return [self.to_payload()] + list(self.children)
+
+    def __repr__(self):
+        return ("<QueryTracer %s %d wall + %d cycle events, "
+                "%d children>" % (self.label, len(self.wall_events),
+                                  len(self.cycle_events),
+                                  len(self.children)))
+
+
+# -- merged Perfetto export ---------------------------------------------------
+
+def _emit_process(builder, pid, payload, sort_index=None):
+    builder.process(pid, payload.get("label") or ("process %d" % pid),
+                    sort_index=sort_index)
+    builder.thread(WALL_LANE, "wall clock (us)", sort_index=0, pid=pid)
+    builder.thread(CYCLE_LANE, "modeled cycles", sort_index=1, pid=pid)
+    last_ts = 0
+    for start, duration, name, args in payload.get("wall", ()):
+        builder.complete(WALL_LANE, name, start, duration,
+                         category="wall", args=args, pid=pid)
+        last_ts = max(last_ts, start + duration)
+    for start, cycles, name, source, args in payload.get("cycles", ()):
+        merged = dict(args or {})
+        merged["source"] = source
+        builder.complete(CYCLE_LANE, name, start, cycles,
+                         category=source, args=merged, pid=pid)
+    dropped = payload.get("dropped", 0)
+    if dropped:
+        builder.instant(WALL_LANE, "%d events dropped" % dropped,
+                        last_ts, pid=pid)
+
+
+def build_chrome_trace(tracer):
+    """One Perfetto trace: the engine plus one process per worker."""
+    builder = ChromeTraceBuilder(
+        process_name="%s (query serving)" % tracer.label, pid=1)
+    _emit_process(builder, 1, tracer.to_payload(), sort_index=0)
+    for index, child in enumerate(tracer.children):
+        _emit_process(builder, 2 + index, child, sort_index=1 + index)
+    return builder
+
+
+def write_query_trace(path, tracer, indent=None):
+    """Write the merged batch trace as Chrome trace-event JSON."""
+    return build_chrome_trace(tracer).write(path, indent=indent)
+
+
+# -- deterministic digest -----------------------------------------------------
+
+def trace_report(tracer):
+    """Deterministic digest of the modeled-cycle timelines.
+
+    Wall-clock values are excluded and per-query cycle spans are
+    grouped by the ``query`` index in their args, re-based to offsets
+    within the query — the result is byte-identical (under
+    ``json.dumps(..., sort_keys=True)``) regardless of how the batch
+    was chunked across worker processes, which is what the
+    ``workers=1`` vs ``workers=4`` merge tests pin down.
+    """
+    per_query = {}
+    totals = {}
+    dropped = 0
+    for payload in tracer.payloads():
+        dropped += payload.get("dropped", 0)
+        for _start, cycles, name, source, args in \
+                payload.get("cycles", ()):
+            index = (args or {}).get("query")
+            if index is None:
+                continue
+            per_query.setdefault(index, []).append(
+                (name, cycles, source))
+            totals[source] = totals.get(source, 0) + cycles
+    spans = []
+    for index in sorted(per_query):
+        offset = 0
+        events = []
+        for name, cycles, source in per_query[index]:
+            events.append({"name": name, "offset": offset,
+                           "cycles": cycles, "source": source})
+            offset += cycles
+        spans.append({"query": index, "cycles": offset,
+                      "events": events})
+    return {
+        "schema": QUERY_TRACE_REPORT_SCHEMA,
+        "queries": len(spans),
+        "dropped": dropped,
+        "cycles_by_source": {source: totals[source]
+                             for source in sorted(totals)},
+        "spans": spans,
+    }

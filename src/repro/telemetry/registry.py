@@ -99,15 +99,27 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/total/min/max) of observed samples.
+    """Streaming summary (count/total/min/max + quantiles) of samples.
 
-    Kept to O(1) state — the simulator observes millions of samples, so
-    storing them is off the table.  ``read()`` returns a summary dict,
-    which is how histogram values appear in snapshots and reports.
+    Kept to O(reservoir) state — the simulator observes millions of
+    samples, so storing them all is off the table.  A bounded reservoir
+    (Vitter's algorithm R with a private LCG, so runs stay
+    deterministic and the global ``random`` state is untouched) backs
+    nearest-rank p50/p95/p99 estimates; while ``count`` fits in the
+    reservoir the quantiles are exact and independent of observation
+    order.  ``read()`` returns a summary dict, which is how histogram
+    values appear in snapshots and reports.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "samples",
+                 "_lcg")
     kind = "histogram"
+
+    #: Reservoir capacity; quantiles are exact up to this many samples.
+    RESERVOIR = 512
+
+    #: Quantiles published by :meth:`read` (tail latencies for serving).
+    QUANTILES = ((0.50, "p50"), (0.95, "p95"), (0.99, "p99"))
 
     def __init__(self, name=""):
         self.name = name
@@ -115,6 +127,8 @@ class Histogram:
         self.total = 0
         self.min = None
         self.max = None
+        self.samples = []
+        self._lcg = 0x9E3779B97F4A7C15
 
     def observe(self, value):
         self.count += 1
@@ -123,17 +137,47 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self.samples) < self.RESERVOIR:
+            self.samples.append(value)
+        else:
+            # 64-bit LCG (Knuth MMIX constants); replaces a random
+            # slot with probability RESERVOIR / count.
+            self._lcg = (self._lcg * 6364136223846793005
+                         + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+            slot = self._lcg % self.count
+            if slot < self.RESERVOIR:
+                self.samples[slot] = value
+
+    def quantile(self, q):
+        """Nearest-rank quantile estimate from the reservoir."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(q * len(ordered) + 0.5) - 1))
+        return ordered[rank]
 
     def read(self):
         mean = self.total / self.count if self.count else 0.0
-        return {"count": self.count, "total": self.total,
-                "min": self.min, "max": self.max, "mean": mean}
+        summary = {"count": self.count, "total": self.total,
+                   "min": self.min, "max": self.max, "mean": mean}
+        ordered = sorted(self.samples)
+        for q, label in self.QUANTILES:
+            if ordered:
+                rank = max(0, min(len(ordered) - 1,
+                                  int(q * len(ordered) + 0.5) - 1))
+                summary[label] = ordered[rank]
+            else:
+                summary[label] = None
+        return summary
 
     def reset(self):
         self.count = 0
         self.total = 0
         self.min = None
         self.max = None
+        del self.samples[:]
+        self._lcg = 0x9E3779B97F4A7C15
 
     def __repr__(self):
         return "<Histogram %s n=%d>" % (self.name or "?", self.count)
@@ -260,6 +304,36 @@ class MetricsRegistry:
     def scope(self, prefix):
         """A view that prepends ``prefix.`` to every name."""
         return MetricsScope(self, prefix)
+
+    # -- cross-process merging ------------------------------------------------
+
+    def ensure(self, name, kind="counter"):
+        """Get-or-create an instrument under *name*."""
+        if name in self._instruments:
+            return self._instruments[name]
+        factory = {"counter": Counter, "gauge": Gauge,
+                   "histogram": Histogram}[kind]
+        return self.register(name, factory())
+
+    def merge_values(self, values, prefix=None):
+        """Fold a flat name→value mapping into this registry.
+
+        The mapping is typically a child process's snapshot
+        (``registry.snapshot().as_dict()`` shipped across the process
+        boundary).  Numeric values accumulate into counters — merging
+        the same worker prefix across batches keeps counting up — and
+        dict values (histogram summaries) land in gauges holding the
+        most recent summary.  *prefix* namespaces every merged name
+        (``worker.0``).
+        """
+        for name in sorted(values):
+            value = values[name]
+            full = "%s.%s" % (prefix, name) if prefix else name
+            if isinstance(value, dict):
+                self.ensure(full, "gauge").set(value)
+            elif isinstance(value, (int, float)):
+                self.ensure(full, "counter").add(value)
+        return self
 
     # -- lookup --------------------------------------------------------------
 

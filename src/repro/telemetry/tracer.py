@@ -21,52 +21,73 @@ import json
 
 
 class ChromeTraceBuilder:
-    """Accumulates trace events and serializes the JSON object form."""
+    """Accumulates trace events and serializes the JSON object form.
+
+    A builder carries a default ``pid`` (single-process traces never
+    pass one), but every event method accepts a ``pid`` override and
+    :meth:`process` names additional process groups — the multi-process
+    form the query-engine worker traces use (one Perfetto process per
+    worker, see :mod:`repro.telemetry.querytrace`).
+    """
 
     def __init__(self, process_name="repro simulator", pid=1):
         self.pid = pid
         self.events = []
         self._named_threads = set()
+        self._named_processes = set()
+        self.process(pid, process_name)
+
+    def process(self, pid, name, sort_index=None):
+        """Name a process group; idempotent per pid."""
+        if pid in self._named_processes:
+            return
+        self._named_processes.add(pid)
         self.events.append({
             "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
-            "args": {"name": process_name}})
-
-    def thread(self, tid, name, sort_index=None):
-        """Name a swim lane; idempotent per tid."""
-        if tid in self._named_threads:
-            return
-        self._named_threads.add(tid)
-        self.events.append({
-            "ph": "M", "name": "thread_name", "pid": self.pid, "tid": tid,
             "args": {"name": name}})
         if sort_index is not None:
             self.events.append({
-                "ph": "M", "name": "thread_sort_index", "pid": self.pid,
+                "ph": "M", "name": "process_sort_index", "pid": pid,
+                "tid": 0, "args": {"sort_index": sort_index}})
+
+    def thread(self, tid, name, sort_index=None, pid=None):
+        """Name a swim lane; idempotent per (pid, tid)."""
+        pid = self.pid if pid is None else pid
+        if (pid, tid) in self._named_threads:
+            return
+        self._named_threads.add((pid, tid))
+        self.events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": name}})
+        if sort_index is not None:
+            self.events.append({
+                "ph": "M", "name": "thread_sort_index", "pid": pid,
                 "tid": tid, "args": {"sort_index": sort_index}})
 
     def complete(self, tid, name, start, duration, category="sim",
-                 args=None):
+                 args=None, pid=None):
         """A span [start, start+duration) in cycles on lane *tid*."""
         event = {"ph": "X", "name": name, "cat": category,
                  "ts": start, "dur": max(duration, 1),
-                 "pid": self.pid, "tid": tid}
+                 "pid": self.pid if pid is None else pid, "tid": tid}
         if args:
             event["args"] = args
         self.events.append(event)
 
-    def instant(self, tid, name, timestamp, category="sim", args=None):
+    def instant(self, tid, name, timestamp, category="sim", args=None,
+                pid=None):
         event = {"ph": "i", "name": name, "cat": category,
                  "ts": timestamp, "s": "t",
-                 "pid": self.pid, "tid": tid}
+                 "pid": self.pid if pid is None else pid, "tid": tid}
         if args:
             event["args"] = args
         self.events.append(event)
 
-    def counter(self, name, timestamp, values):
+    def counter(self, name, timestamp, values, pid=None):
         """Sample a counter track; *values* maps series name → number."""
         self.events.append({"ph": "C", "name": name, "ts": timestamp,
-                            "pid": self.pid, "tid": 0,
-                            "args": dict(values)})
+                            "pid": self.pid if pid is None else pid,
+                            "tid": 0, "args": dict(values)})
 
     def to_dict(self):
         return {

@@ -156,6 +156,57 @@ class TestEngine:
         assert snapshot["db.engine.last_batch_qps"] > 0
 
 
+class TestWorkerMetricMerge:
+    """Worker-pool serving no longer loses its subprocess metrics."""
+
+    def queries(self, table, predicate):
+        return [Query(table, predicate, order_by="price", limit=7),
+                Query(table, Eq("status", 2), order_by="price"),
+                Query(table, Range("price", 10, 300)),
+                Query(table, In("region", (0, 4)), limit=2)]
+
+    def test_worker_metrics_namespaced_into_parent(
+            self, eis_2lsu_partial, table, predicate):
+        engine = make_engine(eis_2lsu_partial)
+        engine.execute_batch(self.queries(table, predicate), workers=2)
+        snapshot = engine.metrics_snapshot()
+        worker_queries = [snapshot[name] for name in snapshot
+                          if name.startswith("db.engine.worker.")
+                          and name.endswith(".queries")]
+        assert len(worker_queries) == 2
+        assert sum(worker_queries) == 4
+        # ...without double-counting the parent's own accounting
+        assert snapshot["db.engine.queries"] == 4
+
+    def test_worker_cache_economics_roll_up(self, eis_2lsu_partial,
+                                            table, predicate):
+        engine = make_engine(eis_2lsu_partial)
+        engine.execute_batch(self.queries(table, predicate), workers=2)
+        snapshot = engine.metrics_snapshot()
+        worker_misses = sum(
+            snapshot[name] for name in snapshot
+            if name.startswith("db.engine.worker.")
+            and name.endswith("scan_cache.misses"))
+        assert worker_misses > 0
+        # aggregated totals cover the workers' scan-cache traffic
+        assert snapshot["db.engine.scan_cache.misses"] == worker_misses
+
+    def test_supervisor_counters_ride_along(self, eis_2lsu_partial,
+                                            table, predicate):
+        engine = make_engine(eis_2lsu_partial)
+        engine.execute_batch(self.queries(table, predicate), workers=2)
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["db.engine.supervisor.submitted"] == 2
+        assert snapshot["db.engine.supervisor.ok"] == 2
+        assert snapshot["db.engine.workers"] == 2
+
+    def test_workers_gauge_resets_between_batches(
+            self, eis_2lsu_partial, table, predicate):
+        engine = make_engine(eis_2lsu_partial)
+        engine.execute_batch(self.queries(table, predicate), workers=2)
+        assert engine.metrics_snapshot()["db.engine.queue_depth"] == 0
+
+
 class TestBenchHarness:
     def test_run_bench_reports_parity(self):
         from repro.db.bench import run_bench
@@ -164,3 +215,13 @@ class TestBenchHarness:
         assert report["cycle_parity"] is True
         assert report["speedup"] > 0
         assert report["queries"] == 6
+
+    def test_run_bench_traced_pass(self, tmp_path):
+        from repro.db.bench import run_bench
+        from repro.telemetry.tracer import validate_chrome_trace
+        import json
+        path = str(tmp_path / "trace.json")
+        report = run_bench(rows=120, queries=6, repeat=1,
+                           workers=2, trace_out=path)
+        assert report["trace"]["processes"] == 3
+        validate_chrome_trace(json.load(open(path)))

@@ -122,6 +122,29 @@ class TestRunParallel:
         assert len(outcome.results) == 2
         assert all(result is not None for result in outcome.results)
 
+    def test_sweep_merges_worker_metrics(self):
+        from repro.experiments.parallel import run_parallel
+        outcome = run_parallel(["table4", "table2"], quick=True, jobs=2)
+        metrics = outcome.metrics
+        assert metrics["supervisor.submitted"] == 2
+        assert metrics["supervisor.ok"] == 2
+        # each worker's kernel-cache counters survive the process
+        # boundary, namespaced and aggregated
+        assert "worker.table2.kernels.cache.misses" in metrics
+        assert "worker.table4.kernels.cache.misses" in metrics
+        assert metrics["kernels.cache.misses"] == (
+            metrics["worker.table2.kernels.cache.misses"]
+            + metrics["worker.table4.kernels.cache.misses"])
+
+    def test_failed_worker_contributes_no_metrics(self, monkeypatch):
+        from repro.experiments.parallel import run_parallel
+        monkeypatch.setenv("REPRO_FAIL_EXPERIMENT", "table4")
+        outcome = run_parallel(["table2", "table4"], quick=True, jobs=2,
+                               retries=0)
+        assert "worker.table2.kernels.cache.misses" in outcome.metrics
+        assert not any(name.startswith("worker.table4.")
+                       for name in outcome.metrics)
+
     def test_injected_failure_keeps_sibling_results(self, monkeypatch):
         """The acceptance scenario: --parallel 2 with one raising
         experiment leaves the others' results intact."""

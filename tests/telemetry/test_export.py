@@ -1,0 +1,108 @@
+"""Tests for the Prometheus / JSONL metrics exporters."""
+
+import json
+
+from repro.telemetry.export import (JsonlExporter, prometheus_name,
+                                    read_jsonl, render_prometheus,
+                                    write_prometheus)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    registry.counter("db.engine.queries").add(12)
+    registry.gauge("db.engine.queue_depth").set(3)
+    latency = registry.histogram("db.engine.query_cycles")
+    for value in (10, 20, 30, 40):
+        latency.observe(value)
+    return registry
+
+
+class TestPrometheusNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("db.engine.queries") \
+            == "repro_db_engine_queries"
+
+    def test_illegal_characters_sanitized(self):
+        assert prometheus_name("a-b c.d") == "repro_a_b_c_d"
+
+    def test_no_namespace_digit_prefix_guarded(self):
+        assert prometheus_name("2lsu.stalls", namespace="") \
+            == "_2lsu_stalls"
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_samples(self):
+        text = render_prometheus(build_registry())
+        assert "# TYPE repro_db_engine_queries counter" in text
+        assert "repro_db_engine_queries 12" in text
+        assert "# TYPE repro_db_engine_queue_depth gauge" in text
+        assert "repro_db_engine_queue_depth 3" in text
+
+    def test_histogram_becomes_summary_family(self):
+        text = render_prometheus(build_registry())
+        assert "# TYPE repro_db_engine_query_cycles summary" in text
+        assert 'repro_db_engine_query_cycles{quantile="0.5"} 20' in text
+        assert 'repro_db_engine_query_cycles{quantile="0.99"} 40' \
+            in text
+        assert "repro_db_engine_query_cycles_sum 100" in text
+        assert "repro_db_engine_query_cycles_count 4" in text
+
+    def test_snapshot_export_matches_kinds(self):
+        # a bare snapshot shipped across a process boundary still
+        # exports; numbers fall back to gauges, dicts to summaries
+        snapshot = build_registry().snapshot()
+        text = render_prometheus(snapshot)
+        assert "# TYPE repro_db_engine_queries gauge" in text
+        assert "repro_db_engine_query_cycles_count 4" in text
+
+    def test_write_prometheus(self, tmp_path):
+        path = write_prometheus(str(tmp_path / "metrics.prom"),
+                                build_registry())
+        content = open(path).read()
+        assert content.endswith("\n")
+        assert "repro_db_engine_queries 12" in content
+
+
+class TestJsonlExporter:
+    def test_flush_appends_lines(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        exporter = JsonlExporter(path, wall=lambda: 123.0)
+        registry = build_registry()
+        exporter.flush(registry, label="first")
+        registry.get("db.engine.queries").add(1)
+        exporter.flush(registry)
+        records = read_jsonl(path)
+        assert len(records) == 2
+        assert records[0]["label"] == "first"
+        assert records[0]["ts"] == 123.0
+        assert records[0]["metrics"]["db.engine.queries"] == 12
+        assert records[1]["metrics"]["db.engine.queries"] == 13
+        assert "label" not in records[1]
+
+    def test_maybe_flush_honors_interval(self, tmp_path):
+        clock = [0.0]
+        exporter = JsonlExporter(str(tmp_path / "m.jsonl"),
+                                 interval=10.0,
+                                 clock=lambda: clock[0],
+                                 wall=lambda: 0.0)
+        registry = build_registry()
+        assert exporter.maybe_flush(registry) is not None  # first
+        clock[0] = 5.0
+        assert exporter.maybe_flush(registry) is None  # too soon
+        clock[0] = 10.0
+        assert exporter.maybe_flush(registry) is not None
+        assert exporter.flushes == 2
+
+    def test_plain_dict_snapshot_flushes(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        JsonlExporter(path, wall=lambda: 1.0).flush({"a": 1})
+        assert read_jsonl(path) == [{"ts": 1.0, "metrics": {"a": 1}}]
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        exporter = JsonlExporter(path)
+        exporter.flush(build_registry())
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)

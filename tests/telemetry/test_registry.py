@@ -152,3 +152,86 @@ class TestSnapshot:
         text = self.build().snapshot().format()
         assert "lsu.0.loads" in text
         assert "noc.burst_bytes" in text
+
+
+class TestQuantiles:
+    def test_exact_below_reservoir(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):  # 1..100, well under RESERVOIR
+            histogram.observe(value)
+        summary = histogram.read()
+        assert summary["p50"] == 50
+        assert summary["p95"] == 95
+        assert summary["p99"] == 99
+
+    def test_order_independent_below_reservoir(self):
+        values = list(range(1, 201))
+        forward = Histogram("f")
+        backward = Histogram("b")
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        assert forward.read()["p50"] == backward.read()["p50"]
+        assert forward.read()["p99"] == backward.read()["p99"]
+
+    def test_single_observation(self):
+        histogram = Histogram("h")
+        histogram.observe(7)
+        summary = histogram.read()
+        assert summary["p50"] == 7
+        assert summary["p95"] == 7
+        assert summary["p99"] == 7
+
+    def test_empty_histogram_has_no_quantiles(self):
+        summary = Histogram("h").read()
+        assert summary["p50"] is None
+        assert summary["p99"] is None
+        assert Histogram("h").quantile(0.5) is None
+
+    def test_reservoir_sampling_is_deterministic(self):
+        first = Histogram("a")
+        second = Histogram("b")
+        for value in range(5000):  # spills the reservoir
+            first.observe(value)
+            second.observe(value)
+        assert first.read() == second.read()
+        assert first.read()["count"] == 5000
+        # the estimate lands in a sane neighborhood of the true median
+        assert 1500 < first.read()["p50"] < 3500
+
+    def test_reset_reseeds_the_reservoir(self):
+        histogram = Histogram("h")
+        for value in range(5000):
+            histogram.observe(value)
+        before = histogram.read()
+        histogram.reset()
+        assert histogram.read()["count"] == 0
+        for value in range(5000):
+            histogram.observe(value)
+        assert histogram.read() == before
+
+
+class TestMergeValues:
+    def test_merge_counters_and_histogram_dicts(self):
+        registry = MetricsRegistry()
+        registry.merge_values({"queries": 4, "latency": {"count": 2}})
+        registry.merge_values({"queries": 3})
+        snap = registry.snapshot()
+        assert snap["queries"] == 7
+        assert snap["latency"] == {"count": 2}
+
+    def test_merge_with_prefix_namespaces(self):
+        registry = MetricsRegistry()
+        registry.merge_values({"scan.hits": 2}, prefix="worker.0")
+        registry.merge_values({"scan.hits": 5}, prefix="worker.1")
+        snap = registry.snapshot()
+        assert snap["worker.0.scan.hits"] == 2
+        assert snap["worker.1.scan.hits"] == 5
+
+    def test_ensure_reuses_existing_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        assert registry.ensure("n") is counter
+        gauge = registry.ensure("g", "gauge")
+        assert registry.ensure("g", "gauge") is gauge

@@ -139,3 +139,81 @@ class TestCommands:
     def test_faults_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["faults"])
+
+
+class TestObservabilityCommands:
+    def test_run_query_workers_trace_out(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", "query", "--size", "200", "--workers", "2",
+                     "--trace-out", str(trace_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["meta"]["workers"] == 2
+        assert report["meta"]["trace"]["processes"] == 3
+        from repro.telemetry.tracer import validate_chrome_trace
+        trace = json.loads(trace_path.read_text())
+        validate_chrome_trace(trace)
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        worker_pids = {e["pid"] for e in spans if e["pid"] >= 2}
+        assert len(worker_pids) >= 2
+        for pid in worker_pids:
+            assert {e["tid"] for e in spans if e["pid"] == pid} \
+                == {0, 1}
+
+    def test_db_top_frames(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert main(["db", "top", "--rows", "120", "--queries", "6",
+                     "--frames", "2", "--interval", "0", "--no-clear",
+                     "--metrics-out", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro db top — frame 2" in out
+        assert "queries served" in out
+        assert "p50" in out
+        from repro.telemetry.export import read_jsonl
+        records = read_jsonl(str(metrics_path))
+        assert len(records) == 2
+        assert records[1]["metrics"]["db.engine.batches"] == 2
+
+    def test_bench_record_then_compare_gate(self, capsys, tmp_path):
+        reports = tmp_path / "reports"
+        reports.mkdir()
+        sample = {"benchmark": "demo", "cycles": 1000,
+                  "derived": {"throughput_meps": 2.0}}
+        (reports / "BENCH_demo.json").write_text(json.dumps(sample))
+        history = tmp_path / "BENCH_history.json"
+
+        assert main(["bench", "record", "--reports", str(reports),
+                     "--history", str(history), "--label", "seed"]) == 0
+        assert "recorded 1 benchmarks" in capsys.readouterr().out
+
+        assert main(["bench", "compare", "--reports", str(reports),
+                     "--history", str(history)]) == 0
+        assert "result: ok" in capsys.readouterr().out
+
+        regressed = dict(sample, cycles=1250)  # +25% > 20% threshold
+        (reports / "BENCH_demo.json").write_text(json.dumps(regressed))
+        assert main(["bench", "compare", "--reports", str(reports),
+                     "--history", str(history)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_compare_json_output(self, capsys, tmp_path):
+        reports = tmp_path / "reports"
+        reports.mkdir()
+        (reports / "BENCH_demo.json").write_text(
+            json.dumps({"cycles": 10}))
+        history = tmp_path / "history.json"
+        assert main(["bench", "record", "--reports", str(reports),
+                     "--history", str(history)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", "--reports", str(reports),
+                     "--history", str(history), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_bench_compare_without_baseline_fails(self, capsys,
+                                                  tmp_path):
+        reports = tmp_path / "reports"
+        reports.mkdir()
+        assert main(["bench", "compare", "--reports", str(reports),
+                     "--history",
+                     str(tmp_path / "missing.json")]) == 1
+        assert "bench compare" in capsys.readouterr().out
