@@ -15,30 +15,40 @@ Typical use::
         raise RuntimeError(report.format())
 """
 
+from .absint import AbsintResult, Interval, analyze, check_values
 from .cfg import ControlFlowGraph, build_cfg, check_structure
 from .dataflow import check_dataflow
 from .diagnostics import SEVERITIES, Diagnostic, DiagnosticReport
 from .hazards import check_hazards
 from .linter import (LintError, LintWarning, lint_extension,
-                     lint_or_raise, lint_processor, lint_program)
+                     lint_or_raise, lint_processor, lint_program,
+                     lint_warn_only)
 from .memchecks import check_memory
+from .races import check_races, check_transfer_schedule
 from .tielint import check_extension
 
 __all__ = [
     "SEVERITIES",
+    "AbsintResult",
     "Diagnostic",
     "DiagnosticReport",
     "ControlFlowGraph",
+    "Interval",
+    "analyze",
     "build_cfg",
     "check_structure",
     "check_dataflow",
     "check_hazards",
     "check_memory",
     "check_extension",
+    "check_races",
+    "check_transfer_schedule",
+    "check_values",
     "LintError",
     "LintWarning",
     "lint_extension",
     "lint_or_raise",
     "lint_processor",
     "lint_program",
+    "lint_warn_only",
 ]

@@ -1,0 +1,748 @@
+"""Value-range abstract interpretation over assembled programs.
+
+This is the deep tier above :mod:`repro.analysis.memchecks`: where the
+constant-propagation pass only checks loads/stores whose address is a
+single literal, this pass tracks an *interval with congruence*
+abstraction of every address register and TIE state
+
+    ``{ v : lo <= v <= hi  and  v mod modulus == remainder }``
+
+(unsigned 32-bit, ``modulus`` a power of two) through a forward
+worklist analysis of the CFG.  Loop heads — nodes entered along a
+retreating edge — are widened after a couple of iterations against a
+threshold set derived from the processor's memory-region boundaries,
+so pointer-increment loops converge to "somewhere inside this region"
+instead of diverging.  Conditional branches refine the interval on
+each outgoing edge (``bltu a2, a3, loop`` clamps ``a2`` below ``a3``
+on the taken edge), which is what turns a widened loop pointer back
+into a proven range.
+
+Checks (the ``VAL*`` family; literal single-address findings remain
+``MEM*`` territory and are skipped here):
+
+* ``VAL001`` — a computed load/store is provably out of bounds: every
+  address the abstraction admits misses every memory region.
+* ``VAL002`` — a computed access is provably misaligned: the
+  congruence admits no aligned address (fires even on unbounded
+  ranges, e.g. ``slli`` + odd offset).
+* ``VAL003`` — the effective-address arithmetic provably wraps around
+  2^32.
+* ``VAL004`` — a bounded computed range is *partially* outside every
+  region (some admitted addresses would fault).
+* ``VAL005`` — a ``wur`` writes a datapath/DMA pointer state (the SOP
+  / merge / decompress pointers, ``DMA_SRC``/``DMA_DST``) with a value
+  provably outside every memory region.
+
+The converged per-node environments are exposed through
+:class:`AbsintResult` so other deep passes (the DMA race checker in
+:mod:`repro.analysis.races`) can reuse the value information.
+"""
+
+from ..cpu.pipeline import register_uses
+from .dataflow import _ur_state_names, node_slots
+from .memchecks import ACCESS_SIZES, _region_for
+
+M32 = 0xFFFFFFFF
+MOD32 = 1 << 32
+
+#: Widen a loop-head register after this many refinements.
+WIDEN_AFTER = 2
+
+#: Spans larger than this are treated as unbounded for the may-OOB
+#: check (keeps widened-but-unrefined pointers from producing noise).
+BOUNDED_SPAN = 1 << 28
+
+#: TIE state-name suffixes that denote datapath / DMA pointers.
+POINTER_STATE_SUFFIXES = ("ptr_a", "ptr_b", "ptr_c", "end_a", "end_b",
+                          "_src", "_dst")
+
+
+def _pow2_floor(value):
+    """Largest power of two dividing *value* (value > 0)."""
+    return value & -value
+
+
+class Interval:
+    """One abstract value: bounds plus power-of-two congruence."""
+
+    __slots__ = ("lo", "hi", "mod", "rem")
+
+    def __init__(self, lo, hi, mod=1, rem=0):
+        self.lo = lo
+        self.hi = hi
+        self.mod = mod
+        self.rem = rem % mod
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def top(cls):
+        return cls(0, M32, 1, 0)
+
+    @classmethod
+    def const(cls, value):
+        value &= M32
+        return cls(value, value, MOD32, value)
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_top(self):
+        return self.lo == 0 and self.hi == M32 and self.mod == 1
+
+    @property
+    def is_const(self):
+        return self.lo == self.hi
+
+    @property
+    def bounded(self):
+        return self.hi - self.lo <= BOUNDED_SPAN and not (
+            self.lo == 0 and self.hi == M32)
+
+    def __eq__(self, other):
+        return (isinstance(other, Interval) and self.lo == other.lo
+                and self.hi == other.hi and self.mod == other.mod
+                and self.rem == other.rem)
+
+    def __hash__(self):
+        return hash((self.lo, self.hi, self.mod, self.rem))
+
+    def __repr__(self):
+        extra = " mod %d rem %d" % (self.mod, self.rem) \
+            if self.mod > 1 else ""
+        return "<[0x%x, 0x%x]%s>" % (self.lo, self.hi, extra)
+
+    # -- lattice -------------------------------------------------------------
+
+    def join(self, other):
+        """Least upper bound (interval hull + congruence meet)."""
+        mod = min(self.mod, other.mod)
+        while mod > 1 and (self.rem % mod) != (other.rem % mod):
+            mod >>= 1
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi),
+                        mod, self.rem % mod)
+
+    def widen(self, newer, thresholds):
+        """Jump unstable bounds to the nearest threshold."""
+        lo, hi = self.lo, self.hi
+        if newer.lo < lo:
+            lo = max((t for t in thresholds if t <= newer.lo), default=0)
+        if newer.hi > hi:
+            hi = min((t for t in thresholds if t >= newer.hi),
+                     default=M32)
+        mod = min(self.mod, newer.mod)
+        while mod > 1 and (self.rem % mod) != (newer.rem % mod):
+            mod >>= 1
+        return Interval(lo, hi, mod, self.rem % mod)
+
+    def meet_bounds(self, lo, hi):
+        """Clamp to ``[lo, hi]``; ``None`` when the meet is empty."""
+        new_lo, new_hi = max(self.lo, lo), min(self.hi, hi)
+        if new_lo > new_hi:
+            return None
+        return Interval(new_lo, new_hi, self.mod, self.rem)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def add_const(self, imm):
+        """``self + imm`` mod 2^32; returns ``(interval, wraps, may_wrap)``."""
+        lo, hi = self.lo + imm, self.hi + imm
+        mod = self.mod
+        rem = (self.rem + imm) % mod
+        if 0 <= lo and hi <= M32:
+            return Interval(lo, hi, mod, rem), False, False
+        if hi < 0 or lo > M32:  # every value wraps: still one interval
+            return Interval(lo & M32, hi & M32, mod, rem), True, True
+        # Some values wrap, some don't: bounds are lost, congruence
+        # survives (the modulus divides 2^32).
+        return Interval(0, M32, mod, rem), False, True
+
+    def add(self, other):
+        lo, hi = self.lo + other.lo, self.hi + other.hi
+        mod = min(self.mod, other.mod)
+        rem = (self.rem + other.rem) % mod
+        if hi <= M32:
+            return Interval(lo, hi, mod, rem)
+        return Interval(0, M32, mod, rem)
+
+    def sub(self, other):
+        lo, hi = self.lo - other.hi, self.hi - other.lo
+        mod = min(self.mod, other.mod)
+        rem = (self.rem - other.rem) % mod
+        if lo >= 0:
+            return Interval(lo, hi, mod, rem)
+        return Interval(0, M32, mod, rem)
+
+    def shift_left(self, amount):
+        amount &= 31
+        lo, hi = self.lo << amount, self.hi << amount
+        mod = min(MOD32, max(self.mod << amount, 1 << amount))
+        rem = (self.rem << amount) % mod
+        if hi <= M32:
+            return Interval(lo, hi, mod, rem)
+        return Interval(0, M32, 1 << amount, 0)
+
+    def shift_right(self, amount):
+        amount &= 31
+        step = 1 << amount
+        if self.mod >= step and self.mod % step == 0 \
+                and self.rem % step == 0:
+            mod, rem = self.mod >> amount, self.rem >> amount
+        else:
+            mod, rem = 1, 0
+        return Interval(self.lo >> amount, self.hi >> amount, mod, rem)
+
+    def bit_and(self, mask):
+        mask &= M32
+        if self.is_const:
+            return Interval.const(self.lo & mask)
+        low_zeros = _pow2_floor(mask) if mask else MOD32
+        return Interval(0, min(self.hi, mask), low_zeros, 0)
+
+    def bit_or(self, imm):
+        imm &= M32
+        if self.is_const:
+            return Interval.const(self.lo | imm)
+        hi = self.hi + imm
+        return Interval(max(self.lo, imm), hi if hi <= M32 else M32, 1, 0)
+
+    def minu(self, other):
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi),
+                        1, 0)
+
+    def maxu(self, other):
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi),
+                        1, 0)
+
+
+TOP = Interval.top()
+
+
+class Env:
+    """Register + TIE-state environment at one program point."""
+
+    __slots__ = ("regs", "states")
+
+    def __init__(self, regs=None, states=None):
+        self.regs = dict(regs) if regs else {}
+        self.states = dict(states) if states else {}
+
+    def copy(self):
+        return Env(self.regs, self.states)
+
+    def reg(self, index):
+        return self.regs.get(index, TOP)
+
+    def state(self, name):
+        return self.states.get(name, TOP)
+
+    def set_reg(self, index, interval):
+        if interval.is_top:
+            self.regs.pop(index, None)
+        else:
+            self.regs[index] = interval
+
+    def set_state(self, name, interval):
+        if interval.is_top:
+            self.states.pop(name, None)
+        else:
+            self.states[name] = interval
+
+    def __eq__(self, other):
+        return (isinstance(other, Env) and self.regs == other.regs
+                and self.states == other.states)
+
+    def join(self, other):
+        regs = {}
+        for index in set(self.regs) & set(other.regs):
+            joined = self.regs[index].join(other.regs[index])
+            if not joined.is_top:
+                regs[index] = joined
+        states = {}
+        for name in set(self.states) & set(other.states):
+            joined = self.states[name].join(other.states[name])
+            if not joined.is_top:
+                states[name] = joined
+        return Env(regs, states)
+
+    def widen(self, newer, thresholds):
+        regs = {}
+        for index in set(self.regs) & set(newer.regs):
+            widened = self.regs[index].widen(newer.regs[index],
+                                             thresholds)
+            if not widened.is_top:
+                regs[index] = widened
+        states = {}
+        for name in set(self.states) & set(newer.states):
+            widened = self.states[name].widen(newer.states[name],
+                                              thresholds)
+            if not widened.is_top:
+                states[name] = widened
+        return Env(regs, states)
+
+
+# ---------------------------------------------------------------------------
+# transfer functions
+# ---------------------------------------------------------------------------
+
+_SHIFT_RIGHT = {"srli", "srl"}
+_SHIFT_LEFT = {"slli", "sll"}
+
+
+def _eval_imm_alu(name, base, imm):
+    """Abstract value of one I/IU ALU op; ``None`` for unhandled ops."""
+    if name == "addi":
+        result, _wraps, _may = base.add_const(imm)
+        return result
+    if name == "slli":
+        return base.shift_left(imm)
+    if name == "srli":
+        return base.shift_right(imm)
+    if name == "srai":
+        if base.hi < 1 << 31:  # provably non-negative: same as srli
+            return base.shift_right(imm)
+        return TOP
+    if name == "andi":
+        return base.bit_and(imm & M32)
+    if name == "ori":
+        return base.bit_or(imm & 0xFFFF)
+    if name == "xori":
+        if base.is_const:
+            return Interval.const(base.lo ^ (imm & 0xFFFF))
+        return TOP
+    if name in ("slti", "sltui"):
+        return Interval(0, 1, 1, 0)
+    return None
+
+
+def _eval_reg_alu(name, a, b):
+    if name == "add":
+        return a.add(b)
+    if name == "sub":
+        return a.sub(b)
+    if name in ("or", "and", "xor") and a.is_const and b.is_const:
+        value = {"or": a.lo | b.lo, "and": a.lo & b.lo,
+                 "xor": a.lo ^ b.lo}[name]
+        return Interval.const(value)
+    if name in _SHIFT_LEFT and b.is_const:
+        return a.shift_left(b.lo)
+    if name in _SHIFT_RIGHT and b.is_const:
+        return a.shift_right(b.lo)
+    if name == "minu":
+        return a.minu(b)
+    if name == "maxu":
+        return a.maxu(b)
+    if name in ("min", "max") and a.hi < 1 << 31 and b.hi < 1 << 31:
+        return a.minu(b) if name == "min" else a.maxu(b)
+    if name in ("slt", "sltu"):
+        return Interval(0, 1, 1, 0)
+    if name == "mul" and a.is_const and b.is_const:
+        return Interval.const(a.lo * b.lo)
+    return TOP
+
+
+class AbsintResult:
+    """Converged environments of one :func:`analyze` run."""
+
+    def __init__(self, cfg, processor, env_in, reachable):
+        self.cfg = cfg
+        self.processor = processor
+        self.env_in = env_in
+        self.reachable = reachable
+        self._ur_names = _ur_state_names(processor) \
+            if processor is not None else {}
+        self._op_map = _tie_operation_map(processor)
+        self._hardware = frozenset(
+            getattr(processor, "ur_hardware_written", ()))
+
+    def slot_envs(self, node):
+        """``(env_before, slot)`` pairs for one node, in issue order."""
+        env = self.env_in.get(node)
+        if env is None:
+            return []
+        env = env.copy()
+        pairs = []
+        for slot in node_slots(self.cfg.item(node)):
+            pairs.append((env.copy(), slot))
+            transfer_slot(slot, env, self._ur_names, self._op_map,
+                          self._hardware)
+        return pairs
+
+    def env_out(self, node):
+        """Environment after the node's last slot."""
+        env = self.env_in.get(node)
+        if env is None:
+            return Env()
+        env = env.copy()
+        for slot in node_slots(self.cfg.item(node)):
+            transfer_slot(slot, env, self._ur_names, self._op_map,
+                          self._hardware)
+        return env
+
+
+def _tie_operation_map(processor):
+    from .dataflow import _operation_map
+    if processor is None:
+        return {}
+    return _operation_map(processor)
+
+
+def transfer_slot(slot, env, ur_names, op_map, hardware=frozenset()):
+    """Apply one issue slot to *env* in place.
+
+    *hardware* names engine-maintained states (``ur_hardware_written``)
+    whose value the program can never pin down — reads of those are
+    always TOP.
+    """
+    spec = slot.spec
+    operands = slot.operands
+    name = spec.name
+    if name == "movi":
+        env.set_reg(operands[0], Interval.const(operands[2]))
+        return
+    if name == "movhi":
+        env.set_reg(operands[0],
+                    Interval.const((operands[2] & 0xFFFF) << 16))
+        return
+    if name == "rur":
+        state = ur_names.get(operands[1])
+        value = TOP
+        if state is not None and state not in hardware:
+            value = env.state(state)
+        env.set_reg(operands[0], value)
+        return
+    if name == "wur":
+        state = ur_names.get(operands[1])
+        if state is not None and state not in hardware:
+            env.set_state(state, env.reg(operands[0]))
+        return
+    if spec.kind == "tie":
+        _reads, writes = register_uses(spec, operands)
+        for reg in writes:
+            env.set_reg(reg, TOP)
+        op_reads_writes = op_map.get(name)
+        if op_reads_writes is not None:
+            for state in op_reads_writes[1]:
+                env.set_state(state, TOP)
+        return
+    if spec.fmt in ("I", "IU") and spec.kind == "alu" \
+            and name not in ("jalr",):
+        result = _eval_imm_alu(name, env.reg(operands[1]), operands[2])
+        if result is not None:
+            env.set_reg(operands[0], result)
+            return
+    if spec.fmt == "R":
+        rd, rs, rt = operands
+        if name in ("or", "and") and rs == rt:  # mv expansion: a copy
+            env.set_reg(rd, env.reg(rs))
+            return
+        if name == "xor" and rs == rt:
+            env.set_reg(rd, Interval.const(0))
+            return
+        env.set_reg(rd, _eval_reg_alu(name, env.reg(rs), env.reg(rt)))
+        return
+    _reads, writes = register_uses(spec, operands)
+    for reg in writes:
+        env.set_reg(reg, TOP)
+
+
+# ---------------------------------------------------------------------------
+# branch refinement
+# ---------------------------------------------------------------------------
+
+def _refine_edge(node_item, env, taken):
+    """Refined copy of *env* along one branch edge; ``None`` if infeasible."""
+    transfers = [slot for slot in node_slots(node_item)
+                 if slot.spec.kind == "branch"]
+    if not transfers:
+        return env
+    slot = transfers[-1]
+    name = slot.spec.name
+    env = env.copy()
+    if name in ("beqz", "bnez"):
+        reg = slot.operands[0]
+        zero_edge = taken if name == "beqz" else not taken
+        value = env.reg(reg)
+        if zero_edge:
+            refined = value.meet_bounds(0, 0)
+        else:
+            refined = value.meet_bounds(1, M32)
+        if refined is None:
+            return None
+        env.set_reg(reg, refined)
+        return env
+    if name not in ("beq", "bne", "blt", "bltu", "bge", "bgeu"):
+        return env
+    r1, r2 = slot.operands[0], slot.operands[1]
+    a, b = env.reg(r1), env.reg(r2)
+    if name in ("blt", "bge") and (a.hi >= 1 << 31 or b.hi >= 1 << 31):
+        return env  # signed compare over possibly-negative values
+    equal_edge = None
+    if name == "beq":
+        equal_edge = taken
+    elif name == "bne":
+        equal_edge = not taken
+    if equal_edge is not None:
+        if not equal_edge:
+            return env
+        lo, hi = max(a.lo, b.lo), min(a.hi, b.hi)
+        if lo > hi:
+            return None
+        ra = a.meet_bounds(lo, hi)
+        rb = b.meet_bounds(lo, hi)
+        if ra is None or rb is None:
+            return None
+        env.set_reg(r1, ra)
+        env.set_reg(r2, rb)
+        return env
+    # blt/bltu taken means r1 < r2; bge/bgeu taken means r1 >= r2.
+    less = taken if name in ("blt", "bltu") else not taken
+    if less:
+        ra = a.meet_bounds(0, b.hi - 1) if b.hi > 0 else None
+        rb = b.meet_bounds(a.lo + 1, M32) if a.lo < M32 else None
+    else:
+        ra = a.meet_bounds(b.lo, M32)
+        rb = b.meet_bounds(0, a.hi)
+    if ra is None or rb is None:
+        return None
+    env.set_reg(r1, ra)
+    env.set_reg(r2, rb)
+    return env
+
+
+def _branch_targets(node_item):
+    """Taken-edge target word indexes of the node's branch slots."""
+    targets = set()
+    for slot in node_slots(node_item):
+        if slot.spec.kind == "branch":
+            targets.add(slot.operands[-1])
+    return targets
+
+
+# ---------------------------------------------------------------------------
+# the fixpoint
+# ---------------------------------------------------------------------------
+
+def _region_thresholds(processor):
+    thresholds = {0, M32}
+    config = getattr(processor, "config", None)
+    if config is not None:
+        for _name, base, size in config.architectural_regions():
+            thresholds.update((base, base + size - 1, base + size))
+    for region in getattr(processor, "memory_map", ()):
+        thresholds.update((region.base,
+                           region.base + region.size_bytes - 1,
+                           region.base + region.size_bytes))
+    return sorted(thresholds)
+
+
+def analyze(cfg, processor):
+    """Run the abstract interpretation to a fixpoint.
+
+    Returns an :class:`AbsintResult` mapping every reachable node to
+    the environment holding *before* its first slot.
+    """
+    ur_names = _ur_state_names(processor) \
+        if processor is not None else {}
+    op_map = _tie_operation_map(processor)
+    hardware = frozenset(getattr(processor, "ur_hardware_written", ()))
+    thresholds = _region_thresholds(processor)
+    loop_heads = {node for node in cfg.nodes
+                  if any(pred >= node for pred in cfg.pred[node])}
+    env_in = {cfg.entry: Env()}
+    visits = {}
+    worklist = [cfg.entry]
+    while worklist:
+        node = worklist.pop(0)
+        env = env_in[node].copy()
+        for slot in node_slots(cfg.item(node)):
+            transfer_slot(slot, env, ur_names, op_map, hardware)
+        item = cfg.item(node)
+        taken_targets = _branch_targets(item)
+        for succ in cfg.succ[node]:
+            out = _refine_edge(item, env, taken=succ in taken_targets)
+            if out is None:  # infeasible edge
+                continue
+            current = env_in.get(succ)
+            if current is None:
+                env_in[succ] = out.copy()
+                worklist.append(succ)
+                continue
+            joined = current.join(out)
+            if joined == current:
+                continue
+            if succ in loop_heads:
+                count = visits.get(succ, 0) + 1
+                visits[succ] = count
+                if count > WIDEN_AFTER:
+                    joined = current.widen(joined, thresholds)
+                    if joined == current:
+                        continue
+            env_in[succ] = joined
+            worklist.append(succ)
+    _narrow(cfg, env_in, ur_names, op_map, hardware)
+    return AbsintResult(cfg, processor, env_in, set(env_in))
+
+
+def _narrow(cfg, env_in, ur_names, op_map, hardware, passes=2):
+    """Claw back widening losses with a few decreasing sweeps.
+
+    Each sweep recomputes every node's entry environment directly from
+    its predecessors' refined exit environments (no widening), which
+    tightens loop-head ranges that a bottom-of-loop branch bounds.
+    Finitely many sweeps keep the result sound.
+    """
+    for _ in range(passes):
+        out_envs = {}
+        for node in env_in:
+            env = env_in[node].copy()
+            for slot in node_slots(cfg.item(node)):
+                transfer_slot(slot, env, ur_names, op_map, hardware)
+            out_envs[node] = env
+        for node in sorted(env_in):
+            if node == cfg.entry:
+                continue
+            merged = None
+            item_cache = {}
+            for pred in cfg.pred[node]:
+                if pred not in out_envs:
+                    continue
+                item = item_cache.get(pred)
+                if item is None:
+                    item = item_cache[pred] = cfg.item(pred)
+                taken = node in _branch_targets(item)
+                refined = _refine_edge(item, out_envs[pred], taken)
+                if refined is None:
+                    continue
+                merged = refined if merged is None \
+                    else merged.join(refined)
+            if merged is not None:
+                env_in[node] = merged
+
+
+# ---------------------------------------------------------------------------
+# the VAL checks
+# ---------------------------------------------------------------------------
+
+def _is_pointer_state(name):
+    return any(name.endswith(suffix)
+               for suffix in POINTER_STATE_SUFFIXES)
+
+
+def _mapped_regions(processor):
+    regions = []
+    config = getattr(processor, "config", None)
+    if config is not None:
+        regions.extend(config.architectural_regions())
+    for region in getattr(processor, "memory_map", ()):
+        entry = (region.name, region.base, region.size_bytes)
+        if entry not in regions:
+            regions.append(entry)
+    return regions
+
+
+def check_values(cfg, report, processor, result=None):
+    """Run VAL001..VAL005 over every reachable computed access."""
+    if processor is None or getattr(processor, "config", None) is None:
+        return report
+    if result is None:
+        result = analyze(cfg, processor)
+    regions = _mapped_regions(processor)
+    ur_names = _ur_state_names(processor)
+    source = cfg.program.source_name
+    reported = set()
+    for node in sorted(result.reachable):
+        item = cfg.item(node)
+        line = getattr(item, "line_number", None)
+        for env, slot in result.slot_envs(node):
+            _check_slot_values(report, slot, env, regions, ur_names,
+                               source, line, node, reported)
+    return report
+
+
+def _check_slot_values(report, slot, env, regions, ur_names, source,
+                       line, node, reported):
+    spec = slot.spec
+    if spec.name == "wur":
+        _check_pointer_state(report, slot, env, regions, ur_names,
+                             source, line, node, reported)
+        return
+    size = ACCESS_SIZES.get(spec.name)
+    if size is None or spec.kind not in ("load", "store"):
+        return
+    _rd, rs, imm = slot.operands
+    base = env.reg(rs)
+    if base.is_top:
+        return
+    addr, wraps, may_wrap = base.add_const(imm)
+    key = (node, spec.name, rs)
+    if key in reported:
+        return
+    if (wraps or may_wrap) and base.bounded:
+        reported.add(key)
+        report.add("VAL003", "warning",
+                   "%s address arithmetic (base in [0x%x, 0x%x] %+d) "
+                   "wraps around 2^32"
+                   % (spec.name, base.lo, base.hi, imm),
+                   source, line, node)
+        return
+    if addr.is_const:
+        return  # literal addresses are the MEM001/MEM002 checks' job
+    if size > 1 and addr.mod % size == 0 and addr.rem % size != 0:
+        reported.add(key)
+        report.add("VAL002", "error",
+                   "%s address is provably misaligned: every admitted "
+                   "address is %d mod %d but the access needs %d-byte "
+                   "alignment"
+                   % (spec.name, addr.rem % size, size, size),
+                   source, line, node)
+        return
+    if addr.mod == 1 and not addr.bounded:
+        return
+    inside_any = False
+    fully_inside = False
+    for _name, rbase, rsize in regions:
+        region_lo, region_hi = rbase, rbase + rsize - size
+        if region_hi < region_lo:
+            continue
+        if addr.hi >= region_lo and addr.lo <= region_hi:
+            inside_any = True
+        if addr.lo >= region_lo and addr.hi <= region_hi:
+            fully_inside = True
+    if fully_inside:
+        return
+    reported.add(key)
+    if not inside_any:
+        report.add("VAL001", "error",
+                   "%s range [0x%08x, 0x%08x] is provably out of "
+                   "bounds: no admitted address maps to any memory "
+                   "region" % (spec.name, addr.lo, addr.hi),
+                   source, line, node)
+    elif addr.bounded:
+        report.add("VAL004", "warning",
+                   "%s range [0x%08x, 0x%08x] may be out of bounds: "
+                   "part of the range maps to no memory region"
+                   % (spec.name, addr.lo, addr.hi),
+                   source, line, node)
+
+
+def _check_pointer_state(report, slot, env, regions, ur_names, source,
+                         line, node, reported):
+    name = ur_names.get(slot.operands[1])
+    if name is None or not _is_pointer_state(name):
+        return
+    value = env.reg(slot.operands[0])
+    if value.is_top or not value.bounded:
+        return
+    for _rname, rbase, rsize in regions:
+        if value.hi >= rbase and value.lo <= rbase + rsize:
+            return
+    key = (node, "wur", name)
+    if key in reported:
+        return
+    reported.add(key)
+    report.add("VAL005", "error",
+               "wur writes pointer state %r with [0x%08x, 0x%08x], "
+               "provably outside every memory region"
+               % (name, value.lo, value.hi),
+               source, line, node)

@@ -182,7 +182,7 @@ def check_structure(cfg, report):
         dead_runs = _group_runs([n for n in cfg.nodes
                                  if n not in reachable])
         label_at = {index: name for name, index in program.labels.items()}
-        for first, last, count in dead_runs:
+        for first, _last, count in dead_runs:
             where = label_at.get(first)
             suffix = " (label %r)" % where if where else ""
             item = cfg.item(first)

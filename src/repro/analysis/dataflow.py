@@ -74,7 +74,7 @@ def _check_use_before_def(cfg, report, uses, entry_live, reachable):
     while worklist:
         node = worklist.pop(0)
         defined = set(defined_in[node])
-        for _spec, reads, writes in uses[node]:
+        for _spec, _reads, writes in uses[node]:
             defined.update(writes)
         out = frozenset(defined)
         for succ in cfg.succ[node]:

@@ -8,6 +8,7 @@ structural, dataflow, hazard and memory checks into a single
 definition side.
 """
 
+import os
 import warnings
 
 from .cfg import build_cfg, check_structure
@@ -16,6 +17,17 @@ from .diagnostics import DiagnosticReport
 from .hazards import check_hazards
 from .memchecks import check_memory
 from .tielint import check_extension
+
+
+def lint_warn_only():
+    """True when ``REPRO_LINT_WARN_ONLY=1`` downgrades lint errors.
+
+    The escape hatch for intentionally running a program the verifier
+    rejects (reproducing a fault campaign finding, bisecting a checker
+    false positive): errors are reported as :class:`LintWarning`
+    warnings instead of raising.
+    """
+    return os.environ.get("REPRO_LINT_WARN_ONLY") == "1"
 
 
 class LintError(Exception):
@@ -30,7 +42,8 @@ class LintWarning(UserWarning):
     """Warning category for non-fatal lint findings."""
 
 
-def lint_program(program, processor=None, entry=None, entry_live=None):
+def lint_program(program, processor=None, entry=None, entry_live=None,
+                 deep=False):
     """Statically analyze one assembled program.
 
     Parameters
@@ -47,6 +60,11 @@ def lint_program(program, processor=None, entry=None, entry_live=None):
     entry_live:
         Iterable of register indexes assumed initialized at entry
         (default ``a0``..``a7``).
+    deep:
+        Also run the deep tier (needs *processor*): value-range
+        abstract interpretation (``VAL*``,
+        :mod:`repro.analysis.absint`) and DMA/LSU race detection
+        (``RACE*``, :mod:`repro.analysis.races`).
     """
     report = DiagnosticReport()
     if entry is None:
@@ -59,21 +77,33 @@ def lint_program(program, processor=None, entry=None, entry_live=None):
     check_hazards(program, report, flix_formats=flix_formats)
     if processor is not None:
         check_memory(cfg, report, processor)
+        if deep:
+            from .absint import analyze, check_values
+            from .races import check_races
+            result = analyze(cfg, processor)
+            check_values(cfg, report, processor, result)
+            check_races(cfg, report, processor, result)
     return report
 
 
 def lint_or_raise(program, processor=None, entry=None, entry_live=None,
-                  warn=True):
+                  warn=True, deep=False):
     """Lint and enforce: errors raise :class:`LintError`.
 
     Warning-severity findings are surfaced through the :mod:`warnings`
     machinery (category :class:`LintWarning`) so they show up in test
-    runs without failing them.  Returns the report.
+    runs without failing them.  With ``REPRO_LINT_WARN_ONLY=1`` in the
+    environment, error findings are downgraded to warnings too instead
+    of raising.  Returns the report.
     """
     report = lint_program(program, processor, entry=entry,
-                          entry_live=entry_live)
+                          entry_live=entry_live, deep=deep)
     if report.has_errors:
-        raise LintError(report)
+        if not lint_warn_only():
+            raise LintError(report)
+        for diagnostic in report.errors():
+            warnings.warn(diagnostic.format(), LintWarning,
+                          stacklevel=2)
     if warn:
         for diagnostic in report.warnings():
             warnings.warn(diagnostic.format(), LintWarning, stacklevel=2)

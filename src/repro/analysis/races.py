@@ -1,0 +1,315 @@
+"""Static DMA/LSU happens-before checking.
+
+The streaming kernels overlap DMA prefetch with CPU compute: the
+prefetcher writes the *next* chunk pair into one buffer half while the
+set datapath consumes the current pair from the other half.  The two
+agents only synchronize through the ``DMA_DONE`` completion counter, so
+a missing (or misplaced) wait loop silently corrupts data — the classic
+double-buffering race.  This pass proves the synchronization statically:
+
+* a DMA transfer *window* opens at every reachable ``wur DMA_CTRL``
+  start whose destination/length come from the abstract interpretation
+  (:mod:`repro.analysis.absint`),
+* the window stays *in flight* along every CFG path until the program
+  passes a **wait barrier** — a conditional branch guarding on a
+  register freshly read from a hardware-maintained DMA progress state
+  (``rur aX, DMA_DONE`` / ``DMA_STATUS``); the forward (loop-exit)
+  edges of such a branch retire all in-flight windows,
+* every scalar load/store and every datapath-pointer ``wur`` that
+  executes while a window is in flight is compared against the
+  window's byte range.
+
+Diagnostics:
+
+* ``RACE001`` (error) — the access *provably* overlaps an in-flight
+  DMA window: every admitted address pair collides.
+* ``RACE002`` (warning) — bounded ranges admit an overlap.
+* ``RACE003`` (warning) — a DMA window is still in flight when the
+  program halts.
+
+:func:`check_transfer_schedule` validates a *host-built* descriptor
+table (the other half of the contract) before it is handed to a
+kernel:
+
+* ``RACE004`` (error) — a window does not fit inside any mapped
+  memory region,
+* ``RACE005`` (error) — a window overlaps a reserved range (the
+  descriptor table itself, the result buffer),
+* ``RACE006`` (error) — two windows that may be in flight
+  concurrently overlap (a double-buffering violation).
+
+The wait-barrier rule is deliberately coarse (any guarded poll retires
+*all* windows, not just the FIFO-oldest): it never flags the shipped
+double-buffered kernels, and a kernel with no poll at all — the defect
+class this pass exists for — cannot retire anything.
+"""
+
+from .absint import ACCESS_SIZES, _is_pointer_state, analyze
+from .dataflow import _ur_state_names, node_slots
+
+M32 = 0xFFFFFFFF
+
+#: DMA descriptor-programming states (software-written).
+_DMA_SRC, _DMA_DST, _DMA_LEN, _DMA_CTRL = (
+    "DMA_SRC", "DMA_DST", "DMA_LEN", "DMA_CTRL")
+
+
+def _progress_states(processor):
+    """Hardware-maintained DMA progress states (poll targets)."""
+    hardware = set(getattr(processor, "ur_hardware_written", ()))
+    return {name for name in hardware if name.startswith("DMA")}
+
+
+class _Window:
+    """One in-flight transfer window, keyed by its start site."""
+
+    __slots__ = ("site", "line", "dst", "length", "src")
+
+    def __init__(self, site, line, dst, length, src):
+        self.site = site
+        self.line = line
+        self.dst = dst
+        self.length = length
+        self.src = src
+
+
+def _overlap(addr, size, target, length):
+    """Classify overlap of ``[addr, addr+size)`` with a DMA range.
+
+    Returns ``"certain"``, ``"possible"`` or ``None``.  *target* and
+    *length* are :class:`~repro.analysis.absint.Interval` abstractions
+    of the window base and byte length.
+    """
+    if addr.is_top or addr.hi - addr.lo > 1 << 28:
+        return None
+    if target.is_top or target.hi - target.lo > 1 << 28:
+        return None
+    len_lo = max(length.lo, 0)
+    len_hi = min(length.hi, 1 << 28)
+    if len_hi <= 0:
+        return None
+    if len_lo >= 1 and addr.hi < target.lo + len_lo \
+            and target.hi < addr.lo + size:
+        return "certain"
+    if addr.lo < target.hi + len_hi and target.lo < addr.hi + size:
+        return "possible"
+    return None
+
+
+def check_races(cfg, report, processor, result=None):
+    """Run RACE001..RACE003 over one assembled program."""
+    symbols = getattr(processor, "symbols", {})
+    if _DMA_CTRL not in symbols:
+        return report  # no DMA engine on this core
+    if result is None:
+        result = analyze(cfg, processor)
+    ur_names = _ur_state_names(processor)
+    progress = _progress_states(processor)
+    source = cfg.program.source_name
+    windows = {}        # site node -> _Window (intervals are per-site)
+    state_in = {cfg.entry: (frozenset(), frozenset())}
+    worklist = [cfg.entry]
+    reported = set()
+    while worklist:
+        node = worklist.pop(0)
+        in_flight, tags = state_in[node]
+        in_flight = set(in_flight)
+        tags = set(tags)
+        item = cfg.item(node)
+        line = getattr(item, "line_number", None)
+        barrier = False
+        for env, slot in result.slot_envs(node):
+            spec = slot.spec
+            name = spec.name
+            if name == "rur":
+                state = ur_names.get(slot.operands[1])
+                if state in progress:
+                    tags.add(slot.operands[0])
+                else:
+                    tags.discard(slot.operands[0])
+                continue
+            if name == "wur":
+                state = ur_names.get(slot.operands[1])
+                if state == _DMA_CTRL:
+                    value = env.reg(slot.operands[0])
+                    # A provably even control word never sets CMD_START.
+                    if not (value.mod % 2 == 0 and value.rem % 2 == 0):
+                        site = node
+                        if site not in windows:
+                            windows[site] = _Window(
+                                site, line,
+                                env.state(_DMA_DST),
+                                env.state(_DMA_LEN),
+                                env.state(_DMA_SRC))
+                        in_flight.add(site)
+                elif state is not None and state not in (
+                        _DMA_SRC, _DMA_DST, _DMA_LEN) \
+                        and _is_pointer_state(state):
+                    _check_conflicts(report, reported, windows,
+                                     in_flight, env.reg(
+                                         slot.operands[0]), 4,
+                                     "wur %s" % state, True, source,
+                                     line, node)
+                continue
+            if spec.kind == "branch":
+                reads = [slot.operands[0]]
+                if spec.fmt == "B":
+                    reads.append(slot.operands[1])
+                if any(reg in tags for reg in reads):
+                    barrier = True
+            size = ACCESS_SIZES.get(name)
+            if size is not None and spec.kind in ("load", "store"):
+                _rd, rs, imm = slot.operands
+                addr, _wraps, _may = env.reg(rs).add_const(imm)
+                _check_conflicts(report, reported, windows, in_flight,
+                                 addr, size, name,
+                                 spec.kind == "store", source, line,
+                                 node)
+            for reg in _slot_writes(slot):
+                tags.discard(reg)
+        for transfer in cfg.transfers.get(node, ()):
+            if transfer.kind == "halt" and in_flight:
+                for site in sorted(in_flight):
+                    key = ("RACE003", node, site)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    window = windows[site]
+                    report.add(
+                        "RACE003", "warning",
+                        "the DMA transfer started at line %s is still "
+                        "in flight when the program halts"
+                        % (window.line,),
+                        source, line, node)
+        out_all = (frozenset(in_flight), frozenset(tags))
+        out_cleared = (frozenset(), frozenset(tags))
+        for succ in cfg.succ[node]:
+            # A guarded completion poll retires every in-flight window
+            # on its forward (loop-exit) edges.
+            out = out_cleared if barrier and succ > node else out_all
+            current = state_in.get(succ)
+            if current is None:
+                state_in[succ] = out
+                worklist.append(succ)
+            else:
+                merged = (current[0] | out[0], current[1] | out[1])
+                if merged != current:
+                    state_in[succ] = merged
+                    worklist.append(succ)
+    return report
+
+
+def _slot_writes(slot):
+    from ..cpu.pipeline import register_uses
+    _reads, writes = register_uses(slot.spec, slot.operands)
+    return writes
+
+
+def _check_conflicts(report, reported, windows, in_flight, addr, size,
+                     what, is_store, source, line, node):
+    for site in sorted(in_flight):
+        window = windows[site]
+        verdict = _overlap(addr, size, window.dst, window.length)
+        side = "destination"
+        if verdict is None and is_store:
+            verdict = _overlap(addr, size, window.src, window.length)
+            side = "source"
+        if verdict is None:
+            continue
+        code = "RACE001" if verdict == "certain" else "RACE002"
+        key = (code, node, site)
+        if key in reported:
+            continue
+        reported.add(key)
+        severity = "error" if verdict == "certain" else "warning"
+        report.add(
+            code, severity,
+            "%s %s the %s window of the DMA transfer started at line "
+            "%s with no intervening DMA wait (window base [0x%08x, "
+            "0x%08x])"
+            % (what,
+               "provably overlaps" if verdict == "certain"
+               else "may overlap",
+               side,
+               window.line,
+               (window.dst if side == "destination"
+                else window.src).lo,
+               (window.dst if side == "destination"
+                else window.src).hi),
+            source, line, node)
+
+
+# ---------------------------------------------------------------------------
+# host-side transfer-schedule validation
+# ---------------------------------------------------------------------------
+
+def check_transfer_schedule(windows, processor=None, regions=None,
+                            reserved=(), concurrency=2, report=None,
+                            source_name="<schedule>"):
+    """Validate a host-built DMA descriptor schedule (RACE004..006).
+
+    Parameters
+    ----------
+    windows:
+        Iterable of ``(dst, nbytes)`` or ``(dst, nbytes, label)``
+        destination windows in descriptor (FIFO) order.
+    processor / regions:
+        Memory map to check containment against; *regions* is a list
+        of ``(name, base, size_bytes)`` and defaults to the
+        processor's simulated map.
+    reserved:
+        ``(label, base, size_bytes)`` ranges no window may touch
+        (descriptor tables, result buffers).
+    concurrency:
+        How many consecutive descriptors may be in flight at once
+        (2 per chunk pair, 4 when the next pair is prefetched during
+        compute); windows within such a group must be disjoint.
+    """
+    from .diagnostics import DiagnosticReport
+    if report is None:
+        report = DiagnosticReport(source_name)
+    if regions is None:
+        regions = [(region.name, region.base, region.size_bytes)
+                   for region in getattr(processor, "memory_map", ())]
+    entries = []
+    for index, window in enumerate(windows):
+        dst, nbytes = window[0], window[1]
+        label = window[2] if len(window) > 2 else "descriptor %d" % index
+        entries.append((dst, nbytes, label))
+    for dst, nbytes, label in entries:
+        if nbytes <= 0:
+            continue
+        if not any(base <= dst and dst + nbytes <= base + size
+                   for _name, base, size in regions):
+            report.add(
+                "RACE004", "error",
+                "%s writes [0x%08x, 0x%08x), which does not fit any "
+                "mapped memory region" % (label, dst, dst + nbytes),
+                source_name)
+        for rlabel, rbase, rsize in reserved:
+            if dst < rbase + rsize and rbase < dst + nbytes:
+                report.add(
+                    "RACE005", "error",
+                    "%s writes [0x%08x, 0x%08x), overlapping the "
+                    "reserved %s at [0x%08x, 0x%08x)"
+                    % (label, dst, dst + nbytes, rlabel, rbase,
+                       rbase + rsize),
+                    source_name)
+    for index, (dst, nbytes, label) in enumerate(entries):
+        if nbytes <= 0:
+            continue
+        for other_index in range(index + 1,
+                                 min(index + concurrency,
+                                     len(entries))):
+            odst, obytes, olabel = entries[other_index]
+            if obytes <= 0:
+                continue
+            if dst < odst + obytes and odst < dst + nbytes:
+                report.add(
+                    "RACE006", "error",
+                    "%s [0x%08x, 0x%08x) and %s [0x%08x, 0x%08x) may "
+                    "be in flight concurrently but overlap"
+                    % (label, dst, dst + nbytes, olabel, odst,
+                       odst + obytes),
+                    source_name)
+    return report

@@ -250,6 +250,12 @@ def build_parser():
                           choices=("info", "warning", "error"),
                           help="lowest severity to print "
                                "(default %(default)s)")
+    lint_cmd.add_argument("--deep", action="store_true",
+                          help="also run the deep tier: value-range "
+                               "abstract interpretation (VAL*), "
+                               "DMA/LSU race detection (RACE*) on "
+                               "streaming kernels, and plan lint "
+                               "(PLAN*) over the demo query batch")
     lint_cmd.add_argument("--json", action="store_true",
                           help="emit the full diagnostic list as JSON")
 
@@ -496,6 +502,36 @@ def cmd_disasm(args):
     return 0
 
 
+def _streaming_kernel_sources(processor, compression):
+    """The DMA double-buffering kernels, for the deep (race) tier."""
+    from .core.streaming import (compressed_streaming_kernel,
+                                 streaming_kernel)
+    if "sop_ptr_c" not in processor.symbols:
+        return  # no set-operation datapath on this core
+    num_lsus = processor.config.num_lsus
+    for which in ("intersection", "union", "difference"):
+        for overlap in (True, False):
+            mode = "ov" if overlap else "bl"
+            yield ("stream-%s-%s" % (which, mode),
+                   streaming_kernel(which, num_lsus, overlap))
+            if compression:
+                yield ("cstream-%s-%s" % (which, mode),
+                       compressed_streaming_kernel(which, num_lsus,
+                                                   overlap))
+
+
+def _demo_plan_report():
+    """PLAN* lint over the demo query batch (the deep tier)."""
+    from .db.bench import build_demo_table, demo_queries
+    from .db.planlint import lint_query
+
+    report = None
+    table = build_demo_table()
+    for query in demo_queries(table):
+        report = lint_query(query, report=report)
+    return report
+
+
 def cmd_lint(args):
     import json as json_module
 
@@ -524,7 +560,8 @@ def cmd_lint(args):
             except IsaError as exc:
                 combined.add("ASM001", "error", str(exc), path)
                 continue
-            combined.extend(lint_program(program, processor))
+            combined.extend(lint_program(program, processor,
+                                         deep=args.deep))
     else:
         names = (args.config,) if args.config else CONFIG_NAMES
         for name in names:
@@ -537,7 +574,8 @@ def cmd_lint(args):
             for kernel_name, source in builtin_kernel_sources(processor):
                 program = processor.assembler.assemble(
                     source, "%s/%s" % (name, kernel_name))
-                combined.extend(lint_program(program, processor))
+                combined.extend(lint_program(program, processor,
+                                             deep=args.deep))
             # Campaign-only kernels use the DMA user registers, which
             # exist only on prefetcher-equipped cores.
             fault_processor = build_processor(name, prefetcher=True,
@@ -545,7 +583,18 @@ def cmd_lint(args):
             for kernel_name, source in campaign_kernel_sources():
                 program = fault_processor.assembler.assemble(
                     source, "%s/%s" % (name, kernel_name))
-                combined.extend(lint_program(program, fault_processor))
+                combined.extend(lint_program(program, fault_processor,
+                                             deep=args.deep))
+            if args.deep:
+                for kernel_name, source in _streaming_kernel_sources(
+                        fault_processor, has_eis(name)):
+                    program = fault_processor.assembler.assemble(
+                        source, "%s/%s" % (name, kernel_name))
+                    combined.extend(lint_program(program,
+                                                 fault_processor,
+                                                 deep=True))
+        if args.deep:
+            combined.extend(_demo_plan_report())
     if combined.has_errors:
         status = 1
     if args.json:

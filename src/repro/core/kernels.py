@@ -391,7 +391,7 @@ def load_cached_kernel(processor, key, source, lint=True):
         program = processor.assembler.assemble(source, key)
         if lint:
             from ..analysis import lint_or_raise
-            lint_or_raise(program, processor)
+            lint_or_raise(program, processor, deep=True)
         _PORTABLE_CACHE[portable_key] = PortableProgram(program)
     else:
         # already parsed (and linted) on an identical configuration
@@ -405,7 +405,7 @@ def load_cached_kernel(processor, key, source, lint=True):
             program = processor.assembler.assemble(source, key)
             if lint:
                 from ..analysis import lint_or_raise
-                lint_or_raise(program, processor)
+                lint_or_raise(program, processor, deep=True)
             _PORTABLE_CACHE[portable_key] = PortableProgram(program)
     cache[key] = (program, processor.config.name,
                   _extension_names(processor))

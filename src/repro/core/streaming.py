@@ -63,6 +63,52 @@ def split_at_thresholds(set_a, set_b, chunk_elements):
     return chunks
 
 
+def streaming_buffers(num_lsus):
+    """``(buf_a0, buf_a1, buf_b0, buf_b1)`` local buffer bases."""
+    buf_b0 = DMEM1_BASE if num_lsus == 2 else DESC_BASE + 0x1000
+    return BUF_A0, BUF_A1, buf_b0, buf_b0 + HALF_BUFFER_BYTES
+
+
+def streaming_schedule(chunk_byte_lengths, num_lsus):
+    """DMA destination windows of a streaming run, in FIFO order.
+
+    *chunk_byte_lengths* is ``[(a_bytes, b_bytes), ...]`` per chunk
+    pair; the kernel alternates buffer halves per chunk (parity of the
+    chunk index).  The result feeds
+    :func:`repro.analysis.races.check_transfer_schedule`.
+    """
+    buf_a0, buf_a1, buf_b0, buf_b1 = streaming_buffers(num_lsus)
+    windows = []
+    for index, (a_bytes, b_bytes) in enumerate(chunk_byte_lengths):
+        buf_a = buf_a0 if index % 2 == 0 else buf_a1
+        buf_b = buf_b0 if index % 2 == 0 else buf_b1
+        windows.append((buf_a, a_bytes, "chunk %d set A" % index))
+        windows.append((buf_b, b_bytes, "chunk %d set B" % index))
+    return windows
+
+
+def _validate_schedule(processor, windows, reserved, overlap, key):
+    """Reject a descriptor schedule the race checker can refute.
+
+    Error findings raise :class:`~repro.analysis.LintError` unless
+    ``REPRO_LINT_WARN_ONLY=1`` downgrades them to warnings.
+    """
+    import warnings
+
+    from ..analysis import (LintError, LintWarning,
+                            check_transfer_schedule, lint_warn_only)
+    report = check_transfer_schedule(
+        windows, processor=processor, reserved=reserved,
+        concurrency=4 if overlap else 2, source_name=key)
+    if report.has_errors:
+        if not lint_warn_only():
+            raise LintError(report)
+        for diagnostic in report.errors():
+            warnings.warn(diagnostic.format(), LintWarning,
+                          stacklevel=3)
+    return report
+
+
 def streaming_kernel(which="intersection", num_lsus=2, overlap=True,
                      unroll=8):
     """Assembly of the double-buffered streaming set-operation kernel.
@@ -74,8 +120,7 @@ def streaming_kernel(which="intersection", num_lsus=2, overlap=True,
     """
     short = {"intersection": "int", "union": "uni",
              "difference": "dif"}[which]
-    buf_b0 = DMEM1_BASE if num_lsus == 2 else DESC_BASE + 0x1000
-    buf_b1 = buf_b0 + HALF_BUFFER_BYTES
+    _buf_a0, _buf_a1, buf_b0, buf_b1 = streaming_buffers(num_lsus)
 
     def prefetch_block(tag):
         """Issue the DMA pair for the next chunk (cursor a7/parity a15)."""
@@ -211,19 +256,25 @@ def run_streaming_set_operation(processor, which, set_a, set_b,
                         MAIN_B + b_lo * 4, (b_hi - b_lo) * 4]
     processor.write_words(DESC_BASE, descriptors)
 
-    buf_b0 = DMEM1_BASE if processor.config.num_lsus == 2 \
-        else DESC_BASE + 0x1000
-    result_base = (buf_b0 + 2 * HALF_BUFFER_BYTES + BLOCK_BYTES) \
-        if processor.config.num_lsus == 2 \
-        else buf_b0 + 2 * HALF_BUFFER_BYTES + BLOCK_BYTES
+    num_lsus = processor.config.num_lsus
+    buf_b0 = streaming_buffers(num_lsus)[2]
+    result_base = buf_b0 + 2 * HALF_BUFFER_BYTES + BLOCK_BYTES
 
-    key = "stream-%s-%dlsu-%s" % (which, processor.config.num_lsus,
+    key = "stream-%s-%dlsu-%s" % (which, num_lsus,
                                   "ov" if overlap else "bl")
+    windows = streaming_schedule(
+        [((a_hi - a_lo) * 4, (b_hi - b_lo) * 4)
+         for (a_lo, a_hi), (b_lo, b_hi) in chunks], num_lsus)
+    result_bytes = 4 * (len(set_a) + len(set_b) + 2 * LANES)
+    _validate_schedule(
+        processor, windows,
+        reserved=[("descriptor table", DESC_BASE, 4 * len(descriptors)),
+                  ("result buffer", result_base, result_bytes)],
+        overlap=overlap, key=key)
     from .kernels import load_cached_kernel
     load_cached_kernel(
         processor, key,
-        lambda: streaming_kernel(which, processor.config.num_lsus, overlap),
-        lint=False)
+        lambda: streaming_kernel(which, num_lsus, overlap))
 
     result = processor.run(entry="main", regs={
         "a2": DESC_BASE, "a3": len(chunks), "a4": result_base,
@@ -247,6 +298,28 @@ RAW_A = CBUF_A1 + CHALF_BYTES
 CDESC_BASE = RAW_A + HALF_BUFFER_BYTES
 
 
+def compressed_streaming_buffers(num_lsus):
+    """``(cbuf_a0, cbuf_a1, cbuf_b0, cbuf_b1, raw_b)`` buffer bases."""
+    cbuf_b0 = DMEM1_BASE if num_lsus == 2 else CDESC_BASE + 0x1000
+    return (CBUF_A0, CBUF_A1, cbuf_b0, cbuf_b0 + CHALF_BYTES,
+            cbuf_b0 + 2 * CHALF_BYTES)
+
+
+def compressed_streaming_schedule(chunk_byte_lengths, num_lsus):
+    """DMA windows of a compressed streaming run, in FIFO order."""
+    cbuf_a0, cbuf_a1, cbuf_b0, cbuf_b1, _raw_b = \
+        compressed_streaming_buffers(num_lsus)
+    windows = []
+    for index, (a_bytes, b_bytes) in enumerate(chunk_byte_lengths):
+        buf_a = cbuf_a0 if index % 2 == 0 else cbuf_a1
+        buf_b = cbuf_b0 if index % 2 == 0 else cbuf_b1
+        windows.append((buf_a, a_bytes,
+                        "chunk %d compressed A" % index))
+        windows.append((buf_b, b_bytes,
+                        "chunk %d compressed B" % index))
+    return windows
+
+
 def compressed_streaming_kernel(which="intersection", num_lsus=2,
                                 overlap=True, unroll=8,
                                 decode_unroll=8):
@@ -260,9 +333,8 @@ def compressed_streaming_kernel(which="intersection", num_lsus=2,
     """
     short = {"intersection": "int", "union": "uni",
              "difference": "dif"}[which]
-    cbuf_b0 = DMEM1_BASE if num_lsus == 2 else CDESC_BASE + 0x1000
-    cbuf_b1 = cbuf_b0 + CHALF_BYTES
-    raw_b = cbuf_b1 + CHALF_BYTES
+    _cbuf_a0, _cbuf_a1, cbuf_b0, cbuf_b1, raw_b = \
+        compressed_streaming_buffers(num_lsus)
 
     def prefetch_block(tag):
         return [
@@ -410,6 +482,7 @@ def run_compressed_streaming_set_operation(processor, which, set_a,
     comp_a = []
     comp_b = []
     descriptors = []
+    chunk_bytes = []
     for (a_lo, a_hi), (b_lo, b_hi) in chunks:
         if (a_hi - a_lo) > max_raw or (b_hi - b_lo) > max_raw:
             raise ValueError("threshold chunk exceeds the raw buffer; "
@@ -425,6 +498,7 @@ def run_compressed_streaming_set_operation(processor, which, set_a,
                         a_hi - a_lo,
                         MAIN_B + 4 * len(comp_b), 4 * len(words_b),
                         b_hi - b_lo]
+        chunk_bytes.append((4 * len(words_a), 4 * len(words_b)))
         comp_a.extend(words_a)
         comp_b.extend(words_b)
 
@@ -434,19 +508,25 @@ def run_compressed_streaming_set_operation(processor, which, set_a,
         processor.write_words(MAIN_B, comp_b)
     processor.write_words(CDESC_BASE, descriptors)
 
-    cbuf_b0 = DMEM1_BASE if processor.config.num_lsus == 2 \
-        else CDESC_BASE + 0x1000
-    raw_b = cbuf_b0 + 2 * CHALF_BYTES  # matches the kernel layout
+    num_lsus = processor.config.num_lsus
+    _cbuf_a0, _cbuf_a1, _cbuf_b0, _cbuf_b1, raw_b = \
+        compressed_streaming_buffers(num_lsus)
     result_base = raw_b + HALF_BUFFER_BYTES + BLOCK_BYTES
 
-    key = "cstream-%s-%dlsu-%s" % (which, processor.config.num_lsus,
+    key = "cstream-%s-%dlsu-%s" % (which, num_lsus,
                                    "ov" if overlap else "bl")
+    windows = compressed_streaming_schedule(chunk_bytes, num_lsus)
+    result_bytes = 4 * (len(set_a) + len(set_b) + 2 * LANES)
+    _validate_schedule(
+        processor, windows,
+        reserved=[("descriptor table", CDESC_BASE, 4 * len(descriptors)),
+                  ("result buffer", result_base, result_bytes)],
+        overlap=overlap, key=key)
     from .kernels import load_cached_kernel
     load_cached_kernel(
         processor, key,
         lambda: compressed_streaming_kernel(
-            which, processor.config.num_lsus, overlap),
-        lint=False)
+            which, num_lsus, overlap))
     result = processor.run(entry="main", regs={
         "a2": CDESC_BASE, "a3": len(chunks), "a4": result_base,
     })

@@ -35,7 +35,8 @@ from ..supervisor import Task, supervise
 from ..telemetry.querytrace import QueryTracer
 from ..telemetry.registry import MetricsRegistry
 from .executor import QueryExecutor, QueryStats, _merge_stats
-from .predicates import Combinator, Leaf, signature, validate_indexes
+from .planlint import lint_query_or_raise
+from .predicates import Combinator, Leaf, signature
 
 
 class Query:
@@ -174,10 +175,10 @@ class QueryEngine:
         span = tracer.span("query", query=index, table=table.name) \
             if tracer is not None else nullcontext()
         with span:
+            with (tracer.span("plan", query=index)
+                  if tracer is not None else nullcontext()):
+                lint_query_or_raise(query, engine=self)
             if query.predicate is not None:
-                with (tracer.span("plan", query=index)
-                      if tracer is not None else nullcontext()):
-                    validate_indexes(query.predicate, table)
                 rids = self._evaluate(table, query.predicate, stats,
                                       cse, tracer, index)
             else:

@@ -101,20 +101,26 @@ def ratio(measured, reference):
 
 
 def lint_notes(processor, label=""):
-    """Warn-only static verification of a processor's builtin kernels.
+    """Enforcing static verification of a processor's builtin kernels.
 
-    Returns human-readable note strings (one per warning-or-worse
-    diagnostic, empty when clean) for ``ExperimentResult.notes``, so a
-    regenerated table records any static-analysis findings of the
-    kernels it ran without failing the experiment.
+    Error-severity findings raise
+    :class:`~repro.analysis.LintError` — a regenerated table must not
+    be built from kernels the verifier can refute.  Set
+    ``REPRO_LINT_WARN_ONLY=1`` to downgrade errors to warnings (e.g.
+    to reproduce a fault-campaign finding).  Warning-severity findings
+    are returned as human-readable note strings (empty when clean) for
+    ``ExperimentResult.notes``.
     """
-    from ..analysis import lint_processor, lint_program
+    from ..analysis import (LintError, lint_processor, lint_program,
+                            lint_warn_only)
     from ..core.kernels import builtin_kernel_sources
 
     report = lint_processor(processor)
     for kernel_name, source in builtin_kernel_sources(processor):
         program = processor.assembler.assemble(source, kernel_name)
-        report.extend(lint_program(program, processor))
+        report.extend(lint_program(program, processor, deep=True))
+    if report.has_errors and not lint_warn_only():
+        raise LintError(report)
     prefix = "%s: " % label if label else ""
     return ["%slint: %s" % (prefix, diagnostic.format())
             for diagnostic in report.at_least("warning")]

@@ -259,7 +259,7 @@ def supervise(tasks, jobs=2, timeout=None, retries=1, backoff=0.5,
                 # and requeue them, then respawn the pool.
                 counters["pool_breaks"].value += 1
                 say("worker pool broke; respawning")
-                for future, record in list(in_flight.items()):
+                for _future, record in list(in_flight.items()):
                     strike(record, "worker pool broke")
                 in_flight.clear()
                 pool.shutdown(wait=False, cancel_futures=True)

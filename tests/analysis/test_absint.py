@@ -1,0 +1,236 @@
+"""Value-range abstract interpretation (Interval domain + VAL checks)."""
+
+from repro.analysis import (DiagnosticReport, Interval, analyze,
+                            build_cfg, check_values)
+from repro.analysis.absint import M32
+
+from .conftest import codes
+
+
+def run_analysis(processor, source):
+    program = processor.assembler.assemble(source, "absint.s")
+    entry = "main" if "main" in program.labels else 0
+    cfg = build_cfg(program, entry)
+    return cfg, analyze(cfg, processor)
+
+
+def lint_values(processor, source):
+    cfg, result = run_analysis(processor, source)
+    report = DiagnosticReport()
+    check_values(cfg, report, processor, result)
+    return report
+
+
+class TestIntervalDomain:
+    def test_const_roundtrip(self):
+        value = Interval.const(0x100)
+        assert value.is_const and value.lo == value.hi == 0x100
+        assert value.rem == 0x100
+
+    def test_join_hulls_bounds_and_meets_congruence(self):
+        joined = Interval.const(4).join(Interval.const(12))
+        assert (joined.lo, joined.hi) == (4, 12)
+        # 4 and 12 agree mod 8, disagree mod 16.
+        assert joined.mod == 8 and joined.rem == 4
+
+    def test_top_absorbs(self):
+        assert Interval.const(7).join(Interval.top()).is_top
+
+    def test_add_const_wrap_classification(self):
+        clean, wraps, may = Interval(0, 0x10).add_const(4)
+        assert (clean.lo, clean.hi) == (4, 0x14)
+        assert not wraps and not may
+        wrapped, wraps, may = Interval(4, 8).add_const(-16)
+        assert wraps and may
+        assert (wrapped.lo, wrapped.hi) == ((4 - 16) & M32, (8 - 16) & M32)
+        partial, wraps, may = Interval(0, 8).add_const(-4)
+        assert not wraps and may
+        assert partial.lo == 0 and partial.hi == M32
+
+    def test_shift_left_builds_congruence(self):
+        scaled = Interval(0, 10).shift_left(2)
+        assert (scaled.lo, scaled.hi) == (0, 40)
+        assert scaled.mod >= 4 and scaled.rem % 4 == 0
+        # Even an unbounded base keeps the alignment fact.
+        assert Interval.top().shift_left(3).mod == 8
+
+    def test_bit_and_clamps(self):
+        masked = Interval(0, M32).bit_and(0xFF)
+        assert masked.lo == 0 and masked.hi == 0xFF
+
+    def test_widen_snaps_to_threshold(self):
+        older = Interval(0, 0x100)
+        newer = Interval(0, 0x104)
+        widened = older.widen(newer, [0, 0x8000, M32])
+        assert widened.hi == 0x8000
+        # A stable bound is left alone.
+        assert widened.lo == 0
+
+    def test_meet_bounds_empty(self):
+        assert Interval(0, 4).meet_bounds(8, 12) is None
+
+
+class TestAnalysis:
+    def test_constants_propagate(self, eis_2lsu_partial):
+        cfg, result = run_analysis(
+            eis_2lsu_partial,
+            "main:\n  movi a8, 0x40\n  addi a8, a8, 8\n  halt\n")
+        env = result.env_in[max(result.reachable)]  # at the halt
+        assert env.reg(8) == Interval.const(0x48)
+
+    def test_join_at_merge_point(self, eis_2lsu_partial):
+        cfg, result = run_analysis(
+            eis_2lsu_partial,
+            "main:\n"
+            "  movi a8, 4\n"
+            "  beqz a2, go\n"
+            "  movi a8, 12\n"
+            "go:\n"
+            "  halt\n")
+        halt_node = max(result.reachable)
+        env = result.env_in[halt_node]
+        assert (env.reg(8).lo, env.reg(8).hi) == (4, 12)
+
+    def test_loop_pointer_narrowed_below_bound(self, eis_2lsu_partial):
+        # The bltu at the bottom bounds a8; widening must not leak
+        # past it once the narrowing sweeps run.
+        cfg, result = run_analysis(
+            eis_2lsu_partial,
+            "main:\n"
+            "  movi a8, 0\n"
+            "  li a9, 0x4000\n"
+            "loop:\n"
+            "  l32i a10, a8, 0\n"
+            "  addi a8, a8, 4\n"
+            "  bltu a8, a9, loop\n"
+            "  halt\n")
+        loop = cfg.program.labels["loop"]
+        pointer = result.env_in[loop].reg(8)
+        assert pointer.lo == 0
+        # Bounds stay below the loop bound; the congruence excludes
+        # the last three bytes, so the access is proven in-bounds.
+        assert pointer.hi <= 0x4000 - 1
+        assert pointer.mod % 4 == 0 and pointer.rem % 4 == 0
+
+    def test_hardware_states_read_as_unknown(self, eis_2lsu_partial):
+        from repro.configs.catalog import build_processor
+        core = build_processor("DBA_2LSU_EIS", prefetcher=True)
+        cfg, result = run_analysis(
+            core,
+            "main:\n"
+            "  movi a8, 7\n"
+            "  wur a8, DMA_LEN\n"
+            "  rur a9, DMA_DONE\n"
+            "  rur a10, DMA_LEN\n"
+            "  halt\n")
+        env = result.env_out(max(result.reachable))
+        assert env.reg(9).is_top          # engine-maintained counter
+        assert env.reg(10) == Interval.const(7)  # software state
+
+
+class TestValChecks:
+    def test_in_bounds_loop_is_clean(self, eis_2lsu_partial):
+        report = lint_values(
+            eis_2lsu_partial,
+            "main:\n"
+            "  movi a8, 0\n"
+            "  li a9, 0x4000\n"
+            "loop:\n"
+            "  l32i a10, a8, 0\n"
+            "  addi a8, a8, 4\n"
+            "  bltu a8, a9, loop\n"
+            "  halt\n")
+        assert len(report) == 0
+
+    def test_val001_provable_oob_range(self, eis_2lsu_partial):
+        report = lint_values(
+            eis_2lsu_partial,
+            "main:\n"
+            "  li a8, 0x40000000\n"
+            "  beqz a2, go\n"
+            "  li a8, 0x40000100\n"
+            "go:\n"
+            "  l32i a9, a8, 0\n"
+            "  halt\n")
+        found = report.by_code("VAL001")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+    def test_val002_misaligned_even_when_unbounded(self,
+                                                   eis_2lsu_partial):
+        # a2 is a run-time argument: the range is TOP, but the
+        # congruence still proves every address is 2 mod 4.
+        report = lint_values(
+            eis_2lsu_partial,
+            "main:\n"
+            "  slli a8, a2, 2\n"
+            "  addi a8, a8, 2\n"
+            "  l32i a9, a8, 0\n"
+            "  halt\n")
+        found = report.by_code("VAL002")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+    def test_val003_wraparound(self, eis_2lsu_partial):
+        report = lint_values(
+            eis_2lsu_partial,
+            "main:\n"
+            "  movi a8, 4\n"
+            "  beqz a2, go\n"
+            "  movi a8, 8\n"
+            "go:\n"
+            "  l32i a9, a8, -16\n"
+            "  halt\n")
+        assert "VAL003" in codes(report)
+
+    def test_val004_partial_overrun(self, eis_2lsu_partial):
+        # The loop bound lets the pointer run past the end of dmem0's
+        # simulated region: part of the range faults.
+        size = max(region.base + region.size_bytes
+                   for region in eis_2lsu_partial.memory_map
+                   if region.base == 0)
+        report = lint_values(
+            eis_2lsu_partial,
+            "main:\n"
+            "  li a8, 0x%x\n"
+            "  li a9, 0x%x\n"
+            "loop:\n"
+            "  l32i a10, a8, 0\n"
+            "  addi a8, a8, 4\n"
+            "  bltu a8, a9, loop\n"
+            "  halt\n" % (size - 0x100, size + 0x100))
+        assert "VAL004" in codes(report)
+
+    def test_val005_pointer_state_oob(self, eis_2lsu_partial):
+        report = lint_values(
+            eis_2lsu_partial,
+            "main:\n"
+            "  li a8, 0x40000000\n"
+            "  beqz a2, go\n"
+            "  li a8, 0x40000004\n"
+            "go:\n"
+            "  wur a8, sop_ptr_a\n"
+            "  halt\n")
+        found = report.by_code("VAL005")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+    def test_literal_addresses_left_to_mem_checks(self,
+                                                  eis_2lsu_partial):
+        # A single-constant OOB access is MEM001 territory; VAL must
+        # not duplicate it.
+        report = lint_values(
+            eis_2lsu_partial,
+            "main:\n  li a8, 0x40000000\n  l32i a9, a8, 0\n  halt\n")
+        assert "VAL001" not in codes(report)
+
+    def test_builtin_kernels_are_clean(self, eis_2lsu_partial):
+        from repro.core.kernels import builtin_kernel_sources
+        for name, source in builtin_kernel_sources(eis_2lsu_partial):
+            program = eis_2lsu_partial.assembler.assemble(source, name)
+            entry = "main" if "main" in program.labels else 0
+            cfg = build_cfg(program, entry)
+            report = check_values(cfg, DiagnosticReport(),
+                                  eis_2lsu_partial)
+            assert len(report.at_least("warning")) == 0, \
+                (name, report.format())

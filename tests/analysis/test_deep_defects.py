@@ -1,0 +1,144 @@
+"""Injected-defect differential suite for the deep verification tier.
+
+Each case takes a program (or query) the verifier accepts, injects one
+realistic defect, and proves the matching diagnostic family fires —
+the regression net around the VAL / RACE / PLAN checkers themselves.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis import (LintError, LintWarning, lint_or_raise,
+                            lint_program)
+from repro.configs.catalog import build_processor
+
+from .conftest import codes
+
+
+@pytest.fixture(scope="module")
+def dma_core():
+    return build_processor("DBA_2LSU_EIS", prefetcher=True)
+
+
+def deep_codes(processor, source):
+    program = processor.assembler.assemble(source, "defect.s")
+    return codes(lint_program(program, processor, deep=True))
+
+
+COPY_LOOP = (
+    "main:\n"
+    "  movi a8, 0\n"
+    "  li a9, 0x%x\n"
+    "loop:\n"
+    "  l32i a10, a8, 0\n"
+    "  s32i a10, a8, 0\n"
+    "  addi a8, a8, 4\n"
+    "  bltu a8, a9, loop\n"
+    "  halt\n"
+)
+
+
+class TestValFamily:
+    def test_overrun_bound_fires_val(self, eis_2lsu_partial):
+        size = max(region.base + region.size_bytes
+                   for region in eis_2lsu_partial.memory_map
+                   if region.base == 0)
+        # In-bounds loop: clean.  Bound pushed past the region: VAL004.
+        assert not deep_codes(eis_2lsu_partial, COPY_LOOP % 0x4000) \
+            & {"VAL001", "VAL002", "VAL003", "VAL004"}
+        assert "VAL004" in deep_codes(eis_2lsu_partial,
+                                      COPY_LOOP % (size + 0x100))
+
+    def test_broken_scaling_fires_val002(self, eis_2lsu_partial):
+        scaled = (
+            "main:\n"
+            "  slli a8, a2, 2\n"
+            "  addi a8, a8, %d\n"
+            "  l32i a10, a8, 0\n"
+            "  halt\n"
+        )
+        assert "VAL002" not in deep_codes(eis_2lsu_partial, scaled % 4)
+        assert "VAL002" in deep_codes(eis_2lsu_partial, scaled % 2)
+
+
+class TestRaceFamily:
+    def test_removing_the_wait_barrier_fires_race(self, dma_core):
+        from repro.core.streaming import streaming_kernel
+        source = streaming_kernel("intersection", 2, overlap=True)
+        baseline = deep_codes(dma_core, source)
+        assert not baseline & {"RACE001", "RACE002", "RACE003"}
+        # The defect: the completion poll no longer guards anything.
+        mutated = source.replace("  blt a8, a5, wait_dma", "  nop")
+        assert mutated != source
+        fired = deep_codes(dma_core, mutated)
+        assert fired & {"RACE001", "RACE002", "RACE003"}
+
+    def test_shrinking_the_schedule_buffers_fires_race006(self,
+                                                          dma_core):
+        from repro.analysis import check_transfer_schedule
+        from repro.core.streaming import streaming_schedule
+        lengths = [(0x4000, 0x4000)] * 3
+        good = streaming_schedule(lengths, num_lsus=2)
+        assert not check_transfer_schedule(
+            good, processor=dma_core, concurrency=4).has_errors
+        # The defect: both buffer parities collapsed onto one half.
+        bad = [(good[0][0], nbytes, label)
+               for _dst, nbytes, label in good]
+        report = check_transfer_schedule(bad, processor=dma_core,
+                                         concurrency=4)
+        assert "RACE006" in codes(report)
+
+
+class TestPlanFamily:
+    def test_corrupting_a_demo_query_fires_plan(self):
+        from repro.db.bench import build_demo_table, demo_queries
+        from repro.db.engine import Query
+        from repro.db.planlint import lint_query
+        table = build_demo_table()
+        query = next(q for q in demo_queries(table)
+                     if q.predicate is not None)
+        assert not lint_query(query).has_errors
+        # The defect: the predicate names a column that doesn't exist.
+        leaf = query.predicate
+        while not hasattr(leaf, "column"):
+            leaf = leaf.left
+        import copy
+        broken = copy.copy(leaf)
+        broken.column = "ghost"
+        assert "PLAN001" in codes(
+            lint_query(Query(table, broken)))
+
+
+class TestEnforcement:
+    def test_deep_errors_raise_lint_error(self, eis_2lsu_partial):
+        source = (
+            "main:\n"
+            "  slli a8, a2, 2\n"
+            "  addi a8, a8, 2\n"
+            "  l32i a10, a8, 0\n"
+            "  halt\n"
+        )
+        program = eis_2lsu_partial.assembler.assemble(source, "bad.s")
+        with pytest.raises(LintError) as exc:
+            lint_or_raise(program, eis_2lsu_partial, deep=True)
+        assert "VAL002" in str(exc.value)
+
+    def test_warn_only_escape_hatch_downgrades(self, eis_2lsu_partial,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_LINT_WARN_ONLY", "1")
+        source = (
+            "main:\n"
+            "  slli a8, a2, 2\n"
+            "  addi a8, a8, 2\n"
+            "  l32i a10, a8, 0\n"
+            "  halt\n"
+        )
+        program = eis_2lsu_partial.assembler.assemble(source, "bad.s")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = lint_or_raise(program, eis_2lsu_partial,
+                                   deep=True)
+        assert report.has_errors
+        assert any(issubclass(w.category, LintWarning) and
+                   "VAL002" in str(w.message) for w in caught)

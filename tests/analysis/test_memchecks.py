@@ -93,3 +93,82 @@ class TestResolvableAccesses:
                              "  l32i a9, a8, 0\n  halt\n"
                              % (0x80000000 + size))
         assert "MEM001" in codes(report)
+
+
+class _StubConfig:
+    def architectural_regions(self):
+        return [("dmem0", 0, 0x1000), ("empty", 0x2000, 0),
+                ("odd", 0x3000, 6)]
+
+
+class _StubProcessor:
+    config = _StubConfig()
+    memory_map = ()
+
+
+def lint_memory_stub(assembling_processor, source):
+    program = assembling_processor.assembler.assemble(source, "mem.s")
+    report = DiagnosticReport()
+    check_memory(build_cfg(program, 0), report, _StubProcessor())
+    return report
+
+
+class TestEdgeCases:
+    def test_negative_offset_in_bounds(self, eis_2lsu_partial):
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  movi a8, 8\n"
+                             "  l32i a9, a8, -4\n  halt\n")
+        assert len(report) == 0
+
+    def test_negative_offset_wraps_to_oob(self, eis_2lsu_partial):
+        # 4 - 16 wraps to 0xFFFFFFF4: aligned, but mapped by nothing.
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  movi a8, 4\n"
+                             "  l32i a9, a8, -16\n  halt\n")
+        found = report.by_code("MEM001")
+        assert len(found) == 1
+        assert "MEM002" not in codes(report)
+
+    def test_zero_size_region_admits_nothing(self, eis_2lsu_partial):
+        report = lint_memory_stub(eis_2lsu_partial,
+                                  "main:\n  movi a8, 0x2000\n"
+                                  "  l32i a9, a8, 0\n  halt\n")
+        assert "MEM001" in codes(report)
+
+    def test_aligned_straddle_past_region_end(self, eis_2lsu_partial):
+        # The 'odd' region is 6 bytes: a word at +4 starts inside but
+        # ends outside, and must not be admitted.
+        report = lint_memory_stub(eis_2lsu_partial,
+                                  "main:\n  movi a8, 0x3004\n"
+                                  "  l32i a9, a8, 0\n  halt\n")
+        assert "MEM001" in codes(report)
+        assert "MEM002" not in codes(report)
+
+    def test_last_word_of_region_is_clean(self, eis_2lsu_partial):
+        report = lint_memory_stub(eis_2lsu_partial,
+                                  "main:\n  movi a8, 0xFFC\n"
+                                  "  l32i a9, a8, 0\n  halt\n")
+        assert len(report) == 0
+
+    def test_straddle_architectural_boundary(self, eis_2lsu_partial):
+        # 0x7FFE + 4 crosses from the architectural dmem0 into the
+        # simulator's headroom: misaligned AND only simulatable.
+        arch = dict((name, (base, size)) for name, base, size
+                    in eis_2lsu_partial.config.architectural_regions())
+        _base, size = arch["dmem0"]
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  li a8, 0x%x\n"
+                             "  l32i a9, a8, 0\n  halt\n"
+                             % (size - 2))
+        assert {"MEM002", "MEM003"} <= codes(report)
+
+    def test_halfword_at_exact_region_end_is_clean(self,
+                                                   eis_2lsu_partial):
+        arch = dict((name, (base, size)) for name, base, size
+                    in eis_2lsu_partial.config.architectural_regions())
+        _base, size = arch["dmem0"]
+        report = lint_memory(eis_2lsu_partial,
+                             "main:\n  li a8, 0x%x\n"
+                             "  l16ui a9, a8, 0\n  halt\n"
+                             % (size - 2))
+        assert len(report) == 0

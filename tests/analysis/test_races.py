@@ -1,0 +1,182 @@
+"""Static DMA/LSU race detection (RACE001..RACE006)."""
+
+import pytest
+
+from repro.analysis import (DiagnosticReport, build_cfg, check_races,
+                            check_transfer_schedule)
+from repro.configs.catalog import build_processor
+
+from .conftest import codes
+
+
+@pytest.fixture(scope="module")
+def dma_core():
+    return build_processor("DBA_2LSU_EIS", prefetcher=True)
+
+
+def lint_races(processor, source):
+    program = processor.assembler.assemble(source, "races.s")
+    entry = "main" if "main" in program.labels else 0
+    cfg = build_cfg(program, entry)
+    report = DiagnosticReport()
+    check_races(cfg, report, processor)
+    return report
+
+
+START_FILL = (
+    "main:\n"
+    "  li a2, 0x80000000\n"
+    "  wur a2, DMA_SRC\n"
+    "  movi a2, 0\n"
+    "  wur a2, DMA_DST\n"
+    "  li a2, 0x4000\n"
+    "  wur a2, DMA_LEN\n"
+    "  movi a2, 1\n"
+    "  wur a2, DMA_CTRL\n"
+)
+
+WAIT_LOOP = (
+    "  movi a5, 1\n"
+    "wait:\n"
+    "  rur a8, DMA_DONE\n"
+    "  blt a8, a5, wait\n"
+)
+
+
+class TestKernelRaces:
+    def test_no_dma_engine_no_diagnostics(self, eis_2lsu_partial):
+        # A core without the prefetcher has no DMA states at all.
+        report = lint_races(eis_2lsu_partial,
+                            "main:\n  movi a8, 0\n"
+                            "  l32i a9, a8, 0\n  halt\n")
+        assert len(report) == 0
+
+    def test_race001_read_of_in_flight_window(self, dma_core):
+        report = lint_races(dma_core, START_FILL +
+                            "  movi a3, 0\n"
+                            "  l32i a4, a3, 0\n" + WAIT_LOOP +
+                            "  halt\n")
+        found = report.by_code("RACE001")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+    def test_clean_after_wait_barrier(self, dma_core):
+        report = lint_races(dma_core, START_FILL + WAIT_LOOP +
+                            "  movi a3, 0\n"
+                            "  l32i a4, a3, 0\n"
+                            "  halt\n")
+        assert "RACE001" not in codes(report)
+        assert "RACE002" not in codes(report)
+        assert "RACE003" not in codes(report)
+
+    def test_race003_window_in_flight_at_halt(self, dma_core):
+        report = lint_races(dma_core, START_FILL + "  halt\n")
+        found = report.by_code("RACE003")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_race002_possible_overlap(self, dma_core):
+        # The access range straddles the window end: some admitted
+        # addresses collide, some don't.
+        report = lint_races(dma_core, START_FILL +
+                            "  li a3, 0x3FFC\n"
+                            "  beqz a4, go\n"
+                            "  li a3, 0x4004\n"
+                            "go:\n"
+                            "  l32i a4, a3, 0\n" + WAIT_LOOP +
+                            "  halt\n")
+        assert "RACE002" in codes(report)
+        assert "RACE001" not in codes(report)
+
+    def test_race001_pointer_state_into_window(self, dma_core):
+        report = lint_races(dma_core, START_FILL +
+                            "  movi a3, 0x100\n"
+                            "  wur a3, sop_ptr_a\n" + WAIT_LOOP +
+                            "  halt\n")
+        assert "RACE001" in codes(report)
+
+    def test_unguarded_poll_is_not_a_barrier(self, dma_core):
+        # Reading DMA_DONE without branching on it retires nothing.
+        report = lint_races(dma_core, START_FILL +
+                            "  rur a8, DMA_DONE\n"
+                            "  movi a3, 0\n"
+                            "  l32i a4, a3, 0\n"
+                            "  halt\n")
+        assert "RACE001" in codes(report)
+
+    def test_access_outside_window_is_clean(self, dma_core):
+        report = lint_races(dma_core, START_FILL +
+                            "  li a3, 0x6000\n"
+                            "  beqz a4, go\n"
+                            "  li a3, 0x6100\n"
+                            "go:\n"
+                            "  l32i a4, a3, 0\n" + WAIT_LOOP +
+                            "  halt\n")
+        assert "RACE001" not in codes(report)
+        assert "RACE002" not in codes(report)
+
+    def test_streaming_kernels_are_clean(self, dma_core):
+        from repro.core.streaming import streaming_kernel
+        for which in ("intersection", "union", "difference"):
+            for overlap in (True, False):
+                source = streaming_kernel(which, 2, overlap)
+                report = lint_races(dma_core, source)
+                assert len(report.at_least("warning")) == 0, \
+                    (which, overlap, report.format())
+
+
+REGIONS = [("dmem0", 0, 0x18000)]
+
+
+class TestTransferSchedule:
+    def test_clean_double_buffered_schedule(self):
+        report = check_transfer_schedule(
+            [(0x0000, 0x4000), (0x8000, 0x4000),
+             (0x4000, 0x4000), (0xC000, 0x4000)],
+            regions=REGIONS, concurrency=2)
+        assert len(report) == 0
+
+    def test_race004_window_outside_regions(self):
+        report = check_transfer_schedule(
+            [(0x20000, 64)], regions=REGIONS)
+        found = report.by_code("RACE004")
+        assert len(found) == 1
+        assert found[0].severity == "error"
+
+    def test_race005_reserved_overlap(self):
+        report = check_transfer_schedule(
+            [(0x1000, 0x100, "chunk 0")], regions=REGIONS,
+            reserved=[("descriptor table", 0x1080, 0x80)])
+        found = report.by_code("RACE005")
+        assert len(found) == 1
+        assert "descriptor table" in found[0].message
+
+    def test_race006_concurrent_overlap(self):
+        report = check_transfer_schedule(
+            [(0x0000, 0x4000), (0x2000, 0x4000)],
+            regions=REGIONS, concurrency=2)
+        assert "RACE006" in codes(report)
+
+    def test_concurrency_window_bounds_the_check(self):
+        # Reusing a buffer half two chunks later is the whole point of
+        # double buffering: descriptors 0 and 2 may not be concurrent.
+        windows = [(0x0000, 0x4000), (0x8000, 0x4000),
+                   (0x0000, 0x4000), (0x8000, 0x4000)]
+        assert "RACE006" not in codes(check_transfer_schedule(
+            windows, regions=REGIONS, concurrency=2))
+        assert "RACE006" in codes(check_transfer_schedule(
+            windows, regions=REGIONS, concurrency=4))
+
+    def test_zero_length_windows_skipped(self):
+        report = check_transfer_schedule(
+            [(0x0000, 0), (0x0000, 0)], regions=REGIONS)
+        assert len(report) == 0
+
+    def test_streaming_schedule_validates(self, dma_core):
+        from repro.core.streaming import streaming_schedule
+        windows = streaming_schedule(
+            [(0x4000, 0x4000), (0x3000, 0x2000), (0x4000, 0x4000)],
+            num_lsus=2)
+        report = check_transfer_schedule(windows, processor=dma_core,
+                                         concurrency=4)
+        assert len(report) == 0

@@ -21,8 +21,6 @@ class TestThresholdSplit:
         assert chunks[0][0][0] == 0 and chunks[0][1][0] == 0
         assert chunks[-1][0][1] == len(set_a)
         assert chunks[-1][1][1] == len(set_b)
-        for (a0, a1), (b0, b1) in zip(chunks, chunks[1:]):
-            pass  # contiguity checked below
         for first, second in zip(chunks, chunks[1:]):
             assert first[0][1] == second[0][0]
             assert first[1][1] == second[1][0]

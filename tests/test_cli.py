@@ -217,3 +217,30 @@ class TestObservabilityCommands:
                      "--history",
                      str(tmp_path / "missing.json")]) == 1
         assert "bench compare" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_deep_sweep_is_clean(self, capsys):
+        assert main(["lint", "--deep", "--config",
+                     "DBA_2LSU_EIS"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_deep_json_output(self, capsys):
+        assert main(["lint", "--deep", "--config", "DBA_2LSU_EIS",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert not any(d["severity"] == "error"
+                       for d in payload["diagnostics"])
+
+    def test_deep_flags_defective_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.s"
+        bad.write_text("main:\n"
+                       "  slli a8, a2, 2\n"
+                       "  addi a8, a8, 2\n"
+                       "  l32i a10, a8, 0\n"
+                       "  halt\n")
+        # The shallow tier can't see the defect; the deep tier can.
+        assert main(["lint", str(bad)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--deep", str(bad)]) == 1
+        assert "VAL002" in capsys.readouterr().out
