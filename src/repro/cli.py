@@ -137,6 +137,12 @@ def build_parser():
     db_bench_cmd.add_argument("--trace-out", metavar="FILE",
                               help="write a merged Perfetto query "
                                    "trace of one serving pass")
+    db_bench_cmd.add_argument("--shards", type=int, default=0,
+                              metavar="N",
+                              help="additionally serve the batch "
+                                   "through a sharded engine with N "
+                                   "shards and report modeled scale-"
+                                   "out speedup + parity")
 
     db_top_cmd = db_sub.add_parser(
         "top",
@@ -169,6 +175,12 @@ def build_parser():
     db_top_cmd.add_argument("--metrics-out", metavar="FILE",
                             help="flush one JSONL metrics snapshot "
                                  "per frame to FILE")
+    db_top_cmd.add_argument("--shards", type=int, default=0,
+                            metavar="N",
+                            help="serve through a sharded engine with "
+                                 "N shards; the dashboard gains a "
+                                 "per-shard row (cycles, rows, queue "
+                                 "depth, skew)")
 
     bench_cmd = sub.add_parser(
         "bench", help="perf-trajectory utilities over BENCH_*.json "
@@ -615,7 +627,7 @@ def cmd_db(args):
                 queries=args.queries, workers=args.workers,
                 frames=args.frames, interval=args.interval,
                 seed=args.seed, clear=not args.no_clear,
-                metrics_out=args.metrics_out)
+                metrics_out=args.metrics_out, shards=args.shards)
         return 0
 
     import json as json_module
@@ -626,7 +638,7 @@ def cmd_db(args):
     report = run_bench(config=args.config, rows=args.rows,
                        queries=args.queries, repeat=args.repeat,
                        seed=args.seed, log=log, workers=args.workers,
-                       trace_out=args.trace_out)
+                       trace_out=args.trace_out, shards=args.shards)
     if args.out:
         with open(args.out, "w") as handle:
             json_module.dump(report, handle, indent=2)
@@ -636,7 +648,8 @@ def cmd_db(args):
     if args.json:
         print(json_module.dumps(report, indent=2))
     ok = (report["rid_parity"] and report["cycle_parity"]
-          and report["row_parity"])
+          and report["row_parity"]
+          and report.get("shard", {}).get("rid_parity", True))
     return 0 if ok else 1
 
 

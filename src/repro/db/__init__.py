@@ -6,17 +6,27 @@ onto the EIS intersection/union/difference instructions; ORDER BY runs
 on the merge-sort instructions via key/RID packing.  On top of the
 single-query :class:`QueryExecutor`, :class:`QueryEngine` serves query
 batches with the calibrated cost-model fast path, scan caching and
-common-subexpression reuse.
+common-subexpression reuse; :class:`ShardedEngine` scales that out
+across N partitioned shard engines with the EIS union kernel as the
+gather reduce.
 """
 
 from .engine import Query, QueryEngine, QueryResult
 from .executor import QueryExecutor, QueryStats, RID_BITS
+from .partition import (HashPartitioner, Partitioner, RangePartitioner,
+                        TableShard, make_partitioner, partition_table,
+                        shard_may_match, skew_ratio)
 from .predicates import (And, AndNot, Eq, In, Leaf, Or, Predicate,
                          Range, leaves, signature, validate_indexes)
+from .shard import ShardedEngine, ShardedResult
 from .table import SecondaryIndex, Table
 
 __all__ = ["Query", "QueryEngine", "QueryResult",
            "QueryExecutor", "QueryStats", "RID_BITS",
+           "HashPartitioner", "Partitioner", "RangePartitioner",
+           "TableShard", "make_partitioner", "partition_table",
+           "shard_may_match", "skew_ratio",
            "And", "AndNot", "Eq", "In", "Leaf", "Or", "Predicate",
            "Range", "leaves", "signature", "validate_indexes",
+           "ShardedEngine", "ShardedResult",
            "SecondaryIndex", "Table"]

@@ -109,8 +109,25 @@ def _serve_baseline(table, queries, repeat, config):
     return rows, best
 
 
+def _serve_sharded(queries, repeat, shards, **engine_kwargs):
+    """Serve the batch *repeat* times on fresh sharded engines."""
+    from .shard import ShardedEngine
+    best = None
+    last = None
+    for _ in range(repeat):
+        engine = ShardedEngine(shards=shards, **engine_kwargs)
+        started = time.perf_counter()
+        results = engine.execute_batch(queries)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+        last = (engine, results)
+    engine, results = last
+    return engine, results, best
+
+
 def run_bench(config="DBA_2LSU_EIS", rows=1600, queries=64, repeat=3,
-              seed=42, log=None, workers=1, trace_out=None):
+              seed=42, log=None, workers=1, trace_out=None, shards=0):
     """Benchmark engine-vs-ISS batch serving; returns a JSON-able dict.
 
     With *trace_out*, one extra (untimed) serving pass runs after the
@@ -178,6 +195,46 @@ def run_bench(config="DBA_2LSU_EIS", rows=1600, queries=64, repeat=3,
         "speedup": fast_qps / iss_qps if iss_qps else 0.0,
         "engine_metrics": engine.metrics_snapshot(),
     }
+    if shards and shards > 1:
+        sharded, shard_results, shard_time = _serve_sharded(
+            batch, repeat, shards, config=config, cost_model=True)
+        shard_rid_parity = all(fast.rids == got.rids for fast, got
+                               in zip(fast_results, shard_results))
+        serial_cycles = sum(result.stats.cycles
+                            for result in fast_results)
+        makespan_cycles = sum(result.makespan_cycles
+                              for result in shard_results)
+        snapshot = sharded.metrics_snapshot()
+        shard_cycles = [snapshot["db.shard.%d.cycles" % index]
+                        for index in range(shards)]
+        total = sum(shard_cycles)
+        report["shard"] = {
+            "shards": shards,
+            "partitioner": sharded.partitioner.describe(),
+            "rid_parity": shard_rid_parity,
+            "seconds": shard_time,
+            "queries_per_second": (len(batch) / shard_time
+                                   if shard_time else 0.0),
+            "serial_cycles": serial_cycles,
+            "makespan_cycles": makespan_cycles,
+            "modeled_speedup": (serial_cycles / makespan_cycles
+                                if makespan_cycles else 0.0),
+            "shard_cycles": shard_cycles,
+            "skew": (max(shard_cycles) * shards / total
+                     if total else 1.0),
+            "skipped": snapshot["db.shard.skipped"],
+            "gather_merge_cycles":
+                snapshot["db.shard.gather.merge_cycles"],
+            "gather_transfer_cycles":
+                snapshot["db.shard.gather.transfer_cycles"],
+            "gather_bytes": snapshot["db.shard.gather.bytes_moved"],
+        }
+        if log:
+            log("  sharded (x%d):     %8.1f queries/s (%.4f s), "
+                "modeled %.2fx, skew %.2f, rid parity: %s"
+                % (shards, report["shard"]["queries_per_second"],
+                   shard_time, report["shard"]["modeled_speedup"],
+                   report["shard"]["skew"], shard_rid_parity))
     if trace_out:
         from ..telemetry.querytrace import (QueryTracer,
                                             write_query_trace)

@@ -96,7 +96,10 @@ class QueryEngine:
             cost_model = None
         self.cost_model = cost_model
         self.executor = QueryExecutor(processor, cost_model=cost_model)
-        self.registry = registry or MetricsRegistry()
+        # Not ``registry or ...``: an empty registry is falsy
+        # (``__len__``) and a caller-shared one must still be adopted.
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
         scope = self.registry.scope("db.engine")
         self._queries = scope.counter("queries")
         self._batches = scope.counter("batches")
@@ -166,6 +169,24 @@ class QueryEngine:
         if elapsed > 0:
             self._last_qps.set(len(queries) / elapsed)
         return results
+
+    # -- predicate evaluation (shard scatter entry point) ---------------------
+
+    def evaluate_predicate(self, table, predicate, stats=None,
+                           cse=None, tracer=None, index=0):
+        """Evaluate a WHERE tree on *table*; ``(rids, stats)``.
+
+        The scatter half of sharded execution
+        (:class:`~repro.db.shard.ShardedEngine`): a shard evaluates the
+        query's predicate tree against its partition through this
+        engine — scan cache, CSE and cycle attribution included —
+        without the ORDER BY / fetch tail the coordinator owns.
+        """
+        if stats is None:
+            stats = QueryStats()
+        rids = self._evaluate(table, predicate, stats, cse, tracer,
+                              index)
+        return rids, stats
 
     # -- internals ------------------------------------------------------------
 

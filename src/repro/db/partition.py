@@ -1,0 +1,264 @@
+"""Table partitioning for sharded scale-out.
+
+The paper's Section 5.4 iso-area discussion spends one x86 die's area
+on N small EIS cores; :mod:`repro.db.shard` makes that concrete by
+splitting a :class:`~repro.db.table.Table` into N disjoint partitions,
+one per simulated processor.  This module owns the partitioning
+policies and the partition-level reasoning the sharded engine needs:
+
+* :class:`HashPartitioner` — rows scatter by a multiplicative hash of
+  the RID (balanced, the uniform baseline) or of a column value
+  (co-locates equal values, which is what makes skewed value
+  distributions produce skewed shards);
+* :class:`RangePartitioner` — contiguous RID slices, or equal-depth
+  value ranges over a column (classic range sharding);
+* :func:`partition_table` — materializes shard sub-tables whose rows
+  keep ascending global-RID order, so a shard's sorted *local* RID
+  list maps to a sorted *global* RID list and the gather reduce can
+  run on the EIS union/merge kernels directly;
+* :func:`shard_may_match` — the scatter-time pruning analysis: a
+  shard whose partition provably holds no row for the query's leaves
+  returns an empty RID list without dispatching any work
+  (``db.shard.skipped``).
+"""
+
+import bisect
+
+from .predicates import And, AndNot, Eq, In, Leaf, Or, Range
+from .table import Table
+
+
+def _mix32(value):
+    """Deterministic 32-bit integer hash (xorshift-multiply avalanche).
+
+    Python's builtin ``hash`` is identity on small ints, which would
+    turn hash partitioning into modulo striping; this mixer spreads
+    consecutive RIDs and clustered values across shards.
+    """
+    value &= 0xFFFFFFFF
+    value = ((value ^ (value >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+    value = ((value ^ (value >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+    return value ^ (value >> 16)
+
+
+class Partitioner:
+    """Maps every row of a table to one of ``shards`` partitions."""
+
+    kind = None
+
+    def __init__(self, shards, column=None):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self.column = column
+
+    def assign(self, table):
+        """Shard id per row, in RID order (length == row_count)."""
+        raise NotImplementedError
+
+    def describe(self):
+        target = self.column if self.column is not None else "rid"
+        return "%s(%s) x %d" % (self.kind, target, self.shards)
+
+    def __repr__(self):
+        return "<%s %s>" % (type(self).__name__, self.describe())
+
+
+class HashPartitioner(Partitioner):
+    """Rows scatter by hash of the RID (default) or a column value."""
+
+    kind = "hash"
+
+    def assign(self, table):
+        shards = self.shards
+        if self.column is None:
+            return [_mix32(rid) % shards
+                    for rid in range(table.row_count)]
+        return [_mix32(value) % shards
+                for value in table.column(self.column)]
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous RID slices, or value ranges over a column.
+
+    With a *column*, cut points default to equal-depth quantiles of
+    the column's values (computed deterministically from the sorted
+    column); pass explicit *bounds* (``shards - 1`` ascending cut
+    values, rows with ``value <= bounds[i]`` land at or before shard
+    ``i``) to pin the ranges.
+    """
+
+    kind = "range"
+
+    def __init__(self, shards, column=None, bounds=None):
+        super().__init__(shards, column)
+        if bounds is not None:
+            bounds = list(bounds)
+            if len(bounds) != shards - 1:
+                raise ValueError("need shards - 1 bounds, got %d"
+                                 % len(bounds))
+            if bounds != sorted(bounds):
+                raise ValueError("bounds must be ascending")
+        self.bounds = bounds
+
+    def assign(self, table):
+        rows = table.row_count
+        if self.column is None:
+            # balanced contiguous slices of the RID space
+            return [(rid * self.shards) // rows for rid in range(rows)]
+        values = table.column(self.column)
+        bounds = self.bounds
+        if bounds is None:
+            ordered = sorted(values)
+            bounds = [ordered[(rows * cut) // self.shards - 1]
+                      for cut in range(1, self.shards)]
+        return [bisect.bisect_right(bounds, value) for value in values]
+
+
+PARTITIONER_KINDS = ("hash", "range")
+
+
+def make_partitioner(kind, shards, column=None):
+    """Partitioner from its CLI spelling (``hash`` / ``range``)."""
+    if isinstance(kind, Partitioner):
+        return kind
+    if kind == "hash":
+        return HashPartitioner(shards, column=column)
+    if kind == "range":
+        return RangePartitioner(shards, column=column)
+    raise ValueError("unknown partitioner %r (one of %s)"
+                     % (kind, ", ".join(PARTITIONER_KINDS)))
+
+
+class TableShard:
+    """One partition: a sub-table plus its local-to-global RID map.
+
+    ``global_rids[local_rid]`` is strictly ascending by construction
+    (rows are appended in global RID order), so mapping a sorted local
+    RID list yields a sorted global RID list — the operand format of
+    the EIS set instructions the gather reduce runs on.
+    """
+
+    __slots__ = ("shard_id", "table", "global_rids")
+
+    def __init__(self, shard_id, table, global_rids):
+        self.shard_id = shard_id
+        self.table = table
+        self.global_rids = global_rids
+
+    @property
+    def row_count(self):
+        return self.table.row_count
+
+    def to_global(self, local_rids):
+        """Map shard-local RIDs to global RIDs (order-preserving)."""
+        global_rids = self.global_rids
+        return [global_rids[rid] for rid in local_rids]
+
+    def __repr__(self):
+        return "<TableShard %d: %d rows>" % (self.shard_id,
+                                             self.row_count)
+
+
+def partition_table(table, partitioner):
+    """Split *table* into ``partitioner.shards`` :class:`TableShard`\\ s.
+
+    Every secondary index of the parent is rebuilt on each shard (leaf
+    scans run shard-locally), and shard row order preserves global RID
+    order so local results map back sorted.
+    """
+    assignments = partitioner.assign(table)
+    if len(assignments) != table.row_count:
+        raise ValueError("partitioner assigned %d rows of %d"
+                         % (len(assignments), table.row_count))
+    shards = partitioner.shards
+    rid_lists = [[] for _ in range(shards)]
+    for rid, shard_id in enumerate(assignments):
+        if not 0 <= shard_id < shards:
+            raise ValueError("row %d assigned to shard %r (of %d)"
+                             % (rid, shard_id, shards))
+        rid_lists[shard_id].append(rid)
+    indexed = [name for name in table.columns if table.has_index(name)]
+    result = []
+    for shard_id, global_rids in enumerate(rid_lists):
+        columns = {name: [values[rid] for rid in global_rids]
+                   for name, values in table.columns.items()}
+        shard_table = Table("%s/shard%d" % (table.name, shard_id),
+                            columns)
+        for name in indexed:
+            shard_table.create_index(name)
+        result.append(TableShard(shard_id, shard_table, global_rids))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# scatter-time pruning
+# ---------------------------------------------------------------------------
+
+def _leaf_may_match(table, leaf):
+    """Can this leaf scan return any row on *table*?
+
+    Probes the secondary index without materializing RID lists
+    (:meth:`~repro.db.table.SecondaryIndex.count_eq` /
+    ``count_range``); an unindexed column conservatively answers yes.
+    """
+    if not table.has_index(leaf.column):
+        return True
+    index = table.index(leaf.column)
+    if isinstance(leaf, Eq):
+        return index.count_eq(leaf.value) > 0
+    if isinstance(leaf, Range):
+        return index.count_range(leaf.low, leaf.high) > 0
+    if isinstance(leaf, In):
+        return any(index.count_eq(value) > 0 for value in leaf.values)
+    return True  # unknown leaf shape: never prune
+
+
+def shard_may_match(table, predicate):
+    """Can *predicate* select any row of this shard's *table*?
+
+    A sound (never prunes a matching shard) recursive emptiness
+    analysis over the predicate tree:
+
+    * a leaf may match iff its index probe finds at least one row;
+    * ``AND`` needs both sides, ``OR`` needs either side;
+    * ``ANDNOT`` needs only its left side (the subtrahend cannot add
+      rows).
+
+    ``False`` means the shard provably contributes nothing and the
+    scatter can skip it outright.
+    """
+    if table.row_count == 0:
+        return False
+    if predicate is None:
+        return True
+    if isinstance(predicate, Leaf):
+        return _leaf_may_match(table, predicate)
+    if isinstance(predicate, And):
+        return (shard_may_match(table, predicate.left)
+                and shard_may_match(table, predicate.right))
+    if isinstance(predicate, AndNot):
+        return shard_may_match(table, predicate.left)
+    if isinstance(predicate, Or):
+        return (shard_may_match(table, predicate.left)
+                or shard_may_match(table, predicate.right))
+    return True  # unknown combinator: never prune
+
+
+def partition_sizes(shards):
+    """Row count per shard (the partition-balance vector)."""
+    return [shard.row_count for shard in shards]
+
+
+def skew_ratio(values):
+    """Max-over-mean imbalance of a per-shard load vector.
+
+    ``1.0`` is perfectly balanced; ``len(values)`` means one shard
+    carries everything.  Empty or all-zero vectors report ``1.0``
+    (nothing is imbalanced about no load).
+    """
+    values = list(values)
+    total = sum(values)
+    if not values or not total:
+        return 1.0
+    return max(values) * len(values) / total

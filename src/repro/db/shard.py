@@ -1,0 +1,483 @@
+"""Sharded multi-core query serving with EIS merge as the reduce step.
+
+The paper's Section 5.4 iso-area argument — spend one x86 die's area
+on N small database processors — is answered elsewhere with a
+closed-form area model (``experiments/iso_area.py``).
+:class:`ShardedEngine` makes it a running system: a table is hash- or
+range-partitioned (:mod:`repro.db.partition`) across N shard
+:class:`~repro.db.engine.QueryEngine` instances, each query's WHERE
+tree is *scattered* to every shard that may hold matching rows, and
+the per-shard RID lists are *gathered* by folding them through the EIS
+``union`` kernel on the coordinator — so even the reduce step runs on
+modeled hardware and is charged modeled cycles.
+
+Timing model (per query):
+
+``makespan = max(shard WHERE cycles) + gather transfer + gather merge
++ coordinator ORDER BY``
+
+Shards run concurrently in the modeled machine, so their WHERE cycles
+combine as a *max*; the gather (interconnect bursts of 4-byte RIDs
+into the coordinator, then the union fold) and the ORDER BY tail are
+serial.  Inter-shard traffic is charged to the same
+:class:`~repro.cpu.interconnect.Interconnect` model the prefetcher
+uses (``db.shard.gather.*``).
+
+Result parity with the single-engine path is structural: partitions
+are disjoint and exhaustive, each shard's local→global RID map is
+strictly ascending, so the union fold of per-shard sorted global RID
+lists is exactly the single engine's sorted WHERE result; the
+coordinator then runs the identical ORDER BY / LIMIT / fetch tail on
+the full table.  ``tests/db/test_shard.py`` enforces byte-identical
+RID output across every builtin predicate shape.
+
+Process-parallel mode (``execute_batch(..., workers=N)``) scatters
+per-shard evaluation to a persistent crash-isolated
+:class:`~repro.supervisor.SupervisorPool`; the in-process mode stays
+the default (the *modeled* concurrency is what the experiments
+measure, and it is deterministic).
+"""
+
+import time
+
+from ..core.costmodel import CostModel
+from ..cpu.interconnect import Interconnect
+from ..supervisor import SupervisorPool, Task
+from ..telemetry.registry import MetricsRegistry
+from .engine import QueryEngine, QueryResult
+from .executor import QueryStats, _merge_stats
+from .partition import (make_partitioner, partition_table,
+                        shard_may_match, skew_ratio)
+from .planlint import lint_query_or_raise
+
+#: Bytes one RID occupies on the wire (the paper's 32-bit element).
+RID_BYTES = 4
+
+
+class ShardedResult(QueryResult):
+    """A :class:`QueryResult` plus the scatter/gather timing detail."""
+
+    __slots__ = ("shard_cycles", "makespan_cycles", "gather_cycles",
+                 "transfer_cycles", "skipped_shards")
+
+    def __init__(self, rows, rids, stats, shard_cycles,
+                 makespan_cycles, gather_cycles, transfer_cycles,
+                 skipped_shards):
+        super().__init__(rows, rids, stats)
+        #: Modeled WHERE cycles per shard (0 for skipped shards).
+        self.shard_cycles = shard_cycles
+        #: Modeled wall-clock of this query on the sharded machine.
+        self.makespan_cycles = makespan_cycles
+        #: EIS union-fold cycles of the gather reduce.
+        self.gather_cycles = gather_cycles
+        #: Interconnect cycles moving per-shard RID lists.
+        self.transfer_cycles = transfer_cycles
+        #: Shards pruned without dispatch (``db.shard.skipped``).
+        self.skipped_shards = skipped_shards
+
+    def __repr__(self):
+        return ("<ShardedResult %d rows, %d makespan cycles, "
+                "%d shards skipped>" % (len(self.rows),
+                                        self.makespan_cycles,
+                                        self.skipped_shards))
+
+
+class ShardedEngine:
+    """Scatter/gather query serving over N partitioned shard engines.
+
+    Parameters
+    ----------
+    shards: number of shard workers (each a full
+        :class:`~repro.db.engine.QueryEngine` on its own partition).
+    partitioner: ``"hash"`` / ``"range"`` (see
+        :func:`repro.db.partition.make_partitioner`) or a built
+        :class:`~repro.db.partition.Partitioner`.
+    partition_column: partition on a column's values instead of RIDs —
+        hash partitioning co-locates equal values, range partitioning
+        cuts equal-depth value ranges.
+    cost_model: as for :class:`QueryEngine` — ``True`` (calibrated
+        fast path, serving default), ``False`` (pure ISS, experiment
+        ground truth) or a :class:`~repro.core.costmodel.CostModel`.
+
+    Tables are partitioned lazily on first use and pinned; the
+    coordinator engine shares this engine's registry (``db.engine.*``
+    and ``db.shard.*`` land in one snapshot), while shard engines keep
+    private registries whose values are folded into
+    :meth:`metrics_snapshot` as ``db.shard.<i>.engine.*``.
+    """
+
+    def __init__(self, config="DBA_2LSU_EIS", shards=4,
+                 partitioner="hash", partition_column=None,
+                 partial_load=True, cost_model=True, registry=None,
+                 interconnect=None):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.coordinator = QueryEngine(config=config,
+                                       partial_load=partial_load,
+                                       cost_model=cost_model,
+                                       registry=self.registry)
+        self.config_name = self.coordinator.config_name
+        self.partial_load = partial_load
+        self.cost_model = self.coordinator.cost_model
+        self.partitioner = make_partitioner(partitioner, shards,
+                                            column=partition_column)
+        self.shard_engines = [
+            QueryEngine(config=config, partial_load=partial_load,
+                        cost_model=self.cost_model
+                        if self.cost_model is not None else False)
+            for _ in range(shards)]
+        self.interconnect = interconnect or Interconnect()
+        self.interconnect.register_metrics(self.registry,
+                                           "db.shard.gather")
+        scope = self.registry.scope("db.shard")
+        self._queries = scope.counter("queries")
+        self._batches = scope.counter("batches")
+        self._skipped = scope.counter("skipped")
+        self._makespan_total = scope.counter("makespan_cycles")
+        self._single_total = scope.counter("serial_cycles")
+        self._merge_cycles = scope.counter("gather.merge_cycles")
+        self._transfer_cycles = scope.counter("gather.transfer_cycles")
+        self._merges = scope.counter("gather.merges")
+        self._skew = scope.gauge("skew")
+        self._shard_count = scope.gauge("shards")
+        self._shard_count.set(shards)
+        self._makespan_hist = scope.histogram("query_makespan_cycles")
+        self._shard_scopes = []
+        for index in range(shards):
+            shard_scope = scope.scope(str(index))
+            self._shard_scopes.append({
+                "queries": shard_scope.counter("queries"),
+                "cycles": shard_scope.counter("cycles"),
+                "rows": shard_scope.counter("rows"),
+                "skipped": shard_scope.counter("skipped"),
+                "rows_held": shard_scope.gauge("rows_held"),
+                "queue_depth": shard_scope.gauge("queue_depth"),
+            })
+        #: id(table) -> list of TableShard; tables pinned for id()
+        #: stability, exactly like the engine's scan cache.
+        self._partitions = {}
+        self._pinned_tables = {}
+        self._pool = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def shutdown(self):
+        """Release the worker pool (no-op unless workers mode ran)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+        return False
+
+    # -- partitioning ---------------------------------------------------------
+
+    def shards_for(self, table):
+        """Partition (once) and return this table's shard list."""
+        key = id(table)
+        existing = self._partitions.get(key)
+        if existing is not None:
+            return existing
+        shards = partition_table(table, self.partitioner)
+        self._partitions[key] = shards
+        self._pinned_tables[key] = table
+        for index, shard in enumerate(shards):
+            self._shard_scopes[index]["rows_held"].set(shard.row_count)
+        return shards
+
+    # -- serving --------------------------------------------------------------
+
+    def execute(self, query, tracer=None):
+        """Serve one query; returns a :class:`ShardedResult`."""
+        return self._execute_one(query, cse=None, tracer=tracer)
+
+    def execute_batch(self, queries, workers=1, timeout=None,
+                      tracer=None):
+        """Serve a batch; :class:`ShardedResult` per query.
+
+        ``workers > 1`` evaluates shard WHERE work across a persistent
+        supervised process pool (one task per shard per batch, crash
+        isolation and retries included); the gather reduce and the
+        ORDER BY tail always run in-process on the coordinator.  Both
+        modes produce identical results and identical modeled cycles.
+        """
+        queries = list(queries)
+        started = time.perf_counter()
+        self._batches.add(1)
+        for scope in self._shard_scopes:
+            scope["queue_depth"].set(len(queries))
+        base_cycles = [scope["cycles"].value
+                       for scope in self._shard_scopes]
+        try:
+            if workers > 1 and len(queries) > 1:
+                prefetched = self._scatter_pooled(queries, workers,
+                                                  timeout)
+            else:
+                prefetched = [None] * len(queries)
+            cse = [{} for _ in range(self.shards)]
+            results = [self._execute_one(query, cse, tracer, index,
+                                         prefetched[index])
+                       for index, query in enumerate(queries)]
+        finally:
+            for scope in self._shard_scopes:
+                scope["queue_depth"].set(0)
+        loads = [scope["cycles"].value - before
+                 for scope, before in zip(self._shard_scopes,
+                                          base_cycles)]
+        self._skew.set(skew_ratio(loads))
+        elapsed = time.perf_counter() - started
+        # Mirror the batch-level serving gauges the dashboards read
+        # from db.engine.* — the coordinator served this batch.
+        self.coordinator._batches.add(1)
+        if elapsed > 0:
+            self.coordinator._last_qps.set(len(queries) / elapsed)
+        return results
+
+    # -- internals ------------------------------------------------------------
+
+    def _execute_one(self, query, cse, tracer=None, index=0,
+                     prefetched=None):
+        table = query.table
+        lint_query_or_raise(query, engine=self.coordinator)
+        stats = QueryStats()
+        shard_cycles = [0] * self.shards
+        gather_cycles = transfer_cycles = skipped = 0
+        if query.predicate is None:
+            # Full scan: nothing to scatter, the coordinator owns the
+            # whole table anyway.
+            rids = list(range(table.row_count))
+        else:
+            if prefetched is None:
+                prefetched = self._scatter_inline(table,
+                                                  query.predicate, cse,
+                                                  tracer, index)
+            (rids, combined, gather_cycles, transfer_cycles,
+             shard_cycles, skipped) = self._gather(prefetched)
+            _merge_stats(stats, combined)
+        tail_before = stats.cycles
+        if query.order_by is not None:
+            rids, sort_stats = self.coordinator.executor.order_by(
+                table, rids, query.order_by, query.descending)
+            _merge_stats(stats, sort_stats)
+        if query.limit is not None:
+            rids = rids[:query.limit]
+        rows = table.fetch(rids, query.columns)
+        tail_cycles = stats.cycles - tail_before
+        makespan = (max(shard_cycles) if shard_cycles else 0) \
+            + gather_cycles + transfer_cycles + tail_cycles
+        self._account(stats, len(rows), makespan, skipped)
+        return ShardedResult(rows, rids, stats, shard_cycles,
+                             makespan, gather_cycles, transfer_cycles,
+                             skipped)
+
+    def _scatter_inline(self, table, predicate, cse, tracer, index):
+        """Evaluate the WHERE tree on every owning shard in-process.
+
+        Returns per-shard ``(global_rids, stats | None)``; a ``None``
+        stats marks a pruned shard (no work dispatched).
+        """
+        shards = self.shards_for(table)
+        per_shard = []
+        for position, (shard, engine) in enumerate(
+                zip(shards, self.shard_engines)):
+            if not shard_may_match(shard.table, predicate):
+                per_shard.append(([], None))
+                continue
+            shard_cse = cse[position] if cse is not None else None
+            local, stats = engine.evaluate_predicate(
+                shard.table, predicate, cse=shard_cse, tracer=tracer,
+                index=index)
+            per_shard.append((shard.to_global(local), stats))
+        return per_shard
+
+    def _gather(self, per_shard):
+        """EIS union fold of per-shard RID lists on the coordinator.
+
+        Each non-empty contribution is charged one interconnect burst
+        (``RID_BYTES * len(rids)``); the fold itself runs through the
+        coordinator executor's ``set_operation`` so merge cycles come
+        from the same calibrated/ISS path as every other set op.
+
+        Returns ``(rids, combined_stats, gather_cycles,
+        transfer_cycles, shard_cycles, skipped)`` where
+        ``combined_stats`` is all work (shard WHERE + gather) and the
+        two cycle figures isolate the gather-side serial terms of the
+        makespan.
+        """
+        combined = QueryStats()
+        gather_stats = QueryStats()
+        shard_cycles = [0] * self.shards
+        skipped = 0
+        merged = []
+        for position, (rids, stats) in enumerate(per_shard):
+            scope = self._shard_scopes[position]
+            if stats is None:
+                skipped += 1
+                scope["skipped"].add(1)
+                continue
+            scope["queries"].add(1)
+            scope["cycles"].add(stats.cycles)
+            scope["rows"].add(len(rids))
+            shard_cycles[position] = stats.cycles
+            _merge_stats(combined, stats)
+            if rids:
+                cycles = self.interconnect.transfer_cycles(
+                    RID_BYTES * len(rids))
+                gather_stats.add_cycles(cycles, "interconnect")
+                merged = self.coordinator.executor.set_operation(
+                    "union", merged, rids, gather_stats)
+                self._merges.add(1)
+        transfer_cycles = \
+            gather_stats.cycles_by_source.get("interconnect", 0)
+        gather_cycles = gather_stats.cycles - transfer_cycles
+        self._merge_cycles.add(gather_cycles)
+        self._transfer_cycles.add(transfer_cycles)
+        self._skipped.add(skipped)
+        _merge_stats(combined, gather_stats)
+        return (merged, combined, gather_cycles, transfer_cycles,
+                shard_cycles, skipped)
+
+    def _account(self, stats, row_count, makespan, skipped):
+        self._queries.add(1)
+        self._makespan_total.add(makespan)
+        self._single_total.add(stats.cycles
+                               - stats.cycles_by_source.get(
+                                   "interconnect", 0))
+        self._makespan_hist.observe(makespan)
+        # Keep db.engine.* live too: the coordinator serves the query
+        # as far as dashboards and history baselines are concerned.
+        self.coordinator._account(stats, row_count)
+
+    # -- pooled scatter -------------------------------------------------------
+
+    def _scatter_pooled(self, queries, workers, timeout):
+        """Evaluate all (query, shard) WHERE work on a process pool.
+
+        One task per owning shard carries the whole batch's predicate
+        list; pruning happens here in the parent (the shard tables are
+        local), so skipped shards never reach the pool.  Returns
+        ``prefetched[query_index][shard] = (global_rids, stats|None)``.
+        """
+        tables = {}
+        for query in queries:
+            tables.setdefault(id(query.table), query.table)
+        if len(tables) != 1:
+            raise ValueError("pooled scatter serves one table per "
+                             "batch; split the batch by table")
+        table = next(iter(tables.values()))
+        shards = self.shards_for(table)
+        plans = []  # per shard: list of (query_index, predicate)
+        prefetched = [[None] * self.shards for _ in queries]
+        for position, shard in enumerate(shards):
+            plan = []
+            for query_index, query in enumerate(queries):
+                if query.predicate is None:
+                    continue
+                if shard_may_match(shard.table, query.predicate):
+                    plan.append((query_index, query.predicate))
+                else:
+                    prefetched[query_index][position] = ([], None)
+            plans.append(plan)
+        if self._pool is None:
+            self._pool = SupervisorPool(jobs=min(workers, self.shards))
+        tasks = []
+        for position, plan in enumerate(plans):
+            if not plan:
+                continue
+            shard = shards[position]
+            spec = {
+                "config": self.config_name,
+                "partial_load": self.partial_load,
+                "cost_model": self.cost_model is not None,
+                "table": {
+                    "name": shard.table.name,
+                    "columns": {name: list(values) for name, values
+                                in shard.table.columns.items()},
+                    "indexes": [column for column
+                                in shard.table.columns
+                                if shard.table.has_index(column)],
+                },
+                "global_rids": list(shard.global_rids),
+                "predicates": [(query_index, predicate)
+                               for query_index, predicate in plan],
+            }
+            tasks.append((position,
+                          Task("shard-%d" % position,
+                               _serve_shard_batch, (spec,))))
+        report = self._pool.run([task for _position, task in tasks],
+                                timeout=timeout, retries=1)
+        for (position, _task), outcome in zip(tasks, report.outcomes):
+            if not outcome.ok:
+                raise RuntimeError("shard worker %s failed: %s"
+                                   % (outcome.key, outcome.error))
+            for query_index, rids, stats in outcome.value:
+                prefetched[query_index][position] = (rids, stats)
+        return prefetched
+
+    # -- introspection --------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """``db.shard.*`` + ``db.engine.*`` + per-shard engine values.
+
+        Shard engines keep private registries (their ``db.engine.*``
+        names would collide in the shared one); their counters are
+        folded in here as ``db.shard.<i>.engine.*``.
+        """
+        values = self.coordinator.metrics_snapshot()
+        prefix = "db.engine."
+        for index, engine in enumerate(self.shard_engines):
+            for name, value in \
+                    engine.registry.snapshot().as_dict().items():
+                if name.startswith(prefix):
+                    name = name[len(prefix):]
+                values["db.shard.%d.engine.%s" % (index, name)] = value
+        return values
+
+    def clear_caches(self):
+        self.coordinator.clear_caches()
+        for engine in self.shard_engines:
+            engine.clear_caches()
+        self._partitions.clear()
+        self._pinned_tables.clear()
+
+    def __repr__(self):
+        return "<ShardedEngine %s x%d %s cost_model=%s>" % (
+            self.config_name, self.shards,
+            self.partitioner.describe(),
+            self.cost_model is not None)
+
+
+def _serve_shard_batch(spec):
+    """Worker-process entry: one shard's WHERE work for a batch.
+
+    Module-level (picklable) by supervisor contract.  Rebuilds the
+    shard table and a private engine, evaluates each predicate with
+    batch-level CSE, and returns ``(query_index, global_rids, stats)``
+    triples — RIDs already mapped to the global space so the parent's
+    gather fold needs no shard state.
+    """
+    from .table import Table
+    engine = QueryEngine(config=spec["config"],
+                         partial_load=spec["partial_load"],
+                         cost_model=CostModel()
+                         if spec["cost_model"] else False)
+    payload = spec["table"]
+    table = Table(payload["name"], payload["columns"])
+    for column in payload["indexes"]:
+        table.create_index(column)
+    global_rids = spec["global_rids"]
+    cse = {}
+    results = []
+    for query_index, predicate in spec["predicates"]:
+        local, stats = engine.evaluate_predicate(table, predicate,
+                                                 cse=cse)
+        results.append((query_index,
+                        [global_rids[rid] for rid in local], stats))
+    return results

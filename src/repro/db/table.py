@@ -128,6 +128,26 @@ class SecondaryIndex:
         rids = self._rids[self._offsets[first]:self._offsets[last]]
         return sorted(rids)
 
+    def count_eq(self, value):
+        """Matching-row count of ``scan_eq`` without materializing."""
+        start, end = self._key_span(value)
+        return end - start
+
+    def count_range(self, low=None, high=None):
+        """Matching-row count of ``scan_range`` without materializing.
+
+        The shard pruning pass probes every (shard, leaf) pair per
+        query, so emptiness checks must stay two bisects + a
+        subtraction rather than a slice-and-sort.
+        """
+        keys = self._sorted_keys
+        first = 0 if low is None else bisect.bisect_left(keys, low)
+        last = len(keys) if high is None else bisect.bisect_right(keys,
+                                                                  high)
+        if first >= last:
+            return 0
+        return self._offsets[last] - self._offsets[first]
+
     def scan_in(self, values):
         """RIDs of rows where column is in *values*."""
         rids = []

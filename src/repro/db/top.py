@@ -72,21 +72,50 @@ def render_dashboard(snapshot, frame=0, elapsed=0.0, workers=1):
             % (worker, get(prefix + "queries", 0),
                get(prefix + "scan_cache.hits", 0),
                get(prefix + "cse.hits", 0)))
+    shard_rows = sorted(
+        {name.split(".")[2] for name in snapshot
+         if name.startswith("db.shard.")
+         and name.split(".")[2].isdigit()}, key=int)
+    if shard_rows:
+        lines.append("  shards %9d    skew %.2f    skipped %d    "
+                     "gather %d merge + %d transfer cycles"
+                     % (get("db.shard.shards", len(shard_rows)),
+                        get("db.shard.skew", 0) or 0,
+                        get("db.shard.skipped", 0),
+                        get("db.shard.gather.merge_cycles", 0),
+                        get("db.shard.gather.transfer_cycles", 0)))
+        for shard in shard_rows:
+            prefix = "db.shard.%s." % shard
+            lines.append(
+                "    shard %-4s cycles %-9d rows %-7d held %-6d "
+                "queue %-3d skipped %d"
+                % (shard, get(prefix + "cycles", 0),
+                   get(prefix + "rows", 0),
+                   get(prefix + "rows_held", 0),
+                   get(prefix + "queue_depth", 0),
+                   get(prefix + "skipped", 0)))
     return "\n".join(lines)
 
 
 def run_top(config="DBA_2LSU_EIS", rows=400, queries=32, workers=1,
             frames=0, interval=1.0, seed=42, clear=True,
-            metrics_out=None, out=None, sleep=time.sleep):
+            metrics_out=None, out=None, sleep=time.sleep, shards=0):
     """Serve demo batches forever (or *frames* times), redrawing.
 
     Returns the final metrics snapshot.  *frames* ``<= 0`` runs until
     interrupted; *out* defaults to :func:`print` and *sleep* is
-    injectable for tests.
+    injectable for tests.  ``shards > 1`` serves through a
+    :class:`~repro.db.shard.ShardedEngine` instead, adding a per-shard
+    dashboard row (cycles, rows scanned, queue depth) so partition
+    skew is visible live.
     """
     emit = print if out is None else out
     table = build_demo_table(rows=rows, seed=seed)
-    engine = QueryEngine(config=config)
+    if shards and shards > 1:
+        from .shard import ShardedEngine
+        engine = ShardedEngine(config=config, shards=shards)
+    else:
+        engine = QueryEngine(config=config)
     exporter = JsonlExporter(metrics_out) if metrics_out else None
     started = time.perf_counter()
     frame = 0

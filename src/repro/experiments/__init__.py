@@ -6,8 +6,8 @@ one experiment and prints the regenerated table.
 """
 
 from . import (compression_tradeoff, energy, figure13, iso_area,
-               prefetch_validation, table2, table3, table4, table5,
-               table6)
+               prefetch_validation, scale_out, table2, table3, table4,
+               table5, table6)
 from .base import ExperimentResult
 
 EXPERIMENTS = {
@@ -21,8 +21,10 @@ EXPERIMENTS = {
     "energy": energy.run,
     "iso_area": iso_area.run,
     "compression": compression_tradeoff.run,
+    "scale_out": scale_out.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "compression_tradeoff",
            "energy", "figure13", "iso_area", "prefetch_validation",
-           "table2", "table3", "table4", "table5", "table6"]
+           "scale_out", "table2", "table3", "table4", "table5",
+           "table6"]

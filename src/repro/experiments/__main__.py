@@ -21,7 +21,7 @@ from . import EXPERIMENTS
 
 DEFAULT_ORDER = ["table2", "table3", "table4", "table5", "table6",
                  "figure13", "prefetch", "energy", "iso_area",
-                 "compression"]
+                 "compression", "scale_out"]
 
 
 def _take_option(argv, flag, cast, check, default):

@@ -25,11 +25,13 @@ QUICK_OVERRIDES = {
     "table2": {"set_size": 1000, "sort_size": 1024},
     "figure13": {"set_size": 800},
     "prefetch": {"sizes": (8_000, 16_000)},
+    "scale_out": {"rows": 4096, "query_count": 12,
+                  "shard_counts": (1, 2, 4)},
 }
 
 #: Experiments that accept the ``--cost-model`` opt-in (cycle counts
 #: from the calibrated cost model instead of the ISS; bit-exact).
-COST_MODEL_EXPERIMENTS = frozenset({"table2", "table5"})
+COST_MODEL_EXPERIMENTS = frozenset({"table2", "table5", "scale_out"})
 
 
 def run_experiment(name, quick=False, cost_model=False):

@@ -160,62 +160,115 @@ class _Record:
         self.outcome = TaskOutcome(task.key)
 
 
-def supervise(tasks, jobs=2, timeout=None, retries=1, backoff=0.5,
-              log=None):
-    """Run *tasks* across *jobs* worker processes with guardrails.
+class SupervisorPool:
+    """A reusable supervised worker pool.
 
-    Parameters
-    ----------
-    timeout: per-attempt budget in seconds (``None`` = unlimited).
-    retries: extra attempts granted after a failed/timed-out/killed
-        attempt (0 = fail fast).
-    backoff: base delay before a retry; doubles per prior attempt.
-    log: optional callable for progress lines.
+    :func:`supervise` spins a fresh ``ProcessPoolExecutor`` up and down
+    per call, which is the right shape for one-shot experiment sweeps
+    but wasteful for callers that dispatch work every batch (the
+    sharded query engine scatters shard tasks per serving batch).  A
+    ``SupervisorPool`` keeps the worker processes alive across
+    :meth:`run` calls — same guardrails, same per-call
+    :class:`SuperviseReport`, amortized pool spawn cost.
 
-    Returns a :class:`SuperviseReport`; never raises for task-level
-    failures.
+    The pool is respawned transparently when a worker dies hard
+    (``BrokenProcessPool``); :meth:`shutdown` (or use as a context
+    manager) releases the workers.
     """
-    registry = MetricsRegistry()
-    scope = registry.scope("supervisor")
-    counters = {name: scope.counter(name)
-                for name in ("submitted", "ok", "retried", "failed",
-                             "timeout", "requeued", "pool_breaks")}
 
-    records = [_Record(task) for task in tasks]
-    ready = collections.deque(records)
-    delayed = []  # (due, record), kept sorted by due time
-    in_flight = {}
-    jobs = max(1, jobs)
-    pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+    def __init__(self, jobs=2):
+        self.jobs = max(1, jobs)
+        self._pool = None
 
-    def say(message):
-        if log is not None:
-            log(message)
+    # -- pool lifecycle ------------------------------------------------------
 
-    def settle(record, status, error=None):
-        record.outcome.status = status
-        record.outcome.error = error
-        counters[status].value += 1
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs)
+        return self._pool
 
-    def strike(record, error):
-        """One failed attempt: requeue within budget, else settle."""
-        outcome = record.outcome
-        if outcome.attempts <= retries:
-            delay = backoff * (2 ** (outcome.attempts - 1))
-            delayed.append((time.monotonic() + delay, record))
-            delayed.sort(key=lambda item: item[0])
-            counters["requeued"].value += 1
-            say("retrying %r after %.2fs (attempt %d of %d)"
-                % (record.task.key, delay, outcome.attempts + 1,
-                   retries + 1))
-        else:
-            status = "timeout" if error and error.startswith("timed out") \
-                else "failed"
-            settle(record, status, error)
-            say("giving up on %r: %s"
-                % (record.task.key, error.strip().splitlines()[0]))
+    def _respawn_pool(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs)
+        return self._pool
 
-    try:
+    def shutdown(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+        return False
+
+    def __repr__(self):
+        state = "idle" if self._pool is None else "live"
+        return "<SupervisorPool jobs=%d %s>" % (self.jobs, state)
+
+    # -- supervised execution ------------------------------------------------
+
+    def run(self, tasks, timeout=None, retries=1, backoff=0.5,
+            log=None):
+        """Run *tasks* across the pool with guardrails.
+
+        Parameters
+        ----------
+        timeout: per-attempt budget in seconds (``None`` = unlimited).
+        retries: extra attempts granted after a failed/timed-out/killed
+            attempt (0 = fail fast).
+        backoff: base delay before a retry; doubles per prior attempt.
+        log: optional callable for progress lines.
+
+        Returns a :class:`SuperviseReport`; never raises for task-level
+        failures.
+        """
+        registry = MetricsRegistry()
+        scope = registry.scope("supervisor")
+        counters = {name: scope.counter(name)
+                    for name in ("submitted", "ok", "retried", "failed",
+                                 "timeout", "requeued", "pool_breaks")}
+
+        records = [_Record(task) for task in tasks]
+        ready = collections.deque(records)
+        delayed = []  # (due, record), kept sorted by due time
+        in_flight = {}
+        jobs = self.jobs
+        pool = self._ensure_pool()
+
+        def say(message):
+            if log is not None:
+                log(message)
+
+        def settle(record, status, error=None):
+            record.outcome.status = status
+            record.outcome.error = error
+            counters[status].value += 1
+
+        def strike(record, error):
+            """One failed attempt: requeue within budget, else settle."""
+            outcome = record.outcome
+            if outcome.attempts <= retries:
+                delay = backoff * (2 ** (outcome.attempts - 1))
+                delayed.append((time.monotonic() + delay, record))
+                delayed.sort(key=lambda item: item[0])
+                counters["requeued"].value += 1
+                say("retrying %r after %.2fs (attempt %d of %d)"
+                    % (record.task.key, delay, outcome.attempts + 1,
+                       retries + 1))
+            else:
+                status = "timeout" \
+                    if error and error.startswith("timed out") \
+                    else "failed"
+                settle(record, status, error)
+                say("giving up on %r: %s"
+                    % (record.task.key, error.strip().splitlines()[0]))
+
         while ready or delayed or in_flight:
             now = time.monotonic()
             while delayed and delayed[0][0] <= now:
@@ -225,8 +278,8 @@ def supervise(tasks, jobs=2, timeout=None, retries=1, backoff=0.5,
                 record.outcome.attempts += 1
                 counters["submitted"].value += 1
                 future = pool.submit(_guarded_call, record.task.fn,
-                                     record.task.args, record.task.kwargs,
-                                     timeout)
+                                     record.task.args,
+                                     record.task.kwargs, timeout)
                 in_flight[future] = record
             if not in_flight:
                 # Nothing running; sleep until the next retry is due.
@@ -234,7 +287,8 @@ def supervise(tasks, jobs=2, timeout=None, retries=1, backoff=0.5,
                 continue
             wait_timeout = None
             if delayed:
-                wait_timeout = max(0.0, delayed[0][0] - time.monotonic())
+                wait_timeout = max(0.0,
+                                   delayed[0][0] - time.monotonic())
             done, _ = concurrent.futures.wait(
                 in_flight, timeout=wait_timeout,
                 return_when=concurrent.futures.FIRST_COMPLETED)
@@ -250,7 +304,8 @@ def supervise(tasks, jobs=2, timeout=None, retries=1, backoff=0.5,
                 record.outcome.elapsed += elapsed
                 if kind == "ok":
                     record.outcome.value = payload
-                    settle(record, "ok" if record.outcome.attempts == 1
+                    settle(record,
+                           "ok" if record.outcome.attempts == 1
                            else "retried")
                 else:
                     strike(record, payload)
@@ -262,11 +317,21 @@ def supervise(tasks, jobs=2, timeout=None, retries=1, backoff=0.5,
                 for _future, record in list(in_flight.items()):
                     strike(record, "worker pool broke")
                 in_flight.clear()
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=jobs)
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+                pool = self._respawn_pool()
 
-    return SuperviseReport([record.outcome for record in records],
-                           registry.snapshot())
+        return SuperviseReport(
+            [record.outcome for record in records],
+            registry.snapshot())
+
+
+def supervise(tasks, jobs=2, timeout=None, retries=1, backoff=0.5,
+              log=None):
+    """Run *tasks* across *jobs* worker processes with guardrails.
+
+    One-shot form of :class:`SupervisorPool`: the pool is spawned for
+    this call and shut down afterwards.  See :meth:`SupervisorPool.run`
+    for the parameters and the :class:`SuperviseReport` contract.
+    """
+    with SupervisorPool(jobs) as pool:
+        return pool.run(tasks, timeout=timeout, retries=retries,
+                        backoff=backoff, log=log)

@@ -91,3 +91,90 @@ def generate_predicate_rid_lists(table_rows, selectivities, seed=None):
         size = round(selectivity * table_rows)
         lists.append(sorted(rng.sample(range(table_rows), size)))
     return lists
+
+
+# ---------------------------------------------------------------------------
+# skewed selectivity modes (scale-out partition balance)
+# ---------------------------------------------------------------------------
+
+def zipf_weights(cardinality, theta=1.0):
+    """Unnormalized Zipf weights ``1 / k**theta`` for ``k = 1..N``.
+
+    ``theta = 0`` degenerates to uniform; ``theta ≈ 1`` is the classic
+    web/database access skew.
+    """
+    if cardinality < 1:
+        raise ValueError("cardinality must be positive")
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    return [1.0 / (rank ** theta) for rank in range(1, cardinality + 1)]
+
+
+def generate_zipfian_column(rows, cardinality, theta=1.0, seed=None):
+    """A column whose values follow a Zipf(theta) popularity law.
+
+    Values are ``0 .. cardinality - 1`` with value 0 the most popular;
+    seeded and deterministic.  Partitioning a table on such a column
+    (hash-by-value co-locates equal values) produces the skewed shard
+    balance the scale-out sweep measures.
+    """
+    rng = random.Random(seed)
+    weights = zipf_weights(cardinality, theta)
+    return rng.choices(range(cardinality), weights=weights, k=rows)
+
+
+def generate_zipfian_rid_list(size, table_rows, theta=1.0, seed=None):
+    """A sorted RID list biased toward low RIDs by a Zipf(theta) law.
+
+    Sampling is without replacement via the Efraimidis–Spirakis
+    exponential-key trick (each RID draws ``u ** (1 / w)`` and the
+    *size* largest keys win), so the list stays strictly sorted and
+    duplicate-free like every index-scan result while the low-RID end
+    of the table is heavily over-represented — the clustered hot rows
+    a range partitioner lands on one shard.
+    """
+    if size > table_rows:
+        raise ValueError("cannot select more RIDs than table rows")
+    rng = random.Random(seed)
+    weights = zipf_weights(table_rows, theta)
+    keyed = [(rng.random() ** (1.0 / weight), rid)
+             for rid, weight in enumerate(weights)]
+    keyed.sort(reverse=True)
+    return sorted(rid for _key, rid in keyed[:size])
+
+
+def generate_clustered_rid_list(size, table_rows, clusters=4,
+                                spread=0.02, seed=None):
+    """A sorted RID list concentrated around a few cluster centers.
+
+    Models predicates correlated with physical row order (time-ordered
+    inserts, append-mostly tables): RIDs gather within ``spread *
+    table_rows`` of each center, so range partitions see wildly uneven
+    selectivity while hash partitions stay balanced.  Seeded and
+    deterministic; returns exactly *size* distinct RIDs.
+    """
+    if size > table_rows:
+        raise ValueError("cannot select more RIDs than table rows")
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    rng = random.Random(seed)
+    centers = sorted(rng.sample(range(table_rows),
+                                min(clusters, table_rows)))
+    width = max(1, int(spread * table_rows))
+    chosen = set()
+    stale = 0
+    while len(chosen) < size:
+        center = centers[rng.randrange(len(centers))]
+        rid = center + rng.randint(-width, width)
+        if 0 <= rid < table_rows and rid not in chosen:
+            chosen.add(rid)
+            stale = 0
+            continue
+        stale += 1
+        if stale >= 4 * (2 * width + 1) * len(centers):
+            # The clusters are saturated at this width; widen the net
+            # rather than spinning forever when size is large relative
+            # to the cluster capacity.
+            width = min(table_rows, width * 2)
+            stale = 0
+    return sorted(chosen)

@@ -1,0 +1,295 @@
+"""Sharded-engine parity and partitioning unit tests.
+
+The contract under test is ISSUE 8's acceptance bar: a
+:class:`~repro.db.shard.ShardedEngine` must return byte-identical RID
+lists (and row payloads) to a single :class:`~repro.db.engine.
+QueryEngine` for every builtin predicate shape, under every
+partitioner kind and both reduce paths (calibrated cost model and pure
+ISS).  Edge cases — an empty shard, all rows landing on one shard,
+more shards than rows — must degrade to the same answer, and sound
+pruning must only ever *skip* work, never change it.
+"""
+
+import random
+
+import pytest
+
+from repro.db import (And, AndNot, Eq, HashPartitioner, In, Or, Query,
+                      QueryEngine, Range, RangePartitioner, ShardedEngine,
+                      Table, make_partitioner, partition_table,
+                      shard_may_match, skew_ratio)
+
+ROWS = 360
+
+#: Every builtin predicate node type, alone and composed.
+TREE_SHAPES = [
+    Eq("kind", 2),
+    Range("score", 50, 400),
+    In("zone", (1, 3, 6)),
+    And(Eq("kind", 1), Range("score", 50, 400)),
+    Or(Eq("zone", 3), Eq("zone", 5)),
+    AndNot(Range("score", 0, 350), Eq("kind", 0)),
+    And(Or(Eq("kind", 1), Eq("kind", 2)),
+        AndNot(Range("score", 100, 450), In("zone", (1, 2, 6)))),
+    Or(And(Eq("kind", 3), Eq("zone", 0)),
+       Or(Range("score", 440, 499), In("kind", (0, 4)))),
+]
+
+
+def build_table(rows=ROWS, seed=47, name="events"):
+    rng = random.Random(seed)
+    table = Table(name, {
+        "kind": [rng.randrange(5) for _ in range(rows)],
+        "zone": [rng.randrange(7) for _ in range(rows)],
+        "score": [rng.randrange(500) for _ in range(rows)],
+    })
+    for column in ("kind", "zone", "score"):
+        table.create_index(column)
+    return table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_table()
+
+
+@pytest.fixture(scope="module")
+def reference(table):
+    """Single-engine answers for every tree shape (the ground truth)."""
+    engine = QueryEngine()
+    results = engine.execute_batch(
+        [Query(table, shape) for shape in TREE_SHAPES])
+    return [(result.rids, result.rows) for result in results]
+
+
+class TestShardedParity:
+    """Every shape x {hash, range} x {cost model, ISS} is identical."""
+
+    @pytest.mark.parametrize("partitioner", ("hash", "range"))
+    @pytest.mark.parametrize("cost_model", (True, False),
+                             ids=("costmodel", "iss"))
+    def test_batch_parity(self, table, reference, partitioner,
+                          cost_model):
+        engine = ShardedEngine(shards=3, partitioner=partitioner,
+                               cost_model=cost_model)
+        results = engine.execute_batch(
+            [Query(table, shape) for shape in TREE_SHAPES])
+        for result, (rids, rows) in zip(results, reference):
+            assert result.rids == rids
+            assert result.rows == rows
+
+    @pytest.mark.parametrize("column", (None, "score"))
+    def test_range_partition_column_parity(self, table, reference,
+                                           column):
+        engine = ShardedEngine(shards=4, partitioner="range",
+                               partition_column=column)
+        results = engine.execute_batch(
+            [Query(table, shape) for shape in TREE_SHAPES])
+        assert [r.rids for r in results] == [rids for rids, _ in
+                                             reference]
+
+    def test_order_by_and_limit_parity(self, table):
+        query = Query(table, And(Eq("kind", 1), Range("score", 0, 480)),
+                      order_by="score", limit=10)
+        single = QueryEngine().execute(query)
+        sharded = ShardedEngine(shards=3).execute(
+            Query(table, query.predicate, order_by="score", limit=10))
+        assert sharded.rids == single.rids
+        assert sharded.rows == single.rows
+
+    def test_no_predicate_full_scan_parity(self, table):
+        single = QueryEngine().execute(Query(table, None, limit=20))
+        sharded = ShardedEngine(shards=3).execute(
+            Query(table, None, limit=20))
+        assert sharded.rids == single.rids
+
+    def test_workers_mode_parity(self, table, reference):
+        engine = ShardedEngine(shards=2)
+        try:
+            results = engine.execute_batch(
+                [Query(table, shape) for shape in TREE_SHAPES],
+                workers=2)
+        finally:
+            engine.shutdown()
+        assert [r.rids for r in results] == [rids for rids, _ in
+                                             reference]
+
+    def test_makespan_never_exceeds_serial(self, table):
+        """Per-query makespan = max shard + gather <= some work bound.
+
+        The modeled makespan must be positive and composed of exactly
+        the accounted parts.
+        """
+        engine = ShardedEngine(shards=3)
+        result = engine.execute(
+            Query(table, And(Eq("kind", 1), Range("score", 50, 400)),
+                  order_by="score"))
+        parts = (max(result.shard_cycles) + result.gather_cycles
+                 + result.transfer_cycles)
+        assert result.makespan_cycles >= parts
+        assert result.makespan_cycles > 0
+
+
+class TestEdgeCases:
+    def test_empty_shard(self):
+        """A shard that holds zero rows still reduces correctly."""
+        table = build_table(rows=5, seed=3, name="tiny")
+        engine = ShardedEngine(shards=4, partitioner="range")
+        result = engine.execute(Query(table, Range("score", 0, 499)))
+        single = QueryEngine().execute(
+            Query(table, Range("score", 0, 499)))
+        assert result.rids == single.rids
+
+    def test_all_rows_one_shard(self):
+        """Hash partitioning on a constant column pins every row."""
+        rows = 60
+        rng = random.Random(9)
+        table = Table("const", {
+            "kind": [1] * rows,
+            "score": [rng.randrange(100) for _ in range(rows)],
+        })
+        table.create_index("kind")
+        table.create_index("score")
+        engine = ShardedEngine(shards=4, partitioner="hash",
+                               partition_column="kind")
+        result = engine.execute(
+            Query(table, And(Eq("kind", 1), Range("score", 10, 80))))
+        single = QueryEngine().execute(
+            Query(table, And(Eq("kind", 1), Range("score", 10, 80))))
+        assert result.rids == single.rids
+        sizes = [shard.row_count for shard
+                 in engine.shards_for(table)]
+        assert sorted(sizes) == [0, 0, 0, rows]
+
+    def test_more_shards_than_rows(self):
+        table = build_table(rows=3, seed=11, name="micro")
+        engine = ShardedEngine(shards=8)
+        result = engine.execute(Query(table, Range("score", 0, 499)))
+        single = QueryEngine().execute(
+            Query(table, Range("score", 0, 499)))
+        assert result.rids == single.rids
+
+    def test_empty_result(self, table):
+        engine = ShardedEngine(shards=3)
+        result = engine.execute(Query(table, Eq("kind", 99)))
+        assert result.rids == []
+        assert result.rows == []
+
+    def test_single_shard_degenerates(self, table):
+        engine = ShardedEngine(shards=1)
+        results = engine.execute_batch(
+            [Query(table, shape) for shape in TREE_SHAPES])
+        single = QueryEngine().execute_batch(
+            [Query(table, shape) for shape in TREE_SHAPES])
+        assert [r.rids for r in results] == [r.rids for r in single]
+
+
+class TestPruning:
+    def test_skipped_counter_range_partition(self):
+        """A narrow range over a range-partitioned column skips shards."""
+        rows = 400
+        table = Table("ordered", {
+            "key": list(range(rows)),
+            "flag": [rid % 2 for rid in range(rows)],
+        })
+        table.create_index("key")
+        table.create_index("flag")
+        engine = ShardedEngine(shards=4, partitioner="range",
+                               partition_column="key")
+        result = engine.execute(
+            Query(table, And(Range("key", 0, 40), Eq("flag", 0))))
+        single = QueryEngine().execute(
+            Query(table, And(Range("key", 0, 40), Eq("flag", 0))))
+        assert result.rids == single.rids
+        assert result.skipped_shards == 3
+        assert engine.metrics_snapshot()["db.shard.skipped"] == 3
+
+    def test_pruning_never_changes_results(self, table, reference):
+        engine = ShardedEngine(shards=6, partitioner="range",
+                               partition_column="score")
+        results = engine.execute_batch(
+            [Query(table, shape) for shape in TREE_SHAPES])
+        assert [r.rids for r in results] == [rids for rids, _ in
+                                             reference]
+
+    def test_shard_may_match_soundness(self, table):
+        """If may-match says no, the shard truly has zero matches."""
+        partitioner = RangePartitioner(3, column="score")
+        shards = partition_table(table, partitioner)
+        engine = QueryEngine()
+        for shape in TREE_SHAPES:
+            for shard in shards:
+                if not shard_may_match(shard.table, shape):
+                    rids, _ = engine.evaluate_predicate(shard.table,
+                                                        shape)
+                    assert rids == []
+
+
+class TestPartitioners:
+    def test_partitions_are_exhaustive_and_disjoint(self, table):
+        for kind in ("hash", "range"):
+            partitioner = make_partitioner(kind, 5)
+            shards = partition_table(table, partitioner)
+            seen = sorted(rid for shard in shards
+                          for rid in shard.global_rids)
+            assert seen == list(range(table.row_count))
+
+    def test_global_rids_ascending(self, table):
+        for shard in partition_table(table, HashPartitioner(4)):
+            assert shard.global_rids \
+                == sorted(shard.global_rids)
+
+    def test_hash_partition_balance(self):
+        table = build_table(rows=2000, seed=5, name="big")
+        shards = partition_table(table, HashPartitioner(4))
+        sizes = [shard.row_count for shard in shards]
+        assert skew_ratio(sizes) < 1.25
+
+    def test_range_partition_by_column_orders_values(self, table):
+        shards = partition_table(
+            table, RangePartitioner(3, column="score"))
+        maxima = [max(shard.table.column("score"))
+                  for shard in shards if shard.row_count]
+        minima = [min(shard.table.column("score"))
+                  for shard in shards if shard.row_count]
+        for upper, lower in zip(maxima, minima[1:]):
+            assert upper <= lower
+
+    def test_make_partitioner_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_partitioner("round-robin", 4)
+
+    def test_skew_ratio(self):
+        assert skew_ratio([10, 10, 10, 10]) == 1.0
+        assert skew_ratio([40, 0, 0, 0]) == 4.0
+        assert skew_ratio([]) == 1.0
+
+
+class TestTelemetry:
+    def test_shard_metrics_present(self, table):
+        engine = ShardedEngine(shards=2)
+        engine.execute_batch(
+            [Query(table, shape) for shape in TREE_SHAPES[:3]])
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["db.shard.queries"] == 3
+        assert snapshot["db.shard.shards"] == 2
+        assert snapshot["db.shard.makespan_cycles"] > 0
+        assert snapshot["db.shard.gather.merges"] > 0
+        for index in range(2):
+            assert "db.shard.%d.cycles" % index in snapshot
+            assert snapshot["db.shard.%d.rows_held" % index] > 0
+
+    def test_makespan_beats_serial_on_fanout(self):
+        """On a conjunctive workload the reduce must model a win."""
+        table = build_table(rows=4096, seed=13, name="wide")
+        queries = [Query(table, And(And(Eq("kind", k),
+                                        In("zone", (k, k + 1))),
+                                    Range("score", 200, 260)))
+                   for k in range(5)]
+        single = QueryEngine().execute_batch(queries)
+        serial = sum(r.stats.cycles for r in single)
+        engine = ShardedEngine(shards=4)
+        results = engine.execute_batch(queries)
+        makespan = sum(r.makespan_cycles for r in results)
+        assert [r.rids for r in results] == [r.rids for r in single]
+        assert makespan < serial

@@ -113,4 +113,4 @@ class TestPublicApi:
         assert set(EXPERIMENTS) == {"table2", "table3", "table4",
                                     "table5", "table6", "figure13",
                                     "prefetch", "energy", "iso_area",
-                                    "compression"}
+                                    "compression", "scale_out"}

@@ -4,8 +4,12 @@ import pytest
 
 from repro.core.common import SENTINEL, is_strictly_sorted
 from repro.workloads.sets import (expected_result_size,
+                                  generate_clustered_rid_list,
                                   generate_predicate_rid_lists,
-                                  generate_rid_list, generate_set_pair)
+                                  generate_rid_list, generate_set_pair,
+                                  generate_zipfian_column,
+                                  generate_zipfian_rid_list,
+                                  zipf_weights)
 
 
 class TestGenerateSetPair:
@@ -95,3 +99,110 @@ class TestRidLists:
         assert len(lists[1]) == 500
         for rids in lists:
             assert is_strictly_sorted(rids)
+
+
+class TestZipfWeights:
+    def test_theta_zero_is_uniform(self):
+        assert zipf_weights(5, theta=0.0) == [1.0] * 5
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, theta=1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, theta=-1.0)
+
+
+class TestZipfianColumn:
+    def test_shape_and_domain(self):
+        column = generate_zipfian_column(2000, cardinality=8,
+                                         theta=1.0, seed=1)
+        assert len(column) == 2000
+        assert set(column) <= set(range(8))
+
+    def test_skewed_toward_low_values(self):
+        column = generate_zipfian_column(5000, cardinality=8,
+                                         theta=1.2, seed=2)
+        counts = [column.count(value) for value in range(8)]
+        assert counts[0] > 3 * counts[-1]
+
+    def test_deterministic(self):
+        first = generate_zipfian_column(500, 16, theta=1.0, seed=9)
+        second = generate_zipfian_column(500, 16, theta=1.0, seed=9)
+        assert first == second
+
+    def test_theta_zero_roughly_uniform(self):
+        column = generate_zipfian_column(8000, cardinality=4,
+                                         theta=0.0, seed=3)
+        counts = [column.count(value) for value in range(4)]
+        assert max(counts) < 1.25 * min(counts)
+
+
+class TestZipfianRidList:
+    def test_shape(self):
+        rids = generate_zipfian_rid_list(200, table_rows=1000,
+                                         theta=1.0, seed=1)
+        assert len(rids) == 200
+        assert is_strictly_sorted(rids)
+        assert all(0 <= rid < 1000 for rid in rids)
+
+    def test_skewed_toward_low_rids(self):
+        rids = generate_zipfian_rid_list(200, table_rows=4000,
+                                         theta=1.0, seed=2)
+        low_half = sum(1 for rid in rids if rid < 2000)
+        assert low_half > 0.6 * len(rids)
+
+    def test_deterministic(self):
+        first = generate_zipfian_rid_list(50, 500, theta=1.0, seed=7)
+        second = generate_zipfian_rid_list(50, 500, theta=1.0, seed=7)
+        assert first == second
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            generate_zipfian_rid_list(11, table_rows=10)
+
+    def test_full_selection(self):
+        rids = generate_zipfian_rid_list(10, table_rows=10, seed=1)
+        assert rids == list(range(10))
+
+
+class TestClusteredRidList:
+    def test_shape(self):
+        rids = generate_clustered_rid_list(100, table_rows=2000,
+                                           clusters=3, seed=1)
+        assert len(rids) == 100
+        assert is_strictly_sorted(rids)
+        assert all(0 <= rid < 2000 for rid in rids)
+
+    def test_concentration(self):
+        # Most selected RIDs sit inside a small fraction of the RID
+        # space: the covered span of the sorted list's middle 90 %
+        # stays far below the uniform expectation.
+        rids = generate_clustered_rid_list(200, table_rows=20000,
+                                           clusters=2, spread=0.01,
+                                           seed=2)
+        gaps = sorted(b - a for a, b in zip(rids, rids[1:]))
+        median_gap = gaps[len(gaps) // 2]
+        assert median_gap < (20000 // 200) / 2
+
+    def test_deterministic(self):
+        first = generate_clustered_rid_list(80, 1000, seed=5)
+        second = generate_clustered_rid_list(80, 1000, seed=5)
+        assert first == second
+
+    def test_saturation_widens(self):
+        # size far beyond cluster capacity at the initial width must
+        # still terminate with exactly size distinct RIDs
+        rids = generate_clustered_rid_list(900, table_rows=1000,
+                                           clusters=2, spread=0.001,
+                                           seed=3)
+        assert len(rids) == 900
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            generate_clustered_rid_list(11, table_rows=10)
+        with pytest.raises(ValueError):
+            generate_clustered_rid_list(5, table_rows=10, clusters=0)
