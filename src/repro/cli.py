@@ -182,6 +182,59 @@ def build_parser():
                                  "per-shard row (cycles, rows, queue "
                                  "depth, skew)")
 
+    db_chaos_cmd = db_sub.add_parser(
+        "chaos",
+        help="seeded db-layer fault campaign against the sharded "
+             "serving tier (worker kills, response delays, response "
+             "corruption); byte-identical reports per seed")
+    db_chaos_cmd.add_argument("--shards", type=int, default=4,
+                              metavar="N",
+                              help="shard engines "
+                                   "(default %(default)s)")
+    db_chaos_cmd.add_argument("--replicas", type=int, default=1,
+                              metavar="R",
+                              help="replicas per shard, 0..shards-1 "
+                                   "(default %(default)s)")
+    db_chaos_cmd.add_argument("--trials", type=int, default=24,
+                              help="fault trials to run "
+                                   "(default %(default)s)")
+    db_chaos_cmd.add_argument("--rows", type=int, default=512,
+                              help="table rows (default %(default)s)")
+    db_chaos_cmd.add_argument("--queries", type=int, default=12,
+                              help="queries per trial batch "
+                                   "(default %(default)s)")
+    db_chaos_cmd.add_argument("--seed", type=int, default=42)
+    db_chaos_cmd.add_argument("--kinds", default="kill,delay,corrupt",
+                              metavar="LIST",
+                              help="comma list of fault kinds to "
+                                   "sample: kill, delay, corrupt "
+                                   "(default %(default)s)")
+    db_chaos_cmd.add_argument("--deadline", default="auto",
+                              metavar="CYCLES",
+                              help="per-shard serve budget in modeled "
+                                   "cycles; 'auto' = 8x the fault-"
+                                   "free maximum, 'none' disarms it "
+                                   "(wedged responses then classify "
+                                   "as hang) (default %(default)s)")
+    db_chaos_cmd.add_argument("--partitioner", default="hash",
+                              choices=("hash", "range"))
+    db_chaos_cmd.add_argument("--breaker-threshold", type=int,
+                              default=3, metavar="N",
+                              help="consecutive failures before a "
+                                   "shard's breaker opens "
+                                   "(default %(default)s)")
+    db_chaos_cmd.add_argument("--breaker-cooldown", type=int,
+                              default=4, metavar="N",
+                              help="refused dispatches before the "
+                                   "half-open probe "
+                                   "(default %(default)s)")
+    db_chaos_cmd.add_argument("--json", action="store_true",
+                              help="print the full campaign report "
+                                   "as JSON")
+    db_chaos_cmd.add_argument("--out", metavar="FILE",
+                              help="write the JSON campaign report "
+                                   "to FILE")
+
     bench_cmd = sub.add_parser(
         "bench", help="perf-trajectory utilities over BENCH_*.json "
                       "artifacts")
@@ -619,7 +672,60 @@ def cmd_lint(args):
     return status
 
 
+def _cmd_db_chaos(args):
+    import json as json_module
+
+    from .faults.db import DB_OUTCOMES, run_db_campaign
+
+    kinds = tuple(kind.strip() for kind in args.kinds.split(",")
+                  if kind.strip())
+    log = None if args.json else print
+    report = run_db_campaign(
+        shards=args.shards, replication=args.replicas,
+        trials=args.trials, seed=args.seed, rows=args.rows,
+        queries=args.queries, deadline=args.deadline, kinds=kinds,
+        partitioner=args.partitioner,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown, log=log)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    summary = report["summary"]
+    bad = summary["wrong_result"] + summary["failed"]
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+        return 1 if bad else 0
+    campaign = report["campaign"]
+    print("db chaos campaign: %d shard(s) x %d replica(s) "
+          "(%d trials, %d queries over %d rows, seed %s, kinds %s)"
+          % (campaign["shards"], campaign["replication"],
+             campaign["trials"], campaign["queries"], campaign["rows"],
+             campaign["seed"], ",".join(campaign["kinds"])))
+    deadline = campaign["deadline_cycles"]
+    print("  deadline %s, fuel %d cycles"
+          % ("%d cycles" % deadline if deadline else "disarmed",
+             campaign["fuel_cycles"]))
+    for name in DB_OUTCOMES:
+        print("  %-12s %d" % (name, summary[name]))
+    for name, value in sorted(report["faults"].items()):
+        if value:
+            print("  %-28s %d" % (name, value))
+    if report["breaker_trips"]:
+        print("  %-28s %d" % ("breaker trips", report["breaker_trips"]))
+    for trial in report["trials"]:
+        if trial["outcome"] in ("wrong_result", "failed"):
+            print("  %s in trial %d: %s"
+                  % (trial["outcome"], trial["trial"],
+                     trial.get("detail", "?")))
+    if args.out:
+        print("  report: %s" % args.out)
+    return 1 if bad else 0
+
+
 def cmd_db(args):
+    if args.db_command == "chaos":
+        return _cmd_db_chaos(args)
     if args.db_command == "top":
         from .db.top import run_top
 

@@ -13,9 +13,10 @@ gather reduce.
 
 from .engine import Query, QueryEngine, QueryResult
 from .executor import QueryExecutor, QueryStats, RID_BITS
+from .failover import CircuitBreaker, ShardError, rid_checksum
 from .partition import (HashPartitioner, Partitioner, RangePartitioner,
                         TableShard, make_partitioner, partition_table,
-                        shard_may_match, skew_ratio)
+                        plan_replicas, shard_may_match, skew_ratio)
 from .predicates import (And, AndNot, Eq, In, Leaf, Or, Predicate,
                          Range, leaves, signature, validate_indexes)
 from .shard import ShardedEngine, ShardedResult
@@ -23,9 +24,10 @@ from .table import SecondaryIndex, Table
 
 __all__ = ["Query", "QueryEngine", "QueryResult",
            "QueryExecutor", "QueryStats", "RID_BITS",
+           "CircuitBreaker", "ShardError", "rid_checksum",
            "HashPartitioner", "Partitioner", "RangePartitioner",
            "TableShard", "make_partitioner", "partition_table",
-           "shard_may_match", "skew_ratio",
+           "plan_replicas", "shard_may_match", "skew_ratio",
            "And", "AndNot", "Eq", "In", "Leaf", "Or", "Predicate",
            "Range", "leaves", "signature", "validate_indexes",
            "ShardedEngine", "ShardedResult",

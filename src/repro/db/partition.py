@@ -245,6 +245,48 @@ def shard_may_match(table, predicate):
     return True  # unknown combinator: never prune
 
 
+def plan_replicas(loads, shards, replication, budget=None):
+    """Replica host assignment: hottest shards first, peer-hosted.
+
+    Returns ``placement[shard] = [host, ...]`` — the engine indices
+    (other than the primary, which is always ``shard`` itself) that
+    also hold shard *shard*'s rows.  Shard ``i``'s rank-``r`` replica
+    lives on engine ``(i + r) % shards``, so replicas spread evenly
+    and no engine hosts two copies of the same shard; ``replication``
+    is therefore bounded by ``shards - 1``.
+
+    *loads* is the per-shard load vector (row counts at partition
+    time, or measured cycles) — the same vector :func:`skew_ratio`
+    grades.  With a *budget* (a cap on total replica placements, for
+    when replica memory is scarce), the hottest shards are served
+    first, round by round: every shard above a load rank gets its
+    first replica before any shard gets its second, so a Zipfian hot
+    shard is always the first to be protected.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    if not 0 <= replication <= shards - 1:
+        raise ValueError("replication must be within 0..shards-1 "
+                         "(each copy needs a distinct engine), got %d "
+                         "for %d shard(s)" % (replication, shards))
+    loads = list(loads)
+    if len(loads) != shards:
+        raise ValueError("load vector covers %d shard(s) of %d"
+                         % (len(loads), shards))
+    placement = [[] for _ in range(shards)]
+    if not replication:
+        return placement
+    remaining = shards * replication if budget is None else budget
+    order = sorted(range(shards), key=lambda i: (-loads[i], i))
+    for rank in range(1, replication + 1):
+        for shard in order:
+            if remaining <= 0:
+                return placement
+            placement[shard].append((shard + rank) % shards)
+            remaining -= 1
+    return placement
+
+
 def partition_sizes(shards):
     """Row count per shard (the partition-balance vector)."""
     return [shard.row_count for shard in shards]

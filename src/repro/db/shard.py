@@ -31,6 +31,29 @@ coordinator then runs the identical ORDER BY / LIMIT / fetch tail on
 the full table.  ``tests/db/test_shard.py`` enforces byte-identical
 RID output across every builtin predicate shape.
 
+Fault tolerance (docs/SHARDING.md):
+
+- **Replicas** — with ``replication=R`` each shard's rows are also
+  hosted on R peer engines (:func:`~repro.db.partition.plan_replicas`,
+  hottest shards first under a budget), so a dead primary is served by
+  a replica with byte-identical results.
+- **Deadlines + hedging** — a per-query ``deadline_cycles`` budget in
+  *modeled* cycles; an attempt straggling past ``hedge_fraction`` of
+  the budget triggers a hedged dispatch to the next replica, and the
+  earlier completion wins.
+- **Circuit breakers** — per-shard consecutive-failure breakers
+  (``db.shard.<i>.breaker.*``) short-circuit a dead primary straight
+  to its replicas, with a half-open probe after a cooldown.
+- **Degraded mode** — with ``strict=False`` a shard that fails every
+  host yields a *typed partial answer*: the query's
+  :class:`ShardedResult` carries ``complete=False`` plus the failed
+  positions instead of raising.  ``strict=True`` (the default)
+  preserves fail-fast behavior via :class:`~repro.db.failover.ShardError`,
+  which still carries per-shard outcomes and surviving results.
+- **Checksummed responses** — every RID list crossing the response
+  channel is guarded by :func:`~repro.db.failover.rid_checksum`;
+  corruption is detected and retransmitted, never silently merged.
+
 Process-parallel mode (``execute_batch(..., workers=N)``) scatters
 per-shard evaluation to a persistent crash-isolated
 :class:`~repro.supervisor.SupervisorPool`; the in-process mode stays
@@ -46,23 +69,60 @@ from ..supervisor import SupervisorPool, Task
 from ..telemetry.registry import MetricsRegistry
 from .engine import QueryEngine, QueryResult
 from .executor import QueryStats, _merge_stats
+from .failover import (BREAKER_STATES, CircuitBreaker, ShardError,
+                       rid_checksum)
 from .partition import (make_partitioner, partition_table,
-                        shard_may_match, skew_ratio)
+                        plan_replicas, shard_may_match, skew_ratio)
 from .planlint import lint_query_or_raise
 
 #: Bytes one RID occupies on the wire (the paper's 32-bit element).
 RID_BYTES = 4
+
+#: ``db.fault.*`` counter names the engine maintains.
+FAULT_COUNTERS = ("kills", "pool_failures", "delays", "delay_cycles",
+                  "corruptions", "corruptions_detected", "retransmits",
+                  "failovers", "hedges", "deadline_misses", "degraded",
+                  "shard_failures")
+
+#: Scatter-entry / prefetch-cell sentinels.
+_SKIPPED = ("skipped",)
+
+
+class _PoolFailure:
+    """Prefetch-cell sentinel: this shard's worker task failed."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<pool-failed>"
+
+
+_POOL_FAILED = _PoolFailure()
+
+
+class _Pruned:
+    """Prefetch-cell sentinel: shard pruned before dispatch."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<pruned>"
+
+
+_PRUNED = _Pruned()
 
 
 class ShardedResult(QueryResult):
     """A :class:`QueryResult` plus the scatter/gather timing detail."""
 
     __slots__ = ("shard_cycles", "makespan_cycles", "gather_cycles",
-                 "transfer_cycles", "skipped_shards")
+                 "transfer_cycles", "skipped_shards", "complete",
+                 "shards_failed", "failovers")
 
     def __init__(self, rows, rids, stats, shard_cycles,
                  makespan_cycles, gather_cycles, transfer_cycles,
-                 skipped_shards):
+                 skipped_shards, complete=True, shards_failed=(),
+                 failovers=0):
         super().__init__(rows, rids, stats)
         #: Modeled WHERE cycles per shard (0 for skipped shards).
         self.shard_cycles = shard_cycles
@@ -74,12 +134,21 @@ class ShardedResult(QueryResult):
         self.transfer_cycles = transfer_cycles
         #: Shards pruned without dispatch (``db.shard.skipped``).
         self.skipped_shards = skipped_shards
+        #: ``False`` means a degraded answer: one or more shards
+        #: failed every host and their rows are missing from ``rids``.
+        self.complete = complete
+        #: Positions of the shards that failed (empty when complete).
+        self.shards_failed = tuple(shards_failed)
+        #: Attempts served by a non-primary host for this query.
+        self.failovers = failovers
 
     def __repr__(self):
+        state = "" if self.complete \
+            else " DEGRADED(missing %s)" % (list(self.shards_failed),)
         return ("<ShardedResult %d rows, %d makespan cycles, "
-                "%d shards skipped>" % (len(self.rows),
-                                        self.makespan_cycles,
-                                        self.skipped_shards))
+                "%d shards skipped%s>" % (len(self.rows),
+                                          self.makespan_cycles,
+                                          self.skipped_shards, state))
 
 
 class ShardedEngine:
@@ -98,6 +167,25 @@ class ShardedEngine:
     cost_model: as for :class:`QueryEngine` — ``True`` (calibrated
         fast path, serving default), ``False`` (pure ISS, experiment
         ground truth) or a :class:`~repro.core.costmodel.CostModel`.
+    replication: replica count per shard (``0..shards-1``); each
+        shard's rows are then also served by peer engines
+        (:func:`~repro.db.partition.plan_replicas`).
+    replica_budget: optional cap on total replica placements —
+        the hottest shards (by partition row count) are protected
+        first.
+    strict: ``True`` (default) raises :class:`ShardError` when a
+        shard fails every host; ``False`` degrades instead
+        (``ShardedResult.complete=False``).
+    deadline_cycles: per-query serve budget per shard attempt, in
+        *modeled* cycles (``None`` = no deadline).  Individual calls
+        may override it.
+    hedge_fraction: fraction of the deadline after which a straggling
+        attempt triggers a hedged dispatch to the next replica.
+    breaker_threshold / breaker_cooldown: per-shard circuit breaker
+        tuning (:class:`~repro.db.failover.CircuitBreaker`).
+    fault_injector: optional db-layer fault injector
+        (:class:`repro.faults.db.DbFaultInjector`) — the chaos
+        harness's hook; ``None`` costs nothing.
 
     Tables are partitioned lazily on first use and pinned; the
     coordinator engine shares this engine's registry (``db.engine.*``
@@ -109,10 +197,25 @@ class ShardedEngine:
     def __init__(self, config="DBA_2LSU_EIS", shards=4,
                  partitioner="hash", partition_column=None,
                  partial_load=True, cost_model=True, registry=None,
-                 interconnect=None):
+                 interconnect=None, replication=0, replica_budget=None,
+                 strict=True, deadline_cycles=None, hedge_fraction=0.5,
+                 breaker_threshold=3, breaker_cooldown=8,
+                 fault_injector=None):
         if shards < 1:
             raise ValueError("need at least one shard")
+        if not 0 <= replication <= shards - 1:
+            raise ValueError("replication must be within 0..shards-1, "
+                             "got %d for %d shard(s)"
+                             % (replication, shards))
+        if not 0.0 < hedge_fraction < 1.0:
+            raise ValueError("hedge_fraction must be in (0, 1)")
         self.shards = shards
+        self.replication = replication
+        self.replica_budget = replica_budget
+        self.strict = strict
+        self.deadline_cycles = deadline_cycles
+        self.hedge_fraction = hedge_fraction
+        self.fault_injector = fault_injector
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.coordinator = QueryEngine(config=config,
@@ -144,8 +247,17 @@ class ShardedEngine:
         self._skew = scope.gauge("skew")
         self._shard_count = scope.gauge("shards")
         self._shard_count.set(shards)
+        self._replication_gauge = scope.gauge("replication")
+        self._replication_gauge.set(replication)
         self._makespan_hist = scope.histogram("query_makespan_cycles")
+        fault_scope = self.registry.scope("db.fault")
+        self._fault = {name: fault_scope.counter(name)
+                       for name in FAULT_COUNTERS}
+        self.breakers = [CircuitBreaker(threshold=breaker_threshold,
+                                        cooldown=breaker_cooldown)
+                         for _ in range(shards)]
         self._shard_scopes = []
+        self._breaker_scopes = []
         for index in range(shards):
             shard_scope = scope.scope(str(index))
             self._shard_scopes.append({
@@ -153,13 +265,25 @@ class ShardedEngine:
                 "cycles": shard_scope.counter("cycles"),
                 "rows": shard_scope.counter("rows"),
                 "skipped": shard_scope.counter("skipped"),
+                "failures": shard_scope.counter("failures"),
                 "rows_held": shard_scope.gauge("rows_held"),
                 "queue_depth": shard_scope.gauge("queue_depth"),
+                "replicas": shard_scope.gauge("replicas"),
+            })
+            breaker_scope = shard_scope.scope("breaker")
+            self._breaker_scopes.append({
+                "state": breaker_scope.gauge("state"),
+                "trips": breaker_scope.counter("trips"),
+                "probes": breaker_scope.counter("probes"),
+                "failures": breaker_scope.counter("failures"),
+                "short_circuits": breaker_scope.counter("short_circuits"),
             })
         #: id(table) -> list of TableShard; tables pinned for id()
         #: stability, exactly like the engine's scan cache.
         self._partitions = {}
         self._pinned_tables = {}
+        #: id(table) -> plan_replicas placement (replica hosts/shard).
+        self._replica_placements = {}
         self._pool = None
 
     # -- lifecycle ------------------------------------------------------------
@@ -188,18 +312,30 @@ class ShardedEngine:
         shards = partition_table(table, self.partitioner)
         self._partitions[key] = shards
         self._pinned_tables[key] = table
+        placement = plan_replicas([shard.row_count for shard in shards],
+                                  self.shards, self.replication,
+                                  budget=self.replica_budget)
+        self._replica_placements[key] = placement
         for index, shard in enumerate(shards):
             self._shard_scopes[index]["rows_held"].set(shard.row_count)
+            self._shard_scopes[index]["replicas"].set(
+                len(placement[index]))
         return shards
+
+    def replica_hosts(self, table, position):
+        """Engine indices hosting shard *position*'s replicas."""
+        self.shards_for(table)
+        return list(self._replica_placements[id(table)][position])
 
     # -- serving --------------------------------------------------------------
 
-    def execute(self, query, tracer=None):
+    def execute(self, query, tracer=None, deadline_cycles=None):
         """Serve one query; returns a :class:`ShardedResult`."""
-        return self._execute_one(query, cse=None, tracer=tracer)
+        return self._execute_one(query, cse=None, tracer=tracer,
+                                 deadline=deadline_cycles)
 
     def execute_batch(self, queries, workers=1, timeout=None,
-                      tracer=None):
+                      tracer=None, deadline_cycles=None):
         """Serve a batch; :class:`ShardedResult` per query.
 
         ``workers > 1`` evaluates shard WHERE work across a persistent
@@ -207,6 +343,9 @@ class ShardedEngine:
         isolation and retries included); the gather reduce and the
         ORDER BY tail always run in-process on the coordinator.  Both
         modes produce identical results and identical modeled cycles.
+
+        *deadline_cycles* overrides the engine-level deadline for this
+        batch (modeled cycles per shard attempt).
         """
         queries = list(queries)
         started = time.perf_counter()
@@ -223,7 +362,8 @@ class ShardedEngine:
                 prefetched = [None] * len(queries)
             cse = [{} for _ in range(self.shards)]
             results = [self._execute_one(query, cse, tracer, index,
-                                         prefetched[index])
+                                         prefetched[index],
+                                         deadline_cycles)
                        for index, query in enumerate(queries)]
         finally:
             for scope in self._shard_scopes:
@@ -243,24 +383,39 @@ class ShardedEngine:
     # -- internals ------------------------------------------------------------
 
     def _execute_one(self, query, cse, tracer=None, index=0,
-                     prefetched=None):
+                     prefetched=None, deadline=None):
         table = query.table
         lint_query_or_raise(query, engine=self.coordinator)
+        if deadline is None:
+            deadline = self.deadline_cycles
         stats = QueryStats()
         shard_cycles = [0] * self.shards
-        gather_cycles = transfer_cycles = skipped = 0
+        gather_cycles = transfer_cycles = skipped = failovers = 0
+        shards_failed = ()
         if query.predicate is None:
             # Full scan: nothing to scatter, the coordinator owns the
             # whole table anyway.
             rids = list(range(table.row_count))
         else:
-            if prefetched is None:
-                prefetched = self._scatter_inline(table,
-                                                  query.predicate, cse,
-                                                  tracer, index)
+            entries = self._scatter(table, query.predicate, cse,
+                                    tracer, index, prefetched, deadline)
             (rids, combined, gather_cycles, transfer_cycles,
-             shard_cycles, skipped) = self._gather(prefetched)
+             shard_cycles, skipped, shards_failed,
+             failovers) = self._gather(entries)
             _merge_stats(stats, combined)
+            if shards_failed:
+                self._fault["shard_failures"].add(len(shards_failed))
+                if self.strict:
+                    attempts = [attempt for entry in entries
+                                if entry[0] == "failed"
+                                for attempt in entry[2]]
+                    raise ShardError(
+                        "query %d: shard(s) %s failed after failover"
+                        % (index, ", ".join(str(position) for position
+                                            in shards_failed)),
+                        outcomes=attempts, survivors=rids,
+                        shard=shards_failed[0], query_index=index)
+                self._fault["degraded"].add(1)
         tail_before = stats.cycles
         if query.order_by is not None:
             rids, sort_stats = self.coordinator.executor.order_by(
@@ -275,27 +430,217 @@ class ShardedEngine:
         self._account(stats, len(rows), makespan, skipped)
         return ShardedResult(rows, rids, stats, shard_cycles,
                              makespan, gather_cycles, transfer_cycles,
-                             skipped)
+                             skipped, complete=not shards_failed,
+                             shards_failed=shards_failed,
+                             failovers=failovers)
 
-    def _scatter_inline(self, table, predicate, cse, tracer, index):
-        """Evaluate the WHERE tree on every owning shard in-process.
+    def _scatter(self, table, predicate, cse, tracer, index,
+                 prefetched, deadline):
+        """Serve the WHERE tree on every owning shard, with failover.
 
-        Returns per-shard ``(global_rids, stats | None)``; a ``None``
-        stats marks a pruned shard (no work dispatched).
+        Returns one entry per shard: ``("skipped",)`` for pruned
+        shards, ``("ok", rids, stats, cycles, failovers)`` for served
+        ones, ``("failed", cycles, attempts)`` when every host failed.
+        *prefetched* carries pooled-scatter payload cells (or ``None``
+        for the inline path, where pruning happens here).
         """
         shards = self.shards_for(table)
-        per_shard = []
-        for position, (shard, engine) in enumerate(
-                zip(shards, self.shard_engines)):
-            if not shard_may_match(shard.table, predicate):
-                per_shard.append(([], None))
+        placement = self._replica_placements[id(table)]
+        entries = []
+        for position, shard in enumerate(shards):
+            payload = prefetched[position] \
+                if prefetched is not None else None
+            if payload is _PRUNED:
+                entries.append(_SKIPPED)
                 continue
+            if prefetched is None \
+                    and not shard_may_match(shard.table, predicate):
+                entries.append(_SKIPPED)
+                continue
+            hosts = [position] + placement[position]
+            entries.append(self._serve_shard(
+                position, hosts, shard, predicate, cse, tracer, index,
+                payload, deadline))
+        return entries
+
+    def _serve_shard(self, position, hosts, shard, predicate, cse,
+                     tracer, index, payload, deadline):
+        """One shard's WHERE for one query, across its host chain.
+
+        Sequential failover along ``hosts`` (primary first, then
+        replicas), with the circuit breaker gating the primary,
+        checksum-verified delivery (corrupt responses are retransmitted
+        once, then failed over), and deadline/hedge handling: an
+        attempt straggling past ``hedge_fraction * deadline`` races a
+        hedged dispatch on the next host, earliest valid completion
+        wins.  ``cycles`` charged to the shard is the modeled time
+        until its answer (or final failure) was available.
+        """
+        breaker = self.breakers[position]
+        breaker_scope = self._breaker_scopes[position]
+        trigger = None
+        if deadline is not None:
+            trigger = max(1, int(deadline * self.hedge_fraction))
+        attempts = []
+        charged = 0
+        failovers = 0
+        slot = 0
+        while slot < len(hosts):
+            host = hosts[slot]
+            primary = slot == 0
+            if primary:
+                allowed, _probing = breaker.allow()
+                self._sync_breaker(position)
+                if not allowed:
+                    breaker_scope["short_circuits"].add(1)
+                    attempts.append({"host": host,
+                                     "status": "short_circuit"})
+                    slot += 1
+                    continue
+            status, rids, stats, cycles = self._attempt(
+                position, host, shard, predicate, cse, tracer, index,
+                payload if primary else None)
+            if status == "corrupt":
+                # Checksum mismatch: charge the wasted attempt and
+                # retransmit once from the same host (a fresh inline
+                # evaluation) before giving up on it.
+                self._fault["corruptions_detected"].add(1)
+                self._fault["retransmits"].add(1)
+                charged += cycles
+                attempts.append({"host": host, "status": "corrupt"})
+                status, rids, stats, cycles = self._attempt(
+                    position, host, shard, predicate, cse, tracer,
+                    index, None)
+            if status != "ok":
+                if primary:
+                    breaker.record(False)
+                    self._sync_breaker(position)
+                    breaker_scope["failures"].add(1)
+                attempts.append({"host": host, "status": status})
+                slot += 1
+                continue
+            if trigger is None or cycles <= trigger:
+                return self._accept(position, primary, rids, stats,
+                                    charged + cycles, failovers)
+            # Straggler: past the hedge trigger with a deadline set.
+            hedge_host = hosts[slot + 1] if slot + 1 < len(hosts) \
+                else None
+            if hedge_host is None:
+                if cycles <= deadline:
+                    # Slow but within budget, and nothing to hedge on.
+                    return self._accept(position, primary, rids, stats,
+                                        charged + cycles, failovers)
+                charged += deadline
+                self._fault["deadline_misses"].add(1)
+                if primary:
+                    breaker.record(False)
+                    self._sync_breaker(position)
+                    breaker_scope["failures"].add(1)
+                attempts.append({"host": host, "status": "deadline"})
+                slot += 1
+                continue
+            self._fault["hedges"].add(1)
+            h_status, h_rids, h_stats, h_cycles = self._attempt(
+                position, hedge_host, shard, predicate, cse, tracer,
+                index, None)
+            if h_status == "corrupt":
+                self._fault["corruptions_detected"].add(1)
+                h_status = "corrupt_dropped"
+            candidates = []
+            if cycles <= deadline:
+                candidates.append((cycles, rids, stats, False))
+            if h_status == "ok" and trigger + h_cycles <= deadline:
+                candidates.append((trigger + h_cycles, h_rids, h_stats,
+                                   True))
+            if candidates:
+                done, win_rids, win_stats, via_hedge = \
+                    min(candidates, key=lambda item: item[0])
+                if primary:
+                    primary_ok = cycles <= deadline
+                    breaker.record(primary_ok)
+                    self._sync_breaker(position)
+                    if not primary_ok:
+                        breaker_scope["failures"].add(1)
+                if via_hedge or not primary:
+                    failovers += 1
+                    self._fault["failovers"].add(1)
+                return ("ok", win_rids, win_stats, charged + done,
+                        failovers)
+            # Both the straggler and its hedge blew the deadline.
+            charged += deadline
+            self._fault["deadline_misses"].add(1)
+            if primary:
+                breaker.record(False)
+                self._sync_breaker(position)
+                breaker_scope["failures"].add(1)
+            attempts.append({"host": host, "status": "deadline"})
+            attempts.append({"host": hedge_host,
+                             "status": h_status if h_status != "ok"
+                             else "deadline"})
+            slot += 2
+        return ("failed", charged, attempts)
+
+    def _accept(self, position, primary, rids, stats, charged,
+                failovers):
+        """Book a winning attempt as this shard's serve outcome."""
+        if primary:
+            breaker = self.breakers[position]
+            breaker.record(True)
+            self._sync_breaker(position)
+        else:
+            failovers += 1
+            self._fault["failovers"].add(1)
+        return ("ok", rids, stats, charged, failovers)
+
+    def _attempt(self, position, host, shard, predicate, cse, tracer,
+                 index, payload):
+        """One dispatch of shard *position*'s WHERE to engine *host*.
+
+        Returns ``(status, rids, stats, cycles)`` with *status* one of
+        ``"ok"`` / ``"killed"`` / ``"corrupt"``; *cycles* are the
+        modeled serve cycles of the attempt including any injected
+        response delay.  The sender computes the RID checksum *before*
+        the response crosses the (corruptible) channel; delivery
+        recomputes and compares.
+        """
+        injector = self.fault_injector
+        if payload is _POOL_FAILED:
+            self._fault["pool_failures"].add(1)
+            return ("killed", None, None, 0)
+        if injector is not None and injector.host_killed(host, index):
+            self._fault["kills"].add(1)
+            return ("killed", None, None, 0)
+        if payload is not None:
+            rids, checksum, stats = payload
+            rids = list(rids)
+        else:
+            engine = self.shard_engines[host]
             shard_cse = cse[position] if cse is not None else None
             local, stats = engine.evaluate_predicate(
                 shard.table, predicate, cse=shard_cse, tracer=tracer,
                 index=index)
-            per_shard.append((shard.to_global(local), stats))
-        return per_shard
+            rids = shard.to_global(local)
+            checksum = rid_checksum(rids)
+        cycles = stats.cycles
+        if injector is not None:
+            delay = injector.delay_cycles(position, index)
+            if delay:
+                self._fault["delays"].add(1)
+                self._fault["delay_cycles"].add(delay)
+                cycles += delay
+            rids, mutated = injector.deliver(position, index, rids)
+            if mutated:
+                self._fault["corruptions"].add(1)
+        if rid_checksum(rids) != checksum:
+            return ("corrupt", None, None, cycles)
+        return ("ok", rids, stats, cycles)
+
+    def _sync_breaker(self, position):
+        breaker = self.breakers[position]
+        scope = self._breaker_scopes[position]
+        scope["state"].set(BREAKER_STATES.index(breaker.state))
+        scope["trips"].value = breaker.trips
+        scope["probes"].value = breaker.probes
 
     def _gather(self, per_shard):
         """EIS union fold of per-shard RID lists on the coordinator.
@@ -306,26 +651,37 @@ class ShardedEngine:
         from the same calibrated/ISS path as every other set op.
 
         Returns ``(rids, combined_stats, gather_cycles,
-        transfer_cycles, shard_cycles, skipped)`` where
-        ``combined_stats`` is all work (shard WHERE + gather) and the
-        two cycle figures isolate the gather-side serial terms of the
-        makespan.
+        transfer_cycles, shard_cycles, skipped, shards_failed,
+        failovers)`` where ``combined_stats`` is all work (shard WHERE
+        + gather) and the two cycle figures isolate the gather-side
+        serial terms of the makespan.
         """
         combined = QueryStats()
         gather_stats = QueryStats()
         shard_cycles = [0] * self.shards
         skipped = 0
+        failovers = 0
+        shards_failed = []
         merged = []
-        for position, (rids, stats) in enumerate(per_shard):
+        for position, entry in enumerate(per_shard):
             scope = self._shard_scopes[position]
-            if stats is None:
+            if entry[0] == "skipped":
                 skipped += 1
                 scope["skipped"].add(1)
                 continue
+            if entry[0] == "failed":
+                _kind, charged, _attempts = entry
+                shards_failed.append(position)
+                scope["failures"].add(1)
+                scope["cycles"].add(charged)
+                shard_cycles[position] = charged
+                continue
+            _kind, rids, stats, charged, shard_failovers = entry
+            failovers += shard_failovers
             scope["queries"].add(1)
-            scope["cycles"].add(stats.cycles)
+            scope["cycles"].add(charged)
             scope["rows"].add(len(rids))
-            shard_cycles[position] = stats.cycles
+            shard_cycles[position] = charged
             _merge_stats(combined, stats)
             if rids:
                 cycles = self.interconnect.transfer_cycles(
@@ -342,7 +698,7 @@ class ShardedEngine:
         self._skipped.add(skipped)
         _merge_stats(combined, gather_stats)
         return (merged, combined, gather_cycles, transfer_cycles,
-                shard_cycles, skipped)
+                shard_cycles, skipped, tuple(shards_failed), failovers)
 
     def _account(self, stats, row_count, makespan, skipped):
         self._queries.add(1)
@@ -363,7 +719,17 @@ class ShardedEngine:
         One task per owning shard carries the whole batch's predicate
         list; pruning happens here in the parent (the shard tables are
         local), so skipped shards never reach the pool.  Returns
-        ``prefetched[query_index][shard] = (global_rids, stats|None)``.
+        ``prefetched[query_index][shard]`` cells — ``(global_rids,
+        checksum, stats)`` payloads, the ``_PRUNED`` sentinel, or
+        ``_POOL_FAILED`` for cells whose worker task failed (served by
+        replica failover, or degraded / raised downstream).
+
+        A failed task raises a typed :class:`ShardError` carrying the
+        per-task outcomes *and* the surviving prefetched cells — but
+        only when the failure is terminal (strict mode with no
+        replicas to fail over to); otherwise the healthy siblings'
+        results are kept and the failed shard takes the inline
+        failover path.
         """
         tables = {}
         for query in queries:
@@ -383,7 +749,7 @@ class ShardedEngine:
                 if shard_may_match(shard.table, query.predicate):
                     plan.append((query_index, query.predicate))
                 else:
-                    prefetched[query_index][position] = ([], None)
+                    prefetched[query_index][position] = _PRUNED
             plans.append(plan)
         if self._pool is None:
             self._pool = SupervisorPool(jobs=min(workers, self.shards))
@@ -413,12 +779,28 @@ class ShardedEngine:
                                _serve_shard_batch, (spec,))))
         report = self._pool.run([task for _position, task in tasks],
                                 timeout=timeout, retries=1)
+        failed = []
         for (position, _task), outcome in zip(tasks, report.outcomes):
             if not outcome.ok:
-                raise RuntimeError("shard worker %s failed: %s"
-                                   % (outcome.key, outcome.error))
-            for query_index, rids, stats in outcome.value:
-                prefetched[query_index][position] = (rids, stats)
+                failed.append((position, outcome))
+                for query_index, _predicate in plans[position]:
+                    prefetched[query_index][position] = _POOL_FAILED
+                continue
+            for query_index, rids, checksum, stats in outcome.value:
+                prefetched[query_index][position] = (rids, checksum,
+                                                     stats)
+        if failed and self.strict and self.replication == 0:
+            positions = ", ".join(str(position)
+                                  for position, _outcome in failed)
+            raise ShardError(
+                "shard worker(s) %s failed: %s"
+                % (positions, "; ".join(
+                    "%s: %s" % (outcome.key,
+                                (outcome.error or "?")
+                                .strip().splitlines()[0])
+                    for _position, outcome in failed)),
+                outcomes=report.outcomes, survivors=prefetched,
+                shard=failed[0][0])
         return prefetched
 
     # -- introspection --------------------------------------------------------
@@ -446,12 +828,13 @@ class ShardedEngine:
             engine.clear_caches()
         self._partitions.clear()
         self._pinned_tables.clear()
+        self._replica_placements.clear()
 
     def __repr__(self):
-        return "<ShardedEngine %s x%d %s cost_model=%s>" % (
+        return "<ShardedEngine %s x%d %s cost_model=%s replicas=%d>" % (
             self.config_name, self.shards,
             self.partitioner.describe(),
-            self.cost_model is not None)
+            self.cost_model is not None, self.replication)
 
 
 def _serve_shard_batch(spec):
@@ -459,9 +842,11 @@ def _serve_shard_batch(spec):
 
     Module-level (picklable) by supervisor contract.  Rebuilds the
     shard table and a private engine, evaluates each predicate with
-    batch-level CSE, and returns ``(query_index, global_rids, stats)``
-    triples — RIDs already mapped to the global space so the parent's
-    gather fold needs no shard state.
+    batch-level CSE, and returns ``(query_index, global_rids,
+    checksum, stats)`` tuples — RIDs already mapped to the global
+    space (so the parent's gather fold needs no shard state) and
+    checksummed at the sender, so corruption on the response path is
+    detected at delivery.
     """
     from .table import Table
     engine = QueryEngine(config=spec["config"],
@@ -478,6 +863,6 @@ def _serve_shard_batch(spec):
     for query_index, predicate in spec["predicates"]:
         local, stats = engine.evaluate_predicate(table, predicate,
                                                  cse=cse)
-        results.append((query_index,
-                        [global_rids[rid] for rid in local], stats))
+        rids = [global_rids[rid] for rid in local]
+        results.append((query_index, rids, rid_checksum(rids), stats))
     return results

@@ -14,10 +14,17 @@ classifying the outcome of each run (docs/ROBUSTNESS.md):
 - :mod:`repro.faults.campaign` runs seeded campaigns (``repro faults
   campaign``) and classifies every trial as masked / wrong-result /
   detected / hang / crash.
+- :mod:`repro.faults.db` attacks the *serving* layer instead: worker
+  kills, response delays and response corruption against the sharded
+  engine, with seeded ``repro db chaos`` campaigns classified as
+  masked / degraded / wrong-result / failed / hang.
 """
 
 from .campaign import run_campaign
+from .db import DbFaultInjector, run_db_campaign, sample_db_plan
 from .injector import FaultInjector
 from .plan import FaultPlan, sample_plan
 
-__all__ = ["FaultInjector", "FaultPlan", "run_campaign", "sample_plan"]
+__all__ = ["DbFaultInjector", "FaultInjector", "FaultPlan",
+           "run_campaign", "run_db_campaign", "sample_db_plan",
+           "sample_plan"]

@@ -36,6 +36,7 @@ import concurrent.futures
 import signal
 import time
 import traceback
+import warnings
 from concurrent.futures.process import BrokenProcessPool
 
 from .telemetry.registry import MetricsRegistry
@@ -43,6 +44,27 @@ from .telemetry.registry import MetricsRegistry
 #: Statuses a task can end in.  ``retried`` means it ultimately
 #: succeeded but needed more than one attempt.
 STATUSES = ("ok", "retried", "failed", "timeout")
+
+
+def _alarm_supported():
+    """Can this platform arm cooperative per-task timeouts?"""
+    return hasattr(signal, "SIGALRM")
+
+
+_TIMEOUT_WARNED = False
+
+
+def _warn_timeout_unsupported():
+    """One-time warning: a timeout was requested but cannot be armed."""
+    global _TIMEOUT_WARNED
+    if _TIMEOUT_WARNED:
+        return
+    _TIMEOUT_WARNED = True
+    warnings.warn(
+        "per-task timeouts need signal.SIGALRM, which this platform "
+        "lacks; tasks run without a timeout (reported as "
+        "timeout_unsupported in the supervise counts)",
+        RuntimeWarning, stacklevel=4)
 
 
 class Task:
@@ -86,11 +108,15 @@ class TaskOutcome:
 class SuperviseReport:
     """Everything one :func:`supervise` call produced."""
 
-    def __init__(self, outcomes, snapshot):
+    def __init__(self, outcomes, snapshot, timeout_unsupported=0):
         #: :class:`TaskOutcome` list in task-input order.
         self.outcomes = outcomes
         #: ``supervisor.*`` metrics snapshot of this run.
         self.snapshot = snapshot
+        #: Tasks that requested a timeout on a platform without
+        #: ``SIGALRM`` — they ran unguarded instead of silently
+        #: pretending a budget was enforced.
+        self.timeout_unsupported = timeout_unsupported
 
     @property
     def ok(self):
@@ -100,6 +126,7 @@ class SuperviseReport:
         tally = {status: 0 for status in STATUSES}
         for outcome in self.outcomes:
             tally[outcome.status] += 1
+        tally["timeout_unsupported"] = self.timeout_unsupported
         return tally
 
     def status_table(self):
@@ -232,9 +259,18 @@ class SupervisorPool:
         scope = registry.scope("supervisor")
         counters = {name: scope.counter(name)
                     for name in ("submitted", "ok", "retried", "failed",
-                                 "timeout", "requeued", "pool_breaks")}
+                                 "timeout", "requeued", "pool_breaks",
+                                 "timeout_unsupported")}
 
         records = [_Record(task) for task in tasks]
+        timeout_unsupported = 0
+        if timeout and not _alarm_supported():
+            # Silently disarming would report tasks as guarded when
+            # they are not; warn once and surface it in the counts.
+            _warn_timeout_unsupported()
+            timeout_unsupported = len(records)
+            counters["timeout_unsupported"].value += len(records)
+            timeout = None
         ready = collections.deque(records)
         delayed = []  # (due, record), kept sorted by due time
         in_flight = {}
@@ -321,7 +357,8 @@ class SupervisorPool:
 
         return SuperviseReport(
             [record.outcome for record in records],
-            registry.snapshot())
+            registry.snapshot(),
+            timeout_unsupported=timeout_unsupported)
 
 
 def supervise(tasks, jobs=2, timeout=None, retries=1, backoff=0.5,

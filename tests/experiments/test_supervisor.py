@@ -6,9 +6,14 @@ result when any future raised).
 """
 
 import os
+import signal
 import time
+import warnings
 
-from repro.supervisor import STATUSES, Task, supervise
+import pytest
+
+import repro.supervisor
+from repro.supervisor import (STATUSES, SupervisorPool, Task, supervise)
 
 
 # -- picklable worker functions (process-pool requirement) -------------------
@@ -108,10 +113,95 @@ class TestSupervise:
                             Task("bad", _boom)], jobs=2, retries=0)
         counts = report.counts()
         assert counts["ok"] == 1 and counts["failed"] == 1
-        assert set(counts) == set(STATUSES)
+        assert set(counts) == set(STATUSES) | {"timeout_unsupported"}
+        assert counts["timeout_unsupported"] == 0
         table = "\n".join(report.status_table())
         assert "good" in table and "ok" in table
         assert "bad" in table and "failed" in table
+
+
+class TestSupervisorPoolEdges:
+    """ISSUE 9 satellite: the pool's edge-case contracts."""
+
+    def test_retries_zero_fails_fast(self):
+        with SupervisorPool(jobs=1) as pool:
+            report = pool.run([Task("bad", _boom)], retries=0)
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 1
+        assert report.snapshot.as_dict()["supervisor.requeued"] == 0
+
+    def test_backoff_zero_retries_immediately(self, tmp_path):
+        marker = str(tmp_path / "attempted")
+        with SupervisorPool(jobs=1) as pool:
+            report = pool.run([Task("flaky", _flaky, (marker,))],
+                              retries=1, backoff=0)
+        outcome = report.outcomes[0]
+        assert outcome.status == "retried"
+        assert outcome.value == "recovered"
+        assert outcome.attempts == 2
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGALRM"),
+                        reason="needs SIGALRM")
+    def test_task_that_times_out_on_every_attempt(self):
+        with SupervisorPool(jobs=1) as pool:
+            report = pool.run([Task("hang", _sleep_forever)],
+                              timeout=0.3, retries=1, backoff=0.01)
+        outcome = report.outcomes[0]
+        assert outcome.status == "timeout"
+        assert outcome.attempts == 2
+        assert report.counts()["timeout"] == 1
+
+    def test_pool_breakage_mid_batch_keeps_siblings_and_pool(self):
+        """A hard worker death mid-batch: siblings' results survive
+        and the same pool serves the next batch."""
+        with SupervisorPool(jobs=2) as pool:
+            first = pool.run([Task("die", _die_hard),
+                              Task("live", _double, (8,))],
+                             retries=1, backoff=0.05)
+            by_key = {o.key: o for o in first.outcomes}
+            assert by_key["live"].value == 16
+            assert by_key["live"].status in ("ok", "retried")
+            assert by_key["die"].status == "failed"
+            assert first.snapshot.as_dict()[
+                "supervisor.pool_breaks"] >= 1
+            # The respawned pool is reusable for the next batch.
+            second = pool.run([Task("a", _double, (2,)),
+                               Task("b", _double, (3,))])
+            assert second.ok
+            assert [o.value for o in second.outcomes] == [4, 6]
+
+    def test_timeout_unsupported_warns_once_and_is_counted(
+            self, monkeypatch):
+        monkeypatch.setattr(repro.supervisor, "_alarm_supported",
+                            lambda: False)
+        monkeypatch.setattr(repro.supervisor, "_TIMEOUT_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="SIGALRM"):
+            report = supervise([Task("a", _double, (2,)),
+                                Task("b", _double, (3,))],
+                               jobs=2, timeout=5, retries=0)
+        assert report.ok  # tasks ran, just unguarded
+        counts = report.counts()
+        assert counts["timeout_unsupported"] == 2
+        assert report.timeout_unsupported == 2
+        assert report.snapshot.as_dict()[
+            "supervisor.timeout_unsupported"] == 2
+        # The warning is one-time per process.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            supervise([Task("c", _double, (4,))], jobs=1, timeout=5,
+                      retries=0)
+        assert not [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+
+    def test_no_timeout_requested_never_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = supervise([Task("a", _double, (1,))], jobs=1)
+        assert report.ok
+        assert report.timeout_unsupported == 0
+        assert not [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
 
 
 class TestRunParallel:

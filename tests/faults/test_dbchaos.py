@@ -1,0 +1,309 @@
+"""Db-layer chaos harness: injector, sampler, classifier, campaigns.
+
+The acceptance contract (ISSUE 9): with one replica a seeded
+worker-kill campaign completes every query byte-identical to the
+unsharded engine (every trial ``masked``); with zero replicas the same
+campaign yields only ``degraded`` outcomes — typed partial answers,
+never an unhandled exception and never a silently wrong RID list.
+Campaign reports are byte-identical across repeated runs.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.db import (DB_FAULT_KINDS, DB_OUTCOMES, WEDGE_CYCLES,
+                             DbFaultInjector, DbTrialProfile,
+                             ResponseCorrupt, ResponseDelay, WorkerKill,
+                             _classify, chaos_queries, run_db_campaign,
+                             sample_db_plan)
+from repro.faults.plan import FaultPlan
+
+# Small-but-real campaign shape: quick enough for the unit suite,
+# still 4 shards x multi-query batches with every query touching
+# every shard.  CI runs the issue-scale campaign via ``repro db
+# chaos``.
+CAMPAIGN = dict(shards=4, trials=10, seed=42, rows=256, queries=8)
+
+
+def make_injector(*faults):
+    return DbFaultInjector(FaultPlan(list(faults)))
+
+
+# ---------------------------------------------------------------------------
+# injector semantics
+# ---------------------------------------------------------------------------
+
+class TestInjector:
+    def test_kill_is_persistent_from_at_query(self):
+        injector = make_injector(WorkerKill(1, 2))
+        assert not injector.host_killed(1, 0)
+        assert not injector.host_killed(1, 1)
+        assert injector.host_killed(1, 2)
+        assert injector.host_killed(1, 7)
+        assert not injector.host_killed(0, 5)
+        assert len(injector.fired) == 2
+
+    def test_earliest_kill_wins_per_host(self):
+        injector = make_injector(WorkerKill(0, 5), WorkerKill(0, 1))
+        assert not injector.host_killed(0, 0)
+        assert injector.host_killed(0, 1)
+
+    def test_delay_is_one_shot(self):
+        injector = make_injector(ResponseDelay(0, 1, 100))
+        assert injector.delay_cycles(0, 0) == 0
+        assert injector.delay_cycles(0, 1) == 100
+        assert injector.delay_cycles(0, 1) == 0
+        assert injector.fired == [
+            ("response_delay", "shard 0 query 1 +100 cycles")]
+
+    def test_corrupt_drop_flip_inject(self):
+        rids = [10, 20, 30]
+        drop = make_injector(ResponseCorrupt(0, 0, "drop", 1, 0))
+        mutated, fired = drop.deliver(0, 0, rids)
+        assert fired and mutated == [10, 30]
+        flip = make_injector(ResponseCorrupt(0, 0, "flip", 2, 3))
+        mutated, fired = flip.deliver(0, 0, rids)
+        assert fired and mutated == [10, 20, 30 ^ 8]
+        inject = make_injector(ResponseCorrupt(0, 0, "inject", 1, 4))
+        mutated, fired = inject.deliver(0, 0, rids)
+        assert fired and len(mutated) == 4
+        # The original list is never mutated in place.
+        assert rids == [10, 20, 30]
+
+    def test_corrupt_is_one_shot(self):
+        injector = make_injector(ResponseCorrupt(0, 0, "drop", 0, 0))
+        _mutated, fired = injector.deliver(0, 0, [1, 2])
+        assert fired
+        _mutated, fired = injector.deliver(0, 0, [1, 2])
+        assert not fired
+
+    def test_noop_corruption_does_not_fire(self):
+        injector = make_injector(ResponseCorrupt(0, 0, "drop", 0, 0))
+        mutated, fired = injector.deliver(0, 0, [])
+        assert not fired and mutated == []
+        # ...and stays armed for a later non-empty delivery.
+        _mutated, fired = injector.deliver(0, 0, [5])
+        assert fired
+
+    def test_inject_into_empty_list_fires(self):
+        injector = make_injector(ResponseCorrupt(0, 0, "inject", 3, 2))
+        mutated, fired = injector.deliver(0, 0, [])
+        assert fired and len(mutated) == 1
+
+    def test_rejects_non_db_faults(self):
+        from repro.faults.plan import MemoryBitFlip
+        with pytest.raises(TypeError):
+            DbFaultInjector(FaultPlan([MemoryBitFlip("a", 0, 0)]))
+
+    def test_corrupt_mode_is_validated(self):
+        with pytest.raises(ValueError):
+            ResponseCorrupt(0, 0, "scramble", 0, 0)
+
+
+# ---------------------------------------------------------------------------
+# sampler + query batch
+# ---------------------------------------------------------------------------
+
+class TestSampler:
+    def test_one_fault_per_plan_within_profile(self):
+        import random
+        rng = random.Random("sampler-test")
+        profile = DbTrialProfile(shards=4, queries=8, delay_scale=64)
+        for _ in range(50):
+            plan = sample_db_plan(rng, profile)
+            assert len(plan) == 1
+
+    def test_kind_restriction(self):
+        import random
+        rng = random.Random("kill-only")
+        profile = DbTrialProfile(shards=4, queries=8, delay_scale=64)
+        for _ in range(20):
+            plan = sample_db_plan(rng, profile, kinds=("kill",))
+            assert isinstance(plan.faults[0], WorkerKill)
+
+    def test_unknown_kind_raises(self):
+        import random
+        profile = DbTrialProfile(shards=4, queries=8, delay_scale=64)
+        with pytest.raises(ValueError):
+            sample_db_plan(random.Random(0), profile,
+                           kinds=("gamma-ray",))
+
+    def test_chaos_queries_deterministic_and_where_only(self):
+        from repro.db.bench import build_demo_table
+        from repro.db.predicates import signature
+        table = build_demo_table(rows=128, seed=3)
+        first = chaos_queries(table, 8, seed=9)
+        second = chaos_queries(table, 8, seed=9)
+        assert [signature(q.predicate) for q in first] \
+            == [signature(q.predicate) for q in second]
+        for query in first:
+            assert query.order_by is None and query.limit is None
+
+
+# ---------------------------------------------------------------------------
+# trial classifier
+# ---------------------------------------------------------------------------
+
+class _FakeResult:
+    def __init__(self, rids, complete=True, makespan=10, failovers=0):
+        self.rids = rids
+        self.complete = complete
+        self.makespan_cycles = makespan
+        self.failovers = failovers
+
+
+class TestClassifier:
+    REF = [[1, 2, 3], [4, 5]]
+
+    def test_masked(self):
+        outcome, detail, degraded, failovers = _classify(
+            [_FakeResult([1, 2, 3], failovers=2), _FakeResult([4, 5])],
+            self.REF, fuel=100)
+        assert outcome == "masked" and detail is None
+        assert degraded == 0 and failovers == 2
+
+    def test_degraded_subset(self):
+        outcome, _detail, degraded, _f = _classify(
+            [_FakeResult([1, 3], complete=False), _FakeResult([4, 5])],
+            self.REF, fuel=100)
+        assert outcome == "degraded" and degraded == 1
+
+    def test_complete_but_different_is_wrong_result(self):
+        outcome, detail, _d, _f = _classify(
+            [_FakeResult([1, 2, 9]), _FakeResult([4, 5])],
+            self.REF, fuel=100)
+        assert outcome == "wrong_result"
+        assert "complete answer differs" in detail
+
+    def test_degraded_non_subset_is_wrong_result(self):
+        outcome, detail, _d, _f = _classify(
+            [_FakeResult([1, 99], complete=False),
+             _FakeResult([4, 5])], self.REF, fuel=100)
+        assert outcome == "wrong_result"
+        assert "not a subset" in detail
+
+    def test_hang_beats_degraded(self):
+        outcome, _detail, degraded, _f = _classify(
+            [_FakeResult([1, 2], complete=False, makespan=101),
+             _FakeResult([4, 5])], self.REF, fuel=100)
+        assert outcome == "hang" and degraded == 1
+
+    def test_wrong_result_beats_hang(self):
+        outcome, _detail, _d, _f = _classify(
+            [_FakeResult([9, 9], makespan=10 ** 9)],
+            [[1, 2]], fuel=100)
+        assert outcome == "wrong_result"
+
+
+# ---------------------------------------------------------------------------
+# campaigns (the acceptance scenarios, unit-suite scale)
+# ---------------------------------------------------------------------------
+
+class TestCampaigns:
+    def test_kill_with_replica_masks_every_trial(self):
+        report = run_db_campaign(replication=1, kinds=("kill",),
+                                 **CAMPAIGN)
+        assert report["summary"]["masked"] == CAMPAIGN["trials"]
+        assert all(report["summary"][name] == 0
+                   for name in DB_OUTCOMES if name != "masked")
+        assert report["faults"]["db.fault.kills"] >= 1
+        assert report["faults"]["db.fault.failovers"] >= 1
+
+    def test_kill_without_replica_only_degrades(self):
+        report = run_db_campaign(replication=0, kinds=("kill",),
+                                 **CAMPAIGN)
+        summary = report["summary"]
+        assert summary["degraded"] == CAMPAIGN["trials"]
+        assert summary["masked"] == summary["failed"] == 0
+        assert summary["wrong_result"] == 0
+        for trial in report["trials"]:
+            assert trial["outcome"] == "degraded"
+            assert trial["queries_degraded"] >= 1
+
+    def test_report_is_byte_identical_across_runs(self):
+        first = run_db_campaign(replication=1, trials=6, shards=4,
+                                seed=7, rows=192, queries=6)
+        second = run_db_campaign(replication=1, trials=6, shards=4,
+                                 seed=7, rows=192, queries=6)
+        assert json.dumps(first, sort_keys=True) \
+            == json.dumps(second, sort_keys=True)
+
+    def test_corruption_always_detected_never_merged(self):
+        report = run_db_campaign(replication=1, kinds=("corrupt",),
+                                 **CAMPAIGN)
+        summary = report["summary"]
+        assert summary["wrong_result"] == 0 and summary["failed"] == 0
+        faults = report["faults"]
+        assert faults["db.fault.corruptions"] >= 1
+        assert faults["db.fault.corruptions_detected"] \
+            == faults["db.fault.corruptions"]
+
+    def test_wedges_hang_without_a_deadline(self):
+        report = run_db_campaign(replication=1, kinds=("delay",),
+                                 deadline="none", **CAMPAIGN)
+        summary = report["summary"]
+        assert summary["hang"] >= 1
+        assert summary["wrong_result"] == 0 and summary["failed"] == 0
+        assert summary["hang"] + summary["masked"] \
+            == CAMPAIGN["trials"]
+        assert report["campaign"]["deadline_cycles"] is None
+
+    def test_auto_deadline_hedges_wedges_onto_replicas(self):
+        report = run_db_campaign(replication=1, kinds=("delay",),
+                                 deadline="auto", **CAMPAIGN)
+        summary = report["summary"]
+        assert summary["hang"] == 0
+        assert summary["wrong_result"] == 0 and summary["failed"] == 0
+        assert summary["masked"] == CAMPAIGN["trials"]
+        assert report["faults"]["db.fault.hedges"] >= 1
+
+    def test_report_shape(self):
+        report = run_db_campaign(replication=1, trials=3, shards=4,
+                                 seed=5, rows=128, queries=4)
+        campaign = report["campaign"]
+        assert campaign["layer"] == "db"
+        assert campaign["kinds"] == list(DB_FAULT_KINDS)
+        assert campaign["fuel_cycles"] > 0
+        assert set(report["summary"]) == set(DB_OUTCOMES)
+        assert len(report["trials"]) == 3
+        for trial in report["trials"]:
+            assert trial["outcome"] in DB_OUTCOMES
+            assert len(trial["faults"]) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_db_campaign(kinds=())
+        with pytest.raises(ValueError):
+            run_db_campaign(kinds=("meteor",))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_db_chaos_json(self, capsys):
+        from repro.cli import main
+        status = main(["db", "chaos", "--trials", "3", "--rows", "128",
+                       "--queries", "4", "--json"])
+        assert status == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["campaign"]["layer"] == "db"
+        assert sum(report["summary"].values()) == 3
+
+    def test_db_chaos_text_and_out(self, capsys, tmp_path):
+        from repro.cli import main
+        out = tmp_path / "chaos.json"
+        status = main(["db", "chaos", "--trials", "3", "--rows", "128",
+                       "--queries", "4", "--kinds", "kill",
+                       "--replicas", "0", "--out", str(out)])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "degraded" in text
+        report = json.loads(out.read_text())
+        assert report["summary"]["degraded"] == 3
+
+    def test_wedge_delays_classify_as_wedge_constant(self):
+        # Guard the constant the docs cite: a wedge dwarfs any fuel.
+        assert WEDGE_CYCLES == 1 << 40
