@@ -228,6 +228,18 @@ def build_parser():
                               help="refused dispatches before the "
                                    "half-open probe "
                                    "(default %(default)s)")
+    db_chaos_cmd.add_argument("--delta-batches", type=int, default=0,
+                              metavar="N",
+                              help="apply N Z-set delta batches to a "
+                                   "columnar table before the "
+                                   "campaign (0 keeps the row-"
+                                   "oriented demo table; needs "
+                                   "NumPy) (default %(default)s)")
+    db_chaos_cmd.add_argument("--delta-rows", type=int, default=32,
+                              metavar="R",
+                              help="inserted rows per delta batch "
+                                   "(deletes run at R/2) "
+                                   "(default %(default)s)")
     db_chaos_cmd.add_argument("--json", action="store_true",
                               help="print the full campaign report "
                                    "as JSON")
@@ -686,7 +698,9 @@ def _cmd_db_chaos(args):
         queries=args.queries, deadline=args.deadline, kinds=kinds,
         partitioner=args.partitioner,
         breaker_threshold=args.breaker_threshold,
-        breaker_cooldown=args.breaker_cooldown, log=log)
+        breaker_cooldown=args.breaker_cooldown,
+        delta_batches=args.delta_batches, delta_rows=args.delta_rows,
+        log=log)
     if args.out:
         with open(args.out, "w") as handle:
             json_module.dump(report, handle, indent=2, sort_keys=True)
@@ -706,6 +720,14 @@ def _cmd_db_chaos(args):
     print("  deadline %s, fuel %d cycles"
           % ("%d cycles" % deadline if deadline else "disarmed",
              campaign["fuel_cycles"]))
+    if "delta" in campaign:
+        delta = campaign["delta"]
+        print("  delta stream: %d batches x %d rows -> %d live rows "
+              "in a %d-wide RID space (%d annihilated, "
+              "%d compactions)"
+              % (delta["batches"], delta["rows_per_batch"],
+                 delta["live_rows"], delta["rid_limit"],
+                 delta["annihilated"], delta["compactions"]))
     for name in DB_OUTCOMES:
         print("  %-12s %d" % (name, summary[name]))
     for name, value in sorted(report["faults"].items()):

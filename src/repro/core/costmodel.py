@@ -64,6 +64,18 @@ except ImportError:  # pragma: no cover - CI images install numpy
 _CALIBRATIONS = {}
 
 
+def _operand_list(values):
+    """Normalize a kernel operand to a plain list of Python ints.
+
+    The columnar storage layer produces ndarray RID/value vectors;
+    everything below the public CostModel API (feature extraction,
+    kernel walks, calibration probes) assumes list semantics.
+    """
+    if _np is not None and isinstance(values, _np.ndarray):
+        return values.tolist()
+    return values
+
+
 def clear_calibration_cache():
     _CALIBRATIONS.clear()
 
@@ -650,7 +662,14 @@ class CostModel:
 
     def set_operation(self, processor, which, set_a, set_b,
                       unroll=DEFAULT_UNROLL):
-        """Model one set kernel; ``(values, cycles, source)``."""
+        """Model one set kernel; ``(values, cycles, source)``.
+
+        Operands may be plain lists or NumPy arrays (the columnar
+        storage layer hands over ndarray scan results directly); the
+        kernel walk, features and calibration always see lists.
+        """
+        set_a = _operand_list(set_a)
+        set_b = _operand_list(set_b)
         extension = _eis_extension(processor)
         if extension is not None:
             partial = bool(extension.setdp.partial_load)
@@ -684,7 +703,12 @@ class CostModel:
                              _set_probes(), (set_a, set_b))
 
     def merge_sort(self, processor, values):
-        """Model one sort kernel; ``(values, cycles, source)``."""
+        """Model one sort kernel; ``(values, cycles, source)``.
+
+        *values* may be a list or a NumPy array (see
+        :meth:`set_operation`).
+        """
+        values = _operand_list(values)
         extension = _eis_extension(processor)
         if extension is not None:
             kind = ("eis_sort",)

@@ -11,7 +11,10 @@ across N partitioned shard engines with the EIS union kernel as the
 gather reduce.
 """
 
-from .engine import Query, QueryEngine, QueryResult
+from .columnar import (ColumnarIndex, ColumnarTable, DeltaBatch,
+                       delta_mask, signature_affected)
+from .engine import (Query, QueryEngine, QueryResult, StandingQuery,
+                     StandingUpdate)
 from .executor import QueryExecutor, QueryStats, RID_BITS
 from .failover import CircuitBreaker, ShardError, rid_checksum
 from .partition import (HashPartitioner, Partitioner, RangePartitioner,
@@ -22,7 +25,10 @@ from .predicates import (And, AndNot, Eq, In, Leaf, Or, Predicate,
 from .shard import ShardedEngine, ShardedResult
 from .table import SecondaryIndex, Table
 
-__all__ = ["Query", "QueryEngine", "QueryResult",
+__all__ = ["ColumnarIndex", "ColumnarTable", "DeltaBatch",
+           "delta_mask", "signature_affected",
+           "Query", "QueryEngine", "QueryResult",
+           "StandingQuery", "StandingUpdate",
            "QueryExecutor", "QueryStats", "RID_BITS",
            "CircuitBreaker", "ShardError", "rid_checksum",
            "HashPartitioner", "Partitioner", "RangePartitioner",

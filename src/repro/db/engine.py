@@ -34,6 +34,9 @@ from ..core.costmodel import CostModel, default_cost_model
 from ..supervisor import Task, supervise
 from ..telemetry.querytrace import QueryTracer
 from ..telemetry.registry import MetricsRegistry
+# The columnar module imports without numpy; only constructing a
+# ColumnarTable (and therefore reaching these helpers) requires it.
+from .columnar import delta_mask, signature_affected
 from .executor import QueryExecutor, QueryStats, _merge_stats
 from .planlint import lint_query_or_raise
 from .predicates import Combinator, Leaf, signature
@@ -72,6 +75,54 @@ class QueryResult:
     def __repr__(self):
         return "<QueryResult %d rows, %d cycles>" % (
             len(self.rows), self.stats.cycles)
+
+
+class StandingQuery:
+    """A registered query maintained incrementally under deltas.
+
+    Holds the current sorted matching-RID list; each
+    :meth:`QueryEngine.apply_delta` re-evaluates the predicate only
+    over the delta's rows (vectorized, via
+    :func:`~repro.db.columnar.delta_mask`) and folds the result in —
+    the table is never rescanned.
+    """
+
+    __slots__ = ("query", "rids", "_members")
+
+    def __init__(self, query, rids):
+        self.query = query
+        self.rids = list(rids)
+        self._members = set(self.rids)
+
+    def _fold(self, added, removed):
+        if removed:
+            dead = set(removed)
+            self._members -= dead
+            self.rids = [rid for rid in self.rids if rid not in dead]
+        if added:
+            # New RIDs are above everything ever assigned, so
+            # appending keeps the list sorted.
+            self.rids.extend(added)
+            self._members.update(added)
+
+    def __repr__(self):
+        return "<StandingQuery %s: %d rids>" % (
+            self.query.table.name, len(self.rids))
+
+
+class StandingUpdate:
+    """Output delta of one standing query for one input delta."""
+
+    __slots__ = ("standing", "added", "removed")
+
+    def __init__(self, standing, added, removed):
+        self.standing = standing
+        self.added = added
+        self.removed = removed
+
+    def __repr__(self):
+        return "<StandingUpdate +%d -%d>" % (len(self.added),
+                                             len(self.removed))
 
 
 class QueryEngine:
@@ -116,10 +167,19 @@ class QueryEngine:
         self._queue_depth = scope.gauge("queue_depth")
         self._workers = scope.gauge("workers")
         self._active_workers = scope.gauge("active_workers")
+        self._deltas = scope.counter("deltas")
+        self._delta_rows = scope.counter("delta_rows")
+        self._scan_invalidated = scope.counter(
+            "scan_cache.invalidated")
+        self._standing_count = scope.gauge("standing.registered")
+        self._standing_updates = scope.counter("standing.updates")
+        self._standing_scanned = scope.counter("standing.rows_scanned")
         #: (id(table), signature) -> RID list; tables are pinned so
         #: the id() keys stay unique for the engine's lifetime.
         self._scan_cache = {}
         self._pinned_tables = {}
+        #: id(table) -> [StandingQuery, ...]
+        self._standing = {}
 
     # -- single query ---------------------------------------------------------
 
@@ -188,6 +248,81 @@ class QueryEngine:
                               index)
         return rids, stats
 
+    # -- delta maintenance ----------------------------------------------------
+
+    def apply_delta(self, table, batch):
+        """Apply a :class:`~repro.db.columnar.DeltaBatch` to *table*
+        and maintain all derived engine state.
+
+        * Scan-cache entries survive unless some leaf of their
+          predicate can match a value the delta touched (checked
+          vectorized against the delta's per-column value footprint).
+        * Standing queries are re-evaluated only over the delta's rows
+          and each emits a :class:`StandingUpdate` output delta.
+
+        Returns ``{"table": <table outcome>, "invalidated": n,
+        "updates": [StandingUpdate, ...]}``.
+        """
+        if not hasattr(table, "apply_delta"):
+            raise TypeError(
+                "table %r is not delta-capable; build a "
+                "repro.db.columnar.ColumnarTable" % (table.name,))
+        outcome = table.apply_delta(batch)
+        touched = outcome["touched"]
+        invalidated = self._invalidate_scan_cache(id(table), touched)
+        updates = []
+        insert_rids = outcome["insert_rids"]
+        removed_candidates = set(outcome["deleted_rids"].tolist())
+        for standing in self._standing.get(id(table), ()):
+            if len(insert_rids):
+                mask = delta_mask(standing.query.predicate,
+                                  outcome["insert_columns"])
+                added = insert_rids[mask].tolist()
+            else:
+                added = []
+            removed = sorted(standing._members & removed_candidates)
+            standing._fold(added, removed)
+            updates.append(StandingUpdate(standing, added, removed))
+            self._standing_updates.add(1)
+            self._standing_scanned.add(
+                len(insert_rids) + len(removed_candidates))
+        self._deltas.add(1)
+        self._delta_rows.add(len(insert_rids)
+                             + len(removed_candidates))
+        self._scan_invalidated.add(invalidated)
+        return {"table": outcome, "invalidated": invalidated,
+                "updates": updates}
+
+    def _invalidate_scan_cache(self, table_id, touched):
+        """Drop cache entries whose predicate overlaps *touched*."""
+        stale = [key for key in self._scan_cache
+                 if key[0] == table_id
+                 and signature_affected(key[1], touched)]
+        for key in stale:
+            del self._scan_cache[key]
+        return len(stale)
+
+    def register_standing(self, query):
+        """Register *query* for incremental maintenance.
+
+        The query must be a pure WHERE shape (no ORDER BY / limit /
+        projection — the output is a sorted RID set, a Z-set view).
+        It is evaluated once now; afterwards
+        :meth:`apply_delta` maintains it from delta rows alone.
+        """
+        if query.predicate is None or query.order_by is not None \
+                or query.limit is not None or query.columns:
+            raise ValueError("standing queries are pure WHERE shapes")
+        lint_query_or_raise(query, engine=self)
+        rids, _stats = self.evaluate_predicate(query.table,
+                                               query.predicate)
+        standing = StandingQuery(query, rids)
+        self._standing.setdefault(id(query.table), []).append(standing)
+        self._pinned_tables[id(query.table)] = query.table
+        self._standing_count.set(
+            sum(len(group) for group in self._standing.values()))
+        return standing
+
     # -- internals ------------------------------------------------------------
 
     def _execute_one(self, query, cse, tracer=None, index=0):
@@ -203,7 +338,7 @@ class QueryEngine:
                 rids = self._evaluate(table, query.predicate, stats,
                                       cse, tracer, index)
             else:
-                rids = list(range(table.row_count))
+                rids = table.all_rids()
             if query.order_by is not None:
                 sort = tracer.span("sort", query=index,
                                    column=query.order_by) \
@@ -373,6 +508,11 @@ class QueryEngine:
                                 in table.columns.items()},
                     "indexes": [column for column in table.columns
                                 if table.has_index(column)],
+                    # Live global RIDs, position-aligned with the
+                    # column lists: columnar tables have sparse RID
+                    # spaces, so workers serve dense local RIDs and
+                    # the results are mapped back through this.
+                    "rids": table.all_rids(),
                 }
             query_specs.append({
                 "table": id(table),
@@ -442,7 +582,8 @@ def _serve_worker_chunk(spec):
     cse = {}
     payloads = []
     for query_spec in spec["queries"]:
-        query = Query(tables[query_spec["table"]],
+        table_id = query_spec["table"]
+        query = Query(tables[table_id],
                       predicate=query_spec["predicate"],
                       order_by=query_spec["order_by"],
                       descending=query_spec["descending"],
@@ -450,7 +591,13 @@ def _serve_worker_chunk(spec):
                       limit=query_spec["limit"])
         result = engine._execute_one(query, cse, tracer,
                                      query_spec.get("index", 0))
-        payloads.append((result.rows, result.rids, result.stats))
+        # Map dense local RIDs back to the parent's (possibly sparse)
+        # global RID space; the map is ascending, so order, ties and
+        # limits are preserved exactly.
+        global_rids = spec["tables"][table_id].get("rids")
+        rids = result.rids if global_rids is None \
+            else [global_rids[rid] for rid in result.rids]
+        payloads.append((result.rows, rids, result.stats))
     return {
         "results": payloads,
         "metrics": engine.metrics_snapshot(),

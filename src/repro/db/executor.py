@@ -115,12 +115,13 @@ class QueryExecutor:
         without charging cycles — identically on the ISS and the
         cost-model paths, so the two stay differentially comparable).
         """
-        if not left or not right:
+        if len(left) == 0 or len(right) == 0:
+            # len() instead of truthiness: operands may be ndarrays.
             stats.short_circuits += 1
             if which == "intersection":
                 return []
             if which == "union":
-                return list(left) if left else list(right)
+                return list(left) if len(left) else list(right)
             return list(left)  # difference: A - empty = A, empty - B = []
         if which == "intersection" and len(right) < len(left):
             # index-ANDing order: smaller list first (Raman et al.)
@@ -154,14 +155,40 @@ class QueryExecutor:
         below ``2**19`` (dictionary-encode larger domains first).
         """
         stats = QueryStats()
-        if not rids:
+        if len(rids) == 0:
             return [], stats
-        if table.row_count > (1 << RID_BITS):
+        packed = self.pack_rids(table, rids, key_column)
+        sorted_packed, stats = self.sort_packed(packed, stats)
+        ordered = [value & ((1 << RID_BITS) - 1)
+                   for value in sorted_packed]
+        if descending:
+            ordered.reverse()
+        return ordered, stats
+
+    def pack_rids(self, table, rids, key_column):
+        """``key << RID_BITS | rid`` packed words for a RID list.
+
+        Pure packing, no cycles charged — the sharded engine packs per
+        shard and sorts the pieces in parallel, so packing and sorting
+        are separate steps.
+        """
+        if table.rid_limit() > (1 << RID_BITS):
             raise ValueError(
                 "ORDER BY packing supports up to %d rows; shard or "
                 "widen RID_BITS" % (1 << RID_BITS))
         shifted = self._shifted_keys(table, key_column)
-        packed = [shifted[rid] | rid for rid in rids]
+        if isinstance(shifted, list):
+            return [shifted[rid] | rid for rid in rids]
+        # ndarray path (columnar tables): since rid < 2**RID_BITS and
+        # the shifted key is a multiple of 2**RID_BITS, | equals +.
+        return (shifted.take(list(rids)) + list(rids)).tolist()
+
+    def sort_packed(self, packed, stats=None):
+        """Cycle-accounted merge sort of pre-packed key/RID words."""
+        if stats is None:
+            stats = QueryStats()
+        if len(packed) == 0:
+            return [], stats
         stats.sort_operations += 1
         if self.cost_model is not None:
             sorted_packed, cycles, source = self.cost_model.merge_sort(
@@ -170,11 +197,7 @@ class QueryExecutor:
         else:
             sorted_packed, run_result = self._sort(packed)
             stats.add_run(run_result, "iss")
-        ordered = [value & ((1 << RID_BITS) - 1)
-                   for value in sorted_packed]
-        if descending:
-            ordered.reverse()
-        return ordered, stats
+        return sorted_packed, stats
 
     def _shifted_keys(self, table, key_column):
         """Memoized ``key << RID_BITS`` per (table, column).
@@ -185,16 +208,25 @@ class QueryExecutor:
         """
         cache_key = (id(table), key_column)
         cached = self._packed_key_cache.get(cache_key)
-        keys = table.column(key_column)
+        keys = table.rid_indexed_column(key_column)
         if cached is not None and cached[0] is keys:
+            # Columnar tables memoize rid_indexed_column per version,
+            # so a delta naturally rotates this cache entry too.
             return cached[1]
         key_bits = 32 - RID_BITS - 1  # keep below the sentinel
         limit = 1 << key_bits
-        if keys and max(keys) >= limit:
-            raise ValueError(
-                "ORDER BY keys must be below 2**%d; dictionary-"
-                "encode the column" % key_bits)
-        shifted = [key << RID_BITS for key in keys]
+        if isinstance(keys, list):
+            if keys and max(keys) >= limit:
+                raise ValueError(
+                    "ORDER BY keys must be below 2**%d; dictionary-"
+                    "encode the column" % key_bits)
+            shifted = [key << RID_BITS for key in keys]
+        else:
+            if len(keys) and int(keys.max()) >= limit:
+                raise ValueError(
+                    "ORDER BY keys must be below 2**%d; dictionary-"
+                    "encode the column" % key_bits)
+            shifted = keys << RID_BITS
         self._packed_key_cache[cache_key] = (keys, shifted)
         return shifted
 
@@ -215,7 +247,7 @@ class QueryExecutor:
             rids, where_stats = self.where(table, predicate)
             _merge_stats(stats, where_stats)
         else:
-            rids = list(range(table.row_count))
+            rids = table.all_rids()
         if order_by is not None:
             rids, sort_stats = self.order_by(table, rids, order_by,
                                              descending)

@@ -56,6 +56,17 @@ class Partitioner:
         """Shard id per row, in RID order (length == row_count)."""
         raise NotImplementedError
 
+    def router(self, table):
+        """Frozen per-table routing closure ``(rid, row) -> shard``.
+
+        Captured at partition time so delta batches route rows
+        *incrementally*: the closure must agree with :meth:`assign` on
+        every existing row and extend deterministically to new RIDs —
+        range bounds in particular are frozen here, never recomputed,
+        so existing rows never move shards under deltas.
+        """
+        raise NotImplementedError
+
     def describe(self):
         target = self.column if self.column is not None else "rid"
         return "%s(%s) x %d" % (self.kind, target, self.shards)
@@ -72,10 +83,16 @@ class HashPartitioner(Partitioner):
     def assign(self, table):
         shards = self.shards
         if self.column is None:
-            return [_mix32(rid) % shards
-                    for rid in range(table.row_count)]
+            return [_mix32(rid) % shards for rid in table.all_rids()]
         return [_mix32(value) % shards
                 for value in table.column(self.column)]
+
+    def router(self, table):
+        shards = self.shards
+        if self.column is None:
+            return lambda rid, row: _mix32(rid) % shards
+        column = self.column
+        return lambda rid, row: _mix32(row[column]) % shards
 
 
 class RangePartitioner(Partitioner):
@@ -109,10 +126,40 @@ class RangePartitioner(Partitioner):
         values = table.column(self.column)
         bounds = self.bounds
         if bounds is None:
-            ordered = sorted(values)
-            bounds = [ordered[(rows * cut) // self.shards - 1]
-                      for cut in range(1, self.shards)]
+            bounds = self._quantile_bounds(values)
         return [bisect.bisect_right(bounds, value) for value in values]
+
+    def _quantile_bounds(self, values):
+        ordered = sorted(values)
+        rows = len(values)
+        return [ordered[(rows * cut) // self.shards - 1]
+                for cut in range(1, self.shards)]
+
+    def router(self, table):
+        if self.column is not None:
+            bounds = self.bounds
+            if bounds is None:
+                bounds = self._quantile_bounds(
+                    table.column(self.column))
+            column = self.column
+            return lambda rid, row: bisect.bisect_right(bounds,
+                                                        row[column])
+        # RID mode: freeze the RID cut points of the current
+        # assignment.  rid_bounds[i] is the highest RID in shards
+        # 0..i, so bisect_left (elements strictly below the probe)
+        # lands existing rows exactly where assign() put them and new
+        # (higher) RIDs in the last shard.
+        assignments = self.assign(table)
+        all_rids = table.all_rids()
+        rid_bounds = []
+        previous = -1
+        for position, shard_id in enumerate(assignments):
+            while len(rid_bounds) < shard_id:
+                rid_bounds.append(previous)
+            previous = all_rids[position]
+        while len(rid_bounds) < self.shards - 1:
+            rid_bounds.append(previous)
+        return lambda rid, row: bisect.bisect_left(rid_bounds, rid)
 
 
 PARTITIONER_KINDS = ("hash", "range")
@@ -137,6 +184,11 @@ class TableShard:
     (rows are appended in global RID order), so mapping a sorted local
     RID list yields a sorted global RID list — the operand format of
     the EIS set instructions the gather reduce runs on.
+
+    ``global_rids`` is ``None`` for columnar shards: their sub-tables
+    keep the parent's global RIDs directly (sparse RID space), so
+    :meth:`to_global` is the identity and delta batches can replay
+    onto the shard without renumbering anything.
     """
 
     __slots__ = ("shard_id", "table", "global_rids")
@@ -153,7 +205,15 @@ class TableShard:
     def to_global(self, local_rids):
         """Map shard-local RIDs to global RIDs (order-preserving)."""
         global_rids = self.global_rids
+        if global_rids is None:
+            return list(local_rids)
         return [global_rids[rid] for rid in local_rids]
+
+    def held_rids(self):
+        """Global RIDs this shard holds (sorted)."""
+        if self.global_rids is None:
+            return self.table.all_rids()
+        return list(self.global_rids)
 
     def __repr__(self):
         return "<TableShard %d: %d rows>" % (self.shard_id,
@@ -172,22 +232,33 @@ def partition_table(table, partitioner):
         raise ValueError("partitioner assigned %d rows of %d"
                          % (len(assignments), table.row_count))
     shards = partitioner.shards
-    rid_lists = [[] for _ in range(shards)]
-    for rid, shard_id in enumerate(assignments):
+    all_rids = table.all_rids()
+    position_lists = [[] for _ in range(shards)]
+    for position, shard_id in enumerate(assignments):
         if not 0 <= shard_id < shards:
             raise ValueError("row %d assigned to shard %r (of %d)"
-                             % (rid, shard_id, shards))
-        rid_lists[shard_id].append(rid)
+                             % (all_rids[position], shard_id, shards))
+        position_lists[shard_id].append(position)
     indexed = [name for name in table.columns if table.has_index(name)]
+    columnar = hasattr(table, "subset")
     result = []
-    for shard_id, global_rids in enumerate(rid_lists):
-        columns = {name: [values[rid] for rid in global_rids]
-                   for name, values in table.columns.items()}
-        shard_table = Table("%s/shard%d" % (table.name, shard_id),
-                            columns)
-        for name in indexed:
-            shard_table.create_index(name)
-        result.append(TableShard(shard_id, shard_table, global_rids))
+    for shard_id, positions in enumerate(position_lists):
+        name = "%s/shard%d" % (table.name, shard_id)
+        global_rids = [all_rids[position] for position in positions]
+        if columnar:
+            # Columnar shards keep the parent's (sparse) global RID
+            # space — no local/global map to maintain under deltas.
+            shard_table = table.subset(name, global_rids)
+            shard = TableShard(shard_id, shard_table, None)
+        else:
+            columns = {col: [values[position]
+                             for position in positions]
+                       for col, values in table.columns.items()}
+            shard = TableShard(shard_id, Table(name, columns),
+                               global_rids)
+        for col in indexed:
+            shard.table.create_index(col)
+        result.append(shard)
     return result
 
 

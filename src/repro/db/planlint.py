@@ -13,7 +13,7 @@ Error-severity codes (enforced at :class:`QueryEngine` admission):
   column the table does not have.
 * ``PLAN002`` — a predicate leaf's column has no secondary index
   (leaf scans require one; full-scan shapes are unsupported).
-* ``PLAN007`` — ``ORDER BY`` on a table whose row count exceeds the
+* ``PLAN007`` — ``ORDER BY`` on a table whose RID space exceeds the
   RID packing budget (``2^RID_BITS`` rows) — the executor would raise
   mid-query.
 
@@ -79,11 +79,12 @@ def lint_query(query, engine=None, report=None):
             report.add("PLAN001", "error",
                        "ORDER BY column %r does not exist on table %r"
                        % (query.order_by, table.name), source)
-        elif table.row_count > (1 << RID_BITS):
+        elif table.rid_limit() > (1 << RID_BITS):
             report.add("PLAN007", "error",
-                       "ORDER BY on %d rows exceeds the %d-row RID "
-                       "packing budget; the sort would fail at run "
-                       "time" % (table.row_count, 1 << RID_BITS),
+                       "ORDER BY on a %d-wide RID space exceeds the "
+                       "%d-row RID packing budget; the sort would "
+                       "fail at run time" % (table.rid_limit(),
+                                             1 << RID_BITS),
                        source)
     if query.columns:
         for column in query.columns:

@@ -67,13 +67,15 @@ from ..core.costmodel import CostModel
 from ..cpu.interconnect import Interconnect
 from ..supervisor import SupervisorPool, Task
 from ..telemetry.registry import MetricsRegistry
+from .columnar import DeltaBatch, signature_affected
 from .engine import QueryEngine, QueryResult
-from .executor import QueryStats, _merge_stats
+from .executor import RID_BITS, QueryStats, _merge_stats
 from .failover import (BREAKER_STATES, CircuitBreaker, ShardError,
                        rid_checksum)
 from .partition import (make_partitioner, partition_table,
                         plan_replicas, shard_may_match, skew_ratio)
 from .planlint import lint_query_or_raise
+from .predicates import signature
 
 #: Bytes one RID occupies on the wire (the paper's 32-bit element).
 RID_BYTES = 4
@@ -200,7 +202,7 @@ class ShardedEngine:
                  interconnect=None, replication=0, replica_budget=None,
                  strict=True, deadline_cycles=None, hedge_fraction=0.5,
                  breaker_threshold=3, breaker_cooldown=8,
-                 fault_injector=None):
+                 fault_injector=None, partitioned_order_by=True):
         if shards < 1:
             raise ValueError("need at least one shard")
         if not 0 <= replication <= shards - 1:
@@ -250,6 +252,11 @@ class ShardedEngine:
         self._replication_gauge = scope.gauge("replication")
         self._replication_gauge.set(replication)
         self._makespan_hist = scope.histogram("query_makespan_cycles")
+        self.partitioned_order_by = partitioned_order_by
+        self._sort_merges = scope.counter("sort.merges")
+        self._sort_merge_cycles = scope.counter("sort.merge_cycles")
+        self._deltas = scope.counter("deltas")
+        self._delta_rows = scope.counter("delta_rows")
         fault_scope = self.registry.scope("db.fault")
         self._fault = {name: fault_scope.counter(name)
                        for name in FAULT_COUNTERS}
@@ -269,6 +276,12 @@ class ShardedEngine:
                 "rows_held": shard_scope.gauge("rows_held"),
                 "queue_depth": shard_scope.gauge("queue_depth"),
                 "replicas": shard_scope.gauge("replicas"),
+                "cache_hits": shard_scope.scope("cache")
+                .counter("hits"),
+                "cache_misses": shard_scope.scope("cache")
+                .counter("misses"),
+                "cache_invalidated": shard_scope.scope("cache")
+                .counter("invalidated"),
             })
             breaker_scope = shard_scope.scope("breaker")
             self._breaker_scopes.append({
@@ -284,6 +297,16 @@ class ShardedEngine:
         self._pinned_tables = {}
         #: id(table) -> plan_replicas placement (replica hosts/shard).
         self._replica_placements = {}
+        #: Cross-batch shard WHERE caches: per shard position,
+        #: (id(shard.table), predicate signature) -> global RID list.
+        #: Disabled under fault injection — a cache hit would mask the
+        #: very failover paths the chaos harness measures.
+        self._shard_cache = [{} for _ in range(shards)]
+        self._cache_enabled = fault_injector is None
+        #: id(table) -> frozen Partitioner.router closure (delta
+        #: routing) and rid -> shard-position owner map.
+        self._routers = {}
+        self._rid_owners = {}
         self._pool = None
 
     # -- lifecycle ------------------------------------------------------------
@@ -312,6 +335,9 @@ class ShardedEngine:
         shards = partition_table(table, self.partitioner)
         self._partitions[key] = shards
         self._pinned_tables[key] = table
+        # Freeze the routing closure now: range bounds must never be
+        # recomputed after deltas, or existing rows would move shards.
+        self._routers[key] = self.partitioner.router(table)
         placement = plan_replicas([shard.row_count for shard in shards],
                                   self.shards, self.replication,
                                   budget=self.replica_budget)
@@ -326,6 +352,94 @@ class ShardedEngine:
         """Engine indices hosting shard *position*'s replicas."""
         self.shards_for(table)
         return list(self._replica_placements[id(table)][position])
+
+    # -- delta maintenance ----------------------------------------------------
+
+    def apply_delta(self, table, batch):
+        """Apply a delta batch to a sharded columnar table.
+
+        The coordinator engine applies the batch to the parent table
+        first (assigning RIDs, maintaining its scan cache and standing
+        queries); the effective rows are then routed through the
+        table's *frozen* partition router — inserts to the shard the
+        router names, deletes to the shard that owns the RID — and
+        replayed onto each shard's sub-table as a pre-assigned-RID
+        sub-batch.  Existing rows never move shards, so every cached
+        structure survives except entries whose predicate overlaps the
+        delta's touched values.
+        """
+        shards = self.shards_for(table)
+        key = id(table)
+        router = self._routers[key]
+        owners = self._rid_owners.get(key)
+        if owners is None:
+            owners = {}
+            for position, shard in enumerate(shards):
+                for rid in shard.held_rids():
+                    owners[rid] = position
+            self._rid_owners[key] = owners
+        applied = self.coordinator.apply_delta(table, batch)
+        outcome = applied["table"]
+        insert_rids = outcome["insert_rids"].tolist()
+        insert_columns = {name: values.tolist() for name, values
+                          in outcome["insert_columns"].items()}
+        deleted_rids = outcome["deleted_rids"].tolist()
+        names = list(insert_columns)
+        per_inserts = [([], {name: [] for name in names})
+                       for _ in range(self.shards)]
+        for offset, rid in enumerate(insert_rids):
+            row = {name: insert_columns[name][offset]
+                   for name in names}
+            position = router(rid, row)
+            owners[rid] = position
+            rid_list, column_lists = per_inserts[position]
+            rid_list.append(rid)
+            for name in names:
+                column_lists[name].append(row[name])
+        per_deletes = [[] for _ in range(self.shards)]
+        for rid in deleted_rids:
+            per_deletes[owners.pop(rid)].append(rid)
+        for position, shard in enumerate(shards):
+            rid_list, column_lists = per_inserts[position]
+            delete_list = per_deletes[position]
+            if not rid_list and not delete_list:
+                continue
+            sub_batch = DeltaBatch(
+                inserts=column_lists if rid_list else None,
+                delete_rids=delete_list,
+                insert_rids=rid_list or None)
+            sub_outcome = shard.table.apply_delta(sub_batch)
+            touched = sub_outcome["touched"]
+            self._invalidate_shard_cache(position, shard.table,
+                                         touched)
+            for engine in self.shard_engines:
+                engine._invalidate_scan_cache(id(shard.table),
+                                              touched)
+            self._shard_scopes[position]["rows_held"].set(
+                shard.table.row_count)
+        self._deltas.add(1)
+        self._delta_rows.add(len(insert_rids) + len(deleted_rids))
+        return applied
+
+    def _invalidate_shard_cache(self, position, shard_table, touched):
+        """Drop shard-cache entries whose predicate overlaps the
+        delta's touched values (same rule as the engine scan cache,
+        but over whole-tree signatures)."""
+        cache = self._shard_cache[position]
+        stale = [key for key in cache
+                 if key[0] == id(shard_table)
+                 and signature_affected(key[1], touched)]
+        for key in stale:
+            del cache[key]
+        if stale:
+            self._shard_scopes[position]["cache_invalidated"].add(
+                len(stale))
+        return len(stale)
+
+    def register_standing(self, query):
+        """Register a standing query on the coordinator engine (the
+        parent table sees every delta exactly once there)."""
+        return self.coordinator.register_standing(query)
 
     # -- serving --------------------------------------------------------------
 
@@ -392,10 +506,11 @@ class ShardedEngine:
         shard_cycles = [0] * self.shards
         gather_cycles = transfer_cycles = skipped = failovers = 0
         shards_failed = ()
+        entries = None
         if query.predicate is None:
             # Full scan: nothing to scatter, the coordinator owns the
             # whole table anyway.
-            rids = list(range(table.row_count))
+            rids = table.all_rids()
         else:
             entries = self._scatter(table, query.predicate, cse,
                                     tracer, index, prefetched, deadline)
@@ -417,14 +532,26 @@ class ShardedEngine:
                         shard=shards_failed[0], query_index=index)
                 self._fault["degraded"].add(1)
         tail_before = stats.cycles
+        parallel_sort_cycles = 0
         if query.order_by is not None:
-            rids, sort_stats = self.coordinator.executor.order_by(
-                table, rids, query.order_by, query.descending)
-            _merge_stats(stats, sort_stats)
+            if self.partitioned_order_by:
+                # Per-shard sort + EIS merge: each shard sorts its own
+                # packed slice in parallel (charged to the shard's
+                # makespan term), only the union fold stays serial.
+                rids, sort_cycle_map = self._order_by_partitioned(
+                    table, query, entries, stats)
+                for position, cycles in sort_cycle_map.items():
+                    shard_cycles[position] += cycles
+                    self._shard_scopes[position]["cycles"].add(cycles)
+                    parallel_sort_cycles += cycles
+            else:
+                rids, sort_stats = self.coordinator.executor.order_by(
+                    table, rids, query.order_by, query.descending)
+                _merge_stats(stats, sort_stats)
         if query.limit is not None:
             rids = rids[:query.limit]
         rows = table.fetch(rids, query.columns)
-        tail_cycles = stats.cycles - tail_before
+        tail_cycles = stats.cycles - tail_before - parallel_sort_cycles
         makespan = (max(shard_cycles) if shard_cycles else 0) \
             + gather_cycles + transfer_cycles + tail_cycles
         self._account(stats, len(rows), makespan, skipped)
@@ -463,8 +590,80 @@ class ShardedEngine:
                 payload, deadline))
         return entries
 
+    def _order_by_partitioned(self, table, query, entries, stats):
+        """Per-shard sort of packed key/RID words + EIS union merge.
+
+        Correctness is structural: shards hold disjoint global-RID
+        sets, so the packed ``key << RID_BITS | rid`` words are
+        globally unique and the EIS union fold of per-shard sorted
+        packed lists is exactly the coordinator's serial merge sort of
+        the union — same rids, same key ties, byte-identical.
+
+        Returns ``(ordered_rids, {position: sort_cycles})``; the
+        per-shard sort cycles join the makespan's parallel max, only
+        the merge cycles (folded into *stats*) stay serial.
+        """
+        if entries is None:
+            shards = self.shards_for(table)
+            per_shard = [(position, shard.held_rids())
+                         for position, shard in enumerate(shards)]
+        else:
+            per_shard = [(position, entry[1])
+                         for position, entry in enumerate(entries)
+                         if entry[0] == "ok"]
+        executor = self.coordinator.executor
+        sort_cycle_map = {}
+        merge_stats = QueryStats()
+        merged = []
+        for position, rids in per_shard:
+            if not rids:
+                continue
+            packed = executor.pack_rids(table, rids, query.order_by)
+            shard_sorted, shard_stats = \
+                self.shard_engines[position].executor.sort_packed(
+                    packed)
+            _merge_stats(stats, shard_stats)
+            sort_cycle_map[position] = shard_stats.cycles
+            merged = executor.set_operation("union", merged,
+                                            shard_sorted, merge_stats)
+            self._sort_merges.add(1)
+        _merge_stats(stats, merge_stats)
+        self._sort_merge_cycles.add(merge_stats.cycles)
+        mask = (1 << RID_BITS) - 1
+        ordered = [value & mask for value in merged]
+        if query.descending:
+            ordered.reverse()
+        return ordered, sort_cycle_map
+
     def _serve_shard(self, position, hosts, shard, predicate, cse,
                      tracer, index, payload, deadline):
+        """One shard's WHERE, behind the cross-batch shard cache.
+
+        A (shard table, predicate signature) hit returns the cached
+        global RID list without dispatching to any host (modeled
+        cycles: zero, like the engine-level scan cache).  Entries are
+        installed only from checksum-verified ``ok`` serves and are
+        invalidated by :meth:`apply_delta`'s touched-value footprint;
+        under fault injection the cache is disabled outright — a hit
+        would mask the failover paths the chaos harness measures.
+        """
+        key = None
+        if self._cache_enabled:
+            key = (id(shard.table), signature(predicate))
+            cached = self._shard_cache[position].get(key)
+            if cached is not None:
+                self._shard_scopes[position]["cache_hits"].add(1)
+                return ("ok", list(cached), QueryStats(), 0, 0)
+            self._shard_scopes[position]["cache_misses"].add(1)
+        entry = self._serve_shard_uncached(
+            position, hosts, shard, predicate, cse, tracer, index,
+            payload, deadline)
+        if key is not None and entry[0] == "ok":
+            self._shard_cache[position][key] = list(entry[1])
+        return entry
+
+    def _serve_shard_uncached(self, position, hosts, shard, predicate,
+                              cse, tracer, index, payload, deadline):
         """One shard's WHERE for one query, across its host chain.
 
         Sequential failover along ``hosts`` (primary first, then
@@ -746,6 +945,13 @@ class ShardedEngine:
             for query_index, query in enumerate(queries):
                 if query.predicate is None:
                     continue
+                if self._cache_enabled and (
+                        id(shard.table),
+                        signature(query.predicate)) \
+                        in self._shard_cache[position]:
+                    # Cached pairs skip the pool; the inline path
+                    # serves them from the shard cache.
+                    continue
                 if shard_may_match(shard.table, query.predicate):
                     plan.append((query_index, query.predicate))
                 else:
@@ -770,7 +976,7 @@ class ShardedEngine:
                                 in shard.table.columns
                                 if shard.table.has_index(column)],
                 },
-                "global_rids": list(shard.global_rids),
+                "global_rids": shard.held_rids(),
                 "predicates": [(query_index, predicate)
                                for query_index, predicate in plan],
             }
@@ -826,9 +1032,13 @@ class ShardedEngine:
         self.coordinator.clear_caches()
         for engine in self.shard_engines:
             engine.clear_caches()
+        for cache in self._shard_cache:
+            cache.clear()
         self._partitions.clear()
         self._pinned_tables.clear()
         self._replica_placements.clear()
+        self._routers.clear()
+        self._rid_owners.clear()
 
     def __repr__(self):
         return "<ShardedEngine %s x%d %s cost_model=%s replicas=%d>" % (

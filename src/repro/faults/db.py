@@ -314,13 +314,22 @@ def run_db_campaign(shards=4, replication=1, trials=24, seed=42,
                     rows=512, queries=12, deadline="auto",
                     kinds=DB_FAULT_KINDS, partitioner="hash",
                     breaker_threshold=3, breaker_cooldown=4,
-                    hedge_fraction=0.5, log=None):
+                    hedge_fraction=0.5, delta_batches=0, delta_rows=32,
+                    log=None):
     """Run a db-layer chaos campaign; returns the JSON-ready report.
 
     *deadline* is ``"auto"`` (8x the fault-free per-shard maximum, so
     wedged responses are hedged/failed instead of waited out),
     ``"none"`` / ``None`` (no deadline — wedges classify as ``hang``),
     or an explicit modeled-cycle budget.
+
+    *delta_batches* > 0 swaps the row-oriented demo table for a
+    columnar Z-set table mutated by the shared Zipfian delta stream
+    (``repro.workloads.sets.generate_delta_stream``) before the
+    campaign: the trials then exercise failover over a sparse RID
+    space with tombstones and annihilated ghosts.  Requires NumPy; the
+    default of 0 keeps the campaign (and its report) byte-identical to
+    the row-oriented harness.
     """
     from ..db.bench import build_demo_table
     from ..db.engine import QueryEngine
@@ -333,7 +342,30 @@ def run_db_campaign(shards=4, replication=1, trials=24, seed=42,
         if kind not in _DB_SAMPLERS:
             raise ValueError("unknown db fault kind %r (one of %s)"
                              % (kind, ", ".join(DB_FAULT_KINDS)))
-    table = build_demo_table(rows=rows, seed=seed)
+    delta_report = None
+    if delta_batches:
+        from ..db.columnar import ColumnarTable, DeltaBatch
+        from ..workloads.sets import generate_delta_stream
+        initial, specs = generate_delta_stream(
+            rows, delta_batches,
+            {"status": 4, "region": 8, "price": 1000},
+            inserts_per_batch=delta_rows,
+            deletes_per_batch=max(1, delta_rows // 2), seed=seed)
+        table = ColumnarTable("orders", initial)
+        for column in ("status", "region", "price"):
+            table.create_index(column)
+        annihilated = 0
+        for spec in specs:
+            outcome = table.apply_delta(DeltaBatch.from_spec(spec))
+            annihilated += outcome["annihilated"]
+        delta_report = {"batches": delta_batches,
+                        "rows_per_batch": delta_rows,
+                        "annihilated": annihilated,
+                        "live_rows": table.row_count,
+                        "rid_limit": table.rid_limit(),
+                        "compactions": table.compactions}
+    else:
+        table = build_demo_table(rows=rows, seed=seed)
     batch = chaos_queries(table, queries, seed)
 
     reference = [result.rids for result
@@ -418,16 +450,19 @@ def run_db_campaign(shards=4, replication=1, trials=24, seed=42,
         summary[report["outcome"]] += 1
         fired += report["fired"]
 
+    campaign = {"layer": "db", "shards": shards,
+                "replication": replication, "rows": rows,
+                "queries": len(batch), "trials": trials,
+                "seed": seed, "kinds": list(kinds),
+                "partitioner": partitioner,
+                "deadline_cycles": deadline_cycles,
+                "fuel_cycles": fuel,
+                "breaker_threshold": breaker_threshold,
+                "breaker_cooldown": breaker_cooldown}
+    if delta_report is not None:
+        campaign["delta"] = delta_report
     return {
-        "campaign": {"layer": "db", "shards": shards,
-                     "replication": replication, "rows": rows,
-                     "queries": len(batch), "trials": trials,
-                     "seed": seed, "kinds": list(kinds),
-                     "partitioner": partitioner,
-                     "deadline_cycles": deadline_cycles,
-                     "fuel_cycles": fuel,
-                     "breaker_threshold": breaker_threshold,
-                     "breaker_cooldown": breaker_cooldown},
+        "campaign": campaign,
         "trials": trial_reports,
         "summary": summary,
         "fired": fired,

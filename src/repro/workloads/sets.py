@@ -143,6 +143,93 @@ def generate_zipfian_rid_list(size, table_rows, theta=1.0, seed=None):
     return sorted(rid for _key, rid in keyed[:size])
 
 
+def _weighted_distinct_sample(rng, weighted, count):
+    """*count* distinct keys from ``{key: weight}``, popularity-biased.
+
+    Efraimidis–Spirakis without-replacement sampling (same trick as
+    :func:`generate_zipfian_rid_list`): each key draws ``u ** (1/w)``
+    and the *count* largest keys win.
+    """
+    if count <= 0:
+        return []
+    keyed = [(rng.random() ** (1.0 / weight), key)
+             for key, weight in weighted.items()]
+    keyed.sort(reverse=True)
+    return [key for _sort_key, key in keyed[:count]]
+
+
+def generate_delta_stream(rows, batches, columns, inserts_per_batch=64,
+                          deletes_per_batch=32, theta=1.0, seed=None,
+                          ghost_batches=()):
+    """A seeded Z-set delta workload over a Zipfian-valued table.
+
+    Produces ``(initial_columns, batch_specs)``: the initial table
+    contents plus *batches* delta specifications of the shape
+    ``{"insert": {column: values}, "delete_rids": [...]}`` that
+    ``repro.db.DeltaBatch.from_spec`` consumes directly.  Shared by the
+    delta benchmark and the chaos harness so both replay the same
+    update distribution.
+
+    *columns* maps column names to value cardinalities; every value is
+    drawn from a Zipf(*theta*) popularity law, and deletes are biased
+    toward rows holding popular values of the **first** column — the
+    hot keys an update-heavy OLTP tail hammers.
+
+    The generator mirrors :class:`repro.db.ColumnarTable` RID
+    assignment exactly: batch *k*'s inserts occupy the next
+    ``inserts_per_batch`` RIDs in order, including rows that batch
+    indices listed in *ghost_batches* delete again within the same
+    batch (insert + delete annihilate inside ``apply_delta``, yet the
+    annihilated rows still consume RID space).  Delete lists therefore
+    reference concrete RIDs and stay valid when replayed against a
+    table seeded with *initial_columns*.
+    """
+    if rows < 1:
+        raise ValueError("need at least one initial row")
+    if not columns:
+        raise ValueError("need at least one column")
+    if inserts_per_batch < 0 or deletes_per_batch < 0:
+        raise ValueError("batch sizes must be non-negative")
+    rng = random.Random(seed)
+    names = list(columns)
+    weights = {name: zipf_weights(cardinality, theta)
+               for name, cardinality in columns.items()}
+    domains = {name: range(cardinality)
+               for name, cardinality in columns.items()}
+    initial = {name: rng.choices(domains[name], weights=weights[name],
+                                 k=rows)
+               for name in names}
+    hot = names[0]
+    live = {rid: weights[hot][initial[hot][rid]] for rid in range(rows)}
+    next_rid = rows
+    ghost_set = set(ghost_batches)
+    specs = []
+    for batch_index in range(batches):
+        inserts = {name: rng.choices(domains[name],
+                                     weights=weights[name],
+                                     k=inserts_per_batch)
+                   for name in names}
+        new_rids = list(range(next_rid, next_rid + inserts_per_batch))
+        next_rid += inserts_per_batch
+        ghosts = []
+        if batch_index in ghost_set and inserts_per_batch:
+            ghosts = rng.sample(new_rids,
+                                max(1, inserts_per_batch // 4))
+        ghost_rids = set(ghosts)
+        deletes = _weighted_distinct_sample(
+            rng, live, min(deletes_per_batch, len(live)))
+        for rid in deletes:
+            del live[rid]
+        for position, rid in enumerate(new_rids):
+            if rid not in ghost_rids:
+                live[rid] = weights[hot][inserts[hot][position]]
+        spec = {"delete_rids": sorted(deletes + ghosts)}
+        if inserts_per_batch:
+            spec["insert"] = inserts
+        specs.append(spec)
+    return initial, specs
+
+
 def generate_clustered_rid_list(size, table_rows, clusters=4,
                                 spread=0.02, seed=None):
     """A sorted RID list concentrated around a few cluster centers.

@@ -265,6 +265,137 @@ class TestPartitioners:
         assert skew_ratio([]) == 1.0
 
 
+class TestPartitionedOrderBy:
+    """Per-shard sort + EIS merge equals the coordinator serial sort."""
+
+    def queries(self, table):
+        return [
+            Query(table, Range("score", 0, 480), order_by="score",
+                  limit=12),
+            Query(table, Eq("kind", 1), order_by="score",
+                  descending=True),
+            Query(table, Or(Eq("zone", 3), Eq("zone", 5)),
+                  order_by="score", descending=True, limit=5),
+            Query(table, None, order_by="score", limit=25),
+        ]
+
+    def test_matches_serial_sort_and_single_engine(self, table):
+        queries = self.queries(table)
+        single = QueryEngine().execute_batch(queries)
+        partitioned = ShardedEngine(shards=3).execute_batch(queries)
+        serial = ShardedEngine(
+            shards=3, partitioned_order_by=False).execute_batch(queries)
+        for fast, slow, ref in zip(partitioned, serial, single):
+            assert fast.rids == ref.rids
+            assert slow.rids == ref.rids
+            assert fast.rows == ref.rows
+
+    def test_sort_merge_telemetry(self, table):
+        engine = ShardedEngine(shards=3)
+        engine.execute(Query(table, Range("score", 0, 480),
+                             order_by="score"))
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["db.shard.sort.merges"] > 0
+        assert snapshot["db.shard.sort.merge_cycles"] > 0
+
+    def test_sort_cycles_land_on_shards(self, table):
+        """Partitioned sorts bill the shards, not the serial tail."""
+        query = Query(table, Range("score", 0, 480), order_by="score")
+        partitioned = ShardedEngine(shards=3).execute(query)
+        serial = ShardedEngine(
+            shards=3, partitioned_order_by=False).execute(query)
+        assert sum(partitioned.shard_cycles) > sum(serial.shard_cycles)
+        assert partitioned.rids == serial.rids
+
+
+class TestShardCache:
+    """Cross-batch per-shard WHERE cache: hits, parity, chaos opt-out."""
+
+    def test_repeat_batch_hits_with_identical_results(self, table,
+                                                      reference):
+        engine = ShardedEngine(shards=3)
+        queries = [Query(table, shape) for shape in TREE_SHAPES]
+        first = engine.execute_batch(queries)
+        second = engine.execute_batch(queries)
+        expected = [rids for rids, _ in reference]
+        assert [r.rids for r in first] == expected
+        assert [r.rids for r in second] == expected
+        snapshot = engine.metrics_snapshot()
+        hits = sum(snapshot["db.shard.%d.cache.hits" % position]
+                   for position in range(3))
+        misses = sum(snapshot["db.shard.%d.cache.misses" % position]
+                     for position in range(3))
+        assert hits > 0
+        assert misses > 0
+
+    def test_clear_caches_forgets_entries(self, table):
+        engine = ShardedEngine(shards=2)
+        query = Query(table, Eq("kind", 2))
+        engine.execute(query)
+        engine.clear_caches()
+        engine.execute(Query(table, Eq("kind", 2)))
+        snapshot = engine.metrics_snapshot()
+        hits = sum(snapshot["db.shard.%d.cache.hits" % position]
+                   for position in range(2))
+        assert hits == 0
+
+    def test_cache_disabled_under_fault_injection(self, table):
+        from repro.faults.db import DbFaultInjector
+        from repro.faults.plan import FaultPlan
+        engine = ShardedEngine(shards=3, strict=False,
+                               fault_injector=DbFaultInjector(
+                                   FaultPlan([])))
+        queries = [Query(table, shape) for shape in TREE_SHAPES[:3]]
+        first = engine.execute_batch(queries)
+        second = engine.execute_batch(queries)
+        assert [r.rids for r in first] == [r.rids for r in second]
+        snapshot = engine.metrics_snapshot()
+        for position in range(3):
+            assert snapshot["db.shard.%d.cache.hits" % position] == 0
+            assert snapshot["db.shard.%d.cache.misses" % position] == 0
+
+
+class TestRouters:
+    """Frozen routing closures agree with assign() on existing rows."""
+
+    PARTITIONER_FACTORIES = (
+        lambda: HashPartitioner(4),
+        lambda: HashPartitioner(4, column="zone"),
+        lambda: RangePartitioner(4),
+        lambda: RangePartitioner(4, column="score"),
+    )
+
+    def test_router_matches_assignment(self, table):
+        columns = {name: table.column(name)
+                   for name in ("kind", "zone", "score")}
+        for factory in self.PARTITIONER_FACTORIES:
+            partitioner = factory()
+            shards = partition_table(table, partitioner)
+            router = partitioner.router(table)
+            for position, shard in enumerate(shards):
+                for rid in shard.global_rids:
+                    row = {name: values[rid]
+                           for name, values in columns.items()}
+                    assert router(rid, row) == position, \
+                        partitioner.describe()
+
+    def test_range_rid_router_sends_new_rids_to_last_shard(self,
+                                                           table):
+        partitioner = RangePartitioner(3)
+        partition_table(table, partitioner)
+        router = partitioner.router(table)
+        assert router(table.row_count + 1000, {}) == 2
+
+    def test_range_value_router_is_frozen(self, table):
+        """The value router keeps its quantile bounds even if asked
+        about values outside the original distribution."""
+        partitioner = RangePartitioner(3, column="score")
+        partition_table(table, partitioner)
+        router = partitioner.router(table)
+        assert router(10 ** 6, {"score": 0}) == 0
+        assert router(10 ** 6, {"score": 499}) == 2
+
+
 class TestTelemetry:
     def test_shard_metrics_present(self, table):
         engine = ShardedEngine(shards=2)
